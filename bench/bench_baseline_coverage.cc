@@ -1,0 +1,105 @@
+// §2.3's motivating numbers: template coverage vs. actual parse success
+// under schema drift (deft-whois: 94% of test data covered by templates,
+// yet most records fail), and rule-based registrant-identification accuracy
+// (pythonwhois: 59%).
+#include <cstdio>
+#include <set>
+
+#include "baselines/rule_parser.h"
+#include "baselines/template_parser.h"
+#include "bench_common.h"
+#include "util/env.h"
+
+int main() {
+  using namespace whoiscrf;
+  bench::PrintHeader("Section 2.3",
+                     "baseline coverage and fragility under drift");
+
+  // "When the templates were written": a v0-only snapshot, and a *partial*
+  // one — template libraries never cover every registrar (deft-whois had
+  // templates for 94% of the paper's test data).
+  const size_t n = util::Scaled(2000, 400);
+  const size_t snapshot = n / 5;
+  datagen::CorpusOptions then_options;
+  then_options.size = n;
+  then_options.seed = bench::kCorpusSeed;
+  then_options.drift_fraction = 0.0;
+  const datagen::CorpusGenerator then_gen(then_options);
+  const auto then_records = bench::TakeRecords(then_gen, 0, snapshot);
+  const auto template_parser =
+      baselines::TemplateBasedParser::Build(then_records);
+
+  // The pythonwhois analogue: generic pattern rules plus only the handful
+  // of title tables its authors happened to write (modeled by rolling the
+  // full rule base back to a small development sample).
+  const auto full_rules = baselines::RuleBasedParser::Build(then_records);
+  const auto rule_parser =
+      full_rules.RollBack(bench::TakeRecords(then_gen, 0, 30));
+
+  // Which registrar families did the template snapshot cover?
+  std::set<std::string> covered_families;
+  for (size_t i = 0; i < snapshot; ++i) {
+    covered_families.insert(
+        then_gen.registrars()
+            .info(static_cast<size_t>(then_gen.Generate(i).facts
+                                          .registrar_index))
+            .family);
+  }
+
+  // "Today": the drifted corpus the measurement actually runs on.
+  const auto now_gen = bench::MakeEvalGenerator(n);
+  size_t covered = 0;
+  size_t matched = 0;
+  size_t drifted = 0;
+  size_t drifted_matched = 0;
+  size_t rule_registrant_ok = 0;
+  size_t with_registrant = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const auto domain = now_gen.Generate(i);
+    const auto& family =
+        now_gen.registrars()
+            .info(static_cast<size_t>(domain.facts.registrar_index))
+            .family;
+    if (covered_families.count(family)) ++covered;
+    const bool is_drifted =
+        domain.template_id.find("/drift") != std::string::npos;
+    const bool ok = template_parser.Parse(domain.thick.text).matched;
+    if (ok) ++matched;
+    if (is_drifted) {
+      ++drifted;
+      if (ok) ++drifted_matched;
+    }
+
+    if (!domain.facts.registrant.name.empty()) {
+      ++with_registrant;
+      const auto parsed = rule_parser.Parse(domain.thick.text);
+      if (parsed.registrant.name == domain.facts.registrant.name) {
+        ++rule_registrant_ok;
+      }
+    }
+  }
+
+  std::printf("\ntemplate-based parser (deft-whois analogue):\n");
+  std::printf("  templates:             %zu\n",
+              template_parser.num_templates());
+  std::printf("  registrar coverage:    %.1f%%   (paper: 94%% of test data)\n",
+              100.0 * static_cast<double>(covered) / static_cast<double>(n));
+  std::printf("  records parsed OK:     %.1f%% overall, %.1f%% of records\n"
+              "                         whose schema changed since the\n"
+              "                         templates were written (paper: the\n"
+              "                         vast majority fail after drift)\n",
+              100.0 * static_cast<double>(matched) / static_cast<double>(n),
+              drifted == 0 ? 0.0
+                           : 100.0 * static_cast<double>(drifted_matched) /
+                                 static_cast<double>(drifted));
+
+  std::printf("\nrule-based parser (pythonwhois analogue):\n");
+  std::printf("  registrant identified: %.1f%%   (paper: 59%%)\n",
+              100.0 * static_cast<double>(rule_registrant_ok) /
+                  static_cast<double>(with_registrant));
+  std::printf(
+      "\nPaper shape: high nominal template coverage but drift breaks the\n"
+      "exact matching; rule-based extraction of the registrant is far from\n"
+      "reliable.\n");
+  return 0;
+}

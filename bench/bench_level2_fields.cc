@@ -1,0 +1,78 @@
+// Second-level extraction quality: per-subfield accuracy of the registrant
+// fields against ground truth. The paper's survey (§6) depends on exactly
+// these fields (country for Table 3, org for Table 4, name/org for privacy
+// detection), so this bench quantifies the foundation those tables rest on.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/env.h"
+#include "util/string_util.h"
+#include "util/table.h"
+#include "whois/whois_parser.h"
+
+int main() {
+  using namespace whoiscrf;
+  bench::PrintHeader("Level-2 fields",
+                     "registrant subfield extraction accuracy");
+
+  const size_t train_count = util::Scaled(800, 200);
+  const size_t test_count = util::Scaled(1500, 300);
+  const auto generator = bench::MakeEvalGenerator(train_count + test_count);
+  const auto train = bench::TakeRecords(generator, 0, train_count);
+  const whois::WhoisParser parser = bench::TrainParser(train);
+
+  struct FieldStat {
+    const char* name;
+    size_t present = 0;  // ground truth non-empty
+    size_t correct = 0;  // parsed value matches exactly
+  };
+  FieldStat stats[] = {{"name"},  {"org"},     {"city"},  {"state"},
+                       {"postcode"}, {"country"}, {"phone"}, {"email"}};
+
+  for (size_t i = train_count; i < train_count + test_count; ++i) {
+    const auto domain = generator.Generate(i);
+    const whois::ParsedWhois parsed = parser.Parse(domain.thick.text);
+    const datagen::ContactFacts& truth = domain.facts.registrant;
+    const whois::Contact& got = parsed.registrant;
+
+    auto check = [&](FieldStat& stat, const std::string& want,
+                     const std::string& have) {
+      if (want.empty()) return;
+      ++stat.present;
+      if (want == have) ++stat.correct;
+    };
+    check(stats[0], truth.name, got.name);
+    check(stats[1], truth.org, got.org);
+    check(stats[2], truth.city, got.city);
+    check(stats[3], truth.state, got.state);
+    check(stats[4], truth.postcode, got.postcode);
+    // Country may be printed as a code or a display name by the template.
+    if (!truth.country_code.empty()) {
+      ++stats[5].present;
+      if (got.country == truth.country_code ||
+          got.country == truth.country_name) {
+        ++stats[5].correct;
+      }
+    }
+    check(stats[6], truth.phone, got.phone);
+    check(stats[7], truth.email, got.email);
+  }
+
+  util::TextTable table({"field", "present", "exact match", "accuracy"});
+  for (const FieldStat& stat : stats) {
+    table.AddRow({stat.name, std::to_string(stat.present),
+                  std::to_string(stat.correct),
+                  util::Format("%.1f%%",
+                               stat.present == 0
+                                   ? 0.0
+                                   : 100.0 * static_cast<double>(stat.correct) /
+                                         static_cast<double>(stat.present))});
+  }
+  std::printf("\n%s\n", table.Render().c_str());
+  std::printf(
+      "Caveats: city is under-credited in block formats that print\n"
+      "\"City, ST 12345\" on one composite line (the parser stores the\n"
+      "composite under city); the survey pipeline only needs country,\n"
+      "org, and name, which should all be >90%%.\n");
+  return 0;
+}

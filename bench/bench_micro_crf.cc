@@ -1,0 +1,137 @@
+// Performance microbenchmarks (google-benchmark): feature extraction,
+// compilation, inference, Viterbi decoding, end-to-end parsing, and one
+// training gradient pass — the building blocks whose cost determines
+// whether parsing 102M records is feasible (it is: the paper's pipeline is
+// embarrassingly parallel over records).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "crf/inference.h"
+#include "crf/likelihood.h"
+#include "crf/trainer.h"
+#include "crf/viterbi.h"
+#include "whois/training_data.h"
+
+namespace {
+
+using namespace whoiscrf;
+
+struct Fixture {
+  datagen::CorpusGenerator generator;
+  std::vector<whois::LabeledRecord> train;
+  whois::WhoisParser parser;
+  text::Tokenizer tokenizer;
+  std::string sample;
+
+  Fixture()
+      : generator(bench::MakeEvalGenerator(400)),
+        train(bench::TakeRecords(generator, 0, 300)),
+        parser(bench::TrainParser(train)),
+        sample(generator.Generate(350).thick.text) {}
+};
+
+Fixture& GetFixture() {
+  static Fixture fixture;
+  return fixture;
+}
+
+void BM_SplitRecord(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::SplitRecord(f.sample));
+  }
+}
+BENCHMARK(BM_SplitRecord);
+
+void BM_ExtractAttributes(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.tokenizer.ExtractRecord(f.sample));
+  }
+}
+BENCHMARK(BM_ExtractAttributes);
+
+void BM_CompileSequence(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const auto attrs = f.tokenizer.ExtractRecord(f.sample);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.parser.level1_model().Compile(attrs));
+  }
+}
+BENCHMARK(BM_CompileSequence);
+
+void BM_ComputeScores(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const auto attrs = f.tokenizer.ExtractRecord(f.sample);
+  const auto seq = f.parser.level1_model().Compile(attrs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.parser.level1_model().ComputeScores(seq));
+  }
+}
+BENCHMARK(BM_ComputeScores);
+
+void BM_ForwardBackward(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const auto attrs = f.tokenizer.ExtractRecord(f.sample);
+  const auto seq = f.parser.level1_model().Compile(attrs);
+  const auto scores = f.parser.level1_model().ComputeScores(seq);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crf::ForwardBackward(scores));
+  }
+}
+BENCHMARK(BM_ForwardBackward);
+
+void BM_ViterbiDecode(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const auto attrs = f.tokenizer.ExtractRecord(f.sample);
+  const auto seq = f.parser.level1_model().Compile(attrs);
+  const auto scores = f.parser.level1_model().ComputeScores(seq);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crf::Decode(scores));
+  }
+}
+BENCHMARK(BM_ViterbiDecode);
+
+void BM_ParseRecordEndToEnd(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  size_t records = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.parser.Parse(f.sample));
+    ++records;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(records));
+}
+BENCHMARK(BM_ParseRecordEndToEnd);
+
+void BM_TrainingGradientPass(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const text::Tokenizer tokenizer;
+  const auto instances = whois::ToLevel1Instances(f.train, tokenizer);
+  crf::TrainerOptions options;
+  crf::Trainer trainer(options);
+  // Build the model once; measure one full objective+gradient evaluation.
+  crf::CrfModel model =
+      trainer.Train(whois::Level1Names(),
+                    std::vector<crf::Instance>(instances.begin(),
+                                               instances.begin() + 20));
+  const crf::Dataset dataset = crf::Trainer::Compile(model, instances);
+  crf::LogLikelihood objective(model, dataset, 10.0);
+  std::vector<double> grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(objective.Evaluate(model.weights(), grad));
+  }
+}
+BENCHMARK(BM_TrainingGradientPass)->Unit(benchmark::kMillisecond);
+
+void BM_GenerateDomain(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.generator.Generate(i++ % 400));
+  }
+}
+BENCHMARK(BM_GenerateDomain);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Optimizer comparison: the paper implemented both L-BFGS and stochastic
+// gradient descent (§3.3: "optimization routines such as stochastic
+// gradient descent" alongside "a well-known implementation of the
+// limited-memory BFGS algorithm ... run in parallel"). This bench compares
+// the two on the same training sets: final accuracy and wall-clock.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/env.h"
+#include "util/string_util.h"
+#include "util/table.h"
+#include "whois/whois_parser.h"
+
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace whoiscrf;
+  bench::PrintHeader("Optimizers", "L-BFGS vs SGD on identical training sets");
+
+  const size_t test_count = util::Scaled(800, 200);
+  const auto generator = bench::MakeEvalGenerator(1000 + test_count);
+  const auto test = bench::TakeRecords(generator, 1000, test_count);
+
+  util::TextTable table(
+      {"train size", "optimizer", "line err", "doc err", "train sec"});
+  for (size_t train_size : {100u, 400u}) {
+    const auto train = bench::TakeRecords(generator, 0, train_size);
+    for (const bool sgd : {false, true}) {
+      whois::WhoisParserOptions options;
+      options.trainer.l2_sigma = 10.0;
+      if (sgd) {
+        options.trainer.algorithm = crf::Algorithm::kSgd;
+        options.trainer.sgd.epochs = 30;
+      } else {
+        options.trainer.lbfgs.max_iterations = 150;
+      }
+      const double start = Now();
+      const whois::WhoisParser parser =
+          whois::WhoisParser::Train(train, options);
+      const double elapsed = Now() - start;
+      const bench::ErrorRates rates = bench::EvaluateStatistical(parser, test);
+      table.AddRow({std::to_string(train_size), sgd ? "SGD" : "L-BFGS",
+                    util::Format("%.5f", rates.line),
+                    util::Format("%.4f", rates.document),
+                    util::Format("%.2f", elapsed)});
+    }
+  }
+  std::printf("\n%s\n", table.Render().c_str());
+  std::printf(
+      "Expected shape: both optimizers reach comparable accuracy; L-BFGS\n"
+      "converges to a slightly better optimum (it is exact batch\n"
+      "optimization of a convex objective), SGD trades a little accuracy\n"
+      "for simpler scaling.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Table 1: the most heavily weighted unigram features (eq. 6 form) per
+// first-level label — the "what did the model learn" inspection of §3.4.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "crf/trainer.h"
+#include "util/env.h"
+#include "whois/training_data.h"
+
+int main() {
+  using namespace whoiscrf;
+  bench::PrintHeader("Table 1", "heavily weighted features per label");
+
+  const size_t train_count = util::Scaled(1500, 300);
+  const auto generator = bench::MakeEvalGenerator(train_count);
+  const auto records = bench::TakeRecords(generator, 0, train_count);
+
+  const text::Tokenizer tokenizer;
+  const auto instances = whois::ToLevel1Instances(records, tokenizer);
+  crf::TrainerOptions options;
+  options.l2_sigma = 10.0;
+  options.lbfgs.max_iterations = 150;
+  crf::TrainStats stats;
+  const crf::CrfModel model =
+      crf::Trainer(options).Train(whois::Level1Names(), instances, &stats);
+  std::printf("model: %zu attributes, %zu features (paper: ~1M), "
+              "%d L-BFGS iterations\n\n",
+              stats.num_attributes, stats.num_features, stats.iterations);
+
+  for (int label = 0; label < model.num_labels(); ++label) {
+    std::vector<std::pair<double, std::string>> ranked;
+    for (size_t attr = 0; attr < model.vocab().size(); ++attr) {
+      const double w =
+          model.weights()[model.UnigramIndex(static_cast<int>(attr), label)];
+      ranked.emplace_back(w, model.vocab().Name(static_cast<int>(attr)));
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    std::printf("%-10s ", model.label_names()[static_cast<size_t>(label)].c_str());
+    for (int k = 0; k < 10 && k < static_cast<int>(ranked.size()); ++k) {
+      std::printf("%s%s", k ? ", " : "", ranked[static_cast<size_t>(k)].second.c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nPaper shape: intuitive associations dominate — registrant@T for\n"
+      "registrant, registrar@T/SEP for registrar, date words for date,\n"
+      "legalese/SYM for null — plus discovered non-obvious ones.\n");
+  return 0;
+}

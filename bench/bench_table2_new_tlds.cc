@@ -1,0 +1,51 @@
+// Table 2: generalization to new, unseen TLDs — mislabeled lines per sample
+// record (# error / total), rule-based vs. statistical (§5.2). One record
+// per TLD suffices because each new-TLD registry uses a single template.
+#include <cstdio>
+
+#include "baselines/rule_parser.h"
+#include "bench_common.h"
+#include "util/env.h"
+
+int main() {
+  using namespace whoiscrf;
+  bench::PrintHeader("Table 2", "parser performance on new TLDs");
+
+  const size_t train_count = util::Scaled(1200, 300);
+  // Train both parsers on .com only.
+  const auto generator = bench::MakeEvalGenerator(train_count + 16);
+  const auto train = bench::TakeRecords(generator, 0, train_count);
+  const whois::WhoisParser statistical = bench::TrainParser(train);
+  const baselines::RuleBasedParser rules =
+      baselines::RuleBasedParser::Build(train);
+
+  std::printf("%-8s %-28s %12s %12s\n", "TLD", "example", "rule-based",
+              "statistical");
+  int rule_tlds_with_errors = 0;
+  int stat_tlds_with_errors = 0;
+  for (const std::string& tld : datagen::TemplateLibrary::NewTldNames()) {
+    const auto domain = generator.GenerateNewTld(tld, 1);
+    const auto rule_labels = rules.LabelLines(domain.thick.text);
+    const auto stat_labels = statistical.LabelLines(domain.thick.text);
+    size_t rule_errors = 0;
+    size_t stat_errors = 0;
+    const size_t total = domain.thick.labels.size();
+    for (size_t t = 0; t < total; ++t) {
+      if (rule_labels[t] != domain.thick.labels[t]) ++rule_errors;
+      if (stat_labels[t] != domain.thick.labels[t]) ++stat_errors;
+    }
+    if (rule_errors > 0) ++rule_tlds_with_errors;
+    if (stat_errors > 0) ++stat_tlds_with_errors;
+    std::printf("%-8s %-28s %7zu/%-4zu %7zu/%-4zu\n", tld.c_str(),
+                domain.facts.domain.c_str(), rule_errors, total, stat_errors,
+                total);
+  }
+  std::printf(
+      "\nTLDs with errors: rule-based %d/12 (paper: 10/12), "
+      "statistical %d/12 (paper: 4/12)\n",
+      rule_tlds_with_errors, stat_tlds_with_errors);
+  std::printf(
+      "Paper shape: the rule-based parser is never better and often far\n"
+      "worse (asia, biz, coop, travel, us); both are clean on info/org.\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Table 4: well-known brand companies with the most .com domains (§6.1),
+// found by aggregating the parsed registrant-organization field.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "datagen/pools.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main() {
+  using namespace whoiscrf;
+  bench::PrintHeader("Table 4", "brand companies with the most com domains");
+
+  const auto db = bench::SharedSurveyDatabase();
+
+  std::vector<std::string> brands;
+  for (const auto& brand : datagen::pools::Brands()) {
+    brands.emplace_back(brand.company);
+  }
+  const auto counts = survey::BrandCounts(db, brands);
+
+  util::TextTable table({"Company", "Domains", "Paper"});
+  for (const auto& row : counts) {
+    int paper = 0;
+    for (const auto& brand : datagen::pools::Brands()) {
+      if (row.key == brand.company) paper = brand.paper_domains;
+    }
+    table.AddRow({row.key, util::WithCommas(static_cast<long long>(row.count)),
+                  util::WithCommas(paper)});
+  }
+  std::printf("\n%s\n", table.Render().c_str());
+  std::printf(
+      "Paper shape: Amazon/AOL/Microsoft lead; large retail, service, and\n"
+      "media companies dominate. Counts scale with the synthetic corpus\n"
+      "(the paper's column is shown for rank comparison).\n");
+  return 0;
+}

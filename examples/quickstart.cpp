@@ -1,0 +1,63 @@
+// Quickstart: train a WHOIS parser from labeled records, parse a record,
+// inspect the structured output, and persist the model.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+#include <iostream>
+
+#include "datagen/corpus_gen.h"
+#include "whois/whois_parser.h"
+
+int main() {
+  using namespace whoiscrf;
+
+  // 1. Get labeled training data. Here we draw it from the bundled
+  //    synthetic .com corpus; in production you would load your own with
+  //    whois::ReadLabeledRecordsFile("train.txt").
+  datagen::CorpusOptions corpus_options;
+  corpus_options.size = 400;
+  corpus_options.seed = 7;
+  const datagen::CorpusGenerator generator(corpus_options);
+  std::vector<whois::LabeledRecord> train;
+  for (size_t i = 0; i < 200; ++i) {
+    train.push_back(generator.Generate(i).thick);
+  }
+  std::printf("training on %zu labeled records...\n", train.size());
+
+  // 2. Train the two-level CRF parser (paper §3).
+  const whois::WhoisParser parser = whois::WhoisParser::Train(train);
+  std::printf("level-1 model: %zu features; level-2 model: %zu features\n",
+              parser.level1_model().num_weights(),
+              parser.level2_model().num_weights());
+
+  // 3. Parse a record the parser has never seen.
+  const auto unseen = generator.Generate(333);
+  std::printf("\n----- raw record (%s, format %s) -----\n%s",
+              unseen.facts.domain.c_str(), unseen.template_id.c_str(),
+              unseen.thick.text.c_str());
+
+  const whois::ParsedWhois parsed = parser.Parse(unseen.thick.text);
+  std::printf("----- structured output -----\n");
+  std::printf("domain:      %s\n", parsed.domain_name.c_str());
+  std::printf("registrar:   %s\n", parsed.registrar.c_str());
+  std::printf("created:     %s\n", parsed.created.c_str());
+  std::printf("expires:     %s\n", parsed.expires.c_str());
+  std::printf("registrant:  %s\n", parsed.registrant.name.c_str());
+  std::printf("  org:       %s\n", parsed.registrant.org.c_str());
+  std::printf("  city:      %s\n", parsed.registrant.city.c_str());
+  std::printf("  country:   %s\n", parsed.registrant.country.c_str());
+  std::printf("  email:     %s\n", parsed.registrant.email.c_str());
+  std::printf("parse confidence (log-prob of labeling): %.4f\n",
+              parsed.log_prob);
+
+  // 4. Persist and reload the model.
+  parser.SaveFile("/tmp/whoiscrf_quickstart.model");
+  const auto reloaded =
+      whois::WhoisParser::LoadFile("/tmp/whoiscrf_quickstart.model");
+  const auto again = reloaded.Parse(unseen.thick.text);
+  std::printf("\nreloaded model agrees: %s\n",
+              again.registrant.name == parsed.registrant.name ? "yes" : "no");
+  return 0;
+}

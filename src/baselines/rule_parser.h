@@ -1,0 +1,72 @@
+// Rule-based baseline parser (paper §2.3 "Rule-based" and §4.2).
+//
+// The parser mirrors how tools like pythonwhois and the authors' own
+// ground-truth labeler work:
+//   * learned *title rules*: an exact normalized field title maps to a
+//     label ("registrant name" -> registrant/name), harvested from labeled
+//     records;
+//   * learned *header rules*: a bare block header ("Registrant:") sets a
+//     context that untitled continuation lines inherit;
+//   * built-in *pattern rules*: keyword and word-class heuristics
+//     ("...@... value on an untitled line is an email", "a line of legalese
+//     keywords is null"). Per §5.1, pattern rules "cannot be rolled back".
+//
+// RollBack() reproduces the paper's §5.1 handicapping: it retains only the
+// learned rules that fire on a given training subset, modeling a rule base
+// that was only ever developed against those records.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "whois/record.h"
+
+namespace whoiscrf::baselines {
+
+class RuleBasedParser {
+ public:
+  // Builds the full rule base from a labeled corpus (the analogue of the
+  // authors' best rule-based parser, iterated until it labels its
+  // development corpus perfectly).
+  static RuleBasedParser Build(const std::vector<whois::LabeledRecord>& records);
+
+  // Returns a parser retaining only the learned rules needed to label
+  // `records` (plus all pattern rules).
+  RuleBasedParser RollBack(
+      const std::vector<whois::LabeledRecord>& records) const;
+
+  // Labels every labeled line of a record.
+  std::vector<whois::Level1Label> LabelLines(std::string_view text) const;
+
+  // Full parse: level-1 labels plus registrant field extraction, for the
+  // §2.3 registrant-accuracy comparison.
+  whois::ParsedWhois Parse(std::string_view text) const;
+
+  size_t num_title_rules() const { return title_rules_.size(); }
+  size_t num_header_rules() const { return header_rules_.size(); }
+  size_t num_bare_rules() const { return bare_rules_.size(); }
+
+  // Normalization applied to titles before rule lookup (lower-case,
+  // collapse whitespace, strip non-alphanumerics at the edges).
+  static std::string NormalizeTitle(std::string_view title);
+
+ private:
+  struct TitleRule {
+    whois::Level1Label label;
+    std::optional<whois::Level2Label> sub;
+  };
+
+  // Exact-title rules ("registrant name" -> registrant/name).
+  std::unordered_map<std::string, TitleRule> title_rules_;
+  // Block-header rules ("registrant" -> registrant block context).
+  std::unordered_map<std::string, whois::Level1Label> header_rules_;
+  // Exact-line rules for untitled fixed text (boilerplate sentences,
+  // literal section banners) -> label. Only non-contact labels are learned
+  // this way; contact lines vary per record and are handled by context.
+  std::unordered_map<std::string, whois::Level1Label> bare_rules_;
+};
+
+}  // namespace whoiscrf::baselines

@@ -1,0 +1,150 @@
+#include "baselines/template_parser.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "baselines/rule_parser.h"
+#include "text/line_splitter.h"
+#include "text/separator.h"
+#include "util/string_util.h"
+
+namespace whoiscrf::baselines {
+
+namespace {
+
+using whois::Level1Label;
+
+// Signature of a record's format: its sorted set of normalized titles.
+// Records from the same template family share a signature; distinct
+// formats get distinct templates, mirroring per-registrar template files.
+std::string Signature(const std::string& text) {
+  std::set<std::string> titles;
+  for (const text::Line& line : text::SplitRecord(text)) {
+    const auto sep = text::FindSeparator(line.text);
+    if (sep.has_value() && !sep->title.empty()) {
+      titles.insert(RuleBasedParser::NormalizeTitle(sep->title));
+    }
+  }
+  std::string out;
+  for (const auto& t : titles) {
+    out += t;
+    out += '\x1f';
+  }
+  return out;
+}
+
+}  // namespace
+
+TemplateBasedParser TemplateBasedParser::Build(
+    const std::vector<whois::LabeledRecord>& records) {
+  std::map<std::string, Template> by_signature;
+
+  for (const whois::LabeledRecord& record : records) {
+    record.Validate();
+    Template& tpl = by_signature[Signature(record.text)];
+    const auto lines = text::SplitRecord(record.text);
+    for (size_t i = 0; i < lines.size(); ++i) {
+      const Level1Label label = record.labels[i];
+      const auto sep = text::FindSeparator(lines[i].text);
+      if (sep.has_value() && !sep->title.empty()) {
+        const std::string key =
+            RuleBasedParser::NormalizeTitle(sep->title);
+        tpl.titles.emplace(key, label);
+        if (sep->value.empty()) tpl.headers.emplace(key, label);
+      } else {
+        const std::string key =
+            RuleBasedParser::NormalizeTitle(lines[i].text);
+        if (key.empty()) continue;
+        // Per-record contact values (names, phones) are NOT template
+        // structure; only fixed non-contact text is stored verbatim.
+        if (label != Level1Label::kRegistrant &&
+            label != Level1Label::kOther) {
+          tpl.bare_lines.emplace(key, label);
+        }
+        // An untitled line acts as a header only when it STARTS a run of
+        // same-label lines; block member lines must not become headers.
+        const bool starts_block = i == 0 || lines[i].preceded_by_blank ||
+                                  record.labels[i - 1] != label;
+        if (starts_block && i + 1 < lines.size() &&
+            record.labels[i + 1] == label) {
+          tpl.headers.emplace(key, label);
+        }
+      }
+    }
+  }
+
+  TemplateBasedParser parser;
+  parser.templates_.reserve(by_signature.size());
+  for (auto& [sig, tpl] : by_signature) {
+    parser.templates_.push_back(std::move(tpl));
+  }
+  return parser;
+}
+
+TemplateBasedParser::Result TemplateBasedParser::Parse(
+    std::string_view record_text) const {
+  const auto lines = text::SplitRecord(record_text);
+
+  for (size_t t = 0; t < templates_.size(); ++t) {
+    const Template& tpl = templates_[t];
+    std::vector<Level1Label> labels;
+    labels.reserve(lines.size());
+    // Plain flag+value instead of std::optional: GCC 12 issues a spurious
+    // -Wmaybe-uninitialized through the optional's storage here.
+    bool has_context = false;
+    Level1Label context = Level1Label::kNull;
+    bool ok = true;
+
+    for (const text::Line& line : lines) {
+      if (line.preceded_by_blank) has_context = false;
+      const auto sep = text::FindSeparator(line.text);
+      if (sep.has_value() && !sep->title.empty()) {
+        const std::string key =
+            RuleBasedParser::NormalizeTitle(sep->title);
+        auto it = tpl.titles.find(key);
+        if (it == tpl.titles.end()) {
+          ok = false;  // unknown title: the template does not apply
+          break;
+        }
+        labels.push_back(it->second);
+        auto hit = tpl.headers.find(key);
+        if (hit != tpl.headers.end() && sep->value.empty()) {
+          has_context = true;
+          context = hit->second;
+        }
+        continue;
+      }
+      const std::string key = RuleBasedParser::NormalizeTitle(line.text);
+      auto hit = tpl.headers.find(key);
+      if (hit != tpl.headers.end()) {
+        has_context = true;
+        context = hit->second;
+        labels.push_back(hit->second);
+        continue;
+      }
+      if (has_context) {
+        labels.push_back(context);
+        continue;
+      }
+      auto bit = tpl.bare_lines.find(key);
+      if (bit != tpl.bare_lines.end()) {
+        labels.push_back(bit->second);
+        continue;
+      }
+      ok = false;  // untitled line the template cannot account for
+      break;
+    }
+
+    if (ok) {
+      Result result;
+      result.matched = true;
+      result.template_index = static_cast<int>(t);
+      result.labels = std::move(labels);
+      return result;
+    }
+  }
+  return Result{};
+}
+
+}  // namespace whoiscrf::baselines

@@ -1,0 +1,55 @@
+// Template-based baseline parser (paper §2.3 "Template-based";
+// deft-whois / Ruby whois analogue).
+//
+// A template is the exact set of field titles (plus block headers) one
+// registrar's format uses, with the label each title maps to. Parsing
+// succeeds only when every titled line of the record resolves against a
+// single stored template; any unknown title — e.g. after a registrar
+// renames one field — fails the whole record, which is precisely the
+// fragility the paper measures ("changing a single word in the schema or
+// reordering field elements can easily lead to parsing failure").
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "whois/record.h"
+
+namespace whoiscrf::baselines {
+
+class TemplateBasedParser {
+ public:
+  struct Result {
+    bool matched = false;              // did any template apply cleanly?
+    int template_index = -1;           // which one
+    std::vector<whois::Level1Label> labels;  // valid only when matched
+  };
+
+  // Learns one template per distinct title-set in the labeled corpus
+  // (the analogue of deft-whois's 575 hand-written template files).
+  static TemplateBasedParser Build(
+      const std::vector<whois::LabeledRecord>& records);
+
+  // Attempts to parse; fails closed when no template covers the record.
+  Result Parse(std::string_view record_text) const;
+
+  size_t num_templates() const { return templates_.size(); }
+
+ private:
+  struct Template {
+    // Exact normalized titles -> labels for titled lines.
+    std::unordered_map<std::string, whois::Level1Label> titles;
+    // Exact normalized whole-line keys -> labels for untitled lines
+    // (headers, boilerplate, and block members seen during construction).
+    std::unordered_map<std::string, whois::Level1Label> bare_lines;
+    // Label contexts that untitled lines inherit inside blocks.
+    std::unordered_map<std::string, whois::Level1Label> headers;
+  };
+
+  std::vector<Template> templates_;
+};
+
+}  // namespace whoiscrf::baselines

@@ -1,0 +1,80 @@
+// whoiscrf — command-line interface to the statistical WHOIS parser.
+//
+//   whoiscrf gen     generate a labeled synthetic corpus
+//   whoiscrf train   train a parser from labeled records
+//   whoiscrf parse   parse raw records to structured output
+//   whoiscrf eval    evaluate a model against labeled records
+//   whoiscrf select  rank unlabeled records for manual labeling
+//   whoiscrf crawl   crawl the simulated .com and emit parsed JSON
+//
+// Run `whoiscrf <command> --help` for per-command flags.
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "cli/commands.h"
+
+namespace {
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: whoiscrf <command> [flags]\n"
+               "\n"
+               "commands:\n"
+               "  gen     --out FILE --count N [--seed S] [--drift F] "
+               "[--new-tld TLD]\n"
+               "  train   --data FILE --model FILE [--sgd] [--l2 SIGMA] "
+               "[--min-count K]\n"
+               "  parse   --model FILE [--in FILE] [--format "
+               "json|rdap|fields|labels]\n"
+               "  adapt   --model FILE --data FILE --out FILE\n"
+               "  eval    --model FILE --data FILE [--confusion]\n"
+               "  select  --model FILE --in FILE [--k N]\n"
+               "  crawl   [--domains N] [--seed S] [--model FILE] [--json]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  whoiscrf::util::FlagParser flags(argc, argv, 2);
+
+  try {
+    int code;
+    if (command == "gen") {
+      code = whoiscrf::cli::CmdGen(flags);
+    } else if (command == "train") {
+      code = whoiscrf::cli::CmdTrain(flags);
+    } else if (command == "parse") {
+      code = whoiscrf::cli::CmdParse(flags);
+    } else if (command == "adapt") {
+      code = whoiscrf::cli::CmdAdapt(flags);
+    } else if (command == "eval") {
+      code = whoiscrf::cli::CmdEval(flags);
+    } else if (command == "select") {
+      code = whoiscrf::cli::CmdSelect(flags);
+    } else if (command == "crawl") {
+      code = whoiscrf::cli::CmdCrawl(flags);
+    } else {
+      std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+      PrintUsage();
+      return 2;
+    }
+    for (const auto& unused : flags.UnconsumedFlags()) {
+      std::fprintf(stderr, "warning: unused flag %s\n", unused.c_str());
+    }
+    for (const auto& error : flags.errors()) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      code = 2;
+    }
+    return code;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,30 @@
+#include <cstdio>
+
+#include "cli/commands.h"
+#include "whois/training_data.h"
+#include "whois/whois_parser.h"
+
+namespace whoiscrf::cli {
+
+int CmdAdapt(util::FlagParser& flags) {
+  const std::string model_path = flags.GetString("model");
+  const std::string data = flags.GetString("data");
+  const std::string out = flags.GetString("out");
+  if (model_path.empty() || data.empty() || out.empty()) {
+    std::fprintf(stderr, "adapt: --model, --data and --out are required\n");
+    return 2;
+  }
+
+  const whois::WhoisParser base = whois::WhoisParser::LoadFile(model_path);
+  const auto records = whois::ReadLabeledRecordsFile(data);
+  std::printf("adapting %s with %zu labeled records "
+              "(warm-started retraining, paper §5.3)...\n",
+              model_path.c_str(), records.size());
+  const whois::WhoisParser adapted = base.Adapt(records);
+  adapted.SaveFile(out);
+  std::printf("adapted model written to %s (level-1: %zu features)\n",
+              out.c_str(), adapted.level1_model().num_weights());
+  return 0;
+}
+
+}  // namespace whoiscrf::cli

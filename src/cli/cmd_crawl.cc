@@ -1,0 +1,59 @@
+#include <cstdio>
+#include <memory>
+#include <optional>
+
+#include "cli/commands.h"
+#include "datagen/corpus_gen.h"
+#include "net/crawler.h"
+#include "net/simulation.h"
+#include "whois/json_export.h"
+#include "whois/whois_parser.h"
+
+namespace whoiscrf::cli {
+
+int CmdCrawl(util::FlagParser& flags) {
+  const auto domains = static_cast<size_t>(flags.GetInt("domains", 200));
+  const auto seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const std::string model_path = flags.GetString("model");
+  const bool as_json = flags.GetBool("json");
+
+  std::optional<whois::WhoisParser> parser;
+  if (!model_path.empty()) {
+    parser.emplace(whois::WhoisParser::LoadFile(model_path));
+  }
+
+  datagen::CorpusOptions corpus_options;
+  corpus_options.size = domains;
+  corpus_options.seed = seed;
+  const datagen::CorpusGenerator generator(corpus_options);
+
+  net::SimulationOptions sim_options;
+  sim_options.num_domains = domains;
+  auto sim = net::BuildSimulatedInternet(generator, sim_options);
+
+  net::SimClock clock;
+  net::CrawlerOptions crawl_options;
+  crawl_options.registry_server = sim.registry_server;
+  net::Crawler crawler(*sim.network, clock, crawl_options);
+
+  size_t emitted = 0;
+  for (const auto& result : crawler.CrawlAll(sim.zone_domains)) {
+    if (result.status != net::CrawlResult::Status::kOk) continue;
+    if (parser.has_value()) {
+      const whois::ParsedWhois parsed = parser->Parse(result.thick);
+      std::printf("%s\n", as_json ? whois::ToRdapJson(parsed).c_str()
+                                  : whois::ToJson(parsed).c_str());
+      ++emitted;
+    }
+  }
+
+  const auto& stats = crawler.stats();
+  std::fprintf(stderr,
+               "crawl: %zu ok, %zu no-match, %zu thin-only, %zu failed; "
+               "%zu queries, %zu limit hits, %zu parsed records emitted\n",
+               stats.ok, stats.no_match, stats.thin_only, stats.failed,
+               stats.queries_sent, stats.limit_hits, emitted);
+  return 0;
+}
+
+}  // namespace whoiscrf::cli

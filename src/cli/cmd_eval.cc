@@ -1,0 +1,48 @@
+#include <cstdio>
+
+#include "cli/commands.h"
+#include "crf/evaluation.h"
+#include "whois/training_data.h"
+#include "whois/whois_parser.h"
+
+namespace whoiscrf::cli {
+
+int CmdEval(util::FlagParser& flags) {
+  const std::string model_path = flags.GetString("model");
+  const std::string data = flags.GetString("data");
+  if (model_path.empty() || data.empty()) {
+    std::fprintf(stderr, "eval: --model and --data are required\n");
+    return 2;
+  }
+  const bool confusion = flags.GetBool("confusion");
+
+  const whois::WhoisParser parser = whois::WhoisParser::LoadFile(model_path);
+  const auto records = whois::ReadLabeledRecordsFile(data);
+
+  crf::Evaluator evaluator(whois::kNumLevel1Labels);
+  for (const auto& record : records) {
+    const auto predicted = parser.LabelLines(record.text);
+    std::vector<int> gold;
+    std::vector<int> pred;
+    gold.reserve(record.labels.size());
+    for (size_t t = 0; t < record.labels.size(); ++t) {
+      gold.push_back(static_cast<int>(record.labels[t]));
+      pred.push_back(static_cast<int>(predicted[t]));
+    }
+    evaluator.AddDocument(gold, pred);
+  }
+
+  const auto& result = evaluator.result();
+  std::printf("records:              %zu\n", result.total_documents);
+  std::printf("lines:                %zu\n", result.total_lines);
+  std::printf("line error rate:      %.5f (%zu wrong)\n",
+              result.LineErrorRate(), result.wrong_lines);
+  std::printf("document error rate:  %.5f (%zu wrong)\n",
+              result.DocumentErrorRate(), result.wrong_documents);
+  if (confusion) {
+    std::printf("\n%s", evaluator.RenderConfusion(whois::Level1Names()).c_str());
+  }
+  return result.wrong_lines == 0 ? 0 : 1;
+}
+
+}  // namespace whoiscrf::cli

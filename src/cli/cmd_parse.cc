@@ -1,0 +1,88 @@
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "cli/commands.h"
+#include "text/line_splitter.h"
+#include "util/string_util.h"
+#include "whois/json_export.h"
+#include "whois/whois_parser.h"
+
+namespace whoiscrf::cli {
+
+std::vector<std::string> ReadRawRecords(const std::string& path) {
+  std::string content;
+  if (path.empty()) {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    content = buffer.str();
+  } else {
+    std::ifstream is(path);
+    if (!is) throw std::runtime_error("cannot open " + path);
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    content = buffer.str();
+  }
+
+  std::vector<std::string> records;
+  std::string current;
+  for (std::string_view line : util::SplitLines(content)) {
+    if (util::Trim(line) == "%%") {
+      if (!current.empty()) records.push_back(std::move(current));
+      current.clear();
+      continue;
+    }
+    current.append(line);
+    current.push_back('\n');
+  }
+  if (util::HasAlnum(current)) records.push_back(std::move(current));
+  return records;
+}
+
+int CmdParse(util::FlagParser& flags) {
+  const std::string model_path = flags.GetString("model");
+  const std::string in = flags.GetString("in");
+  const std::string format = flags.GetString("format", "fields");
+  if (model_path.empty()) {
+    std::fprintf(stderr, "parse: --model is required\n");
+    return 2;
+  }
+  const whois::WhoisParser parser = whois::WhoisParser::LoadFile(model_path);
+
+  for (const std::string& record : ReadRawRecords(in)) {
+    const whois::ParsedWhois parsed = parser.Parse(record);
+    if (format == "json") {
+      std::printf("%s\n", whois::ToJson(parsed).c_str());
+    } else if (format == "rdap") {
+      std::printf("%s\n", whois::ToRdapJson(parsed).c_str());
+    } else if (format == "labels") {
+      const auto lines = text::SplitRecord(record);
+      for (size_t t = 0; t < lines.size(); ++t) {
+        std::printf("%-10s %s\n",
+                    std::string(whois::Level1Name(parsed.line_labels[t]))
+                        .c_str(),
+                    lines[t].text.c_str());
+      }
+      std::printf("\n");
+    } else if (format == "fields") {
+      std::printf("domain:     %s\n", parsed.domain_name.c_str());
+      std::printf("registrar:  %s\n", parsed.registrar.c_str());
+      std::printf("created:    %s\n", parsed.created.c_str());
+      std::printf("expires:    %s\n", parsed.expires.c_str());
+      std::printf("registrant: %s%s%s\n", parsed.registrant.name.c_str(),
+                  parsed.registrant.org.empty() ? "" : " / ",
+                  parsed.registrant.org.c_str());
+      std::printf("country:    %s\n", parsed.registrant.country.c_str());
+      std::printf("email:      %s\n", parsed.registrant.email.c_str());
+      std::printf("confidence: %.4f\n\n", parsed.log_prob);
+    } else {
+      std::fprintf(stderr, "parse: unknown --format '%s'\n", format.c_str());
+      return 2;
+    }
+  }
+  return 0;
+}
+
+}  // namespace whoiscrf::cli

@@ -1,0 +1,42 @@
+#include <cstdio>
+
+#include "cli/commands.h"
+#include "whois/training_data.h"
+#include "whois/whois_parser.h"
+
+namespace whoiscrf::cli {
+
+int CmdTrain(util::FlagParser& flags) {
+  const std::string data = flags.GetString("data");
+  const std::string model = flags.GetString("model");
+  if (data.empty() || model.empty()) {
+    std::fprintf(stderr, "train: --data and --model are required\n");
+    return 2;
+  }
+
+  whois::WhoisParserOptions options;
+  options.trainer.l2_sigma = flags.GetDouble("l2", 10.0);
+  options.trainer.min_attr_count =
+      static_cast<uint32_t>(flags.GetInt("min-count", 1));
+  options.trainer.lbfgs.max_iterations =
+      static_cast<int>(flags.GetInt("iterations", 150));
+  options.trainer.threads = static_cast<size_t>(flags.GetInt("threads", 0));
+  if (flags.GetBool("sgd")) {
+    options.trainer.algorithm = crf::Algorithm::kSgd;
+    options.trainer.sgd.epochs =
+        static_cast<int>(flags.GetInt("epochs", 30));
+  }
+  options.trainer.verbose = flags.GetBool("verbose");
+
+  const auto records = whois::ReadLabeledRecordsFile(data);
+  std::printf("training on %zu labeled records from %s...\n", records.size(),
+              data.c_str());
+  const whois::WhoisParser parser = whois::WhoisParser::Train(records, options);
+  parser.SaveFile(model);
+  std::printf("model written to %s (level-1: %zu features, level-2: %zu)\n",
+              model.c_str(), parser.level1_model().num_weights(),
+              parser.level2_model().num_weights());
+  return 0;
+}
+
+}  // namespace whoiscrf::cli

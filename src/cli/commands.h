@@ -1,0 +1,48 @@
+// Subcommands of the `whoiscrf` command-line tool. Each takes the parsed
+// flags and returns a process exit code. Implementations live in one file
+// per command; cli_main.cc dispatches.
+#pragma once
+
+#include "util/flags.h"
+
+namespace whoiscrf::cli {
+
+// whoiscrf gen     --out FILE --count N [--seed S] [--drift F] [--new-tld T]
+// Generates a labeled synthetic corpus in the training-data text format.
+int CmdGen(util::FlagParser& flags);
+
+// whoiscrf train   --data FILE --model FILE [--sgd] [--l2 SIGMA]
+//                  [--min-count K] [--iterations N] [--threads N]
+// Trains the two-level parser from labeled records.
+int CmdTrain(util::FlagParser& flags);
+
+// whoiscrf parse   --model FILE [--in FILE] [--format json|rdap|fields|labels]
+// Parses raw records (from --in or stdin; multiple records separated by a
+// line containing only "%%") and prints structured output.
+int CmdParse(util::FlagParser& flags);
+
+// whoiscrf adapt   --model FILE --data FILE --out FILE
+// Warm-started retraining (the §5.3 maintenance workflow): --data is the
+// training set including any newly labeled failure cases.
+int CmdAdapt(util::FlagParser& flags);
+
+// whoiscrf eval    --model FILE --data FILE [--confusion]
+// Evaluates a trained model against labeled records (line/document error).
+int CmdEval(util::FlagParser& flags);
+
+// whoiscrf select  --model FILE --in FILE [--k N]
+// Active learning: ranks unlabeled records by parse confidence and prints
+// the k records most in need of manual labeling.
+int CmdSelect(util::FlagParser& flags);
+
+// whoiscrf crawl   [--domains N] [--seed S] [--model FILE] [--json]
+// Runs the simulated registry/registrar crawl; with --model, parses every
+// thick record and emits one JSON object per domain.
+int CmdCrawl(util::FlagParser& flags);
+
+// Reads raw records from a file or stdin ("" = stdin): records are
+// separated by lines containing only "%%"; a file with no separator is one
+// record. Shared by parse/select.
+std::vector<std::string> ReadRawRecords(const std::string& path);
+
+}  // namespace whoiscrf::cli

@@ -1,0 +1,77 @@
+#include "crf/evaluation.h"
+
+#include <stdexcept>
+
+#include "util/table.h"
+
+namespace whoiscrf::crf {
+
+Evaluator::Evaluator(size_t num_labels)
+    : num_labels_(num_labels), confusion_(num_labels * num_labels, 0) {
+  if (num_labels == 0) {
+    throw std::invalid_argument("Evaluator: num_labels must be positive");
+  }
+}
+
+void Evaluator::AddDocument(const std::vector<int>& gold,
+                            const std::vector<int>& predicted) {
+  if (gold.size() != predicted.size()) {
+    throw std::invalid_argument("Evaluator: length mismatch");
+  }
+  bool any_wrong = false;
+  for (size_t t = 0; t < gold.size(); ++t) {
+    const auto g = static_cast<size_t>(gold[t]);
+    const auto p = static_cast<size_t>(predicted[t]);
+    if (g >= num_labels_ || p >= num_labels_) {
+      throw std::out_of_range("Evaluator: label out of range");
+    }
+    ++confusion_[g * num_labels_ + p];
+    ++result_.total_lines;
+    if (g != p) {
+      ++result_.wrong_lines;
+      any_wrong = true;
+    }
+  }
+  ++result_.total_documents;
+  if (any_wrong) ++result_.wrong_documents;
+}
+
+size_t Evaluator::confusion(size_t gold, size_t predicted) const {
+  return confusion_[gold * num_labels_ + predicted];
+}
+
+double Evaluator::Recall(size_t label) const {
+  size_t total = 0;
+  for (size_t p = 0; p < num_labels_; ++p) total += confusion(label, p);
+  return total == 0 ? 0.0
+                    : static_cast<double>(confusion(label, label)) /
+                          static_cast<double>(total);
+}
+
+double Evaluator::Precision(size_t label) const {
+  size_t total = 0;
+  for (size_t g = 0; g < num_labels_; ++g) total += confusion(g, label);
+  return total == 0 ? 0.0
+                    : static_cast<double>(confusion(label, label)) /
+                          static_cast<double>(total);
+}
+
+std::string Evaluator::RenderConfusion(
+    const std::vector<std::string>& names) const {
+  if (names.size() != num_labels_) {
+    throw std::invalid_argument("Evaluator: names size mismatch");
+  }
+  std::vector<std::string> headers{"gold\\pred"};
+  for (const auto& n : names) headers.push_back(n);
+  util::TextTable table(std::move(headers));
+  for (size_t g = 0; g < num_labels_; ++g) {
+    std::vector<std::string> row{names[g]};
+    for (size_t p = 0; p < num_labels_; ++p) {
+      row.push_back(std::to_string(confusion(g, p)));
+    }
+    table.AddRow(std::move(row));
+  }
+  return table.Render();
+}
+
+}  // namespace whoiscrf::crf

@@ -1,0 +1,60 @@
+// Evaluation metrics from the paper (§5.1): line error rate (fraction of
+// mislabeled lines across all records) and document error rate (fraction of
+// records with at least one mislabeled line), plus a per-label confusion
+// matrix for error analysis.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace whoiscrf::crf {
+
+struct EvalResult {
+  size_t total_lines = 0;
+  size_t wrong_lines = 0;
+  size_t total_documents = 0;
+  size_t wrong_documents = 0;
+
+  double LineErrorRate() const {
+    return total_lines == 0
+               ? 0.0
+               : static_cast<double>(wrong_lines) /
+                     static_cast<double>(total_lines);
+  }
+  double DocumentErrorRate() const {
+    return total_documents == 0
+               ? 0.0
+               : static_cast<double>(wrong_documents) /
+                     static_cast<double>(total_documents);
+  }
+};
+
+class Evaluator {
+ public:
+  explicit Evaluator(size_t num_labels);
+
+  // Adds one document's predictions against gold labels (same length).
+  void AddDocument(const std::vector<int>& gold,
+                   const std::vector<int>& predicted);
+
+  const EvalResult& result() const { return result_; }
+
+  // confusion(g, p) = number of lines with gold label g predicted as p.
+  size_t confusion(size_t gold, size_t predicted) const;
+
+  // Per-label recall: fraction of gold-g lines predicted as g.
+  double Recall(size_t label) const;
+  // Per-label precision: fraction of predicted-g lines whose gold is g.
+  double Precision(size_t label) const;
+
+  // Pretty-printed confusion matrix with the given label names.
+  std::string RenderConfusion(const std::vector<std::string>& names) const;
+
+ private:
+  size_t num_labels_;
+  EvalResult result_;
+  std::vector<size_t> confusion_;  // num_labels^2
+};
+
+}  // namespace whoiscrf::crf

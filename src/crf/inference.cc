@@ -1,0 +1,166 @@
+#include "crf/inference.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace whoiscrf::crf {
+
+double LogSumExp(const double* v, int n) {
+  double max = -std::numeric_limits<double>::infinity();
+  for (int i = 0; i < n; ++i) {
+    if (v[i] > max) max = v[i];
+  }
+  if (!std::isfinite(max)) return max;  // all -inf
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += std::exp(v[i] - max);
+  return max + std::log(sum);
+}
+
+namespace {
+
+// Forward recursion: alpha[t*L+j] = log sum over paths ending in j at t.
+void Forward(const CrfModel::Scores& s, std::vector<double>& alpha) {
+  const int T = s.T;
+  const int L = s.L;
+  alpha.assign(static_cast<size_t>(T) * L, 0.0);
+  for (int j = 0; j < L; ++j) alpha[j] = s.unary[j];
+  std::vector<double> scratch(static_cast<size_t>(L));
+  for (int t = 1; t < T; ++t) {
+    const double* alpha_prev = &alpha[static_cast<size_t>(t - 1) * L];
+    const double* pair_t = &s.pairwise[static_cast<size_t>(t) * L * L];
+    double* alpha_t = &alpha[static_cast<size_t>(t) * L];
+    for (int j = 0; j < L; ++j) {
+      for (int i = 0; i < L; ++i) {
+        scratch[static_cast<size_t>(i)] = alpha_prev[i] + pair_t[i * L + j];
+      }
+      alpha_t[j] = s.unary[static_cast<size_t>(t) * L + j] +
+                   LogSumExp(scratch.data(), L);
+    }
+  }
+}
+
+// Backward recursion: beta[t*L+i] = log sum over paths continuing from i.
+void Backward(const CrfModel::Scores& s, std::vector<double>& beta) {
+  const int T = s.T;
+  const int L = s.L;
+  beta.assign(static_cast<size_t>(T) * L, 0.0);
+  std::vector<double> scratch(static_cast<size_t>(L));
+  for (int t = T - 2; t >= 0; --t) {
+    const double* beta_next = &beta[static_cast<size_t>(t + 1) * L];
+    const double* pair_next = &s.pairwise[static_cast<size_t>(t + 1) * L * L];
+    double* beta_t = &beta[static_cast<size_t>(t) * L];
+    for (int i = 0; i < L; ++i) {
+      for (int j = 0; j < L; ++j) {
+        scratch[static_cast<size_t>(j)] =
+            pair_next[i * L + j] +
+            s.unary[static_cast<size_t>(t + 1) * L + j] + beta_next[j];
+      }
+      beta_t[i] = LogSumExp(scratch.data(), L);
+    }
+  }
+}
+
+}  // namespace
+
+double LogPartition(const CrfModel::Scores& scores) {
+  if (scores.T <= 0) throw std::invalid_argument("LogPartition: empty");
+  std::vector<double> alpha;
+  Forward(scores, alpha);
+  return LogSumExp(&alpha[static_cast<size_t>(scores.T - 1) * scores.L],
+                   scores.L);
+}
+
+Posteriors ForwardBackward(const CrfModel::Scores& s) {
+  if (s.T <= 0) throw std::invalid_argument("ForwardBackward: empty");
+  const int T = s.T;
+  const int L = s.L;
+
+  std::vector<double> alpha;
+  std::vector<double> beta;
+  Forward(s, alpha);
+  Backward(s, beta);
+
+  Posteriors p;
+  p.T = T;
+  p.L = L;
+  p.log_z = LogSumExp(&alpha[static_cast<size_t>(T - 1) * L], L);
+  p.node.assign(static_cast<size_t>(T) * L, 0.0);
+  p.edge.assign(static_cast<size_t>(T) * L * L, 0.0);
+
+  for (int t = 0; t < T; ++t) {
+    for (int j = 0; j < L; ++j) {
+      const size_t idx = static_cast<size_t>(t) * L + j;
+      p.node[idx] = std::exp(alpha[idx] + beta[idx] - p.log_z);
+    }
+  }
+  for (int t = 1; t < T; ++t) {
+    const double* alpha_prev = &alpha[static_cast<size_t>(t - 1) * L];
+    const double* beta_t = &beta[static_cast<size_t>(t) * L];
+    const double* pair_t = &s.pairwise[static_cast<size_t>(t) * L * L];
+    double* edge_t = &p.edge[static_cast<size_t>(t) * L * L];
+    for (int i = 0; i < L; ++i) {
+      for (int j = 0; j < L; ++j) {
+        edge_t[i * L + j] = std::exp(
+            alpha_prev[i] + pair_t[i * L + j] +
+            s.unary[static_cast<size_t>(t) * L + j] + beta_t[j] - p.log_z);
+      }
+    }
+  }
+  return p;
+}
+
+double SequenceLogProb(const CrfModel::Scores& s,
+                       const std::vector<int>& labels) {
+  if (static_cast<int>(labels.size()) != s.T) {
+    throw std::invalid_argument("SequenceLogProb: label length mismatch");
+  }
+  double score = 0.0;
+  for (int t = 0; t < s.T; ++t) {
+    score += s.unary[static_cast<size_t>(t) * s.L + labels[static_cast<size_t>(t)]];
+    if (t >= 1) {
+      score += s.pairwise[static_cast<size_t>(t) * s.L * s.L +
+                          labels[static_cast<size_t>(t - 1)] * s.L +
+                          labels[static_cast<size_t>(t)]];
+    }
+  }
+  return score - LogPartition(s);
+}
+
+double LogPartitionBruteForce(const CrfModel::Scores& s) {
+  if (s.T <= 0) throw std::invalid_argument("BruteForce: empty");
+  const int T = s.T;
+  const int L = s.L;
+  double total = -std::numeric_limits<double>::infinity();
+  std::vector<int> labels(static_cast<size_t>(T), 0);
+  while (true) {
+    double score = 0.0;
+    for (int t = 0; t < T; ++t) {
+      score += s.unary[static_cast<size_t>(t) * L + labels[static_cast<size_t>(t)]];
+      if (t >= 1) {
+        score += s.pairwise[static_cast<size_t>(t) * L * L +
+                            labels[static_cast<size_t>(t - 1)] * L +
+                            labels[static_cast<size_t>(t)]];
+      }
+    }
+    // total = logaddexp(total, score)
+    if (score > total) {
+      total = std::isfinite(total)
+                  ? score + std::log1p(std::exp(total - score))
+                  : score;
+    } else {
+      total = total + std::log1p(std::exp(score - total));
+    }
+    // Odometer increment over label assignments.
+    int pos = 0;
+    while (pos < T) {
+      if (++labels[static_cast<size_t>(pos)] < L) break;
+      labels[static_cast<size_t>(pos)] = 0;
+      ++pos;
+    }
+    if (pos == T) break;
+  }
+  return total;
+}
+
+}  // namespace whoiscrf::crf

@@ -1,0 +1,46 @@
+// Probabilistic inference for linear-chain CRFs (paper appendix A).
+//
+// All recursions run in the log domain: the paper's matrices M_t (eq. 9)
+// are represented by their logarithms (the Scores struct), and products of
+// M_t become log-sum-exp recursions. This is numerically exact for any
+// sequence length, unlike the literal matrix-product form of eq. 10 which
+// overflows for long records.
+#pragma once
+
+#include <vector>
+
+#include "crf/model.h"
+
+namespace whoiscrf::crf {
+
+// Result of the forward-backward pass over one sequence.
+struct Posteriors {
+  int T = 0;
+  int L = 0;
+  double log_z = 0.0;            // log of eq. 3/10's normalizer
+  std::vector<double> node;      // T*L, node[t*L+j]   = Pr(y_t = j | x)
+  std::vector<double> edge;      // T*L*L, edge[t*L*L+i*L+j]
+                                 //   = Pr(y_{t-1}=i, y_t=j | x), t >= 1
+};
+
+// log(sum_i exp(v[i])) over `n` entries, guarded against -inf inputs.
+double LogSumExp(const double* v, int n);
+
+// Computes log Z_theta(x) (eq. 10, in log domain) for the given scores.
+double LogPartition(const CrfModel::Scores& scores);
+
+// Full forward-backward: log-partition plus node and edge marginals
+// (eq. 12). Requires scores.T >= 1.
+Posteriors ForwardBackward(const CrfModel::Scores& scores);
+
+// Log-probability of a specific label path under the scores:
+//   sum_t theta.f - log Z. `labels` must have length scores.T.
+double SequenceLogProb(const CrfModel::Scores& scores,
+                       const std::vector<int>& labels);
+
+// Brute-force log-partition by explicit enumeration of all L^T paths.
+// O(L^T) — only usable for tiny T; exists to validate the dynamic program
+// in tests.
+double LogPartitionBruteForce(const CrfModel::Scores& scores);
+
+}  // namespace whoiscrf::crf

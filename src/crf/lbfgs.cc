@@ -1,0 +1,160 @@
+#include "crf/lbfgs.h"
+
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace whoiscrf::crf {
+
+namespace {
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double InfNorm(const std::vector<double>& v) {
+  double m = 0.0;
+  for (double x : v) {
+    const double a = std::fabs(x);
+    if (a > m) m = a;
+  }
+  return m;
+}
+
+}  // namespace
+
+LbfgsOptimizer::LbfgsOptimizer(Options options) : options_(options) {
+  if (options_.history < 1) {
+    throw std::invalid_argument("LbfgsOptimizer: history must be >= 1");
+  }
+}
+
+LbfgsOptimizer::Result LbfgsOptimizer::Minimize(const Objective& f,
+                                                std::vector<double>& w) const {
+  const size_t n = w.size();
+  Result result;
+
+  std::vector<double> grad(n);
+  double value = f(w, grad);
+  ++result.evaluations;
+
+  struct Pair {
+    std::vector<double> s;  // x_{k+1} - x_k
+    std::vector<double> y;  // g_{k+1} - g_k
+    double rho;             // 1 / (y . s)
+  };
+  std::deque<Pair> pairs;
+
+  std::vector<double> direction(n);
+  std::vector<double> w_next(n);
+  std::vector<double> grad_next(n);
+  std::vector<double> alpha_buf;
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    if (InfNorm(grad) <= options_.grad_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Two-loop recursion: direction = -H_k * grad.
+    direction = grad;
+    alpha_buf.assign(pairs.size(), 0.0);
+    for (size_t i = pairs.size(); i-- > 0;) {
+      const Pair& p = pairs[i];
+      alpha_buf[i] = p.rho * Dot(p.s, direction);
+      for (size_t k = 0; k < n; ++k) direction[k] -= alpha_buf[i] * p.y[k];
+    }
+    if (!pairs.empty()) {
+      const Pair& last = pairs.back();
+      const double yy = Dot(last.y, last.y);
+      if (yy > 0.0) {
+        const double scale = Dot(last.s, last.y) / yy;
+        for (double& d : direction) d *= scale;
+      }
+    }
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      const Pair& p = pairs[i];
+      const double beta = p.rho * Dot(p.y, direction);
+      for (size_t k = 0; k < n; ++k) {
+        direction[k] += (alpha_buf[i] - beta) * p.s[k];
+      }
+    }
+    for (double& d : direction) d = -d;
+
+    double dir_deriv = Dot(grad, direction);
+    if (dir_deriv >= 0.0) {
+      // Not a descent direction (can happen right after skipped updates);
+      // fall back to steepest descent.
+      for (size_t k = 0; k < n; ++k) direction[k] = -grad[k];
+      dir_deriv = -Dot(grad, grad);
+      if (dir_deriv == 0.0) {
+        result.converged = true;
+        break;
+      }
+    }
+
+    // Backtracking Armijo line search.
+    constexpr double kC1 = 1e-4;
+    double step = 1.0;
+    double value_next = value;
+    bool accepted = false;
+    for (int ls = 0; ls < options_.max_line_search_steps; ++ls) {
+      for (size_t k = 0; k < n; ++k) w_next[k] = w[k] + step * direction[k];
+      value_next = f(w_next, grad_next);
+      ++result.evaluations;
+      if (std::isfinite(value_next) &&
+          value_next <= value + kC1 * step * dir_deriv) {
+        accepted = true;
+        break;
+      }
+      step *= 0.5;
+    }
+    if (!accepted) {
+      LOG_DEBUG("lbfgs: line search failed at iter %d (f=%.6f)", iter, value);
+      break;
+    }
+
+    // Store the curvature pair if it maintains positive definiteness.
+    Pair p;
+    p.s.resize(n);
+    p.y.resize(n);
+    for (size_t k = 0; k < n; ++k) {
+      p.s[k] = w_next[k] - w[k];
+      p.y[k] = grad_next[k] - grad[k];
+    }
+    const double sy = Dot(p.s, p.y);
+    if (sy > 1e-10) {
+      p.rho = 1.0 / sy;
+      pairs.push_back(std::move(p));
+      if (static_cast<int>(pairs.size()) > options_.history) {
+        pairs.pop_front();
+      }
+    }
+
+    const double improvement = value - value_next;
+    w.swap(w_next);
+    grad.swap(grad_next);
+    value = value_next;
+    result.iterations = iter + 1;
+
+    if (options_.verbose) {
+      LOG_INFO("lbfgs iter %3d  f=%.6f  |g|=%.3g  step=%.3g", iter + 1, value,
+               InfNorm(grad), step);
+    }
+    if (improvement >= 0.0 &&
+        improvement <= options_.value_rel_tolerance *
+                           (std::fabs(value) + 1e-12)) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.value = value;
+  return result;
+}
+
+}  // namespace whoiscrf::crf

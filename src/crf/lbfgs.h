@@ -1,0 +1,48 @@
+// Limited-memory BFGS (paper §3.1/§3.3: parameters are fit with L-BFGS,
+// following Nocedal & Wright). Generic unconstrained minimizer over a
+// differentiable objective; the two-loop recursion approximates the inverse
+// Hessian from the last `history` curvature pairs, and a backtracking
+// Armijo line search guarantees sufficient decrease. Curvature pairs with
+// non-positive s.y are skipped so the inverse-Hessian approximation stays
+// positive definite (the objective here is convex, so this is rare and
+// benign).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace whoiscrf::crf {
+
+class LbfgsOptimizer {
+ public:
+  struct Options {
+    int history = 6;                // m: stored curvature pairs
+    int max_iterations = 200;
+    double grad_tolerance = 1e-4;   // stop when ||g||_inf <= this
+    double value_rel_tolerance = 1e-8;  // stop on tiny relative improvement
+    int max_line_search_steps = 40;
+    bool verbose = false;
+  };
+
+  struct Result {
+    double value = 0.0;
+    int iterations = 0;
+    bool converged = false;
+    int evaluations = 0;
+  };
+
+  // Objective: given w, writes gradient (same size) and returns f(w).
+  using Objective =
+      std::function<double(const std::vector<double>&, std::vector<double>&)>;
+
+  LbfgsOptimizer() : LbfgsOptimizer(Options()) {}
+  explicit LbfgsOptimizer(Options options);
+
+  // Minimizes f starting from (and updating) `w`.
+  Result Minimize(const Objective& f, std::vector<double>& w) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace whoiscrf::crf

@@ -1,0 +1,114 @@
+#include "crf/likelihood.h"
+
+#include <stdexcept>
+
+#include "crf/inference.h"
+
+namespace whoiscrf::crf {
+
+LogLikelihood::LogLikelihood(CrfModel& model, const Dataset& data,
+                             double l2_sigma, util::ThreadPool* pool)
+    : model_(model), data_(data), l2_sigma_(l2_sigma), pool_(pool) {
+  if (data_.sequences.size() != data_.labels.size()) {
+    throw std::invalid_argument("LogLikelihood: dataset size mismatch");
+  }
+  for (size_t r = 0; r < data_.size(); ++r) {
+    if (data_.sequences[r].size() != data_.labels[r].size()) {
+      throw std::invalid_argument(
+          "LogLikelihood: sequence/label length mismatch");
+    }
+  }
+}
+
+void LogLikelihood::AccumulateSequence(size_t index,
+                                       std::vector<double>& grad,
+                                       double& nll) const {
+  const CompiledSequence& seq = data_.sequences[index];
+  const std::vector<int>& gold = data_.labels[index];
+  if (seq.empty()) return;
+
+  const CrfModel::Scores scores = model_.ComputeScores(seq);
+  const Posteriors post = ForwardBackward(scores);
+  const int L = scores.L;
+
+  // NLL contribution: log Z - theta . f(gold).
+  double gold_score = 0.0;
+  for (size_t t = 0; t < seq.size(); ++t) {
+    gold_score += scores.unary[t * static_cast<size_t>(L) +
+                               static_cast<size_t>(gold[t])];
+    if (t >= 1) {
+      gold_score += scores.pairwise[t * static_cast<size_t>(L * L) +
+                                    static_cast<size_t>(gold[t - 1]) * L +
+                                    static_cast<size_t>(gold[t])];
+    }
+  }
+  nll += post.log_z - gold_score;
+
+  // Gradient: expected counts minus empirical counts, per feature.
+  for (size_t t = 0; t < seq.size(); ++t) {
+    const double* node_t = &post.node[t * static_cast<size_t>(L)];
+    for (int attr : seq[t].attrs) {
+      double* w = &grad[model_.UnigramIndex(attr, 0)];
+      for (int j = 0; j < L; ++j) w[j] += node_t[j];
+      grad[model_.UnigramIndex(attr, gold[t])] -= 1.0;
+    }
+    if (t == 0) continue;
+    const double* edge_t = &post.edge[t * static_cast<size_t>(L * L)];
+    {
+      double* w = &grad[model_.TransitionIndex(0, 0)];
+      for (int ij = 0; ij < L * L; ++ij) w[ij] += edge_t[ij];
+      grad[model_.TransitionIndex(gold[t - 1], gold[t])] -= 1.0;
+    }
+    for (int slot : seq[t].trans_slots) {
+      double* w = &grad[model_.ObservedTransitionIndex(slot, 0, 0)];
+      for (int ij = 0; ij < L * L; ++ij) w[ij] += edge_t[ij];
+      grad[model_.ObservedTransitionIndex(slot, gold[t - 1], gold[t])] -= 1.0;
+    }
+  }
+}
+
+double LogLikelihood::Evaluate(const std::vector<double>& w,
+                               std::vector<double>& grad) {
+  if (w.size() != model_.num_weights()) {
+    throw std::invalid_argument("LogLikelihood::Evaluate: bad weight size");
+  }
+  model_.weights() = w;
+  grad.assign(w.size(), 0.0);
+  double nll = 0.0;
+
+  if (pool_ == nullptr || pool_->size() <= 1 || data_.size() < 2) {
+    for (size_t r = 0; r < data_.size(); ++r) {
+      AccumulateSequence(r, grad, nll);
+    }
+  } else {
+    const size_t chunks = std::min(data_.size(), pool_->size());
+    std::vector<std::vector<double>> chunk_grads(
+        chunks, std::vector<double>(w.size(), 0.0));
+    std::vector<double> chunk_nll(chunks, 0.0);
+    pool_->ParallelChunks(data_.size(),
+                          [&](size_t begin, size_t end, size_t chunk) {
+                            for (size_t r = begin; r < end; ++r) {
+                              AccumulateSequence(r, chunk_grads[chunk],
+                                                 chunk_nll[chunk]);
+                            }
+                          });
+    for (size_t c = 0; c < chunks; ++c) {
+      nll += chunk_nll[c];
+      const std::vector<double>& cg = chunk_grads[c];
+      for (size_t k = 0; k < grad.size(); ++k) grad[k] += cg[k];
+    }
+  }
+
+  if (l2_sigma_ > 0.0) {
+    const double inv_var = 1.0 / (l2_sigma_ * l2_sigma_);
+    double penalty = 0.0;
+    for (size_t k = 0; k < w.size(); ++k) {
+      penalty += w[k] * w[k];
+      grad[k] += w[k] * inv_var;
+    }
+    nll += 0.5 * penalty * inv_var;
+  }
+  return nll;
+}
+
+}  // namespace whoiscrf::crf

@@ -1,0 +1,195 @@
+#include "crf/model.h"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace whoiscrf::crf {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x57435246;  // "WCRF"
+constexpr uint32_t kVersion = 1;
+
+void WriteU32(std::ostream& os, uint32_t v) {
+  unsigned char buf[4] = {
+      static_cast<unsigned char>(v), static_cast<unsigned char>(v >> 8),
+      static_cast<unsigned char>(v >> 16), static_cast<unsigned char>(v >> 24)};
+  os.write(reinterpret_cast<const char*>(buf), 4);
+}
+
+uint32_t ReadU32(std::istream& is) {
+  unsigned char buf[4];
+  is.read(reinterpret_cast<char*>(buf), 4);
+  if (!is) throw std::runtime_error("CrfModel::Load: truncated stream");
+  return static_cast<uint32_t>(buf[0]) | (static_cast<uint32_t>(buf[1]) << 8) |
+         (static_cast<uint32_t>(buf[2]) << 16) |
+         (static_cast<uint32_t>(buf[3]) << 24);
+}
+
+void WriteString(std::ostream& os, const std::string& s) {
+  WriteU32(os, static_cast<uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string ReadString(std::istream& is) {
+  const uint32_t len = ReadU32(is);
+  std::string s(len, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(len));
+  if (!is) throw std::runtime_error("CrfModel::Load: truncated stream");
+  return s;
+}
+
+}  // namespace
+
+CrfModel::CrfModel(std::vector<std::string> label_names,
+                   text::Vocabulary vocab,
+                   std::vector<int> transition_attr_ids)
+    : label_names_(std::move(label_names)),
+      vocab_(std::move(vocab)),
+      slot_attrs_(std::move(transition_attr_ids)) {
+  if (label_names_.size() < 2) {
+    throw std::invalid_argument("CrfModel: need at least two labels");
+  }
+  if (!vocab_.frozen()) {
+    throw std::invalid_argument("CrfModel: vocabulary must be frozen");
+  }
+  for (size_t s = 0; s < slot_attrs_.size(); ++s) {
+    slot_of_attr_.emplace(slot_attrs_[s], static_cast<int>(s));
+  }
+  const size_t L = label_names_.size();
+  unigram_block_ = vocab_.size() * L;
+  transition_block_ = L * L;
+  weights_.assign(unigram_block_ + transition_block_ +
+                      slot_attrs_.size() * L * L,
+                  0.0);
+}
+
+size_t CrfModel::UnigramIndex(int attr_id, int label) const {
+  return static_cast<size_t>(attr_id) * static_cast<size_t>(num_labels()) +
+         static_cast<size_t>(label);
+}
+
+size_t CrfModel::TransitionIndex(int prev_label, int label) const {
+  return unigram_block_ +
+         static_cast<size_t>(prev_label) * static_cast<size_t>(num_labels()) +
+         static_cast<size_t>(label);
+}
+
+size_t CrfModel::ObservedTransitionIndex(int slot, int prev_label,
+                                         int label) const {
+  const size_t L = static_cast<size_t>(num_labels());
+  return unigram_block_ + transition_block_ +
+         static_cast<size_t>(slot) * L * L +
+         static_cast<size_t>(prev_label) * L + static_cast<size_t>(label);
+}
+
+CompiledSequence CrfModel::Compile(
+    const std::vector<text::LineAttributes>& lines) const {
+  CompiledSequence seq;
+  seq.reserve(lines.size());
+  for (const auto& line : lines) {
+    CompiledItem item;
+    item.attrs.reserve(line.attrs.size());
+    for (size_t i = 0; i < line.attrs.size(); ++i) {
+      const int id = vocab_.Lookup(line.attrs[i]);
+      if (id == text::Vocabulary::kNotFound) continue;
+      item.attrs.push_back(id);
+      if (line.transition[i]) {
+        auto it = slot_of_attr_.find(id);
+        if (it != slot_of_attr_.end()) item.trans_slots.push_back(it->second);
+      }
+    }
+    seq.push_back(std::move(item));
+  }
+  return seq;
+}
+
+CrfModel::Scores CrfModel::ComputeScores(const CompiledSequence& seq) const {
+  Scores s;
+  s.T = static_cast<int>(seq.size());
+  s.L = num_labels();
+  const size_t L = static_cast<size_t>(s.L);
+  s.unary.assign(static_cast<size_t>(s.T) * L, 0.0);
+  s.pairwise.assign(static_cast<size_t>(s.T) * L * L, 0.0);
+
+  for (size_t t = 0; t < seq.size(); ++t) {
+    double* unary_t = &s.unary[t * L];
+    for (int attr : seq[t].attrs) {
+      const double* w = &weights_[UnigramIndex(attr, 0)];
+      for (size_t j = 0; j < L; ++j) unary_t[j] += w[j];
+    }
+    if (t == 0) continue;
+    double* pair_t = &s.pairwise[t * L * L];
+    const double* trans = &weights_[TransitionIndex(0, 0)];
+    for (size_t ij = 0; ij < L * L; ++ij) pair_t[ij] = trans[ij];
+    for (int slot : seq[t].trans_slots) {
+      const double* w = &weights_[ObservedTransitionIndex(slot, 0, 0)];
+      for (size_t ij = 0; ij < L * L; ++ij) pair_t[ij] += w[ij];
+    }
+  }
+  return s;
+}
+
+int CrfModel::LabelId(std::string_view name) const {
+  for (size_t i = 0; i < label_names_.size(); ++i) {
+    if (label_names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void CrfModel::Save(std::ostream& os) const {
+  WriteU32(os, kMagic);
+  WriteU32(os, kVersion);
+  WriteU32(os, static_cast<uint32_t>(label_names_.size()));
+  for (const auto& name : label_names_) WriteString(os, name);
+  vocab_.Save(os);
+  WriteU32(os, static_cast<uint32_t>(slot_attrs_.size()));
+  for (int attr : slot_attrs_) WriteU32(os, static_cast<uint32_t>(attr));
+  WriteU32(os, static_cast<uint32_t>(weights_.size()));
+  os.write(reinterpret_cast<const char*>(weights_.data()),
+           static_cast<std::streamsize>(weights_.size() * sizeof(double)));
+  if (!os) throw std::runtime_error("CrfModel::Save: write failed");
+}
+
+CrfModel CrfModel::Load(std::istream& is) {
+  if (ReadU32(is) != kMagic) {
+    throw std::runtime_error("CrfModel::Load: bad magic");
+  }
+  if (ReadU32(is) != kVersion) {
+    throw std::runtime_error("CrfModel::Load: unsupported version");
+  }
+  const uint32_t num_labels = ReadU32(is);
+  std::vector<std::string> labels;
+  labels.reserve(num_labels);
+  for (uint32_t i = 0; i < num_labels; ++i) labels.push_back(ReadString(is));
+  text::Vocabulary vocab = text::Vocabulary::Load(is);
+  const uint32_t num_slots = ReadU32(is);
+  std::vector<int> slots;
+  slots.reserve(num_slots);
+  for (uint32_t i = 0; i < num_slots; ++i) {
+    slots.push_back(static_cast<int>(ReadU32(is)));
+  }
+  CrfModel model(std::move(labels), std::move(vocab), std::move(slots));
+  const uint32_t num_weights = ReadU32(is);
+  if (num_weights != model.weights_.size()) {
+    throw std::runtime_error("CrfModel::Load: weight count mismatch");
+  }
+  is.read(reinterpret_cast<char*>(model.weights_.data()),
+          static_cast<std::streamsize>(num_weights * sizeof(double)));
+  if (!is) throw std::runtime_error("CrfModel::Load: truncated weights");
+  return model;
+}
+
+void CrfModel::SaveFile(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("CrfModel::SaveFile: cannot open " + path);
+  Save(os);
+}
+
+CrfModel CrfModel::LoadFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("CrfModel::LoadFile: cannot open " + path);
+  return Load(is);
+}
+
+}  // namespace whoiscrf::crf

@@ -1,0 +1,97 @@
+// CrfModel: the parameterized linear-chain CRF (paper §3.1–§3.3).
+//
+// Feature space layout (all binary features, eq. 1):
+//   * unigram features  f(y_t = j, attr a in x_t)          — eq. 6/7 form
+//   * transition features f(y_{t-1} = i, y_t = j)           — label bigrams
+//   * observed transitions f(y_{t-1}=i, y_t=j, attr a in x_t)
+//     for transition-eligible attributes only               — eq. 8 form
+//
+// Weights are stored in one flat vector:
+//   [ A*L unigram | L*L transition | S*L*L observed-transition ]
+// where A = vocabulary size, L = number of labels, S = number of
+// transition-eligible attribute slots. Unigram features are generated for
+// every (attribute x label) pair, as in CRF++; with the paper's dictionary
+// of tens of thousands of words this yields feature counts of the same
+// order as the paper's ("nearly 1M features" for the first-level CRF).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "crf/sequence.h"
+#include "text/vocabulary.h"
+
+namespace whoiscrf::crf {
+
+class CrfModel {
+ public:
+  CrfModel() = default;
+
+  // Constructs an empty (zero-weight) model over the given label names,
+  // frozen vocabulary, and transition-eligible attribute ids.
+  CrfModel(std::vector<std::string> label_names, text::Vocabulary vocab,
+           std::vector<int> transition_attr_ids);
+
+  int num_labels() const { return static_cast<int>(label_names_.size()); }
+  const std::vector<std::string>& label_names() const { return label_names_; }
+  const text::Vocabulary& vocab() const { return vocab_; }
+  size_t num_weights() const { return weights_.size(); }
+  size_t num_transition_slots() const { return slot_attrs_.size(); }
+
+  std::vector<double>& weights() { return weights_; }
+  const std::vector<double>& weights() const { return weights_; }
+
+  // --- Feature indexing -----------------------------------------------
+  size_t UnigramIndex(int attr_id, int label) const;
+  size_t TransitionIndex(int prev_label, int label) const;
+  size_t ObservedTransitionIndex(int slot, int prev_label, int label) const;
+
+  // Vocabulary attribute id backing a transition slot.
+  int SlotAttr(int slot) const { return slot_attrs_[static_cast<size_t>(slot)]; }
+
+  // --- Compilation ------------------------------------------------------
+  // Interns per-line attributes against the model's vocabulary. Unknown
+  // attributes are dropped (they have no weights); transition-eligible
+  // attributes map to slots when registered.
+  CompiledSequence Compile(
+      const std::vector<text::LineAttributes>& lines) const;
+
+  // --- Scoring ----------------------------------------------------------
+  // Log-potentials for a compiled sequence:
+  //   unary[t*L + j]            = sum of unigram weights at t for label j
+  //   pairwise[t*L*L + i*L + j] = transition + observed-transition weights
+  //                               (defined for t >= 1)
+  // These are the log M_t matrices of the appendix (eq. 9), split so the
+  // unary part is reusable by both inference and Viterbi.
+  struct Scores {
+    int T = 0;
+    int L = 0;
+    std::vector<double> unary;     // T*L
+    std::vector<double> pairwise;  // T*L*L, row t=0 unused
+  };
+  Scores ComputeScores(const CompiledSequence& seq) const;
+
+  // Label id by name, or -1.
+  int LabelId(std::string_view name) const;
+
+  // --- Serialization ----------------------------------------------------
+  void Save(std::ostream& os) const;
+  static CrfModel Load(std::istream& is);
+  void SaveFile(const std::string& path) const;
+  static CrfModel LoadFile(const std::string& path);
+
+ private:
+  std::vector<std::string> label_names_;
+  text::Vocabulary vocab_;
+  std::unordered_map<int, int> slot_of_attr_;  // attr id -> slot
+  std::vector<int> slot_attrs_;                // slot -> attr id
+  std::vector<double> weights_;
+
+  size_t unigram_block_ = 0;     // A*L
+  size_t transition_block_ = 0;  // L*L
+};
+
+}  // namespace whoiscrf::crf

@@ -1,0 +1,30 @@
+// Sequence types shared across the CRF layer.
+//
+// The CRF is generic over string attributes: the text layer produces
+// LineAttributes per line; the trainer interns them against a Vocabulary to
+// obtain CompiledItems; inference operates on compiled sequences only.
+#pragma once
+
+#include <vector>
+
+#include "text/tokenizer.h"
+
+namespace whoiscrf::crf {
+
+// One labeled training sequence: attributes plus gold labels, same length.
+struct Instance {
+  std::vector<text::LineAttributes> lines;
+  std::vector<int> labels;
+};
+
+// One line after interning: dense attribute ids.
+struct CompiledItem {
+  // Vocabulary ids of this line's attributes (unknown attributes dropped).
+  std::vector<int> attrs;
+  // Slot ids of this line's transition-eligible attributes (eq. 8 features).
+  std::vector<int> trans_slots;
+};
+
+using CompiledSequence = std::vector<CompiledItem>;
+
+}  // namespace whoiscrf::crf

@@ -1,0 +1,170 @@
+#include "crf/sgd.h"
+
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "crf/inference.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace whoiscrf::crf {
+
+namespace {
+
+// Collects the indices of every weight that can influence this sequence's
+// score: unigram weights of its attributes, the dense transition block, and
+// the observed-transition blocks of its slots.
+void CollectFeatureIndices(const CrfModel& model, const CompiledSequence& seq,
+                           std::vector<size_t>& out) {
+  out.clear();
+  const int L = model.num_labels();
+  std::unordered_set<int> seen_attrs;
+  std::unordered_set<int> seen_slots;
+  for (const CompiledItem& item : seq) {
+    for (int attr : item.attrs) {
+      if (seen_attrs.insert(attr).second) {
+        const size_t base = model.UnigramIndex(attr, 0);
+        for (int j = 0; j < L; ++j) out.push_back(base + static_cast<size_t>(j));
+      }
+    }
+    for (int slot : item.trans_slots) {
+      if (seen_slots.insert(slot).second) {
+        const size_t base = model.ObservedTransitionIndex(slot, 0, 0);
+        for (int ij = 0; ij < L * L; ++ij) {
+          out.push_back(base + static_cast<size_t>(ij));
+        }
+      }
+    }
+  }
+  const size_t trans_base = model.TransitionIndex(0, 0);
+  for (int ij = 0; ij < L * L; ++ij) {
+    out.push_back(trans_base + static_cast<size_t>(ij));
+  }
+}
+
+// Sparse gradient of one sequence's NLL at the model's current weights.
+// Returns the sequence NLL; writes (feature index -> partial) into `grad`.
+double SparseSequenceGradient(const CrfModel& model,
+                              const CompiledSequence& seq,
+                              const std::vector<int>& gold,
+                              std::unordered_map<size_t, double>& grad) {
+  grad.clear();
+  if (seq.empty()) return 0.0;
+  const CrfModel::Scores scores = model.ComputeScores(seq);
+  const Posteriors post = ForwardBackward(scores);
+  const int L = scores.L;
+
+  double gold_score = 0.0;
+  for (size_t t = 0; t < seq.size(); ++t) {
+    gold_score +=
+        scores.unary[t * static_cast<size_t>(L) + static_cast<size_t>(gold[t])];
+    if (t >= 1) {
+      gold_score += scores.pairwise[t * static_cast<size_t>(L * L) +
+                                    static_cast<size_t>(gold[t - 1]) * L +
+                                    static_cast<size_t>(gold[t])];
+    }
+
+    const double* node_t = &post.node[t * static_cast<size_t>(L)];
+    for (int attr : seq[t].attrs) {
+      for (int j = 0; j < L; ++j) {
+        grad[model.UnigramIndex(attr, j)] += node_t[j];
+      }
+      grad[model.UnigramIndex(attr, gold[t])] -= 1.0;
+    }
+    if (t == 0) continue;
+    const double* edge_t = &post.edge[t * static_cast<size_t>(L * L)];
+    for (int i = 0; i < L; ++i) {
+      for (int j = 0; j < L; ++j) {
+        grad[model.TransitionIndex(i, j)] += edge_t[i * L + j];
+      }
+    }
+    grad[model.TransitionIndex(gold[t - 1], gold[t])] -= 1.0;
+    for (int slot : seq[t].trans_slots) {
+      for (int i = 0; i < L; ++i) {
+        for (int j = 0; j < L; ++j) {
+          grad[model.ObservedTransitionIndex(slot, i, j)] += edge_t[i * L + j];
+        }
+      }
+      grad[model.ObservedTransitionIndex(slot, gold[t - 1], gold[t])] -= 1.0;
+    }
+  }
+  return post.log_z - gold_score;
+}
+
+}  // namespace
+
+SgdOptimizer::SgdOptimizer(Options options) : options_(options) {}
+
+SgdOptimizer::Result SgdOptimizer::Train(CrfModel& model,
+                                         const Dataset& data) const {
+  Result result;
+  if (data.size() == 0) return result;
+
+  std::vector<double>& w = model.weights();
+  const double lambda =
+      options_.l2_sigma > 0.0
+          ? 1.0 / (options_.l2_sigma * options_.l2_sigma *
+                   static_cast<double>(data.size()))
+          : 0.0;
+
+  // Lazy L2 shrinkage: conceptually every step multiplies every weight by
+  // (1 - eta_t * lambda), but only this sequence's weights affect its
+  // scores, so we bring exactly those up to date before scoring. The
+  // cumulative shrink is tracked in log-space; feature k was last synced at
+  // log-shrink last_sync[k].
+  double log_shrink = 0.0;
+  std::vector<double> last_sync(w.size(), 0.0);
+  auto sync_feature = [&](size_t k) {
+    if (last_sync[k] != log_shrink) {
+      w[k] *= std::exp(log_shrink - last_sync[k]);
+      last_sync[k] = log_shrink;
+    }
+  };
+
+  util::Rng rng(options_.seed);
+  std::vector<size_t> order(data.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+
+  std::unordered_map<size_t, double> grad;
+  std::vector<size_t> touched;
+  size_t step = 0;
+  double last_nll = 0.0;
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    double epoch_nll = 0.0;
+    for (size_t idx : order) {
+      const double eta =
+          options_.eta0 /
+          (1.0 + static_cast<double>(step) / static_cast<double>(data.size()));
+      ++step;
+
+      if (lambda > 0.0) {
+        const double factor = 1.0 - eta * lambda;
+        log_shrink += std::log(factor);
+        CollectFeatureIndices(model, data.sequences[idx], touched);
+        for (size_t k : touched) sync_feature(k);
+      }
+
+      epoch_nll += SparseSequenceGradient(model, data.sequences[idx],
+                                          data.labels[idx], grad);
+      for (const auto& [k, g] : grad) w[k] -= eta * g;
+    }
+    last_nll = epoch_nll;
+    result.epochs_run = epoch + 1;
+    if (options_.verbose) {
+      LOG_INFO("sgd epoch %3d  nll=%.4f", epoch + 1, epoch_nll);
+    }
+  }
+
+  // Final sweep: bring every weight up to the cumulative shrink.
+  if (lambda > 0.0) {
+    for (size_t k = 0; k < w.size(); ++k) sync_feature(k);
+  }
+  result.final_nll = last_nll;
+  return result;
+}
+
+}  // namespace whoiscrf::crf

@@ -1,0 +1,40 @@
+// Stochastic gradient descent trainer for the CRF (the paper implemented
+// "optimization routines such as stochastic gradient descent" alongside
+// L-BFGS). Per-sequence updates with a 1/(1 + t/t0) learning-rate schedule
+// and L2 regularization applied via the weight-scaling trick (Bottou), so
+// each update touches only the features present in the sequence.
+#pragma once
+
+#include <cstdint>
+
+#include "crf/likelihood.h"
+#include "crf/model.h"
+
+namespace whoiscrf::crf {
+
+class SgdOptimizer {
+ public:
+  struct Options {
+    int epochs = 30;
+    double eta0 = 0.5;       // initial learning rate
+    double l2_sigma = 10.0;  // Gaussian prior stddev; <= 0 disables
+    uint64_t seed = 1;       // shuffling seed
+    bool verbose = false;
+  };
+
+  struct Result {
+    double final_nll = 0.0;  // unpenalized NLL over the data on last epoch
+    int epochs_run = 0;
+  };
+
+  SgdOptimizer() : SgdOptimizer(Options()) {}
+  explicit SgdOptimizer(Options options);
+
+  // Optimizes model.weights() in place over the dataset.
+  Result Train(CrfModel& model, const Dataset& data) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace whoiscrf::crf

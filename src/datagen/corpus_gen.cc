@@ -1,0 +1,338 @@
+#include "datagen/corpus_gen.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "datagen/country_data.h"
+#include "text/line_splitter.h"
+#include "datagen/pools.h"
+#include "datagen/privacy.h"
+#include "util/string_util.h"
+
+namespace whoiscrf::datagen {
+
+namespace {
+
+// Big holders beyond Table 4's brands (§6.1 mentions domain sellers and
+// online marketers standing out). Counts are the approximate scale the
+// paper implies relative to the brands.
+struct BigHolder {
+  const char* org;
+  int domains;
+};
+constexpr BigHolder kSellers[] = {
+    {"BuyDomains.com", 60000},     {"HugeDomains.com", 55000},
+    {"Domain Asset Holdings", 40000}, {"Dex Media", 30000},
+    {"Yodle", 25000},              {"Sakura Internet", 22000},
+    {"Xserver", 20000},
+};
+
+constexpr const char* kStatuses[] = {
+    "clientTransferProhibited", "clientDeleteProhibited",
+    "clientUpdateProhibited", "ok", "clientRenewProhibited"};
+
+std::string IsoDate(util::Rng& rng, int year) {
+  const int month = static_cast<int>(rng.UniformInt(1, 12));
+  const int day = static_cast<int>(rng.UniformInt(1, 28));
+  return util::Format("%04d-%02d-%02dT%02d:%02d:%02dZ", year, month, day,
+                      static_cast<int>(rng.UniformInt(0, 23)),
+                      static_cast<int>(rng.UniformInt(0, 59)),
+                      static_cast<int>(rng.UniformInt(0, 59)));
+}
+
+// Label-preserving perturbations of a rendered record. Each edit keeps the
+// invariant that labels[i] corresponds to the i-th *labeled* line, so
+// ground truth stays exact.
+void ApplyNoise(whois::LabeledRecord& record, util::Rng& rng) {
+  auto raw_lines = util::SplitLines(record.text);
+  std::vector<std::string> lines(raw_lines.begin(), raw_lines.end());
+
+  const int edits = static_cast<int>(rng.UniformInt(1, 3));
+  for (int e = 0; e < edits; ++e) {
+    switch (rng.UniformInt(0, 3)) {
+      case 0: {  // insert a blank line (blanks carry no label)
+        const size_t at = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(lines.size())));
+        lines.insert(lines.begin() + static_cast<ptrdiff_t>(at), "");
+        break;
+      }
+      case 1: {  // upper-case one labeled line's text
+        if (lines.empty()) break;
+        const size_t at = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(lines.size()) - 1));
+        lines[at] = util::ToUpper(lines[at]);
+        break;
+      }
+      case 2: {  // typo: swap two adjacent alphabetic characters
+        if (lines.empty()) break;
+        const size_t at = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(lines.size()) - 1));
+        std::string& line = lines[at];
+        if (line.size() >= 3) {
+          const size_t pos = static_cast<size_t>(
+              rng.UniformInt(0, static_cast<int64_t>(line.size()) - 2));
+          if (std::isalpha(static_cast<unsigned char>(line[pos])) &&
+              std::isalpha(static_cast<unsigned char>(line[pos + 1]))) {
+            std::swap(line[pos], line[pos + 1]);
+          }
+        }
+        break;
+      }
+      case 3: {  // drop one labeled line together with its label
+        // Count labeled lines; keep at least 3 so the record stays usable.
+        std::vector<size_t> labeled;
+        for (size_t i = 0; i < lines.size(); ++i) {
+          if (text::IsLabeledLine(lines[i])) labeled.push_back(i);
+        }
+        if (labeled.size() <= 3) break;
+        const size_t pick = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(labeled.size()) - 1));
+        lines.erase(lines.begin() + static_cast<ptrdiff_t>(labeled[pick]));
+        record.labels.erase(record.labels.begin() +
+                            static_cast<ptrdiff_t>(pick));
+        record.sub_labels.erase(record.sub_labels.begin() +
+                                static_cast<ptrdiff_t>(pick));
+        break;
+      }
+    }
+  }
+
+  record.text = util::Join(lines, "\n");
+  if (!record.text.empty()) record.text += "\n";
+  // Case-mangling or typos can only change a labeled line's *content*, not
+  // whether it is labeled (both preserve alphanumeric characters), so the
+  // invariant holds; Validate() guards it in debug and tests.
+  record.Validate();
+}
+
+}  // namespace
+
+CorpusGenerator::CorpusGenerator(CorpusOptions options)
+    : options_(options) {
+  BuildFallbackCountryWeights();
+}
+
+void CorpusGenerator::BuildFallbackCountryWeights() {
+  const auto countries = Countries();
+  for (int year = options_.min_year; year <= options_.max_year; ++year) {
+    // Global target mix for this year.
+    std::vector<double> target = CountryWeightsForYear(year);
+    double target_total = 0.0;
+    for (double w : target) target_total += w;
+    for (double& w : target) w /= target_total;
+
+    // Volume-weighted tilt contribution per country, and total tilt mass.
+    const auto reg_weights = registrars_.WeightsForYear(year);
+    double reg_total = 0.0;
+    for (double w : reg_weights) reg_total += w;
+    std::vector<double> tilt_contrib(countries.size(), 0.0);
+    double tilt_mass = 0.0;
+    for (size_t r = 0; r < registrars_.size(); ++r) {
+      const double reg_share = reg_weights[r] / reg_total;
+      for (const auto& [cc, w] : registrars_.info(r).country_tilt) {
+        const int ci = CountryIndex(cc);
+        if (ci < 0) continue;
+        tilt_contrib[static_cast<size_t>(ci)] += reg_share * w;
+        tilt_mass += reg_share * w;
+      }
+    }
+
+    // Solve target = tilt_contrib + (1 - tilt_mass) * fallback for the
+    // fallback mix, clamping at zero where tilts overshoot the target.
+    std::vector<double> fallback(countries.size(), 0.0);
+    const double residual = std::max(1e-9, 1.0 - tilt_mass);
+    double fallback_total = 0.0;
+    for (size_t c = 0; c < countries.size(); ++c) {
+      fallback[c] = std::max(0.0, (target[c] - tilt_contrib[c]) / residual);
+      fallback_total += fallback[c];
+    }
+    for (double& w : fallback) w /= fallback_total;
+    fallback_country_weights_.push_back(std::move(fallback));
+  }
+}
+
+const std::vector<double>& CorpusGenerator::FallbackCountryWeights(
+    int year) const {
+  const int clamped =
+      std::clamp(year, options_.min_year, options_.max_year);
+  return fallback_country_weights_[static_cast<size_t>(
+      clamped - options_.min_year)];
+}
+
+std::vector<double> CorpusGenerator::YearWeights() const {
+  // Creation-date histogram shape of the surviving .com population
+  // (Figure 4a): negligible through the early 90s, dot-com ramp, steady
+  // exponential growth afterwards, ~25% of the corpus created in 2014.
+  std::vector<double> weights;
+  for (int year = options_.min_year; year <= options_.max_year; ++year) {
+    double w;
+    if (year < 1995) {
+      w = 0.02 * (year - options_.min_year + 1);
+    } else {
+      // Survival-adjusted growth: the histogram rises faster than linearly.
+      const double t = year - 1995;
+      w = 0.25 * std::exp(0.205 * t);
+    }
+    weights.push_back(w);
+  }
+  return weights;
+}
+
+DomainFacts CorpusGenerator::MakeFacts(util::Rng& rng, size_t index) const {
+  DomainFacts f;
+  f.tld = "com";
+
+  // Creation year, then registrar conditioned on year.
+  const auto year_weights = YearWeights();
+  f.created_year =
+      options_.min_year + static_cast<int>(rng.WeightedIndex(year_weights));
+  const size_t reg = registrars_.Sample(rng, f.created_year);
+  const RegistrarInfo& info = registrars_.info(reg);
+  f.registrar_index = static_cast<int>(reg);
+  f.registrar_name = info.name;
+  f.registrar_url = info.url;
+  f.whois_server = info.whois_server;
+  f.iana_id = info.iana_id;
+
+  // Dates.
+  f.created = IsoDate(rng, f.created_year);
+  const int updated_year =
+      static_cast<int>(rng.UniformInt(f.created_year, 2015));
+  f.updated = IsoDate(rng, updated_year);
+  f.expires = IsoDate(rng, 2015 + static_cast<int>(rng.UniformInt(0, 2)));
+
+  // Domain name.
+  f.domain = entities_.MakeDomainLabel(rng) + std::to_string(index % 9973) +
+             "." + f.tld;
+
+  // Name servers and statuses.
+  const std::string ns_base =
+      rng.Bernoulli(0.5)
+          ? f.domain
+          : util::ToLower(info.short_name) + "dns.com";
+  f.name_servers = {"ns1." + ns_base, "ns2." + ns_base};
+  f.statuses = {kStatuses[rng.UniformInt(0, 4)]};
+
+  // Registrant country: registrar tilt first (Figure 5), else the global
+  // per-year mix (Table 3 / Figure 4b).
+  std::string country_code;
+  double tilt_total = 0.0;
+  for (const auto& [cc, w] : info.country_tilt) tilt_total += w;
+  if (tilt_total > 0.0 && rng.Bernoulli(std::min(tilt_total, 1.0))) {
+    std::vector<double> tw;
+    tw.reserve(info.country_tilt.size());
+    for (const auto& [cc, w] : info.country_tilt) tw.push_back(w);
+    country_code = info.country_tilt[rng.WeightedIndex(tw)].first;
+  } else {
+    const size_t ci = rng.WeightedIndex(FallbackCountryWeights(f.created_year));
+    country_code = std::string(Countries()[ci].code);
+  }
+
+  // Who owns it: brand company / bulk holder / regular registrant.
+  const auto brands = pools::Brands();
+  double brand_total = 0.0;
+  for (const auto& b : brands) brand_total += b.paper_domains;
+  double seller_total = 0.0;
+  for (const auto& s : kSellers) seller_total += s.domains;
+  const double corp_prob = std::min(
+      0.05, options_.brand_boost * (brand_total + seller_total) / 102077202.0);
+
+  if (rng.Bernoulli(corp_prob)) {
+    std::vector<double> w;
+    for (const auto& b : brands) w.push_back(b.paper_domains);
+    for (const auto& s : kSellers) w.push_back(s.domains);
+    const size_t pick = rng.WeightedIndex(w);
+    const std::string_view org = pick < brands.size()
+                                     ? brands[pick].company
+                                     : std::string_view(
+                                           kSellers[pick - brands.size()].org);
+    f.registrant = entities_.MakeBrandContact(rng, org);
+    f.admin = f.registrant;
+    f.tech = f.registrant;
+    return f;
+  }
+
+  // Privacy protection (per-year adoption x per-registrar propensity).
+  const double privacy_rate =
+      std::min(0.9, PrivacyRateForYear(f.created_year) * info.privacy_mult);
+  f.privacy_protected = rng.Bernoulli(privacy_rate);
+  if (f.privacy_protected) {
+    f.privacy_service =
+        std::string(SamplePrivacyService(rng, info.privacy_service));
+    f.registrant = entities_.MakePrivacyContact(
+        rng, f.privacy_service,
+        f.domain.substr(0, f.domain.find('.')));
+    f.admin = f.registrant;
+    f.tech = f.registrant;
+  } else {
+    f.registrant = entities_.MakeContact(rng, country_code);
+    // Admin/tech usually mirror the registrant; sometimes distinct.
+    f.admin = rng.Bernoulli(0.8) ? f.registrant
+                                 : entities_.MakeContact(rng, country_code);
+    f.tech = rng.Bernoulli(0.7) ? f.admin
+                                : entities_.MakeContact(rng, country_code);
+  }
+
+  // Blacklisting (DBL): mostly recent registrations, scaled by the
+  // registrar and country abuse factors (Tables 8-9).
+  const double base = f.created_year >= 2014 ? 0.0020
+                      : f.created_year >= 2012 ? 0.0004
+                                               : 0.0001;
+  double country_factor = 1.0;
+  const int ci = CountryIndex(f.registrant.country_code);
+  if (ci >= 0) country_factor = Countries()[static_cast<size_t>(ci)].dbl_factor;
+  const double p =
+      std::min(0.5, base * info.dbl_factor * country_factor * options_.dbl_boost);
+  f.on_dbl = rng.Bernoulli(p);
+  return f;
+}
+
+GeneratedDomain CorpusGenerator::Generate(size_t index) const {
+  util::Rng rng(options_.seed * 0x9E3779B97F4A7C15ULL + index * 2654435761ULL +
+                17);
+  GeneratedDomain out;
+  out.facts = MakeFacts(rng, index);
+
+  const RegistrarInfo& info =
+      registrars_.info(static_cast<size_t>(out.facts.registrar_index));
+  const int version = rng.Bernoulli(options_.drift_fraction) ? 1 : 0;
+  const TemplateSpec& spec = templates_.Get(info.family, version);
+  out.template_id = spec.id;
+  out.thick = engine_.Render(spec, out.facts);
+  if (options_.noise_fraction > 0.0 &&
+      rng.Bernoulli(options_.noise_fraction)) {
+    ApplyNoise(out.thick, rng);
+  }
+  return out;
+}
+
+std::vector<GeneratedDomain> CorpusGenerator::GenerateAll() const {
+  std::vector<GeneratedDomain> out;
+  out.reserve(options_.size);
+  for (size_t i = 0; i < options_.size; ++i) out.push_back(Generate(i));
+  return out;
+}
+
+GeneratedDomain CorpusGenerator::GenerateNewTld(const std::string& tld,
+                                                uint64_t salt) const {
+  util::Rng rng(options_.seed ^ (salt + 0xABCDEF) ^
+                std::hash<std::string>{}(tld));
+  GeneratedDomain out;
+  out.facts = MakeFacts(rng, salt + 31337);
+  out.facts.tld = tld;
+  out.facts.domain =
+      out.facts.domain.substr(0, out.facts.domain.find('.')) + "." + tld;
+  // New TLDs are thick registries: a single registry-wide format (§5.2).
+  const TemplateSpec& spec = templates_.NewTld(tld);
+  out.template_id = spec.id;
+  out.thick = engine_.Render(spec, out.facts);
+  return out;
+}
+
+whois::LabeledRecord CorpusGenerator::RenderThin(
+    const DomainFacts& facts) const {
+  return engine_.RenderThin(facts);
+}
+
+}  // namespace whoiscrf::datagen

@@ -1,0 +1,97 @@
+// CorpusGenerator: assembles the full synthetic .com WHOIS corpus — the
+// substitute for the paper's 102M-record crawl (§4).
+//
+// Every generated domain is deterministic in (seed, index): the registrar
+// is drawn from the per-year market-share model (Table 5), the registrant
+// country from the per-year country model (Table 3 / Figure 4b), privacy
+// protection from the per-year adoption curve with per-registrar
+// propensities (Tables 6-7), blacklisting from registrar x country abuse
+// factors (Tables 8-9), and the record text from the registrar's template
+// family at schema version v0 or v1 (drift).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "datagen/entity_gen.h"
+#include "datagen/facts.h"
+#include "datagen/registrar_profiles.h"
+#include "datagen/template_engine.h"
+#include "datagen/template_library.h"
+#include "whois/record.h"
+
+namespace whoiscrf::datagen {
+
+struct GeneratedDomain {
+  DomainFacts facts;
+  whois::LabeledRecord thick;
+  std::string template_id;  // e.g. "enom/v0"
+};
+
+struct CorpusOptions {
+  size_t size = 10000;
+  uint64_t seed = 42;
+  // Fraction of records rendered with the *drifted* (v1) schema version —
+  // the format changes that break template/rule parsers over time (§2.3).
+  double drift_fraction = 0.25;
+  int min_year = 1986;
+  int max_year = 2014;
+  // Multiplier on blacklist propensity; the real-world DBL base rate is so
+  // low that small corpora need a boost for statistically stable tables.
+  double dbl_boost = 10.0;
+  // Multiplier on brand/bulk-holder ownership probability (Table 4's brand
+  // counts are ~0.1% of 102M; simulation-scale corpora need a boost for the
+  // ranking to stabilize). Relative weights between brands are unchanged.
+  double brand_boost = 1.0;
+  // Fraction of records receiving label-preserving "crawl grime": inserted
+  // blank lines, case-mangled titles, typos in title words, and dropped
+  // field lines. Real WHOIS responses carry all of these; raising this
+  // moves error rates toward the paper's absolute numbers.
+  double noise_fraction = 0.0;
+};
+
+class CorpusGenerator {
+ public:
+  explicit CorpusGenerator(CorpusOptions options = {});
+
+  // The i-th domain of the corpus. Deterministic; can be called in any
+  // order or in parallel from multiple threads.
+  GeneratedDomain Generate(size_t index) const;
+
+  std::vector<GeneratedDomain> GenerateAll() const;
+
+  // One record from a new-TLD registry (Table 2). `tld` must be one of
+  // TemplateLibrary::NewTldNames().
+  GeneratedDomain GenerateNewTld(const std::string& tld,
+                                 uint64_t salt = 0) const;
+
+  // The thin (registry) record for a generated domain (§2.2's first hop).
+  whois::LabeledRecord RenderThin(const DomainFacts& facts) const;
+
+  const CorpusOptions& options() const { return options_; }
+  const RegistrarTable& registrars() const { return registrars_; }
+  const TemplateLibrary& templates() const { return templates_; }
+
+  // Per-year sampling weights for creation dates (Figure 4a's shape).
+  std::vector<double> YearWeights() const;
+
+  // The country mix used for registrars WITHOUT a tilt, for registrations
+  // created in `year`. Computed so that the volume-weighted total across
+  // all registrars (tilted + untilted) matches the global per-year target
+  // (Table 3 / Figure 4b) instead of double-counting the tilts.
+  const std::vector<double>& FallbackCountryWeights(int year) const;
+
+ private:
+  DomainFacts MakeFacts(util::Rng& rng, size_t index) const;
+  void BuildFallbackCountryWeights();
+
+  CorpusOptions options_;
+  RegistrarTable registrars_;
+  TemplateLibrary templates_;
+  TemplateEngine engine_;
+  EntityGenerator entities_;
+  // [year - min_year] -> weights over Countries().
+  std::vector<std::vector<double>> fallback_country_weights_;
+};
+
+}  // namespace whoiscrf::datagen

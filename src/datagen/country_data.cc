@@ -1,0 +1,103 @@
+#include "datagen/country_data.h"
+
+#include <algorithm>
+#include <array>
+
+namespace whoiscrf::datagen {
+
+namespace {
+
+// share_1998 values are chosen so that, weighted by the creation-year
+// volume curve (Figure 4a), the corpus-wide mix lands near Table 3's
+// all-time column; share_2014 comes straight from Table 3's right column.
+// dbl_factor reflects Table 8 (relative propensity to appear on the DBL),
+// applied multiplicatively with the per-registrar abuse factors.
+constexpr std::array<CountryProfile, 44> kCountries = {{
+    {"US", "United States", 0.650, 0.411, 1.00},
+    {"CN", "China", 0.005, 0.182, 1.00},
+    {"GB", "United Kingdom", 0.060, 0.035, 0.40},
+    {"DE", "Germany", 0.055, 0.019, 0.30},
+    {"FR", "France", 0.040, 0.029, 0.55},
+    {"CA", "Canada", 0.040, 0.025, 0.55},
+    {"ES", "Spain", 0.026, 0.017, 0.30},
+    {"AU", "Australia", 0.025, 0.013, 0.40},
+    {"JP", "Japan", 0.014, 0.021, 5.00},
+    {"IN", "India", 0.004, 0.025, 0.45},
+    {"TR", "Turkey", 0.003, 0.017, 0.50},
+    {"VN", "Vietnam", 0.001, 0.008, 6.00},
+    {"RU", "Russia", 0.003, 0.008, 1.60},
+    {"NL", "Netherlands", 0.010, 0.007, 0.40},
+    {"IT", "Italy", 0.009, 0.007, 0.40},
+    {"BR", "Brazil", 0.004, 0.009, 0.80},
+    {"KR", "South Korea", 0.006, 0.006, 0.80},
+    {"SE", "Sweden", 0.006, 0.004, 0.30},
+    {"CH", "Switzerland", 0.005, 0.004, 0.30},
+    {"PL", "Poland", 0.003, 0.005, 0.50},
+    {"MX", "Mexico", 0.003, 0.005, 0.60},
+    {"ZA", "South Africa", 0.002, 0.004, 0.60},
+    {"HK", "Hong Kong", 0.004, 0.010, 1.20},
+    // Long tail of smaller markets; individually below the top-10 cut, they
+    // make up Table 3's "(Other)" row (17.5% all-time / 18.9% in 2014).
+    {"NO", "Norway", 0.005, 0.004, 0.30},
+    {"DK", "Denmark", 0.005, 0.004, 0.30},
+    {"BE", "Belgium", 0.005, 0.004, 0.35},
+    {"AT", "Austria", 0.004, 0.003, 0.30},
+    {"GR", "Greece", 0.003, 0.004, 0.50},
+    {"PT", "Portugal", 0.003, 0.003, 0.40},
+    {"CZ", "Czech Republic", 0.003, 0.004, 0.50},
+    {"ID", "Indonesia", 0.002, 0.009, 1.20},
+    {"TH", "Thailand", 0.002, 0.006, 1.00},
+    {"MY", "Malaysia", 0.002, 0.005, 0.90},
+    {"PH", "Philippines", 0.002, 0.006, 0.90},
+    {"AR", "Argentina", 0.003, 0.005, 0.70},
+    {"CL", "Chile", 0.002, 0.003, 0.50},
+    {"CO", "Colombia", 0.002, 0.004, 0.70},
+    {"UA", "Ukraine", 0.002, 0.005, 1.30},
+    {"IL", "Israel", 0.003, 0.004, 0.60},
+    {"AE", "United Arab Emirates", 0.002, 0.005, 0.80},
+    {"SA", "Saudi Arabia", 0.001, 0.004, 0.80},
+    {"EG", "Egypt", 0.001, 0.004, 0.90},
+    {"NG", "Nigeria", 0.001, 0.004, 1.50},
+    // Records with no usable country information ("Unknown" in Table 3).
+    {"", "", 0.042, 0.029, 0.85},
+}};
+
+}  // namespace
+
+std::span<const CountryProfile> Countries() { return kCountries; }
+
+int CountryIndex(std::string_view code) {
+  for (size_t i = 0; i < kCountries.size(); ++i) {
+    if (kCountries[i].code == code) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<double> CountryWeightsForYear(int year) {
+  const double t =
+      std::clamp((static_cast<double>(year) - 1998.0) / (2014.0 - 1998.0),
+                 0.0, 1.0);
+  std::vector<double> weights;
+  weights.reserve(kCountries.size());
+  for (const CountryProfile& c : kCountries) {
+    // Rising countries (notably China) grew late and superlinearly; a
+    // quadratic ramp reproduces the paper's gap between the all-time and
+    // 2014 columns of Table 3. Declining shares recede roughly linearly.
+    const double ramp =
+        c.share_2014 > c.share_1998 ? t * t : t;
+    weights.push_back(c.share_1998 + ramp * (c.share_2014 - c.share_1998));
+  }
+  return weights;
+}
+
+int SampleCountry(util::Rng& rng, int year) {
+  const auto weights = CountryWeightsForYear(year);
+  return static_cast<int>(rng.WeightedIndex(weights));
+}
+
+std::string_view CountryDisplayName(std::string_view code) {
+  const int idx = CountryIndex(code);
+  return idx < 0 ? std::string_view{} : kCountries[static_cast<size_t>(idx)].name;
+}
+
+}  // namespace whoiscrf::datagen

@@ -1,0 +1,42 @@
+// Country registration mix, parameterized by the paper's own survey numbers
+// (Table 3, Figure 4b, Table 8): per-country shares for the all-time
+// snapshot and for 2014 registrations, interpolated per creation year so
+// the synthetic corpus reproduces the temporal trends the paper reports
+// (declining US share, rising Chinese share).
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/random.h"
+
+namespace whoiscrf::datagen {
+
+struct CountryProfile {
+  std::string_view code;        // "US"; empty string = unknown country
+  std::string_view name;        // "United States"
+  double share_1998;            // share of registrations created ~1998
+  double share_2014;            // share of registrations created in 2014
+  double dbl_factor;            // relative blacklist propensity (Table 8)
+};
+
+// The modeled countries. The final entry (code "") models records whose
+// registrant country is missing ("Unknown" in Table 3).
+std::span<const CountryProfile> Countries();
+
+// Index into Countries() for a code, or -1.
+int CountryIndex(std::string_view code);
+
+// Per-year sampling weights over Countries(): linear interpolation between
+// share_1998 and share_2014, clamped to [1998, 2014].
+std::vector<double> CountryWeightsForYear(int year);
+
+// Draws a country index for a registration created in `year`.
+int SampleCountry(util::Rng& rng, int year);
+
+// Display name for a country code ("United States"), empty for unknown.
+std::string_view CountryDisplayName(std::string_view code);
+
+}  // namespace whoiscrf::datagen

@@ -1,0 +1,184 @@
+#include "datagen/entity_gen.h"
+
+#include <cctype>
+
+#include "datagen/country_data.h"
+#include "datagen/pools.h"
+#include "util/string_util.h"
+
+namespace whoiscrf::datagen {
+
+namespace {
+
+std::string PickSv(util::Rng& rng, std::span<const std::string_view> pool) {
+  return std::string(pool[static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(pool.size()) - 1))]);
+}
+
+std::string CountryCallingPrefix(std::string_view cc) {
+  if (cc == "US" || cc == "CA") return "+1";
+  if (cc == "GB") return "+44";
+  if (cc == "DE") return "+49";
+  if (cc == "FR") return "+33";
+  if (cc == "ES") return "+34";
+  if (cc == "AU") return "+61";
+  if (cc == "JP") return "+81";
+  if (cc == "CN") return "+86";
+  if (cc == "IN") return "+91";
+  if (cc == "TR") return "+90";
+  if (cc == "VN") return "+84";
+  if (cc == "RU") return "+7";
+  if (cc == "HK") return "+852";
+  return "+1";
+}
+
+}  // namespace
+
+std::string EntityGenerator::MakePhone(util::Rng& rng,
+                                       std::string_view cc) const {
+  auto digits = [&](int n) {
+    std::string out;
+    for (int i = 0; i < n; ++i) {
+      out += static_cast<char>('0' + rng.UniformInt(0, 9));
+    }
+    return out;
+  };
+  const int style = static_cast<int>(rng.UniformInt(0, 2));
+  if (cc == "US" || cc == "CA") {
+    const std::string area = std::to_string(rng.UniformInt(201, 989));
+    switch (style) {
+      case 0: return "+1." + area + digits(7);
+      case 1: return "(" + area + ") " + digits(3) + "-" + digits(4);
+      default: return area + "-" + digits(3) + "-" + digits(4);
+    }
+  }
+  const std::string prefix = CountryCallingPrefix(cc);
+  switch (style) {
+    case 0: return prefix + "." + digits(9);
+    case 1: return prefix + " " + digits(2) + " " + digits(4) + " " + digits(4);
+    default: return prefix + "-" + digits(9);
+  }
+}
+
+ContactFacts EntityGenerator::MakeContact(util::Rng& rng,
+                                          std::string_view cc,
+                                          double org_probability) const {
+  ContactFacts c;
+
+  auto firsts = pools::FirstNames(cc);
+  auto lasts = pools::LastNames(cc);
+  if (firsts.empty()) firsts = pools::GenericFirstNames();
+  if (lasts.empty()) lasts = pools::GenericLastNames();
+  const std::string first = PickSv(rng, firsts);
+  const std::string last = PickSv(rng, lasts);
+  c.name = first + " " + last;
+
+  if (rng.Bernoulli(org_probability)) {
+    c.org = PickSv(rng, pools::OrgStems()) + " " +
+            PickSv(rng, pools::OrgSuffixes(cc));
+  }
+
+  const auto cities = pools::Cities(cc.empty() ? "US" : cc);
+  const auto& city = cities[static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(cities.size()) - 1))];
+  c.city = std::string(city.city);
+  c.state = std::string(city.state);
+  c.postcode = std::string(city.postcode);
+  // Vary US ZIPs beyond the representative one.
+  if ((cc == "US" || cc.empty()) && c.postcode.size() == 5) {
+    c.postcode = std::to_string(rng.UniformInt(10000, 99950));
+  }
+
+  c.street1 = std::to_string(rng.UniformInt(1, 9999)) + " " +
+              PickSv(rng, pools::StreetStems()) + " " +
+              PickSv(rng, pools::StreetSuffixes());
+  if (rng.Bernoulli(0.2)) {
+    c.street2 = "Suite " + std::to_string(rng.UniformInt(100, 999));
+  }
+
+  if (!cc.empty()) {
+    c.country_code = std::string(cc);
+    c.country_name = std::string(CountryDisplayName(cc));
+  }
+
+  c.phone = MakePhone(rng, cc);
+  if (rng.Bernoulli(0.35)) c.fax = MakePhone(rng, cc);
+
+  const std::string user =
+      util::ToLower(first) + "." + util::ToLower(last) +
+      std::to_string(rng.UniformInt(1, 99));
+  c.email = user + "@" + PickSv(rng, pools::EmailProviders());
+
+  if (rng.Bernoulli(0.5)) {
+    c.id = util::Format("C%lld-LRMS",
+                        static_cast<long long>(rng.UniformInt(100000, 9999999)));
+  }
+  return c;
+}
+
+ContactFacts EntityGenerator::MakePrivacyContact(
+    util::Rng& rng, std::string_view service_name,
+    std::string_view domain) const {
+  ContactFacts c;
+  c.name = std::string(service_name);
+  c.org = std::string(service_name);
+  // Privacy services host proxy contacts at a handful of well-known
+  // addresses; use a stable US mail-drop shape.
+  c.street1 = util::Format("%lld N Hayden Rd",
+                           static_cast<long long>(rng.UniformInt(100, 19999)));
+  c.street2 = util::Format("Suite %lld",
+                           static_cast<long long>(rng.UniformInt(100, 400)));
+  c.city = "Scottsdale";
+  c.state = "AZ";
+  c.postcode = "85260";
+  c.country_code = "US";
+  c.country_name = "United States";
+  c.phone = MakePhone(rng, "US");
+  std::string service_domain = util::ToLower(service_name);
+  std::string compact;
+  for (char ch : service_domain) {
+    if (ch != ' ' && ch != '.' && ch != ',') compact += ch;
+  }
+  c.email = std::string(domain) + "@" + compact + ".com";
+  return c;
+}
+
+ContactFacts EntityGenerator::MakeBrandContact(
+    util::Rng& rng, std::string_view company) const {
+  ContactFacts c;
+  c.name = "Domain Administrator";
+  c.org = std::string(company);
+  c.street1 = std::to_string(rng.UniformInt(1, 999)) + " " +
+              PickSv(rng, pools::StreetStems()) + " " +
+              PickSv(rng, pools::StreetSuffixes());
+  const auto cities = pools::Cities("US");
+  const auto& city = cities[static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(cities.size()) - 1))];
+  c.city = std::string(city.city);
+  c.state = std::string(city.state);
+  c.postcode = std::string(city.postcode);
+  c.country_code = "US";
+  c.country_name = "United States";
+  c.phone = MakePhone(rng, "US");
+  std::string compact;
+  for (char ch : company) {
+    if (std::isalnum(static_cast<unsigned char>(ch))) {
+      compact += static_cast<char>(
+          std::tolower(static_cast<unsigned char>(ch)));
+    }
+  }
+  c.email = "hostmaster@" + compact + ".com";
+  return c;
+}
+
+std::string EntityGenerator::MakeDomainLabel(util::Rng& rng) const {
+  const auto words = pools::DomainWords();
+  std::string label = PickSv(rng, words);
+  label += PickSv(rng, words);
+  if (rng.Bernoulli(0.4)) {
+    label += std::to_string(rng.UniformInt(1, 999));
+  }
+  return label;
+}
+
+}  // namespace whoiscrf::datagen

@@ -1,0 +1,39 @@
+// Registrant/contact entity generation: plausible people and organizations
+// with country-appropriate names, addresses, phones, and emails; privacy-
+// service contacts for protected registrations (§6.3); and brand-company
+// contacts (Table 4).
+#pragma once
+
+#include <string>
+
+#include "datagen/facts.h"
+#include "util/random.h"
+
+namespace whoiscrf::datagen {
+
+class EntityGenerator {
+ public:
+  // Generates a contact in the given country ("" = unknown: country fields
+  // left empty, everything else generic). `org_probability` controls how
+  // often the contact carries an organization.
+  ContactFacts MakeContact(util::Rng& rng, std::string_view country_code,
+                           double org_probability = 0.45) const;
+
+  // The proxy contact a privacy service substitutes for the registrant:
+  // service name in the name/org fields, service mail-forwarding email.
+  ContactFacts MakePrivacyContact(util::Rng& rng,
+                                  std::string_view service_name,
+                                  std::string_view domain) const;
+
+  // A brand company's registrant contact (e.g. "Amazon Technologies, Inc.").
+  ContactFacts MakeBrandContact(util::Rng& rng,
+                                std::string_view company) const;
+
+  // A synthetic domain name (without TLD), e.g. "bluewavetech42".
+  std::string MakeDomainLabel(util::Rng& rng) const;
+
+  // Phone number in the country's conventional formatting.
+  std::string MakePhone(util::Rng& rng, std::string_view country_code) const;
+};
+
+}  // namespace whoiscrf::datagen

@@ -1,0 +1,55 @@
+// DomainFacts: everything true about one registered domain, independent of
+// how any registrar chooses to format it. Templates render facts into
+// labeled WHOIS records; the survey benches compare parser output against
+// these facts directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace whoiscrf::datagen {
+
+struct ContactFacts {
+  std::string name;
+  std::string org;        // may be empty for individuals
+  std::string street1;
+  std::string street2;    // may be empty
+  std::string city;
+  std::string state;      // may be empty outside US/CA/AU
+  std::string postcode;
+  std::string country_code;  // ISO-ish 2-letter, may be empty ("unknown")
+  std::string country_name;  // display name, may be empty
+  std::string phone;
+  std::string fax;        // may be empty
+  std::string email;
+  std::string id;         // registry contact handle, may be empty
+};
+
+struct DomainFacts {
+  std::string domain;           // fully qualified, lower-case
+  std::string tld;              // "com", "biz", ...
+  int registrar_index = 0;      // index into the registrar table
+  std::string registrar_name;   // display name
+  std::string registrar_url;
+  std::string whois_server;     // registrar's WHOIS server hostname
+  std::string iana_id;          // registrar IANA id, may be empty
+
+  int created_year = 2010;
+  std::string created;          // preformatted per-template later; ISO here
+  std::string updated;
+  std::string expires;
+
+  std::vector<std::string> name_servers;
+  std::vector<std::string> statuses;
+
+  ContactFacts registrant;
+  ContactFacts admin;           // often identical to registrant
+  ContactFacts tech;
+
+  bool privacy_protected = false;
+  std::string privacy_service;  // display name when protected
+
+  bool on_dbl = false;          // appears on the (simulated) spam blacklist
+};
+
+}  // namespace whoiscrf::datagen

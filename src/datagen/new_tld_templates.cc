@@ -1,0 +1,368 @@
+// New-TLD registry templates for the Table 2 generalization experiment.
+//
+// Each new gTLD is operated by a single (thick) registry with one
+// consistent format (§5.2), so one record per TLD suffices. The formats
+// below vary from near-ICANN-standard (info, org — both parser types do
+// well) to idiosyncratic contextual layouts (coop, travel, us — where
+// rule-based parsing collapses), mirroring the difficulty spread the paper
+// reports.
+#include "datagen/template_library.h"
+
+#include "datagen/pools.h"
+
+namespace whoiscrf::datagen {
+
+namespace {
+
+using L = whois::Level1Label;
+using S = whois::Level2Label;
+
+std::string Boiler(size_t index) {
+  const auto boilers = pools::Boilerplates();
+  return std::string(boilers[index % boilers.size()]);
+}
+
+}  // namespace
+
+void TemplateLibrary::BuildNewTldTemplates() {
+  // info / org: Afilias & PIR use the familiar ICANN-style schema; both
+  // parser types should be near-perfect here (Table 2 reports 0 errors).
+  for (const char* tld : {"info", "org"}) {
+    TemplateSpec spec;
+    spec.id = std::string("tld/") + tld;
+    spec.date_style = DateStyle::kIsoTime;
+    auto& e = spec.elements;
+    e.push_back(Field(L::kDomain, "Domain Name", Slot::kDomainName));
+    e.push_back(Field(L::kRegistrar, "Registrar", Slot::kRegistrarName));
+    e.push_back(Field(L::kDate, "Updated Date", Slot::kUpdated));
+    e.push_back(Field(L::kDate, "Creation Date", Slot::kCreated));
+    e.push_back(Field(L::kDate, "Registry Expiry Date", Slot::kExpires));
+    e.push_back(Field(L::kDomain, "Domain Status", Slot::kStatuses));
+    e.push_back(RegField("Registrant Name", Slot::kRegName, S::kName));
+    e.push_back(RegField("Registrant Organization", Slot::kRegOrg, S::kOrg));
+    e.push_back(RegField("Registrant Street", Slot::kRegStreet, S::kStreet));
+    e.push_back(RegField("Registrant City", Slot::kRegCity, S::kCity));
+    e.push_back(RegField("Registrant State/Province", Slot::kRegState,
+                         S::kState));
+    e.push_back(RegField("Registrant Postal Code", Slot::kRegPostcode,
+                         S::kPostcode));
+    e.push_back(RegField("Registrant Country", Slot::kRegCountryCode,
+                         S::kCountry));
+    e.push_back(RegField("Registrant Phone", Slot::kRegPhone, S::kPhone));
+    e.push_back(RegField("Registrant Email", Slot::kRegEmail, S::kEmail));
+    e.push_back(Field(L::kOther, "Admin Name", Slot::kAdminName));
+    e.push_back(Field(L::kOther, "Admin Email", Slot::kAdminEmail));
+    e.push_back(Field(L::kOther, "Tech Name", Slot::kTechName));
+    e.push_back(Field(L::kOther, "Tech Email", Slot::kTechEmail));
+    e.push_back(Field(L::kDomain, "Name Server", Slot::kNameServers));
+    e.push_back(Field(L::kDomain, "DNSSEC", Slot::kDnssec));
+    e.push_back(Blank());
+    e.push_back(Boilerplate(Boiler(0)));
+    new_tlds_[tld] = std::move(spec);
+  }
+
+  // mobi / pro / xxx / aero: ICANN-adjacent with renamed titles — a couple
+  // of lines trip the rule-based parser, the CRF stays near-zero.
+  {
+    TemplateSpec spec;
+    spec.id = "tld/mobi";
+    spec.date_style = DateStyle::kIsoTime;
+    auto& e = spec.elements;
+    e.push_back(Field(L::kDomain, "Domain Name", Slot::kDomainName));
+    e.push_back(Field(L::kRegistrar, "Sponsoring Registrar",
+                      Slot::kRegistrarName));
+    e.push_back(Field(L::kDate, "Domain Registration Date", Slot::kCreated));
+    e.push_back(Field(L::kDate, "Domain Expiration Date", Slot::kExpires));
+    e.push_back(Field(L::kDate, "Domain Last Updated Date", Slot::kUpdated));
+    e.push_back(RegField("Registrant Name", Slot::kRegName, S::kName));
+    e.push_back(RegField("Registrant Organization", Slot::kRegOrg, S::kOrg));
+    e.push_back(RegField("Registrant Address", Slot::kRegStreet, S::kStreet));
+    e.push_back(RegField("Registrant City", Slot::kRegCity, S::kCity));
+    e.push_back(RegField("Registrant Postal Code", Slot::kRegPostcode,
+                         S::kPostcode));
+    e.push_back(RegField("Registrant Country", Slot::kRegCountryCode,
+                         S::kCountry));
+    e.push_back(RegField("Registrant E-mail", Slot::kRegEmail, S::kEmail));
+    e.push_back(Field(L::kDomain, "Name Server", Slot::kNameServers));
+    e.push_back(Blank());
+    e.push_back(Boilerplate(Boiler(1)));
+    new_tlds_["mobi"] = std::move(spec);
+  }
+  {
+    TemplateSpec spec;
+    spec.id = "tld/pro";
+    spec.date_style = DateStyle::kIsoTime;
+    auto& e = spec.elements;
+    e.push_back(Field(L::kDomain, "Domain Name", Slot::kDomainName));
+    e.push_back(Field(L::kDomain, "Domain ID", Slot::kIanaId));
+    e.push_back(Field(L::kRegistrar, "Sponsoring Registrar",
+                      Slot::kRegistrarName));
+    e.push_back(Field(L::kDate, "Domain Creation Date", Slot::kCreated));
+    e.push_back(Field(L::kDate, "Domain Expiration Date", Slot::kExpires));
+    e.push_back(RegField("Registrant ID", Slot::kRegId, S::kId));
+    e.push_back(RegField("Registrant Name", Slot::kRegName, S::kName));
+    e.push_back(RegField("Registrant Organization", Slot::kRegOrg, S::kOrg));
+    e.push_back(RegField("Registrant Street1", Slot::kRegStreet, S::kStreet));
+    e.push_back(RegField("Registrant City", Slot::kRegCity, S::kCity));
+    e.push_back(RegField("Registrant State/Province", Slot::kRegState,
+                         S::kState));
+    e.push_back(RegField("Registrant Postal Code", Slot::kRegPostcode,
+                         S::kPostcode));
+    e.push_back(RegField("Registrant Country", Slot::kRegCountryCode,
+                         S::kCountry));
+    e.push_back(RegField("Registrant Phone", Slot::kRegPhone, S::kPhone));
+    e.push_back(RegField("Registrant Email", Slot::kRegEmail, S::kEmail));
+    e.push_back(Field(L::kDomain, "Name Server", Slot::kNameServers));
+    e.push_back(Blank());
+    e.push_back(Boilerplate(Boiler(2)));
+    new_tlds_["pro"] = std::move(spec);
+  }
+  {
+    TemplateSpec spec;
+    spec.id = "tld/xxx";
+    spec.date_style = DateStyle::kIsoTime;
+    auto& e = spec.elements;
+    e.push_back(Field(L::kDomain, "Domain Name", Slot::kDomainName));
+    e.push_back(Field(L::kRegistrar, "Registrar", Slot::kRegistrarName));
+    e.push_back(Field(L::kRegistrar, "Registrar Website",
+                      Slot::kRegistrarUrl));
+    e.push_back(Field(L::kDate, "Creation Date", Slot::kCreated));
+    e.push_back(Field(L::kDate, "Expiry Date", Slot::kExpires));
+    e.push_back(RegField("Registrant Name", Slot::kRegName, S::kName));
+    e.push_back(RegField("Registrant Organization", Slot::kRegOrg, S::kOrg));
+    e.push_back(RegField("Registrant Street", Slot::kRegStreet, S::kStreet));
+    e.push_back(RegField("Registrant City", Slot::kRegCity, S::kCity));
+    e.push_back(RegField("Registrant Country", Slot::kRegCountryCode,
+                         S::kCountry));
+    e.push_back(RegField("Registrant Email", Slot::kRegEmail, S::kEmail));
+    e.push_back(Field(L::kDomain, "Name Server", Slot::kNameServers));
+    e.push_back(Blank());
+    e.push_back(Boilerplate(Boiler(3)));
+    new_tlds_["xxx"] = std::move(spec);
+  }
+  {
+    TemplateSpec spec;
+    spec.id = "tld/aero";
+    spec.date_style = DateStyle::kIsoTime;
+    auto& e = spec.elements;
+    e.push_back(Boilerplate("% .aero WHOIS registry"));
+    e.push_back(Blank());
+    e.push_back(Field(L::kDomain, "Domain Name", Slot::kDomainName));
+    e.push_back(Field(L::kRegistrar, "Registrar", Slot::kRegistrarName));
+    e.push_back(Field(L::kDate, "Created On", Slot::kCreated));
+    e.push_back(Field(L::kDate, "Expiration Date", Slot::kExpires));
+    e.push_back(RegField("Domain Holder", Slot::kRegName, S::kName));
+    e.push_back(RegField("Holder Organization", Slot::kRegOrg, S::kOrg));
+    e.push_back(RegField("Holder Street", Slot::kRegStreet, S::kStreet));
+    e.push_back(RegField("Holder City", Slot::kRegCity, S::kCity));
+    e.push_back(RegField("Holder Country", Slot::kRegCountryCode, S::kCountry));
+    e.push_back(RegField("Holder Email", Slot::kRegEmail, S::kEmail));
+    e.push_back(Field(L::kDomain, "Name Server", Slot::kNameServers));
+    e.push_back(Blank());
+    e.push_back(Boilerplate(Boiler(4)));
+    new_tlds_["aero"] = std::move(spec);
+  }
+
+  // asia: CNNIC-style with many ID'd contact lines — unfamiliar titles.
+  {
+    TemplateSpec spec;
+    spec.id = "tld/asia";
+    spec.date_style = DateStyle::kIsoTime;
+    auto& e = spec.elements;
+    e.push_back(Field(L::kDomain, "Domain ID", Slot::kIanaId));
+    e.push_back(Field(L::kDomain, "Domain Name", Slot::kDomainName));
+    e.push_back(Field(L::kDate, "Domain Create Date", Slot::kCreated));
+    e.push_back(Field(L::kDate, "Domain Expiration Date", Slot::kExpires));
+    e.push_back(Field(L::kDate, "Domain Last Updated Date", Slot::kUpdated));
+    e.push_back(Field(L::kRegistrar, "Sponsoring Registrar",
+                      Slot::kRegistrarName));
+    e.push_back(Field(L::kDomain, "Domain Status", Slot::kStatuses));
+    e.push_back(RegField("Registrant PID", Slot::kRegId, S::kId));
+    e.push_back(RegField("Registrant Given Name", Slot::kRegName, S::kName));
+    e.push_back(RegField("Registrant Entity Name", Slot::kRegOrg, S::kOrg));
+    e.push_back(RegField("Registrant Address1", Slot::kRegStreet, S::kStreet));
+    e.push_back(RegField("Registrant City", Slot::kRegCity, S::kCity));
+    e.push_back(RegField("Registrant Postal Code", Slot::kRegPostcode,
+                         S::kPostcode));
+    e.push_back(RegField("Registrant Country Code", Slot::kRegCountryCode,
+                         S::kCountry));
+    e.push_back(RegField("Registrant Telephone", Slot::kRegPhone, S::kPhone));
+    e.push_back(RegField("Registrant E-Mail", Slot::kRegEmail, S::kEmail));
+    e.push_back(Field(L::kDomain, "Nameservers", Slot::kNameServers));
+    e.push_back(Blank());
+    e.push_back(Boilerplate(Boiler(5)));
+    new_tlds_["asia"] = std::move(spec);
+  }
+
+  // biz: NeuLevel verbose schema — every title prefixed oddly.
+  {
+    TemplateSpec spec;
+    spec.id = "tld/biz";
+    spec.date_style = DateStyle::kUsSlashes;
+    auto& e = spec.elements;
+    e.push_back(Field(L::kDomain, "Domain Name", Slot::kDomainName));
+    e.push_back(Field(L::kRegistrar, "Sponsoring Registrar",
+                      Slot::kRegistrarName));
+    e.push_back(Field(L::kDomain, "Domain Status", Slot::kStatuses));
+    e.push_back(RegField("Registrant Contact ID", Slot::kRegId, S::kId));
+    e.push_back(RegField("Registrant Contact Name", Slot::kRegName, S::kName));
+    e.push_back(RegField("Registrant Organization Name", Slot::kRegOrg,
+                         S::kOrg));
+    e.push_back(RegField("Registrant Address Line 1", Slot::kRegStreet,
+                         S::kStreet));
+    e.push_back(RegField("Registrant City Name", Slot::kRegCity, S::kCity));
+    e.push_back(RegField("Registrant State Code", Slot::kRegState, S::kState));
+    e.push_back(RegField("Registrant Postal Number", Slot::kRegPostcode,
+                         S::kPostcode));
+    e.push_back(RegField("Registrant Country Value", Slot::kRegCountryName,
+                         S::kCountry));
+    e.push_back(RegField("Registrant Telephone Number", Slot::kRegPhone,
+                         S::kPhone));
+    e.push_back(RegField("Registrant Electronic Mail", Slot::kRegEmail,
+                         S::kEmail));
+    e.push_back(Field(L::kDate, "Domain Registration Date", Slot::kCreated));
+    e.push_back(Field(L::kDate, "Domain Expiration Date", Slot::kExpires));
+    e.push_back(Field(L::kDate, "Domain Last Updated Date", Slot::kUpdated));
+    e.push_back(Field(L::kDomain, "Name Server", Slot::kNameServers));
+    e.push_back(Blank());
+    e.push_back(Boilerplate(Boiler(0)));
+    new_tlds_["biz"] = std::move(spec);
+  }
+
+  // coop: the pathological case — contextual multi-block layout with
+  // cryptic keys and value-only lines (Table 2: even the CRF errs here).
+  {
+    TemplateSpec spec;
+    spec.id = "tld/coop";
+    spec.date_style = DateStyle::kDMonY;
+    spec.separator = ":  ";
+    spec.indent = "        ";
+    auto& e = spec.elements;
+    e.push_back(Boilerplate("%% .coop registry whois service\n"
+                            "%% for the global cooperative community"));
+    e.push_back(Blank());
+    e.push_back(Field(L::kDomain, "domain", Slot::kDomainName));
+    e.push_back(Field(L::kDate, "record generated", Slot::kUpdated));
+    e.push_back(Field(L::kDate, "inception", Slot::kCreated));
+    e.push_back(Field(L::kDate, "paid up to", Slot::kExpires));
+    e.push_back(Blank());
+    e.push_back(Literal(L::kRegistrant, "contact", "registrant",
+                        S::kOther));
+    {
+      Element f = RegField("", Slot::kRegName, S::kName);
+      f.indent = true;
+      e.push_back(f);
+      f = RegField("", Slot::kRegOrg, S::kOrg);
+      f.indent = true;
+      e.push_back(f);
+      f = RegField("", Slot::kRegStreet, S::kStreet);
+      f.indent = true;
+      e.push_back(f);
+      f = RegField("", Slot::kRegCityStateZip, S::kCity);
+      f.indent = true;
+      e.push_back(f);
+      f = RegField("", Slot::kRegCountryName, S::kCountry);
+      f.indent = true;
+      e.push_back(f);
+      f = RegField("", Slot::kRegPhone, S::kPhone);
+      f.indent = true;
+      e.push_back(f);
+      f = RegField("", Slot::kRegEmail, S::kEmail);
+      f.indent = true;
+      e.push_back(f);
+    }
+    e.push_back(Blank());
+    e.push_back(Literal(L::kOther, "contact", "admin"));
+    {
+      Element f = Field(L::kOther, "", Slot::kAdminName);
+      f.indent = true;
+      e.push_back(f);
+      f = Field(L::kOther, "", Slot::kAdminEmail);
+      f.indent = true;
+      e.push_back(f);
+    }
+    e.push_back(Blank());
+    e.push_back(Field(L::kDomain, "host", Slot::kNameServers));
+    e.push_back(Field(L::kRegistrar, "sponsor", Slot::kRegistrarName));
+    e.push_back(Blank());
+    e.push_back(Boilerplate(Boiler(2)));
+    new_tlds_["coop"] = std::move(spec);
+  }
+
+  // name: compact personal-registration record.
+  {
+    TemplateSpec spec;
+    spec.id = "tld/name";
+    spec.date_style = DateStyle::kIsoTime;
+    auto& e = spec.elements;
+    e.push_back(Field(L::kDomain, "Domain Name", Slot::kDomainName));
+    e.push_back(Field(L::kRegistrar, "Registrar", Slot::kRegistrarName));
+    e.push_back(Field(L::kDate, "Created On", Slot::kCreated));
+    e.push_back(Field(L::kDate, "Expires On", Slot::kExpires));
+    e.push_back(RegField("Registrant", Slot::kRegName, S::kName));
+    e.push_back(RegField("Registrant Email", Slot::kRegEmail, S::kEmail));
+    e.push_back(Field(L::kDomain, "Name Server", Slot::kNameServers));
+    new_tlds_["name"] = std::move(spec);
+  }
+
+  // travel: Tralliance's upper-case underscore keys.
+  {
+    TemplateSpec spec;
+    spec.id = "tld/travel";
+    spec.date_style = DateStyle::kIsoTime;
+    spec.separator = "=";
+    auto& e = spec.elements;
+    e.push_back(Field(L::kDomain, "DOMAIN", Slot::kDomainName));
+    e.push_back(Field(L::kRegistrar, "SPONSOR", Slot::kRegistrarName));
+    e.push_back(Field(L::kDate, "CREATED_DATE", Slot::kCreated));
+    e.push_back(Field(L::kDate, "EXPIRY_DATE", Slot::kExpires));
+    e.push_back(RegField("DOMAIN_OWNER_NAME", Slot::kRegName, S::kName));
+    e.push_back(RegField("DOMAIN_OWNER_ORG", Slot::kRegOrg, S::kOrg));
+    e.push_back(RegField("DOMAIN_OWNER_ADDRESS", Slot::kRegStreet, S::kStreet));
+    e.push_back(RegField("DOMAIN_OWNER_CITY", Slot::kRegCity, S::kCity));
+    e.push_back(RegField("DOMAIN_OWNER_ZIP", Slot::kRegPostcode, S::kPostcode));
+    e.push_back(RegField("DOMAIN_OWNER_COUNTRY", Slot::kRegCountryCode, S::kCountry));
+    e.push_back(RegField("DOMAIN_OWNER_PHONE", Slot::kRegPhone, S::kPhone));
+    e.push_back(RegField("DOMAIN_OWNER_EMAIL", Slot::kRegEmail, S::kEmail));
+    e.push_back(Field(L::kDomain, "NSERVER", Slot::kNameServers));
+    e.push_back(Blank());
+    e.push_back(Boilerplate(Boiler(3)));
+    new_tlds_["travel"] = std::move(spec);
+  }
+
+  // us: NeuStar keys with "(C)" suffixes.
+  {
+    TemplateSpec spec;
+    spec.id = "tld/us";
+    spec.date_style = DateStyle::kDMonY;
+    auto& e = spec.elements;
+    e.push_back(Field(L::kDomain, "Domain Name (UTF-8)", Slot::kDomainName));
+    e.push_back(Field(L::kRegistrar, "Sponsoring Registrar (C)",
+                      Slot::kRegistrarName));
+    e.push_back(Field(L::kDomain, "Domain Status (C)", Slot::kStatuses));
+    e.push_back(RegField("Registrant Name (C)", Slot::kRegName, S::kName));
+    e.push_back(RegField("Registrant Organization (C)", Slot::kRegOrg,
+                         S::kOrg));
+    e.push_back(RegField("Registrant Address1 (C)", Slot::kRegStreet,
+                         S::kStreet));
+    e.push_back(RegField("Registrant City (C)", Slot::kRegCity, S::kCity));
+    e.push_back(RegField("Registrant State/Province (C)", Slot::kRegState,
+                         S::kState));
+    e.push_back(RegField("Registrant Postal Code (C)", Slot::kRegPostcode,
+                         S::kPostcode));
+    e.push_back(RegField("Registrant Country Code (C)",
+                         Slot::kRegCountryCode, S::kCountry));
+    e.push_back(RegField("Registrant Phone Number (C)", Slot::kRegPhone,
+                         S::kPhone));
+    e.push_back(RegField("Registrant Email (C)", Slot::kRegEmail, S::kEmail));
+    e.push_back(Field(L::kDate, "Domain Registration Date (C)",
+                      Slot::kCreated));
+    e.push_back(Field(L::kDate, "Domain Expiration Date (C)", Slot::kExpires));
+    e.push_back(Field(L::kDomain, "Name Server (C)", Slot::kNameServers));
+    e.push_back(Blank());
+    e.push_back(Boilerplate(Boiler(4)));
+    new_tlds_["us"] = std::move(spec);
+  }
+}
+
+}  // namespace whoiscrf::datagen

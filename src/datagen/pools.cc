@@ -1,0 +1,349 @@
+#include "datagen/pools.h"
+
+#include <array>
+
+namespace whoiscrf::datagen::pools {
+
+namespace {
+
+using sv = std::string_view;
+
+constexpr std::array kGenericFirst = {
+    sv{"James"},  sv{"Mary"},    sv{"Robert"},  sv{"Patricia"}, sv{"John"},
+    sv{"Jennifer"}, sv{"Michael"}, sv{"Linda"}, sv{"David"},    sv{"Elizabeth"},
+    sv{"William"}, sv{"Barbara"}, sv{"Richard"}, sv{"Susan"},   sv{"Joseph"},
+    sv{"Jessica"}, sv{"Thomas"},  sv{"Sarah"},   sv{"Charles"}, sv{"Karen"},
+    sv{"Daniel"},  sv{"Nancy"},   sv{"Matthew"}, sv{"Lisa"},    sv{"Anthony"},
+    sv{"Betty"},   sv{"Mark"},    sv{"Margaret"}, sv{"Donald"}, sv{"Sandra"},
+    sv{"Steven"},  sv{"Ashley"},  sv{"Paul"},    sv{"Kimberly"}, sv{"Andrew"},
+    sv{"Emily"},   sv{"Joshua"},  sv{"Donna"},   sv{"Kenneth"}, sv{"Michelle"},
+};
+
+constexpr std::array kGenericLast = {
+    sv{"Smith"},   sv{"Johnson"},  sv{"Williams"}, sv{"Brown"},  sv{"Jones"},
+    sv{"Garcia"},  sv{"Miller"},   sv{"Davis"},    sv{"Rodriguez"},
+    sv{"Martinez"}, sv{"Hernandez"}, sv{"Lopez"},  sv{"Gonzalez"},
+    sv{"Wilson"},  sv{"Anderson"}, sv{"Thomas"},   sv{"Taylor"}, sv{"Moore"},
+    sv{"Jackson"}, sv{"Martin"},   sv{"Lee"},      sv{"Perez"},  sv{"Thompson"},
+    sv{"White"},   sv{"Harris"},   sv{"Sanchez"},  sv{"Clark"},  sv{"Ramirez"},
+    sv{"Lewis"},   sv{"Robinson"}, sv{"Walker"},   sv{"Young"},  sv{"Allen"},
+    sv{"King"},    sv{"Wright"},   sv{"Scott"},    sv{"Torres"}, sv{"Nguyen"},
+    sv{"Hill"},    sv{"Flores"},
+};
+
+constexpr std::array kChineseFirst = {
+    sv{"Wei"},  sv{"Fang"}, sv{"Jun"},  sv{"Li"},   sv{"Min"},  sv{"Jing"},
+    sv{"Yan"},  sv{"Lei"},  sv{"Qiang"}, sv{"Xia"}, sv{"Hui"},  sv{"Ming"},
+};
+constexpr std::array kChineseLast = {
+    sv{"Wang"}, sv{"Li"},   sv{"Zhang"}, sv{"Liu"}, sv{"Chen"}, sv{"Yang"},
+    sv{"Huang"}, sv{"Zhao"}, sv{"Wu"},   sv{"Zhou"}, sv{"Xu"},  sv{"Sun"},
+};
+
+constexpr std::array kJapaneseFirst = {
+    sv{"Hiroshi"}, sv{"Takashi"}, sv{"Kenji"}, sv{"Yuki"},   sv{"Akira"},
+    sv{"Naoko"},   sv{"Keiko"},   sv{"Satoshi"}, sv{"Haruto"}, sv{"Yui"},
+};
+constexpr std::array kJapaneseLast = {
+    sv{"Sato"},   sv{"Suzuki"}, sv{"Takahashi"}, sv{"Tanaka"}, sv{"Watanabe"},
+    sv{"Ito"},    sv{"Yamamoto"}, sv{"Nakamura"}, sv{"Kobayashi"},
+    sv{"Kato"},
+};
+
+constexpr std::array kGermanFirst = {
+    sv{"Hans"},  sv{"Anna"},   sv{"Klaus"}, sv{"Ursula"}, sv{"Peter"},
+    sv{"Monika"}, sv{"Wolfgang"}, sv{"Petra"}, sv{"Juergen"}, sv{"Sabine"},
+};
+constexpr std::array kGermanLast = {
+    sv{"Mueller"}, sv{"Schmidt"}, sv{"Schneider"}, sv{"Fischer"},
+    sv{"Weber"},   sv{"Meyer"},   sv{"Wagner"},    sv{"Becker"},
+    sv{"Schulz"},  sv{"Hoffmann"},
+};
+
+constexpr std::array kFrenchFirst = {
+    sv{"Jean"},   sv{"Marie"},  sv{"Pierre"}, sv{"Sophie"}, sv{"Michel"},
+    sv{"Isabelle"}, sv{"Philippe"}, sv{"Nathalie"}, sv{"Alain"}, sv{"Claire"},
+};
+constexpr std::array kFrenchLast = {
+    sv{"Martin"}, sv{"Bernard"}, sv{"Dubois"}, sv{"Thomas"}, sv{"Robert"},
+    sv{"Richard"}, sv{"Petit"},  sv{"Durand"}, sv{"Leroy"},  sv{"Moreau"},
+};
+
+constexpr std::array kSpanishFirst = {
+    sv{"Antonio"}, sv{"Maria"},  sv{"Manuel"}, sv{"Carmen"}, sv{"Jose"},
+    sv{"Ana"},     sv{"Francisco"}, sv{"Laura"}, sv{"Javier"}, sv{"Marta"},
+};
+constexpr std::array kSpanishLast = {
+    sv{"Garcia"},  sv{"Fernandez"}, sv{"Gonzalez"}, sv{"Rodriguez"},
+    sv{"Lopez"},   sv{"Martinez"},  sv{"Sanchez"},  sv{"Perez"},
+    sv{"Gomez"},   sv{"Martin"},
+};
+
+constexpr std::array kIndianFirst = {
+    sv{"Raj"},    sv{"Priya"},  sv{"Amit"},  sv{"Sunita"}, sv{"Vijay"},
+    sv{"Anita"},  sv{"Sanjay"}, sv{"Deepa"}, sv{"Rahul"},  sv{"Kavita"},
+};
+constexpr std::array kIndianLast = {
+    sv{"Sharma"}, sv{"Patel"},  sv{"Singh"},  sv{"Kumar"},  sv{"Gupta"},
+    sv{"Verma"},  sv{"Reddy"},  sv{"Mehta"},  sv{"Joshi"},  sv{"Nair"},
+};
+
+constexpr std::array kTurkishFirst = {
+    sv{"Mehmet"}, sv{"Ayse"}, sv{"Mustafa"}, sv{"Fatma"}, sv{"Ahmet"},
+    sv{"Emine"},  sv{"Ali"},  sv{"Hatice"},  sv{"Huseyin"}, sv{"Zeynep"},
+};
+constexpr std::array kTurkishLast = {
+    sv{"Yilmaz"}, sv{"Kaya"}, sv{"Demir"}, sv{"Celik"}, sv{"Sahin"},
+    sv{"Yildiz"}, sv{"Aydin"}, sv{"Ozturk"}, sv{"Arslan"}, sv{"Dogan"},
+};
+
+constexpr std::array kVietnameseFirst = {
+    sv{"Minh"}, sv{"Lan"},  sv{"Hung"}, sv{"Mai"},  sv{"Tuan"},
+    sv{"Hoa"},  sv{"Duc"},  sv{"Thu"},  sv{"Quang"}, sv{"Linh"},
+};
+constexpr std::array kVietnameseLast = {
+    sv{"Nguyen"}, sv{"Tran"}, sv{"Le"},   sv{"Pham"},  sv{"Hoang"},
+    sv{"Phan"},   sv{"Vu"},   sv{"Dang"}, sv{"Bui"},   sv{"Do"},
+};
+
+constexpr std::array kRussianFirst = {
+    sv{"Ivan"},   sv{"Olga"},   sv{"Dmitry"}, sv{"Elena"}, sv{"Sergey"},
+    sv{"Natalia"}, sv{"Andrei"}, sv{"Irina"}, sv{"Alexei"}, sv{"Svetlana"},
+};
+constexpr std::array kRussianLast = {
+    sv{"Ivanov"},  sv{"Smirnov"}, sv{"Kuznetsov"}, sv{"Popov"},
+    sv{"Vasiliev"}, sv{"Petrov"}, sv{"Sokolov"},   sv{"Mikhailov"},
+    sv{"Novikov"}, sv{"Fedorov"},
+};
+
+constexpr std::array kUsCities = {
+    CityInfo{"New York", "NY", "10001"},
+    CityInfo{"Los Angeles", "CA", "90001"},
+    CityInfo{"Chicago", "IL", "60601"},
+    CityInfo{"Houston", "TX", "77001"},
+    CityInfo{"Phoenix", "AZ", "85001"},
+    CityInfo{"San Diego", "CA", "92101"},
+    CityInfo{"Dallas", "TX", "75201"},
+    CityInfo{"Seattle", "WA", "98101"},
+    CityInfo{"Denver", "CO", "80201"},
+    CityInfo{"Boston", "MA", "02108"},
+    CityInfo{"Scottsdale", "AZ", "85260"},
+    CityInfo{"Atlanta", "GA", "30301"},
+};
+constexpr std::array kCnCities = {
+    CityInfo{"Beijing", "", "100000"},  CityInfo{"Shanghai", "", "200000"},
+    CityInfo{"Guangzhou", "", "510000"}, CityInfo{"Shenzhen", "", "518000"},
+    CityInfo{"Hangzhou", "", "310000"}, CityInfo{"Chengdu", "", "610000"},
+    CityInfo{"Nanjing", "", "210000"},  CityInfo{"Wuhan", "", "430000"},
+};
+constexpr std::array kGbCities = {
+    CityInfo{"London", "", "SW1A 1AA"},  CityInfo{"Manchester", "", "M1 1AE"},
+    CityInfo{"Birmingham", "", "B1 1AA"}, CityInfo{"Leeds", "", "LS1 1UR"},
+    CityInfo{"Glasgow", "", "G1 1XQ"},   CityInfo{"Bristol", "", "BS1 4DJ"},
+};
+constexpr std::array kDeCities = {
+    CityInfo{"Berlin", "", "10115"},  CityInfo{"Hamburg", "", "20095"},
+    CityInfo{"Munich", "", "80331"},  CityInfo{"Cologne", "", "50667"},
+    CityInfo{"Frankfurt", "", "60311"}, CityInfo{"Stuttgart", "", "70173"},
+};
+constexpr std::array kFrCities = {
+    CityInfo{"Paris", "", "75001"},  CityInfo{"Lyon", "", "69001"},
+    CityInfo{"Marseille", "", "13001"}, CityInfo{"Toulouse", "", "31000"},
+    CityInfo{"Nice", "", "06000"},   CityInfo{"Nantes", "", "44000"},
+};
+constexpr std::array kCaCities = {
+    CityInfo{"Toronto", "ON", "M5H 2N2"},  CityInfo{"Vancouver", "BC", "V5K 0A1"},
+    CityInfo{"Montreal", "QC", "H2Y 1C6"}, CityInfo{"Calgary", "AB", "T2P 1J9"},
+    CityInfo{"Ottawa", "ON", "K1P 1J1"},
+};
+constexpr std::array kEsCities = {
+    CityInfo{"Madrid", "", "28001"},   CityInfo{"Barcelona", "", "08001"},
+    CityInfo{"Valencia", "", "46001"}, CityInfo{"Seville", "", "41001"},
+};
+constexpr std::array kAuCities = {
+    CityInfo{"Sydney", "NSW", "2000"},   CityInfo{"Melbourne", "VIC", "3000"},
+    CityInfo{"Brisbane", "QLD", "4000"}, CityInfo{"Perth", "WA", "6000"},
+};
+constexpr std::array kJpCities = {
+    CityInfo{"Tokyo", "", "100-0001"},  CityInfo{"Osaka", "", "530-0001"},
+    CityInfo{"Nagoya", "", "450-0002"}, CityInfo{"Fukuoka", "", "810-0001"},
+    CityInfo{"Sapporo", "", "060-0001"},
+};
+constexpr std::array kInCities = {
+    CityInfo{"Mumbai", "MH", "400001"},   CityInfo{"Delhi", "DL", "110001"},
+    CityInfo{"Bangalore", "KA", "560001"}, CityInfo{"Chennai", "TN", "600001"},
+    CityInfo{"Hyderabad", "TG", "500001"},
+};
+constexpr std::array kTrCities = {
+    CityInfo{"Istanbul", "", "34000"}, CityInfo{"Ankara", "", "06000"},
+    CityInfo{"Izmir", "", "35000"},    CityInfo{"Bursa", "", "16000"},
+};
+constexpr std::array kVnCities = {
+    CityInfo{"Hanoi", "", "100000"},       CityInfo{"Ho Chi Minh City", "", "700000"},
+    CityInfo{"Da Nang", "", "550000"},
+};
+constexpr std::array kRuCities = {
+    CityInfo{"Moscow", "", "101000"},  CityInfo{"Saint Petersburg", "", "190000"},
+    CityInfo{"Novosibirsk", "", "630000"},
+};
+
+constexpr std::array kStreetStems = {
+    sv{"Main"},    sv{"Oak"},     sv{"Maple"},  sv{"Cedar"},  sv{"Park"},
+    sv{"Pine"},    sv{"Lake"},    sv{"Hill"},   sv{"River"},  sv{"Sunset"},
+    sv{"Washington"}, sv{"Lincoln"}, sv{"Jackson"}, sv{"Franklin"},
+    sv{"Jefferson"}, sv{"Madison"}, sv{"Highland"}, sv{"Valley"},
+    sv{"Spring"},  sv{"Center"},  sv{"Church"}, sv{"Market"}, sv{"Broad"},
+    sv{"Commerce"}, sv{"Industrial"}, sv{"Technology"}, sv{"Innovation"},
+};
+constexpr std::array kStreetSuffixes = {
+    sv{"St"},   sv{"Ave"},  sv{"Blvd"}, sv{"Dr"},  sv{"Rd"},
+    sv{"Ln"},   sv{"Way"},  sv{"Ct"},   sv{"Pl"},  sv{"Street"},
+    sv{"Avenue"}, sv{"Road"},
+};
+
+constexpr std::array kOrgStems = {
+    sv{"Pacific"},  sv{"Global"},   sv{"Summit"},   sv{"Pioneer"},
+    sv{"Horizon"},  sv{"Vertex"},   sv{"Quantum"},  sv{"Stellar"},
+    sv{"Cascade"},  sv{"Beacon"},   sv{"Evergreen"}, sv{"Granite"},
+    sv{"Silverline"}, sv{"Bluewave"}, sv{"Redwood"}, sv{"Ironwood"},
+    sv{"Northstar"}, sv{"Crestview"}, sv{"Lakeside"}, sv{"Brightpath"},
+    sv{"Sunrise"},  sv{"Velocity"}, sv{"Apex"},     sv{"Fusion"},
+    sv{"Catalyst"}, sv{"Momentum"}, sv{"Keystone"}, sv{"Trailhead"},
+};
+constexpr std::array kOrgSuffixesUs = {
+    sv{"LLC"}, sv{"Inc."}, sv{"Corp."}, sv{"Co."}, sv{"Group"},
+    sv{"Holdings"}, sv{"Ventures"}, sv{"Solutions"}, sv{"Media"},
+    sv{"Consulting"},
+};
+constexpr std::array kOrgSuffixesDe = {sv{"GmbH"}, sv{"AG"}, sv{"KG"}};
+constexpr std::array kOrgSuffixesFr = {sv{"SARL"}, sv{"SAS"}, sv{"SA"}};
+constexpr std::array kOrgSuffixesJp = {sv{"K.K."}, sv{"Co., Ltd."},
+                                       sv{"Inc."}};
+constexpr std::array kOrgSuffixesCn = {sv{"Technology Co., Ltd."},
+                                       sv{"Network Co., Ltd."},
+                                       sv{"Trading Co., Ltd."}};
+constexpr std::array kOrgSuffixesGb = {sv{"Ltd"}, sv{"Ltd."}, sv{"PLC"},
+                                       sv{"Limited"}};
+
+constexpr std::array kEmailProviders = {
+    sv{"gmail.com"},   sv{"yahoo.com"}, sv{"hotmail.com"}, sv{"outlook.com"},
+    sv{"aol.com"},     sv{"mail.com"},  sv{"163.com"},     sv{"qq.com"},
+    sv{"126.com"},     sv{"yandex.ru"}, sv{"web.de"},      sv{"gmx.de"},
+    sv{"orange.fr"},   sv{"yahoo.co.jp"},
+};
+
+constexpr std::array kDomainWords = {
+    sv{"shop"},   sv{"tech"},   sv{"cloud"},  sv{"data"},   sv{"web"},
+    sv{"media"},  sv{"store"},  sv{"market"}, sv{"trade"},  sv{"travel"},
+    sv{"home"},   sv{"life"},   sv{"health"}, sv{"smart"},  sv{"green"},
+    sv{"blue"},   sv{"fast"},   sv{"easy"},   sv{"best"},   sv{"top"},
+    sv{"pro"},    sv{"net"},    sv{"hub"},    sv{"lab"},    sv{"zone"},
+    sv{"world"},  sv{"city"},   sv{"line"},   sv{"link"},   sv{"page"},
+    sv{"digital"}, sv{"global"}, sv{"prime"}, sv{"plus"},   sv{"max"},
+    sv{"gold"},   sv{"star"},   sv{"nova"},   sv{"alpha"},  sv{"meta"},
+};
+
+constexpr std::array kBrands = {
+    Brand{"Amazon", 20596},
+    Brand{"AOL", 17136},
+    Brand{"Microsoft", 16694},
+    Brand{"21st Century Fox", 14249},
+    Brand{"Warner Bros.", 13674},
+    Brand{"Yahoo", 10502},
+    Brand{"Disney", 10342},
+    Brand{"Google", 6612},
+    Brand{"AT&T", 3931},
+    Brand{"eBay", 2570},
+    Brand{"Nike", 2566},
+};
+
+constexpr std::array kBoilerplates = {
+    sv{"The data in this whois database is provided to you for information\n"
+       "purposes only, that is, to assist you in obtaining information about\n"
+       "or related to a domain name registration record. We make this\n"
+       "information available as is, and do not guarantee its accuracy."},
+    sv{"TERMS OF USE: You are not authorized to access or query our Whois\n"
+       "database through the use of electronic processes that are high-volume\n"
+       "and automated. Whois database is provided as a service to the internet\n"
+       "community."},
+    sv{"NOTICE: The expiration date displayed in this record is the date the\n"
+       "registrar's sponsorship of the domain name registration in the registry\n"
+       "is currently set to expire. This date does not necessarily reflect the\n"
+       "expiration date of the domain name registrant's agreement with the\n"
+       "sponsoring registrar."},
+    sv{"By submitting a WHOIS query, you agree that you will use this data\n"
+       "only for lawful purposes and that, under no circumstances will you use\n"
+       "this data to allow, enable, or otherwise support the transmission of\n"
+       "mass unsolicited, commercial advertising or solicitations."},
+    sv{"For more information on Whois status codes, please visit\n"
+       "https://www.icann.org/epp"},
+    sv{"Registration Service Provided By: the sponsoring registrar listed\n"
+       "above. Please contact the registrar for domain related issues."},
+};
+
+}  // namespace
+
+std::span<const std::string_view> GenericFirstNames() { return kGenericFirst; }
+std::span<const std::string_view> GenericLastNames() { return kGenericLast; }
+
+std::span<const std::string_view> FirstNames(std::string_view cc) {
+  if (cc == "CN") return kChineseFirst;
+  if (cc == "JP") return kJapaneseFirst;
+  if (cc == "DE") return kGermanFirst;
+  if (cc == "FR") return kFrenchFirst;
+  if (cc == "ES") return kSpanishFirst;
+  if (cc == "IN") return kIndianFirst;
+  if (cc == "TR") return kTurkishFirst;
+  if (cc == "VN") return kVietnameseFirst;
+  if (cc == "RU") return kRussianFirst;
+  return {};
+}
+
+std::span<const std::string_view> LastNames(std::string_view cc) {
+  if (cc == "CN") return kChineseLast;
+  if (cc == "JP") return kJapaneseLast;
+  if (cc == "DE") return kGermanLast;
+  if (cc == "FR") return kFrenchLast;
+  if (cc == "ES") return kSpanishLast;
+  if (cc == "IN") return kIndianLast;
+  if (cc == "TR") return kTurkishLast;
+  if (cc == "VN") return kVietnameseLast;
+  if (cc == "RU") return kRussianLast;
+  return {};
+}
+
+std::span<const CityInfo> Cities(std::string_view cc) {
+  if (cc == "CN") return kCnCities;
+  if (cc == "GB") return kGbCities;
+  if (cc == "DE") return kDeCities;
+  if (cc == "FR") return kFrCities;
+  if (cc == "CA") return kCaCities;
+  if (cc == "ES") return kEsCities;
+  if (cc == "AU") return kAuCities;
+  if (cc == "JP") return kJpCities;
+  if (cc == "IN") return kInCities;
+  if (cc == "TR") return kTrCities;
+  if (cc == "VN") return kVnCities;
+  if (cc == "RU") return kRuCities;
+  return kUsCities;
+}
+
+std::span<const std::string_view> StreetStems() { return kStreetStems; }
+std::span<const std::string_view> StreetSuffixes() { return kStreetSuffixes; }
+std::span<const std::string_view> OrgStems() { return kOrgStems; }
+
+std::span<const std::string_view> OrgSuffixes(std::string_view cc) {
+  if (cc == "DE") return kOrgSuffixesDe;
+  if (cc == "FR") return kOrgSuffixesFr;
+  if (cc == "JP") return kOrgSuffixesJp;
+  if (cc == "CN") return kOrgSuffixesCn;
+  if (cc == "GB") return kOrgSuffixesGb;
+  return kOrgSuffixesUs;
+}
+
+std::span<const std::string_view> EmailProviders() { return kEmailProviders; }
+std::span<const std::string_view> DomainWords() { return kDomainWords; }
+std::span<const Brand> Brands() { return kBrands; }
+std::span<const std::string_view> Boilerplates() { return kBoilerplates; }
+
+}  // namespace whoiscrf::datagen::pools

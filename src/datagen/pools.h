@@ -1,0 +1,53 @@
+// Static data pools used by the entity generator: person names, cities,
+// streets, organizations, brand companies (paper Table 4), and boilerplate
+// legalese paragraphs. Per-country pools exist for the countries the paper's
+// survey highlights; everything else falls back to the generic pools.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+namespace whoiscrf::datagen::pools {
+
+struct CityInfo {
+  std::string_view city;
+  std::string_view state;     // empty when the country doesn't use states
+  std::string_view postcode;  // representative postcode for the city
+};
+
+// Generic (Western) name pools.
+std::span<const std::string_view> GenericFirstNames();
+std::span<const std::string_view> GenericLastNames();
+
+// Country-specific name pools; empty span when none (use generic).
+std::span<const std::string_view> FirstNames(std::string_view country_code);
+std::span<const std::string_view> LastNames(std::string_view country_code);
+
+// Cities with state/postcode, per country; falls back to US cities.
+std::span<const CityInfo> Cities(std::string_view country_code);
+
+// Street name stems ("Main", "Oak", ...) and suffixes ("St", "Ave", ...).
+std::span<const std::string_view> StreetStems();
+std::span<const std::string_view> StreetSuffixes();
+
+// Organization name parts: stems + suffixes ("LLC", "Inc.", "GmbH", ...).
+std::span<const std::string_view> OrgStems();
+std::span<const std::string_view> OrgSuffixes(std::string_view country_code);
+
+// Free email providers for individuals.
+std::span<const std::string_view> EmailProviders();
+
+// Words used to build synthetic domain names.
+std::span<const std::string_view> DomainWords();
+
+// Brand companies and their approximate .com domain counts (Table 4).
+struct Brand {
+  std::string_view company;
+  int paper_domains;  // count the paper reports
+};
+std::span<const Brand> Brands();
+
+// Boilerplate/legalese paragraph variants (labeled null).
+std::span<const std::string_view> Boilerplates();
+
+}  // namespace whoiscrf::datagen::pools

@@ -1,0 +1,29 @@
+// Privacy / proxy protection services (paper §6.3, Table 7).
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "util/random.h"
+
+namespace whoiscrf::datagen {
+
+struct PrivacyService {
+  std::string_view name;   // as it appears in WHOIS registrant fields
+  double share;            // share among protected domains (Table 7)
+};
+
+// The modeled services, including the generic names the paper notes do not
+// correspond to identifiable organizations.
+std::span<const PrivacyService> PrivacyServices();
+
+// Base rate of privacy protection for registrations created in `year`
+// (rising over time; passes 20% in 2014 — Figure 4b).
+double PrivacyRateForYear(int year);
+
+// Draws a service name: the registrar's house service when it has one,
+// otherwise from the Table 7 distribution.
+std::string_view SamplePrivacyService(util::Rng& rng,
+                                      std::string_view registrar_service);
+
+}  // namespace whoiscrf::datagen

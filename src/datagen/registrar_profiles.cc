@@ -1,0 +1,170 @@
+#include "datagen/registrar_profiles.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace whoiscrf::datagen {
+
+namespace {
+
+RegistrarInfo Make(std::string short_name, std::string name,
+                   std::string server, std::string url, std::string iana,
+                   std::string family, double share_1998, double share_2014,
+                   double privacy_mult, std::string privacy_service,
+                   double dbl_factor,
+                   std::vector<std::pair<std::string, double>> tilt = {}) {
+  RegistrarInfo r;
+  r.short_name = std::move(short_name);
+  r.name = std::move(name);
+  r.whois_server = std::move(server);
+  r.url = std::move(url);
+  r.iana_id = std::move(iana);
+  r.family = std::move(family);
+  r.share_1998 = share_1998;
+  r.share_2014 = share_2014;
+  r.privacy_mult = privacy_mult;
+  r.privacy_service = std::move(privacy_service);
+  r.dbl_factor = dbl_factor;
+  r.country_tilt = std::move(tilt);
+  return r;
+}
+
+// Stems for the synthesized long-tail registrars. Each gets a distinct
+// generated template family ("tail/<n>"), modeling the hundreds of small
+// registrars and resellers whose formats no template library keeps up with.
+constexpr const char* kTailStems[] = {
+    "NameFalcon",  "DomainHub",   "RegPoint",   "WebNames",   "DotServe",
+    "NamePilot",   "ZoneRegistry", "DomainCove", "NameHarbor", "RegWorks",
+    "DotVault",    "NameSpring",  "DomainForge", "RegNest",    "WebDomains",
+    "NameOrbit",   "DotAnchor",   "DomainCrest", "RegBloom",   "NameQuarry",
+    "DotMeadow",   "DomainRidge", "RegHaven",    "NameLedger", "DotPrairie",
+    "DomainSummit", "RegCanyon",  "NameIsland",  "DotTundra",  "DomainGrove",
+};
+
+}  // namespace
+
+RegistrarTable::RegistrarTable() {
+  using P = std::pair<std::string, double>;
+  // Named registrars (Table 5 shares; privacy multipliers from Table 6;
+  // blacklist factors from Table 9; country tilts from Figure 5).
+  registrars_ = {
+      Make("GoDaddy", "GoDaddy.com, LLC", "whois.godaddy.com",
+           "http://www.godaddy.com", "146", "godaddy", 0.320, 0.344, 1.00,
+           "Domains By Proxy", 0.60),
+      Make("eNom", "eNom, Inc.", "whois.enom.com", "http://www.enom.com",
+           "48", "enom", 0.110, 0.077, 1.45,
+           "Whois Privacy Protect|WhoisGuard", 3.30,
+           {P{"CA", 0.10}, P{"GB", 0.09}}),
+      Make("Network Solutions", "Network Solutions, LLC",
+           "whois.networksolutions.com", "http://networksolutions.com", "2",
+           "netsol", 0.120, 0.043, 0.50, "Perfect Privacy", 0.85),
+      Make("1&1 Internet", "1&1 Internet AG", "whois.1and1.com",
+           "http://1and1.com", "83", "oneand1", 0.040, 0.021, 0.93,
+           "1&1 Internet", 0.40, {P{"DE", 0.45}}),
+      Make("Wild West Domains", "Wild West Domains, LLC",
+           "whois.wildwestdomains.com", "http://www.wildwestdomains.com",
+           "440", "wildwest", 0.020, 0.024, 1.15, "Domains By Proxy", 0.55),
+      Make("HiChina", "HiChina Zhicheng Technology Ltd.",
+           "grs-whois.hichina.com", "http://www.net.cn", "420", "hichina",
+           0.002, 0.037, 1.90, "Aliyun", 0.90,
+           {P{"CN", 0.78}, P{"", 0.10}, P{"VN", 0.02}, P{"HK", 0.03}}),
+      Make("Public Domain Reg.", "PDR Ltd. d/b/a PublicDomainRegistry.com",
+           "whois.publicdomainregistry.com", "http://www.pdr-ltd.com", "303",
+           "pdr", 0.004, 0.032, 1.60, "PrivacyProtect.org", 0.80,
+           {P{"IN", 0.35}}),
+      Make("Register.com", "Register.com, Inc.", "whois.register.com",
+           "http://www.register.com", "9", "register", 0.060, 0.021, 1.20,
+           "Perfect Privacy", 2.10),
+      Make("FastDomain", "FastDomain Inc.", "whois.fastdomain.com",
+           "http://www.fastdomain.com", "1154", "fastdomain", 0.010, 0.018,
+           1.70, "Whois Privacy Protect", 0.50),
+      Make("GMO Internet", "GMO Internet, Inc. d/b/a Onamae.com",
+           "whois.discount-domain.com", "http://www.onamae.com", "49", "gmo",
+           0.008, 0.030, 2.20, "MuuMuuDomain|FBO REGISTRANT", 6.80,
+           {P{"JP", 0.75}, P{"US", 0.08}}),
+      Make("Xinnet", "Xin Net Technology Corporation", "whois.paycenter.com.cn",
+           "http://www.xinnet.com", "120", "xinnet", 0.001, 0.033, 0.80,
+           "", 0.80, {P{"CN", 0.80}, P{"", 0.08}}),
+      Make("Melbourne IT", "Melbourne IT Ltd", "whois.melbourneit.com",
+           "http://www.melbourneit.com.au", "13", "melbourne", 0.030, 0.008,
+           0.80, "FBO REGISTRANT", 0.70,
+           {P{"US", 0.25}, P{"AU", 0.22}, P{"JP", 0.14}}),
+      Make("Tucows", "Tucows Domains Inc.", "whois.tucows.com",
+           "http://www.tucows.com", "69", "tucows", 0.035, 0.012, 0.90,
+           "Contact Privacy", 0.60, {P{"CA", 0.15}}),
+      Make("Moniker", "Moniker Online Services LLC", "whois.moniker.com",
+           "http://www.moniker.com", "228", "moniker", 0.003, 0.004, 1.20,
+           "Moniker Privacy Services", 10.0),
+      Make("Name.com", "Name.com, Inc.", "whois.name.com",
+           "http://www.name.com", "625", "namecom", 0.002, 0.007, 1.10,
+           "Whois Agent", 3.00),
+      Make("Bizcn.com", "Bizcn.com, Inc.", "whois.bizcn.com",
+           "http://www.bizcn.com", "471", "bizcn", 0.001, 0.005, 0.80, "",
+           4.50, {P{"CN", 0.80}}),
+      Make("DreamHost", "DreamHost, LLC", "whois.dreamhost.com",
+           "http://www.dreamhost.com", "431", "dreamhost", 0.003, 0.005,
+           5.60, "Happy DreamHost", 0.50),
+      Make("Namecheap", "NameCheap, Inc.", "whois.namecheap.com",
+           "http://www.namecheap.com", "1068", "namecheap", 0.002, 0.014,
+           2.50, "WhoisGuard", 1.20),
+      Make("OVH", "OVH sas", "whois.ovh.com", "http://www.ovh.com", "433",
+           "ovh", 0.002, 0.006, 0.80, "", 0.60, {P{"FR", 0.60}}),
+      Make("Gandi", "Gandi SAS", "whois.gandi.net", "http://www.gandi.net",
+           "81", "gandi", 0.004, 0.005, 0.90, "", 0.50, {P{"FR", 0.50}}),
+  };
+
+  // Synthesized long tail. Shares follow a Zipf profile over the residual
+  // mass (roughly 28% all-time / 26% in 2014 after the named registrars).
+  double named_1998 = 0.0;
+  double named_2014 = 0.0;
+  for (const auto& r : registrars_) {
+    named_1998 += r.share_1998;
+    named_2014 += r.share_2014;
+  }
+  const double tail_1998 = std::max(0.0, 1.0 - named_1998);
+  const double tail_2014 = std::max(0.0, 1.0 - named_2014);
+  const size_t tail_count = std::size(kTailStems);
+  double zipf_total = 0.0;
+  for (size_t i = 0; i < tail_count; ++i) {
+    zipf_total += 1.0 / std::pow(static_cast<double>(i + 1), 0.3);
+  }
+  for (size_t i = 0; i < tail_count; ++i) {
+    const double z =
+        (1.0 / std::pow(static_cast<double>(i + 1), 0.3)) / zipf_total;
+    const std::string stem = kTailStems[i];
+    const std::string lower = util::ToLower(stem);
+    RegistrarInfo r = Make(
+        stem, stem + " LLC", "whois." + lower + ".com",
+        "http://www." + lower + ".com", std::to_string(1500 + i),
+        "tail/" + std::to_string(i), tail_1998 * z, tail_2014 * z,
+        (i % 4 == 0) ? 1.6 : 0.8, "", (i % 7 == 0) ? 2.0 : 0.6);
+    registrars_.push_back(std::move(r));
+  }
+}
+
+int RegistrarTable::IndexOf(std::string_view short_name) const {
+  for (size_t i = 0; i < registrars_.size(); ++i) {
+    if (registrars_[i].short_name == short_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<double> RegistrarTable::WeightsForYear(int year) const {
+  const double t =
+      std::clamp((static_cast<double>(year) - 1998.0) / (2014.0 - 1998.0),
+                 0.0, 1.0);
+  std::vector<double> weights;
+  weights.reserve(registrars_.size());
+  for (const auto& r : registrars_) {
+    weights.push_back(r.share_1998 + t * (r.share_2014 - r.share_1998));
+  }
+  return weights;
+}
+
+size_t RegistrarTable::Sample(util::Rng& rng, int year) const {
+  return rng.WeightedIndex(WeightsForYear(year));
+}
+
+}  // namespace whoiscrf::datagen

@@ -1,0 +1,56 @@
+// The registrar population (paper Tables 5, 6, 9; Figure 5).
+//
+// Named registrars carry the paper's reported market shares (all-time and
+// 2014 columns of Table 5, interpolated per creation year), per-registrar
+// privacy-service propensities (Table 6), blacklist propensities (Table 9),
+// and registrant-country tilts (Figure 5). A synthesized long tail of
+// smaller registrars — each with its own generated WHOIS format — models
+// com's famous between-registrar schema diversity (§2.2).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/random.h"
+
+namespace whoiscrf::datagen {
+
+struct RegistrarInfo {
+  std::string name;          // display name, e.g. "GoDaddy.com, LLC"
+  std::string short_name;    // survey key, e.g. "GoDaddy"
+  std::string whois_server;  // e.g. "whois.godaddy.com"
+  std::string url;
+  std::string iana_id;
+  std::string family;        // template family id (see TemplateLibrary)
+  double share_1998 = 0.0;   // market share of registrations created ~1998
+  double share_2014 = 0.0;   // market share of registrations created 2014
+  double privacy_mult = 1.0; // multiplier on the per-year base privacy rate
+  std::string privacy_service;  // dominant privacy service; empty = generic
+  double dbl_factor = 1.0;   // relative blacklist propensity (Table 9)
+  // Registrant-country tilt: with probability sum(weights), draw from this
+  // list; otherwise from the global per-year country mix (Figure 5).
+  std::vector<std::pair<std::string, double>> country_tilt;
+};
+
+class RegistrarTable {
+ public:
+  RegistrarTable();
+
+  size_t size() const { return registrars_.size(); }
+  const RegistrarInfo& info(size_t index) const { return registrars_[index]; }
+
+  // Index by short name, or -1.
+  int IndexOf(std::string_view short_name) const;
+
+  // Market-share weights for registrations created in `year`.
+  std::vector<double> WeightsForYear(int year) const;
+
+  // Draws the sponsoring registrar for a registration created in `year`.
+  size_t Sample(util::Rng& rng, int year) const;
+
+ private:
+  std::vector<RegistrarInfo> registrars_;
+};
+
+}  // namespace whoiscrf::datagen

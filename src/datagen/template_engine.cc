@@ -1,0 +1,223 @@
+#include "datagen/template_engine.h"
+
+#include <array>
+#include <stdexcept>
+
+#include "util/string_util.h"
+
+namespace whoiscrf::datagen {
+
+namespace {
+
+constexpr std::array<const char*, 12> kMonthNames = {
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+
+std::string ApplyCasing(const std::string& s, Casing casing) {
+  switch (casing) {
+    case Casing::kAsIs: return s;
+    case Casing::kUpper: return util::ToUpper(s);
+    case Casing::kLower: return util::ToLower(s);
+  }
+  return s;
+}
+
+struct RenderState {
+  std::string text;
+  std::vector<whois::Level1Label> labels;
+  std::vector<std::optional<whois::Level2Label>> subs;
+};
+
+void EmitLine(RenderState& state, const std::string& line,
+              whois::Level1Label label,
+              std::optional<whois::Level2Label> sub) {
+  state.text += line;
+  state.text += '\n';
+  state.labels.push_back(label);
+  state.subs.push_back(sub);
+}
+
+void EmitBlank(RenderState& state) { state.text += '\n'; }
+
+// Values a slot resolves to; multi-valued slots produce several lines.
+std::vector<std::string> ResolveSlot(const Element& e,
+                                     const DomainFacts& f) {
+  const ContactFacts& r = f.registrant;
+  switch (e.slot) {
+    case Slot::kDomainName: return {f.domain};
+    case Slot::kRegistrarName: return {f.registrar_name};
+    case Slot::kRegistrarUrl: return {f.registrar_url};
+    case Slot::kWhoisServer: return {f.whois_server};
+    case Slot::kIanaId: return {f.iana_id};
+    case Slot::kNameServers: return f.name_servers;
+    case Slot::kStatuses: return f.statuses;
+    case Slot::kDnssec: return {"unsigned"};
+    case Slot::kCreated: return {f.created};
+    case Slot::kUpdated: return {f.updated};
+    case Slot::kExpires: return {f.expires};
+    case Slot::kRegName: return {r.name};
+    case Slot::kRegId: return {r.id};
+    case Slot::kRegOrg: return {r.org};
+    case Slot::kRegStreet: {
+      std::vector<std::string> out;
+      if (!r.street1.empty()) out.push_back(r.street1);
+      if (!r.street2.empty()) out.push_back(r.street2);
+      return out;
+    }
+    case Slot::kRegCity: return {r.city};
+    case Slot::kRegState: return {r.state};
+    case Slot::kRegPostcode: return {r.postcode};
+    case Slot::kRegCountryCode: return {r.country_code};
+    case Slot::kRegCountryName:
+      return {r.country_name.empty() ? r.country_code : r.country_name};
+    case Slot::kRegCityStateZip: {
+      std::string line = r.city;
+      if (!r.state.empty()) line += ", " + r.state;
+      if (!r.postcode.empty()) line += " " + r.postcode;
+      return {line};
+    }
+    case Slot::kRegPhone: return {r.phone};
+    case Slot::kRegFax: return {r.fax};
+    case Slot::kRegEmail: return {r.email};
+    case Slot::kAdminName: return {f.admin.name};
+    case Slot::kAdminEmail: return {f.admin.email};
+    case Slot::kAdminPhone: return {f.admin.phone};
+    case Slot::kTechName: return {f.tech.name};
+    case Slot::kTechEmail: return {f.tech.email};
+    case Slot::kTechPhone: return {f.tech.phone};
+    case Slot::kLiteral: return {e.literal};
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string TemplateEngine::FormatDate(const std::string& iso,
+                                       DateStyle style) {
+  // Expect YYYY-MM-DD prefix.
+  if (iso.size() < 10 || iso[4] != '-' || iso[7] != '-') return iso;
+  const std::string year = iso.substr(0, 4);
+  const std::string month = iso.substr(5, 2);
+  const std::string day = iso.substr(8, 2);
+  const int month_index = (month[0] - '0') * 10 + (month[1] - '0') - 1;
+  if (month_index < 0 || month_index > 11) return iso;
+  switch (style) {
+    case DateStyle::kIso:
+      return year + "-" + month + "-" + day;
+    case DateStyle::kIsoTime:
+      return iso.size() > 10 ? iso : year + "-" + month + "-" + day +
+                                         "T00:00:00Z";
+    case DateStyle::kDMonY:
+      return day + "-" + kMonthNames[static_cast<size_t>(month_index)] + "-" +
+             year;
+    case DateStyle::kSlashes:
+      return year + "/" + month + "/" + day;
+    case DateStyle::kUsSlashes:
+      return month + "/" + day + "/" + year;
+  }
+  return iso;
+}
+
+whois::LabeledRecord TemplateEngine::Render(const TemplateSpec& spec,
+                                            const DomainFacts& facts) const {
+  RenderState state;
+
+  auto format_value = [&](const Element& e, const std::string& raw) {
+    std::string value = raw;
+    if (e.slot == Slot::kCreated || e.slot == Slot::kUpdated ||
+        e.slot == Slot::kExpires) {
+      value = FormatDate(value, spec.date_style);
+    }
+    if (e.slot == Slot::kDomainName) {
+      // Most registries display the domain upper-case; honor value casing.
+      value = ApplyCasing(value, spec.value_casing);
+    }
+    return value;
+  };
+
+  for (const Element& e : spec.elements) {
+    switch (e.kind) {
+      case Element::Kind::kBlank:
+        EmitBlank(state);
+        break;
+      case Element::Kind::kHeader: {
+        EmitLine(state, ApplyCasing(e.title, spec.title_casing), e.label,
+                 e.label == whois::Level1Label::kRegistrant
+                     ? e.sub
+                     : std::nullopt);
+        break;
+      }
+      case Element::Kind::kBoilerplate: {
+        for (std::string_view line : util::SplitLines(e.literal)) {
+          if (util::HasAlnum(line)) {
+            EmitLine(state, std::string(line), e.label, std::nullopt);
+          } else {
+            state.text += line;
+            state.text += '\n';
+          }
+        }
+        break;
+      }
+      case Element::Kind::kField: {
+        for (const std::string& raw : ResolveSlot(e, facts)) {
+          const std::string value = format_value(e, raw);
+          if (value.empty() && e.skip_if_empty) continue;
+          std::string line;
+          if (e.indent) line += spec.indent;
+          if (!e.title.empty()) {
+            line += ApplyCasing(e.title, spec.title_casing);
+            line += spec.separator;
+          }
+          line += value;
+          if (!util::HasAlnum(line)) continue;  // nothing labelable
+          EmitLine(state, line, e.label, e.sub);
+        }
+        break;
+      }
+    }
+  }
+
+  whois::LabeledRecord record;
+  record.domain = facts.domain;
+  record.text = std::move(state.text);
+  record.labels = std::move(state.labels);
+  record.sub_labels = std::move(state.subs);
+  record.Validate();
+  return record;
+}
+
+whois::LabeledRecord TemplateEngine::RenderThin(
+    const DomainFacts& facts) const {
+  // Verisign's thin com format (stable for decades).
+  TemplateSpec spec;
+  spec.id = "verisign/thin";
+  spec.separator = ": ";
+  spec.date_style = DateStyle::kDMonY;
+  spec.value_casing = Casing::kUpper;  // Verisign displays the domain in caps
+  using L = whois::Level1Label;
+  spec.elements = {
+      Boilerplate(
+          "Whois Server Version 2.0\n"
+          "\n"
+          "Domain names in the .com and .net domains can now be registered\n"
+          "with many different competing registrars. Go to "
+          "http://www.internic.net\n"
+          "for detailed information."),
+      Blank(),
+      Field(L::kDomain, "   Domain Name", Slot::kDomainName),
+      Field(L::kRegistrar, "   Registrar", Slot::kRegistrarName),
+      Field(L::kRegistrar, "   Sponsoring Registrar IANA ID", Slot::kIanaId),
+      Field(L::kRegistrar, "   Whois Server", Slot::kWhoisServer),
+      Field(L::kRegistrar, "   Referral URL", Slot::kRegistrarUrl),
+      Field(L::kDomain, "   Name Server", Slot::kNameServers),
+      Field(L::kDomain, "   Status", Slot::kStatuses),
+      Field(L::kDate, "   Updated Date", Slot::kUpdated),
+      Field(L::kDate, "   Creation Date", Slot::kCreated),
+      Field(L::kDate, "   Expiration Date", Slot::kExpires),
+      Blank(),
+      Boilerplate(">>> Last update of whois database: 2015-02-14T00:00:00Z <<<"),
+  };
+  return Render(spec, facts);
+}
+
+}  // namespace whoiscrf::datagen

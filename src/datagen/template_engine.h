@@ -1,0 +1,30 @@
+// Renders a TemplateSpec against DomainFacts into a LabeledRecord.
+#pragma once
+
+#include <string>
+
+#include "datagen/facts.h"
+#include "datagen/template_spec.h"
+#include "whois/record.h"
+
+namespace whoiscrf::datagen {
+
+class TemplateEngine {
+ public:
+  // Renders the thick record for `facts` in the given format. The returned
+  // record's labels are ground truth by construction (Validate() holds).
+  whois::LabeledRecord Render(const TemplateSpec& spec,
+                              const DomainFacts& facts) const;
+
+  // Renders a Verisign-style *thin* registry record for `facts`
+  // (registrar, WHOIS server referral, dates, name servers — no
+  // registrant), as returned by the com registry before the second query
+  // hop (§2.2).
+  whois::LabeledRecord RenderThin(const DomainFacts& facts) const;
+
+  // Formats an ISO date (YYYY-MM-DD or YYYY-MM-DDTHH:MM:SSZ) in the given
+  // style. Falls back to the input when it cannot be parsed.
+  static std::string FormatDate(const std::string& iso, DateStyle style);
+};
+
+}  // namespace whoiscrf::datagen

@@ -1,0 +1,769 @@
+#include "datagen/template_library.h"
+
+#include <array>
+#include <stdexcept>
+
+#include "datagen/pools.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace whoiscrf::datagen {
+
+namespace {
+
+using L = whois::Level1Label;
+using S = whois::Level2Label;
+
+// --- Title synonym pools (used by drift and by synthesized families) ----
+
+struct SynonymSet {
+  Slot slot;
+  std::vector<const char*> titles;
+};
+
+const std::vector<SynonymSet>& Synonyms() {
+  static const std::vector<SynonymSet> kSynonyms = {
+      {Slot::kDomainName,
+       {"Domain Name", "Domain", "domain name", "Domain_Name", "DOMAIN"}},
+      {Slot::kRegistrarName,
+       {"Registrar", "Sponsoring Registrar", "Registration Service Provider",
+        "Registered through", "Registrar of Record"}},
+      {Slot::kWhoisServer, {"Whois Server", "Registrar WHOIS Server"}},
+      {Slot::kRegistrarUrl,
+       {"Referral URL", "Registrar URL", "Registrar Website"}},
+      {Slot::kNameServers,
+       {"Name Server", "Nameservers", "DNS", "nserver", "Name servers",
+        "Domain servers in listed order"}},
+      {Slot::kStatuses, {"Status", "Domain Status", "status"}},
+      {Slot::kCreated,
+       {"Creation Date", "Created On", "Created", "Registered on",
+        "Registration Date", "Record created on", "Created Date"}},
+      {Slot::kUpdated,
+       {"Updated Date", "Last Updated On", "Last Modified",
+        "Record last updated", "Last Updated", "Last updated on"}},
+      {Slot::kExpires,
+       {"Expiration Date", "Registry Expiry Date", "Expires On",
+        "Record expires on", "Renewal date", "Expiry Date", "Expires"}},
+      {Slot::kRegName,
+       {"Registrant Name", "Owner Name", "Holder Name",
+        "Registrant Contact Name", "Registrant"}},
+      {Slot::kRegId, {"Registry Registrant ID", "Registrant ID", "nic-hdl"}},
+      {Slot::kRegOrg,
+       {"Registrant Organization", "Organization", "Owner Organization",
+        "Company", "Registrant Org"}},
+      {Slot::kRegStreet,
+       {"Registrant Street", "Registrant Address", "Address", "Street",
+        "Registrant Address1"}},
+      {Slot::kRegCity, {"Registrant City", "City"}},
+      {Slot::kRegState,
+       {"Registrant State/Province", "State", "State/Province", "Province"}},
+      {Slot::kRegPostcode,
+       {"Registrant Postal Code", "Postal Code", "Zip", "Zip Code",
+        "Postcode"}},
+      {Slot::kRegCountryCode, {"Registrant Country", "Country", "Country Code"}},
+      {Slot::kRegCountryName, {"Registrant Country", "Country"}},
+      {Slot::kRegPhone, {"Registrant Phone", "Phone", "Phone Number", "Tel"}},
+      {Slot::kRegFax, {"Registrant Fax", "Fax", "Fax Number"}},
+      {Slot::kRegEmail,
+       {"Registrant Email", "Email", "E-mail", "Email Address",
+        "Registrant E-mail"}},
+  };
+  return kSynonyms;
+}
+
+const std::vector<const char*>* SynonymsForSlot(Slot slot) {
+  for (const auto& s : Synonyms()) {
+    if (s.slot == slot) return &s.titles;
+  }
+  return nullptr;
+}
+
+// --- Shared builders -----------------------------------------------------
+
+// ICANN-2013-style flat key-value record (GoDaddy and many others).
+std::vector<Element> IcannFlat(bool with_ids, bool with_admin_tech) {
+  std::vector<Element> e;
+  e.push_back(Field(L::kDomain, "Domain Name", Slot::kDomainName));
+  if (with_ids) {
+    e.push_back(Field(L::kRegistrar, "Registrar WHOIS Server", Slot::kWhoisServer));
+    e.push_back(Field(L::kRegistrar, "Registrar URL", Slot::kRegistrarUrl));
+  }
+  e.push_back(Field(L::kDate, "Updated Date", Slot::kUpdated));
+  e.push_back(Field(L::kDate, "Creation Date", Slot::kCreated));
+  e.push_back(Field(L::kDate, "Registrar Registration Expiration Date",
+                    Slot::kExpires));
+  e.push_back(Field(L::kRegistrar, "Registrar", Slot::kRegistrarName));
+  if (with_ids) {
+    e.push_back(Field(L::kRegistrar, "Registrar IANA ID", Slot::kIanaId));
+  }
+  e.push_back(Field(L::kDomain, "Domain Status", Slot::kStatuses));
+  e.push_back(Field(L::kRegistrant, "Registry Registrant ID", Slot::kRegId,
+                    S::kId));
+  e.push_back(RegField("Registrant Name", Slot::kRegName, S::kName));
+  e.push_back(RegField("Registrant Organization", Slot::kRegOrg, S::kOrg));
+  e.push_back(RegField("Registrant Street", Slot::kRegStreet, S::kStreet));
+  e.push_back(RegField("Registrant City", Slot::kRegCity, S::kCity));
+  e.push_back(RegField("Registrant State/Province", Slot::kRegState, S::kState));
+  e.push_back(RegField("Registrant Postal Code", Slot::kRegPostcode,
+                       S::kPostcode));
+  e.push_back(RegField("Registrant Country", Slot::kRegCountryCode,
+                       S::kCountry));
+  e.push_back(RegField("Registrant Phone", Slot::kRegPhone, S::kPhone));
+  e.push_back(RegField("Registrant Fax", Slot::kRegFax, S::kFax));
+  e.push_back(RegField("Registrant Email", Slot::kRegEmail, S::kEmail));
+  if (with_admin_tech) {
+    e.push_back(Field(L::kOther, "Admin Name", Slot::kAdminName));
+    e.push_back(Field(L::kOther, "Admin Phone", Slot::kAdminPhone));
+    e.push_back(Field(L::kOther, "Admin Email", Slot::kAdminEmail));
+    e.push_back(Field(L::kOther, "Tech Name", Slot::kTechName));
+    e.push_back(Field(L::kOther, "Tech Phone", Slot::kTechPhone));
+    e.push_back(Field(L::kOther, "Tech Email", Slot::kTechEmail));
+  }
+  e.push_back(Field(L::kDomain, "Name Server", Slot::kNameServers));
+  e.push_back(Field(L::kDomain, "DNSSEC", Slot::kDnssec));
+  return e;
+}
+
+// Contextual block: a bare header line followed by untitled value lines —
+// the hard case for rule-based parsing (§4.2's "field title appears alone
+// with the following block representing the associated value").
+std::vector<Element> ContactBlock(const std::string& header, bool indent,
+                                  bool org_first, bool email_in_block) {
+  std::vector<Element> e;
+  e.push_back(Header(L::kRegistrant, header));
+  auto add = [&](Slot slot, S sub) {
+    Element f = RegField("", slot, sub);
+    f.indent = indent;
+    e.push_back(f);
+  };
+  if (org_first) add(Slot::kRegOrg, S::kOrg);
+  add(Slot::kRegName, S::kName);
+  if (!org_first) add(Slot::kRegOrg, S::kOrg);
+  add(Slot::kRegStreet, S::kStreet);
+  add(Slot::kRegCityStateZip, S::kCity);
+  add(Slot::kRegCountryName, S::kCountry);
+  add(Slot::kRegPhone, S::kPhone);
+  if (email_in_block) add(Slot::kRegEmail, S::kEmail);
+  return e;
+}
+
+std::vector<Element> OtherContactBlock(const std::string& header) {
+  std::vector<Element> e;
+  e.push_back(Header(L::kOther, header));
+  auto add = [&](Slot slot) {
+    Element f = Field(L::kOther, "", slot);
+    f.indent = true;
+    e.push_back(f);
+  };
+  add(Slot::kAdminName);
+  add(Slot::kAdminPhone);
+  add(Slot::kAdminEmail);
+  return e;
+}
+
+void Append(std::vector<Element>& dst, std::vector<Element> src) {
+  for (auto& e : src) dst.push_back(std::move(e));
+}
+
+std::string Boiler(size_t index) {
+  const auto boilers = pools::Boilerplates();
+  return std::string(boilers[index % boilers.size()]);
+}
+
+}  // namespace
+
+// --- Drift ----------------------------------------------------------------
+
+TemplateSpec DriftSpec(const TemplateSpec& v0) {
+  TemplateSpec v1 = v0;
+  v1.id = v0.id + "/drift";
+  // Deterministic per family.
+  uint64_t seed = 0xD41F7;
+  for (char c : v0.id) seed = seed * 131 + static_cast<unsigned char>(c);
+  util::Rng rng(seed);
+
+  // 1. Rename up to three field titles to synonyms.
+  int renames = 0;
+  for (Element& e : v1.elements) {
+    if (renames >= 3) break;
+    if (e.kind != Element::Kind::kField || e.title.empty()) continue;
+    const auto* syns = SynonymsForSlot(e.slot);
+    if (syns == nullptr || syns->size() < 2) continue;
+    if (!rng.Bernoulli(0.5)) continue;
+    std::string replacement = (*syns)[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(syns->size()) - 1))];
+    if (replacement != e.title) {
+      e.title = std::move(replacement);
+      ++renames;
+    }
+  }
+
+  // 2. Swap one adjacent pair of registrant fields.
+  for (size_t i = 0; i + 1 < v1.elements.size(); ++i) {
+    Element& a = v1.elements[i];
+    Element& b = v1.elements[i + 1];
+    if (a.kind == Element::Kind::kField && b.kind == Element::Kind::kField &&
+        a.label == L::kRegistrant && b.label == L::kRegistrant &&
+        a.slot != Slot::kRegStreet && b.slot != Slot::kRegStreet) {
+      std::swap(a, b);
+      break;
+    }
+  }
+
+  // 3. Insert a DNSSEC line if the family lacks one.
+  bool has_dnssec = false;
+  for (const Element& e : v1.elements) {
+    if (e.slot == Slot::kDnssec) has_dnssec = true;
+  }
+  if (!has_dnssec) {
+    v1.elements.push_back(Field(L::kDomain, "DNSSEC", Slot::kDnssec));
+  }
+  return v1;
+}
+
+// --- Synthesized tail families ---------------------------------------------
+
+TemplateSpec SynthesizeSpec(const std::string& id, uint64_t seed) {
+  util::Rng rng(seed * 0x9E3779B97F4A7C15ULL + 12345);
+  TemplateSpec spec;
+  spec.id = id;
+
+  static const char* kSeparators[] = {": ", " : ", ":\t", ": ", ": "};
+  spec.separator = kSeparators[rng.UniformInt(0, 4)];
+  static const DateStyle kDates[] = {DateStyle::kIso, DateStyle::kIsoTime,
+                                     DateStyle::kDMonY, DateStyle::kSlashes,
+                                     DateStyle::kUsSlashes};
+  spec.date_style = kDates[rng.UniformInt(0, 4)];
+  spec.title_casing =
+      rng.Bernoulli(0.2) ? Casing::kUpper
+                         : (rng.Bernoulli(0.2) ? Casing::kLower : Casing::kAsIs);
+
+  auto pick_title = [&](Slot slot) -> std::string {
+    const auto* syns = SynonymsForSlot(slot);
+    if (syns == nullptr) return {};
+    return (*syns)[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(syns->size()) - 1))];
+  };
+
+  const bool block_style = rng.Bernoulli(0.35);
+  const bool boiler_top = rng.Bernoulli(0.6);
+
+  std::vector<Element>& e = spec.elements;
+  if (boiler_top) {
+    e.push_back(Boilerplate(Boiler(static_cast<size_t>(seed))));
+    e.push_back(Blank());
+  }
+
+  e.push_back(Field(L::kDomain, pick_title(Slot::kDomainName),
+                    Slot::kDomainName));
+  e.push_back(Field(L::kRegistrar, pick_title(Slot::kRegistrarName),
+                    Slot::kRegistrarName));
+  if (rng.Bernoulli(0.5)) {
+    e.push_back(Field(L::kRegistrar, pick_title(Slot::kWhoisServer),
+                      Slot::kWhoisServer));
+  }
+  // Dates in a random order.
+  std::vector<Slot> dates = {Slot::kCreated, Slot::kUpdated, Slot::kExpires};
+  rng.Shuffle(dates);
+  for (Slot d : dates) e.push_back(Field(L::kDate, pick_title(d), d));
+
+  e.push_back(Blank());
+  if (block_style) {
+    static const char* kHeaders[] = {"Registrant:", "Owner:",
+                                     "Registrant Contact:",
+                                     "Holder of the domain:"};
+    Append(e, ContactBlock(kHeaders[rng.UniformInt(0, 3)], rng.Bernoulli(0.7),
+                           rng.Bernoulli(0.3), rng.Bernoulli(0.8)));
+  } else {
+    std::vector<std::pair<Slot, S>> fields = {
+        {Slot::kRegName, S::kName},       {Slot::kRegOrg, S::kOrg},
+        {Slot::kRegStreet, S::kStreet},   {Slot::kRegCity, S::kCity},
+        {Slot::kRegState, S::kState},     {Slot::kRegPostcode, S::kPostcode},
+        {Slot::kRegCountryCode, S::kCountry}, {Slot::kRegPhone, S::kPhone},
+        {Slot::kRegEmail, S::kEmail},
+    };
+    // Keep name first; shuffle the middle lightly by one swap.
+    if (rng.Bernoulli(0.5) && fields.size() > 4) {
+      std::swap(fields[2], fields[3]);
+    }
+    for (auto& [slot, sub] : fields) {
+      e.push_back(RegField(pick_title(slot), slot, sub));
+    }
+  }
+
+  if (rng.Bernoulli(0.6)) {
+    e.push_back(Blank());
+    Append(e, OtherContactBlock(rng.Bernoulli(0.5) ? "Administrative Contact:"
+                                                   : "Admin Contact:"));
+  }
+
+  e.push_back(Blank());
+  e.push_back(Field(L::kDomain, pick_title(Slot::kNameServers),
+                    Slot::kNameServers));
+  if (rng.Bernoulli(0.5)) {
+    e.push_back(Field(L::kDomain, pick_title(Slot::kStatuses),
+                      Slot::kStatuses));
+  }
+  e.push_back(Blank());
+  e.push_back(Boilerplate(Boiler(static_cast<size_t>(seed) + 3)));
+  return spec;
+}
+
+// --- Named families ---------------------------------------------------------
+
+void TemplateLibrary::AddFamily(const std::string& family, TemplateSpec v0) {
+  v0.id = family + "/v0";
+  TemplateSpec v1 = DriftSpec(v0);
+  families_[family] = {std::move(v0), std::move(v1)};
+}
+
+void TemplateLibrary::BuildNamedFamilies() {
+  // godaddy: ICANN flat, ISO times, leading boilerplate at bottom.
+  {
+    TemplateSpec spec;
+    spec.date_style = DateStyle::kIsoTime;
+    spec.elements = IcannFlat(/*with_ids=*/true, /*with_admin_tech=*/true);
+    spec.elements.push_back(Blank());
+    spec.elements.push_back(Boilerplate(Boiler(0)));
+    AddFamily("godaddy", std::move(spec));
+  }
+  // wildwest: GoDaddy sibling — same shape, different header/boilerplate.
+  {
+    TemplateSpec spec;
+    spec.date_style = DateStyle::kIsoTime;
+    spec.elements.push_back(
+        Boilerplate("Registration Service Provided By: Wild West Domains"));
+    spec.elements.push_back(Blank());
+    Append(spec.elements, IcannFlat(true, true));
+    spec.elements.push_back(Blank());
+    spec.elements.push_back(Boilerplate(Boiler(1)));
+    AddFamily("wildwest", std::move(spec));
+  }
+  // enom: contextual blocks, minimal titles.
+  {
+    TemplateSpec spec;
+    spec.date_style = DateStyle::kDMonY;
+    spec.indent = "   ";
+    auto& e = spec.elements;
+    e.push_back(Field(L::kRegistrar, "Registration Service Provided By",
+                      Slot::kRegistrarName));
+    e.push_back(Boilerplate(Boiler(3)));
+    e.push_back(Blank());
+    e.push_back(Field(L::kDomain, "Domain name", Slot::kDomainName));
+    e.push_back(Blank());
+    Append(e, ContactBlock("Registrant Contact:", true, true, true));
+    e.push_back(Blank());
+    Append(e, OtherContactBlock("Administrative Contact:"));
+    e.push_back(Blank());
+    e.push_back(Literal(L::kDomain, "", "Name Servers:"));
+    {
+      Element ns = Field(L::kDomain, "", Slot::kNameServers);
+      ns.indent = true;
+      e.push_back(ns);
+    }
+    e.push_back(Blank());
+    e.push_back(Field(L::kDate, "Creation date", Slot::kCreated));
+    e.push_back(Field(L::kDate, "Expiration date", Slot::kExpires));
+    AddFamily("enom", std::move(spec));
+  }
+  // netsol: upper-case contextual block, legacy look.
+  {
+    TemplateSpec spec;
+    spec.date_style = DateStyle::kDMonY;
+    spec.indent = "    ";
+    auto& e = spec.elements;
+    e.push_back(Field(L::kDomain, "Domain Name", Slot::kDomainName));
+    e.push_back(Blank());
+    e.push_back(Header(L::kRegistrant, "Registrant:"));
+    auto add_reg = [&](Slot slot, S sub) {
+      Element f = RegField("", slot, sub);
+      f.indent = true;
+      e.push_back(f);
+    };
+    add_reg(Slot::kRegOrg, S::kOrg);
+    add_reg(Slot::kRegName, S::kName);
+    add_reg(Slot::kRegStreet, S::kStreet);
+    add_reg(Slot::kRegCityStateZip, S::kCity);
+    add_reg(Slot::kRegCountryCode, S::kCountry);
+    e.push_back(Blank());
+    e.push_back(Field(L::kDate, "Record created on", Slot::kCreated));
+    e.push_back(Field(L::kDate, "Record expires on", Slot::kExpires));
+    e.push_back(Field(L::kDate, "Record last updated on", Slot::kUpdated));
+    e.push_back(Blank());
+    e.push_back(Literal(L::kDomain, "", "Domain servers in listed order:"));
+    Element ns = Field(L::kDomain, "", Slot::kNameServers);
+    ns.indent = true;
+    e.push_back(ns);
+    e.push_back(Blank());
+    e.push_back(Boilerplate(Boiler(2)));
+    AddFamily("netsol", std::move(spec));
+  }
+  // oneand1: tab-separated keys.
+  {
+    TemplateSpec spec;
+    spec.separator = ":\t";
+    spec.date_style = DateStyle::kIso;
+    auto& e = spec.elements;
+    e.push_back(Field(L::kDomain, "Domain Name", Slot::kDomainName));
+    e.push_back(Field(L::kRegistrar, "Registrar", Slot::kRegistrarName));
+    e.push_back(Field(L::kRegistrar, "Whois Server", Slot::kWhoisServer));
+    e.push_back(Field(L::kDate, "Created", Slot::kCreated));
+    e.push_back(Field(L::kDate, "Expires", Slot::kExpires));
+    e.push_back(Blank());
+    e.push_back(RegField("Name", Slot::kRegName, S::kName));
+    e.push_back(RegField("Organization", Slot::kRegOrg, S::kOrg));
+    e.push_back(RegField("Address", Slot::kRegStreet, S::kStreet));
+    e.push_back(RegField("City", Slot::kRegCity, S::kCity));
+    e.push_back(RegField("Zip", Slot::kRegPostcode, S::kPostcode));
+    e.push_back(RegField("Country", Slot::kRegCountryCode, S::kCountry));
+    e.push_back(RegField("Phone", Slot::kRegPhone, S::kPhone));
+    e.push_back(RegField("Email", Slot::kRegEmail, S::kEmail));
+    e.push_back(Blank());
+    e.push_back(Field(L::kDomain, "Nameserver", Slot::kNameServers));
+    e.push_back(Blank());
+    e.push_back(Boilerplate(Boiler(4)));
+    AddFamily("oneand1", std::move(spec));
+  }
+  // hichina.
+  {
+    TemplateSpec spec;
+    spec.date_style = DateStyle::kIsoTime;
+    auto& e = spec.elements;
+    e.push_back(Field(L::kDomain, "Domain Name", Slot::kDomainName));
+    e.push_back(Field(L::kRegistrar, "Registration Service Provider",
+                      Slot::kRegistrarName));
+    e.push_back(Field(L::kRegistrar, "Registration Service URL",
+                      Slot::kRegistrarUrl));
+    e.push_back(Field(L::kDomain, "Domain Status", Slot::kStatuses));
+    e.push_back(RegField("Registrant ID", Slot::kRegId, S::kId));
+    e.push_back(RegField("Registrant Organization", Slot::kRegOrg, S::kOrg));
+    e.push_back(RegField("Registrant Name", Slot::kRegName, S::kName));
+    e.push_back(RegField("Registrant Country", Slot::kRegCountryCode,
+                         S::kCountry));
+    e.push_back(RegField("Registrant Email", Slot::kRegEmail, S::kEmail));
+    e.push_back(Field(L::kDate, "Registration Date", Slot::kCreated));
+    e.push_back(Field(L::kDate, "Expiration Date", Slot::kExpires));
+    e.push_back(Field(L::kDomain, "Name Server", Slot::kNameServers));
+    AddFamily("hichina", std::move(spec));
+  }
+  // xinnet.
+  {
+    TemplateSpec spec;
+    spec.date_style = DateStyle::kIso;
+    auto& e = spec.elements;
+    e.push_back(Boilerplate(Boiler(5)));
+    e.push_back(Blank());
+    e.push_back(Field(L::kDomain, "domain_name", Slot::kDomainName));
+    e.push_back(Field(L::kRegistrar, "registrar_name", Slot::kRegistrarName));
+    e.push_back(Field(L::kDate, "creation_date", Slot::kCreated));
+    e.push_back(Field(L::kDate, "expiration_date", Slot::kExpires));
+    e.push_back(RegField("registrant_id", Slot::kRegId, S::kId));
+    e.push_back(RegField("registrant_name", Slot::kRegName, S::kName));
+    e.push_back(RegField("registrant_organization", Slot::kRegOrg, S::kOrg));
+    e.push_back(RegField("registrant_country", Slot::kRegCountryCode,
+                         S::kCountry));
+    e.push_back(RegField("registrant_email", Slot::kRegEmail, S::kEmail));
+    e.push_back(RegField("registrant_phone", Slot::kRegPhone, S::kPhone));
+    e.push_back(Field(L::kDomain, "name_server", Slot::kNameServers));
+    AddFamily("xinnet", std::move(spec));
+  }
+  // pdr: ICANN flat without ids, different ordering.
+  {
+    TemplateSpec spec;
+    spec.date_style = DateStyle::kIsoTime;
+    auto& e = spec.elements;
+    e.push_back(Field(L::kDomain, "Domain Name", Slot::kDomainName));
+    e.push_back(Field(L::kRegistrar, "Registrar", Slot::kRegistrarName));
+    e.push_back(Field(L::kDate, "Creation Date", Slot::kCreated));
+    e.push_back(Field(L::kDate, "Updated Date", Slot::kUpdated));
+    e.push_back(Field(L::kDate, "Registry Expiry Date", Slot::kExpires));
+    e.push_back(Blank());
+    e.push_back(RegField("Registrant Name", Slot::kRegName, S::kName));
+    e.push_back(RegField("Registrant Organization", Slot::kRegOrg, S::kOrg));
+    e.push_back(RegField("Registrant Street", Slot::kRegStreet, S::kStreet));
+    e.push_back(RegField("Registrant City", Slot::kRegCity, S::kCity));
+    e.push_back(RegField("Registrant State/Province", Slot::kRegState,
+                         S::kState));
+    e.push_back(RegField("Registrant Postal Code", Slot::kRegPostcode,
+                         S::kPostcode));
+    e.push_back(RegField("Registrant Country", Slot::kRegCountryCode,
+                         S::kCountry));
+    e.push_back(RegField("Registrant Phone", Slot::kRegPhone, S::kPhone));
+    e.push_back(RegField("Registrant Email", Slot::kRegEmail, S::kEmail));
+    e.push_back(Blank());
+    e.push_back(Field(L::kDomain, "Name Server", Slot::kNameServers));
+    e.push_back(Field(L::kDomain, "DNSSEC", Slot::kDnssec));
+    e.push_back(Blank());
+    e.push_back(Boilerplate(Boiler(0)));
+    AddFamily("pdr", std::move(spec));
+  }
+  // register: dotted leaders.
+  {
+    TemplateSpec spec;
+    spec.separator = "......: ";
+    spec.date_style = DateStyle::kUsSlashes;
+    auto& e = spec.elements;
+    e.push_back(Field(L::kDomain, "Domain Name", Slot::kDomainName));
+    e.push_back(Field(L::kRegistrar, "Registrar", Slot::kRegistrarName));
+    e.push_back(Field(L::kDate, "Created on", Slot::kCreated));
+    e.push_back(Field(L::kDate, "Expires on", Slot::kExpires));
+    e.push_back(Blank());
+    e.push_back(RegField("Registrant Name", Slot::kRegName, S::kName));
+    e.push_back(RegField("Registrant Org", Slot::kRegOrg, S::kOrg));
+    e.push_back(RegField("Registrant Address", Slot::kRegStreet, S::kStreet));
+    e.push_back(RegField("Registrant City", Slot::kRegCity, S::kCity));
+    e.push_back(RegField("Registrant State", Slot::kRegState, S::kState));
+    e.push_back(RegField("Registrant Zip", Slot::kRegPostcode, S::kPostcode));
+    e.push_back(RegField("Registrant Country", Slot::kRegCountryName,
+                         S::kCountry));
+    e.push_back(RegField("Registrant Phone", Slot::kRegPhone, S::kPhone));
+    e.push_back(RegField("Registrant Email", Slot::kRegEmail, S::kEmail));
+    e.push_back(Blank());
+    e.push_back(Field(L::kDomain, "DNS Servers", Slot::kNameServers));
+    e.push_back(Blank());
+    e.push_back(Boilerplate(Boiler(1)));
+    AddFamily("register", std::move(spec));
+  }
+  // fastdomain: ICANN flat with SYM banner.
+  {
+    TemplateSpec spec;
+    spec.date_style = DateStyle::kIso;
+    auto& e = spec.elements;
+    e.push_back(Boilerplate("% FastDomain Inc. WHOIS server\n"
+                            "% Please see the terms of use below."));
+    e.push_back(Blank());
+    Append(e, IcannFlat(false, false));
+    e.push_back(Blank());
+    e.push_back(Boilerplate(Boiler(3)));
+    AddFamily("fastdomain", std::move(spec));
+  }
+  // gmo: bracket headers (Japanese registrar style).
+  {
+    TemplateSpec spec;
+    spec.separator = "] ";  // pairs with the "[Title" titles below
+    spec.date_style = DateStyle::kSlashes;
+    auto& e = spec.elements;
+    auto bracket = [](L l1, const char* title, Slot slot,
+                      std::optional<S> sub = std::nullopt) {
+      Element f = Field(l1, std::string("[") + title, slot, sub);
+      return f;
+    };
+    e.push_back(bracket(L::kDomain, "Domain Name", Slot::kDomainName));
+    e.push_back(bracket(L::kRegistrar, "Registrar", Slot::kRegistrarName));
+    e.push_back(bracket(L::kDate, "Created on", Slot::kCreated));
+    e.push_back(bracket(L::kDate, "Expires on", Slot::kExpires));
+    e.push_back(bracket(L::kDate, "Last Updated", Slot::kUpdated));
+    e.push_back(Blank());
+    e.push_back(Header(L::kRegistrant, "[Registrant]"));
+    e.push_back(bracket(L::kRegistrant, "Name", Slot::kRegName, S::kName));
+    e.push_back(bracket(L::kRegistrant, "Organization", Slot::kRegOrg, S::kOrg));
+    e.push_back(bracket(L::kRegistrant, "Postal Address", Slot::kRegStreet,
+                        S::kStreet));
+    e.push_back(bracket(L::kRegistrant, "City", Slot::kRegCity, S::kCity));
+    e.push_back(bracket(L::kRegistrant, "Postal code", Slot::kRegPostcode,
+                        S::kPostcode));
+    e.push_back(bracket(L::kRegistrant, "Country", Slot::kRegCountryName,
+                        S::kCountry));
+    e.push_back(bracket(L::kRegistrant, "Phone", Slot::kRegPhone, S::kPhone));
+    e.push_back(bracket(L::kRegistrant, "Email", Slot::kRegEmail, S::kEmail));
+    e.push_back(Blank());
+    e.push_back(bracket(L::kDomain, "Name Server", Slot::kNameServers));
+    e.push_back(Blank());
+    e.push_back(Boilerplate(Boiler(5)));
+    AddFamily("gmo", std::move(spec));
+  }
+  // melbourne.
+  {
+    TemplateSpec spec;
+    spec.date_style = DateStyle::kDMonY;
+    auto& e = spec.elements;
+    e.push_back(Field(L::kDomain, "Domain Name", Slot::kDomainName));
+    e.push_back(Field(L::kDate, "Last Modified", Slot::kUpdated));
+    e.push_back(Field(L::kDate, "Creation Date", Slot::kCreated));
+    e.push_back(Field(L::kRegistrar, "Registrar Name", Slot::kRegistrarName));
+    e.push_back(Field(L::kRegistrar, "Registrar Whois", Slot::kWhoisServer));
+    e.push_back(Blank());
+    e.push_back(RegField("Registrant", Slot::kRegOrg, S::kOrg));
+    e.push_back(RegField("Registrant Contact Name", Slot::kRegName, S::kName));
+    e.push_back(RegField("Registrant Address", Slot::kRegStreet, S::kStreet));
+    e.push_back(RegField("Registrant City", Slot::kRegCity, S::kCity));
+    e.push_back(RegField("Registrant Country", Slot::kRegCountryCode,
+                         S::kCountry));
+    e.push_back(RegField("Registrant Email", Slot::kRegEmail, S::kEmail));
+    e.push_back(Blank());
+    e.push_back(Field(L::kDomain, "Name Server", Slot::kNameServers));
+    e.push_back(Blank());
+    e.push_back(Boilerplate(Boiler(2)));
+    AddFamily("melbourne", std::move(spec));
+  }
+  // tucows: block with leading single space.
+  {
+    TemplateSpec spec;
+    spec.indent = " ";
+    spec.date_style = DateStyle::kDMonY;
+    auto& e = spec.elements;
+    e.push_back(Field(L::kDomain, "Domain Name", Slot::kDomainName));
+    e.push_back(Field(L::kRegistrar, "Registrar", Slot::kRegistrarName));
+    e.push_back(Blank());
+    Append(e, ContactBlock("Registrant:", true, false, true));
+    e.push_back(Blank());
+    e.push_back(Field(L::kDate, "Record created on", Slot::kCreated));
+    e.push_back(Field(L::kDate, "Record expires on", Slot::kExpires));
+    e.push_back(Blank());
+    e.push_back(Literal(L::kDomain, "", "Domain servers in listed order:"));
+    Element ns = Field(L::kDomain, "", Slot::kNameServers);
+    ns.indent = true;
+    e.push_back(ns);
+    AddFamily("tucows", std::move(spec));
+  }
+  // moniker / namecom / bizcn / dreamhost / namecheap / ovh / gandi reuse
+  // builders with different knobs.
+  {
+    TemplateSpec spec;
+    spec.date_style = DateStyle::kIsoTime;
+    spec.title_casing = Casing::kUpper;
+    auto& e = spec.elements;
+    Append(e, IcannFlat(false, false));
+    e.push_back(Blank());
+    e.push_back(Boilerplate(Boiler(4)));
+    AddFamily("moniker", std::move(spec));
+  }
+  {
+    TemplateSpec spec;
+    spec.date_style = DateStyle::kIsoTime;
+    auto& e = spec.elements;
+    Append(e, IcannFlat(true, false));
+    e.push_back(Blank());
+    e.push_back(Boilerplate(Boiler(5)));
+    AddFamily("namecom", std::move(spec));
+  }
+  {
+    TemplateSpec spec;
+    spec.date_style = DateStyle::kIso;
+    auto& e = spec.elements;
+    e.push_back(Field(L::kDomain, "Domain Name", Slot::kDomainName));
+    e.push_back(Field(L::kRegistrar, "Sponsoring Registrar",
+                      Slot::kRegistrarName));
+    e.push_back(Field(L::kDate, "Registration Date", Slot::kCreated));
+    e.push_back(Field(L::kDate, "Expiration Date", Slot::kExpires));
+    e.push_back(RegField("Registrant Name", Slot::kRegName, S::kName));
+    e.push_back(RegField("Registrant Organization", Slot::kRegOrg, S::kOrg));
+    e.push_back(RegField("Registrant Address", Slot::kRegStreet, S::kStreet));
+    e.push_back(RegField("Registrant City", Slot::kRegCity, S::kCity));
+    e.push_back(RegField("Registrant Country Code", Slot::kRegCountryCode,
+                         S::kCountry));
+    e.push_back(RegField("Registrant Email", Slot::kRegEmail, S::kEmail));
+    e.push_back(Field(L::kDomain, "Name Server", Slot::kNameServers));
+    AddFamily("bizcn", std::move(spec));
+  }
+  {
+    TemplateSpec spec;
+    spec.date_style = DateStyle::kIso;
+    spec.indent = "  ";
+    auto& e = spec.elements;
+    e.push_back(Field(L::kDomain, "Domain Name", Slot::kDomainName));
+    e.push_back(Field(L::kRegistrar, "Registrar", Slot::kRegistrarName));
+    e.push_back(Blank());
+    Append(e, ContactBlock("Registrant Contact Information:", true, false,
+                           true));
+    e.push_back(Blank());
+    e.push_back(Field(L::kDate, "Created", Slot::kCreated));
+    e.push_back(Field(L::kDate, "Expires", Slot::kExpires));
+    e.push_back(Field(L::kDomain, "Name Servers", Slot::kNameServers));
+    AddFamily("dreamhost", std::move(spec));
+  }
+  {
+    TemplateSpec spec;
+    spec.date_style = DateStyle::kDMonY;
+    auto& e = spec.elements;
+    Append(e, IcannFlat(true, true));
+    e.push_back(Blank());
+    e.push_back(Boilerplate(Boiler(1)));
+    AddFamily("namecheap", std::move(spec));
+  }
+  {
+    TemplateSpec spec;
+    spec.date_style = DateStyle::kIso;
+    spec.title_casing = Casing::kLower;
+    auto& e = spec.elements;
+    e.push_back(Boilerplate("%% OVH WHOIS server\n%% for more information, "
+                            "visit http://www.ovh.com"));
+    e.push_back(Blank());
+    e.push_back(Field(L::kDomain, "domain", Slot::kDomainName));
+    e.push_back(Field(L::kRegistrar, "registrar", Slot::kRegistrarName));
+    e.push_back(Field(L::kDate, "created", Slot::kCreated));
+    e.push_back(Field(L::kDate, "expires", Slot::kExpires));
+    e.push_back(RegField("nic-hdl", Slot::kRegId, S::kId));
+    e.push_back(RegField("owner", Slot::kRegName, S::kName));
+    e.push_back(RegField("address", Slot::kRegStreet, S::kStreet));
+    e.push_back(RegField("city", Slot::kRegCity, S::kCity));
+    e.push_back(RegField("zipcode", Slot::kRegPostcode, S::kPostcode));
+    e.push_back(RegField("country", Slot::kRegCountryCode, S::kCountry));
+    e.push_back(RegField("e-mail", Slot::kRegEmail, S::kEmail));
+    e.push_back(Field(L::kDomain, "nserver", Slot::kNameServers));
+    AddFamily("ovh", std::move(spec));
+  }
+  {
+    TemplateSpec spec;
+    spec.date_style = DateStyle::kIsoTime;
+    auto& e = spec.elements;
+    Append(e, IcannFlat(true, false));
+    e.push_back(Blank());
+    e.push_back(Boilerplate(Boiler(0)));
+    AddFamily("gandi", std::move(spec));
+  }
+}
+
+void TemplateLibrary::BuildTailFamilies() {
+  for (int i = 0; i < 30; ++i) {
+    const std::string family = "tail/" + std::to_string(i);
+    TemplateSpec v0 = SynthesizeSpec(family + "/v0",
+                                     static_cast<uint64_t>(i) + 1000);
+    TemplateSpec v1 = DriftSpec(v0);
+    families_[family] = {std::move(v0), std::move(v1)};
+  }
+}
+
+TemplateLibrary::TemplateLibrary() {
+  BuildNamedFamilies();
+  BuildTailFamilies();
+  BuildNewTldTemplates();
+}
+
+const TemplateSpec& TemplateLibrary::Get(const std::string& family,
+                                         int version) const {
+  auto it = families_.find(family);
+  if (it == families_.end()) {
+    throw std::out_of_range("TemplateLibrary: unknown family " + family);
+  }
+  const auto& versions = it->second;
+  const size_t v = std::min<size_t>(static_cast<size_t>(version),
+                                    versions.size() - 1);
+  return versions[v];
+}
+
+bool TemplateLibrary::Has(const std::string& family) const {
+  return families_.count(family) > 0;
+}
+
+std::vector<std::string> TemplateLibrary::Families() const {
+  std::vector<std::string> out;
+  out.reserve(families_.size());
+  for (const auto& [name, specs] : families_) out.push_back(name);
+  return out;
+}
+
+const TemplateSpec& TemplateLibrary::NewTld(const std::string& tld) const {
+  auto it = new_tlds_.find(tld);
+  if (it == new_tlds_.end()) {
+    throw std::out_of_range("TemplateLibrary: unknown TLD " + tld);
+  }
+  return it->second;
+}
+
+std::vector<std::string> TemplateLibrary::NewTldNames() {
+  return {"aero", "asia", "biz",  "coop",   "info", "mobi",
+          "name", "org",  "pro",  "travel", "us",   "xxx"};
+}
+
+}  // namespace whoiscrf::datagen

@@ -1,0 +1,59 @@
+// TemplateLibrary: the population of WHOIS record formats.
+//
+// * One format family per named registrar (GoDaddy's ICANN-style flat
+//   key-value records, eNom's contextual blocks, Network Solutions'
+//   upper-case blocks, GMO's [bracket] style, Register.com's dotted
+//   leaders, ...), each in two versions: v0 (original) and v1 (drifted —
+//   the paper observed "one large registrar modifying their schema
+//   significantly during the four months of WHOIS measurements").
+// * Synthesized families ("tail/<n>") for the long tail of small
+//   registrars: schema generated deterministically from the family seed by
+//   drawing title synonyms, separators, casings, and field order.
+// * Twelve single-registry templates for the new-TLD generalization
+//   experiment (Table 2): aero asia biz coop info mobi name org pro travel
+//   us xxx.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "datagen/template_spec.h"
+
+namespace whoiscrf::datagen {
+
+class TemplateLibrary {
+ public:
+  TemplateLibrary();
+
+  // Format of `family` at schema version 0 (original) or 1 (drifted).
+  // Unknown families throw std::out_of_range.
+  const TemplateSpec& Get(const std::string& family, int version) const;
+
+  bool Has(const std::string& family) const;
+  std::vector<std::string> Families() const;
+
+  // New-TLD registry templates (Table 2): tld in {"aero", "asia", ...}.
+  const TemplateSpec& NewTld(const std::string& tld) const;
+  static std::vector<std::string> NewTldNames();
+
+ private:
+  void AddFamily(const std::string& family, TemplateSpec v0);
+  void BuildNamedFamilies();
+  void BuildTailFamilies();
+  void BuildNewTldTemplates();
+
+  std::map<std::string, std::vector<TemplateSpec>> families_;
+  std::map<std::string, TemplateSpec> new_tlds_;
+};
+
+// Derives the drifted (v1) variant of a spec: renames a couple of field
+// titles to synonyms, reorders two adjacent registrant fields, and inserts
+// a DNSSEC line — the kinds of minor changes that break template parsers
+// (§2.3). Deterministic per spec id.
+TemplateSpec DriftSpec(const TemplateSpec& v0);
+
+// Synthesizes a complete format family from a seed (for tail registrars).
+TemplateSpec SynthesizeSpec(const std::string& id, uint64_t seed);
+
+}  // namespace whoiscrf::datagen

@@ -1,0 +1,146 @@
+// TemplateSpec: a declarative description of one registrar's WHOIS record
+// format. The engine renders a spec against DomainFacts to produce both the
+// record text and its ground-truth line labels — the synthetic equivalent
+// of the paper's hand-labeled 86K corpus, correct by construction.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "whois/labels.h"
+
+namespace whoiscrf::datagen {
+
+// The value a field element pulls from DomainFacts.
+enum class Slot {
+  kDomainName,
+  kRegistrarName,
+  kRegistrarUrl,
+  kWhoisServer,
+  kIanaId,
+  kNameServers,   // expands to one line per name server
+  kStatuses,      // expands to one line per status
+  kDnssec,
+  kCreated,
+  kUpdated,
+  kExpires,
+  // Registrant contact.
+  kRegName,
+  kRegId,
+  kRegOrg,
+  kRegStreet,     // expands to one line per street line
+  kRegCity,
+  kRegState,
+  kRegPostcode,
+  kRegCountryCode,
+  kRegCountryName,
+  kRegCityStateZip,   // "San Diego, CA 92093" composite
+  kRegPhone,
+  kRegFax,
+  kRegEmail,
+  // Admin/tech contacts (rendered under label `other`).
+  kAdminName,
+  kAdminEmail,
+  kAdminPhone,
+  kTechName,
+  kTechEmail,
+  kTechPhone,
+  kLiteral,       // element's `literal` string, no fact lookup
+};
+
+enum class Casing { kAsIs, kUpper, kLower };
+
+// One element of a template. Elements render to zero or more lines.
+struct Element {
+  enum class Kind {
+    kField,       // "<title><sep><value>" (or bare value if title empty)
+    kHeader,      // a block header line, e.g. "Registrant:" or "[Registrant]"
+    kBlank,       // empty line
+    kBoilerplate, // multi-line literal text, every line labeled
+  };
+
+  Kind kind = Kind::kField;
+  whois::Level1Label label = whois::Level1Label::kNull;
+  std::optional<whois::Level2Label> sub;  // for registrant lines
+
+  std::string title;      // field title or header text (pre-separator)
+  Slot slot = Slot::kLiteral;
+  std::string literal;    // for kLiteral slots and kBoilerplate text
+  bool indent = false;    // indent this line per the template's block style
+  bool skip_if_empty = true;  // omit the line when the value is empty
+};
+
+// Date formats used across real registrars.
+enum class DateStyle {
+  kIso,          // 2014-03-02
+  kIsoTime,      // 2014-03-02T18:11:03Z
+  kDMonY,        // 02-Mar-2014
+  kSlashes,      // 2014/03/02
+  kUsSlashes,    // 03/02/2014
+};
+
+struct TemplateSpec {
+  std::string id;           // stable template identifier, e.g. "godaddy/v0"
+  std::string separator = ": ";   // between title and value
+  std::string indent = "   ";     // prefix for indented block members
+  Casing title_casing = Casing::kAsIs;
+  Casing value_casing = Casing::kAsIs;
+  DateStyle date_style = DateStyle::kIsoTime;
+  std::vector<Element> elements;
+};
+
+// --- Element construction helpers (used by the template library) --------
+
+inline Element Field(whois::Level1Label l1, std::string title, Slot slot,
+                     std::optional<whois::Level2Label> sub = std::nullopt) {
+  Element e;
+  e.kind = Element::Kind::kField;
+  e.label = l1;
+  e.sub = sub;
+  e.title = std::move(title);
+  e.slot = slot;
+  return e;
+}
+
+inline Element RegField(std::string title, Slot slot,
+                        whois::Level2Label sub) {
+  return Field(whois::Level1Label::kRegistrant, std::move(title), slot, sub);
+}
+
+inline Element Header(whois::Level1Label l1, std::string text) {
+  Element e;
+  e.kind = Element::Kind::kHeader;
+  e.label = l1;
+  e.title = std::move(text);
+  return e;
+}
+
+inline Element Blank() {
+  Element e;
+  e.kind = Element::Kind::kBlank;
+  return e;
+}
+
+inline Element Boilerplate(std::string text) {
+  Element e;
+  e.kind = Element::Kind::kBoilerplate;
+  e.label = whois::Level1Label::kNull;
+  e.literal = std::move(text);
+  return e;
+}
+
+inline Element Literal(whois::Level1Label l1, std::string title,
+                       std::string value,
+                       std::optional<whois::Level2Label> sub = std::nullopt) {
+  Element e;
+  e.kind = Element::Kind::kField;
+  e.label = l1;
+  e.sub = sub;
+  e.title = std::move(title);
+  e.slot = Slot::kLiteral;
+  e.literal = std::move(value);
+  return e;
+}
+
+}  // namespace whoiscrf::datagen

@@ -1,0 +1,44 @@
+// Clock abstraction so the crawler and the servers' rate limiters can run
+// against simulated time in tests/benches (no real sleeping) and against
+// wall-clock time in the TCP example.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace whoiscrf::net {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual uint64_t NowMs() = 0;
+  virtual void SleepMs(uint64_t ms) = 0;
+};
+
+// Wall-clock time; SleepMs really sleeps.
+class RealClock final : public Clock {
+ public:
+  uint64_t NowMs() override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+  void SleepMs(uint64_t ms) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  }
+};
+
+// Virtual time; SleepMs advances instantly. Single-threaded use.
+class SimClock final : public Clock {
+ public:
+  uint64_t NowMs() override { return now_ms_; }
+  void SleepMs(uint64_t ms) override { now_ms_ += ms; }
+  void Advance(uint64_t ms) { now_ms_ += ms; }
+
+ private:
+  uint64_t now_ms_ = 0;
+};
+
+}  // namespace whoiscrf::net

@@ -1,0 +1,168 @@
+#include "net/crawler.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace whoiscrf::net {
+
+Crawler::Crawler(Network& network, Clock& clock, CrawlerOptions options)
+    : network_(network), clock_(clock), options_(std::move(options)) {
+  if (options_.source_ips.empty()) {
+    options_.source_ips = {"198.51.100.1"};
+  }
+}
+
+std::string Crawler::ExtractWhoisServer(const std::string& thin_record) {
+  for (std::string_view line : util::SplitLines(thin_record)) {
+    const std::string lower = util::ToLower(line);
+    const size_t pos = lower.find("whois server:");
+    if (pos == std::string::npos) continue;
+    return std::string(
+        util::Trim(line.substr(pos + std::string_view("whois server:").size())));
+  }
+  return {};
+}
+
+bool Crawler::LooksValid(const QueryResult& result) {
+  if (!result.connected) return false;
+  const std::string_view body = util::Trim(result.body);
+  if (body.empty()) return false;
+  // Error banners servers emit when limiting; treat as invalid data.
+  const std::string lower = util::ToLower(body.substr(0, 200));
+  for (std::string_view marker :
+       {"rate limit", "exceeded", "quota", "try again later",
+        "queries per"}) {
+    if (lower.find(marker) != std::string::npos) return false;
+  }
+  return true;
+}
+
+void Crawler::NoteSent(const std::string& server, const std::string& source) {
+  SourceServerState& state = pairs_[{server, source}];
+  state.sent.push_back(clock_.NowMs());
+}
+
+void Crawler::NoteLimited(const std::string& server,
+                          const std::string& source) {
+  ++stats_.limit_hits;
+  SourceServerState& state = pairs_[{server, source}];
+  // Dynamic inference: the number of queries we issued in the trailing
+  // window is our estimate of this server's limit (§4.1).
+  const uint64_t now = clock_.NowMs();
+  uint32_t recent = 0;
+  for (uint64_t t : state.sent) {
+    if (now - t < options_.assumed_window_ms) ++recent;
+  }
+  ServerState& srv = servers_[server];
+  const uint32_t observed = std::max<uint32_t>(1, recent);
+  if (!srv.inferred_limit.has_value() || observed < *srv.inferred_limit) {
+    srv.inferred_limit = observed;
+    stats_.inferred_limits[server] = observed;
+    LOG_DEBUG("crawler: inferred limit for %s: %u/window", server.c_str(),
+              observed);
+  }
+  state.cooldown_until_ms = now + options_.source_cooldown_ms;
+}
+
+std::optional<std::string> Crawler::PacedQuery(const std::string& server,
+                                               const std::string& domain) {
+  const int attempts = std::min<int>(options_.max_attempts,
+                                     static_cast<int>(options_.source_ips.size()));
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    const std::string& source =
+        options_.source_ips[(next_source_ + static_cast<size_t>(attempt)) %
+                            options_.source_ips.size()];
+    SourceServerState& state = pairs_[{server, source}];
+
+    // Respect cooldown from a previously tripped limit.
+    uint64_t now = clock_.NowMs();
+    if (now < state.cooldown_until_ms) {
+      clock_.SleepMs(state.cooldown_until_ms - now);
+      now = clock_.NowMs();
+    }
+
+    // Stay under the inferred limit (with a safety margin) by letting old
+    // timestamps age out of the window before sending.
+    const auto& srv = servers_[server];
+    if (srv.inferred_limit.has_value()) {
+      const auto budget = static_cast<uint32_t>(std::max(
+          1.0, options_.safety_factor * static_cast<double>(*srv.inferred_limit)));
+      while (true) {
+        while (!state.sent.empty() &&
+               now - state.sent.front() >= options_.assumed_window_ms) {
+          state.sent.pop_front();
+        }
+        if (state.sent.size() < budget) break;
+        const uint64_t wait =
+            state.sent.front() + options_.assumed_window_ms - now + 1;
+        clock_.SleepMs(wait);
+        now = clock_.NowMs();
+      }
+    }
+
+    NoteSent(server, source);
+    ++stats_.queries_sent;
+    const QueryResult result =
+        network_.Query(server, domain, source, clock_.NowMs());
+    if (LooksValid(result)) {
+      next_source_ = (next_source_ + static_cast<size_t>(attempt)) %
+                     options_.source_ips.size();
+      return result.body;
+    }
+    if (result.connected) NoteLimited(server, source);
+  }
+  // Rotate the preferred source so the next domain starts elsewhere.
+  next_source_ = (next_source_ + 1) % options_.source_ips.size();
+  return std::nullopt;
+}
+
+CrawlResult Crawler::CrawlDomain(const std::string& domain) {
+  CrawlResult result;
+  result.domain = domain;
+
+  auto thin = PacedQuery(options_.registry_server, domain);
+  result.attempts = options_.max_attempts;
+  if (!thin.has_value()) {
+    result.status = CrawlResult::Status::kFailed;
+    ++stats_.failed;
+    return result;
+  }
+  result.thin = *thin;
+  if (util::ContainsIgnoreCase(result.thin, "no match")) {
+    result.status = CrawlResult::Status::kNoMatch;
+    ++stats_.no_match;
+    return result;
+  }
+
+  result.registrar_server = ExtractWhoisServer(result.thin);
+  if (result.registrar_server.empty()) {
+    result.status = CrawlResult::Status::kThinOnly;
+    ++stats_.thin_only;
+    return result;
+  }
+  auto thick = PacedQuery(result.registrar_server, domain);
+  if (!thick.has_value() ||
+      util::ContainsIgnoreCase(*thick, "no match")) {
+    result.status = CrawlResult::Status::kThinOnly;
+    ++stats_.thin_only;
+    return result;
+  }
+  result.thick = *thick;
+  result.status = CrawlResult::Status::kOk;
+  ++stats_.ok;
+  return result;
+}
+
+std::vector<CrawlResult> Crawler::CrawlAll(
+    const std::vector<std::string>& domains) {
+  std::vector<CrawlResult> out;
+  out.reserve(domains.size());
+  for (const std::string& domain : domains) {
+    out.push_back(CrawlDomain(domain));
+  }
+  return out;
+}
+
+}  // namespace whoiscrf::net

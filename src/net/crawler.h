@@ -1,0 +1,104 @@
+// The WHOIS crawler (§4.1).
+//
+// For each .com domain the crawl is a two-step process (§2.2): query the
+// thin registry, extract the sponsoring registrar's WHOIS server from the
+// referral, then query that server for the thick record.
+//
+// Rate limits are unpublished, so the crawler uses the paper's dynamic
+// inference: it tracks its own query rate per server, and when a server
+// stops returning valid data it records the observed rate as that server's
+// limit and thereafter stays safely below it. Multiple source addresses
+// provide parallel vantage points, and each query is retried from up to
+// three different sources before being declared failed.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/clock.h"
+#include "net/transport.h"
+
+namespace whoiscrf::net {
+
+struct CrawlerOptions {
+  std::string registry_server = "whois.verisign-grs.com";
+  std::vector<std::string> source_ips = {"198.51.100.1", "198.51.100.2",
+                                         "198.51.100.3"};
+  uint64_t assumed_window_ms = 60'000;  // window used for rate accounting
+  double safety_factor = 0.75;          // stay at this fraction of a limit
+  int max_attempts = 3;                 // distinct sources tried per query
+  uint64_t source_cooldown_ms = 120'000;  // back-off after tripping a limit
+};
+
+struct CrawlResult {
+  enum class Status {
+    kOk,        // thin + thick both retrieved
+    kNoMatch,   // registry says the domain does not exist (expired etc.)
+    kThinOnly,  // thick lookup failed (blocked / unreachable registrar)
+    kFailed,    // even the thin lookup failed
+  };
+  std::string domain;
+  Status status = Status::kFailed;
+  std::string thin;
+  std::string thick;
+  std::string registrar_server;
+  int attempts = 0;
+};
+
+struct CrawlerStats {
+  size_t ok = 0;
+  size_t no_match = 0;
+  size_t thin_only = 0;
+  size_t failed = 0;
+  size_t queries_sent = 0;
+  size_t limit_hits = 0;  // responses judged rate-limited
+  // Inferred per-server query limits (queries per window).
+  std::map<std::string, uint32_t> inferred_limits;
+};
+
+class Crawler {
+ public:
+  Crawler(Network& network, Clock& clock, CrawlerOptions options = {});
+
+  CrawlResult CrawlDomain(const std::string& domain);
+  std::vector<CrawlResult> CrawlAll(const std::vector<std::string>& domains);
+
+  const CrawlerStats& stats() const { return stats_; }
+
+  // Pulls the registrar WHOIS referral out of a thin record ("Whois
+  // Server: whois.godaddy.com"); empty when absent.
+  static std::string ExtractWhoisServer(const std::string& thin_record);
+
+ private:
+  struct SourceServerState {
+    std::deque<uint64_t> sent;            // timestamps within the window
+    uint64_t cooldown_until_ms = 0;
+  };
+  struct ServerState {
+    std::optional<uint32_t> inferred_limit;
+  };
+
+  // One rate-paced query with per-source rotation and retries. Returns the
+  // body of the first valid-looking response, or nullopt.
+  std::optional<std::string> PacedQuery(const std::string& server,
+                                        const std::string& domain);
+
+  // Heuristic: does this response body carry usable record data?
+  static bool LooksValid(const QueryResult& result);
+
+  void NoteSent(const std::string& server, const std::string& source);
+  void NoteLimited(const std::string& server, const std::string& source);
+
+  Network& network_;
+  Clock& clock_;
+  CrawlerOptions options_;
+  CrawlerStats stats_;
+  std::map<std::pair<std::string, std::string>, SourceServerState> pairs_;
+  std::map<std::string, ServerState> servers_;
+  size_t next_source_ = 0;
+};
+
+}  // namespace whoiscrf::net

@@ -1,0 +1,45 @@
+#include "net/flaky.h"
+
+namespace whoiscrf::net {
+
+FlakyHandler::FlakyHandler(std::shared_ptr<ServerHandler> inner,
+                           FaultPolicy policy, uint64_t seed)
+    : inner_(std::move(inner)), policy_(policy), rng_(seed) {}
+
+std::string FlakyHandler::HandleQuery(std::string_view query,
+                                      const std::string& source,
+                                      uint64_t now_ms) {
+  if (rng_.Bernoulli(policy_.drop_probability)) {
+    ++faults_;
+    return {};
+  }
+  std::string body = inner_->HandleQuery(query, source, now_ms);
+  if (!body.empty() && rng_.Bernoulli(policy_.truncate_probability)) {
+    ++faults_;
+    body.resize(static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(body.size()) / 2)));
+  } else if (rng_.Bernoulli(policy_.garble_probability)) {
+    ++faults_;
+    body.assign("%% ERROR 502: upstream registry database unavailable\n");
+  }
+  return body;
+}
+
+FlakyNetwork::FlakyNetwork(Network& inner,
+                           double connect_failure_probability, uint64_t seed)
+    : inner_(inner),
+      connect_failure_probability_(connect_failure_probability),
+      rng_(seed) {}
+
+QueryResult FlakyNetwork::Query(const std::string& server,
+                                std::string_view query,
+                                const std::string& source_ip,
+                                uint64_t now_ms) {
+  if (rng_.Bernoulli(connect_failure_probability_)) {
+    ++failed_;
+    return QueryResult{};  // connection refused / reset
+  }
+  return inner_.Query(server, query, source_ip, now_ms);
+}
+
+}  // namespace whoiscrf::net

@@ -1,0 +1,62 @@
+// Failure injection for the WHOIS network substrate.
+//
+// Real crawls fail in more ways than rate limiting (§4.1 reports ~7.5% of
+// domains failing after three attempts): connections drop, servers return
+// truncated or garbled bodies, and some hosts flap. FlakyHandler wraps any
+// ServerHandler and injects those faults with configured probabilities;
+// FlakyNetwork wraps a Network and injects connection-level failures. Both
+// are deterministic given their seed, so tests of crawler resilience are
+// reproducible.
+#pragma once
+
+#include <memory>
+
+#include "net/transport.h"
+#include "util/random.h"
+
+namespace whoiscrf::net {
+
+struct FaultPolicy {
+  double drop_probability = 0.0;       // respond with nothing at all
+  double truncate_probability = 0.0;   // cut the body mid-record
+  double garble_probability = 0.0;     // replace the body with noise
+};
+
+// Server-side fault injection: wraps a handler.
+class FlakyHandler final : public ServerHandler {
+ public:
+  FlakyHandler(std::shared_ptr<ServerHandler> inner, FaultPolicy policy,
+               uint64_t seed);
+
+  std::string HandleQuery(std::string_view query, const std::string& source,
+                          uint64_t now_ms) override;
+
+  uint64_t faults_injected() const { return faults_; }
+
+ private:
+  std::shared_ptr<ServerHandler> inner_;
+  FaultPolicy policy_;
+  util::Rng rng_;
+  uint64_t faults_ = 0;
+};
+
+// Client-side fault injection: wraps a network and fails connections with
+// the given probability (models unreachable hosts and mid-flight resets).
+class FlakyNetwork final : public Network {
+ public:
+  FlakyNetwork(Network& inner, double connect_failure_probability,
+               uint64_t seed);
+
+  QueryResult Query(const std::string& server, std::string_view query,
+                    const std::string& source_ip, uint64_t now_ms) override;
+
+  uint64_t connections_failed() const { return failed_; }
+
+ private:
+  Network& inner_;
+  double connect_failure_probability_;
+  util::Rng rng_;
+  uint64_t failed_ = 0;
+};
+
+}  // namespace whoiscrf::net

@@ -1,0 +1,34 @@
+#include "net/rate_limiter.h"
+
+namespace whoiscrf::net {
+
+bool RateLimiter::Allow(const std::string& source, uint64_t now_ms) {
+  SourceState& state = sources_[source];
+
+  if (now_ms < state.penalty_until_ms) {
+    // Queries during a penalty extend it — backing off is the only cure.
+    state.penalty_until_ms = now_ms + policy_.penalty_ms;
+    return false;
+  }
+
+  // Evict timestamps that left the sliding window.
+  while (!state.timestamps.empty() &&
+         now_ms - state.timestamps.front() >= policy_.window_ms) {
+    state.timestamps.pop_front();
+  }
+
+  if (state.timestamps.size() >= policy_.max_queries) {
+    state.penalty_until_ms = now_ms + policy_.penalty_ms;
+    return false;
+  }
+  state.timestamps.push_back(now_ms);
+  return true;
+}
+
+bool RateLimiter::InPenalty(const std::string& source,
+                            uint64_t now_ms) const {
+  auto it = sources_.find(source);
+  return it != sources_.end() && now_ms < it->second.penalty_until_ms;
+}
+
+}  // namespace whoiscrf::net

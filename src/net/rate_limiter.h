@@ -1,0 +1,43 @@
+// Per-source-IP rate limiting as WHOIS servers implement it (§4.1): once a
+// source exceeds its query budget within a window, the server stops giving
+// useful answers until a penalty period expires. Thresholds are typically
+// unpublished — which is exactly what the crawler has to infer.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+namespace whoiscrf::net {
+
+struct RateLimitPolicy {
+  uint32_t max_queries = 60;     // allowed queries per window
+  uint64_t window_ms = 60'000;   // sliding window length
+  uint64_t penalty_ms = 120'000; // lock-out after a violation
+};
+
+class RateLimiter {
+ public:
+  explicit RateLimiter(RateLimitPolicy policy) : policy_(policy) {}
+
+  // Records a query from `source` at `now_ms` and returns whether the
+  // server should answer it. A denied query also (re)starts the penalty
+  // window, as real servers do — hammering a limited server keeps it locked.
+  bool Allow(const std::string& source, uint64_t now_ms);
+
+  // True if `source` is currently serving a penalty.
+  bool InPenalty(const std::string& source, uint64_t now_ms) const;
+
+  const RateLimitPolicy& policy() const { return policy_; }
+
+ private:
+  struct SourceState {
+    std::deque<uint64_t> timestamps;  // within the current window
+    uint64_t penalty_until_ms = 0;
+  };
+  RateLimitPolicy policy_;
+  std::unordered_map<std::string, SourceState> sources_;
+};
+
+}  // namespace whoiscrf::net

@@ -1,0 +1,59 @@
+#include "net/simulation.h"
+
+#include "util/random.h"
+
+namespace whoiscrf::net {
+
+SimulatedInternet BuildSimulatedInternet(
+    const datagen::CorpusGenerator& generator,
+    const SimulationOptions& options) {
+  SimulatedInternet sim;
+  sim.network = std::make_unique<InProcNetwork>();
+  sim.registry_server = "whois.verisign-grs.com";
+
+  auto registry_store = std::make_shared<RecordStore>();
+  std::map<std::string, std::shared_ptr<RecordStore>> registrar_stores;
+
+  util::Rng rng(generator.options().seed ^ 0xC0FFEE);
+  for (size_t i = 0; i < options.num_domains; ++i) {
+    datagen::GeneratedDomain domain = generator.Generate(i);
+    const std::string& name = domain.facts.domain;
+    sim.zone_domains.push_back(name);
+
+    if (rng.Bernoulli(options.missing_fraction)) {
+      sim.missing_domains.push_back(name);
+      continue;  // expired between the zone snapshot and the crawl
+    }
+
+    registry_store->Add(name, generator.RenderThin(domain.facts).text);
+    auto& store = registrar_stores[domain.facts.whois_server];
+    if (store == nullptr) store = std::make_shared<RecordStore>();
+    store->Add(name, domain.thick.text);
+    sim.truth.emplace(name, std::move(domain));
+  }
+
+  ServerBehavior registry_behavior;
+  registry_behavior.rate_limit = options.registry_policy;
+  registry_behavior.limit_banner = "";  // Verisign goes silent when limiting
+  sim.network->Register(
+      sim.registry_server,
+      std::make_shared<RegistryHandler>(registry_store, registry_behavior));
+
+  size_t index = 0;
+  for (auto& [server, store] : registrar_stores) {
+    ServerBehavior behavior;
+    behavior.rate_limit = options.registrar_policy;
+    // Vary the limit a little per registrar and alternate between silent
+    // drops and error banners — both occur in the wild (§4.1).
+    behavior.rate_limit.max_queries += static_cast<uint32_t>(index % 20);
+    behavior.limit_banner =
+        (index % 2 == 0) ? ""
+                         : "%% Query rate limit exceeded. Try again later.\n";
+    sim.network->Register(
+        server, std::make_shared<RegistrarHandler>(store, behavior));
+    ++index;
+  }
+  return sim;
+}
+
+}  // namespace whoiscrf::net

@@ -1,0 +1,45 @@
+// Wires a synthetic corpus into a simulated WHOIS internet: one thin
+// registry server (Verisign-style) plus one thick server per registrar,
+// each with its own rate-limit policy — the environment the paper's
+// crawler operated in (§4.1).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datagen/corpus_gen.h"
+#include "net/transport.h"
+#include "net/whois_server.h"
+
+namespace whoiscrf::net {
+
+struct SimulationOptions {
+  size_t num_domains = 500;
+  // Fraction of zone-file domains that expired before the crawl reached
+  // them (the registry answers "no match"; §4.1).
+  double missing_fraction = 0.03;
+  RateLimitPolicy registry_policy{.max_queries = 200,
+                                  .window_ms = 60'000,
+                                  .penalty_ms = 60'000};
+  RateLimitPolicy registrar_policy{.max_queries = 30,
+                                   .window_ms = 60'000,
+                                   .penalty_ms = 120'000};
+};
+
+struct SimulatedInternet {
+  std::unique_ptr<InProcNetwork> network;
+  std::string registry_server;             // hostname of the thin registry
+  std::vector<std::string> zone_domains;   // the "zone file" to crawl
+  // Ground truth for verification: domain -> generated record.
+  std::map<std::string, datagen::GeneratedDomain> truth;
+  // Domains deliberately absent from every server.
+  std::vector<std::string> missing_domains;
+};
+
+SimulatedInternet BuildSimulatedInternet(
+    const datagen::CorpusGenerator& generator,
+    const SimulationOptions& options = {});
+
+}  // namespace whoiscrf::net

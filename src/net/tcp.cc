@@ -1,0 +1,162 @@
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace whoiscrf::net {
+
+namespace {
+
+uint64_t WallMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Reads until EOF (the server closes after answering, per RFC 3912).
+std::string ReadAll(int fd) {
+  std::string out;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  return out;
+}
+
+bool SendAll(int fd, std::string_view data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, 0);
+    if (n <= 0) return false;
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpWhoisServer::TcpWhoisServer(std::shared_ptr<ServerHandler> handler)
+    : handler_(std::move(handler)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("TcpWhoisServer: socket()");
+
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("TcpWhoisServer: bind()");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  if (::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("TcpWhoisServer: listen()");
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+TcpWhoisServer::~TcpWhoisServer() { Stop(); }
+
+void TcpWhoisServer::Stop() {
+  if (stop_.exchange(true)) return;
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+void TcpWhoisServer::AcceptLoop() {
+  while (!stop_.load()) {
+    sockaddr_in peer{};
+    socklen_t len = sizeof(peer);
+    const int client =
+        ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &len);
+    if (client < 0) {
+      if (stop_.load()) return;
+      continue;
+    }
+    ServeConnection(client);
+  }
+}
+
+void TcpWhoisServer::ServeConnection(int client_fd) {
+  // Read the query line (terminated by CRLF or LF).
+  std::string query;
+  char c;
+  while (query.size() < 512) {
+    const ssize_t n = ::recv(client_fd, &c, 1, 0);
+    if (n <= 0) break;
+    if (c == '\n') break;
+    if (c != '\r') query.push_back(c);
+  }
+  sockaddr_in peer{};
+  socklen_t len = sizeof(peer);
+  char ip[INET_ADDRSTRLEN] = "?";
+  if (::getpeername(client_fd, reinterpret_cast<sockaddr*>(&peer), &len) ==
+      0) {
+    ::inet_ntop(AF_INET, &peer.sin_addr, ip, sizeof(ip));
+  }
+  const std::string body = handler_->HandleQuery(query, ip, WallMs());
+  SendAll(client_fd, body);
+  ::shutdown(client_fd, SHUT_RDWR);
+  ::close(client_fd);
+}
+
+void TcpNetwork::Register(std::string hostname, uint16_t port) {
+  ports_[std::move(hostname)] = port;
+}
+
+QueryResult TcpNetwork::Query(const std::string& server,
+                              std::string_view query,
+                              const std::string& /*source_ip*/,
+                              uint64_t /*now_ms*/) {
+  QueryResult result;
+  auto it = ports_.find(server);
+  if (it == ports_.end()) return result;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return result;
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(it->second);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return result;
+  }
+  result.connected = true;
+  std::string line(query);
+  line += "\r\n";
+  if (SendAll(fd, line)) {
+    ::shutdown(fd, SHUT_WR);
+    result.body = ReadAll(fd);
+  }
+  ::close(fd);
+  return result;
+}
+
+}  // namespace whoiscrf::net

@@ -1,0 +1,59 @@
+// Real-socket WHOIS transport on the loopback interface (RFC 3912 framing:
+// client sends "<query>\r\n", server writes the response and closes).
+//
+// TcpWhoisServer binds 127.0.0.1 on an ephemeral port and serves a
+// ServerHandler from a background accept thread. TcpNetwork maps WHOIS
+// hostnames to local ports and issues real connect/send/recv exchanges, so
+// the crawl example exercises the same code path a production crawler
+// would, without leaving the machine.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "net/transport.h"
+
+namespace whoiscrf::net {
+
+class TcpWhoisServer {
+ public:
+  // Binds and starts accepting immediately. Throws std::runtime_error if
+  // the socket cannot be created/bound.
+  explicit TcpWhoisServer(std::shared_ptr<ServerHandler> handler);
+  ~TcpWhoisServer();
+
+  TcpWhoisServer(const TcpWhoisServer&) = delete;
+  TcpWhoisServer& operator=(const TcpWhoisServer&) = delete;
+
+  uint16_t port() const { return port_; }
+  void Stop();
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int client_fd);
+
+  std::shared_ptr<ServerHandler> handler_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+};
+
+// Client-side network over loopback TCP.
+class TcpNetwork final : public Network {
+ public:
+  // Associates a WHOIS hostname with a local port.
+  void Register(std::string hostname, uint16_t port);
+
+  QueryResult Query(const std::string& server, std::string_view query,
+                    const std::string& source_ip, uint64_t now_ms) override;
+
+ private:
+  std::unordered_map<std::string, uint16_t> ports_;
+};
+
+}  // namespace whoiscrf::net

@@ -1,0 +1,22 @@
+#include "net/transport.h"
+
+namespace whoiscrf::net {
+
+void InProcNetwork::Register(std::string hostname,
+                             std::shared_ptr<ServerHandler> handler) {
+  servers_[std::move(hostname)] = std::move(handler);
+}
+
+QueryResult InProcNetwork::Query(const std::string& server,
+                                 std::string_view query,
+                                 const std::string& source_ip,
+                                 uint64_t now_ms) {
+  auto it = servers_.find(server);
+  if (it == servers_.end()) return QueryResult{};  // unreachable host
+  QueryResult result;
+  result.connected = true;
+  result.body = it->second->HandleQuery(query, source_ip, now_ms);
+  return result;
+}
+
+}  // namespace whoiscrf::net

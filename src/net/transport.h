@@ -1,0 +1,54 @@
+// Transport abstraction for the WHOIS protocol (RFC 3912): a client sends
+// one query line over TCP port 43, the server writes its answer and closes.
+//
+// Two implementations exist: InProcNetwork (direct handler dispatch with
+// simulated time — used by tests and benches) and TcpNetwork (real loopback
+// sockets — used by the crawl example). Both present the same Query()
+// interface, so the crawler is transport-agnostic.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace whoiscrf::net {
+
+// Server-side: one WHOIS service's query handler.
+class ServerHandler {
+ public:
+  virtual ~ServerHandler() = default;
+  // Answers one query from `source` (client address) at `now_ms`.
+  // Returning an empty string models a rate-limited/non-responsive server.
+  virtual std::string HandleQuery(std::string_view query,
+                                  const std::string& source,
+                                  uint64_t now_ms) = 0;
+};
+
+// Client-side result of one RFC 3912 exchange.
+struct QueryResult {
+  bool connected = false;  // server reachable
+  std::string body;        // response text (empty on rate limit / no match)
+};
+
+class Network {
+ public:
+  virtual ~Network() = default;
+  // One query to `server` (hostname) from the vantage point `source_ip`.
+  virtual QueryResult Query(const std::string& server, std::string_view query,
+                            const std::string& source_ip, uint64_t now_ms) = 0;
+};
+
+// Hostname -> handler dispatch without sockets.
+class InProcNetwork final : public Network {
+ public:
+  void Register(std::string hostname, std::shared_ptr<ServerHandler> handler);
+
+  QueryResult Query(const std::string& server, std::string_view query,
+                    const std::string& source_ip, uint64_t now_ms) override;
+
+ private:
+  std::unordered_map<std::string, std::shared_ptr<ServerHandler>> servers_;
+};
+
+}  // namespace whoiscrf::net

@@ -1,0 +1,35 @@
+#include "net/whois_server.h"
+
+#include "util/string_util.h"
+
+namespace whoiscrf::net {
+
+void RecordStore::Add(std::string domain, std::string body) {
+  records_[util::ToLower(domain)] = std::move(body);
+}
+
+const std::string* RecordStore::Find(const std::string& domain) const {
+  auto it = records_.find(util::ToLower(domain));
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+RegistrarHandler::RegistrarHandler(std::shared_ptr<RecordStore> store,
+                                   ServerBehavior behavior)
+    : store_(std::move(store)),
+      behavior_(std::move(behavior)),
+      limiter_(behavior_.rate_limit) {}
+
+std::string RegistrarHandler::HandleQuery(std::string_view query,
+                                          const std::string& source,
+                                          uint64_t now_ms) {
+  if (!limiter_.Allow(source, now_ms)) {
+    ++limited_;
+    return behavior_.limit_banner;
+  }
+  ++served_;
+  const std::string domain(util::Trim(query));
+  const std::string* body = store_->Find(domain);
+  return body == nullptr ? behavior_.no_match : *body;
+}
+
+}  // namespace whoiscrf::net

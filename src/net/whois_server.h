@@ -1,0 +1,64 @@
+// WHOIS server simulators (§2.2, §4.1).
+//
+// RegistryHandler models Verisign's thin .com registry: it answers with a
+// thin record containing the sponsoring registrar's WHOIS server referral.
+// RegistrarHandler models a registrar's thick WHOIS server. Both enforce
+// per-source rate limits with penalty windows, exactly the behavior the
+// paper's crawler had to infer and respect.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "net/rate_limiter.h"
+#include "net/transport.h"
+
+namespace whoiscrf::net {
+
+// Shared store of records for one server: domain -> response body.
+class RecordStore {
+ public:
+  void Add(std::string domain, std::string body);
+  // nullptr when the domain is unknown to this server.
+  const std::string* Find(const std::string& domain) const;
+  size_t size() const { return records_.size(); }
+
+ private:
+  std::map<std::string, std::string> records_;
+};
+
+struct ServerBehavior {
+  RateLimitPolicy rate_limit;
+  // What a rate-limited client sees: some servers return an error banner,
+  // others an empty reply (the paper observed both; §4.1).
+  std::string limit_banner;  // empty = silent drop
+  // Response for unknown domains.
+  std::string no_match = "No match for domain.\n";
+};
+
+class RegistrarHandler final : public ServerHandler {
+ public:
+  RegistrarHandler(std::shared_ptr<RecordStore> store,
+                   ServerBehavior behavior);
+
+  std::string HandleQuery(std::string_view query, const std::string& source,
+                          uint64_t now_ms) override;
+
+  uint64_t queries_served() const { return served_; }
+  uint64_t queries_limited() const { return limited_; }
+
+ private:
+  std::shared_ptr<RecordStore> store_;
+  ServerBehavior behavior_;
+  RateLimiter limiter_;
+  uint64_t served_ = 0;
+  uint64_t limited_ = 0;
+};
+
+// The registry is a RegistrarHandler over thin records; the distinction is
+// in the records it stores, not the protocol. An alias keeps call sites
+// readable.
+using RegistryHandler = RegistrarHandler;
+
+}  // namespace whoiscrf::net

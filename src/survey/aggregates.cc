@@ -1,0 +1,164 @@
+#include "survey/aggregates.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace whoiscrf::survey {
+
+TopKResult TopK(const SurveyDatabase& db,
+                const std::function<std::string(const DomainRow&)>& key,
+                size_t k,
+                const std::function<bool(const DomainRow&)>& filter) {
+  std::unordered_map<std::string, size_t> counts;
+  TopKResult result;
+  for (const DomainRow& row : db.rows()) {
+    if (filter && !filter(row)) continue;
+    ++result.total;
+    const std::string group = key(row);
+    if (group.empty()) {
+      ++result.unknown_count;
+    } else {
+      ++counts[group];
+    }
+  }
+  std::vector<std::pair<std::string, size_t>> sorted(counts.begin(),
+                                                     counts.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;  // deterministic tie-break
+  });
+  const double denom = result.total > 0 ? static_cast<double>(result.total) : 1.0;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i < k) {
+      result.top.push_back(CountRow{sorted[i].first, sorted[i].second,
+                                    static_cast<double>(sorted[i].second) /
+                                        denom});
+    } else {
+      result.other_count += sorted[i].second;
+    }
+  }
+  return result;
+}
+
+TopKResult TopCountries(const SurveyDatabase& db, size_t k,
+                        std::optional<int> year) {
+  return TopK(
+      db, [](const DomainRow& r) { return r.country_code; }, k,
+      [year](const DomainRow& r) {
+        if (r.privacy_protected) return false;  // country not inferable
+        return !year.has_value() || r.created_year == *year;
+      });
+}
+
+TopKResult TopRegistrars(const SurveyDatabase& db, size_t k,
+                         std::optional<int> year) {
+  return TopK(
+      db, [](const DomainRow& r) { return r.registrar; }, k,
+      [year](const DomainRow& r) {
+        return !year.has_value() || r.created_year == *year;
+      });
+}
+
+TopKResult TopPrivacyRegistrars(const SurveyDatabase& db, size_t k) {
+  return TopK(
+      db, [](const DomainRow& r) { return r.registrar; }, k,
+      [](const DomainRow& r) { return r.privacy_protected; });
+}
+
+TopKResult TopPrivacyServices(const SurveyDatabase& db, size_t k) {
+  return TopK(
+      db, [](const DomainRow& r) { return r.privacy_service; }, k,
+      [](const DomainRow& r) { return r.privacy_protected; });
+}
+
+std::vector<CountRow> BrandCounts(const SurveyDatabase& db,
+                                  const std::vector<std::string>& brands) {
+  std::vector<CountRow> out;
+  for (const std::string& brand : brands) {
+    CountRow row;
+    row.key = brand;
+    for (const DomainRow& r : db.rows()) {
+      if (r.registrant_org == brand) ++row.count;
+    }
+    out.push_back(std::move(row));
+  }
+  std::sort(out.begin(), out.end(), [](const CountRow& a, const CountRow& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.key < b.key;
+  });
+  return out;
+}
+
+TopKResult DblTopCountries(const SurveyDatabase& db, size_t k, int year) {
+  return TopK(
+      db, [](const DomainRow& r) { return r.country_code; }, k,
+      [year](const DomainRow& r) {
+        return r.on_dbl && r.created_year == year && !r.privacy_protected;
+      });
+}
+
+TopKResult DblTopRegistrars(const SurveyDatabase& db, size_t k, int year) {
+  return TopK(
+      db, [](const DomainRow& r) { return r.registrar; }, k,
+      [year](const DomainRow& r) {
+        return r.on_dbl && r.created_year == year;
+      });
+}
+
+std::map<int, size_t> CreationHistogram(const SurveyDatabase& db) {
+  std::map<int, size_t> hist;
+  for (const DomainRow& r : db.rows()) {
+    if (r.created_year > 0) ++hist[r.created_year];
+  }
+  return hist;
+}
+
+std::vector<YearComposition> CountryProportionsByYear(
+    const SurveyDatabase& db, const std::vector<std::string>& countries,
+    int min_year, int max_year) {
+  std::vector<YearComposition> out;
+  for (int year = min_year; year <= max_year; ++year) {
+    YearComposition comp;
+    comp.year = year;
+    std::map<std::string, size_t> counts;
+    size_t privacy = 0;
+    size_t unknown = 0;
+    size_t other = 0;
+    for (const DomainRow& r : db.rows()) {
+      if (r.created_year != year) continue;
+      ++comp.total;
+      if (r.privacy_protected) {
+        ++privacy;
+      } else if (r.country_code.empty()) {
+        ++unknown;
+      } else if (std::find(countries.begin(), countries.end(),
+                           r.country_code) != countries.end()) {
+        ++counts[r.country_code];
+      } else {
+        ++other;
+      }
+    }
+    if (comp.total == 0) continue;
+    const double denom = static_cast<double>(comp.total);
+    for (const std::string& cc : countries) {
+      comp.shares[cc] = static_cast<double>(counts[cc]) / denom;
+    }
+    comp.shares["Private"] = static_cast<double>(privacy) / denom;
+    comp.shares["Unknown"] = static_cast<double>(unknown) / denom;
+    comp.shares["Other"] = static_cast<double>(other) / denom;
+    out.push_back(std::move(comp));
+  }
+  return out;
+}
+
+TopKResult RegistrarCountryBreakdown(const SurveyDatabase& db,
+                                     const std::string& registrar,
+                                     size_t k) {
+  return TopK(
+      db, [](const DomainRow& r) { return r.country_code; }, k,
+      [&registrar](const DomainRow& r) {
+        return r.registrar == registrar && !r.privacy_protected;
+      });
+}
+
+}  // namespace whoiscrf::survey

@@ -1,0 +1,78 @@
+// Aggregations over the survey database: everything needed to regenerate
+// the paper's §6 tables and figures.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "survey/database.h"
+
+namespace whoiscrf::survey {
+
+struct CountRow {
+  std::string key;
+  size_t count = 0;
+  double share = 0.0;  // of the aggregate's total
+};
+
+struct TopKResult {
+  std::vector<CountRow> top;  // k rows, descending
+  size_t other_count = 0;     // rows beyond the top k (excl. unknown)
+  size_t unknown_count = 0;   // rows with an empty key
+  size_t total = 0;
+};
+
+// Generic group-by/top-k used by every table bench. `key` extracts the
+// group key (empty string = unknown); `filter` selects rows (may be null).
+TopKResult TopK(const SurveyDatabase& db,
+                const std::function<std::string(const DomainRow&)>& key,
+                size_t k,
+                const std::function<bool(const DomainRow&)>& filter = nullptr);
+
+// Table 3: top registrant countries (privacy-protected rows excluded, as in
+// the paper). `year` restricts to registrations created that year.
+TopKResult TopCountries(const SurveyDatabase& db, size_t k,
+                        std::optional<int> year = std::nullopt);
+
+// Table 5: top registrars (all rows count; privacy does not hide the
+// registrar).
+TopKResult TopRegistrars(const SurveyDatabase& db, size_t k,
+                         std::optional<int> year = std::nullopt);
+
+// Table 6: registrars of privacy-protected domains.
+TopKResult TopPrivacyRegistrars(const SurveyDatabase& db, size_t k);
+
+// Table 7: privacy services.
+TopKResult TopPrivacyServices(const SurveyDatabase& db, size_t k);
+
+// Table 4: counts per brand organization, descending.
+std::vector<CountRow> BrandCounts(const SurveyDatabase& db,
+                                  const std::vector<std::string>& brands);
+
+// Tables 8 & 9: DBL-listed domains created in `year`.
+TopKResult DblTopCountries(const SurveyDatabase& db, size_t k, int year);
+TopKResult DblTopRegistrars(const SurveyDatabase& db, size_t k, int year);
+
+// Figure 4a: registrations per creation year.
+std::map<int, size_t> CreationHistogram(const SurveyDatabase& db);
+
+// Figure 4b: per-year composition: share of each listed country, privacy-
+// protected, unknown, and other.
+struct YearComposition {
+  int year = 0;
+  size_t total = 0;
+  std::map<std::string, double> shares;  // country code / "Private" /
+                                         // "Unknown" / "Other" -> fraction
+};
+std::vector<YearComposition> CountryProportionsByYear(
+    const SurveyDatabase& db, const std::vector<std::string>& countries,
+    int min_year, int max_year);
+
+// Figure 5: top registrant countries within one registrar.
+TopKResult RegistrarCountryBreakdown(const SurveyDatabase& db,
+                                     const std::string& registrar, size_t k);
+
+}  // namespace whoiscrf::survey

@@ -1,0 +1,33 @@
+// Builders that turn parser output into survey rows — the glue between the
+// statistical parser and the §6 analyses.
+#pragma once
+
+#include <string>
+
+#include "datagen/corpus_gen.h"
+#include "survey/database.h"
+#include "whois/record.h"
+#include "whois/whois_parser.h"
+
+namespace whoiscrf::survey {
+
+// Normalizes a parsed record into one database row.
+//   * registrar display names are folded to the registrar table's short
+//     names ("GoDaddy.com, LLC" -> "GoDaddy");
+//   * the creation year is extracted from the raw date string;
+//   * the registrant country is normalized to a 2-letter code whether the
+//     record printed a code or a display name;
+//   * privacy protection is detected from the registrant name/org fields.
+// `on_dbl` comes from the (external) blacklist, as in the paper.
+DomainRow RowFromParse(const std::string& domain,
+                       const whois::ParsedWhois& parsed,
+                       const datagen::RegistrarTable& registrars,
+                       bool on_dbl);
+
+// Parses `count` corpus domains with the trained parser and assembles the
+// survey database, using `threads` workers (0 = hardware concurrency).
+SurveyDatabase BuildDatabase(const datagen::CorpusGenerator& generator,
+                             const whois::WhoisParser& parser, size_t count,
+                             size_t threads = 0);
+
+}  // namespace whoiscrf::survey

@@ -1,0 +1,39 @@
+#include "survey/database.h"
+
+#include "datagen/privacy.h"
+#include "util/string_util.h"
+
+namespace whoiscrf::survey {
+
+bool DetectPrivacyService(std::string_view registrant_name,
+                          std::string_view registrant_org,
+                          std::string* canonical_service) {
+  // Canonical services first: exact-ish name containment.
+  for (const auto& service : datagen::PrivacyServices()) {
+    if (util::ContainsIgnoreCase(registrant_name, service.name) ||
+        util::ContainsIgnoreCase(registrant_org, service.name)) {
+      if (canonical_service != nullptr) {
+        *canonical_service = std::string(service.name);
+      }
+      return true;
+    }
+  }
+  // Generic keywords ("they stand out because they by definition have many
+  // domains associated with them").
+  for (std::string_view keyword :
+       {"privacy", "proxy", "private registration", "whois agent",
+        "protected", "whoisguard", "identity shield"}) {
+    if (util::ContainsIgnoreCase(registrant_name, keyword) ||
+        util::ContainsIgnoreCase(registrant_org, keyword)) {
+      if (canonical_service != nullptr) {
+        *canonical_service = registrant_org.empty()
+                                 ? std::string(registrant_name)
+                                 : std::string(registrant_org);
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace whoiscrf::survey

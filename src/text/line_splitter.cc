@@ -1,0 +1,83 @@
+#include "text/line_splitter.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace whoiscrf::text {
+
+namespace {
+
+int IndentWidth(std::string_view line) {
+  int width = 0;
+  for (char c : line) {
+    if (c == ' ') {
+      ++width;
+    } else if (c == '\t') {
+      width += 8 - width % 8;
+    } else {
+      break;
+    }
+  }
+  return width;
+}
+
+bool StartsWithSymbol(std::string_view line) {
+  std::string_view t = util::TrimLeft(line);
+  if (t.empty()) return false;
+  switch (t.front()) {
+    case '#':
+    case '%':
+    case '*':
+    case '>':
+    case '=':
+    case ';':
+      return true;
+    case '-':
+      // A single dash could open a value ("-example"); require a rule-like
+      // run of dashes to call it a symbol line.
+      return t.size() >= 2 && t[1] == '-';
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool IsLabeledLine(std::string_view line) { return util::HasAlnum(line); }
+
+std::vector<Line> SplitRecord(std::string_view record) {
+  std::vector<Line> out;
+  const auto raw_lines = util::SplitLines(record);
+
+  int pending_blanks = 0;
+  bool have_prev = false;
+  int prev_indent = 0;
+
+  for (size_t raw = 0; raw < raw_lines.size(); ++raw) {
+    std::string_view raw_line = raw_lines[raw];
+    if (!IsLabeledLine(raw_line)) {
+      ++pending_blanks;
+      continue;
+    }
+    Line line;
+    line.text = std::string(raw_line);
+    line.index = static_cast<int>(out.size());
+    line.raw_index = static_cast<int>(raw);
+    line.preceded_by_blank = pending_blanks > 0;
+    line.starts_with_symbol = StartsWithSymbol(raw_line);
+    line.has_tab = raw_line.find('\t') != std::string_view::npos;
+    line.indent = IndentWidth(raw_line);
+    if (have_prev) {
+      line.shift_left = line.indent < prev_indent;
+      line.shift_right = line.indent > prev_indent;
+    }
+    prev_indent = line.indent;
+    have_prev = true;
+    pending_blanks = 0;
+    out.push_back(std::move(line));
+  }
+  return out;
+}
+
+}  // namespace whoiscrf::text

@@ -1,0 +1,127 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "text/separator.h"
+#include "text/word_classes.h"
+#include "util/string_util.h"
+
+namespace whoiscrf::text {
+
+namespace {
+
+// Punctuation stripped from word edges; interior punctuation (e.g. the dots
+// of a domain name or the '@' of an email) is preserved.
+bool IsEdgePunct(char c) {
+  switch (c) {
+    case ',': case '.': case ';': case '"': case '\'': case '(': case ')':
+    case '[': case ']': case '<': case '>': case '*': case '#': case '%':
+    case '!': case '?':
+      return true;
+    default:
+      return false;
+  }
+}
+
+void AddAttr(LineAttributes& out, std::unordered_set<std::string>& seen,
+             std::string attr, bool transition) {
+  if (attr.empty()) return;
+  if (!seen.insert(attr).second) return;
+  out.attrs.push_back(std::move(attr));
+  out.transition.push_back(transition);
+}
+
+}  // namespace
+
+Tokenizer::Tokenizer(TokenizerOptions options) : options_(options) {}
+
+std::string Tokenizer::NormalizeWord(std::string_view word) const {
+  size_t begin = 0;
+  size_t end = word.size();
+  while (begin < end && IsEdgePunct(word[begin])) ++begin;
+  while (end > begin && IsEdgePunct(word[end - 1])) --end;
+  std::string_view core = word.substr(begin, end - begin);
+  if (core.empty()) return {};
+  std::string lower = util::ToLower(core);
+  if (lower.size() > options_.max_word_length) {
+    lower.resize(options_.max_word_length);
+  }
+  return lower;
+}
+
+LineAttributes Tokenizer::Extract(const Line& line) const {
+  LineAttributes out;
+  std::unordered_set<std::string> seen;
+
+  if (options_.layout_markers) {
+    if (line.preceded_by_blank) AddAttr(out, seen, "NL", true);
+    if (line.shift_left) AddAttr(out, seen, "SHL", true);
+    if (line.shift_right) AddAttr(out, seen, "SHR", true);
+    if (line.starts_with_symbol) AddAttr(out, seen, "SYM", true);
+    if (line.has_tab) AddAttr(out, seen, "TABCH", false);
+  }
+
+  const auto split = FindSeparator(line.text);
+  std::string_view title_part;
+  std::string_view value_part;
+  if (split.has_value()) {
+    title_part = split->title;
+    value_part = split->value;
+    if (options_.separator_markers) {
+      AddAttr(out, seen, "SEP", true);
+      AddAttr(out, seen,
+              std::string("SEP_") + std::string(SeparatorName(split->kind)),
+              false);
+      if (split->value.empty()) {
+        // "Registrant:" alone on a line — block-header form (§4.2).
+        AddAttr(out, seen, "SEP_EMPTYVAL", true);
+      }
+    }
+  } else {
+    value_part = util::Trim(line.text);
+  }
+
+  bool first_title_word = true;
+  for (std::string_view raw_word : util::SplitWhitespace(title_part)) {
+    std::string word = NormalizeWord(raw_word);
+    if (word.empty()) continue;
+    // The first title word is the strongest block-boundary signal (Figure 1
+    // edges are dominated by first-title words), so it alone is
+    // transition-eligible among words.
+    AddAttr(out, seen, word + "@T", first_title_word);
+    first_title_word = false;
+    if (options_.word_classes) {
+      for (WordClass cls : ClassifyWord(raw_word)) {
+        AddAttr(out, seen, std::string(WordClassName(cls)) + "@T", false);
+      }
+    }
+  }
+
+  for (std::string_view raw_word : util::SplitWhitespace(value_part)) {
+    std::string word = NormalizeWord(raw_word);
+    if (word.empty()) continue;
+    AddAttr(out, seen, word + "@V", false);
+    if (options_.word_classes) {
+      for (WordClass cls : ClassifyWord(raw_word)) {
+        AddAttr(out, seen, std::string(WordClassName(cls)) + "@V", false);
+      }
+    }
+  }
+
+  // A line with no attributes at all (pathological input) still needs one
+  // observation for the CRF to score; emit a bias marker.
+  if (out.attrs.empty()) AddAttr(out, seen, "EMPTYLINE", false);
+  return out;
+}
+
+std::vector<LineAttributes> Tokenizer::ExtractRecord(
+    std::string_view record) const {
+  std::vector<LineAttributes> out;
+  for (const Line& line : SplitRecord(record)) {
+    out.push_back(Extract(line));
+  }
+  return out;
+}
+
+}  // namespace whoiscrf::text

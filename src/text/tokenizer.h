@@ -1,0 +1,63 @@
+// Attribute extraction: one labeled line -> the set of string attributes the
+// CRF's binary features test for (paper §3.3).
+//
+// Per the paper:
+//  * words left of the first separator get the suffix "@T" (title), words
+//    right of it get "@V" (value); lines with no separator are all "@V";
+//  * a preceding blank line adds the marker "NL"; indentation shifts add
+//    "SHL"/"SHR"; symbol-opened lines add "SYM"; a separator adds "SEP" plus
+//    its kind;
+//  * word-class attributes ("CLS_5DIGIT@V", "CLS_EMAIL@V", ...) capture
+//    general classes of words (eq. 7).
+//
+// Attributes flagged `transition` additionally generate features of the
+// eq. 8 form f(y_{t-1}, y_t, x_t) — these are the layout markers and the
+// first title word, which are the signals that mark block boundaries
+// (Figure 1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "text/line_splitter.h"
+
+namespace whoiscrf::text {
+
+struct LineAttributes {
+  // All attributes for this line, deduplicated, order-stable.
+  std::vector<std::string> attrs;
+  // Parallel flags: attrs[i] also generates (y_{t-1}, y_t) features.
+  std::vector<bool> transition;
+};
+
+struct TokenizerOptions {
+  // Maximum length of a word attribute; longer words are truncated so the
+  // dictionary cannot be blown up by base64 blobs in boilerplate.
+  size_t max_word_length = 24;
+  // Emit word-class attributes (eq. 7 features).
+  bool word_classes = true;
+  // Emit layout-marker attributes (NL/SHL/SHR/SYM/TABCH).
+  bool layout_markers = true;
+  // Emit separator attributes (SEP, SEP_<kind>).
+  bool separator_markers = true;
+};
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {});
+
+  // Extracts attributes from one line (with its layout context).
+  LineAttributes Extract(const Line& line) const;
+
+  // Convenience: full record -> per-line attributes.
+  std::vector<LineAttributes> ExtractRecord(std::string_view record) const;
+
+  // Normalizes one raw word: lower-case, strip surrounding punctuation,
+  // truncate. Returns empty string if nothing is left.
+  std::string NormalizeWord(std::string_view word) const;
+
+ private:
+  TokenizerOptions options_;
+};
+
+}  // namespace whoiscrf::text

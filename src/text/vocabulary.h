@@ -1,0 +1,76 @@
+// Attribute dictionary with frequency trimming (paper §3.3: "We trim words
+// that appear very infrequently from this list, but otherwise our dictionary
+// is quite extensive, with tens of thousands of entries").
+//
+// Usage: Count() every attribute of every training line, then Freeze() with
+// a minimum document frequency; afterwards Lookup() maps attribute strings
+// to dense ids (or kNotFound for trimmed/unseen attributes).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace whoiscrf::text {
+
+class Vocabulary {
+ public:
+  static constexpr int kNotFound = -1;
+
+  Vocabulary() = default;
+
+  // Increments the count of `attr`. Only valid before Freeze().
+  void Count(std::string_view attr);
+
+  // Builds the dense id space from all attributes with count >= min_count.
+  // Ids are assigned in first-seen order, so vocabularies built from the
+  // same stream are identical. Idempotent guard: throws if already frozen.
+  void Freeze(uint32_t min_count = 1);
+
+  bool frozen() const { return frozen_; }
+
+  // Dense id of `attr`, or kNotFound. Valid only after Freeze().
+  int Lookup(std::string_view attr) const;
+
+  // Attribute string for a dense id. Valid only after Freeze().
+  const std::string& Name(int id) const;
+
+  // Number of retained attributes (after Freeze()).
+  size_t size() const { return names_.size(); }
+
+  // Number of distinct attributes counted (before trimming).
+  size_t counted_size() const { return counts_.size(); }
+
+  // Binary (de)serialization of a frozen vocabulary.
+  void Save(std::ostream& os) const;
+  static Vocabulary Load(std::istream& is);
+
+ private:
+  struct Entry {
+    uint32_t count = 0;
+    int64_t first_seen = 0;
+  };
+  // Transparent hashing so Lookup(string_view) does not allocate.
+  struct SvHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct SvEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const noexcept {
+      return a == b;
+    }
+  };
+  std::unordered_map<std::string, Entry, SvHash, SvEq> counts_;
+  std::unordered_map<std::string, int, SvHash, SvEq> ids_;
+  std::vector<std::string> names_;
+  int64_t next_seen_ = 0;
+  bool frozen_ = false;
+};
+
+}  // namespace whoiscrf::text

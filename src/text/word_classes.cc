@@ -1,0 +1,222 @@
+#include "text/word_classes.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace whoiscrf::text {
+
+namespace {
+
+bool IsAsciiDigit(char c) { return c >= '0' && c <= '9'; }
+bool IsAsciiAlpha(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+}
+bool IsAsciiAlnum(char c) { return IsAsciiDigit(c) || IsAsciiAlpha(c); }
+
+size_t CountIf(std::string_view w, bool (*pred)(char)) {
+  size_t n = 0;
+  for (char c : w) {
+    if (pred(c)) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+bool IsFiveDigit(std::string_view w) {
+  return w.size() == 5 && util::IsDigits(w);
+}
+
+bool IsNumber(std::string_view w) { return util::IsDigits(w); }
+
+bool IsYear(std::string_view w) {
+  return w.size() == 4 && util::IsDigits(w) && (w[0] == '1' || w[0] == '2') &&
+         (w.substr(0, 2) == "19" || w.substr(0, 2) == "20");
+}
+
+bool IsDateLike(std::string_view w) {
+  // Accept digit groups joined by '-', '/', or '.': 2015-02-14, 14/02/2015,
+  // 2015.02.14; and dd-mon-yyyy: 14-feb-2015.
+  int groups = 0;
+  size_t i = 0;
+  bool ok = true;
+  while (i < w.size()) {
+    size_t start = i;
+    while (i < w.size() && IsAsciiAlnum(w[i])) ++i;
+    if (i == start) { ok = false; break; }
+    std::string_view group = w.substr(start, i - start);
+    const bool digits = util::IsDigits(group);
+    const bool alpha = CountIf(group, IsAsciiAlpha) == group.size();
+    if (!digits && !(alpha && group.size() == 3)) { ok = false; break; }
+    ++groups;
+    if (i < w.size()) {
+      if (w[i] != '-' && w[i] != '/' && w[i] != '.') { ok = false; break; }
+      ++i;
+      if (i == w.size()) { ok = false; break; }  // trailing separator
+    }
+  }
+  if (!ok || groups != 3) return false;
+  // At least one group must be a plausible year.
+  for (std::string_view g : util::Split(w, w.find('-') != std::string_view::npos
+                                               ? '-'
+                                               : (w.find('/') != std::string_view::npos ? '/' : '.'))) {
+    if (IsYear(g)) return true;
+  }
+  return false;
+}
+
+bool IsTimeLike(std::string_view w) {
+  // hh:mm or hh:mm:ss, optionally with a trailing 'z' or timezone offset.
+  auto parts = util::Split(w, ':');
+  if (parts.size() != 2 && parts.size() != 3) return false;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    std::string_view p = parts[i];
+    if (i + 1 == parts.size()) {
+      // Strip a trailing 'Z'/'z'.
+      if (!p.empty() && (p.back() == 'z' || p.back() == 'Z')) {
+        p.remove_suffix(1);
+      }
+    }
+    if (p.size() < 1 || p.size() > 2 || !util::IsDigits(p)) return false;
+  }
+  return true;
+}
+
+bool IsEmail(std::string_view w) {
+  const size_t at = w.find('@');
+  if (at == std::string_view::npos || at == 0 || at + 1 >= w.size()) {
+    return false;
+  }
+  if (w.find('@', at + 1) != std::string_view::npos) return false;
+  std::string_view domain = w.substr(at + 1);
+  return IsDomainName(domain);
+}
+
+bool IsPhoneLike(std::string_view w) {
+  // Require at least 7 digits and only phone punctuation between them.
+  size_t digits = 0;
+  for (char c : w) {
+    if (IsAsciiDigit(c)) {
+      ++digits;
+    } else if (c != '+' && c != '-' && c != '.' && c != '(' && c != ')' &&
+               c != ' ' && c != 'x' && c != 'X') {
+      return false;
+    }
+  }
+  return digits >= 7 && digits <= 17;
+}
+
+bool IsUrl(std::string_view w) {
+  std::string lower = util::ToLower(w);
+  if (util::StartsWith(lower, "http://") ||
+      util::StartsWith(lower, "https://") ||
+      util::StartsWith(lower, "ftp://")) {
+    return true;
+  }
+  return util::StartsWith(lower, "www.") && IsDomainName(lower);
+}
+
+bool IsIpv4(std::string_view w) {
+  auto parts = util::Split(w, '.');
+  if (parts.size() != 4) return false;
+  for (std::string_view p : parts) {
+    if (p.empty() || p.size() > 3 || !util::IsDigits(p)) return false;
+    int v = 0;
+    for (char c : p) v = v * 10 + (c - '0');
+    if (v > 255) return false;
+  }
+  return true;
+}
+
+bool IsDomainName(std::string_view w) {
+  if (w.size() < 4 || w.size() > 253) return false;
+  if (IsIpv4(w)) return false;
+  auto labels = util::Split(w, '.');
+  if (labels.size() < 2) return false;
+  for (std::string_view label : labels) {
+    if (label.empty() || label.size() > 63) return false;
+    if (label.front() == '-' || label.back() == '-') return false;
+    for (char c : label) {
+      if (!IsAsciiAlnum(c) && c != '-') return false;
+    }
+  }
+  // TLD must be alphabetic (or punycode).
+  std::string_view tld = labels.back();
+  if (util::StartsWith(tld, "xn--")) return true;
+  return CountIf(tld, IsAsciiAlpha) == tld.size() && tld.size() >= 2;
+}
+
+bool IsPunycode(std::string_view w) {
+  std::string lower = util::ToLower(w);
+  if (util::StartsWith(lower, "xn--")) return true;
+  return lower.find(".xn--") != std::string::npos;
+}
+
+bool IsCountryCode(std::string_view w) {
+  return w.size() == 2 && w[0] >= 'A' && w[0] <= 'Z' && w[1] >= 'A' &&
+         w[1] <= 'Z';
+}
+
+std::string_view WordClassName(WordClass cls) {
+  switch (cls) {
+    case WordClass::kFiveDigit: return "CLS_5DIGIT";
+    case WordClass::kNumber: return "CLS_NUMBER";
+    case WordClass::kYear: return "CLS_YEAR";
+    case WordClass::kDateLike: return "CLS_DATE";
+    case WordClass::kTimeLike: return "CLS_TIME";
+    case WordClass::kEmail: return "CLS_EMAIL";
+    case WordClass::kPhoneLike: return "CLS_PHONE";
+    case WordClass::kUrl: return "CLS_URL";
+    case WordClass::kIpv4: return "CLS_IPV4";
+    case WordClass::kDomain: return "CLS_DOMAIN";
+    case WordClass::kPunycode: return "CLS_PUNYCODE";
+    case WordClass::kCountryCode: return "CLS_CC";
+    case WordClass::kUpperWord: return "CLS_UPPER";
+    case WordClass::kCapitalized: return "CLS_CAP";
+    case WordClass::kAlnumMixed: return "CLS_ALNUM";
+  }
+  return "CLS_?";
+}
+
+std::vector<WordClass> ClassifyWord(std::string_view w) {
+  std::vector<WordClass> out;
+  if (w.empty()) return out;
+  if (IsFiveDigit(w)) out.push_back(WordClass::kFiveDigit);
+  if (IsNumber(w)) out.push_back(WordClass::kNumber);
+  if (IsYear(w)) out.push_back(WordClass::kYear);
+  if (IsDateLike(w)) out.push_back(WordClass::kDateLike);
+  if (IsTimeLike(w)) out.push_back(WordClass::kTimeLike);
+  if (IsEmail(w)) out.push_back(WordClass::kEmail);
+  if (!IsNumber(w) && !IsDateLike(w) && IsPhoneLike(w)) {
+    out.push_back(WordClass::kPhoneLike);
+  }
+  if (IsUrl(w)) out.push_back(WordClass::kUrl);
+  if (IsIpv4(w)) out.push_back(WordClass::kIpv4);
+  if (IsDomainName(w) && !IsUrl(w)) out.push_back(WordClass::kDomain);
+  if (IsPunycode(w)) out.push_back(WordClass::kPunycode);
+  if (IsCountryCode(w)) out.push_back(WordClass::kCountryCode);
+
+  const size_t letters = CountIf(w, IsAsciiAlpha);
+  const size_t digits = CountIf(w, IsAsciiDigit);
+  if (letters == w.size() && w.size() >= 3) {
+    bool all_upper = true;
+    for (char c : w) {
+      if (c < 'A' || c > 'Z') { all_upper = false; break; }
+    }
+    if (all_upper) out.push_back(WordClass::kUpperWord);
+  }
+  if (letters == w.size() && w.size() >= 2 && w[0] >= 'A' && w[0] <= 'Z') {
+    bool rest_lower = true;
+    for (size_t i = 1; i < w.size(); ++i) {
+      if (!(w[i] >= 'a' && w[i] <= 'z')) { rest_lower = false; break; }
+    }
+    if (rest_lower) out.push_back(WordClass::kCapitalized);
+  }
+  if (letters > 0 && digits > 0 && letters + digits == w.size()) {
+    out.push_back(WordClass::kAlnumMixed);
+  }
+  return out;
+}
+
+}  // namespace whoiscrf::text

@@ -1,0 +1,36 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+namespace whoiscrf::util {
+
+double ScaleFactor() {
+  const char* env = std::getenv("WHOISCRF_SCALE");
+  if (env == nullptr) return 1.0;
+  char* end = nullptr;
+  const double v = std::strtod(env, &end);
+  if (end == env || v <= 0.0) return 1.0;
+  return v;
+}
+
+size_t Scaled(size_t base, size_t min_value) {
+  const double scaled = static_cast<double>(base) * ScaleFactor();
+  const auto v = static_cast<size_t>(scaled);
+  return v < min_value ? min_value : v;
+}
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(env, &end, 10);
+  if (end == env) return fallback;
+  return v;
+}
+
+std::string EnvString(const char* name, const std::string& fallback) {
+  const char* env = std::getenv(name);
+  return env == nullptr ? fallback : std::string(env);
+}
+
+}  // namespace whoiscrf::util

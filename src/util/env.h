@@ -1,0 +1,22 @@
+// Environment-variable knobs shared by benches and examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace whoiscrf::util {
+
+// Returns WHOISCRF_SCALE as a positive double (default 1.0). Benches
+// multiply their corpus sizes by this to trade fidelity for runtime.
+double ScaleFactor();
+
+// Returns `base * ScaleFactor()`, floored at `min_value`.
+size_t Scaled(size_t base, size_t min_value = 1);
+
+// Returns the integer value of `name`, or `fallback` when unset/invalid.
+int64_t EnvInt(const char* name, int64_t fallback);
+
+// Returns the string value of `name`, or `fallback` when unset.
+std::string EnvString(const char* name, const std::string& fallback);
+
+}  // namespace whoiscrf::util

@@ -1,0 +1,93 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+namespace whoiscrf::util {
+
+FlagParser::FlagParser(int argc, const char* const* argv, int start) {
+  for (int i = start; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    const size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+    } else {
+      value = "true";  // bare boolean flag
+    }
+    if (name.empty()) {
+      errors_.push_back("empty flag name in '" + arg + "'");
+      continue;
+    }
+    if (flags_.count(name)) {
+      errors_.push_back("duplicate flag --" + name);
+      continue;
+    }
+    flags_[name] = value;
+    consumed_[name] = false;
+  }
+}
+
+bool FlagParser::Has(const std::string& name) const {
+  return flags_.count(name) > 0;
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  std::string fallback) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  consumed_[name] = true;
+  return it->second;
+}
+
+int64_t FlagParser::GetInt(const std::string& name, int64_t fallback) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  consumed_[name] = true;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    errors_.push_back("--" + name + " expects an integer, got '" +
+                      it->second + "'");
+    return fallback;
+  }
+  return v;
+}
+
+double FlagParser::GetDouble(const std::string& name, double fallback) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  consumed_[name] = true;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    errors_.push_back("--" + name + " expects a number, got '" + it->second +
+                      "'");
+    return fallback;
+  }
+  return v;
+}
+
+bool FlagParser::GetBool(const std::string& name) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return false;
+  consumed_[name] = true;
+  return it->second != "false" && it->second != "0";
+}
+
+std::vector<std::string> FlagParser::UnconsumedFlags() const {
+  std::vector<std::string> out;
+  for (const auto& [name, used] : consumed_) {
+    if (!used) out.push_back("--" + name);
+  }
+  return out;
+}
+
+}  // namespace whoiscrf::util

@@ -1,0 +1,57 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <mutex>
+
+namespace whoiscrf::util {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::once_flag g_env_once;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void InitFromEnv() {
+  const char* env = std::getenv("WHOISCRF_LOG");
+  if (env == nullptr) return;
+  std::string_view v(env);
+  if (v == "debug") g_level = LogLevel::kDebug;
+  else if (v == "info") g_level = LogLevel::kInfo;
+  else if (v == "warn") g_level = LogLevel::kWarn;
+  else if (v == "error") g_level = LogLevel::kError;
+  else if (v == "off") g_level = LogLevel::kOff;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+LogLevel GetLogLevel() {
+  std::call_once(g_env_once, InitFromEnv);
+  return g_level;
+}
+
+void LogMessage(LogLevel level, std::string_view file, int line,
+                std::string_view message) {
+  // Strip directories for readability.
+  size_t slash = file.rfind('/');
+  if (slash != std::string_view::npos) file = file.substr(slash + 1);
+  std::fprintf(stderr, "[%s %.*s:%d] %.*s\n", LevelName(level),
+               static_cast<int>(file.size()), file.data(), line,
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace whoiscrf::util

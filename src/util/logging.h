@@ -1,0 +1,41 @@
+// Minimal leveled logger.
+//
+// Usage: LOG_INFO("trained %d iterations, nll=%.4f", iters, nll);
+// Levels are filtered at runtime via SetLogLevel or the WHOISCRF_LOG env var
+// (one of "debug", "info", "warn", "error", "off").
+#pragma once
+
+#include <string_view>
+
+#include "util/string_util.h"
+
+namespace whoiscrf::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Writes one formatted line to stderr if `level` passes the filter.
+void LogMessage(LogLevel level, std::string_view file, int line,
+                std::string_view message);
+
+}  // namespace whoiscrf::util
+
+#define WHOISCRF_LOG(level, ...)                                          \
+  do {                                                                    \
+    if (static_cast<int>(level) >=                                        \
+        static_cast<int>(::whoiscrf::util::GetLogLevel())) {              \
+      ::whoiscrf::util::LogMessage(level, __FILE__, __LINE__,             \
+                                   ::whoiscrf::util::Format(__VA_ARGS__)); \
+    }                                                                     \
+  } while (0)
+
+#define LOG_DEBUG(...) \
+  WHOISCRF_LOG(::whoiscrf::util::LogLevel::kDebug, __VA_ARGS__)
+#define LOG_INFO(...) \
+  WHOISCRF_LOG(::whoiscrf::util::LogLevel::kInfo, __VA_ARGS__)
+#define LOG_WARN(...) \
+  WHOISCRF_LOG(::whoiscrf::util::LogLevel::kWarn, __VA_ARGS__)
+#define LOG_ERROR(...) \
+  WHOISCRF_LOG(::whoiscrf::util::LogLevel::kError, __VA_ARGS__)

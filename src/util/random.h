@@ -1,0 +1,71 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of the library (corpus generation, training-data
+// subsampling, SGD shuffling) draw from Rng so that every experiment is
+// reproducible from a single seed. The generator is SplitMix64-seeded
+// xoshiro256**, which is fast, high-quality, and fully portable — unlike
+// std::default_random_engine, whose sequence is implementation-defined.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace whoiscrf::util {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Uniform over all 64-bit values.
+  uint64_t NextU64();
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double UniformDouble();
+
+  // Gaussian via Box–Muller (mean 0, stddev 1).
+  double Gaussian();
+
+  // True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  // Index drawn from the (unnormalized, non-negative) weights.
+  // Requires at least one strictly positive weight.
+  size_t WeightedIndex(std::span<const double> weights);
+
+  // Zipf-like rank draw over [0, n): probability proportional to
+  // 1/(rank+1)^alpha. Used for long-tailed registrar/registrant populations.
+  size_t Zipf(size_t n, double alpha);
+
+  // Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Picks a uniformly random element. Requires non-empty input.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    if (v.empty()) throw std::invalid_argument("Rng::Pick: empty vector");
+    return v[static_cast<size_t>(
+        UniformInt(0, static_cast<int64_t>(v.size()) - 1))];
+  }
+
+  // Derives an independent child generator; `salt` decorrelates children
+  // created from the same parent state.
+  Rng Fork(uint64_t salt);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace whoiscrf::util

@@ -1,0 +1,67 @@
+// String helpers shared across the library.
+//
+// All functions are pure and allocation-conscious: views in, owned strings
+// out only where ownership is required.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace whoiscrf::util {
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+// Removes leading ASCII whitespace only.
+std::string_view TrimLeft(std::string_view s);
+
+// Removes trailing ASCII whitespace only.
+std::string_view TrimRight(std::string_view s);
+
+// Lower-cases ASCII characters; non-ASCII bytes pass through unchanged.
+std::string ToLower(std::string_view s);
+
+// Upper-cases ASCII characters; non-ASCII bytes pass through unchanged.
+std::string ToUpper(std::string_view s);
+
+// Splits `s` on the single character `sep`. Empty fields are preserved.
+std::vector<std::string_view> Split(std::string_view s, char sep);
+
+// Splits `s` into maximal runs separated by ASCII whitespace. No empty
+// fields are produced.
+std::vector<std::string_view> SplitWhitespace(std::string_view s);
+
+// Splits a record body into lines, accepting "\n", "\r\n", and bare "\r".
+std::vector<std::string_view> SplitLines(std::string_view text);
+
+// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+std::string Join(const std::vector<std::string_view>& parts,
+                 std::string_view sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// Case-insensitive (ASCII) containment / equality tests.
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+// True if every character satisfies isdigit.
+bool IsDigits(std::string_view s);
+
+// True if `s` contains at least one ASCII alphanumeric character. Lines
+// failing this test are "unlabeled" lines in the paper's tokenization.
+bool HasAlnum(std::string_view s);
+
+// Formats `n` with thousands separators, e.g. 1234567 -> "1,234,567".
+std::string WithCommas(long long n);
+
+// printf-style formatting into a std::string.
+std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace whoiscrf::util

@@ -1,0 +1,68 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace whoiscrf::util {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("TextTable: need at least one column");
+  }
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TextTable: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::AddSeparator() { rows_.emplace_back(); }
+
+std::string TextTable::Render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::string cell = row[c];
+      if (c == 0) {
+        cell.append(widths[c] - cell.size(), ' ');  // left align
+      } else {
+        cell.insert(0, widths[c] - cell.size(), ' ');  // right align
+      }
+      if (c > 0) line += "  ";
+      line += cell;
+    }
+    // Trim trailing spaces from left-aligned last column.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+
+  std::string rule;
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c ? 2 : 0);
+  rule.assign(total, '-');
+  rule += "\n";
+
+  std::string out = render_row(headers_);
+  out += rule;
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      out += rule;
+    } else {
+      out += render_row(row);
+    }
+  }
+  return out;
+}
+
+}  // namespace whoiscrf::util

@@ -1,0 +1,33 @@
+// Plain-text table rendering for bench/report output.
+//
+// Every bench binary prints tables in the same row/column structure as the
+// corresponding table in the paper; this helper keeps them aligned and
+// readable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace whoiscrf::util {
+
+class TextTable {
+ public:
+  // `headers` defines the column count; every AddRow must match it.
+  explicit TextTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Inserts a horizontal rule before the next added row (used to separate
+  // the "Total" row, as in the paper's tables).
+  void AddSeparator();
+
+  // Renders with a header rule and column alignment: first column
+  // left-aligned, the rest right-aligned (matches the paper's layout).
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace whoiscrf::util

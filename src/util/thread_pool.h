@@ -1,0 +1,50 @@
+// Fixed-size thread pool used to parallelize per-sequence gradient
+// computation during CRF training (the paper notes a parallel L-BFGS
+// implementation) and bulk parsing in the survey pipeline.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace whoiscrf::util {
+
+class ThreadPool {
+ public:
+  // `num_threads == 0` selects the hardware concurrency (min 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  // Runs fn(i) for each i in [0, n), distributing contiguous chunks across
+  // the pool, and blocks until every call returns. Exceptions thrown by fn
+  // propagate to the caller (the first one observed).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  // Runs fn(chunk_begin, chunk_end, chunk_index) over a partition of [0, n)
+  // into exactly min(n, size()) chunks. Useful when each worker accumulates
+  // into a per-chunk buffer.
+  void ParallelChunks(
+      size_t n,
+      const std::function<void(size_t, size_t, size_t)>& fn);
+
+ private:
+  void Submit(std::function<void()> task);
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace whoiscrf::util

@@ -1,0 +1,89 @@
+#include "whois/active_learning.h"
+
+#include <algorithm>
+#include <set>
+
+#include "crf/tagger.h"
+#include "text/line_splitter.h"
+#include "util/logging.h"
+
+namespace whoiscrf::whois {
+
+namespace {
+
+double Confidence(const WhoisParser& parser, const std::string& text) {
+  const auto lines = text::SplitRecord(text);
+  if (lines.empty()) return 0.0;
+  const ParsedWhois parsed = parser.Parse(text);
+  return parsed.log_prob / static_cast<double>(lines.size());
+}
+
+}  // namespace
+
+std::vector<ScoredRecord> SelectForLabeling(
+    const WhoisParser& parser, const std::vector<std::string>& pool,
+    size_t k) {
+  std::vector<ScoredRecord> scored;
+  scored.reserve(pool.size());
+  for (size_t i = 0; i < pool.size(); ++i) {
+    scored.push_back(ScoredRecord{i, Confidence(parser, pool[i])});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredRecord& a, const ScoredRecord& b) {
+              if (a.confidence != b.confidence) {
+                return a.confidence < b.confidence;
+              }
+              return a.index < b.index;
+            });
+  if (scored.size() > k) scored.resize(k);
+  return scored;
+}
+
+ActiveAdaptResult ActiveAdapt(const WhoisParser& base,
+                              std::vector<LabeledRecord> base_training,
+                              const std::vector<std::string>& pool,
+                              const LabelOracle& oracle,
+                              const ActiveAdaptOptions& options) {
+  ActiveAdaptResult result;
+  WhoisParser current = base.Adapt(base_training);
+  std::set<size_t> already_labeled;
+
+  for (size_t round = 0; round < options.max_rounds; ++round) {
+    // Score the not-yet-labeled part of the pool.
+    std::vector<ScoredRecord> scored;
+    for (size_t i = 0; i < pool.size(); ++i) {
+      if (already_labeled.count(i)) continue;
+      scored.push_back(ScoredRecord{i, Confidence(current, pool[i])});
+    }
+    if (scored.empty()) break;
+    std::sort(scored.begin(), scored.end(),
+              [](const ScoredRecord& a, const ScoredRecord& b) {
+                return a.confidence < b.confidence;
+              });
+
+    ActiveAdaptRound stats;
+    stats.round = round;
+    stats.labeled_so_far = already_labeled.size();
+    stats.worst_confidence = scored.front().confidence;
+    result.rounds.push_back(stats);
+
+    if (scored.front().confidence >= options.stop_confidence) break;
+
+    const size_t batch = std::min(options.batch_size, scored.size());
+    for (size_t b = 0; b < batch; ++b) {
+      const size_t index = scored[b].index;
+      base_training.push_back(oracle(index));
+      already_labeled.insert(index);
+    }
+    LOG_DEBUG("active-adapt round %zu: labeled %zu records "
+              "(worst confidence %.4f)",
+              round, batch, scored.front().confidence);
+    current = current.Adapt(base_training);
+  }
+
+  result.total_labeled = already_labeled.size();
+  result.parser.emplace(std::move(current));
+  return result;
+}
+
+}  // namespace whoiscrf::whois

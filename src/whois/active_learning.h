@@ -1,0 +1,65 @@
+// Active learning on top of the adaptation workflow (§5.3).
+//
+// The paper's maintenance loop is: notice records the parser gets wrong,
+// label them, retrain. The missing piece for production is *finding* those
+// records among millions without ground truth. The CRF gives it to us for
+// free: the normalized log-probability of the Viterbi labeling is a
+// calibrated confidence, and unfamiliar formats score conspicuously low.
+// SelectForLabeling ranks a pool of unlabeled records by that confidence;
+// ActiveAdapt runs the full loop — select, label (via an oracle), Adapt —
+// until the pool looks familiar or the labeling budget is spent.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "whois/whois_parser.h"
+
+namespace whoiscrf::whois {
+
+struct ScoredRecord {
+  size_t index = 0;        // into the unlabeled pool
+  double confidence = 0.0; // per-line normalized log-probability (<= 0)
+};
+
+// Scores every record in the pool and returns the `k` least confident,
+// ascending (most suspicious first).
+std::vector<ScoredRecord> SelectForLabeling(
+    const WhoisParser& parser, const std::vector<std::string>& pool,
+    size_t k);
+
+struct ActiveAdaptOptions {
+  size_t batch_size = 4;     // records labeled per round
+  size_t max_rounds = 8;
+  // Stop early once the least confident record in the pool clears this
+  // per-line log-probability (e.g. -0.01 ~ 99% sequence confidence).
+  double stop_confidence = -0.01;
+};
+
+struct ActiveAdaptRound {
+  size_t round = 0;
+  size_t labeled_so_far = 0;
+  double worst_confidence = 0.0;  // before this round's labeling
+};
+
+struct ActiveAdaptResult {
+  std::optional<WhoisParser> parser;  // final adapted parser
+  std::vector<ActiveAdaptRound> rounds;
+  size_t total_labeled = 0;
+};
+
+// The labeling oracle: given a pool index, returns the ground-truth labeled
+// record (in production: a human annotator; in tests: the generator).
+using LabelOracle = std::function<LabeledRecord(size_t pool_index)>;
+
+// Runs the select -> label -> Adapt loop. `base_training` is the existing
+// training set; newly labeled records are appended to it for each Adapt.
+ActiveAdaptResult ActiveAdapt(const WhoisParser& base,
+                              std::vector<LabeledRecord> base_training,
+                              const std::vector<std::string>& pool,
+                              const LabelOracle& oracle,
+                              const ActiveAdaptOptions& options = {});
+
+}  // namespace whoiscrf::whois

@@ -1,0 +1,124 @@
+#include "whois/json_export.h"
+
+#include "util/json.h"
+
+namespace whoiscrf::whois {
+
+namespace {
+
+void WriteContact(util::JsonWriter& json, const Contact& contact) {
+  json.BeginObject();
+  json.FieldIfNonEmpty("name", contact.name);
+  json.FieldIfNonEmpty("id", contact.id);
+  json.FieldIfNonEmpty("organization", contact.org);
+  if (!contact.street.empty()) {
+    json.Key("street").BeginArray();
+    for (const auto& line : contact.street) json.String(line);
+    json.EndArray();
+  }
+  json.FieldIfNonEmpty("city", contact.city);
+  json.FieldIfNonEmpty("state", contact.state);
+  json.FieldIfNonEmpty("postalCode", contact.postcode);
+  json.FieldIfNonEmpty("country", contact.country);
+  json.FieldIfNonEmpty("phone", contact.phone);
+  json.FieldIfNonEmpty("fax", contact.fax);
+  json.FieldIfNonEmpty("email", contact.email);
+  if (!contact.other.empty()) {
+    json.Key("other").BeginArray();
+    for (const auto& line : contact.other) json.String(line);
+    json.EndArray();
+  }
+  json.EndObject();
+}
+
+}  // namespace
+
+std::string ToJson(const ParsedWhois& parsed) {
+  util::JsonWriter json;
+  json.BeginObject();
+  json.FieldIfNonEmpty("domainName", parsed.domain_name);
+  json.FieldIfNonEmpty("registrar", parsed.registrar);
+  json.FieldIfNonEmpty("registrarUrl", parsed.registrar_url);
+  json.FieldIfNonEmpty("whoisServer", parsed.whois_server);
+  json.FieldIfNonEmpty("created", parsed.created);
+  json.FieldIfNonEmpty("updated", parsed.updated);
+  json.FieldIfNonEmpty("expires", parsed.expires);
+  if (!parsed.name_servers.empty()) {
+    json.Key("nameServers").BeginArray();
+    for (const auto& ns : parsed.name_servers) json.String(ns);
+    json.EndArray();
+  }
+  if (!parsed.statuses.empty()) {
+    json.Key("statuses").BeginArray();
+    for (const auto& status : parsed.statuses) json.String(status);
+    json.EndArray();
+  }
+  if (!parsed.registrant.Empty()) {
+    json.Key("registrant");
+    WriteContact(json, parsed.registrant);
+  }
+  json.Key("parseLogProb").Double(parsed.log_prob);
+  json.EndObject();
+  return json.str();
+}
+
+std::string ToRdapJson(const ParsedWhois& parsed) {
+  util::JsonWriter json;
+  json.BeginObject();
+  json.Field("objectClassName", "domain");
+  json.FieldIfNonEmpty("ldhName", parsed.domain_name);
+
+  // Events (registration / last changed / expiration).
+  json.Key("events").BeginArray();
+  auto event = [&json](std::string_view action, const std::string& date) {
+    if (date.empty()) return;
+    json.BeginObject();
+    json.Field("eventAction", action);
+    json.Field("eventDate", date);
+    json.EndObject();
+  };
+  event("registration", parsed.created);
+  event("last changed", parsed.updated);
+  event("expiration", parsed.expires);
+  json.EndArray();
+
+  if (!parsed.statuses.empty()) {
+    json.Key("status").BeginArray();
+    for (const auto& status : parsed.statuses) json.String(status);
+    json.EndArray();
+  }
+
+  if (!parsed.name_servers.empty()) {
+    json.Key("nameservers").BeginArray();
+    for (const auto& ns : parsed.name_servers) {
+      json.BeginObject();
+      json.Field("objectClassName", "nameserver");
+      json.Field("ldhName", ns);
+      json.EndObject();
+    }
+    json.EndArray();
+  }
+
+  json.Key("entities").BeginArray();
+  if (!parsed.registrar.empty()) {
+    json.BeginObject();
+    json.Field("objectClassName", "entity");
+    json.Key("roles").BeginArray().String("registrar").EndArray();
+    json.Field("handle", parsed.registrar);
+    json.EndObject();
+  }
+  if (!parsed.registrant.Empty()) {
+    json.BeginObject();
+    json.Field("objectClassName", "entity");
+    json.Key("roles").BeginArray().String("registrant").EndArray();
+    json.Key("contact");
+    WriteContact(json, parsed.registrant);
+    json.EndObject();
+  }
+  json.EndArray();
+
+  json.EndObject();
+  return json.str();
+}
+
+}  // namespace whoiscrf::whois

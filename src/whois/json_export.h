@@ -1,0 +1,24 @@
+// Structured export of parsed WHOIS records.
+//
+// The IETF's answer to WHOIS's lack of schema is RDAP (the paper cites the
+// draft as [20]); exporting parsed records in an RDAP-inspired JSON shape
+// makes the parser's output directly consumable by downstream measurement
+// pipelines.
+#pragma once
+
+#include <string>
+
+#include "whois/record.h"
+
+namespace whoiscrf::whois {
+
+// Plain JSON rendering of a ParsedWhois: every extracted field under
+// stable keys, empty fields omitted.
+std::string ToJson(const ParsedWhois& parsed);
+
+// RDAP-flavored rendering (objectClassName/events/entities structure,
+// after draft-ietf-weirds-rdap-query): the shape a thick registry would
+// serve over RDAP for the same registration.
+std::string ToRdapJson(const ParsedWhois& parsed);
+
+}  // namespace whoiscrf::whois

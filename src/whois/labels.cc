@@ -1,0 +1,49 @@
+#include "whois/labels.h"
+
+namespace whoiscrf::whois {
+
+namespace {
+constexpr std::string_view kLevel1Names[kNumLevel1Labels] = {
+    "registrar", "domain", "date", "registrant", "other", "null"};
+constexpr std::string_view kLevel2Names[kNumLevel2Labels] = {
+    "name", "id",      "org",     "street", "city",  "state",
+    "postcode", "country", "phone", "fax",    "email", "other"};
+}  // namespace
+
+std::string_view Level1Name(Level1Label label) {
+  return kLevel1Names[static_cast<int>(label)];
+}
+
+std::string_view Level2Name(Level2Label label) {
+  return kLevel2Names[static_cast<int>(label)];
+}
+
+std::optional<Level1Label> Level1FromName(std::string_view name) {
+  for (int i = 0; i < kNumLevel1Labels; ++i) {
+    if (kLevel1Names[i] == name) return static_cast<Level1Label>(i);
+  }
+  return std::nullopt;
+}
+
+std::optional<Level2Label> Level2FromName(std::string_view name) {
+  for (int i = 0; i < kNumLevel2Labels; ++i) {
+    if (kLevel2Names[i] == name) return static_cast<Level2Label>(i);
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> Level1Names() {
+  std::vector<std::string> out;
+  out.reserve(kNumLevel1Labels);
+  for (auto name : kLevel1Names) out.emplace_back(name);
+  return out;
+}
+
+std::vector<std::string> Level2Names() {
+  std::vector<std::string> out;
+  out.reserve(kNumLevel2Labels);
+  for (auto name : kLevel2Names) out.emplace_back(name);
+  return out;
+}
+
+}  // namespace whoiscrf::whois

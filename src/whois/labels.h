@@ -1,0 +1,52 @@
+// The two label spaces of the paper's two-level parsing strategy (§3.2).
+//
+// Level 1 segments a record into six blocks of information; level 2 refines
+// lines inside `registrant` blocks into twelve contact subfields.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace whoiscrf::whois {
+
+// First-level CRF state space (§3.2): blocks of information.
+enum class Level1Label {
+  kRegistrar = 0,  // registrar name, URL, ID, referral WHOIS server
+  kDomain = 1,     // domain name, name servers, status, DNSSEC
+  kDate = 2,       // created / updated / expiration dates
+  kRegistrant = 3, // registrant contact block
+  kOther = 4,      // admin / billing / tech contacts
+  kNull = 5,       // boilerplate and legalese
+};
+inline constexpr int kNumLevel1Labels = 6;
+
+// Second-level CRF state space (§3.2): registrant subfields.
+enum class Level2Label {
+  kName = 0,
+  kId = 1,
+  kOrg = 2,
+  kStreet = 3,
+  kCity = 4,
+  kState = 5,
+  kPostcode = 6,
+  kCountry = 7,
+  kPhone = 8,
+  kFax = 9,
+  kEmail = 10,
+  kOther = 11,
+};
+inline constexpr int kNumLevel2Labels = 12;
+
+std::string_view Level1Name(Level1Label label);
+std::string_view Level2Name(Level2Label label);
+
+std::optional<Level1Label> Level1FromName(std::string_view name);
+std::optional<Level2Label> Level2FromName(std::string_view name);
+
+// Label-name vectors in enum order, for constructing CRFs.
+std::vector<std::string> Level1Names();
+std::vector<std::string> Level2Names();
+
+}  // namespace whoiscrf::whois

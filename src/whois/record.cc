@@ -1,0 +1,50 @@
+#include "whois/record.h"
+
+#include <cctype>
+#include <stdexcept>
+
+#include "text/line_splitter.h"
+#include "util/string_util.h"
+
+namespace whoiscrf::whois {
+
+void LabeledRecord::Validate() const {
+  const auto lines = text::SplitRecord(text);
+  if (lines.size() != labels.size()) {
+    throw std::invalid_argument(util::Format(
+        "LabeledRecord(%s): %zu labeled lines but %zu labels", domain.c_str(),
+        lines.size(), labels.size()));
+  }
+  if (sub_labels.size() != labels.size()) {
+    throw std::invalid_argument(util::Format(
+        "LabeledRecord(%s): %zu labels but %zu sub_labels", domain.c_str(),
+        labels.size(), sub_labels.size()));
+  }
+}
+
+bool Contact::Empty() const {
+  return name.empty() && id.empty() && org.empty() && street.empty() &&
+         city.empty() && state.empty() && postcode.empty() &&
+         country.empty() && phone.empty() && fax.empty() && email.empty() &&
+         other.empty();
+}
+
+std::optional<int> ExtractYear(std::string_view date) {
+  // Scan for a standalone 4-digit group starting with 19 or 20.
+  for (size_t i = 0; i + 4 <= date.size(); ++i) {
+    const bool left_ok =
+        i == 0 || !std::isdigit(static_cast<unsigned char>(date[i - 1]));
+    const bool right_ok =
+        i + 4 == date.size() ||
+        !std::isdigit(static_cast<unsigned char>(date[i + 4]));
+    if (!left_ok || !right_ok) continue;
+    std::string_view group = date.substr(i, 4);
+    if (!util::IsDigits(group)) continue;
+    if (group.substr(0, 2) != "19" && group.substr(0, 2) != "20") continue;
+    return (group[0] - '0') * 1000 + (group[1] - '0') * 100 +
+           (group[2] - '0') * 10 + (group[3] - '0');
+  }
+  return std::nullopt;
+}
+
+}  // namespace whoiscrf::whois

@@ -1,0 +1,96 @@
+// WHOIS record data model: raw records, labeled records (ground truth /
+// training data), and the structured output of parsing.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "whois/labels.h"
+
+namespace whoiscrf::whois {
+
+// A raw record as returned by a WHOIS server.
+struct RawRecord {
+  std::string domain;       // queried domain name
+  std::string server;       // server that produced the record
+  std::string text;         // full response body
+  bool thin = false;        // thin (registry) vs thick (registrar) record
+};
+
+// Ground-truth labels for one record. `labels[i]` / `sub_labels[i]`
+// correspond to the i-th *labeled* line of `text` as produced by
+// text::SplitRecord — the invariant checked by Validate().
+struct LabeledRecord {
+  std::string domain;
+  std::string text;
+  std::vector<Level1Label> labels;
+  // Subfield labels; only meaningful where labels[i] == kRegistrant, but
+  // kept parallel for simplicity (nullopt elsewhere).
+  std::vector<std::optional<Level2Label>> sub_labels;
+
+  // Throws std::invalid_argument if the label vectors do not match the
+  // number of labeled lines in `text`.
+  void Validate() const;
+};
+
+// One parsed contact (registrant or other). Repeated street/other lines are
+// accumulated; scalar fields keep the first non-empty value.
+struct Contact {
+  std::string name;
+  std::string id;
+  std::string org;
+  std::vector<std::string> street;
+  std::string city;
+  std::string state;
+  std::string postcode;
+  std::string country;
+  std::string phone;
+  std::string fax;
+  std::string email;
+  std::vector<std::string> other;
+
+  bool Empty() const;
+};
+
+// Structured output of parsing one thick record.
+struct ParsedWhois {
+  std::vector<Level1Label> line_labels;  // one per labeled line
+
+  // Registrar block.
+  std::string registrar;
+  std::string registrar_url;
+  std::string whois_server;  // referral WHOIS server (thin records)
+
+  // Domain block.
+  std::string domain_name;
+  std::vector<std::string> name_servers;
+  std::vector<std::string> statuses;
+
+  // Date block (raw strings as they appeared).
+  std::string created;
+  std::string updated;
+  std::string expires;
+
+  Contact registrant;
+
+  // Extracted from lines labeled `other` (admin/billing/tech contacts).
+  // §3.2: these "may serve as a reasonable proxy when the registrant
+  // information is missing or incomplete".
+  Contact other_contact;
+
+  // Normalized log-probability of the Viterbi labeling (parse confidence).
+  double log_prob = 0.0;
+
+  // The registrant if it carries any data, otherwise the other-contact
+  // proxy (which may also be empty).
+  const Contact& BestRegistrantProxy() const {
+    return registrant.Empty() ? other_contact : registrant;
+  }
+};
+
+// Extracts a 4-digit year from a free-form date string (e.g.
+// "2014-03-02T18:11:03Z", "02-Mar-2014", "2014/03/02"), or nullopt.
+std::optional<int> ExtractYear(std::string_view date);
+
+}  // namespace whoiscrf::whois

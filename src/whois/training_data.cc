@@ -1,0 +1,171 @@
+#include "whois/training_data.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "text/line_splitter.h"
+#include "util/string_util.h"
+
+namespace whoiscrf::whois {
+
+namespace {
+
+std::string LabelToken(const LabeledRecord& record, size_t labeled_index) {
+  std::string out(Level1Name(record.labels[labeled_index]));
+  if (record.sub_labels[labeled_index].has_value()) {
+    out += '/';
+    out += Level2Name(*record.sub_labels[labeled_index]);
+  }
+  return out;
+}
+
+}  // namespace
+
+void WriteLabeledRecords(std::ostream& os,
+                         const std::vector<LabeledRecord>& records) {
+  for (const LabeledRecord& record : records) {
+    record.Validate();
+    os << "@ " << record.domain << '\n';
+    size_t labeled_index = 0;
+    for (std::string_view raw_line : util::SplitLines(record.text)) {
+      if (text::IsLabeledLine(raw_line)) {
+        os << LabelToken(record, labeled_index) << '\t' << raw_line << '\n';
+        ++labeled_index;
+      } else {
+        os << "-\t" << raw_line << '\n';
+      }
+    }
+    os << "%%\n";
+  }
+}
+
+void WriteLabeledRecordsFile(const std::string& path,
+                             const std::vector<LabeledRecord>& records) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for write: " + path);
+  WriteLabeledRecords(os, records);
+}
+
+std::vector<LabeledRecord> ReadLabeledRecords(std::istream& is) {
+  std::vector<LabeledRecord> out;
+  LabeledRecord current;
+  std::vector<std::string> raw_lines;
+  bool in_record = false;
+  std::string line;
+  int line_no = 0;
+
+  auto fail = [&](const std::string& msg) {
+    throw std::runtime_error(
+        util::Format("labeled records line %d: %s", line_no, msg.c_str()));
+  };
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!in_record) {
+      if (line.empty()) continue;
+      if (!util::StartsWith(line, "@ ")) fail("expected '@ <domain>'");
+      current = LabeledRecord{};
+      current.domain = std::string(util::Trim(std::string_view(line).substr(2)));
+      raw_lines.clear();
+      in_record = true;
+      continue;
+    }
+    if (line == "%%") {
+      current.text = util::Join(raw_lines, "\n");
+      if (!raw_lines.empty()) current.text += "\n";
+      current.Validate();
+      out.push_back(std::move(current));
+      in_record = false;
+      continue;
+    }
+    const size_t tab = line.find('\t');
+    if (tab == std::string::npos) fail("expected '<label>\\t<text>'");
+    std::string_view label_token = std::string_view(line).substr(0, tab);
+    std::string_view raw = std::string_view(line).substr(tab + 1);
+    raw_lines.emplace_back(raw);
+    if (label_token == "-") {
+      if (text::IsLabeledLine(raw)) fail("'-' label on a labeled line");
+      continue;
+    }
+    if (!text::IsLabeledLine(raw)) fail("label on an unlabeled line");
+    std::string_view l1_token = label_token;
+    std::optional<Level2Label> sub;
+    const size_t slash = label_token.find('/');
+    if (slash != std::string_view::npos) {
+      l1_token = label_token.substr(0, slash);
+      sub = Level2FromName(label_token.substr(slash + 1));
+      if (!sub.has_value()) fail("unknown level-2 label");
+    }
+    const auto l1 = Level1FromName(l1_token);
+    if (!l1.has_value()) fail("unknown level-1 label");
+    current.labels.push_back(*l1);
+    current.sub_labels.push_back(sub);
+  }
+  if (in_record) {
+    throw std::runtime_error("labeled records: unterminated record at EOF");
+  }
+  return out;
+}
+
+std::vector<LabeledRecord> ReadLabeledRecordsFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open for read: " + path);
+  return ReadLabeledRecords(is);
+}
+
+crf::Instance ToLevel1Instance(const LabeledRecord& record,
+                               const text::Tokenizer& tokenizer) {
+  record.Validate();
+  crf::Instance inst;
+  for (const text::Line& line : text::SplitRecord(record.text)) {
+    inst.lines.push_back(tokenizer.Extract(line));
+  }
+  inst.labels.reserve(record.labels.size());
+  for (Level1Label label : record.labels) {
+    inst.labels.push_back(static_cast<int>(label));
+  }
+  return inst;
+}
+
+crf::Instance ToLevel2Instance(const LabeledRecord& record,
+                               const text::Tokenizer& tokenizer) {
+  record.Validate();
+  crf::Instance inst;
+  const auto lines = text::SplitRecord(record.text);
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (record.labels[i] != Level1Label::kRegistrant) continue;
+    inst.lines.push_back(tokenizer.Extract(lines[i]));
+    // Registrant lines without an explicit subfield label default to
+    // `other` — e.g. decorative lines inside a registrant block.
+    const Level2Label sub =
+        record.sub_labels[i].value_or(Level2Label::kOther);
+    inst.labels.push_back(static_cast<int>(sub));
+  }
+  return inst;
+}
+
+std::vector<crf::Instance> ToLevel1Instances(
+    const std::vector<LabeledRecord>& records,
+    const text::Tokenizer& tokenizer) {
+  std::vector<crf::Instance> out;
+  out.reserve(records.size());
+  for (const auto& record : records) {
+    out.push_back(ToLevel1Instance(record, tokenizer));
+  }
+  return out;
+}
+
+std::vector<crf::Instance> ToLevel2Instances(
+    const std::vector<LabeledRecord>& records,
+    const text::Tokenizer& tokenizer) {
+  std::vector<crf::Instance> out;
+  for (const auto& record : records) {
+    crf::Instance inst = ToLevel2Instance(record, tokenizer);
+    if (!inst.lines.empty()) out.push_back(std::move(inst));
+  }
+  return out;
+}
+
+}  // namespace whoiscrf::whois

@@ -1,0 +1,59 @@
+// Plain-text interchange format for labeled WHOIS records, so training sets
+// can be inspected, hand-corrected (the paper's adaptation workflow: "the
+// correctly labeled WHOIS record can be added to the existing training
+// set"), and versioned.
+//
+// Format, one record at a time:
+//   @ <domain>
+//   <label>\t<raw line text>      (label = level1 or level1/level2, or "-"
+//                                  for unlabeled raw lines: blanks, rules)
+//   %%                             (record terminator)
+//
+// Example:
+//   @ example.com
+//   domain\tDomain Name: EXAMPLE.COM
+//   -\t
+//   registrant/name\tRegistrant Name: John Smith
+//   %%
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "crf/sequence.h"
+#include "text/tokenizer.h"
+#include "whois/record.h"
+
+namespace whoiscrf::whois {
+
+// Serializes labeled records to the text format above.
+void WriteLabeledRecords(std::ostream& os,
+                         const std::vector<LabeledRecord>& records);
+void WriteLabeledRecordsFile(const std::string& path,
+                             const std::vector<LabeledRecord>& records);
+
+// Parses the text format; throws std::runtime_error on malformed input.
+std::vector<LabeledRecord> ReadLabeledRecords(std::istream& is);
+std::vector<LabeledRecord> ReadLabeledRecordsFile(const std::string& path);
+
+// --- Conversion to CRF instances ---------------------------------------
+
+// Level-1 instance: every labeled line of the record, with block labels.
+crf::Instance ToLevel1Instance(const LabeledRecord& record,
+                               const text::Tokenizer& tokenizer);
+
+// Level-2 instance over the record's registrant block(s): only lines with
+// level-1 label `registrant`, with subfield labels. Returns an instance
+// with no lines if the record has no registrant block.
+crf::Instance ToLevel2Instance(const LabeledRecord& record,
+                               const text::Tokenizer& tokenizer);
+
+std::vector<crf::Instance> ToLevel1Instances(
+    const std::vector<LabeledRecord>& records,
+    const text::Tokenizer& tokenizer);
+std::vector<crf::Instance> ToLevel2Instances(
+    const std::vector<LabeledRecord>& records,
+    const text::Tokenizer& tokenizer);
+
+}  // namespace whoiscrf::whois

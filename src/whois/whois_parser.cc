@@ -1,0 +1,294 @@
+#include "whois/whois_parser.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "text/separator.h"
+#include "text/word_classes.h"
+#include "util/string_util.h"
+
+namespace whoiscrf::whois {
+
+namespace {
+
+// Title/value split with fallback: lines without a separator are all value.
+struct TitleValue {
+  std::string title;  // lower-cased
+  std::string value;
+};
+
+TitleValue SplitTitleValue(const text::Line& line) {
+  const auto sep = text::FindSeparator(line.text);
+  if (sep.has_value()) {
+    return {util::ToLower(sep->title), std::string(sep->value)};
+  }
+  return {"", std::string(util::Trim(line.text))};
+}
+
+void AssignFirst(std::string& field, const std::string& value) {
+  if (field.empty() && !value.empty()) field = value;
+}
+
+}  // namespace
+
+namespace {
+
+// Routes one subfield value into a contact struct.
+void AssignContactField(Contact& c, Level2Label sub, const std::string& v) {
+  switch (sub) {
+    case Level2Label::kName: AssignFirst(c.name, v); break;
+    case Level2Label::kId: AssignFirst(c.id, v); break;
+    case Level2Label::kOrg: AssignFirst(c.org, v); break;
+    case Level2Label::kStreet: c.street.push_back(v); break;
+    case Level2Label::kCity: AssignFirst(c.city, v); break;
+    case Level2Label::kState: AssignFirst(c.state, v); break;
+    case Level2Label::kPostcode: AssignFirst(c.postcode, v); break;
+    case Level2Label::kCountry: AssignFirst(c.country, v); break;
+    case Level2Label::kPhone: AssignFirst(c.phone, v); break;
+    case Level2Label::kFax: AssignFirst(c.fax, v); break;
+    case Level2Label::kEmail: AssignFirst(c.email, v); break;
+    case Level2Label::kOther: c.other.push_back(v); break;
+  }
+}
+
+}  // namespace
+
+void ExtractFields(const std::vector<text::Line>& lines,
+                   const std::vector<Level1Label>& labels,
+                   const std::vector<Level2Label>& registrant_sub_labels,
+                   ParsedWhois& out,
+                   const std::vector<Level2Label>& other_sub_labels) {
+  size_t registrant_index = 0;
+  size_t other_index = 0;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const TitleValue tv = SplitTitleValue(lines[i]);
+    switch (labels[i]) {
+      case Level1Label::kRegistrar: {
+        if (tv.title.find("whois") != std::string::npos ||
+            tv.title.find("referral") != std::string::npos) {
+          AssignFirst(out.whois_server, tv.value);
+        } else if (tv.title.find("url") != std::string::npos ||
+                   text::IsUrl(tv.value)) {
+          AssignFirst(out.registrar_url, tv.value);
+        } else if (tv.title.find("iana") != std::string::npos) {
+          // Registrar IANA ID — numeric handle, not the registrar name.
+        } else if (tv.title.find("registrar") != std::string::npos ||
+                   tv.title.find("sponsor") != std::string::npos ||
+                   tv.title.find("registered by") != std::string::npos ||
+                   tv.title.find("registered through") != std::string::npos ||
+                   tv.title.find("provided by") != std::string::npos ||
+                   tv.title.find("provider") != std::string::npos) {
+          AssignFirst(out.registrar, tv.value);
+        } else if (out.registrar.empty() && tv.title.empty()) {
+          AssignFirst(out.registrar, tv.value);
+        }
+        break;
+      }
+      case Level1Label::kDomain: {
+        if (tv.title.find("domain") != std::string::npos) {
+          AssignFirst(out.domain_name, tv.value);
+        } else if (tv.title.find("server") != std::string::npos ||
+                   tv.title.find("nserver") != std::string::npos ||
+                   tv.title.find("name server") != std::string::npos) {
+          if (!tv.value.empty()) out.name_servers.push_back(tv.value);
+        } else if (tv.title.find("status") != std::string::npos) {
+          if (!tv.value.empty()) out.statuses.push_back(tv.value);
+        } else if (out.domain_name.empty() && tv.title.empty() &&
+                   text::IsDomainName(tv.value)) {
+          out.domain_name = tv.value;
+        }
+        break;
+      }
+      case Level1Label::kDate: {
+        if (tv.title.find("creat") != std::string::npos ||
+            tv.title.find("registered on") != std::string::npos ||
+            tv.title.find("registration date") != std::string::npos) {
+          AssignFirst(out.created, tv.value);
+        } else if (tv.title.find("updat") != std::string::npos ||
+                   tv.title.find("modif") != std::string::npos ||
+                   tv.title.find("changed") != std::string::npos) {
+          AssignFirst(out.updated, tv.value);
+        } else if (tv.title.find("expir") != std::string::npos ||
+                   tv.title.find("renew") != std::string::npos ||
+                   tv.title.find("paid-till") != std::string::npos) {
+          AssignFirst(out.expires, tv.value);
+        }
+        break;
+      }
+      case Level1Label::kRegistrant: {
+        const Level2Label sub =
+            registrant_index < registrant_sub_labels.size()
+                ? registrant_sub_labels[registrant_index]
+                : Level2Label::kOther;
+        ++registrant_index;
+        // Block-header lines ("Registrant:" with empty value) carry no data.
+        const std::string& v = tv.value;
+        if (v.empty()) break;
+        AssignContactField(out.registrant, sub, v);
+        break;
+      }
+      case Level1Label::kOther: {
+        if (other_index < other_sub_labels.size() && !tv.value.empty()) {
+          AssignContactField(out.other_contact,
+                             other_sub_labels[other_index], tv.value);
+        }
+        ++other_index;
+        break;
+      }
+      case Level1Label::kNull:
+        break;
+    }
+  }
+}
+
+WhoisParser::WhoisParser(std::unique_ptr<crf::CrfModel> level1,
+                         std::unique_ptr<crf::CrfModel> level2,
+                         WhoisParserOptions options)
+    : level1_(std::move(level1)),
+      level2_(std::move(level2)),
+      options_(options),
+      tokenizer_(options_.tokenizer) {}
+
+WhoisParser WhoisParser::Train(const std::vector<LabeledRecord>& records,
+                               const WhoisParserOptions& options) {
+  const text::Tokenizer tokenizer(options.tokenizer);
+  const crf::Trainer trainer(options.trainer);
+
+  const auto level1_instances = ToLevel1Instances(records, tokenizer);
+  auto level1 = std::make_unique<crf::CrfModel>(
+      trainer.Train(Level1Names(), level1_instances));
+
+  auto level2_instances = ToLevel2Instances(records, tokenizer);
+  if (level2_instances.empty()) {
+    throw std::invalid_argument(
+        "WhoisParser::Train: no registrant blocks in training data");
+  }
+  auto level2 = std::make_unique<crf::CrfModel>(
+      trainer.Train(Level2Names(), level2_instances));
+
+  return WhoisParser(std::move(level1), std::move(level2), options);
+}
+
+WhoisParser WhoisParser::Adapt(
+    const std::vector<LabeledRecord>& records) const {
+  const crf::Trainer trainer(options_.trainer);
+  const auto level1_instances = ToLevel1Instances(records, tokenizer_);
+  auto level1 = std::make_unique<crf::CrfModel>(
+      trainer.Adapt(*level1_, level1_instances));
+  auto level2_instances = ToLevel2Instances(records, tokenizer_);
+  auto level2 =
+      level2_instances.empty()
+          ? std::make_unique<crf::CrfModel>(*level2_)
+          : std::make_unique<crf::CrfModel>(
+                trainer.Adapt(*level2_, level2_instances));
+  return WhoisParser(std::move(level1), std::move(level2), options_);
+}
+
+std::vector<Level1Label> WhoisParser::LabelLines(
+    std::string_view record_text) const {
+  const auto lines = text::SplitRecord(record_text);
+  std::vector<text::LineAttributes> attrs;
+  attrs.reserve(lines.size());
+  for (const auto& line : lines) attrs.push_back(tokenizer_.Extract(line));
+  const crf::Tagger tagger(*level1_);
+  std::vector<Level1Label> out;
+  for (int label : tagger.Tag(attrs)) {
+    out.push_back(static_cast<Level1Label>(label));
+  }
+  return out;
+}
+
+std::vector<Level2Label> WhoisParser::LabelRegistrantLines(
+    const std::vector<std::string>& raw_lines) const {
+  // Re-derive layout context within the registrant block only.
+  std::string block = util::Join(raw_lines, "\n");
+  const auto lines = text::SplitRecord(block);
+  std::vector<text::LineAttributes> attrs;
+  attrs.reserve(lines.size());
+  for (const auto& line : lines) attrs.push_back(tokenizer_.Extract(line));
+  const crf::Tagger tagger(*level2_);
+  std::vector<Level2Label> out;
+  for (int label : tagger.Tag(attrs)) {
+    out.push_back(static_cast<Level2Label>(label));
+  }
+  return out;
+}
+
+ParsedWhois WhoisParser::Parse(std::string_view record_text) const {
+  ParsedWhois out;
+  const auto lines = text::SplitRecord(record_text);
+  if (lines.empty()) return out;
+
+  std::vector<text::LineAttributes> attrs;
+  attrs.reserve(lines.size());
+  for (const auto& line : lines) attrs.push_back(tokenizer_.Extract(line));
+
+  const crf::Tagger level1_tagger(*level1_);
+  const crf::TagResult level1 = level1_tagger.TagWithConfidence(attrs);
+  out.log_prob = level1.sequence_log_prob;
+  out.line_labels.reserve(level1.labels.size());
+  for (int label : level1.labels) {
+    out.line_labels.push_back(static_cast<Level1Label>(label));
+  }
+
+  // Second level: tag the registrant block lines.
+  std::vector<text::LineAttributes> registrant_attrs;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (out.line_labels[i] == Level1Label::kRegistrant) {
+      registrant_attrs.push_back(attrs[i]);
+    }
+  }
+  std::vector<Level2Label> sub_labels;
+  if (!registrant_attrs.empty()) {
+    const crf::Tagger level2_tagger(*level2_);
+    for (int label : level2_tagger.Tag(registrant_attrs)) {
+      sub_labels.push_back(static_cast<Level2Label>(label));
+    }
+  }
+
+  // The level-2 model also refines `other` blocks: admin/tech contacts use
+  // the same subfield shapes, and the extracted contact serves as a
+  // registrant proxy when the registrant block is missing (§3.2).
+  std::vector<text::LineAttributes> other_attrs;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (out.line_labels[i] == Level1Label::kOther) {
+      other_attrs.push_back(attrs[i]);
+    }
+  }
+  std::vector<Level2Label> other_subs;
+  if (!other_attrs.empty()) {
+    const crf::Tagger level2_tagger(*level2_);
+    for (int label : level2_tagger.Tag(other_attrs)) {
+      other_subs.push_back(static_cast<Level2Label>(label));
+    }
+  }
+
+  ExtractFields(lines, out.line_labels, sub_labels, out, other_subs);
+  return out;
+}
+
+void WhoisParser::Save(std::ostream& os) const {
+  level1_->Save(os);
+  level2_->Save(os);
+}
+
+WhoisParser WhoisParser::Load(std::istream& is) {
+  auto level1 = std::make_unique<crf::CrfModel>(crf::CrfModel::Load(is));
+  auto level2 = std::make_unique<crf::CrfModel>(crf::CrfModel::Load(is));
+  return WhoisParser(std::move(level1), std::move(level2),
+                     WhoisParserOptions{});
+}
+
+void WhoisParser::SaveFile(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("WhoisParser: cannot open " + path);
+  Save(os);
+}
+
+WhoisParser WhoisParser::LoadFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("WhoisParser: cannot open " + path);
+  return Load(is);
+}
+
+}  // namespace whoiscrf::whois

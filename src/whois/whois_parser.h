@@ -1,0 +1,91 @@
+// WhoisParser — the library's primary public API (the paper's contribution).
+//
+// A two-level statistical parser (§3.2): a first-level CRF segments a thick
+// WHOIS record into six blocks (registrar / domain / date / registrant /
+// other / null); a second-level CRF refines registrant blocks into twelve
+// contact subfields. Field values are then extracted from each labeled line
+// using its title/value separator.
+//
+// Typical use:
+//   auto parser = whois::WhoisParser::Train(labeled_records);
+//   whois::ParsedWhois parsed = parser.Parse(record_text);
+//   std::cout << parsed.registrant.country;
+//
+// Models can be persisted with Save/Load, and adapted to new formats with
+// Adapt() by supplying a handful of newly labeled examples (§5.3).
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crf/tagger.h"
+#include "crf/trainer.h"
+#include "text/tokenizer.h"
+#include "whois/record.h"
+#include "whois/training_data.h"
+
+namespace whoiscrf::whois {
+
+struct WhoisParserOptions {
+  crf::TrainerOptions trainer;
+  text::TokenizerOptions tokenizer;
+};
+
+class WhoisParser {
+ public:
+  // Trains both CRF levels from labeled records.
+  static WhoisParser Train(const std::vector<LabeledRecord>& records,
+                           const WhoisParserOptions& options = {});
+
+  // Re-trains from `records` (typically: the original training set plus a
+  // handful of newly labeled failure cases), warm-starting from this
+  // parser's weights (§5.3 maintainability workflow).
+  WhoisParser Adapt(const std::vector<LabeledRecord>& records) const;
+
+  // Parses one thick record: Viterbi-labels every line, then extracts
+  // structured fields.
+  ParsedWhois Parse(std::string_view record_text) const;
+
+  // Level-1 labels only (used by the evaluation harness).
+  std::vector<Level1Label> LabelLines(std::string_view record_text) const;
+
+  // Level-2 labels for a list of registrant-block lines.
+  std::vector<Level2Label> LabelRegistrantLines(
+      const std::vector<std::string>& lines) const;
+
+  // --- Persistence ------------------------------------------------------
+  void Save(std::ostream& os) const;
+  static WhoisParser Load(std::istream& is);
+  void SaveFile(const std::string& path) const;
+  static WhoisParser LoadFile(const std::string& path);
+
+  const crf::CrfModel& level1_model() const { return *level1_; }
+  const crf::CrfModel& level2_model() const { return *level2_; }
+  const WhoisParserOptions& options() const { return options_; }
+
+ private:
+  WhoisParser(std::unique_ptr<crf::CrfModel> level1,
+              std::unique_ptr<crf::CrfModel> level2,
+              WhoisParserOptions options);
+
+  // Models are heap-held so the parser stays cheaply movable.
+  std::unique_ptr<crf::CrfModel> level1_;
+  std::unique_ptr<crf::CrfModel> level2_;
+  WhoisParserOptions options_;
+  text::Tokenizer tokenizer_;
+};
+
+// Field extraction from labeled lines (exposed for reuse by the baselines
+// and tests): routes each line's value into the ParsedWhois struct
+// according to its level-1 label and title keywords. `other_sub_labels`
+// refines lines labeled `other` into the other-contact proxy fields; pass
+// an empty vector to skip that refinement.
+void ExtractFields(const std::vector<text::Line>& lines,
+                   const std::vector<Level1Label>& labels,
+                   const std::vector<Level2Label>& registrant_sub_labels,
+                   ParsedWhois& out,
+                   const std::vector<Level2Label>& other_sub_labels = {});
+
+}  // namespace whoiscrf::whois

@@ -1,0 +1,148 @@
+// Active learning: confidence ranking surfaces unfamiliar formats, and the
+// select -> label -> adapt loop fixes them with few labels.
+#include <gtest/gtest.h>
+
+#include "datagen/corpus_gen.h"
+#include "whois/active_learning.h"
+
+namespace whoiscrf::whois {
+namespace {
+
+class ActiveLearningTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    datagen::CorpusOptions options;
+    options.size = 400;
+    options.seed = 77;
+    generator_ = new datagen::CorpusGenerator(options);
+    std::vector<LabeledRecord> train;
+    for (size_t i = 0; i < 250; ++i) {
+      train.push_back(generator_->Generate(i).thick);
+    }
+    base_training_ = new std::vector<LabeledRecord>(train);
+    parser_ = new WhoisParser(WhoisParser::Train(train));
+  }
+  static void TearDownTestSuite() {
+    delete generator_;
+    delete parser_;
+    delete base_training_;
+  }
+  static datagen::CorpusGenerator* generator_;
+  static WhoisParser* parser_;
+  static std::vector<LabeledRecord>* base_training_;
+};
+
+datagen::CorpusGenerator* ActiveLearningTest::generator_ = nullptr;
+WhoisParser* ActiveLearningTest::parser_ = nullptr;
+std::vector<LabeledRecord>* ActiveLearningTest::base_training_ = nullptr;
+
+TEST_F(ActiveLearningTest, UnfamiliarFormatScoresLowest) {
+  // Pool: familiar .com records plus one record in an unseen TLD format.
+  std::vector<std::string> pool;
+  for (size_t i = 300; i < 320; ++i) {
+    pool.push_back(generator_->Generate(i).thick.text);
+  }
+  const auto alien = generator_->GenerateNewTld("coop", 1);
+  pool.push_back(alien.thick.text);
+
+  const auto selected = SelectForLabeling(*parser_, pool, 3);
+  ASSERT_EQ(selected.size(), 3u);
+  EXPECT_EQ(selected[0].index, pool.size() - 1)
+      << "the coop record should be the least confident";
+  EXPECT_LT(selected[0].confidence, selected[1].confidence + 1e-12);
+}
+
+TEST_F(ActiveLearningTest, ConfidencesAreSortedAndNonPositive) {
+  std::vector<std::string> pool;
+  for (size_t i = 320; i < 335; ++i) {
+    pool.push_back(generator_->Generate(i).thick.text);
+  }
+  const auto selected = SelectForLabeling(*parser_, pool, pool.size());
+  ASSERT_EQ(selected.size(), pool.size());
+  for (size_t i = 0; i + 1 < selected.size(); ++i) {
+    EXPECT_LE(selected[i].confidence, selected[i + 1].confidence + 1e-12);
+  }
+  for (const auto& choice : selected) {
+    EXPECT_LE(choice.confidence, 1e-9);
+  }
+}
+
+TEST_F(ActiveLearningTest, SelectHandlesEdgeCases) {
+  EXPECT_TRUE(SelectForLabeling(*parser_, {}, 5).empty());
+  const auto one = SelectForLabeling(
+      *parser_, {generator_->Generate(350).thick.text}, 5);
+  EXPECT_EQ(one.size(), 1u);
+}
+
+TEST_F(ActiveLearningTest, ActiveAdaptFixesNewFormats) {
+  // Pool mixes two unfamiliar TLD formats into familiar .com records.
+  std::vector<std::string> pool;
+  std::vector<LabeledRecord> pool_truth;
+  for (size_t i = 360; i < 380; ++i) {
+    const auto domain = generator_->Generate(i);
+    pool.push_back(domain.thick.text);
+    pool_truth.push_back(domain.thick);
+  }
+  for (const std::string tld : {"coop", "travel"}) {
+    for (uint64_t salt = 1; salt <= 2; ++salt) {
+      const auto domain = generator_->GenerateNewTld(tld, salt);
+      pool.push_back(domain.thick.text);
+      pool_truth.push_back(domain.thick);
+    }
+  }
+
+  ActiveAdaptOptions options;
+  options.batch_size = 2;
+  options.max_rounds = 6;
+  const auto result = ActiveAdapt(
+      *parser_, *base_training_, pool,
+      [&](size_t index) { return pool_truth[index]; }, options);
+
+  ASSERT_TRUE(result.parser.has_value());
+  EXPECT_GT(result.rounds.size(), 0u);
+  EXPECT_GT(result.total_labeled, 0u);
+  EXPECT_LE(result.total_labeled,
+            options.batch_size * options.max_rounds);
+
+  // The adapted parser now labels fresh records of both formats almost
+  // perfectly (allow one residual line on the pathological coop format).
+  size_t errors = 0;
+  size_t lines = 0;
+  for (const std::string tld : {"coop", "travel"}) {
+    const auto probe = generator_->GenerateNewTld(tld, 9);
+    const auto labels = result.parser->LabelLines(probe.thick.text);
+    for (size_t t = 0; t < labels.size(); ++t) {
+      ++lines;
+      if (labels[t] != probe.thick.labels[t]) ++errors;
+    }
+  }
+  EXPECT_LE(errors, 1u) << "of " << lines << " lines";
+
+  // Worst-pool confidence improves monotonically-ish across rounds.
+  if (result.rounds.size() >= 2) {
+    EXPECT_GT(result.rounds.back().worst_confidence,
+              result.rounds.front().worst_confidence);
+  }
+}
+
+TEST_F(ActiveLearningTest, ActiveAdaptStopsWhenConfident) {
+  // All-familiar pool: the loop should stop without labeling everything.
+  std::vector<std::string> pool;
+  std::vector<LabeledRecord> pool_truth;
+  for (size_t i = 380; i < 395; ++i) {
+    const auto domain = generator_->Generate(i);
+    pool.push_back(domain.thick.text);
+    pool_truth.push_back(domain.thick);
+  }
+  ActiveAdaptOptions options;
+  options.batch_size = 3;
+  options.max_rounds = 5;
+  options.stop_confidence = -0.5;  // generous: familiar records clear this
+  const auto result = ActiveAdapt(
+      *parser_, *base_training_, pool,
+      [&](size_t index) { return pool_truth[index]; }, options);
+  EXPECT_LT(result.total_labeled, pool.size());
+}
+
+}  // namespace
+}  // namespace whoiscrf::whois

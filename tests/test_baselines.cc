@@ -1,0 +1,172 @@
+// Baseline parsers: the rule-based parser labels its own development corpus
+// perfectly and degrades gracefully when rolled back; the template parser
+// is exact on known formats and fails closed on drifted ones (§2.3, §5.1).
+#include <gtest/gtest.h>
+
+#include "baselines/rule_parser.h"
+#include "baselines/template_parser.h"
+#include "datagen/corpus_gen.h"
+
+namespace whoiscrf::baselines {
+namespace {
+
+std::vector<whois::LabeledRecord> MakeCorpus(size_t n, uint64_t seed,
+                                             double drift) {
+  datagen::CorpusOptions options;
+  options.size = n;
+  options.seed = seed;
+  options.drift_fraction = drift;
+  datagen::CorpusGenerator generator(options);
+  std::vector<whois::LabeledRecord> out;
+  for (size_t i = 0; i < n; ++i) out.push_back(generator.Generate(i).thick);
+  return out;
+}
+
+double LineErrorRate(
+    const std::vector<whois::Level1Label>& gold,
+    const std::vector<whois::Level1Label>& predicted) {
+  EXPECT_EQ(gold.size(), predicted.size());
+  size_t wrong = 0;
+  for (size_t i = 0; i < gold.size(); ++i) {
+    if (predicted[i] != gold[i]) ++wrong;
+  }
+  return gold.empty() ? 0.0
+                      : static_cast<double>(wrong) /
+                            static_cast<double>(gold.size());
+}
+
+TEST(RuleParserTest, NormalizeTitle) {
+  EXPECT_EQ(RuleBasedParser::NormalizeTitle("Registrant  Name"),
+            "registrant name");
+  EXPECT_EQ(RuleBasedParser::NormalizeTitle("[Registrant]"), "registrant");
+  EXPECT_EQ(RuleBasedParser::NormalizeTitle("OWNER_NAME"), "owner name");
+  EXPECT_EQ(RuleBasedParser::NormalizeTitle("  ..  "), "");
+}
+
+TEST(RuleParserTest, NearPerfectOnDevelopmentCorpus) {
+  const auto corpus = MakeCorpus(250, 3, 0.25);
+  const RuleBasedParser parser = RuleBasedParser::Build(corpus);
+  double total_error = 0;
+  for (const auto& record : corpus) {
+    total_error += LineErrorRate(record.labels, parser.LabelLines(record.text));
+  }
+  // §4.2: the full rule base labels its own development corpus essentially
+  // perfectly (we allow a small slack for genuinely ambiguous lines).
+  EXPECT_LT(total_error / static_cast<double>(corpus.size()), 0.02);
+}
+
+TEST(RuleParserTest, RollBackLosesCoverage) {
+  const auto full_corpus = MakeCorpus(400, 5, 0.25);
+  const auto tiny_subset = MakeCorpus(5, 6, 0.0);
+  const RuleBasedParser full = RuleBasedParser::Build(full_corpus);
+  const RuleBasedParser reduced = full.RollBack(tiny_subset);
+  EXPECT_LT(reduced.num_title_rules(), full.num_title_rules());
+
+  // Evaluate both on held-out data: the rolled-back parser must be no
+  // better, and typically worse.
+  const auto test = MakeCorpus(120, 7, 0.25);
+  double err_full = 0;
+  double err_reduced = 0;
+  for (const auto& record : test) {
+    err_full += LineErrorRate(record.labels, full.LabelLines(record.text));
+    err_reduced +=
+        LineErrorRate(record.labels, reduced.LabelLines(record.text));
+  }
+  EXPECT_LE(err_full, err_reduced + 1e-12);
+  EXPECT_GT(err_reduced, 0.0);
+}
+
+TEST(RuleParserTest, BlockContextInheritance) {
+  // eNom-style contextual block: untitled lines inherit the header label.
+  whois::LabeledRecord record;
+  record.domain = "x.com";
+  record.text =
+      "Registrant Contact:\n"
+      "   John Smith\n"
+      "   1 Main St\n"
+      "\n"
+      "Creation date: 01-Jan-2010\n";
+  using L = whois::Level1Label;
+  record.labels = {L::kRegistrant, L::kRegistrant, L::kRegistrant, L::kDate};
+  record.sub_labels = {std::nullopt, whois::Level2Label::kName,
+                       whois::Level2Label::kStreet, std::nullopt};
+  const RuleBasedParser parser = RuleBasedParser::Build({record});
+  const auto labels = parser.LabelLines(record.text);
+  EXPECT_EQ(labels, record.labels);
+}
+
+TEST(RuleParserTest, PatternRulesSurviveRollBackToNothing) {
+  const auto corpus = MakeCorpus(100, 9, 0.0);
+  const RuleBasedParser full = RuleBasedParser::Build(corpus);
+  // Roll back against an empty set: only built-in pattern rules remain.
+  const RuleBasedParser bare = full.RollBack({});
+  EXPECT_EQ(bare.num_title_rules(), 0u);
+  // Keyword fallbacks still label the obvious lines.
+  const auto labels =
+      bare.LabelLines("Registrant Name: John\nCreation Date: 2010-01-01\n");
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_EQ(labels[0], whois::Level1Label::kRegistrant);
+  EXPECT_EQ(labels[1], whois::Level1Label::kDate);
+}
+
+TEST(RuleParserTest, ParseExtractsRegistrant) {
+  const auto corpus = MakeCorpus(200, 11, 0.0);
+  const RuleBasedParser parser = RuleBasedParser::Build(corpus);
+  datagen::CorpusOptions options;
+  options.size = 200;
+  options.seed = 11;
+  datagen::CorpusGenerator generator(options);
+  size_t name_hits = 0;
+  for (size_t i = 0; i < 60; ++i) {
+    const auto domain = generator.Generate(i);
+    const auto parsed = parser.Parse(domain.thick.text);
+    if (parsed.registrant.name == domain.facts.registrant.name) ++name_hits;
+  }
+  EXPECT_GT(name_hits, 40u);  // development data: rules mostly fit
+}
+
+TEST(TemplateParserTest, ExactOnTrainingFormats) {
+  const auto corpus = MakeCorpus(300, 13, 0.0);
+  const TemplateBasedParser parser = TemplateBasedParser::Build(corpus);
+  EXPECT_GT(parser.num_templates(), 10u);
+  size_t matched = 0;
+  size_t perfect = 0;
+  for (const auto& record : corpus) {
+    const auto result = parser.Parse(record.text);
+    if (!result.matched) continue;
+    ++matched;
+    std::vector<whois::Level1Label> gold = record.labels;
+    if (result.labels == gold) ++perfect;
+  }
+  EXPECT_GT(matched, corpus.size() * 9 / 10);
+  EXPECT_GT(perfect, matched * 9 / 10);
+}
+
+TEST(TemplateParserTest, FailsClosedOnDriftedSchema) {
+  // Built on v0 formats only; drifted records must mostly fail to match —
+  // the fragility the paper demonstrates with deft-whois.
+  const auto v0_corpus = MakeCorpus(300, 17, 0.0);
+  const TemplateBasedParser parser = TemplateBasedParser::Build(v0_corpus);
+
+  datagen::CorpusOptions options;
+  options.size = 100;
+  options.seed = 18;
+  options.drift_fraction = 1.0;  // every record drifted
+  datagen::CorpusGenerator generator(options);
+  size_t matched = 0;
+  for (size_t i = 0; i < 100; ++i) {
+    if (parser.Parse(generator.Generate(i).thick.text).matched) ++matched;
+  }
+  EXPECT_LT(matched, 35u);
+}
+
+TEST(TemplateParserTest, UnknownFormatFails) {
+  const auto corpus = MakeCorpus(50, 19, 0.0);
+  const TemplateBasedParser parser = TemplateBasedParser::Build(corpus);
+  const auto result =
+      parser.Parse("totally-unknown-key!!: value\nanother: thing\n");
+  EXPECT_FALSE(result.matched);
+}
+
+}  // namespace
+}  // namespace whoiscrf::baselines

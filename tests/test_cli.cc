@@ -1,0 +1,142 @@
+// CLI layer: flag parsing, raw-record splitting, and command round trips
+// through temporary files.
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "cli/commands.h"
+#include "util/flags.h"
+
+namespace whoiscrf {
+namespace {
+
+util::FlagParser Parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return util::FlagParser(static_cast<int>(args.size()), args.data(), 1);
+}
+
+TEST(FlagParserTest, SpaceAndEqualsSyntax) {
+  auto flags = Parse({"--name", "value", "--count=7", "--flag"});
+  EXPECT_EQ(flags.GetString("name"), "value");
+  EXPECT_EQ(flags.GetInt("count", 0), 7);
+  EXPECT_TRUE(flags.GetBool("flag"));
+  EXPECT_TRUE(flags.UnconsumedFlags().empty());
+}
+
+TEST(FlagParserTest, DefaultsAndMissing) {
+  auto flags = Parse({});
+  EXPECT_EQ(flags.GetString("missing", "fallback"), "fallback");
+  EXPECT_EQ(flags.GetInt("missing", 9), 9);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("missing", 0.5), 0.5);
+  EXPECT_FALSE(flags.GetBool("missing"));
+}
+
+TEST(FlagParserTest, Positional) {
+  auto flags = Parse({"file1", "--k", "3", "file2"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "file1");
+  EXPECT_EQ(flags.positional()[1], "file2");
+}
+
+TEST(FlagParserTest, ErrorsOnBadInteger) {
+  auto flags = Parse({"--count", "abc"});
+  EXPECT_EQ(flags.GetInt("count", 3), 3);
+  EXPECT_FALSE(flags.errors().empty());
+}
+
+TEST(FlagParserTest, DuplicateFlagIsError) {
+  auto flags = Parse({"--a", "1", "--a", "2"});
+  EXPECT_FALSE(flags.errors().empty());
+}
+
+TEST(FlagParserTest, UnconsumedFlagsReported) {
+  auto flags = Parse({"--used", "1", "--unused", "2"});
+  flags.GetInt("used", 0);
+  const auto unconsumed = flags.UnconsumedFlags();
+  ASSERT_EQ(unconsumed.size(), 1u);
+  EXPECT_EQ(unconsumed[0], "--unused");
+}
+
+TEST(FlagParserTest, BooleanFalseValues) {
+  auto flags = Parse({"--a=false", "--b=0", "--c=yes"});
+  EXPECT_FALSE(flags.GetBool("a"));
+  EXPECT_FALSE(flags.GetBool("b"));
+  EXPECT_TRUE(flags.GetBool("c"));
+}
+
+TEST(ReadRawRecordsTest, SplitsOnSeparatorLines) {
+  const std::string path = ::testing::TempDir() + "/raw_records.txt";
+  {
+    std::ofstream os(path);
+    os << "Domain Name: A.COM\nRegistrar: X\n%%\n"
+       << "Domain Name: B.COM\n%%\n";
+  }
+  const auto records = cli::ReadRawRecords(path);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_NE(records[0].find("A.COM"), std::string::npos);
+  EXPECT_NE(records[1].find("B.COM"), std::string::npos);
+  EXPECT_EQ(records[1].find("A.COM"), std::string::npos);
+}
+
+TEST(ReadRawRecordsTest, SingleRecordWithoutSeparator) {
+  const std::string path = ::testing::TempDir() + "/raw_single.txt";
+  {
+    std::ofstream os(path);
+    os << "Domain Name: ONLY.COM\n";
+  }
+  const auto records = cli::ReadRawRecords(path);
+  ASSERT_EQ(records.size(), 1u);
+}
+
+TEST(ReadRawRecordsTest, MissingFileThrows) {
+  EXPECT_THROW(cli::ReadRawRecords("/nonexistent/raw.txt"),
+               std::runtime_error);
+}
+
+TEST(CliCommandsTest, GenTrainEvalRoundTrip) {
+  const std::string dir = ::testing::TempDir();
+  const std::string train_path = dir + "/cli_round_train.txt";
+  const std::string model_path = dir + "/cli_round.model";
+
+  {
+    auto flags = Parse({"--out", train_path.c_str(), "--count", "80",
+                        "--seed", "5"});
+    ASSERT_EQ(cli::CmdGen(flags), 0);
+  }
+  {
+    auto flags = Parse({"--data", train_path.c_str(), "--model",
+                        model_path.c_str(), "--iterations", "80"});
+    ASSERT_EQ(cli::CmdTrain(flags), 0);
+  }
+  {
+    // Evaluating the model on its own training data must be perfect.
+    auto flags = Parse({"--model", model_path.c_str(), "--data",
+                        train_path.c_str()});
+    EXPECT_EQ(cli::CmdEval(flags), 0);
+  }
+}
+
+TEST(CliCommandsTest, GenRequiresOut) {
+  auto flags = Parse({"--count", "5"});
+  EXPECT_EQ(cli::CmdGen(flags), 2);
+}
+
+TEST(CliCommandsTest, TrainRequiresDataAndModel) {
+  auto flags = Parse({"--data", "x"});
+  EXPECT_EQ(cli::CmdTrain(flags), 2);
+}
+
+TEST(CliCommandsTest, GenNewTld) {
+  const std::string path = ::testing::TempDir() + "/cli_tld.txt";
+  auto flags = Parse({"--out", path.c_str(), "--count", "3", "--new-tld",
+                      "coop"});
+  ASSERT_EQ(cli::CmdGen(flags), 0);
+  std::ifstream is(path);
+  std::string content((std::istreambuf_iterator<char>(is)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find(".coop"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace whoiscrf

@@ -1,0 +1,281 @@
+// Training behavior: both optimizers learn separable toy problems; the
+// trainer builds sensible feature spaces; adaptation warm-starts correctly;
+// evaluation metrics count as defined in §5.1.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "crf/evaluation.h"
+#include "crf/lbfgs.h"
+#include "crf/tagger.h"
+#include "crf/trainer.h"
+#include "util/random.h"
+
+namespace whoiscrf::crf {
+namespace {
+
+// A toy sequence task: lines containing "alpha" are label 0, "beta" label 1,
+// and "gamma" lines copy the previous label (only transitions can solve
+// them).
+Instance MakeToyInstance(util::Rng& rng, int length) {
+  Instance inst;
+  int prev = 0;
+  for (int t = 0; t < length; ++t) {
+    text::LineAttributes line;
+    const int kind = static_cast<int>(rng.UniformInt(0, 2));
+    if (kind == 0) {
+      line.attrs = {"alpha"};
+      line.transition = {true};
+      inst.labels.push_back(0);
+      prev = 0;
+    } else if (kind == 1) {
+      line.attrs = {"beta"};
+      line.transition = {true};
+      inst.labels.push_back(1);
+      prev = 1;
+    } else if (t > 0) {
+      // Transition-eligible: only eq. 8 features (attr-conditioned
+      // transitions) can express "gamma copies the previous label".
+      line.attrs = {"gamma"};
+      line.transition = {true};
+      inst.labels.push_back(prev);
+    } else {
+      line.attrs = {"alpha"};
+      line.transition = {true};
+      inst.labels.push_back(0);
+      prev = 0;
+    }
+    inst.lines.push_back(std::move(line));
+  }
+  return inst;
+}
+
+std::vector<Instance> MakeToyData(size_t n, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Instance> data;
+  for (size_t i = 0; i < n; ++i) {
+    data.push_back(MakeToyInstance(rng, 8));
+  }
+  return data;
+}
+
+double ToyAccuracy(const CrfModel& model, const std::vector<Instance>& test) {
+  const Tagger tagger(model);
+  size_t correct = 0;
+  size_t total = 0;
+  for (const Instance& inst : test) {
+    const auto predicted = tagger.Tag(inst.lines);
+    for (size_t t = 0; t < predicted.size(); ++t) {
+      ++total;
+      if (predicted[t] == inst.labels[t]) ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(total);
+}
+
+TEST(TrainerTest, LbfgsLearnsToyTaskIncludingTransitions) {
+  const auto train = MakeToyData(60, 1);
+  const auto test = MakeToyData(30, 2);
+  TrainerOptions options;
+  options.threads = 2;
+  Trainer trainer(options);
+  TrainStats stats;
+  const CrfModel model = trainer.Train({"A", "B"}, train, &stats);
+  EXPECT_GT(stats.num_features, 0u);
+  EXPECT_GT(stats.iterations, 0);
+  // "gamma" lines are only solvable through transition weights.
+  EXPECT_GT(ToyAccuracy(model, test), 0.99);
+}
+
+TEST(TrainerTest, SgdLearnsToyTask) {
+  const auto train = MakeToyData(60, 3);
+  const auto test = MakeToyData(30, 4);
+  TrainerOptions options;
+  options.algorithm = Algorithm::kSgd;
+  options.sgd.epochs = 25;
+  Trainer trainer(options);
+  const CrfModel model = trainer.Train({"A", "B"}, train);
+  EXPECT_GT(ToyAccuracy(model, test), 0.98);
+}
+
+TEST(TrainerTest, SgdAndLbfgsAgreeOnPredictions) {
+  const auto train = MakeToyData(50, 5);
+  const auto test = MakeToyData(20, 6);
+  TrainerOptions lbfgs_options;
+  TrainerOptions sgd_options;
+  sgd_options.algorithm = Algorithm::kSgd;
+  sgd_options.sgd.epochs = 30;
+  const CrfModel m1 = Trainer(lbfgs_options).Train({"A", "B"}, train);
+  const CrfModel m2 = Trainer(sgd_options).Train({"A", "B"}, train);
+  EXPECT_NEAR(ToyAccuracy(m1, test), ToyAccuracy(m2, test), 0.02);
+}
+
+TEST(TrainerTest, SgdReachesNearLbfgsObjective) {
+  // Both optimizers minimize the same convex penalized NLL; SGD's lazy L2
+  // bookkeeping must land near the L-BFGS optimum, not at some other
+  // stationary point (this guards the trickiest code path in sgd.cc).
+  const auto train = MakeToyData(40, 21);
+  TrainerOptions base;
+  base.l2_sigma = 2.0;
+  base.threads = 1;
+
+  Trainer lbfgs_trainer(base);
+  CrfModel lbfgs_model = lbfgs_trainer.Train({"A", "B"}, train);
+
+  TrainerOptions sgd_options = base;
+  sgd_options.algorithm = Algorithm::kSgd;
+  sgd_options.sgd.epochs = 60;
+  CrfModel sgd_model = Trainer(sgd_options).Train({"A", "B"}, train);
+
+  // Evaluate the penalized objective at both solutions using the same
+  // feature space (the vocabularies are identical by construction).
+  const Dataset dataset = Trainer::Compile(lbfgs_model, train);
+  CrfModel scratch = lbfgs_model;
+  LogLikelihood objective(scratch, dataset, base.l2_sigma);
+  std::vector<double> grad;
+  const double f_lbfgs = objective.Evaluate(lbfgs_model.weights(), grad);
+  const double f_sgd = objective.Evaluate(sgd_model.weights(), grad);
+  EXPECT_GE(f_sgd, f_lbfgs - 1e-6);        // L-BFGS found the optimum
+  EXPECT_LT(f_sgd, f_lbfgs * 1.10 + 1.0);  // SGD is close to it
+}
+
+TEST(TrainerTest, MinAttrCountTrimsDictionary) {
+  auto train = MakeToyData(20, 7);
+  // Inject one rare attribute.
+  text::LineAttributes rare;
+  rare.attrs = {"alpha", "hapax-legomenon"};
+  rare.transition = {false, false};
+  train[0].lines[0] = rare;
+  train[0].labels[0] = 0;
+
+  TrainerOptions keep_all;
+  keep_all.min_attr_count = 1;
+  TrainerOptions trim;
+  trim.min_attr_count = 2;
+  const CrfModel full = Trainer(keep_all).Train({"A", "B"}, train);
+  const CrfModel trimmed = Trainer(trim).Train({"A", "B"}, train);
+  EXPECT_EQ(full.vocab().Lookup("hapax-legomenon") !=
+                text::Vocabulary::kNotFound,
+            true);
+  EXPECT_EQ(trimmed.vocab().Lookup("hapax-legomenon"),
+            text::Vocabulary::kNotFound);
+  EXPECT_LT(trimmed.num_weights(), full.num_weights());
+}
+
+TEST(TrainerTest, RejectsBadLabels) {
+  auto data = MakeToyData(3, 8);
+  data[0].labels[0] = 7;  // out of range for 2 labels
+  EXPECT_THROW(Trainer().Train({"A", "B"}, data), std::invalid_argument);
+}
+
+TEST(TrainerTest, RejectsEmptyData) {
+  EXPECT_THROW(Trainer().Train({"A", "B"}, {}), std::invalid_argument);
+}
+
+TEST(TrainerTest, AdaptImprovesOnNewPattern) {
+  // Base model never saw "delta" lines (label 1).
+  const auto base_data = MakeToyData(40, 9);
+  const CrfModel base = Trainer().Train({"A", "B"}, base_data);
+
+  Instance novel;
+  for (int t = 0; t < 6; ++t) {
+    text::LineAttributes line;
+    line.attrs = {"delta"};
+    line.transition = {false};
+    novel.lines.push_back(line);
+    novel.labels.push_back(1);
+  }
+  // Adaptation set: original data plus a handful of the new pattern (§5.3).
+  auto adapted_data = base_data;
+  adapted_data.push_back(novel);
+  const CrfModel adapted = Trainer().Adapt(base, adapted_data);
+
+  const Tagger tagger(adapted);
+  const auto predicted = tagger.Tag(novel.lines);
+  for (int label : predicted) EXPECT_EQ(label, 1);
+  // Old task still works.
+  EXPECT_GT(ToyAccuracy(adapted, MakeToyData(20, 10)), 0.98);
+}
+
+TEST(LbfgsTest, MinimizesQuadratic) {
+  // f(w) = 0.5 * sum (w_i - i)^2, minimum at w_i = i.
+  LbfgsOptimizer optimizer;
+  std::vector<double> w(10, 0.0);
+  const auto result = optimizer.Minimize(
+      [](const std::vector<double>& x, std::vector<double>& g) {
+        double f = 0.0;
+        g.resize(x.size());
+        for (size_t i = 0; i < x.size(); ++i) {
+          const double d = x[i] - static_cast<double>(i);
+          f += 0.5 * d * d;
+          g[i] = d;
+        }
+        return f;
+      },
+      w);
+  EXPECT_TRUE(result.converged);
+  for (size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(w[i], static_cast<double>(i), 1e-4);
+  }
+}
+
+TEST(LbfgsTest, MinimizesRosenbrock) {
+  LbfgsOptimizer::Options options;
+  options.max_iterations = 2000;
+  options.grad_tolerance = 1e-6;
+  options.value_rel_tolerance = 0;  // run to gradient convergence
+  LbfgsOptimizer optimizer(options);
+  std::vector<double> w = {-1.2, 1.0};
+  const auto result = optimizer.Minimize(
+      [](const std::vector<double>& x, std::vector<double>& g) {
+        const double a = 1.0 - x[0];
+        const double b = x[1] - x[0] * x[0];
+        g = {-2 * a - 400 * x[0] * b, 200 * b};
+        return a * a + 100 * b * b;
+      },
+      w);
+  EXPECT_NEAR(w[0], 1.0, 1e-3);
+  EXPECT_NEAR(w[1], 1.0, 1e-3);
+  EXPECT_LT(result.value, 1e-7);
+}
+
+TEST(EvaluatorTest, CountsLineAndDocumentErrors) {
+  Evaluator eval(3);
+  eval.AddDocument({0, 1, 2}, {0, 1, 2});  // perfect
+  eval.AddDocument({0, 1, 2}, {0, 2, 2});  // one wrong line
+  eval.AddDocument({1, 1}, {0, 0});        // all wrong
+  EXPECT_EQ(eval.result().total_lines, 8u);
+  EXPECT_EQ(eval.result().wrong_lines, 3u);
+  EXPECT_EQ(eval.result().total_documents, 3u);
+  EXPECT_EQ(eval.result().wrong_documents, 2u);
+  EXPECT_NEAR(eval.result().LineErrorRate(), 3.0 / 8.0, 1e-12);
+  EXPECT_NEAR(eval.result().DocumentErrorRate(), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(eval.confusion(1, 2), 1u);
+  EXPECT_EQ(eval.confusion(1, 0), 2u);
+  EXPECT_NEAR(eval.Recall(2), 1.0, 1e-12);
+  EXPECT_NEAR(eval.Precision(2), 2.0 / 3.0, 1e-12);
+}
+
+TEST(EvaluatorTest, RejectsMismatchedLengths) {
+  Evaluator eval(2);
+  EXPECT_THROW(eval.AddDocument({0, 1}, {0}), std::invalid_argument);
+}
+
+TEST(TaggerTest, ConfidencesAreProbabilities) {
+  const auto train = MakeToyData(40, 11);
+  const CrfModel model = Trainer().Train({"A", "B"}, train);
+  const Tagger tagger(model);
+  const Instance probe = MakeToyData(1, 12)[0];
+  const TagResult result = tagger.TagWithConfidence(probe.lines);
+  ASSERT_EQ(result.labels.size(), probe.lines.size());
+  for (double c : result.confidences) {
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0 + 1e-9);
+  }
+  EXPECT_LE(result.sequence_log_prob, 1e-9);
+  // A well-trained model should be confident on in-distribution data.
+  for (double c : result.confidences) EXPECT_GT(c, 0.5);
+}
+
+}  // namespace
+}  // namespace whoiscrf::crf

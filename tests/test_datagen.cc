@@ -1,0 +1,366 @@
+// Data generator: determinism, label correctness by construction, template
+// rendering, drift, distributions, and the new-TLD templates.
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "datagen/corpus_gen.h"
+#include "datagen/country_data.h"
+#include "datagen/privacy.h"
+#include "datagen/registrar_profiles.h"
+#include "datagen/template_engine.h"
+#include "datagen/template_library.h"
+#include "util/string_util.h"
+
+namespace whoiscrf::datagen {
+namespace {
+
+TEST(CountryDataTest, WeightsInterpolateByYear) {
+  const auto w1998 = CountryWeightsForYear(1998);
+  const auto w2014 = CountryWeightsForYear(2014);
+  const int us = CountryIndex("US");
+  const int cn = CountryIndex("CN");
+  ASSERT_GE(us, 0);
+  ASSERT_GE(cn, 0);
+  // US share declines over time; China's rises (Figure 4b trends).
+  EXPECT_GT(w1998[static_cast<size_t>(us)], w2014[static_cast<size_t>(us)]);
+  EXPECT_LT(w1998[static_cast<size_t>(cn)], w2014[static_cast<size_t>(cn)]);
+  // Clamped outside the range.
+  EXPECT_EQ(CountryWeightsForYear(1980), CountryWeightsForYear(1998));
+  EXPECT_EQ(CountryWeightsForYear(2020), CountryWeightsForYear(2014));
+}
+
+TEST(CountryDataTest, LookupAndNames) {
+  EXPECT_EQ(CountryDisplayName("US"), "United States");
+  EXPECT_EQ(CountryIndex("XX"), -1);
+  EXPECT_GE(CountryIndex(""), 0);  // the unknown entry exists
+}
+
+TEST(RegistrarTableTest, SharesShiftOverTime) {
+  RegistrarTable table;
+  const int hichina = table.IndexOf("HiChina");
+  const int netsol = table.IndexOf("Network Solutions");
+  ASSERT_GE(hichina, 0);
+  ASSERT_GE(netsol, 0);
+  const auto early = table.WeightsForYear(1998);
+  const auto late = table.WeightsForYear(2014);
+  EXPECT_LT(early[static_cast<size_t>(hichina)],
+            late[static_cast<size_t>(hichina)]);
+  EXPECT_GT(early[static_cast<size_t>(netsol)],
+            late[static_cast<size_t>(netsol)]);
+}
+
+TEST(RegistrarTableTest, EveryRegistrarHasAKnownTemplateFamily) {
+  RegistrarTable table;
+  TemplateLibrary library;
+  for (size_t i = 0; i < table.size(); ++i) {
+    EXPECT_TRUE(library.Has(table.info(i).family))
+        << table.info(i).short_name << " -> " << table.info(i).family;
+  }
+}
+
+TEST(TemplateEngineTest, RenderProducesValidatedLabels) {
+  TemplateLibrary library;
+  TemplateEngine engine;
+  EntityGenerator entities;
+  util::Rng rng(7);
+
+  DomainFacts facts;
+  facts.domain = "example.com";
+  facts.tld = "com";
+  facts.registrar_name = "GoDaddy.com, LLC";
+  facts.registrar_url = "http://www.godaddy.com";
+  facts.whois_server = "whois.godaddy.com";
+  facts.iana_id = "146";
+  facts.created = "2010-04-01T00:00:00Z";
+  facts.updated = "2014-05-01T00:00:00Z";
+  facts.expires = "2016-04-01T00:00:00Z";
+  facts.name_servers = {"ns1.example.com", "ns2.example.com"};
+  facts.statuses = {"clientTransferProhibited"};
+  facts.registrant = entities.MakeContact(rng, "US");
+  facts.admin = facts.registrant;
+  facts.tech = facts.registrant;
+
+  for (const std::string& family : library.Families()) {
+    for (int version = 0; version < 2; ++version) {
+      const whois::LabeledRecord record =
+          engine.Render(library.Get(family, version), facts);
+      record.Validate();  // labels align with labeled lines by construction
+      EXPECT_FALSE(record.labels.empty()) << family;
+      // Every record must carry registrant information (thick record).
+      bool has_registrant = false;
+      for (auto label : record.labels) {
+        if (label == whois::Level1Label::kRegistrant) has_registrant = true;
+      }
+      EXPECT_TRUE(has_registrant) << family << " v" << version;
+    }
+  }
+}
+
+TEST(TemplateEngineTest, DateFormatting) {
+  EXPECT_EQ(TemplateEngine::FormatDate("2014-03-02T18:11:03Z",
+                                       DateStyle::kDMonY),
+            "02-Mar-2014");
+  EXPECT_EQ(TemplateEngine::FormatDate("2014-03-02", DateStyle::kSlashes),
+            "2014/03/02");
+  EXPECT_EQ(TemplateEngine::FormatDate("2014-03-02", DateStyle::kUsSlashes),
+            "03/02/2014");
+  EXPECT_EQ(TemplateEngine::FormatDate("garbage", DateStyle::kDMonY),
+            "garbage");
+}
+
+TEST(TemplateEngineTest, ThinRecordHasReferralAndNoRegistrant) {
+  TemplateEngine engine;
+  DomainFacts facts;
+  facts.domain = "example.com";
+  facts.registrar_name = "GoDaddy.com, LLC";
+  facts.whois_server = "whois.godaddy.com";
+  facts.registrar_url = "http://www.godaddy.com";
+  facts.iana_id = "146";
+  facts.created = "2010-04-01";
+  facts.updated = "2014-05-01";
+  facts.expires = "2016-04-01";
+  facts.name_servers = {"ns1.example.com"};
+  facts.statuses = {"ok"};
+  const whois::LabeledRecord thin = engine.RenderThin(facts);
+  thin.Validate();
+  EXPECT_NE(thin.text.find("Whois Server: whois.godaddy.com"),
+            std::string::npos);
+  for (auto label : thin.labels) {
+    EXPECT_NE(label, whois::Level1Label::kRegistrant);
+  }
+}
+
+TEST(DriftTest, ChangesScheamButKeepsLabels) {
+  TemplateLibrary library;
+  const TemplateSpec& v0 = library.Get("godaddy", 0);
+  const TemplateSpec& v1 = library.Get("godaddy", 1);
+  // Drift renames at least one title.
+  std::set<std::string> titles0;
+  std::set<std::string> titles1;
+  for (const auto& e : v0.elements) titles0.insert(e.title);
+  for (const auto& e : v1.elements) titles1.insert(e.title);
+  EXPECT_NE(titles0, titles1);
+  // Drift is deterministic.
+  const TemplateSpec again = DriftSpec(v0);
+  std::set<std::string> titles_again;
+  for (const auto& e : again.elements) titles_again.insert(e.title);
+  EXPECT_EQ(titles1, titles_again);
+}
+
+TEST(SynthesizedFamiliesTest, DistinctAndDeterministic) {
+  const TemplateSpec a1 = SynthesizeSpec("tail/1", 1001);
+  const TemplateSpec a2 = SynthesizeSpec("tail/1", 1001);
+  const TemplateSpec b = SynthesizeSpec("tail/2", 1002);
+  EXPECT_EQ(a1.elements.size(), a2.elements.size());
+  EXPECT_EQ(a1.separator, a2.separator);
+  // Different seeds should (generically) differ in some knob.
+  bool differs = a1.elements.size() != b.elements.size() ||
+                 a1.separator != b.separator ||
+                 a1.date_style != b.date_style;
+  for (size_t i = 0; !differs && i < std::min(a1.elements.size(),
+                                              b.elements.size());
+       ++i) {
+    differs = a1.elements[i].title != b.elements[i].title;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(CorpusGeneratorTest, DeterministicPerIndex) {
+  CorpusOptions options;
+  options.seed = 5;
+  CorpusGenerator g1(options);
+  CorpusGenerator g2(options);
+  for (size_t i : {0u, 17u, 999u}) {
+    const auto a = g1.Generate(i);
+    const auto b = g2.Generate(i);
+    EXPECT_EQ(a.facts.domain, b.facts.domain);
+    EXPECT_EQ(a.thick.text, b.thick.text);
+    EXPECT_EQ(a.template_id, b.template_id);
+  }
+  // Different indices give different domains.
+  EXPECT_NE(g1.Generate(1).facts.domain, g1.Generate(2).facts.domain);
+}
+
+TEST(CorpusGeneratorTest, AllRecordsValidate) {
+  CorpusOptions options;
+  options.size = 300;
+  options.seed = 11;
+  CorpusGenerator generator(options);
+  for (size_t i = 0; i < 300; ++i) {
+    const auto domain = generator.Generate(i);
+    domain.thick.Validate();
+    EXPECT_FALSE(domain.facts.registrar_name.empty());
+    EXPECT_GE(domain.facts.created_year, options.min_year);
+    EXPECT_LE(domain.facts.created_year, options.max_year);
+  }
+}
+
+TEST(CorpusGeneratorTest, DistributionsRoughlyMatchPaper) {
+  CorpusOptions options;
+  options.size = 6000;
+  options.seed = 13;
+  CorpusGenerator generator(options);
+  size_t godaddy = 0;
+  size_t privacy = 0;
+  size_t us = 0;
+  size_t non_privacy = 0;
+  for (size_t i = 0; i < options.size; ++i) {
+    const auto d = generator.Generate(i);
+    if (d.facts.registrar_name.find("GoDaddy") != std::string::npos) {
+      ++godaddy;
+    }
+    if (d.facts.privacy_protected) {
+      ++privacy;
+    } else {
+      ++non_privacy;
+      if (d.facts.registrant.country_code == "US") ++us;
+    }
+  }
+  const double n = static_cast<double>(options.size);
+  EXPECT_NEAR(godaddy / n, 0.34, 0.05);        // Table 5
+  EXPECT_NEAR(privacy / n, 0.17, 0.06);        // ~20% overall (§6.3)
+  EXPECT_NEAR(us / static_cast<double>(non_privacy), 0.48, 0.08);  // Table 3
+}
+
+TEST(CorpusGeneratorTest, DriftFractionControlsVersions) {
+  CorpusOptions no_drift;
+  no_drift.size = 200;
+  no_drift.drift_fraction = 0.0;
+  CorpusGenerator g0(no_drift);
+  for (size_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(g0.Generate(i).template_id.find("/drift"), std::string::npos);
+  }
+  CorpusOptions all_drift = no_drift;
+  all_drift.drift_fraction = 1.0;
+  CorpusGenerator g1(all_drift);
+  size_t drifted = 0;
+  for (size_t i = 0; i < 200; ++i) {
+    if (g1.Generate(i).template_id.find("/drift") != std::string::npos) {
+      ++drifted;
+    }
+  }
+  EXPECT_EQ(drifted, 200u);
+}
+
+TEST(NewTldTest, AllTwelveTldsRender) {
+  CorpusGenerator generator;
+  for (const std::string& tld : TemplateLibrary::NewTldNames()) {
+    const auto domain = generator.GenerateNewTld(tld, 1);
+    domain.thick.Validate();
+    EXPECT_EQ(domain.facts.tld, tld);
+    EXPECT_NE(domain.facts.domain.find("." + tld), std::string::npos);
+  }
+  EXPECT_EQ(TemplateLibrary::NewTldNames().size(), 12u);
+}
+
+TEST(CorpusGeneratorTest, ThinRecordRefersToThickServer) {
+  CorpusOptions options;
+  options.size = 40;
+  options.seed = 23;
+  CorpusGenerator generator(options);
+  for (size_t i = 0; i < 40; ++i) {
+    const auto domain = generator.Generate(i);
+    const auto thin = generator.RenderThin(domain.facts);
+    thin.Validate();
+    EXPECT_NE(thin.text.find("Whois Server: " + domain.facts.whois_server),
+              std::string::npos)
+        << domain.facts.domain;
+    EXPECT_NE(
+        thin.text.find(util::ToUpper(domain.facts.domain)),
+        std::string::npos);
+  }
+}
+
+TEST(CorpusGeneratorTest, FallbackCountryWeightsNormalized) {
+  CorpusGenerator generator;
+  for (int year : {1990, 1998, 2006, 2014}) {
+    const auto& weights = generator.FallbackCountryWeights(year);
+    ASSERT_EQ(weights.size(), Countries().size());
+    double total = 0.0;
+    for (double w : weights) {
+      EXPECT_GE(w, 0.0);
+      total += w;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9) << "year " << year;
+  }
+}
+
+TEST(CorpusGeneratorTest, YearWeightsGrowTowardPresent) {
+  CorpusGenerator generator;
+  const auto weights = generator.YearWeights();
+  ASSERT_GT(weights.size(), 10u);
+  // 2014 is the biggest cohort (Figure 4a), and growth is monotone over
+  // the last decade.
+  for (size_t i = weights.size() - 10; i + 1 < weights.size(); ++i) {
+    EXPECT_LT(weights[i], weights[i + 1]);
+  }
+}
+
+TEST(CorpusNoiseTest, NoiseKeepsLabelsAligned) {
+  CorpusOptions options;
+  options.size = 200;
+  options.seed = 31;
+  options.noise_fraction = 1.0;  // every record perturbed
+  CorpusGenerator generator(options);
+  for (size_t i = 0; i < 200; ++i) {
+    // Validate() inside the generator (and here) guards the invariant that
+    // noise edits never desynchronize labels from labeled lines.
+    generator.Generate(i).thick.Validate();
+  }
+}
+
+TEST(CorpusNoiseTest, NoiseChangesRecords) {
+  CorpusOptions clean_options;
+  clean_options.size = 50;
+  clean_options.seed = 32;
+  CorpusOptions noisy_options = clean_options;
+  noisy_options.noise_fraction = 1.0;
+  CorpusGenerator clean(clean_options);
+  CorpusGenerator noisy(noisy_options);
+  size_t changed = 0;
+  for (size_t i = 0; i < 50; ++i) {
+    if (clean.Generate(i).thick.text != noisy.Generate(i).thick.text) {
+      ++changed;
+    }
+  }
+  EXPECT_GT(changed, 40u);  // nearly every record perturbed
+}
+
+TEST(CorpusNoiseTest, NoiseIsDeterministic) {
+  CorpusOptions options;
+  options.size = 20;
+  options.seed = 33;
+  options.noise_fraction = 0.5;
+  CorpusGenerator g1(options);
+  CorpusGenerator g2(options);
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(g1.Generate(i).thick.text, g2.Generate(i).thick.text);
+  }
+}
+
+TEST(PrivacyTest, RateRisesOverTime) {
+  EXPECT_EQ(PrivacyRateForYear(1999), 0.0);
+  EXPECT_GT(PrivacyRateForYear(2014), 0.2);
+  EXPECT_GT(PrivacyRateForYear(2014), PrivacyRateForYear(2008));
+}
+
+TEST(PrivacyTest, ServiceSharesSumNearOne) {
+  double total = 0.0;
+  for (const auto& s : PrivacyServices()) total += s.share;
+  EXPECT_NEAR(total, 1.0, 0.05);
+}
+
+TEST(PrivacyTest, HouseServicePreferred) {
+  util::Rng rng(21);
+  size_t house = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (SamplePrivacyService(rng, "Domains By Proxy") == "Domains By Proxy") {
+      ++house;
+    }
+  }
+  EXPECT_GT(house, 800u);
+}
+
+}  // namespace
+}  // namespace whoiscrf::datagen

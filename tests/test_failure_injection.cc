@@ -1,0 +1,148 @@
+// Failure injection: the crawler's retry and validity logic against flaky
+// servers and dropped connections (the real-world noise behind the paper's
+// 7.5% failure rate, §4.1).
+#include <gtest/gtest.h>
+
+#include "datagen/corpus_gen.h"
+#include "net/crawler.h"
+#include "net/flaky.h"
+#include "net/simulation.h"
+
+namespace whoiscrf::net {
+namespace {
+
+class FailureInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    datagen::CorpusOptions corpus_options;
+    corpus_options.size = 80;
+    corpus_options.seed = 2024;
+    generator_ = std::make_unique<datagen::CorpusGenerator>(corpus_options);
+    SimulationOptions options;
+    options.num_domains = 80;
+    options.missing_fraction = 0.0;
+    // Generous limits so only injected faults cause failures.
+    options.registry_policy = {.max_queries = 100000,
+                               .window_ms = 60'000,
+                               .penalty_ms = 1000};
+    options.registrar_policy = options.registry_policy;
+    sim_ = BuildSimulatedInternet(*generator_, options);
+  }
+
+  std::unique_ptr<datagen::CorpusGenerator> generator_;
+  SimulatedInternet sim_;
+  SimClock clock_;
+};
+
+TEST_F(FailureInjectionTest, FlakyHandlerInjectsFaults) {
+  auto store = std::make_shared<RecordStore>();
+  store->Add("x.com", "Domain Name: X.COM\nRegistrar: R\n");
+  ServerBehavior behavior;
+  behavior.rate_limit = {.max_queries = 100000, .window_ms = 1000,
+                         .penalty_ms = 1};
+  FaultPolicy policy;
+  policy.drop_probability = 1.0;
+  FlakyHandler always_drop(
+      std::make_shared<RegistrarHandler>(store, behavior), policy, 1);
+  EXPECT_TRUE(always_drop.HandleQuery("x.com", "ip", 0).empty());
+  EXPECT_EQ(always_drop.faults_injected(), 1u);
+
+  FaultPolicy garble;
+  garble.garble_probability = 1.0;
+  FlakyHandler always_garble(
+      std::make_shared<RegistrarHandler>(store, behavior), garble, 2);
+  const std::string body = always_garble.HandleQuery("x.com", "ip", 0);
+  EXPECT_NE(body.find("ERROR"), std::string::npos);
+}
+
+TEST_F(FailureInjectionTest, CrawlerRetriesThroughConnectionFailures) {
+  // 30% of connections fail outright; three retry attempts across source
+  // rotation should still fetch the vast majority of domains.
+  FlakyNetwork flaky(*sim_.network, 0.30, 7);
+  CrawlerOptions options;
+  options.registry_server = sim_.registry_server;
+  Crawler crawler(flaky, clock_, options);
+  const auto results = crawler.CrawlAll(sim_.zone_domains);
+
+  size_t ok = 0;
+  for (const auto& result : results) {
+    if (result.status == CrawlResult::Status::kOk) ++ok;
+  }
+  EXPECT_GT(flaky.connections_failed(), 0u);
+  EXPECT_GE(ok, sim_.zone_domains.size() * 85 / 100)
+      << "crawler should absorb a 30% connection-failure rate";
+}
+
+TEST_F(FailureInjectionTest, TotalConnectionFailureFailsEveryDomain) {
+  FlakyNetwork dead(*sim_.network, 1.0, 9);
+  CrawlerOptions options;
+  options.registry_server = sim_.registry_server;
+  Crawler crawler(dead, clock_, options);
+  const auto result = crawler.CrawlDomain(sim_.zone_domains.front());
+  EXPECT_EQ(result.status, CrawlResult::Status::kFailed);
+}
+
+TEST_F(FailureInjectionTest, GarbledRegistrarBodiesYieldThinOnly) {
+  // The registrar tier garbles every response; the registry is clean. The
+  // crawler should classify those domains as thin-only, not crash or hang.
+  class SelectiveGarble final : public Network {
+   public:
+    SelectiveGarble(Network& inner, std::string registry)
+        : inner_(inner), registry_(std::move(registry)) {}
+    QueryResult Query(const std::string& server, std::string_view query,
+                      const std::string& source_ip, uint64_t now_ms) override {
+      QueryResult result = inner_.Query(server, query, source_ip, now_ms);
+      if (server != registry_ && result.connected) {
+        result.body = "%% rate limit exceeded, try again later\n";
+      }
+      return result;
+    }
+    Network& inner_;
+    std::string registry_;
+  };
+
+  SelectiveGarble garbled(*sim_.network, sim_.registry_server);
+  CrawlerOptions options;
+  options.registry_server = sim_.registry_server;
+  Crawler crawler(garbled, clock_, options);
+  const auto result = crawler.CrawlDomain(sim_.zone_domains.front());
+  EXPECT_EQ(result.status, CrawlResult::Status::kThinOnly);
+  EXPECT_FALSE(result.thin.empty());
+  EXPECT_TRUE(result.thick.empty());
+}
+
+TEST_F(FailureInjectionTest, DropsAreRecoveredByServerSideRetry) {
+  // Probabilistic empty responses look identical to rate limiting from the
+  // client's perspective; the crawler rotates sources and backs off, and
+  // because drops are probabilistic it eventually succeeds.
+  class ProbabilisticDrop final : public Network {
+   public:
+    ProbabilisticDrop(Network& inner, double p, uint64_t seed)
+        : inner_(inner), p_(p), rng_(seed) {}
+    QueryResult Query(const std::string& server, std::string_view query,
+                      const std::string& source_ip, uint64_t now_ms) override {
+      QueryResult result = inner_.Query(server, query, source_ip, now_ms);
+      if (result.connected && rng_.Bernoulli(p_)) result.body.clear();
+      return result;
+    }
+    Network& inner_;
+    double p_;
+    util::Rng rng_;
+  };
+
+  ProbabilisticDrop dropping(*sim_.network, 0.4, 11);
+  CrawlerOptions options;
+  options.registry_server = sim_.registry_server;
+  options.source_cooldown_ms = 1000;  // short back-off keeps the test fast
+  Crawler crawler(dropping, clock_, options);
+  const auto results = crawler.CrawlAll(sim_.zone_domains);
+  size_t ok = 0;
+  for (const auto& result : results) {
+    if (result.status == CrawlResult::Status::kOk) ++ok;
+  }
+  EXPECT_GE(ok, sim_.zone_domains.size() * 6 / 10);
+  EXPECT_GT(crawler.stats().limit_hits, 0u);
+}
+
+}  // namespace
+}  // namespace whoiscrf::net

@@ -1,0 +1,97 @@
+// JSON writer and WHOIS record export (plain + RDAP-flavored).
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+#include "whois/json_export.h"
+
+namespace whoiscrf {
+namespace {
+
+TEST(JsonWriterTest, ObjectWithFields) {
+  util::JsonWriter json;
+  json.BeginObject()
+      .Field("a", "x")
+      .Key("b").Int(42)
+      .Key("c").Bool(true)
+      .Key("d").Null()
+      .EndObject();
+  EXPECT_EQ(json.str(), R"({"a":"x","b":42,"c":true,"d":null})");
+}
+
+TEST(JsonWriterTest, NestedStructures) {
+  util::JsonWriter json;
+  json.BeginObject()
+      .Key("list").BeginArray().Int(1).Int(2).EndArray()
+      .Key("obj").BeginObject().Field("k", "v").EndObject()
+      .EndObject();
+  EXPECT_EQ(json.str(), R"({"list":[1,2],"obj":{"k":"v"}})");
+}
+
+TEST(JsonWriterTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(util::JsonWriter::Escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(util::JsonWriter::Escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(util::JsonWriter::Escape("plain"), "plain");
+}
+
+TEST(JsonWriterTest, DoubleFormatting) {
+  util::JsonWriter json;
+  json.BeginArray().Double(0.5).Double(1e308 * 10).EndArray();
+  EXPECT_EQ(json.str(), "[0.5,null]");  // inf -> null
+}
+
+TEST(JsonWriterTest, FieldIfNonEmptySkipsEmpty) {
+  util::JsonWriter json;
+  json.BeginObject()
+      .FieldIfNonEmpty("keep", "value")
+      .FieldIfNonEmpty("drop", "")
+      .EndObject();
+  EXPECT_EQ(json.str(), R"({"keep":"value"})");
+}
+
+whois::ParsedWhois SampleParse() {
+  whois::ParsedWhois parsed;
+  parsed.domain_name = "EXAMPLE.COM";
+  parsed.registrar = "GoDaddy.com, LLC";
+  parsed.created = "2010-04-01";
+  parsed.expires = "2016-04-01";
+  parsed.name_servers = {"ns1.example.com", "ns2.example.com"};
+  parsed.statuses = {"clientTransferProhibited"};
+  parsed.registrant.name = "John \"JJ\" Smith";
+  parsed.registrant.country = "US";
+  parsed.registrant.street = {"1 Main St"};
+  parsed.log_prob = -0.01;
+  return parsed;
+}
+
+TEST(JsonExportTest, PlainJsonContainsAllFields) {
+  const std::string json = whois::ToJson(SampleParse());
+  EXPECT_NE(json.find(R"("domainName":"EXAMPLE.COM")"), std::string::npos);
+  EXPECT_NE(json.find(R"("registrar":"GoDaddy.com, LLC")"), std::string::npos);
+  EXPECT_NE(json.find(R"("nameServers":["ns1.example.com","ns2.example.com"])"),
+            std::string::npos);
+  EXPECT_NE(json.find(R"("name":"John \"JJ\" Smith")"), std::string::npos);
+  EXPECT_NE(json.find(R"("parseLogProb")"), std::string::npos);
+}
+
+TEST(JsonExportTest, PlainJsonOmitsEmptyFields) {
+  whois::ParsedWhois parsed;
+  parsed.domain_name = "X.COM";
+  const std::string json = whois::ToJson(parsed);
+  EXPECT_EQ(json.find("registrar"), std::string::npos);
+  EXPECT_EQ(json.find("registrant"), std::string::npos);
+}
+
+TEST(JsonExportTest, RdapShape) {
+  const std::string json = whois::ToRdapJson(SampleParse());
+  EXPECT_NE(json.find(R"("objectClassName":"domain")"), std::string::npos);
+  EXPECT_NE(json.find(R"("eventAction":"registration")"), std::string::npos);
+  EXPECT_NE(json.find(R"("eventAction":"expiration")"), std::string::npos);
+  // No "last changed" event: updated is empty.
+  EXPECT_EQ(json.find("last changed"), std::string::npos);
+  EXPECT_NE(json.find(R"("roles":["registrar"])"), std::string::npos);
+  EXPECT_NE(json.find(R"("roles":["registrant"])"), std::string::npos);
+  EXPECT_NE(json.find(R"("ldhName":"ns1.example.com")"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace whoiscrf

@@ -1,0 +1,218 @@
+// Network substrate: rate limiter semantics, in-proc crawling with thin ->
+// thick referral resolution, rate-limit inference, retry behavior, and the
+// real TCP loopback path.
+#include <gtest/gtest.h>
+
+#include "datagen/corpus_gen.h"
+#include "net/crawler.h"
+#include "net/simulation.h"
+#include "net/tcp.h"
+#include "net/whois_server.h"
+
+namespace whoiscrf::net {
+namespace {
+
+TEST(RateLimiterTest, AllowsUnderLimit) {
+  RateLimiter limiter({.max_queries = 3, .window_ms = 1000, .penalty_ms = 5000});
+  EXPECT_TRUE(limiter.Allow("a", 0));
+  EXPECT_TRUE(limiter.Allow("a", 10));
+  EXPECT_TRUE(limiter.Allow("a", 20));
+  EXPECT_FALSE(limiter.Allow("a", 30));  // 4th within the window
+  EXPECT_TRUE(limiter.InPenalty("a", 31));
+}
+
+TEST(RateLimiterTest, WindowSlides) {
+  RateLimiter limiter({.max_queries = 2, .window_ms = 100, .penalty_ms = 50});
+  EXPECT_TRUE(limiter.Allow("a", 0));
+  EXPECT_TRUE(limiter.Allow("a", 10));
+  // After the window passes, the budget refreshes.
+  EXPECT_TRUE(limiter.Allow("a", 200));
+}
+
+TEST(RateLimiterTest, PenaltyExtendsWhileHammering) {
+  RateLimiter limiter({.max_queries = 1, .window_ms = 100, .penalty_ms = 100});
+  EXPECT_TRUE(limiter.Allow("a", 0));
+  EXPECT_FALSE(limiter.Allow("a", 10));   // trip: penalty until 110
+  EXPECT_FALSE(limiter.Allow("a", 100));  // still in penalty; extends to 200
+  EXPECT_FALSE(limiter.Allow("a", 150));  // extended again
+  EXPECT_TRUE(limiter.Allow("a", 500));   // finally backed off
+}
+
+TEST(RateLimiterTest, SourcesAreIndependent) {
+  RateLimiter limiter({.max_queries = 1, .window_ms = 1000, .penalty_ms = 1000});
+  EXPECT_TRUE(limiter.Allow("a", 0));
+  EXPECT_TRUE(limiter.Allow("b", 0));
+  EXPECT_FALSE(limiter.Allow("a", 1));
+  EXPECT_FALSE(limiter.Allow("b", 1));
+}
+
+TEST(RecordStoreTest, CaseInsensitiveLookup) {
+  RecordStore store;
+  store.Add("Example.COM", "body");
+  EXPECT_NE(store.Find("example.com"), nullptr);
+  EXPECT_EQ(store.Find("other.com"), nullptr);
+}
+
+TEST(RegistrarHandlerTest, ServesAndLimits) {
+  auto store = std::make_shared<RecordStore>();
+  store->Add("x.com", "RECORD BODY\n");
+  ServerBehavior behavior;
+  behavior.rate_limit = {.max_queries = 2, .window_ms = 1000,
+                         .penalty_ms = 1000};
+  behavior.limit_banner = "%% limit exceeded\n";
+  RegistrarHandler handler(store, behavior);
+  EXPECT_EQ(handler.HandleQuery("x.com", "ip1", 0), "RECORD BODY\n");
+  EXPECT_EQ(handler.HandleQuery("nope.com", "ip1", 1), "No match for domain.\n");
+  EXPECT_EQ(handler.HandleQuery("x.com", "ip1", 2), "%% limit exceeded\n");
+  EXPECT_EQ(handler.queries_served(), 2u);
+  EXPECT_EQ(handler.queries_limited(), 1u);
+}
+
+TEST(CrawlerTest, ExtractWhoisServer) {
+  EXPECT_EQ(Crawler::ExtractWhoisServer(
+                "   Domain Name: X.COM\n   Whois Server: whois.godaddy.com\n"),
+            "whois.godaddy.com");
+  EXPECT_EQ(Crawler::ExtractWhoisServer("no referral here\n"), "");
+}
+
+class SimulatedCrawlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    datagen::CorpusOptions corpus_options;
+    corpus_options.size = 60;
+    corpus_options.seed = 77;
+    generator_ = std::make_unique<datagen::CorpusGenerator>(corpus_options);
+    SimulationOptions options;
+    options.num_domains = 60;
+    options.missing_fraction = 0.1;
+    sim_ = BuildSimulatedInternet(*generator_, options);
+  }
+  std::unique_ptr<datagen::CorpusGenerator> generator_;
+  SimulatedInternet sim_;
+  SimClock clock_;
+};
+
+TEST_F(SimulatedCrawlTest, TwoStepCrawlRetrievesThickRecords) {
+  CrawlerOptions options;
+  options.registry_server = sim_.registry_server;
+  Crawler crawler(*sim_.network, clock_, options);
+  const auto results = crawler.CrawlAll(sim_.zone_domains);
+
+  size_t ok = 0;
+  size_t no_match = 0;
+  for (const auto& result : results) {
+    if (result.status == CrawlResult::Status::kOk) {
+      ++ok;
+      auto it = sim_.truth.find(result.domain);
+      ASSERT_NE(it, sim_.truth.end());
+      EXPECT_EQ(result.thick, it->second.thick.text);
+      EXPECT_EQ(result.registrar_server, it->second.facts.whois_server);
+    } else if (result.status == CrawlResult::Status::kNoMatch) {
+      ++no_match;
+    }
+  }
+  EXPECT_EQ(ok, sim_.truth.size());
+  EXPECT_EQ(no_match, sim_.missing_domains.size());
+}
+
+TEST_F(SimulatedCrawlTest, InfersRateLimitsAndStillFinishes) {
+  // Tight limits force the crawler to trip, infer, and back off.
+  SimulationOptions tight;
+  tight.num_domains = 60;
+  tight.missing_fraction = 0.0;
+  tight.registry_policy = {.max_queries = 5, .window_ms = 60'000,
+                           .penalty_ms = 60'000};
+  tight.registrar_policy = {.max_queries = 3, .window_ms = 60'000,
+                            .penalty_ms = 60'000};
+  auto sim = BuildSimulatedInternet(*generator_, tight);
+
+  CrawlerOptions options;
+  options.registry_server = sim.registry_server;
+  Crawler crawler(*sim.network, clock_, options);
+  const auto results = crawler.CrawlAll(sim.zone_domains);
+
+  size_t ok = 0;
+  for (const auto& r : results) {
+    if (r.status == CrawlResult::Status::kOk) ++ok;
+  }
+  // Despite aggressive limits the crawler eventually gets everything by
+  // waiting out windows (virtual time makes this instant in the test).
+  EXPECT_GT(ok, sim.zone_domains.size() * 8 / 10);
+  EXPECT_GT(crawler.stats().limit_hits, 0u);
+  EXPECT_FALSE(crawler.stats().inferred_limits.empty());
+  // Inferred limits are in the right ballpark (not wildly above truth).
+  for (const auto& [server, limit] : crawler.stats().inferred_limits) {
+    EXPECT_LE(limit, 40u) << server;
+  }
+}
+
+TEST_F(SimulatedCrawlTest, UnreachableRegistryFailsGracefully) {
+  CrawlerOptions options;
+  options.registry_server = "whois.nonexistent.example";
+  Crawler crawler(*sim_.network, clock_, options);
+  const auto result = crawler.CrawlDomain("whatever.com");
+  EXPECT_EQ(result.status, CrawlResult::Status::kFailed);
+  EXPECT_EQ(crawler.stats().failed, 1u);
+}
+
+TEST(TcpTransportTest, RealSocketsRoundTrip) {
+  auto store = std::make_shared<RecordStore>();
+  store->Add("tcp-test.com", "Domain Name: TCP-TEST.COM\nRegistrar: T\n");
+  ServerBehavior behavior;
+  behavior.rate_limit = {.max_queries = 100, .window_ms = 1000,
+                         .penalty_ms = 1000};
+  TcpWhoisServer server(std::make_shared<RegistrarHandler>(store, behavior));
+  ASSERT_GT(server.port(), 0);
+
+  TcpNetwork network;
+  network.Register("whois.tcp-test.example", server.port());
+  const QueryResult ok =
+      network.Query("whois.tcp-test.example", "tcp-test.com", "127.0.0.1", 0);
+  EXPECT_TRUE(ok.connected);
+  EXPECT_NE(ok.body.find("TCP-TEST.COM"), std::string::npos);
+
+  const QueryResult miss =
+      network.Query("whois.tcp-test.example", "missing.com", "127.0.0.1", 0);
+  EXPECT_TRUE(miss.connected);
+  EXPECT_NE(miss.body.find("No match"), std::string::npos);
+
+  const QueryResult unknown_host =
+      network.Query("whois.unknown.example", "x.com", "127.0.0.1", 0);
+  EXPECT_FALSE(unknown_host.connected);
+  server.Stop();
+}
+
+TEST(TcpTransportTest, CrawlerWorksOverTcp) {
+  // End-to-end: thin registry + one registrar, both on real loopback
+  // sockets, crawled with the same Crawler used in simulation.
+  auto registry_store = std::make_shared<RecordStore>();
+  auto registrar_store = std::make_shared<RecordStore>();
+  registrar_store->Add("end2end.com",
+                       "Domain Name: END2END.COM\nRegistrant Name: E2E\n");
+  ServerBehavior behavior;
+  behavior.rate_limit = {.max_queries = 100, .window_ms = 1000,
+                         .penalty_ms = 1000};
+  TcpWhoisServer registrar_server(
+      std::make_shared<RegistrarHandler>(registrar_store, behavior));
+
+  registry_store->Add(
+      "end2end.com",
+      "   Domain Name: END2END.COM\n   Whois Server: whois.registrar.test\n");
+  TcpWhoisServer registry_server(
+      std::make_shared<RegistryHandler>(registry_store, behavior));
+
+  TcpNetwork network;
+  network.Register("whois.registry.test", registry_server.port());
+  network.Register("whois.registrar.test", registrar_server.port());
+
+  RealClock clock;
+  CrawlerOptions options;
+  options.registry_server = "whois.registry.test";
+  Crawler crawler(network, clock, options);
+  const CrawlResult result = crawler.CrawlDomain("end2end.com");
+  EXPECT_EQ(result.status, CrawlResult::Status::kOk);
+  EXPECT_NE(result.thick.find("Registrant Name: E2E"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace whoiscrf::net

@@ -1,0 +1,166 @@
+// Survey layer: privacy detection, aggregations, and row normalization.
+#include <gtest/gtest.h>
+
+#include "survey/aggregates.h"
+#include "survey/build.h"
+#include "survey/database.h"
+
+namespace whoiscrf::survey {
+namespace {
+
+SurveyDatabase MakeDb() {
+  SurveyDatabase db;
+  auto add = [&](std::string registrar, int year, std::string cc,
+                 bool privacy, std::string service, bool dbl,
+                 std::string org = "") {
+    DomainRow row;
+    row.domain = "d" + std::to_string(db.size()) + ".com";
+    row.registrar = std::move(registrar);
+    row.created_year = year;
+    row.country_code = std::move(cc);
+    row.privacy_protected = privacy;
+    row.privacy_service = std::move(service);
+    row.on_dbl = dbl;
+    row.registrant_org = std::move(org);
+    db.Add(std::move(row));
+  };
+  add("GoDaddy", 2014, "US", false, "", false);
+  add("GoDaddy", 2014, "US", false, "", true);
+  add("GoDaddy", 2014, "US", false, "", false);
+  add("GoDaddy", 2013, "CN", false, "", false);
+  add("eNom", 2014, "GB", false, "", true);
+  add("eNom", 2014, "", false, "", false);          // unknown country
+  add("HiChina", 2014, "CN", false, "", false, "Amazon");
+  add("GoDaddy", 2014, "", true, "Domains By Proxy", false);
+  add("eNom", 2012, "", true, "WhoisGuard", false);
+  return db;
+}
+
+TEST(AggregatesTest, TopCountriesExcludesPrivacy) {
+  const auto result = TopCountries(MakeDb(), 2);
+  EXPECT_EQ(result.total, 7u);  // two privacy rows excluded
+  ASSERT_GE(result.top.size(), 2u);
+  EXPECT_EQ(result.top[0].key, "US");
+  EXPECT_EQ(result.top[0].count, 3u);
+  EXPECT_EQ(result.top[1].key, "CN");
+  EXPECT_EQ(result.unknown_count, 1u);
+  EXPECT_NEAR(result.top[0].share, 3.0 / 7.0, 1e-12);
+}
+
+TEST(AggregatesTest, TopCountriesYearFilter) {
+  const auto result = TopCountries(MakeDb(), 3, 2014);
+  EXPECT_EQ(result.total, 6u);
+  EXPECT_EQ(result.top[0].key, "US");
+}
+
+TEST(AggregatesTest, TopRegistrars) {
+  const auto result = TopRegistrars(MakeDb(), 1);
+  EXPECT_EQ(result.top[0].key, "GoDaddy");
+  EXPECT_EQ(result.top[0].count, 5u);
+  EXPECT_EQ(result.other_count, 4u);  // eNom + HiChina rows beyond top-1
+}
+
+TEST(AggregatesTest, PrivacyAggregates) {
+  const auto registrars = TopPrivacyRegistrars(MakeDb(), 5);
+  EXPECT_EQ(registrars.total, 2u);
+  const auto services = TopPrivacyServices(MakeDb(), 5);
+  ASSERT_EQ(services.top.size(), 2u);
+  EXPECT_EQ(services.top[0].count, 1u);
+}
+
+TEST(AggregatesTest, DblTables) {
+  const auto countries = DblTopCountries(MakeDb(), 5, 2014);
+  EXPECT_EQ(countries.total, 2u);
+  const auto registrars = DblTopRegistrars(MakeDb(), 5, 2014);
+  EXPECT_EQ(registrars.total, 2u);
+}
+
+TEST(AggregatesTest, BrandCounts) {
+  const auto brands = BrandCounts(MakeDb(), {"Amazon", "Google"});
+  ASSERT_EQ(brands.size(), 2u);
+  EXPECT_EQ(brands[0].key, "Amazon");
+  EXPECT_EQ(brands[0].count, 1u);
+  EXPECT_EQ(brands[1].count, 0u);
+}
+
+TEST(AggregatesTest, CreationHistogram) {
+  const auto hist = CreationHistogram(MakeDb());
+  EXPECT_EQ(hist.at(2014), 7u);
+  EXPECT_EQ(hist.at(2013), 1u);
+  EXPECT_EQ(hist.at(2012), 1u);
+}
+
+TEST(AggregatesTest, CountryProportionsByYear) {
+  const auto comps = CountryProportionsByYear(MakeDb(), {"US", "CN"}, 2012,
+                                              2014);
+  ASSERT_EQ(comps.size(), 3u);
+  const auto& y2014 = comps.back();
+  EXPECT_EQ(y2014.year, 2014);
+  EXPECT_EQ(y2014.total, 7u);
+  EXPECT_NEAR(y2014.shares.at("US"), 3.0 / 7.0, 1e-12);
+  EXPECT_NEAR(y2014.shares.at("Private"), 1.0 / 7.0, 1e-12);
+  EXPECT_NEAR(y2014.shares.at("Unknown"), 1.0 / 7.0, 1e-12);
+  // GB is not in the tracked list, so its row lands in "Other".
+  EXPECT_NEAR(y2014.shares.at("Other"), 1.0 / 7.0, 1e-12);
+}
+
+TEST(AggregatesTest, RegistrarCountryBreakdown) {
+  const auto result = RegistrarCountryBreakdown(MakeDb(), "GoDaddy", 2);
+  EXPECT_EQ(result.total, 4u);  // privacy row excluded
+  EXPECT_EQ(result.top[0].key, "US");
+}
+
+TEST(PrivacyDetectionTest, CanonicalServices) {
+  std::string service;
+  EXPECT_TRUE(DetectPrivacyService("Domains By Proxy, LLC", "", &service));
+  EXPECT_EQ(service, "Domains By Proxy");
+  EXPECT_TRUE(DetectPrivacyService("", "WhoisGuard Protected", &service));
+  EXPECT_EQ(service, "WhoisGuard");
+}
+
+TEST(PrivacyDetectionTest, GenericKeywords) {
+  std::string service;
+  EXPECT_TRUE(
+      DetectPrivacyService("Private Registration", "Some Org", &service));
+  EXPECT_TRUE(DetectPrivacyService("Identity Shield Inc", "", &service));
+  EXPECT_FALSE(DetectPrivacyService("John Smith", "Acme LLC", &service));
+}
+
+TEST(RowFromParseTest, NormalizesFields) {
+  datagen::RegistrarTable registrars;
+  whois::ParsedWhois parsed;
+  parsed.registrar = "GoDaddy.com, LLC";
+  parsed.created = "02-Mar-2011";
+  parsed.registrant.name = "John Smith";
+  parsed.registrant.country = "United States";
+  const DomainRow row = RowFromParse("x.com", parsed, registrars, true);
+  EXPECT_EQ(row.registrar, "GoDaddy");
+  EXPECT_EQ(row.created_year, 2011);
+  EXPECT_EQ(row.country_code, "US");
+  EXPECT_TRUE(row.on_dbl);
+  EXPECT_FALSE(row.privacy_protected);
+}
+
+TEST(RowFromParseTest, PrivacyHidesCountry) {
+  datagen::RegistrarTable registrars;
+  whois::ParsedWhois parsed;
+  parsed.registrar = "eNom, Inc.";
+  parsed.created = "2014-01-01";
+  parsed.registrant.name = "Whois Privacy Protect";
+  parsed.registrant.country = "US";
+  const DomainRow row = RowFromParse("x.com", parsed, registrars, false);
+  EXPECT_TRUE(row.privacy_protected);
+  EXPECT_EQ(row.privacy_service, "Whois Privacy Protect");
+  EXPECT_TRUE(row.country_code.empty());
+}
+
+TEST(RowFromParseTest, CountryCodeAlreadyNormalized) {
+  datagen::RegistrarTable registrars;
+  whois::ParsedWhois parsed;
+  parsed.registrant.country = "cn";
+  const DomainRow row = RowFromParse("x.com", parsed, registrars, false);
+  EXPECT_EQ(row.country_code, "CN");
+}
+
+}  // namespace
+}  // namespace whoiscrf::survey

@@ -1,0 +1,342 @@
+// Text layer: line chunking with layout markers, separator detection,
+// word classes, attribute extraction, and vocabulary trimming.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "text/line_splitter.h"
+#include "text/separator.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+#include "text/word_classes.h"
+
+namespace whoiscrf::text {
+namespace {
+
+TEST(LineSplitterTest, SkipsBlankAndSymbolOnlyLines) {
+  const auto lines = SplitRecord("Domain Name: X.COM\n\n---\nRegistrar: R\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].text, "Domain Name: X.COM");
+  EXPECT_EQ(lines[1].text, "Registrar: R");
+  EXPECT_FALSE(lines[0].preceded_by_blank);
+  EXPECT_TRUE(lines[1].preceded_by_blank);  // blank + rule line above
+}
+
+TEST(LineSplitterTest, TracksIndentShifts) {
+  const auto lines = SplitRecord("Registrant:\n   John Smith\n   1 Main St\nCreated: 2014\n");
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_FALSE(lines[0].shift_left);
+  EXPECT_TRUE(lines[1].shift_right);
+  EXPECT_FALSE(lines[2].shift_right);
+  EXPECT_TRUE(lines[3].shift_left);
+}
+
+TEST(LineSplitterTest, MarksSymbolLines) {
+  const auto lines = SplitRecord("% terms of use\n# notice\nDomain: x\n");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_TRUE(lines[0].starts_with_symbol);
+  EXPECT_TRUE(lines[1].starts_with_symbol);
+  EXPECT_FALSE(lines[2].starts_with_symbol);
+}
+
+TEST(LineSplitterTest, HandlesCrlfAndCr) {
+  const auto lines = SplitRecord("a: 1\r\nb: 2\rc: 3\n");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0].text, "a: 1");
+  EXPECT_EQ(lines[1].text, "b: 2");
+  EXPECT_EQ(lines[2].text, "c: 3");
+}
+
+TEST(LineSplitterTest, EmptyRecord) {
+  EXPECT_TRUE(SplitRecord("").empty());
+  EXPECT_TRUE(SplitRecord("\n\n\n").empty());
+}
+
+TEST(SeparatorTest, FindsColon) {
+  const auto sep = FindSeparator("Registrant Name: John Smith");
+  ASSERT_TRUE(sep.has_value());
+  EXPECT_EQ(sep->kind, SeparatorKind::kColon);
+  EXPECT_EQ(sep->title, "Registrant Name");
+  EXPECT_EQ(sep->value, "John Smith");
+}
+
+TEST(SeparatorTest, EmptyValueHeader) {
+  const auto sep = FindSeparator("Registrant:");
+  ASSERT_TRUE(sep.has_value());
+  EXPECT_EQ(sep->title, "Registrant");
+  EXPECT_TRUE(sep->value.empty());
+}
+
+TEST(SeparatorTest, IgnoresUrlSchemeColon) {
+  const auto sep = FindSeparator("Referral URL: http://www.godaddy.com");
+  ASSERT_TRUE(sep.has_value());
+  EXPECT_EQ(sep->title, "Referral URL");
+  EXPECT_EQ(sep->value, "http://www.godaddy.com");
+  // A line that is only a URL has no separator.
+  EXPECT_FALSE(FindSeparator("http://www.example.com").has_value());
+}
+
+TEST(SeparatorTest, DottedLeaders) {
+  const auto sep = FindSeparator("Registrant Name......: John");
+  ASSERT_TRUE(sep.has_value());
+  EXPECT_EQ(sep->kind, SeparatorKind::kEllipsis);
+  EXPECT_EQ(sep->title, "Registrant Name");
+  EXPECT_EQ(sep->value, "John");
+}
+
+TEST(SeparatorTest, TabSeparator) {
+  const auto sep = FindSeparator("Name\tJohn Smith");
+  ASSERT_TRUE(sep.has_value());
+  EXPECT_EQ(sep->kind, SeparatorKind::kTab);
+  EXPECT_EQ(sep->title, "Name");
+  EXPECT_EQ(sep->value, "John Smith");
+}
+
+TEST(SeparatorTest, EqualsSeparator) {
+  const auto sep = FindSeparator("OWNER_NAME=Jane Roe");
+  ASSERT_TRUE(sep.has_value());
+  EXPECT_EQ(sep->kind, SeparatorKind::kEquals);
+  EXPECT_EQ(sep->title, "OWNER_NAME");
+  EXPECT_EQ(sep->value, "Jane Roe");
+}
+
+TEST(SeparatorTest, BracketSeparator) {
+  const auto sep = FindSeparator("[Domain Name] EXAMPLE.COM");
+  ASSERT_TRUE(sep.has_value());
+  EXPECT_EQ(sep->kind, SeparatorKind::kBracket);
+  EXPECT_EQ(sep->title, "Domain Name");
+  EXPECT_EQ(sep->value, "EXAMPLE.COM");
+  // A bare bracketed header has an empty value.
+  const auto header = FindSeparator("[Registrant]");
+  ASSERT_TRUE(header.has_value());
+  EXPECT_EQ(header->title, "Registrant");
+  EXPECT_TRUE(header->value.empty());
+}
+
+TEST(SeparatorTest, WideSpaceSeparator) {
+  const auto sep = FindSeparator("Created    2014-01-01");
+  ASSERT_TRUE(sep.has_value());
+  EXPECT_EQ(sep->kind, SeparatorKind::kWideSpace);
+  EXPECT_EQ(sep->title, "Created");
+  EXPECT_EQ(sep->value, "2014-01-01");
+}
+
+TEST(SeparatorTest, NoSeparator) {
+  EXPECT_FALSE(FindSeparator("John Smith").has_value());
+  EXPECT_FALSE(FindSeparator("").has_value());
+}
+
+TEST(WordClassTest, FiveDigit) {
+  EXPECT_TRUE(IsFiveDigit("92093"));
+  EXPECT_FALSE(IsFiveDigit("9209"));
+  EXPECT_FALSE(IsFiveDigit("920933"));
+  EXPECT_FALSE(IsFiveDigit("9209a"));
+}
+
+TEST(WordClassTest, Email) {
+  EXPECT_TRUE(IsEmail("john.smith@gmail.com"));
+  EXPECT_TRUE(IsEmail("a@b.co"));
+  EXPECT_FALSE(IsEmail("john.smith"));
+  EXPECT_FALSE(IsEmail("@gmail.com"));
+  EXPECT_FALSE(IsEmail("a@b@c.com"));
+}
+
+TEST(WordClassTest, PhoneLike) {
+  EXPECT_TRUE(IsPhoneLike("+1.8585551212"));
+  EXPECT_TRUE(IsPhoneLike("858-555-1212"));
+  EXPECT_TRUE(IsPhoneLike("(858) 555-1212"));
+  EXPECT_FALSE(IsPhoneLike("12345"));        // too few digits
+  EXPECT_FALSE(IsPhoneLike("hello"));
+}
+
+TEST(WordClassTest, DateLike) {
+  EXPECT_TRUE(IsDateLike("2014-03-02"));
+  EXPECT_TRUE(IsDateLike("02-Mar-2014"));
+  EXPECT_TRUE(IsDateLike("2014/03/02"));
+  EXPECT_FALSE(IsDateLike("03-02"));
+  EXPECT_FALSE(IsDateLike("2014-03-02-04"));
+}
+
+TEST(WordClassTest, DomainAndUrl) {
+  EXPECT_TRUE(IsDomainName("example.com"));
+  EXPECT_TRUE(IsDomainName("ns1.example.co.uk"));
+  EXPECT_FALSE(IsDomainName("example"));
+  EXPECT_FALSE(IsDomainName("192.168.0.1"));  // IP, not domain
+  EXPECT_TRUE(IsUrl("http://example.com"));
+  EXPECT_TRUE(IsUrl("www.example.com"));
+  EXPECT_FALSE(IsUrl("example.com"));
+}
+
+TEST(WordClassTest, Ipv4) {
+  EXPECT_TRUE(IsIpv4("192.168.0.1"));
+  EXPECT_FALSE(IsIpv4("192.168.0.256"));
+  EXPECT_FALSE(IsIpv4("192.168.0"));
+}
+
+TEST(WordClassTest, YearAndCountryCode) {
+  EXPECT_TRUE(IsYear("2014"));
+  EXPECT_TRUE(IsYear("1998"));
+  EXPECT_FALSE(IsYear("3014"));
+  EXPECT_TRUE(IsCountryCode("US"));
+  EXPECT_FALSE(IsCountryCode("us"));
+  EXPECT_FALSE(IsCountryCode("USA"));
+}
+
+TEST(WordClassTest, Punycode) {
+  EXPECT_TRUE(IsPunycode("xn--bcher-kva"));
+  EXPECT_TRUE(IsPunycode("shop.xn--p1ai"));
+  EXPECT_FALSE(IsPunycode("example.com"));
+}
+
+TEST(TokenizerTest, TitleValueSuffixes) {
+  Tokenizer tokenizer;
+  Line line;
+  line.text = "Registrant Name: John Smith";
+  const LineAttributes attrs = tokenizer.Extract(line);
+  auto has = [&](const std::string& a) {
+    return std::find(attrs.attrs.begin(), attrs.attrs.end(), a) !=
+           attrs.attrs.end();
+  };
+  EXPECT_TRUE(has("registrant@T"));
+  EXPECT_TRUE(has("name@T"));
+  EXPECT_TRUE(has("john@V"));
+  EXPECT_TRUE(has("smith@V"));
+  EXPECT_TRUE(has("SEP"));
+  EXPECT_FALSE(has("john@T"));
+}
+
+TEST(TokenizerTest, NoSeparatorMeansAllValue) {
+  Tokenizer tokenizer;
+  Line line;
+  line.text = "John Smith";
+  const LineAttributes attrs = tokenizer.Extract(line);
+  for (const auto& a : attrs.attrs) {
+    if (a.find("@T") != std::string::npos) {
+      FAIL() << "unexpected title attr " << a;
+    }
+  }
+}
+
+TEST(TokenizerTest, LayoutMarkers) {
+  Tokenizer tokenizer;
+  Line line;
+  line.text = "   John Smith";
+  line.preceded_by_blank = true;
+  line.shift_right = true;
+  const LineAttributes attrs = tokenizer.Extract(line);
+  auto has = [&](const std::string& a) {
+    return std::find(attrs.attrs.begin(), attrs.attrs.end(), a) !=
+           attrs.attrs.end();
+  };
+  EXPECT_TRUE(has("NL"));
+  EXPECT_TRUE(has("SHR"));
+}
+
+TEST(TokenizerTest, MarkersAreTransitionEligible) {
+  Tokenizer tokenizer;
+  Line line;
+  line.text = "Created: 2014-01-01";
+  line.preceded_by_blank = true;
+  const LineAttributes attrs = tokenizer.Extract(line);
+  for (size_t i = 0; i < attrs.attrs.size(); ++i) {
+    if (attrs.attrs[i] == "NL") {
+      EXPECT_TRUE(attrs.transition[i]);
+    }
+    if (attrs.attrs[i] == "created@T") {
+      EXPECT_TRUE(attrs.transition[i]);
+    }
+    if (attrs.attrs[i] == "2014-01-01@V") {
+      EXPECT_FALSE(attrs.transition[i]);
+    }
+  }
+}
+
+TEST(TokenizerTest, WordClassAttributes) {
+  Tokenizer tokenizer;
+  Line line;
+  line.text = "Registrant Postal Code: 92093";
+  const LineAttributes attrs = tokenizer.Extract(line);
+  auto has = [&](const std::string& a) {
+    return std::find(attrs.attrs.begin(), attrs.attrs.end(), a) !=
+           attrs.attrs.end();
+  };
+  EXPECT_TRUE(has("CLS_5DIGIT@V"));  // the eq. 7 example feature
+  EXPECT_TRUE(has("CLS_NUMBER@V"));
+}
+
+TEST(TokenizerTest, NormalizeWordStripsEdgePunctAndLowercases) {
+  Tokenizer tokenizer;
+  EXPECT_EQ(tokenizer.NormalizeWord("(John,"), "john");
+  EXPECT_EQ(tokenizer.NormalizeWord("SMITH."), "smith");
+  EXPECT_EQ(tokenizer.NormalizeWord("..."), "");
+  EXPECT_EQ(tokenizer.NormalizeWord("john@example.com"), "john@example.com");
+}
+
+TEST(TokenizerTest, TruncatesVeryLongWords) {
+  TokenizerOptions options;
+  options.max_word_length = 8;
+  Tokenizer tokenizer(options);
+  EXPECT_EQ(tokenizer.NormalizeWord("abcdefghijklmnop"), "abcdefgh");
+}
+
+TEST(TokenizerTest, DeduplicatesAttributes) {
+  Tokenizer tokenizer;
+  Line line;
+  line.text = "test test test";
+  const LineAttributes attrs = tokenizer.Extract(line);
+  int count = 0;
+  for (const auto& a : attrs.attrs) {
+    if (a == "test@V") ++count;
+  }
+  EXPECT_EQ(count, 1);
+}
+
+TEST(VocabularyTest, FreezeAssignsStableIds) {
+  Vocabulary vocab;
+  vocab.Count("b");
+  vocab.Count("a");
+  vocab.Count("b");
+  vocab.Freeze(1);
+  EXPECT_EQ(vocab.size(), 2u);
+  EXPECT_EQ(vocab.Lookup("b"), 0);  // first-seen order
+  EXPECT_EQ(vocab.Lookup("a"), 1);
+  EXPECT_EQ(vocab.Lookup("c"), Vocabulary::kNotFound);
+  EXPECT_EQ(vocab.Name(0), "b");
+}
+
+TEST(VocabularyTest, MinCountTrims) {
+  Vocabulary vocab;
+  for (int i = 0; i < 5; ++i) vocab.Count("common");
+  vocab.Count("rare");
+  vocab.Freeze(2);
+  EXPECT_EQ(vocab.size(), 1u);
+  EXPECT_EQ(vocab.Lookup("rare"), Vocabulary::kNotFound);
+  EXPECT_EQ(vocab.counted_size(), 2u);
+}
+
+TEST(VocabularyTest, LifecycleEnforced) {
+  Vocabulary vocab;
+  vocab.Count("x");
+  EXPECT_THROW(vocab.Lookup("x"), std::logic_error);
+  vocab.Freeze(1);
+  EXPECT_THROW(vocab.Count("y"), std::logic_error);
+  EXPECT_THROW(vocab.Freeze(1), std::logic_error);
+}
+
+TEST(VocabularyTest, SerializationRoundTrip) {
+  Vocabulary vocab;
+  vocab.Count("alpha");
+  vocab.Count("beta");
+  vocab.Count("gamma");
+  vocab.Freeze(1);
+  std::stringstream ss;
+  vocab.Save(ss);
+  const Vocabulary loaded = Vocabulary::Load(ss);
+  EXPECT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded.Lookup("alpha"), vocab.Lookup("alpha"));
+  EXPECT_EQ(loaded.Lookup("gamma"), vocab.Lookup("gamma"));
+  EXPECT_EQ(loaded.Lookup("delta"), Vocabulary::kNotFound);
+}
+
+}  // namespace
+}  // namespace whoiscrf::text
