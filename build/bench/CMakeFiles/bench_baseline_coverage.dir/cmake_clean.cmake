@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_coverage.dir/bench_baseline_coverage.cc.o"
+  "CMakeFiles/bench_baseline_coverage.dir/bench_baseline_coverage.cc.o.d"
+  "bench_baseline_coverage"
+  "bench_baseline_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_decoding_comparison.dir/bench_decoding_comparison.cc.o"
+  "CMakeFiles/bench_decoding_comparison.dir/bench_decoding_comparison.cc.o.d"
+  "bench_decoding_comparison"
+  "bench_decoding_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_decoding_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_transitions.dir/bench_fig1_transitions.cc.o"
+  "CMakeFiles/bench_fig1_transitions.dir/bench_fig1_transitions.cc.o.d"
+  "bench_fig1_transitions"
+  "bench_fig1_transitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_transitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

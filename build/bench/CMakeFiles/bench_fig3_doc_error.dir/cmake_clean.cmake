@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_doc_error.dir/bench_fig3_doc_error.cc.o"
+  "CMakeFiles/bench_fig3_doc_error.dir/bench_fig3_doc_error.cc.o.d"
+  "bench_fig3_doc_error"
+  "bench_fig3_doc_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_doc_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_creation_dates.dir/bench_fig4_creation_dates.cc.o"
+  "CMakeFiles/bench_fig4_creation_dates.dir/bench_fig4_creation_dates.cc.o.d"
+  "bench_fig4_creation_dates"
+  "bench_fig4_creation_dates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_creation_dates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_registrar_countries.dir/bench_fig5_registrar_countries.cc.o"
+  "CMakeFiles/bench_fig5_registrar_countries.dir/bench_fig5_registrar_countries.cc.o.d"
+  "bench_fig5_registrar_countries"
+  "bench_fig5_registrar_countries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_registrar_countries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_level2_fields.dir/bench_level2_fields.cc.o"
+  "CMakeFiles/bench_level2_fields.dir/bench_level2_fields.cc.o.d"
+  "bench_level2_fields"
+  "bench_level2_fields.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_level2_fields.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_maintainability.dir/bench_maintainability.cc.o"
+  "CMakeFiles/bench_maintainability.dir/bench_maintainability.cc.o.d"
+  "bench_maintainability"
+  "bench_maintainability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_maintainability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_crf.dir/bench_micro_crf.cc.o"
+  "CMakeFiles/bench_micro_crf.dir/bench_micro_crf.cc.o.d"
+  "bench_micro_crf"
+  "bench_micro_crf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_crf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optimizer_comparison.dir/bench_optimizer_comparison.cc.o"
+  "CMakeFiles/bench_optimizer_comparison.dir/bench_optimizer_comparison.cc.o.d"
+  "bench_optimizer_comparison"
+  "bench_optimizer_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimizer_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

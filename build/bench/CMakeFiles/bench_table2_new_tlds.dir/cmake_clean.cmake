@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_new_tlds.dir/bench_table2_new_tlds.cc.o"
+  "CMakeFiles/bench_table2_new_tlds.dir/bench_table2_new_tlds.cc.o.d"
+  "bench_table2_new_tlds"
+  "bench_table2_new_tlds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_new_tlds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

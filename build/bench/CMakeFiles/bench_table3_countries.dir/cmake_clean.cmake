@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_countries.dir/bench_table3_countries.cc.o"
+  "CMakeFiles/bench_table3_countries.dir/bench_table3_countries.cc.o.d"
+  "bench_table3_countries"
+  "bench_table3_countries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_countries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

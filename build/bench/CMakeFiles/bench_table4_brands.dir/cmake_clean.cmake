@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_brands.dir/bench_table4_brands.cc.o"
+  "CMakeFiles/bench_table4_brands.dir/bench_table4_brands.cc.o.d"
+  "bench_table4_brands"
+  "bench_table4_brands.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_brands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_registrars.dir/bench_table5_registrars.cc.o"
+  "CMakeFiles/bench_table5_registrars.dir/bench_table5_registrars.cc.o.d"
+  "bench_table5_registrars"
+  "bench_table5_registrars.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_registrars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_privacy_services.dir/bench_table7_privacy_services.cc.o"
+  "CMakeFiles/bench_table7_privacy_services.dir/bench_table7_privacy_services.cc.o.d"
+  "bench_table7_privacy_services"
+  "bench_table7_privacy_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_privacy_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

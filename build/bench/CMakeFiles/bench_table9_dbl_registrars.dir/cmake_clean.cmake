@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_dbl_registrars.dir/bench_table9_dbl_registrars.cc.o"
+  "CMakeFiles/bench_table9_dbl_registrars.dir/bench_table9_dbl_registrars.cc.o.d"
+  "bench_table9_dbl_registrars"
+  "bench_table9_dbl_registrars.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_dbl_registrars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table9_dbl_registrars.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libwhoiscrf_bench_common.a"
+)

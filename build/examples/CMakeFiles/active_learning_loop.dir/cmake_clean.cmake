@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/active_learning_loop.dir/active_learning_loop.cpp.o"
+  "CMakeFiles/active_learning_loop.dir/active_learning_loop.cpp.o.d"
+  "active_learning_loop"
+  "active_learning_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/active_learning_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

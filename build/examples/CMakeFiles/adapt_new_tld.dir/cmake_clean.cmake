@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_new_tld.dir/adapt_new_tld.cpp.o"
+  "CMakeFiles/adapt_new_tld.dir/adapt_new_tld.cpp.o.d"
+  "adapt_new_tld"
+  "adapt_new_tld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_new_tld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

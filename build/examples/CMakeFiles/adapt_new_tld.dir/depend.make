@@ -1,0 +1,2 @@
+# Empty dependencies file for adapt_new_tld.
+# This may be replaced when dependencies are built.

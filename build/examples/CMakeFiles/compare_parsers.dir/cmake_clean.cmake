@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_parsers.dir/compare_parsers.cpp.o"
+  "CMakeFiles/compare_parsers.dir/compare_parsers.cpp.o.d"
+  "compare_parsers"
+  "compare_parsers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_parsers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

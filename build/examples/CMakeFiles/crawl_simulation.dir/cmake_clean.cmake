@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crawl_simulation.dir/crawl_simulation.cpp.o"
+  "CMakeFiles/crawl_simulation.dir/crawl_simulation.cpp.o.d"
+  "crawl_simulation"
+  "crawl_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crawl_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/survey_com.dir/survey_com.cpp.o"
+  "CMakeFiles/survey_com.dir/survey_com.cpp.o.d"
+  "survey_com"
+  "survey_com.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/survey_com.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

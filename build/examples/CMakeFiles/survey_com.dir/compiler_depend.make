@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for survey_com.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whoiscrf_baselines.dir/rule_parser.cc.o"
+  "CMakeFiles/whoiscrf_baselines.dir/rule_parser.cc.o.d"
+  "CMakeFiles/whoiscrf_baselines.dir/template_parser.cc.o"
+  "CMakeFiles/whoiscrf_baselines.dir/template_parser.cc.o.d"
+  "libwhoiscrf_baselines.a"
+  "libwhoiscrf_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whoiscrf_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

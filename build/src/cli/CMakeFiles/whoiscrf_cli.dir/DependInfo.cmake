@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cli/cli_main.cc" "src/cli/CMakeFiles/whoiscrf_cli.dir/cli_main.cc.o" "gcc" "src/cli/CMakeFiles/whoiscrf_cli.dir/cli_main.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cli/CMakeFiles/whoiscrf_cli_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/whoiscrf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/whoiscrf_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/whois/CMakeFiles/whoiscrf_whois.dir/DependInfo.cmake"
+  "/root/repo/build/src/crf/CMakeFiles/whoiscrf_crf.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/whoiscrf_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/whoiscrf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

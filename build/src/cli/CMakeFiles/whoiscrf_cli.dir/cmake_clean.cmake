@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whoiscrf_cli.dir/cli_main.cc.o"
+  "CMakeFiles/whoiscrf_cli.dir/cli_main.cc.o.d"
+  "whoiscrf"
+  "whoiscrf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whoiscrf_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

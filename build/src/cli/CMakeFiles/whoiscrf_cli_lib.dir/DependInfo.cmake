@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cli/cmd_adapt.cc" "src/cli/CMakeFiles/whoiscrf_cli_lib.dir/cmd_adapt.cc.o" "gcc" "src/cli/CMakeFiles/whoiscrf_cli_lib.dir/cmd_adapt.cc.o.d"
+  "/root/repo/src/cli/cmd_crawl.cc" "src/cli/CMakeFiles/whoiscrf_cli_lib.dir/cmd_crawl.cc.o" "gcc" "src/cli/CMakeFiles/whoiscrf_cli_lib.dir/cmd_crawl.cc.o.d"
+  "/root/repo/src/cli/cmd_eval.cc" "src/cli/CMakeFiles/whoiscrf_cli_lib.dir/cmd_eval.cc.o" "gcc" "src/cli/CMakeFiles/whoiscrf_cli_lib.dir/cmd_eval.cc.o.d"
+  "/root/repo/src/cli/cmd_gen.cc" "src/cli/CMakeFiles/whoiscrf_cli_lib.dir/cmd_gen.cc.o" "gcc" "src/cli/CMakeFiles/whoiscrf_cli_lib.dir/cmd_gen.cc.o.d"
+  "/root/repo/src/cli/cmd_parse.cc" "src/cli/CMakeFiles/whoiscrf_cli_lib.dir/cmd_parse.cc.o" "gcc" "src/cli/CMakeFiles/whoiscrf_cli_lib.dir/cmd_parse.cc.o.d"
+  "/root/repo/src/cli/cmd_select.cc" "src/cli/CMakeFiles/whoiscrf_cli_lib.dir/cmd_select.cc.o" "gcc" "src/cli/CMakeFiles/whoiscrf_cli_lib.dir/cmd_select.cc.o.d"
+  "/root/repo/src/cli/cmd_train.cc" "src/cli/CMakeFiles/whoiscrf_cli_lib.dir/cmd_train.cc.o" "gcc" "src/cli/CMakeFiles/whoiscrf_cli_lib.dir/cmd_train.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/whoiscrf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/whoiscrf_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/whois/CMakeFiles/whoiscrf_whois.dir/DependInfo.cmake"
+  "/root/repo/build/src/crf/CMakeFiles/whoiscrf_crf.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/whoiscrf_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/whoiscrf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whoiscrf_cli_lib.dir/cmd_adapt.cc.o"
+  "CMakeFiles/whoiscrf_cli_lib.dir/cmd_adapt.cc.o.d"
+  "CMakeFiles/whoiscrf_cli_lib.dir/cmd_crawl.cc.o"
+  "CMakeFiles/whoiscrf_cli_lib.dir/cmd_crawl.cc.o.d"
+  "CMakeFiles/whoiscrf_cli_lib.dir/cmd_eval.cc.o"
+  "CMakeFiles/whoiscrf_cli_lib.dir/cmd_eval.cc.o.d"
+  "CMakeFiles/whoiscrf_cli_lib.dir/cmd_gen.cc.o"
+  "CMakeFiles/whoiscrf_cli_lib.dir/cmd_gen.cc.o.d"
+  "CMakeFiles/whoiscrf_cli_lib.dir/cmd_parse.cc.o"
+  "CMakeFiles/whoiscrf_cli_lib.dir/cmd_parse.cc.o.d"
+  "CMakeFiles/whoiscrf_cli_lib.dir/cmd_select.cc.o"
+  "CMakeFiles/whoiscrf_cli_lib.dir/cmd_select.cc.o.d"
+  "CMakeFiles/whoiscrf_cli_lib.dir/cmd_train.cc.o"
+  "CMakeFiles/whoiscrf_cli_lib.dir/cmd_train.cc.o.d"
+  "libwhoiscrf_cli_lib.a"
+  "libwhoiscrf_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whoiscrf_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwhoiscrf_cli_lib.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crf/evaluation.cc" "src/crf/CMakeFiles/whoiscrf_crf.dir/evaluation.cc.o" "gcc" "src/crf/CMakeFiles/whoiscrf_crf.dir/evaluation.cc.o.d"
+  "/root/repo/src/crf/inference.cc" "src/crf/CMakeFiles/whoiscrf_crf.dir/inference.cc.o" "gcc" "src/crf/CMakeFiles/whoiscrf_crf.dir/inference.cc.o.d"
+  "/root/repo/src/crf/lbfgs.cc" "src/crf/CMakeFiles/whoiscrf_crf.dir/lbfgs.cc.o" "gcc" "src/crf/CMakeFiles/whoiscrf_crf.dir/lbfgs.cc.o.d"
+  "/root/repo/src/crf/likelihood.cc" "src/crf/CMakeFiles/whoiscrf_crf.dir/likelihood.cc.o" "gcc" "src/crf/CMakeFiles/whoiscrf_crf.dir/likelihood.cc.o.d"
+  "/root/repo/src/crf/model.cc" "src/crf/CMakeFiles/whoiscrf_crf.dir/model.cc.o" "gcc" "src/crf/CMakeFiles/whoiscrf_crf.dir/model.cc.o.d"
+  "/root/repo/src/crf/sgd.cc" "src/crf/CMakeFiles/whoiscrf_crf.dir/sgd.cc.o" "gcc" "src/crf/CMakeFiles/whoiscrf_crf.dir/sgd.cc.o.d"
+  "/root/repo/src/crf/tagger.cc" "src/crf/CMakeFiles/whoiscrf_crf.dir/tagger.cc.o" "gcc" "src/crf/CMakeFiles/whoiscrf_crf.dir/tagger.cc.o.d"
+  "/root/repo/src/crf/trainer.cc" "src/crf/CMakeFiles/whoiscrf_crf.dir/trainer.cc.o" "gcc" "src/crf/CMakeFiles/whoiscrf_crf.dir/trainer.cc.o.d"
+  "/root/repo/src/crf/viterbi.cc" "src/crf/CMakeFiles/whoiscrf_crf.dir/viterbi.cc.o" "gcc" "src/crf/CMakeFiles/whoiscrf_crf.dir/viterbi.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/text/CMakeFiles/whoiscrf_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/whoiscrf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whoiscrf_crf.dir/evaluation.cc.o"
+  "CMakeFiles/whoiscrf_crf.dir/evaluation.cc.o.d"
+  "CMakeFiles/whoiscrf_crf.dir/inference.cc.o"
+  "CMakeFiles/whoiscrf_crf.dir/inference.cc.o.d"
+  "CMakeFiles/whoiscrf_crf.dir/lbfgs.cc.o"
+  "CMakeFiles/whoiscrf_crf.dir/lbfgs.cc.o.d"
+  "CMakeFiles/whoiscrf_crf.dir/likelihood.cc.o"
+  "CMakeFiles/whoiscrf_crf.dir/likelihood.cc.o.d"
+  "CMakeFiles/whoiscrf_crf.dir/model.cc.o"
+  "CMakeFiles/whoiscrf_crf.dir/model.cc.o.d"
+  "CMakeFiles/whoiscrf_crf.dir/sgd.cc.o"
+  "CMakeFiles/whoiscrf_crf.dir/sgd.cc.o.d"
+  "CMakeFiles/whoiscrf_crf.dir/tagger.cc.o"
+  "CMakeFiles/whoiscrf_crf.dir/tagger.cc.o.d"
+  "CMakeFiles/whoiscrf_crf.dir/trainer.cc.o"
+  "CMakeFiles/whoiscrf_crf.dir/trainer.cc.o.d"
+  "CMakeFiles/whoiscrf_crf.dir/viterbi.cc.o"
+  "CMakeFiles/whoiscrf_crf.dir/viterbi.cc.o.d"
+  "libwhoiscrf_crf.a"
+  "libwhoiscrf_crf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whoiscrf_crf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/corpus_gen.cc" "src/datagen/CMakeFiles/whoiscrf_datagen.dir/corpus_gen.cc.o" "gcc" "src/datagen/CMakeFiles/whoiscrf_datagen.dir/corpus_gen.cc.o.d"
+  "/root/repo/src/datagen/country_data.cc" "src/datagen/CMakeFiles/whoiscrf_datagen.dir/country_data.cc.o" "gcc" "src/datagen/CMakeFiles/whoiscrf_datagen.dir/country_data.cc.o.d"
+  "/root/repo/src/datagen/entity_gen.cc" "src/datagen/CMakeFiles/whoiscrf_datagen.dir/entity_gen.cc.o" "gcc" "src/datagen/CMakeFiles/whoiscrf_datagen.dir/entity_gen.cc.o.d"
+  "/root/repo/src/datagen/new_tld_templates.cc" "src/datagen/CMakeFiles/whoiscrf_datagen.dir/new_tld_templates.cc.o" "gcc" "src/datagen/CMakeFiles/whoiscrf_datagen.dir/new_tld_templates.cc.o.d"
+  "/root/repo/src/datagen/pools.cc" "src/datagen/CMakeFiles/whoiscrf_datagen.dir/pools.cc.o" "gcc" "src/datagen/CMakeFiles/whoiscrf_datagen.dir/pools.cc.o.d"
+  "/root/repo/src/datagen/privacy.cc" "src/datagen/CMakeFiles/whoiscrf_datagen.dir/privacy.cc.o" "gcc" "src/datagen/CMakeFiles/whoiscrf_datagen.dir/privacy.cc.o.d"
+  "/root/repo/src/datagen/registrar_profiles.cc" "src/datagen/CMakeFiles/whoiscrf_datagen.dir/registrar_profiles.cc.o" "gcc" "src/datagen/CMakeFiles/whoiscrf_datagen.dir/registrar_profiles.cc.o.d"
+  "/root/repo/src/datagen/template_engine.cc" "src/datagen/CMakeFiles/whoiscrf_datagen.dir/template_engine.cc.o" "gcc" "src/datagen/CMakeFiles/whoiscrf_datagen.dir/template_engine.cc.o.d"
+  "/root/repo/src/datagen/template_library.cc" "src/datagen/CMakeFiles/whoiscrf_datagen.dir/template_library.cc.o" "gcc" "src/datagen/CMakeFiles/whoiscrf_datagen.dir/template_library.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/whois/CMakeFiles/whoiscrf_whois.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/whoiscrf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crf/CMakeFiles/whoiscrf_crf.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/whoiscrf_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

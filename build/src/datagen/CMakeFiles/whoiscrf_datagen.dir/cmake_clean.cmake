@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whoiscrf_datagen.dir/corpus_gen.cc.o"
+  "CMakeFiles/whoiscrf_datagen.dir/corpus_gen.cc.o.d"
+  "CMakeFiles/whoiscrf_datagen.dir/country_data.cc.o"
+  "CMakeFiles/whoiscrf_datagen.dir/country_data.cc.o.d"
+  "CMakeFiles/whoiscrf_datagen.dir/entity_gen.cc.o"
+  "CMakeFiles/whoiscrf_datagen.dir/entity_gen.cc.o.d"
+  "CMakeFiles/whoiscrf_datagen.dir/new_tld_templates.cc.o"
+  "CMakeFiles/whoiscrf_datagen.dir/new_tld_templates.cc.o.d"
+  "CMakeFiles/whoiscrf_datagen.dir/pools.cc.o"
+  "CMakeFiles/whoiscrf_datagen.dir/pools.cc.o.d"
+  "CMakeFiles/whoiscrf_datagen.dir/privacy.cc.o"
+  "CMakeFiles/whoiscrf_datagen.dir/privacy.cc.o.d"
+  "CMakeFiles/whoiscrf_datagen.dir/registrar_profiles.cc.o"
+  "CMakeFiles/whoiscrf_datagen.dir/registrar_profiles.cc.o.d"
+  "CMakeFiles/whoiscrf_datagen.dir/template_engine.cc.o"
+  "CMakeFiles/whoiscrf_datagen.dir/template_engine.cc.o.d"
+  "CMakeFiles/whoiscrf_datagen.dir/template_library.cc.o"
+  "CMakeFiles/whoiscrf_datagen.dir/template_library.cc.o.d"
+  "libwhoiscrf_datagen.a"
+  "libwhoiscrf_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whoiscrf_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/crawler.cc" "src/net/CMakeFiles/whoiscrf_net.dir/crawler.cc.o" "gcc" "src/net/CMakeFiles/whoiscrf_net.dir/crawler.cc.o.d"
+  "/root/repo/src/net/flaky.cc" "src/net/CMakeFiles/whoiscrf_net.dir/flaky.cc.o" "gcc" "src/net/CMakeFiles/whoiscrf_net.dir/flaky.cc.o.d"
+  "/root/repo/src/net/rate_limiter.cc" "src/net/CMakeFiles/whoiscrf_net.dir/rate_limiter.cc.o" "gcc" "src/net/CMakeFiles/whoiscrf_net.dir/rate_limiter.cc.o.d"
+  "/root/repo/src/net/simulation.cc" "src/net/CMakeFiles/whoiscrf_net.dir/simulation.cc.o" "gcc" "src/net/CMakeFiles/whoiscrf_net.dir/simulation.cc.o.d"
+  "/root/repo/src/net/tcp.cc" "src/net/CMakeFiles/whoiscrf_net.dir/tcp.cc.o" "gcc" "src/net/CMakeFiles/whoiscrf_net.dir/tcp.cc.o.d"
+  "/root/repo/src/net/transport.cc" "src/net/CMakeFiles/whoiscrf_net.dir/transport.cc.o" "gcc" "src/net/CMakeFiles/whoiscrf_net.dir/transport.cc.o.d"
+  "/root/repo/src/net/whois_server.cc" "src/net/CMakeFiles/whoiscrf_net.dir/whois_server.cc.o" "gcc" "src/net/CMakeFiles/whoiscrf_net.dir/whois_server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datagen/CMakeFiles/whoiscrf_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/whoiscrf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/whois/CMakeFiles/whoiscrf_whois.dir/DependInfo.cmake"
+  "/root/repo/build/src/crf/CMakeFiles/whoiscrf_crf.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/whoiscrf_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whoiscrf_net.dir/crawler.cc.o"
+  "CMakeFiles/whoiscrf_net.dir/crawler.cc.o.d"
+  "CMakeFiles/whoiscrf_net.dir/flaky.cc.o"
+  "CMakeFiles/whoiscrf_net.dir/flaky.cc.o.d"
+  "CMakeFiles/whoiscrf_net.dir/rate_limiter.cc.o"
+  "CMakeFiles/whoiscrf_net.dir/rate_limiter.cc.o.d"
+  "CMakeFiles/whoiscrf_net.dir/simulation.cc.o"
+  "CMakeFiles/whoiscrf_net.dir/simulation.cc.o.d"
+  "CMakeFiles/whoiscrf_net.dir/tcp.cc.o"
+  "CMakeFiles/whoiscrf_net.dir/tcp.cc.o.d"
+  "CMakeFiles/whoiscrf_net.dir/transport.cc.o"
+  "CMakeFiles/whoiscrf_net.dir/transport.cc.o.d"
+  "CMakeFiles/whoiscrf_net.dir/whois_server.cc.o"
+  "CMakeFiles/whoiscrf_net.dir/whois_server.cc.o.d"
+  "libwhoiscrf_net.a"
+  "libwhoiscrf_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whoiscrf_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whoiscrf_survey.dir/aggregates.cc.o"
+  "CMakeFiles/whoiscrf_survey.dir/aggregates.cc.o.d"
+  "CMakeFiles/whoiscrf_survey.dir/build.cc.o"
+  "CMakeFiles/whoiscrf_survey.dir/build.cc.o.d"
+  "CMakeFiles/whoiscrf_survey.dir/database.cc.o"
+  "CMakeFiles/whoiscrf_survey.dir/database.cc.o.d"
+  "libwhoiscrf_survey.a"
+  "libwhoiscrf_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whoiscrf_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/line_splitter.cc" "src/text/CMakeFiles/whoiscrf_text.dir/line_splitter.cc.o" "gcc" "src/text/CMakeFiles/whoiscrf_text.dir/line_splitter.cc.o.d"
+  "/root/repo/src/text/separator.cc" "src/text/CMakeFiles/whoiscrf_text.dir/separator.cc.o" "gcc" "src/text/CMakeFiles/whoiscrf_text.dir/separator.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/text/CMakeFiles/whoiscrf_text.dir/tokenizer.cc.o" "gcc" "src/text/CMakeFiles/whoiscrf_text.dir/tokenizer.cc.o.d"
+  "/root/repo/src/text/vocabulary.cc" "src/text/CMakeFiles/whoiscrf_text.dir/vocabulary.cc.o" "gcc" "src/text/CMakeFiles/whoiscrf_text.dir/vocabulary.cc.o.d"
+  "/root/repo/src/text/word_classes.cc" "src/text/CMakeFiles/whoiscrf_text.dir/word_classes.cc.o" "gcc" "src/text/CMakeFiles/whoiscrf_text.dir/word_classes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/whoiscrf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whoiscrf_text.dir/line_splitter.cc.o"
+  "CMakeFiles/whoiscrf_text.dir/line_splitter.cc.o.d"
+  "CMakeFiles/whoiscrf_text.dir/separator.cc.o"
+  "CMakeFiles/whoiscrf_text.dir/separator.cc.o.d"
+  "CMakeFiles/whoiscrf_text.dir/tokenizer.cc.o"
+  "CMakeFiles/whoiscrf_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/whoiscrf_text.dir/vocabulary.cc.o"
+  "CMakeFiles/whoiscrf_text.dir/vocabulary.cc.o.d"
+  "CMakeFiles/whoiscrf_text.dir/word_classes.cc.o"
+  "CMakeFiles/whoiscrf_text.dir/word_classes.cc.o.d"
+  "libwhoiscrf_text.a"
+  "libwhoiscrf_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whoiscrf_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for whoiscrf_text.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/env.cc" "src/util/CMakeFiles/whoiscrf_util.dir/env.cc.o" "gcc" "src/util/CMakeFiles/whoiscrf_util.dir/env.cc.o.d"
+  "/root/repo/src/util/flags.cc" "src/util/CMakeFiles/whoiscrf_util.dir/flags.cc.o" "gcc" "src/util/CMakeFiles/whoiscrf_util.dir/flags.cc.o.d"
+  "/root/repo/src/util/json.cc" "src/util/CMakeFiles/whoiscrf_util.dir/json.cc.o" "gcc" "src/util/CMakeFiles/whoiscrf_util.dir/json.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/util/CMakeFiles/whoiscrf_util.dir/logging.cc.o" "gcc" "src/util/CMakeFiles/whoiscrf_util.dir/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/util/CMakeFiles/whoiscrf_util.dir/random.cc.o" "gcc" "src/util/CMakeFiles/whoiscrf_util.dir/random.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/util/CMakeFiles/whoiscrf_util.dir/string_util.cc.o" "gcc" "src/util/CMakeFiles/whoiscrf_util.dir/string_util.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/util/CMakeFiles/whoiscrf_util.dir/table.cc.o" "gcc" "src/util/CMakeFiles/whoiscrf_util.dir/table.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/util/CMakeFiles/whoiscrf_util.dir/thread_pool.cc.o" "gcc" "src/util/CMakeFiles/whoiscrf_util.dir/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whoiscrf_util.dir/env.cc.o"
+  "CMakeFiles/whoiscrf_util.dir/env.cc.o.d"
+  "CMakeFiles/whoiscrf_util.dir/flags.cc.o"
+  "CMakeFiles/whoiscrf_util.dir/flags.cc.o.d"
+  "CMakeFiles/whoiscrf_util.dir/json.cc.o"
+  "CMakeFiles/whoiscrf_util.dir/json.cc.o.d"
+  "CMakeFiles/whoiscrf_util.dir/logging.cc.o"
+  "CMakeFiles/whoiscrf_util.dir/logging.cc.o.d"
+  "CMakeFiles/whoiscrf_util.dir/random.cc.o"
+  "CMakeFiles/whoiscrf_util.dir/random.cc.o.d"
+  "CMakeFiles/whoiscrf_util.dir/string_util.cc.o"
+  "CMakeFiles/whoiscrf_util.dir/string_util.cc.o.d"
+  "CMakeFiles/whoiscrf_util.dir/table.cc.o"
+  "CMakeFiles/whoiscrf_util.dir/table.cc.o.d"
+  "CMakeFiles/whoiscrf_util.dir/thread_pool.cc.o"
+  "CMakeFiles/whoiscrf_util.dir/thread_pool.cc.o.d"
+  "libwhoiscrf_util.a"
+  "libwhoiscrf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whoiscrf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

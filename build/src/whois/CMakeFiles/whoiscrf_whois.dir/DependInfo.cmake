@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/whois/active_learning.cc" "src/whois/CMakeFiles/whoiscrf_whois.dir/active_learning.cc.o" "gcc" "src/whois/CMakeFiles/whoiscrf_whois.dir/active_learning.cc.o.d"
+  "/root/repo/src/whois/json_export.cc" "src/whois/CMakeFiles/whoiscrf_whois.dir/json_export.cc.o" "gcc" "src/whois/CMakeFiles/whoiscrf_whois.dir/json_export.cc.o.d"
+  "/root/repo/src/whois/labels.cc" "src/whois/CMakeFiles/whoiscrf_whois.dir/labels.cc.o" "gcc" "src/whois/CMakeFiles/whoiscrf_whois.dir/labels.cc.o.d"
+  "/root/repo/src/whois/record.cc" "src/whois/CMakeFiles/whoiscrf_whois.dir/record.cc.o" "gcc" "src/whois/CMakeFiles/whoiscrf_whois.dir/record.cc.o.d"
+  "/root/repo/src/whois/training_data.cc" "src/whois/CMakeFiles/whoiscrf_whois.dir/training_data.cc.o" "gcc" "src/whois/CMakeFiles/whoiscrf_whois.dir/training_data.cc.o.d"
+  "/root/repo/src/whois/whois_parser.cc" "src/whois/CMakeFiles/whoiscrf_whois.dir/whois_parser.cc.o" "gcc" "src/whois/CMakeFiles/whoiscrf_whois.dir/whois_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crf/CMakeFiles/whoiscrf_crf.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/whoiscrf_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/whoiscrf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whoiscrf_whois.dir/active_learning.cc.o"
+  "CMakeFiles/whoiscrf_whois.dir/active_learning.cc.o.d"
+  "CMakeFiles/whoiscrf_whois.dir/json_export.cc.o"
+  "CMakeFiles/whoiscrf_whois.dir/json_export.cc.o.d"
+  "CMakeFiles/whoiscrf_whois.dir/labels.cc.o"
+  "CMakeFiles/whoiscrf_whois.dir/labels.cc.o.d"
+  "CMakeFiles/whoiscrf_whois.dir/record.cc.o"
+  "CMakeFiles/whoiscrf_whois.dir/record.cc.o.d"
+  "CMakeFiles/whoiscrf_whois.dir/training_data.cc.o"
+  "CMakeFiles/whoiscrf_whois.dir/training_data.cc.o.d"
+  "CMakeFiles/whoiscrf_whois.dir/whois_parser.cc.o"
+  "CMakeFiles/whoiscrf_whois.dir/whois_parser.cc.o.d"
+  "libwhoiscrf_whois.a"
+  "libwhoiscrf_whois.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whoiscrf_whois.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

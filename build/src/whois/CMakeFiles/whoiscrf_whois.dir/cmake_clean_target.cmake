@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwhoiscrf_whois.a"
+)

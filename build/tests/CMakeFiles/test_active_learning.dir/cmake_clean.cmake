@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_active_learning.dir/test_active_learning.cc.o"
+  "CMakeFiles/test_active_learning.dir/test_active_learning.cc.o.d"
+  "test_active_learning"
+  "test_active_learning.pdb"
+  "test_active_learning[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_active_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

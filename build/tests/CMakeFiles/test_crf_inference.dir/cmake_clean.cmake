@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crf_inference.dir/test_crf_inference.cc.o"
+  "CMakeFiles/test_crf_inference.dir/test_crf_inference.cc.o.d"
+  "test_crf_inference"
+  "test_crf_inference.pdb"
+  "test_crf_inference[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crf_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

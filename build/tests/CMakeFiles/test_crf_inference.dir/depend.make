@@ -1,0 +1,2 @@
+# Empty dependencies file for test_crf_inference.
+# This may be replaced when dependencies are built.

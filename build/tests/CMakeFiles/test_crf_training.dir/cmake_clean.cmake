@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crf_training.dir/test_crf_training.cc.o"
+  "CMakeFiles/test_crf_training.dir/test_crf_training.cc.o.d"
+  "test_crf_training"
+  "test_crf_training.pdb"
+  "test_crf_training[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crf_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

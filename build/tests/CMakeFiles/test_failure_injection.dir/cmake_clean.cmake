@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_failure_injection.dir/test_failure_injection.cc.o"
+  "CMakeFiles/test_failure_injection.dir/test_failure_injection.cc.o.d"
+  "test_failure_injection"
+  "test_failure_injection.pdb"
+  "test_failure_injection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_failure_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

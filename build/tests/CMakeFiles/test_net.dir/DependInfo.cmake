@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_net.cc" "tests/CMakeFiles/test_net.dir/test_net.cc.o" "gcc" "tests/CMakeFiles/test_net.dir/test_net.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/survey/CMakeFiles/whoiscrf_survey.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/whoiscrf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/whoiscrf_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/whoiscrf_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/whois/CMakeFiles/whoiscrf_whois.dir/DependInfo.cmake"
+  "/root/repo/build/src/crf/CMakeFiles/whoiscrf_crf.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/whoiscrf_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/whoiscrf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_survey.dir/test_survey.cc.o"
+  "CMakeFiles/test_survey.dir/test_survey.cc.o.d"
+  "test_survey"
+  "test_survey.pdb"
+  "test_survey[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_whois.dir/test_whois.cc.o"
+  "CMakeFiles/test_whois.dir/test_whois.cc.o.d"
+  "test_whois"
+  "test_whois.pdb"
+  "test_whois[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_whois.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
