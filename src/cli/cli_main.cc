@@ -27,7 +27,7 @@ void PrintUsage() {
                "  train   --data FILE --model FILE [--sgd] [--l2 SIGMA] "
                "[--min-count K]\n"
                "  parse   --model FILE [--in FILE] [--format "
-               "json|rdap|fields|labels]\n"
+               "json|rdap|fields|labels] [--threads N]\n"
                "  adapt   --model FILE --data FILE --out FILE\n"
                "  eval    --model FILE --data FILE [--confusion]\n"
                "  select  --model FILE --in FILE [--k N]\n"

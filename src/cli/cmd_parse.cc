@@ -7,6 +7,7 @@
 #include "cli/commands.h"
 #include "text/line_splitter.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 #include "whois/json_export.h"
 #include "whois/whois_parser.h"
 
@@ -45,14 +46,23 @@ int CmdParse(util::FlagParser& flags) {
   const std::string model_path = flags.GetString("model");
   const std::string in = flags.GetString("in");
   const std::string format = flags.GetString("format", "fields");
+  const size_t threads =
+      static_cast<size_t>(flags.GetInt("threads", 0));  // 0 = hardware
   if (model_path.empty()) {
     std::fprintf(stderr, "parse: --model is required\n");
     return 2;
   }
   const whois::WhoisParser parser = whois::WhoisParser::LoadFile(model_path);
 
-  for (const std::string& record : ReadRawRecords(in)) {
-    const whois::ParsedWhois parsed = parser.Parse(record);
+  // Parse the whole batch on the thread pool, then print in input order.
+  const std::vector<std::string> records = ReadRawRecords(in);
+  util::ThreadPool pool(threads);
+  const std::vector<whois::ParsedWhois> parses =
+      parser.ParseBatch(records, pool);
+
+  for (size_t r = 0; r < records.size(); ++r) {
+    const std::string& record = records[r];
+    const whois::ParsedWhois& parsed = parses[r];
     if (format == "json") {
       std::printf("%s\n", whois::ToJson(parsed).c_str());
     } else if (format == "rdap") {

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "crf/workspace.h"
+
 namespace whoiscrf::crf {
 
 double LogSumExp(const double* v, int n) {
@@ -20,12 +22,15 @@ double LogSumExp(const double* v, int n) {
 namespace {
 
 // Forward recursion: alpha[t*L+j] = log sum over paths ending in j at t.
-void Forward(const CrfModel::Scores& s, std::vector<double>& alpha) {
+// `scratch` is an L-wide log-sum-exp buffer supplied by the caller.
+void Forward(const CrfModel::Scores& s, std::vector<double>& alpha,
+             std::vector<double>& scratch) {
   const int T = s.T;
   const int L = s.L;
-  alpha.assign(static_cast<size_t>(T) * L, 0.0);
+  // resize, not assign: every entry is written below before it is read.
+  alpha.resize(static_cast<size_t>(T) * L);
   for (int j = 0; j < L; ++j) alpha[j] = s.unary[j];
-  std::vector<double> scratch(static_cast<size_t>(L));
+  scratch.resize(static_cast<size_t>(L));
   for (int t = 1; t < T; ++t) {
     const double* alpha_prev = &alpha[static_cast<size_t>(t - 1) * L];
     const double* pair_t = &s.pairwise[static_cast<size_t>(t) * L * L];
@@ -41,11 +46,12 @@ void Forward(const CrfModel::Scores& s, std::vector<double>& alpha) {
 }
 
 // Backward recursion: beta[t*L+i] = log sum over paths continuing from i.
-void Backward(const CrfModel::Scores& s, std::vector<double>& beta) {
+void Backward(const CrfModel::Scores& s, std::vector<double>& beta,
+              std::vector<double>& scratch) {
   const int T = s.T;
   const int L = s.L;
   beta.assign(static_cast<size_t>(T) * L, 0.0);
-  std::vector<double> scratch(static_cast<size_t>(L));
+  scratch.assign(static_cast<size_t>(L), 0.0);
   for (int t = T - 2; t >= 0; --t) {
     const double* beta_next = &beta[static_cast<size_t>(t + 1) * L];
     const double* pair_next = &s.pairwise[static_cast<size_t>(t + 1) * L * L];
@@ -64,29 +70,44 @@ void Backward(const CrfModel::Scores& s, std::vector<double>& beta) {
 }  // namespace
 
 double LogPartition(const CrfModel::Scores& scores) {
+  Workspace ws;
+  return LogPartition(scores, ws);
+}
+
+double LogPartition(const CrfModel::Scores& scores, Workspace& ws) {
   if (scores.T <= 0) throw std::invalid_argument("LogPartition: empty");
-  std::vector<double> alpha;
-  Forward(scores, alpha);
-  return LogSumExp(&alpha[static_cast<size_t>(scores.T - 1) * scores.L],
+  Forward(scores, ws.alpha, ws.lse);
+  return LogSumExp(&ws.alpha[static_cast<size_t>(scores.T - 1) * scores.L],
                    scores.L);
 }
 
 Posteriors ForwardBackward(const CrfModel::Scores& s) {
+  Workspace ws;
+  ForwardBackward(s, ws, /*with_edges=*/true);
+  return std::move(ws.post);
+}
+
+const Posteriors& ForwardBackward(const CrfModel::Scores& s, Workspace& ws,
+                                  bool with_edges) {
   if (s.T <= 0) throw std::invalid_argument("ForwardBackward: empty");
   const int T = s.T;
   const int L = s.L;
 
-  std::vector<double> alpha;
-  std::vector<double> beta;
-  Forward(s, alpha);
-  Backward(s, beta);
+  Forward(s, ws.alpha, ws.lse);
+  Backward(s, ws.beta, ws.lse);
+  const std::vector<double>& alpha = ws.alpha;
+  const std::vector<double>& beta = ws.beta;
 
-  Posteriors p;
+  Posteriors& p = ws.post;
   p.T = T;
   p.L = L;
   p.log_z = LogSumExp(&alpha[static_cast<size_t>(T - 1) * L], L);
   p.node.assign(static_cast<size_t>(T) * L, 0.0);
-  p.edge.assign(static_cast<size_t>(T) * L * L, 0.0);
+  if (with_edges) {
+    p.edge.assign(static_cast<size_t>(T) * L * L, 0.0);
+  } else {
+    p.edge.clear();
+  }
 
   for (int t = 0; t < T; ++t) {
     for (int j = 0; j < L; ++j) {
@@ -94,6 +115,7 @@ Posteriors ForwardBackward(const CrfModel::Scores& s) {
       p.node[idx] = std::exp(alpha[idx] + beta[idx] - p.log_z);
     }
   }
+  if (!with_edges) return p;
   for (int t = 1; t < T; ++t) {
     const double* alpha_prev = &alpha[static_cast<size_t>(t - 1) * L];
     const double* beta_t = &beta[static_cast<size_t>(t) * L];

@@ -13,6 +13,8 @@
 
 namespace whoiscrf::crf {
 
+struct Workspace;  // crf/workspace.h
+
 // Result of the forward-backward pass over one sequence.
 struct Posteriors {
   int T = 0;
@@ -29,9 +31,20 @@ double LogSumExp(const double* v, int n);
 // Computes log Z_theta(x) (eq. 10, in log domain) for the given scores.
 double LogPartition(const CrfModel::Scores& scores);
 
+// Workspace variant: forward pass only, all scratch taken from `ws`
+// (alpha/lse). Bit-identical to LogPartition(scores).
+double LogPartition(const CrfModel::Scores& scores, Workspace& ws);
+
 // Full forward-backward: log-partition plus node and edge marginals
 // (eq. 12). Requires scores.T >= 1.
 Posteriors ForwardBackward(const CrfModel::Scores& scores);
+
+// Workspace variant: fills and returns `ws.post` without allocating once
+// the workspace has warmed up. With `with_edges` false the T*L*L edge
+// marginals — only the training gradient needs them — are skipped and
+// `ws.post.edge` is left empty; log_z and node marginals are still exact.
+const Posteriors& ForwardBackward(const CrfModel::Scores& scores,
+                                  Workspace& ws, bool with_edges = true);
 
 // Log-probability of a specific label path under the scores:
 //   sum_t theta.f - log Z. `labels` must have length scores.T.

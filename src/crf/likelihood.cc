@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "crf/inference.h"
+#include "crf/workspace.h"
 
 namespace whoiscrf::crf {
 
@@ -20,15 +21,16 @@ LogLikelihood::LogLikelihood(CrfModel& model, const Dataset& data,
   }
 }
 
-void LogLikelihood::AccumulateSequence(size_t index,
+void LogLikelihood::AccumulateSequence(size_t index, Workspace& ws,
                                        std::vector<double>& grad,
                                        double& nll) const {
   const CompiledSequence& seq = data_.sequences[index];
   const std::vector<int>& gold = data_.labels[index];
   if (seq.empty()) return;
 
-  const CrfModel::Scores scores = model_.ComputeScores(seq);
-  const Posteriors post = ForwardBackward(scores);
+  model_.ComputeScores(seq, ws.scores);
+  const CrfModel::Scores& scores = ws.scores;
+  const Posteriors& post = ForwardBackward(scores, ws, /*with_edges=*/true);
   const int L = scores.L;
 
   // NLL contribution: log Z - theta . f(gold).
@@ -77,18 +79,21 @@ double LogLikelihood::Evaluate(const std::vector<double>& w,
   double nll = 0.0;
 
   if (pool_ == nullptr || pool_->size() <= 1 || data_.size() < 2) {
+    Workspace ws;
     for (size_t r = 0; r < data_.size(); ++r) {
-      AccumulateSequence(r, grad, nll);
+      AccumulateSequence(r, ws, grad, nll);
     }
   } else {
     const size_t chunks = std::min(data_.size(), pool_->size());
     std::vector<std::vector<double>> chunk_grads(
         chunks, std::vector<double>(w.size(), 0.0));
     std::vector<double> chunk_nll(chunks, 0.0);
+    std::vector<Workspace> chunk_ws(chunks);
     pool_->ParallelChunks(data_.size(),
                           [&](size_t begin, size_t end, size_t chunk) {
                             for (size_t r = begin; r < end; ++r) {
-                              AccumulateSequence(r, chunk_grads[chunk],
+                              AccumulateSequence(r, chunk_ws[chunk],
+                                                 chunk_grads[chunk],
                                                  chunk_nll[chunk]);
                             }
                           });

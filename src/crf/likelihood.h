@@ -15,6 +15,8 @@
 
 namespace whoiscrf::crf {
 
+struct Workspace;  // crf/workspace.h
+
 // A compiled training set: interned sequences with gold labels.
 struct Dataset {
   std::vector<CompiledSequence> sequences;
@@ -40,9 +42,10 @@ class LogLikelihood {
   size_t num_parameters() const { return model_.num_weights(); }
 
  private:
-  // Adds one sequence's NLL contribution to *nll and its gradient to grad.
-  void AccumulateSequence(size_t index, std::vector<double>& grad,
-                          double& nll) const;
+  // Adds one sequence's NLL contribution to *nll and its gradient to grad,
+  // running all inference in `ws` (one workspace per worker thread).
+  void AccumulateSequence(size_t index, Workspace& ws,
+                          std::vector<double>& grad, double& nll) const;
 
   CrfModel& model_;
   const Dataset& data_;

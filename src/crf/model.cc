@@ -3,6 +3,9 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "crf/workspace.h"
+#include "text/tokenizer.h"
+
 namespace whoiscrf::crf {
 
 namespace {
@@ -104,30 +107,147 @@ CompiledSequence CrfModel::Compile(
   return seq;
 }
 
+namespace {
+
+// AttrSink that interns attributes straight into one CompiledItem: lookup
+// via the transparent-hash vocabulary (no string allocation), drop
+// unknowns, dedup by id keeping the first occurrence — exactly the result
+// of string-level dedup in Tokenizer::Extract followed by Compile, since
+// equal attribute strings intern to equal ids.
+class InternSink final : public text::AttrSink {
+ public:
+  InternSink(const text::Vocabulary& vocab,
+             const std::unordered_map<int, int>& slot_of_attr)
+      : vocab_(vocab), slot_of_attr_(slot_of_attr) {}
+
+  void BeginItem(CompiledItem& item) {
+    item_ = &item;
+    item.attrs.clear();
+    item.trans_slots.clear();
+  }
+
+  void OnAttr(std::string_view attr, bool transition) override {
+    const int id = vocab_.Lookup(attr);
+    if (id == text::Vocabulary::kNotFound) return;
+    for (int existing : item_->attrs) {
+      if (existing == id) return;  // first occurrence wins
+    }
+    item_->attrs.push_back(id);
+    if (transition) {
+      auto it = slot_of_attr_.find(id);
+      if (it != slot_of_attr_.end()) item_->trans_slots.push_back(it->second);
+    }
+  }
+
+ private:
+  const text::Vocabulary& vocab_;
+  const std::unordered_map<int, int>& slot_of_attr_;
+  CompiledItem* item_ = nullptr;
+};
+
+}  // namespace
+
+void CrfModel::CompileInto(const text::Tokenizer& tokenizer,
+                           std::span<const text::Line> lines,
+                           Workspace& ws) const {
+  ws.seq.resize(lines.size());
+  InternSink sink(vocab_, slot_of_attr_);
+  for (size_t t = 0; t < lines.size(); ++t) {
+    sink.BeginItem(ws.seq[t]);
+    tokenizer.ExtractTo(lines[t], sink, ws.token_scratch);
+  }
+}
+
+void CrfModel::CompileInto(const text::Tokenizer& tokenizer,
+                           std::span<const text::Line* const> lines,
+                           Workspace& ws) const {
+  ws.seq.resize(lines.size());
+  InternSink sink(vocab_, slot_of_attr_);
+  for (size_t t = 0; t < lines.size(); ++t) {
+    sink.BeginItem(ws.seq[t]);
+    tokenizer.ExtractTo(*lines[t], sink, ws.token_scratch);
+  }
+}
+
+namespace {
+
+// Fans one attribute stream out to several per-model interning sinks.
+class FanoutSink final : public text::AttrSink {
+ public:
+  explicit FanoutSink(std::vector<InternSink>& sinks) : sinks_(sinks) {}
+
+  void OnAttr(std::string_view attr, bool transition) override {
+    for (InternSink& sink : sinks_) sink.OnAttr(attr, transition);
+  }
+
+ private:
+  std::vector<InternSink>& sinks_;
+};
+
+}  // namespace
+
+void CrfModel::CompileLineMulti(const text::Tokenizer& tokenizer,
+                                const text::Line& line,
+                                std::span<const CrfModel* const> models,
+                                std::span<CompiledItem* const> items,
+                                text::TokenScratch& scratch) {
+  std::vector<InternSink> sinks;
+  sinks.reserve(models.size());
+  for (size_t k = 0; k < models.size(); ++k) {
+    sinks.emplace_back(models[k]->vocab_, models[k]->slot_of_attr_);
+    sinks.back().BeginItem(*items[k]);
+  }
+  FanoutSink fanout(sinks);
+  tokenizer.ExtractTo(line, fanout, scratch);
+}
+
 CrfModel::Scores CrfModel::ComputeScores(const CompiledSequence& seq) const {
   Scores s;
+  ComputeScores(seq, s);
+  return s;
+}
+
+void CrfModel::ComputeScores(const CompiledSequence& seq, Scores& s) const {
   s.T = static_cast<int>(seq.size());
   s.L = num_labels();
   const size_t L = static_cast<size_t>(s.L);
   s.unary.assign(static_cast<size_t>(s.T) * L, 0.0);
-  s.pairwise.assign(static_cast<size_t>(s.T) * L * L, 0.0);
-
   for (size_t t = 0; t < seq.size(); ++t) {
-    double* unary_t = &s.unary[t * L];
-    for (int attr : seq[t].attrs) {
-      const double* w = &weights_[UnigramIndex(attr, 0)];
-      for (size_t j = 0; j < L; ++j) unary_t[j] += w[j];
-    }
-    if (t == 0) continue;
-    double* pair_t = &s.pairwise[t * L * L];
-    const double* trans = &weights_[TransitionIndex(0, 0)];
-    for (size_t ij = 0; ij < L * L; ++ij) pair_t[ij] = trans[ij];
-    for (int slot : seq[t].trans_slots) {
-      const double* w = &weights_[ObservedTransitionIndex(slot, 0, 0)];
-      for (size_t ij = 0; ij < L * L; ++ij) pair_t[ij] += w[ij];
-    }
+    UnaryScores(seq[t], &s.unary[t * L]);
   }
-  return s;
+  FillPairwise(seq, s);
+}
+
+void CrfModel::UnaryScores(const CompiledItem& item, double* out) const {
+  const size_t L = static_cast<size_t>(num_labels());
+  for (size_t j = 0; j < L; ++j) out[j] = 0.0;
+  for (int attr : item.attrs) {
+    const double* w = &weights_[UnigramIndex(attr, 0)];
+    for (size_t j = 0; j < L; ++j) out[j] += w[j];
+  }
+}
+
+void CrfModel::PairwiseScores(const CompiledItem& item, double* out) const {
+  const size_t L = static_cast<size_t>(num_labels());
+  const double* trans = &weights_[TransitionIndex(0, 0)];
+  for (size_t ij = 0; ij < L * L; ++ij) out[ij] = trans[ij];
+  for (int slot : item.trans_slots) {
+    const double* w = &weights_[ObservedTransitionIndex(slot, 0, 0)];
+    for (size_t ij = 0; ij < L * L; ++ij) out[ij] += w[ij];
+  }
+}
+
+void CrfModel::FillPairwise(const CompiledSequence& seq, Scores& s) const {
+  const size_t L = static_cast<size_t>(s.L);
+  s.pairwise.assign(static_cast<size_t>(s.T) * L * L, 0.0);
+  for (size_t t = 1; t < seq.size(); ++t) {
+    PairwiseScores(seq[t], &s.pairwise[t * L * L]);
+  }
+}
+
+int CrfModel::TransSlot(int attr_id) const {
+  const auto it = slot_of_attr_.find(attr_id);
+  return it != slot_of_attr_.end() ? it->second : -1;
 }
 
 int CrfModel::LabelId(std::string_view name) const {

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -24,7 +25,14 @@
 #include "crf/sequence.h"
 #include "text/vocabulary.h"
 
+namespace whoiscrf::text {
+class Tokenizer;
+struct Line;
+}  // namespace whoiscrf::text
+
 namespace whoiscrf::crf {
+
+struct Workspace;  // crf/workspace.h
 
 class CrfModel {
  public:
@@ -52,12 +60,44 @@ class CrfModel {
   // Vocabulary attribute id backing a transition slot.
   int SlotAttr(int slot) const { return slot_attrs_[static_cast<size_t>(slot)]; }
 
+  // Transition slot of an interned attribute id, or -1 if the attribute
+  // has no observed-transition block. Lets callers precompute combined
+  // attr -> (id, slot) tables instead of probing per line.
+  int TransSlot(int attr_id) const;
+
   // --- Compilation ------------------------------------------------------
   // Interns per-line attributes against the model's vocabulary. Unknown
   // attributes are dropped (they have no weights); transition-eligible
   // attributes map to slots when registered.
   CompiledSequence Compile(
       const std::vector<text::LineAttributes>& lines) const;
+
+  // Fused tokenize+compile fast path: runs the tokenizer's streaming
+  // extraction over `lines` and interns attributes straight to ids via the
+  // transparent-hash Vocabulary::Lookup — no intermediate LineAttributes,
+  // no string materialization beyond the workspace scratch. Fills `ws.seq`
+  // (reusing its storage) with exactly what
+  // Compile(tokenizer.Extract(each line)) would produce.
+  void CompileInto(const text::Tokenizer& tokenizer,
+                   std::span<const text::Line> lines, Workspace& ws) const;
+
+  // Same, over a subset of lines given by pointer (the level-2 pass tags a
+  // scattered subset of the record's lines).
+  void CompileInto(const text::Tokenizer& tokenizer,
+                   std::span<const text::Line* const> lines,
+                   Workspace& ws) const;
+
+  // Compiles ONE line against several models in a single tokenization pass
+  // (the expensive part — word normalization and classification — runs
+  // once; each model interns the same attribute stream against its own
+  // vocabulary). items[k] receives exactly what models[k]'s CompileInto
+  // would produce for this line. Backs the per-line compile cache of the
+  // two-level WHOIS parser.
+  static void CompileLineMulti(const text::Tokenizer& tokenizer,
+                               const text::Line& line,
+                               std::span<const CrfModel* const> models,
+                               std::span<CompiledItem* const> items,
+                               text::TokenScratch& scratch);
 
   // --- Scoring ----------------------------------------------------------
   // Log-potentials for a compiled sequence:
@@ -74,6 +114,21 @@ class CrfModel {
   };
   Scores ComputeScores(const CompiledSequence& seq) const;
 
+  // Allocation-reusing variant: refills `out` in place.
+  void ComputeScores(const CompiledSequence& seq, Scores& out) const;
+
+  // Unary score row for one compiled item: out[j] (L doubles) = sum of the
+  // item's unigram weights for label j. Accumulates in the same order as
+  // ComputeScores, so memoized rows are bit-identical to a fresh run.
+  void UnaryScores(const CompiledItem& item, double* out) const;
+
+  // Pairwise score block for one compiled item: out (L*L doubles) =
+  // transition weights plus the item's observed-transition matrices. This
+  // is the t >= 1 pairwise block of ComputeScores — it depends only on the
+  // item, not on the position — accumulated in the same order, so memoized
+  // blocks are bit-identical to a fresh run.
+  void PairwiseScores(const CompiledItem& item, double* out) const;
+
   // Label id by name, or -1.
   int LabelId(std::string_view name) const;
 
@@ -84,6 +139,10 @@ class CrfModel {
   static CrfModel LoadFile(const std::string& path);
 
  private:
+  // Pairwise log-potentials (transition + observed-transition weights) for
+  // t >= 1; shared by both ComputeScores variants.
+  void FillPairwise(const CompiledSequence& seq, Scores& s) const;
+
   std::vector<std::string> label_names_;
   text::Vocabulary vocab_;
   std::unordered_map<int, int> slot_of_attr_;  // attr id -> slot

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "crf/inference.h"
+#include "crf/workspace.h"
 #include "util/logging.h"
 #include "util/random.h"
 
@@ -48,12 +49,13 @@ void CollectFeatureIndices(const CrfModel& model, const CompiledSequence& seq,
 // Returns the sequence NLL; writes (feature index -> partial) into `grad`.
 double SparseSequenceGradient(const CrfModel& model,
                               const CompiledSequence& seq,
-                              const std::vector<int>& gold,
+                              const std::vector<int>& gold, Workspace& ws,
                               std::unordered_map<size_t, double>& grad) {
   grad.clear();
   if (seq.empty()) return 0.0;
-  const CrfModel::Scores scores = model.ComputeScores(seq);
-  const Posteriors post = ForwardBackward(scores);
+  model.ComputeScores(seq, ws.scores);
+  const CrfModel::Scores& scores = ws.scores;
+  const Posteriors& post = ForwardBackward(scores, ws, /*with_edges=*/true);
   const int L = scores.L;
 
   double gold_score = 0.0;
@@ -129,6 +131,7 @@ SgdOptimizer::Result SgdOptimizer::Train(CrfModel& model,
 
   std::unordered_map<size_t, double> grad;
   std::vector<size_t> touched;
+  Workspace ws;
   size_t step = 0;
   double last_nll = 0.0;
 
@@ -149,7 +152,7 @@ SgdOptimizer::Result SgdOptimizer::Train(CrfModel& model,
       }
 
       epoch_nll += SparseSequenceGradient(model, data.sequences[idx],
-                                          data.labels[idx], grad);
+                                          data.labels[idx], ws, grad);
       for (const auto& [k, g] : grad) w[k] -= eta * g;
     }
     last_nll = epoch_nll;

@@ -3,16 +3,28 @@
 #include <limits>
 #include <stdexcept>
 
+#include "crf/workspace.h"
+
 namespace whoiscrf::crf {
 
 ViterbiResult Decode(const CrfModel::Scores& s) {
+  Workspace ws;
+  Decode(s, ws);
+  return std::move(ws.viterbi);
+}
+
+const ViterbiResult& Decode(const CrfModel::Scores& s, Workspace& ws) {
   if (s.T <= 0) throw std::invalid_argument("Viterbi: empty sequence");
   const int T = s.T;
   const int L = s.L;
 
   // V[t*L+j] is eq. 14/15's matrix; back[t*L+j] records eq. 16's argmax.
-  std::vector<double> V(static_cast<size_t>(T) * L);
-  std::vector<int> back(static_cast<size_t>(T) * L, -1);
+  std::vector<double>& V = ws.viterbi_score;
+  std::vector<int>& back = ws.viterbi_back;
+  // resize, not assign: every entry read below (rows 1..T-1 of `back`, all
+  // of V) is written first; row 0 of `back` is never read.
+  V.resize(static_cast<size_t>(T) * L);
+  back.resize(static_cast<size_t>(T) * L);
 
   for (int j = 0; j < L; ++j) V[static_cast<size_t>(j)] = s.unary[static_cast<size_t>(j)];
   for (int t = 1; t < T; ++t) {
@@ -34,7 +46,7 @@ ViterbiResult Decode(const CrfModel::Scores& s) {
     }
   }
 
-  ViterbiResult result;
+  ViterbiResult& result = ws.viterbi;
   result.labels.assign(static_cast<size_t>(T), 0);
   double best = -std::numeric_limits<double>::infinity();
   for (int j = 0; j < L; ++j) {

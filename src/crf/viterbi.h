@@ -8,6 +8,8 @@
 
 namespace whoiscrf::crf {
 
+struct Workspace;  // crf/workspace.h
+
 struct ViterbiResult {
   std::vector<int> labels;  // argmax path, length T
   double score = 0.0;       // unnormalized log-score of the path (eq. 13 sum)
@@ -15,6 +17,11 @@ struct ViterbiResult {
 
 // Decodes the best path for the given log-potentials. Requires scores.T >= 1.
 ViterbiResult Decode(const CrfModel::Scores& scores);
+
+// Workspace variant: DP tables and the result live in `ws`
+// (viterbi_score/viterbi_back/viterbi), so repeated decoding allocates
+// nothing once the workspace has warmed up. Returns `ws.viterbi`.
+const ViterbiResult& Decode(const CrfModel::Scores& scores, Workspace& ws);
 
 // Brute-force argmax over all L^T paths, for validating Decode in tests.
 ViterbiResult DecodeBruteForce(const CrfModel::Scores& scores);

@@ -1,0 +1,51 @@
+// Reusable scratch for CRF inference (the "allocation-free fast path").
+//
+// Every inference primitive — ComputeScores, Forward/Backward, Viterbi —
+// needs O(T*L) .. O(T*L*L) working memory. The classic entry points
+// allocate it per call, which is fine for training but dominates the cost
+// of tagging millions of small records. A Workspace owns all of those
+// buffers; the `*Into`/workspace overloads fill them with `assign`/`clear`
+// so capacity is reused and, once the buffers have grown to the largest
+// record seen, inference runs with zero heap allocations.
+//
+// A Workspace is NOT thread-safe: use one per thread (see
+// WhoisParser::ParseBatch). It is model-agnostic — the same workspace can
+// be reused across models with different L or vocabulary (buffers are
+// always resized by the callee).
+#pragma once
+
+#include <vector>
+
+#include "crf/inference.h"
+#include "crf/model.h"
+#include "crf/sequence.h"
+#include "crf/tagger.h"
+#include "crf/viterbi.h"
+#include "text/tokenizer.h"
+
+namespace whoiscrf::crf {
+
+struct Workspace {
+  // Fused tokenize+compile output (CrfModel::CompileInto).
+  CompiledSequence seq;
+  text::TokenScratch token_scratch;
+
+  // Log-potentials (CrfModel::ComputeScores).
+  CrfModel::Scores scores;
+
+  // Forward-backward state (inference.h workspace overloads).
+  std::vector<double> alpha;  // T*L forward log-sums
+  std::vector<double> beta;   // T*L backward log-sums
+  std::vector<double> lse;    // L-wide log-sum-exp scratch
+  Posteriors post;
+
+  // Viterbi state (viterbi.h workspace overload).
+  std::vector<double> viterbi_score;  // T*L best-path scores
+  std::vector<int> viterbi_back;      // T*L backpointers
+  ViterbiResult viterbi;
+
+  // Tagger output (tagger.h TagCompiled* methods).
+  TagResult tag;
+};
+
+}  // namespace whoiscrf::crf

@@ -1,6 +1,5 @@
 #include "survey/build.h"
 
-#include "datagen/country_data.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
@@ -8,44 +7,16 @@ namespace whoiscrf::survey {
 
 namespace {
 
-std::string NormalizeRegistrar(const std::string& parsed_name,
-                               const datagen::RegistrarTable& registrars) {
-  if (parsed_name.empty()) return {};
-  for (size_t i = 0; i < registrars.size(); ++i) {
-    const auto& info = registrars.info(i);
-    if (util::ContainsIgnoreCase(parsed_name, info.short_name) ||
-        util::ContainsIgnoreCase(info.name, parsed_name)) {
-      return info.short_name;
-    }
-  }
-  return parsed_name;  // unrecognized registrar: keep the raw name
-}
-
-std::string NormalizeCountry(const std::string& value) {
-  const std::string_view trimmed = util::Trim(value);
-  if (trimmed.empty()) return {};
-  if (trimmed.size() == 2) {
-    const std::string upper = util::ToUpper(trimmed);
-    if (datagen::CountryIndex(upper) >= 0) return upper;
-  }
-  for (const auto& country : datagen::Countries()) {
-    if (!country.name.empty() &&
-        util::EqualsIgnoreCase(trimmed, country.name)) {
-      return std::string(country.code);
-    }
-  }
-  return {};  // unparseable -> unknown
-}
-
-}  // namespace
-
-DomainRow RowFromParse(const std::string& domain,
-                       const whois::ParsedWhois& parsed,
-                       const datagen::RegistrarTable& registrars,
-                       bool on_dbl) {
+// Row assembly shared by both RowFromParse overloads; only the
+// registrar/country folding strategy differs.
+template <typename RegistrarFn, typename CountryFn>
+DomainRow AssembleRow(const std::string& domain,
+                      const whois::ParsedWhois& parsed, bool on_dbl,
+                      RegistrarFn&& normalize_registrar,
+                      CountryFn&& normalize_country) {
   DomainRow row;
   row.domain = domain;
-  row.registrar = NormalizeRegistrar(parsed.registrar, registrars);
+  row.registrar = normalize_registrar(parsed.registrar);
   row.created_year = whois::ExtractYear(parsed.created).value_or(0);
   row.registrant_name = parsed.registrant.name;
   row.registrant_org = parsed.registrant.org;
@@ -57,9 +28,36 @@ DomainRow RowFromParse(const std::string& domain,
   if (row.privacy_protected) {
     row.privacy_service = service;
   } else {
-    row.country_code = NormalizeCountry(parsed.registrant.country);
+    row.country_code = normalize_country(parsed.registrant.country);
   }
   return row;
+}
+
+}  // namespace
+
+DomainRow RowFromParse(const std::string& domain,
+                       const whois::ParsedWhois& parsed,
+                       const datagen::RegistrarTable& registrars,
+                       bool on_dbl) {
+  return AssembleRow(
+      domain, parsed, on_dbl,
+      [&](const std::string& name) {
+        return NormalizeRegistrarScan(name, registrars);
+      },
+      [](const std::string& value) { return NormalizeCountryScan(value); });
+}
+
+DomainRow RowFromParse(const std::string& domain,
+                       const whois::ParsedWhois& parsed,
+                       const SurveyNormalizer& normalizer, bool on_dbl) {
+  return AssembleRow(
+      domain, parsed, on_dbl,
+      [&](const std::string& name) {
+        return normalizer.NormalizeRegistrar(name);
+      },
+      [&](const std::string& value) {
+        return normalizer.NormalizeCountry(value);
+      });
 }
 
 SurveyDatabase BuildDatabase(const datagen::CorpusGenerator& generator,
@@ -67,17 +65,23 @@ SurveyDatabase BuildDatabase(const datagen::CorpusGenerator& generator,
                              size_t threads) {
   std::vector<DomainRow> rows(count);
   util::ThreadPool pool(threads);
-  pool.ParallelFor(count, [&](size_t i) {
-    const datagen::GeneratedDomain domain = generator.Generate(i);
-    const whois::ParsedWhois parsed = parser.Parse(domain.thick.text);
-    rows[i] = RowFromParse(domain.facts.domain, parsed,
-                           generator.registrars(), domain.facts.on_dbl);
-    if (rows[i].registrar.empty()) {
-      // Thick records from a few registrars omit the registrar name; the
-      // crawl pipeline still knows it from the thin registry record (§2.2),
-      // so the survey attributes those rows via the thin hop.
-      rows[i].registrar = NormalizeRegistrar(domain.facts.registrar_name,
-                                             generator.registrars());
+  const SurveyNormalizer normalizer(generator.registrars());
+  const size_t chunks = std::min(count, pool.size());
+  std::vector<whois::ParseWorkspace> workspaces(std::max<size_t>(chunks, 1));
+  pool.ParallelChunks(count, [&](size_t begin, size_t end, size_t chunk) {
+    whois::ParseWorkspace& ws = workspaces[chunk];
+    for (size_t i = begin; i < end; ++i) {
+      const datagen::GeneratedDomain domain = generator.Generate(i);
+      const whois::ParsedWhois parsed = parser.Parse(domain.thick.text, ws);
+      rows[i] = RowFromParse(domain.facts.domain, parsed, normalizer,
+                             domain.facts.on_dbl);
+      if (rows[i].registrar.empty()) {
+        // Thick records from a few registrars omit the registrar name; the
+        // crawl pipeline still knows it from the thin registry record
+        // (§2.2), so the survey attributes those rows via the thin hop.
+        rows[i].registrar =
+            normalizer.NormalizeRegistrar(domain.facts.registrar_name);
+      }
     }
   });
   SurveyDatabase db;

@@ -6,6 +6,7 @@
 
 #include "datagen/corpus_gen.h"
 #include "survey/database.h"
+#include "survey/normalize.h"
 #include "whois/record.h"
 #include "whois/whois_parser.h"
 
@@ -23,6 +24,13 @@ DomainRow RowFromParse(const std::string& domain,
                        const whois::ParsedWhois& parsed,
                        const datagen::RegistrarTable& registrars,
                        bool on_dbl);
+
+// Hot-path overload: identical rows, but registrar/country folding goes
+// through the normalizer's precomputed indices instead of per-call scans.
+// Build one SurveyNormalizer per registrar table and reuse it.
+DomainRow RowFromParse(const std::string& domain,
+                       const whois::ParsedWhois& parsed,
+                       const SurveyNormalizer& normalizer, bool on_dbl);
 
 // Parses `count` corpus domains with the trained parser and assembles the
 // survey database, using `threads` workers (0 = hardware concurrency).

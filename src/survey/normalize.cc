@@ -1,0 +1,106 @@
+#include "survey/normalize.h"
+
+#include "datagen/country_data.h"
+#include "util/string_util.h"
+
+namespace whoiscrf::survey {
+
+std::string NormalizeRegistrarScan(const std::string& parsed_name,
+                                   const datagen::RegistrarTable& registrars) {
+  if (parsed_name.empty()) return {};
+  for (size_t i = 0; i < registrars.size(); ++i) {
+    const auto& info = registrars.info(i);
+    if (util::ContainsIgnoreCase(parsed_name, info.short_name) ||
+        util::ContainsIgnoreCase(info.name, parsed_name)) {
+      return info.short_name;
+    }
+  }
+  return parsed_name;  // unrecognized registrar: keep the raw name
+}
+
+std::string NormalizeCountryScan(const std::string& value) {
+  const std::string_view trimmed = util::Trim(value);
+  if (trimmed.empty()) return {};
+  if (trimmed.size() == 2) {
+    const std::string upper = util::ToUpper(trimmed);
+    if (datagen::CountryIndex(upper) >= 0) return upper;
+  }
+  for (const auto& country : datagen::Countries()) {
+    if (!country.name.empty() &&
+        util::EqualsIgnoreCase(trimmed, country.name)) {
+      return std::string(country.code);
+    }
+  }
+  return {};  // unparseable -> unknown
+}
+
+SurveyNormalizer::SurveyNormalizer(const datagen::RegistrarTable& registrars)
+    : registrars_(&registrars) {
+  short_lower_.reserve(registrars.size());
+  name_lower_.reserve(registrars.size());
+  for (size_t i = 0; i < registrars.size(); ++i) {
+    const auto& info = registrars.info(i);
+    short_lower_.push_back(util::ToLower(info.short_name));
+    name_lower_.push_back(util::ToLower(info.name));
+  }
+  // Exact-string fast path for the names the table itself prints. The
+  // stored answer is computed by the reference scan so first-match-in-
+  // table-order semantics survive (entry i's name can match entry j < i).
+  for (size_t i = 0; i < registrars.size(); ++i) {
+    const auto& info = registrars.info(i);
+    for (const std::string& key :
+         {util::ToLower(info.name), util::ToLower(info.short_name)}) {
+      if (exact_.count(key)) continue;
+      const std::string answer = NormalizeRegistrarScan(
+          key.empty() ? std::string() : std::string(key), registrars);
+      for (size_t j = 0; j < registrars.size(); ++j) {
+        if (registrars.info(j).short_name == answer) {
+          exact_.emplace(key, static_cast<int>(j));
+          break;
+        }
+      }
+    }
+  }
+  for (const auto& country : datagen::Countries()) {
+    if (country.code.size() == 2) {
+      // Stored verbatim: the scan compares the *upper-cased* input against
+      // the table code exactly, so only codes already in upper case match.
+      country_codes_.insert(std::string(country.code));
+    }
+    if (!country.name.empty()) {
+      country_names_.emplace(util::ToLower(country.name),
+                             std::string(country.code));
+    }
+  }
+}
+
+std::string SurveyNormalizer::NormalizeRegistrar(
+    const std::string& parsed_name) const {
+  if (parsed_name.empty()) return {};
+  const std::string lower = util::ToLower(parsed_name);
+  const auto hit = exact_.find(lower);
+  if (hit != exact_.end()) {
+    return registrars_->info(static_cast<size_t>(hit->second)).short_name;
+  }
+  for (size_t i = 0; i < short_lower_.size(); ++i) {
+    if (lower.find(short_lower_[i]) != std::string::npos ||
+        name_lower_[i].find(lower) != std::string::npos) {
+      return registrars_->info(i).short_name;
+    }
+  }
+  return parsed_name;
+}
+
+std::string SurveyNormalizer::NormalizeCountry(const std::string& value) const {
+  const std::string_view trimmed = util::Trim(value);
+  if (trimmed.empty()) return {};
+  if (trimmed.size() == 2) {
+    const std::string upper = util::ToUpper(trimmed);
+    if (country_codes_.count(upper)) return upper;
+  }
+  const auto hit = country_names_.find(util::ToLower(trimmed));
+  if (hit != country_names_.end()) return hit->second;
+  return {};
+}
+
+}  // namespace whoiscrf::survey

@@ -1,0 +1,53 @@
+// Precomputed normalization indices for the survey builder.
+//
+// RowFromParse folds registrar display names to the registrar table's
+// short names and registrant countries to 2-letter codes. The reference
+// implementations (the *Scan free functions below) do a case-insensitive
+// linear scan per record — fine for a unit test, ruinous for a
+// 102M-record census. SurveyNormalizer builds the indices once (lowered
+// registrar names, an exact-name hash map, a country-name hash map) and
+// answers each query with O(1) hashing plus, for unrecognized registrar
+// strings, a substring scan over pre-lowered names.
+//
+// A SurveyNormalizer is immutable after construction and safe to share
+// across threads.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "datagen/registrar_profiles.h"
+
+namespace whoiscrf::survey {
+
+class SurveyNormalizer {
+ public:
+  explicit SurveyNormalizer(const datagen::RegistrarTable& registrars);
+
+  // Same results as NormalizeRegistrarScan(parsed_name, registrars).
+  std::string NormalizeRegistrar(const std::string& parsed_name) const;
+
+  // Same results as NormalizeCountryScan(value).
+  std::string NormalizeCountry(const std::string& value) const;
+
+ private:
+  const datagen::RegistrarTable* registrars_;
+  std::vector<std::string> short_lower_;  // lowered short names, table order
+  std::vector<std::string> name_lower_;   // lowered display names, table order
+  // Lowered display/short name -> the scan's answer for that exact string
+  // (the first matching table index, which is not always the entry's own:
+  // an earlier registrar's short name may be a substring).
+  std::unordered_map<std::string, int> exact_;
+  std::unordered_set<std::string> country_codes_;  // 2-letter upper codes
+  std::unordered_map<std::string, std::string> country_names_;  // lower -> code
+};
+
+// Reference linear scans (the pre-index behavior), kept for the per-call
+// RowFromParse overload and as the oracle in tests.
+std::string NormalizeRegistrarScan(const std::string& parsed_name,
+                                   const datagen::RegistrarTable& registrars);
+std::string NormalizeCountryScan(const std::string& value);
+
+}  // namespace whoiscrf::survey

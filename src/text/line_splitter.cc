@@ -42,41 +42,82 @@ bool StartsWithSymbol(std::string_view line) {
   }
 }
 
+// Layout state carried from one labeled line to the next.
+struct LayoutState {
+  int pending_blanks = 0;
+  bool have_prev = false;
+  int prev_indent = 0;
+};
+
+// Annotates one raw line. Unlabeled lines only bump the blank counter;
+// labeled lines fill the next slot of `out` (reusing its string capacity
+// when the slot already exists) and advance `used`.
+void FeedLine(std::string_view raw_line, size_t raw, LayoutState& state,
+              std::vector<Line>& out, size_t& used) {
+  if (!IsLabeledLine(raw_line)) {
+    ++state.pending_blanks;
+    return;
+  }
+  if (used == out.size()) out.emplace_back();
+  Line& line = out[used];
+  line.text.assign(raw_line);
+  line.index = static_cast<int>(used);
+  line.raw_index = static_cast<int>(raw);
+  line.preceded_by_blank = state.pending_blanks > 0;
+  line.starts_with_symbol = StartsWithSymbol(raw_line);
+  line.has_tab = raw_line.find('\t') != std::string_view::npos;
+  line.indent = IndentWidth(raw_line);
+  line.shift_left = state.have_prev && line.indent < state.prev_indent;
+  line.shift_right = state.have_prev && line.indent > state.prev_indent;
+  state.prev_indent = line.indent;
+  state.have_prev = true;
+  state.pending_blanks = 0;
+  ++used;
+}
+
 }  // namespace
 
 bool IsLabeledLine(std::string_view line) { return util::HasAlnum(line); }
 
 std::vector<Line> SplitRecord(std::string_view record) {
   std::vector<Line> out;
-  const auto raw_lines = util::SplitLines(record);
+  SplitRecordInto(record, out);
+  return out;
+}
 
-  int pending_blanks = 0;
-  bool have_prev = false;
-  int prev_indent = 0;
-
-  for (size_t raw = 0; raw < raw_lines.size(); ++raw) {
-    std::string_view raw_line = raw_lines[raw];
-    if (!IsLabeledLine(raw_line)) {
-      ++pending_blanks;
-      continue;
+void SplitRecordInto(std::string_view record, std::vector<Line>& out) {
+  LayoutState state;
+  size_t used = 0;
+  // Inline line split (same \n / \r\n / bare-\r handling as
+  // util::SplitLines) so no intermediate vector of pieces is built.
+  size_t start = 0;
+  size_t raw = 0;
+  for (size_t i = 0; i < record.size(); ++i) {
+    if (record[i] == '\n') {
+      size_t end = i;
+      if (end > start && record[end - 1] == '\r') --end;
+      FeedLine(record.substr(start, end - start), raw++, state, out, used);
+      start = i + 1;
+    } else if (record[i] == '\r' &&
+               (i + 1 >= record.size() || record[i + 1] != '\n')) {
+      FeedLine(record.substr(start, i - start), raw++, state, out, used);
+      start = i + 1;
     }
-    Line line;
-    line.text = std::string(raw_line);
-    line.index = static_cast<int>(out.size());
-    line.raw_index = static_cast<int>(raw);
-    line.preceded_by_blank = pending_blanks > 0;
-    line.starts_with_symbol = StartsWithSymbol(raw_line);
-    line.has_tab = raw_line.find('\t') != std::string_view::npos;
-    line.indent = IndentWidth(raw_line);
-    if (have_prev) {
-      line.shift_left = line.indent < prev_indent;
-      line.shift_right = line.indent > prev_indent;
-    }
-    prev_indent = line.indent;
-    have_prev = true;
-    pending_blanks = 0;
-    out.push_back(std::move(line));
   }
+  if (start < record.size()) {
+    FeedLine(record.substr(start), raw++, state, out, used);
+  }
+  out.resize(used);
+}
+
+std::vector<Line> AnnotateLines(std::span<const std::string> raw_lines) {
+  std::vector<Line> out;
+  LayoutState state;
+  size_t used = 0;
+  for (size_t raw = 0; raw < raw_lines.size(); ++raw) {
+    FeedLine(raw_lines[raw], raw, state, out, used);
+  }
+  out.resize(used);
   return out;
 }
 

@@ -24,6 +24,80 @@ bool IsEdgePunct(char c) {
   }
 }
 
+bool IsSpaceChar(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+         c == '\v';
+}
+
+// Whitespace-split without materializing a vector of pieces.
+template <typename Fn>
+void ForEachWord(std::string_view s, Fn&& fn) {
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && IsSpaceChar(s[i])) ++i;
+    size_t start = i;
+    while (i < s.size() && !IsSpaceChar(s[i])) ++i;
+    if (i > start) fn(s.substr(start, i - start));
+  }
+}
+
+// Sink that reconstructs the classic LineAttributes contract: first
+// occurrence of each attribute wins, order-stable. Attribute lists are a
+// couple dozen entries at most, so a linear scan beats a hash set.
+class CollectSink final : public AttrSink {
+ public:
+  explicit CollectSink(LineAttributes& out) : out_(out) {}
+
+  void OnAttr(std::string_view attr, bool transition) override {
+    for (const std::string& existing : out_.attrs) {
+      if (existing == attr) return;
+    }
+    out_.attrs.emplace_back(attr);
+    out_.transition.push_back(transition);
+  }
+
+ private:
+  LineAttributes& out_;
+};
+
+}  // namespace
+
+Tokenizer::Tokenizer(TokenizerOptions options) : options_(options) {}
+
+std::string Tokenizer::NormalizeWord(std::string_view word) const {
+  std::string out;
+  NormalizeWordInto(word, out);
+  return out;
+}
+
+bool Tokenizer::NormalizeWordInto(std::string_view word,
+                                  std::string& out) const {
+  size_t begin = 0;
+  size_t end = word.size();
+  while (begin < end && IsEdgePunct(word[begin])) ++begin;
+  while (end > begin && IsEdgePunct(word[end - 1])) --end;
+  std::string_view core = word.substr(begin, end - begin);
+  if (core.size() > options_.max_word_length) {
+    core = core.substr(0, options_.max_word_length);
+  }
+  out.assign(core);
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return !out.empty();
+}
+
+LineAttributes Tokenizer::Extract(const Line& line) const {
+  LineAttributes out;
+  CollectSink sink(out);
+  TokenScratch scratch;
+  ExtractTo(line, sink, scratch);
+  return out;
+}
+
+namespace {
+
+// Classic-path helper: hash-set dedup with by-value attribute strings.
 void AddAttr(LineAttributes& out, std::unordered_set<std::string>& seen,
              std::string attr, bool transition) {
   if (attr.empty()) return;
@@ -34,25 +108,26 @@ void AddAttr(LineAttributes& out, std::unordered_set<std::string>& seen,
 
 }  // namespace
 
-Tokenizer::Tokenizer(TokenizerOptions options) : options_(options) {}
-
-std::string Tokenizer::NormalizeWord(std::string_view word) const {
-  size_t begin = 0;
-  size_t end = word.size();
-  while (begin < end && IsEdgePunct(word[begin])) ++begin;
-  while (end > begin && IsEdgePunct(word[end - 1])) --end;
-  std::string_view core = word.substr(begin, end - begin);
-  if (core.empty()) return {};
-  std::string lower = util::ToLower(core);
-  if (lower.size() > options_.max_word_length) {
-    lower.resize(options_.max_word_length);
-  }
-  return lower;
-}
-
-LineAttributes Tokenizer::Extract(const Line& line) const {
+// Kept byte-for-byte as the pre-fast-path implementation (including its
+// per-word/per-attr allocations) so ParseNaive measures the real
+// pre-change cost. Do not "optimize" this function; improve ExtractTo.
+LineAttributes Tokenizer::ExtractClassic(const Line& line) const {
   LineAttributes out;
   std::unordered_set<std::string> seen;
+
+  auto normalize = [&](std::string_view word) -> std::string {
+    size_t begin = 0;
+    size_t end = word.size();
+    while (begin < end && IsEdgePunct(word[begin])) ++begin;
+    while (end > begin && IsEdgePunct(word[end - 1])) --end;
+    std::string_view core = word.substr(begin, end - begin);
+    if (core.empty()) return {};
+    std::string lower = util::ToLower(core);
+    if (lower.size() > options_.max_word_length) {
+      lower.resize(options_.max_word_length);
+    }
+    return lower;
+  };
 
   if (options_.layout_markers) {
     if (line.preceded_by_blank) AddAttr(out, seen, "NL", true);
@@ -74,7 +149,6 @@ LineAttributes Tokenizer::Extract(const Line& line) const {
               std::string("SEP_") + std::string(SeparatorName(split->kind)),
               false);
       if (split->value.empty()) {
-        // "Registrant:" alone on a line — block-header form (§4.2).
         AddAttr(out, seen, "SEP_EMPTYVAL", true);
       }
     }
@@ -84,11 +158,8 @@ LineAttributes Tokenizer::Extract(const Line& line) const {
 
   bool first_title_word = true;
   for (std::string_view raw_word : util::SplitWhitespace(title_part)) {
-    std::string word = NormalizeWord(raw_word);
+    std::string word = normalize(raw_word);
     if (word.empty()) continue;
-    // The first title word is the strongest block-boundary signal (Figure 1
-    // edges are dominated by first-title words), so it alone is
-    // transition-eligible among words.
     AddAttr(out, seen, word + "@T", first_title_word);
     first_title_word = false;
     if (options_.word_classes) {
@@ -99,7 +170,7 @@ LineAttributes Tokenizer::Extract(const Line& line) const {
   }
 
   for (std::string_view raw_word : util::SplitWhitespace(value_part)) {
-    std::string word = NormalizeWord(raw_word);
+    std::string word = normalize(raw_word);
     if (word.empty()) continue;
     AddAttr(out, seen, word + "@V", false);
     if (options_.word_classes) {
@@ -109,10 +180,80 @@ LineAttributes Tokenizer::Extract(const Line& line) const {
     }
   }
 
-  // A line with no attributes at all (pathological input) still needs one
-  // observation for the CRF to score; emit a bias marker.
   if (out.attrs.empty()) AddAttr(out, seen, "EMPTYLINE", false);
   return out;
+}
+
+void Tokenizer::ExtractTo(const Line& line, AttrSink& sink,
+                          TokenScratch& scratch) const {
+  size_t emitted = 0;
+  auto emit = [&](std::string_view attr, bool transition) {
+    sink.OnAttr(attr, transition);
+    ++emitted;
+  };
+
+  if (options_.layout_markers) {
+    if (line.preceded_by_blank) emit("NL", true);
+    if (line.shift_left) emit("SHL", true);
+    if (line.shift_right) emit("SHR", true);
+    if (line.starts_with_symbol) emit("SYM", true);
+    if (line.has_tab) emit("TABCH", false);
+  }
+
+  const auto split = FindSeparator(line.text);
+  std::string_view title_part;
+  std::string_view value_part;
+  if (split.has_value()) {
+    title_part = split->title;
+    value_part = split->value;
+    if (options_.separator_markers) {
+      emit("SEP", true);
+      scratch.attr.assign("SEP_");
+      scratch.attr.append(SeparatorName(split->kind));
+      emit(scratch.attr, false);
+      if (split->value.empty()) {
+        // "Registrant:" alone on a line — block-header form (§4.2).
+        emit("SEP_EMPTYVAL", true);
+      }
+    }
+  } else {
+    value_part = util::Trim(line.text);
+  }
+
+  // Emits `word + suffix` plus the raw word's class attributes.
+  auto emit_word = [&](std::string_view raw_word, std::string_view suffix,
+                       bool transition) {
+    scratch.attr.assign(scratch.word);
+    scratch.attr.append(suffix);
+    emit(scratch.attr, transition);
+    if (options_.word_classes) {
+      ClassifyWord(raw_word, scratch.classes);
+      for (WordClass cls : scratch.classes) {
+        scratch.attr.assign(WordClassName(cls));
+        scratch.attr.append(suffix);
+        emit(scratch.attr, false);
+      }
+    }
+  };
+
+  bool first_title_word = true;
+  ForEachWord(title_part, [&](std::string_view raw_word) {
+    if (!NormalizeWordInto(raw_word, scratch.word)) return;
+    // The first title word is the strongest block-boundary signal (Figure 1
+    // edges are dominated by first-title words), so it alone is
+    // transition-eligible among words.
+    emit_word(raw_word, "@T", first_title_word);
+    first_title_word = false;
+  });
+
+  ForEachWord(value_part, [&](std::string_view raw_word) {
+    if (!NormalizeWordInto(raw_word, scratch.word)) return;
+    emit_word(raw_word, "@V", false);
+  });
+
+  // A line with no attributes at all (pathological input) still needs one
+  // observation for the CRF to score; emit a bias marker.
+  if (emitted == 0) emit("EMPTYLINE", false);
 }
 
 std::vector<LineAttributes> Tokenizer::ExtractRecord(

@@ -17,9 +17,11 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "text/line_splitter.h"
+#include "text/word_classes.h"
 
 namespace whoiscrf::text {
 
@@ -28,6 +30,27 @@ struct LineAttributes {
   std::vector<std::string> attrs;
   // Parallel flags: attrs[i] also generates (y_{t-1}, y_t) features.
   std::vector<bool> transition;
+};
+
+// Receiver for the streaming extraction path. `attr` points into scratch
+// owned by the caller and is only valid for the duration of the call — a
+// sink that keeps attributes must copy (or intern) them. Attributes are
+// emitted in the same order as `Tokenizer::Extract` produces them, but
+// *without* deduplication; sinks that need set semantics keep the first
+// occurrence of each attribute (which is what Extract's dedup does).
+class AttrSink {
+ public:
+  virtual ~AttrSink() = default;
+  virtual void OnAttr(std::string_view attr, bool transition) = 0;
+};
+
+// Reusable buffers for `Tokenizer::ExtractTo`. Hold one per thread (or per
+// workspace) and the extraction loop stops allocating once the buffers have
+// grown to the working-set size.
+struct TokenScratch {
+  std::string attr;                // attribute name under construction
+  std::string word;                // normalized word
+  std::vector<WordClass> classes;  // word classes of the current raw word
 };
 
 struct TokenizerOptions {
@@ -49,12 +72,32 @@ class Tokenizer {
   // Extracts attributes from one line (with its layout context).
   LineAttributes Extract(const Line& line) const;
 
+  // The original extraction implementation, frozen verbatim as a
+  // differential reference (per-line hash-set dedup, by-value strings,
+  // vector-returning word classification). Produces exactly the same
+  // LineAttributes as Extract; WhoisParser::ParseNaive and the
+  // equivalence tests use it so benchmarks compare the streaming fast
+  // path against the true pre-fast-path cost.
+  LineAttributes ExtractClassic(const Line& line) const;
+
+  // Streaming fast path: emits this line's attributes into `sink` in
+  // Extract's order, using `scratch` for all string building. Emits raw
+  // (non-deduplicated) attributes; see AttrSink. Guarantees at least one
+  // emission per line ("EMPTYLINE" when nothing else matched).
+  void ExtractTo(const Line& line, AttrSink& sink, TokenScratch& scratch) const;
+
   // Convenience: full record -> per-line attributes.
   std::vector<LineAttributes> ExtractRecord(std::string_view record) const;
 
   // Normalizes one raw word: lower-case, strip surrounding punctuation,
   // truncate. Returns empty string if nothing is left.
   std::string NormalizeWord(std::string_view word) const;
+
+  // Allocation-free variant: writes the normalized word into `out` (reusing
+  // its capacity). Returns false — with `out` cleared — if nothing is left.
+  bool NormalizeWordInto(std::string_view word, std::string& out) const;
+
+  const TokenizerOptions& options() const { return options_; }
 
  private:
   TokenizerOptions options_;

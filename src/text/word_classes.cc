@@ -181,7 +181,13 @@ std::string_view WordClassName(WordClass cls) {
 
 std::vector<WordClass> ClassifyWord(std::string_view w) {
   std::vector<WordClass> out;
-  if (w.empty()) return out;
+  ClassifyWord(w, out);
+  return out;
+}
+
+void ClassifyWord(std::string_view w, std::vector<WordClass>& out) {
+  out.clear();
+  if (w.empty()) return;
   if (IsFiveDigit(w)) out.push_back(WordClass::kFiveDigit);
   if (IsNumber(w)) out.push_back(WordClass::kNumber);
   if (IsYear(w)) out.push_back(WordClass::kYear);
@@ -216,7 +222,6 @@ std::vector<WordClass> ClassifyWord(std::string_view w) {
   if (letters > 0 && digits > 0 && letters + digits == w.size()) {
     out.push_back(WordClass::kAlnumMixed);
   }
-  return out;
 }
 
 }  // namespace whoiscrf::text

@@ -39,6 +39,10 @@ std::string_view WordClassName(WordClass cls);
 // (e.g. "92093" is kFiveDigit and kNumber).
 std::vector<WordClass> ClassifyWord(std::string_view word);
 
+// Allocation-free variant: clears `out` and appends the classes. The hot
+// tokenizer path calls this once per word with a reused buffer.
+void ClassifyWord(std::string_view word, std::vector<WordClass>& out);
+
 // Individual detectors, exposed for reuse by the rule-based baseline and by
 // tests.
 bool IsFiveDigit(std::string_view w);

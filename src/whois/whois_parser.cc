@@ -1,15 +1,64 @@
 #include "whois/whois_parser.h"
 
+#include <atomic>
+#include <cstring>
 #include <fstream>
 #include <stdexcept>
 
+#include "crf/inference.h"
+#include "crf/viterbi.h"
 #include "text/separator.h"
 #include "text/word_classes.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace whoiscrf::whois {
 
 namespace {
+
+// Parser-level serialization header (little-endian, like CrfModel's own
+// framing). Streams written before this header existed start directly with
+// CrfModel's "WCRF" magic; Load detects that and falls back to default
+// options, preserving compatibility with old model files.
+constexpr uint32_t kParserMagic = 0x53525057;  // "WPRS"
+constexpr uint32_t kParserVersion = 1;
+
+constexpr uint32_t kTokWordClasses = 1u << 0;
+constexpr uint32_t kTokLayoutMarkers = 1u << 1;
+constexpr uint32_t kTokSeparatorMarkers = 1u << 2;
+
+void WriteU32(std::ostream& os, uint32_t v) {
+  unsigned char buf[4] = {
+      static_cast<unsigned char>(v), static_cast<unsigned char>(v >> 8),
+      static_cast<unsigned char>(v >> 16), static_cast<unsigned char>(v >> 24)};
+  os.write(reinterpret_cast<const char*>(buf), 4);
+}
+
+uint32_t ReadU32(std::istream& is) {
+  unsigned char buf[4];
+  is.read(reinterpret_cast<char*>(buf), 4);
+  if (!is) throw std::runtime_error("WhoisParser::Load: truncated stream");
+  return static_cast<uint32_t>(buf[0]) | (static_cast<uint32_t>(buf[1]) << 8) |
+         (static_cast<uint32_t>(buf[2]) << 16) |
+         (static_cast<uint32_t>(buf[3]) << 24);
+}
+
+void WriteF64(std::ostream& os, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  WriteU32(os, static_cast<uint32_t>(bits));
+  WriteU32(os, static_cast<uint32_t>(bits >> 32));
+}
+
+double ReadF64(std::istream& is) {
+  const uint64_t lo = ReadU32(is);
+  const uint64_t hi = ReadU32(is);
+  const uint64_t bits = lo | (hi << 32);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
 
 // Title/value split with fallback: lines without a separator are all value.
 struct TitleValue {
@@ -28,6 +77,75 @@ TitleValue SplitTitleValue(const text::Line& line) {
 void AssignFirst(std::string& field, const std::string& value) {
   if (field.empty() && !value.empty()) field = value;
 }
+
+uint64_t NextParserId() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+// Cache key: the layout flags + text a Line contributes to feature
+// extraction (Tokenizer::ExtractTo reads nothing else), so equal keys
+// guarantee identical attribute streams.
+void LineCacheKey(const text::Line& line, std::string& key) {
+  char flags = 0;
+  if (line.preceded_by_blank) flags |= 1;
+  if (line.shift_left) flags |= 2;
+  if (line.shift_right) flags |= 4;
+  if (line.starts_with_symbol) flags |= 8;
+  if (line.has_tab) flags |= 16;
+  key.assign(1, flags);
+  key.append(line.text);
+}
+
+// Entries past this cap go to the per-record overflow list instead of the
+// map; bounds worst-case cache memory to a few MB per workspace. Real
+// registrar corpora have a few thousand distinct lines, far below the cap.
+constexpr size_t kLineCacheCap = 1 << 15;
+
+}  // namespace
+
+namespace {
+
+// Interns one line's attribute stream against BOTH levels with a single
+// probe of the parser's merged attr table per attribute. Produces exactly
+// what one InternSink per model would (same ids in the same order, same
+// first-occurrence dedup, same trans_slots), because the table is the
+// merge of both vocabularies and slot maps.
+template <typename AttrMap>
+class DualInternSink final : public text::AttrSink {
+ public:
+  explicit DualInternSink(const AttrMap& map) : map_(map) {}
+
+  void BeginLine(crf::CompiledItem& item1, crf::CompiledItem& item2) {
+    item1_ = &item1;
+    item2_ = &item2;
+    item1.attrs.clear();
+    item1.trans_slots.clear();
+    item2.attrs.clear();
+    item2.trans_slots.clear();
+  }
+
+  void OnAttr(std::string_view attr, bool transition) override {
+    const auto it = map_.find(attr);
+    if (it == map_.end()) return;
+    const auto& d = it->second;
+    if (d.id1 >= 0) Add(*item1_, d.id1, d.slot1, transition);
+    if (d.id2 >= 0) Add(*item2_, d.id2, d.slot2, transition);
+  }
+
+ private:
+  static void Add(crf::CompiledItem& item, int id, int slot, bool transition) {
+    for (int existing : item.attrs) {
+      if (existing == id) return;  // first occurrence wins
+    }
+    item.attrs.push_back(id);
+    if (transition && slot >= 0) item.trans_slots.push_back(slot);
+  }
+
+  const AttrMap& map_;
+  crf::CompiledItem* item1_ = nullptr;
+  crf::CompiledItem* item2_ = nullptr;
+};
 
 }  // namespace
 
@@ -53,65 +171,68 @@ void AssignContactField(Contact& c, Level2Label sub, const std::string& v) {
 
 }  // namespace
 
-void ExtractFields(const std::vector<text::Line>& lines,
-                   const std::vector<Level1Label>& labels,
-                   const std::vector<Level2Label>& registrant_sub_labels,
-                   ParsedWhois& out,
-                   const std::vector<Level2Label>& other_sub_labels) {
-  size_t registrant_index = 0;
-  size_t other_index = 0;
-  for (size_t i = 0; i < lines.size(); ++i) {
-    const TitleValue tv = SplitTitleValue(lines[i]);
-    switch (labels[i]) {
+namespace {
+
+// Routes one line's (lower-cased title, value) into the ParsedWhois given
+// its level-1 label; the two indices walk the level-2 label vectors.
+// Single source of truth for both ExtractFields and the fast path's
+// cached-title/value loop.
+void RouteLine(const std::string& title, const std::string& value,
+               Level1Label label,
+               const std::vector<Level2Label>& registrant_sub_labels,
+               size_t& registrant_index,
+               const std::vector<Level2Label>& other_sub_labels,
+               size_t& other_index, ParsedWhois& out) {
+  switch (label) {
       case Level1Label::kRegistrar: {
-        if (tv.title.find("whois") != std::string::npos ||
-            tv.title.find("referral") != std::string::npos) {
-          AssignFirst(out.whois_server, tv.value);
-        } else if (tv.title.find("url") != std::string::npos ||
-                   text::IsUrl(tv.value)) {
-          AssignFirst(out.registrar_url, tv.value);
-        } else if (tv.title.find("iana") != std::string::npos) {
+        if (title.find("whois") != std::string::npos ||
+            title.find("referral") != std::string::npos) {
+          AssignFirst(out.whois_server, value);
+        } else if (title.find("url") != std::string::npos ||
+                   text::IsUrl(value)) {
+          AssignFirst(out.registrar_url, value);
+        } else if (title.find("iana") != std::string::npos) {
           // Registrar IANA ID — numeric handle, not the registrar name.
-        } else if (tv.title.find("registrar") != std::string::npos ||
-                   tv.title.find("sponsor") != std::string::npos ||
-                   tv.title.find("registered by") != std::string::npos ||
-                   tv.title.find("registered through") != std::string::npos ||
-                   tv.title.find("provided by") != std::string::npos ||
-                   tv.title.find("provider") != std::string::npos) {
-          AssignFirst(out.registrar, tv.value);
-        } else if (out.registrar.empty() && tv.title.empty()) {
-          AssignFirst(out.registrar, tv.value);
+        } else if (title.find("registrar") != std::string::npos ||
+                   title.find("sponsor") != std::string::npos ||
+                   title.find("registered by") != std::string::npos ||
+                   title.find("registered through") != std::string::npos ||
+                   title.find("provided by") != std::string::npos ||
+                   title.find("provider") != std::string::npos) {
+          AssignFirst(out.registrar, value);
+        } else if (out.registrar.empty() && title.empty()) {
+          AssignFirst(out.registrar, value);
         }
         break;
       }
       case Level1Label::kDomain: {
-        if (tv.title.find("domain") != std::string::npos) {
-          AssignFirst(out.domain_name, tv.value);
-        } else if (tv.title.find("server") != std::string::npos ||
-                   tv.title.find("nserver") != std::string::npos ||
-                   tv.title.find("name server") != std::string::npos) {
-          if (!tv.value.empty()) out.name_servers.push_back(tv.value);
-        } else if (tv.title.find("status") != std::string::npos) {
-          if (!tv.value.empty()) out.statuses.push_back(tv.value);
-        } else if (out.domain_name.empty() && tv.title.empty() &&
-                   text::IsDomainName(tv.value)) {
-          out.domain_name = tv.value;
+        if (title.find("domain") != std::string::npos) {
+          AssignFirst(out.domain_name, value);
+        } else if (title.find("server") != std::string::npos ||
+                   title.find("nserver") != std::string::npos ||
+                   title.find("name server") != std::string::npos) {
+          if (!value.empty()) out.name_servers.push_back(value);
+        } else if (title.find("status") != std::string::npos) {
+          if (!value.empty()) out.statuses.push_back(value);
+        } else if (out.domain_name.empty() && title.empty() &&
+                   text::IsDomainName(value)) {
+          out.domain_name = value;
         }
         break;
       }
       case Level1Label::kDate: {
-        if (tv.title.find("creat") != std::string::npos ||
-            tv.title.find("registered on") != std::string::npos ||
-            tv.title.find("registration date") != std::string::npos) {
-          AssignFirst(out.created, tv.value);
-        } else if (tv.title.find("updat") != std::string::npos ||
-                   tv.title.find("modif") != std::string::npos ||
-                   tv.title.find("changed") != std::string::npos) {
-          AssignFirst(out.updated, tv.value);
-        } else if (tv.title.find("expir") != std::string::npos ||
-                   tv.title.find("renew") != std::string::npos ||
-                   tv.title.find("paid-till") != std::string::npos) {
-          AssignFirst(out.expires, tv.value);
+        if (title.find("creat") != std::string::npos ||
+            title.find("registered on") != std::string::npos ||
+            title.find("registration date") != std::string::npos) {
+          AssignFirst(out.created, value);
+        } else if (title.find("updat") != std::string::npos ||
+                   title.find("modif") != std::string::npos ||
+                   title.find("changed") != std::string::npos) {
+          AssignFirst(out.updated, value);
+        } else if (title.find("expir") != std::string::npos ||
+                   title.find("renew") != std::string::npos ||
+                   title.find("paid-till") != std::string::npos) {
+          AssignFirst(out.expires, value);
         }
         break;
       }
@@ -122,22 +243,37 @@ void ExtractFields(const std::vector<text::Line>& lines,
                 : Level2Label::kOther;
         ++registrant_index;
         // Block-header lines ("Registrant:" with empty value) carry no data.
-        const std::string& v = tv.value;
+        const std::string& v = value;
         if (v.empty()) break;
         AssignContactField(out.registrant, sub, v);
         break;
       }
       case Level1Label::kOther: {
-        if (other_index < other_sub_labels.size() && !tv.value.empty()) {
+        if (other_index < other_sub_labels.size() && !value.empty()) {
           AssignContactField(out.other_contact,
-                             other_sub_labels[other_index], tv.value);
+                             other_sub_labels[other_index], value);
         }
         ++other_index;
         break;
       }
       case Level1Label::kNull:
         break;
-    }
+  }
+}
+
+}  // namespace
+
+void ExtractFields(const std::vector<text::Line>& lines,
+                   const std::vector<Level1Label>& labels,
+                   const std::vector<Level2Label>& registrant_sub_labels,
+                   ParsedWhois& out,
+                   const std::vector<Level2Label>& other_sub_labels) {
+  size_t registrant_index = 0;
+  size_t other_index = 0;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const TitleValue tv = SplitTitleValue(lines[i]);
+    RouteLine(tv.title, tv.value, labels[i], registrant_sub_labels,
+              registrant_index, other_sub_labels, other_index, out);
   }
 }
 
@@ -147,7 +283,22 @@ WhoisParser::WhoisParser(std::unique_ptr<crf::CrfModel> level1,
     : level1_(std::move(level1)),
       level2_(std::move(level2)),
       options_(options),
-      tokenizer_(options_.tokenizer) {}
+      tokenizer_(options_.tokenizer),
+      instance_id_(NextParserId()) {
+  // Merge the two vocabularies into the single-probe attr table. Interning
+  // through it is equivalent to probing each model's vocabulary and slot
+  // map separately, by construction.
+  const auto merge = [this](const crf::CrfModel& model, bool second) {
+    const text::Vocabulary& vocab = model.vocab();
+    for (int id = 0; id < static_cast<int>(vocab.size()); ++id) {
+      DualAttr& d = attr_map_[vocab.Name(id)];
+      (second ? d.id2 : d.id1) = id;
+      (second ? d.slot2 : d.slot1) = model.TransSlot(id);
+    }
+  };
+  merge(*level1_, false);
+  merge(*level2_, true);
+}
 
 WhoisParser WhoisParser::Train(const std::vector<LabeledRecord>& records,
                                const WhoisParserOptions& options) {
@@ -200,9 +351,9 @@ std::vector<Level1Label> WhoisParser::LabelLines(
 
 std::vector<Level2Label> WhoisParser::LabelRegistrantLines(
     const std::vector<std::string>& raw_lines) const {
-  // Re-derive layout context within the registrant block only.
-  std::string block = util::Join(raw_lines, "\n");
-  const auto lines = text::SplitRecord(block);
+  // Re-derive layout context within the registrant block only — directly
+  // over the lines we already have, without re-joining and re-splitting.
+  const auto lines = text::AnnotateLines(raw_lines);
   std::vector<text::LineAttributes> attrs;
   attrs.reserve(lines.size());
   for (const auto& line : lines) attrs.push_back(tokenizer_.Extract(line));
@@ -215,13 +366,163 @@ std::vector<Level2Label> WhoisParser::LabelRegistrantLines(
 }
 
 ParsedWhois WhoisParser::Parse(std::string_view record_text) const {
+  // One warm workspace per thread keeps the convenience overload on the
+  // fast path too.
+  static thread_local ParseWorkspace tls_ws;
+  return Parse(record_text, tls_ws);
+}
+
+ParsedWhois WhoisParser::Parse(std::string_view record_text,
+                               ParseWorkspace& ws) const {
+  ParsedWhois out;
+  text::SplitRecordInto(record_text, ws.lines);
+  if (ws.lines.empty()) return out;
+
+  // The line cache memoizes per-line work for THIS parser's models; a
+  // workspace handed over from a different parser starts cold.
+  if (ws.cache_owner != instance_id_) {
+    ws.line_cache.clear();
+    ws.cache_owner = instance_id_;
+  }
+  ws.overflow.clear();
+
+  const size_t T = ws.lines.size();
+  const size_t L1 = static_cast<size_t>(level1_->num_labels());
+  const size_t L2 = static_cast<size_t>(level2_->num_labels());
+  DualInternSink sink(attr_map_);
+
+  // Level 1 compile + scoring: a cache hit replaces tokenization, word
+  // classification, vocabulary interning, and unary/pairwise scoring with
+  // one hash probe and a few row copies. Misses compile the line against
+  // BOTH levels in a single tokenization pass (so level 2 below never
+  // re-tokenizes) and score it once, into the entry.
+  crf::CrfModel::Scores& sc = ws.crf.scores;
+  ws.line_entries.assign(T, nullptr);
+  sc.T = static_cast<int>(T);
+  sc.L = level1_->num_labels();
+  sc.unary.resize(T * L1);
+  sc.pairwise.resize(T * L1 * L1);
+  std::fill_n(sc.pairwise.begin(), L1 * L1, 0.0);  // row t=0 is unused
+  for (size_t t = 0; t < T; ++t) {
+    LineCacheKey(ws.lines[t], ws.key);
+    const auto it = ws.line_cache.find(std::string_view(ws.key));
+    const LineCacheEntry* entry;
+    if (it != ws.line_cache.end()) {
+      entry = &it->second;
+    } else {
+      LineCacheEntry& e =
+          ws.line_cache.size() < kLineCacheCap
+              ? ws.line_cache.emplace(ws.key, LineCacheEntry{}).first->second
+              : ws.overflow.emplace_back();
+      sink.BeginLine(e.level1, e.level2);
+      tokenizer_.ExtractTo(ws.lines[t], sink, ws.crf.token_scratch);
+      e.unary1.resize(L1);
+      level1_->UnaryScores(e.level1, e.unary1.data());
+      e.unary2.resize(L2);
+      level2_->UnaryScores(e.level2, e.unary2.data());
+      TitleValue tv = SplitTitleValue(ws.lines[t]);
+      e.title_lower = std::move(tv.title);
+      e.value = std::move(tv.value);
+      entry = &e;
+    }
+    ws.line_entries[t] = entry;
+    std::memcpy(&sc.unary[t * L1], entry->unary1.data(), L1 * sizeof(double));
+    if (t > 0) {
+      // Recomputed from the (small, cache-hot) weight tables rather than
+      // memoized: fetching a stored L*L block from the cache entry is
+      // memory-bound and measurably slower.
+      level1_->PairwiseScores(entry->level1, &sc.pairwise[t * L1 * L1]);
+    }
+  }
+
+  // Level 1 inference: Viterbi labels plus forward-only log Z (no backward
+  // pass, no marginals — Parse never reports per-line confidences). The
+  // assembled Scores are bit-identical to ComputeScores on the same lines
+  // (cached rows come from UnaryScores/PairwiseScores, which accumulate in
+  // ComputeScores' order), and Decode/LogPartition run the same operations
+  // in the same order as Tagger::TagWithConfidence's label and log-prob
+  // computation — so the outputs match ParseNaive exactly.
+  const crf::ViterbiResult& level1 = crf::Decode(ws.crf.scores, ws.crf);
+  out.log_prob = level1.score - crf::LogPartition(ws.crf.scores, ws.crf);
+  out.line_labels.reserve(level1.labels.size());
+  for (int label : level1.labels) {
+    out.line_labels.push_back(static_cast<Level1Label>(label));
+  }
+
+  // Level 2 refines both the registrant and the `other` block (admin/tech
+  // contacts use the same subfield shapes, and the extracted contact
+  // serves as a registrant proxy when the registrant block is missing,
+  // §3.2) — straight from the cached level-2 items of the pass above.
+  auto tag_block = [&](Level1Label which, std::vector<Level2Label>& subs) {
+    ws.block.clear();
+    for (size_t i = 0; i < T; ++i) {
+      if (out.line_labels[i] == which) ws.block.push_back(ws.line_entries[i]);
+    }
+    subs.clear();
+    if (ws.block.empty()) return;
+    const size_t B = ws.block.size();
+    sc.T = static_cast<int>(B);
+    sc.L = level2_->num_labels();
+    sc.unary.resize(B * L2);
+    sc.pairwise.resize(B * L2 * L2);
+    std::fill_n(sc.pairwise.begin(), L2 * L2, 0.0);  // row t=0 is unused
+    for (size_t b = 0; b < B; ++b) {
+      const LineCacheEntry& entry = *ws.block[b];
+      std::memcpy(&sc.unary[b * L2], entry.unary2.data(),
+                  L2 * sizeof(double));
+      if (b > 0) {
+        level2_->PairwiseScores(entry.level2, &sc.pairwise[b * L2 * L2]);
+      }
+    }
+    for (int label : crf::Decode(ws.crf.scores, ws.crf).labels) {
+      subs.push_back(static_cast<Level2Label>(label));
+    }
+  };
+  tag_block(Level1Label::kRegistrant, ws.sub_labels);
+  tag_block(Level1Label::kOther, ws.other_subs);
+
+  // Field extraction from the cached title/value split — same routing as
+  // ExtractFields, minus the per-line separator scan and string building.
+  size_t registrant_index = 0;
+  size_t other_index = 0;
+  for (size_t i = 0; i < T; ++i) {
+    const LineCacheEntry& entry = *ws.line_entries[i];
+    RouteLine(entry.title_lower, entry.value, out.line_labels[i],
+              ws.sub_labels, registrant_index, ws.other_subs, other_index,
+              out);
+  }
+  return out;
+}
+
+std::vector<ParsedWhois> WhoisParser::ParseBatch(
+    std::span<const std::string> records, util::ThreadPool& pool) const {
+  std::vector<ParsedWhois> out(records.size());
+  if (records.empty()) return out;
+  const size_t chunks = std::min(records.size(), pool.size());
+  std::vector<ParseWorkspace> workspaces(chunks);
+  pool.ParallelChunks(records.size(),
+                      [&](size_t begin, size_t end, size_t chunk) {
+                        ParseWorkspace& ws = workspaces[chunk];
+                        for (size_t r = begin; r < end; ++r) {
+                          out[r] = Parse(records[r], ws);
+                        }
+                      });
+  return out;
+}
+
+ParsedWhois WhoisParser::ParseNaive(std::string_view record_text) const {
   ParsedWhois out;
   const auto lines = text::SplitRecord(record_text);
   if (lines.empty()) return out;
 
+  // ExtractClassic is the frozen pre-fast-path tokenization; together with
+  // the per-record allocations and full forward–backward below, this
+  // reproduces the original Parse cost model for differential benchmarks.
   std::vector<text::LineAttributes> attrs;
   attrs.reserve(lines.size());
-  for (const auto& line : lines) attrs.push_back(tokenizer_.Extract(line));
+  for (const auto& line : lines) {
+    attrs.push_back(tokenizer_.ExtractClassic(line));
+  }
 
   const crf::Tagger level1_tagger(*level1_);
   const crf::TagResult level1 = level1_tagger.TagWithConfidence(attrs);
@@ -268,15 +569,52 @@ ParsedWhois WhoisParser::Parse(std::string_view record_text) const {
 }
 
 void WhoisParser::Save(std::ostream& os) const {
+  WriteU32(os, kParserMagic);
+  WriteU32(os, kParserVersion);
+  // Tokenizer options: a reloaded parser must tokenize exactly like the
+  // one that was trained, or every attribute lookup goes wrong.
+  WriteU32(os, static_cast<uint32_t>(options_.tokenizer.max_word_length));
+  uint32_t tok_flags = 0;
+  if (options_.tokenizer.word_classes) tok_flags |= kTokWordClasses;
+  if (options_.tokenizer.layout_markers) tok_flags |= kTokLayoutMarkers;
+  if (options_.tokenizer.separator_markers) tok_flags |= kTokSeparatorMarkers;
+  WriteU32(os, tok_flags);
+  // Trainer scalars, so Adapt() after reload regularizes and prunes the
+  // same way the original training run did.
+  WriteU32(os, static_cast<uint32_t>(options_.trainer.min_attr_count));
+  WriteF64(os, options_.trainer.l2_sigma);
+  WriteU32(os, options_.trainer.use_observed_transitions ? 1u : 0u);
+  WriteU32(os, static_cast<uint32_t>(options_.trainer.algorithm));
   level1_->Save(os);
   level2_->Save(os);
 }
 
 WhoisParser WhoisParser::Load(std::istream& is) {
+  WhoisParserOptions options;
+  const std::istream::pos_type start = is.tellg();
+  if (ReadU32(is) == kParserMagic) {
+    const uint32_t version = ReadU32(is);
+    if (version != kParserVersion) {
+      throw std::runtime_error("WhoisParser::Load: unsupported version");
+    }
+    options.tokenizer.max_word_length = ReadU32(is);
+    const uint32_t tok_flags = ReadU32(is);
+    options.tokenizer.word_classes = (tok_flags & kTokWordClasses) != 0;
+    options.tokenizer.layout_markers = (tok_flags & kTokLayoutMarkers) != 0;
+    options.tokenizer.separator_markers =
+        (tok_flags & kTokSeparatorMarkers) != 0;
+    options.trainer.min_attr_count = ReadU32(is);
+    options.trainer.l2_sigma = ReadF64(is);
+    options.trainer.use_observed_transitions = ReadU32(is) != 0;
+    options.trainer.algorithm = static_cast<crf::Algorithm>(ReadU32(is));
+  } else {
+    // Legacy stream: two bare CrfModels, written before the parser header
+    // existed. Rewind and load with default options.
+    is.seekg(start);
+  }
   auto level1 = std::make_unique<crf::CrfModel>(crf::CrfModel::Load(is));
   auto level2 = std::make_unique<crf::CrfModel>(crf::CrfModel::Load(is));
-  return WhoisParser(std::move(level1), std::move(level2),
-                     WhoisParserOptions{});
+  return WhoisParser(std::move(level1), std::move(level2), options);
 }
 
 void WhoisParser::SaveFile(const std::string& path) const {

@@ -15,22 +15,80 @@
 // Adapt() by supplying a handful of newly labeled examples (§5.3).
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <iosfwd>
 #include <memory>
+#include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "crf/tagger.h"
 #include "crf/trainer.h"
+#include "crf/workspace.h"
 #include "text/tokenizer.h"
 #include "whois/record.h"
 #include "whois/training_data.h"
+
+namespace whoiscrf::util {
+class ThreadPool;
+}  // namespace whoiscrf::util
 
 namespace whoiscrf::whois {
 
 struct WhoisParserOptions {
   crf::TrainerOptions trainer;
   text::TokenizerOptions tokenizer;
+};
+
+// Memoized compilation + unary scores for one distinct line, for both CRF
+// levels. WHOIS corpora repeat lines massively (the paper's survey parses
+// 102M records drawn from a few thousand registrar templates), so caching
+// by line content skips tokenization, word classification, vocabulary
+// interning, and the unary part of scoring on every repeat.
+struct LineCacheEntry {
+  crf::CompiledItem level1, level2;
+  std::vector<double> unary1, unary2;  // num_labels() doubles per level
+  // Field-extraction view of the line (separator split, title lowered),
+  // also a pure function of the text.
+  std::string title_lower, value;
+};
+
+// Transparent string hash so map probes can take a string_view key.
+struct TransparentStringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+  size_t operator()(const std::string& s) const noexcept {
+    return std::hash<std::string_view>{}(std::string_view(s));
+  }
+};
+
+// Per-thread scratch for the parsing fast path: split lines, the line
+// cache, sub-label buffers, and all CRF inference state. After a few
+// records the buffers stop growing and Parse runs allocation-free on
+// cache hits (apart from the strings of the ParsedWhois it returns).
+struct ParseWorkspace {
+  std::vector<text::Line> lines;
+  std::vector<Level2Label> sub_labels;
+  std::vector<Level2Label> other_subs;
+  crf::Workspace crf;
+
+  // Line cache, keyed by layout flags + text — the only Line fields
+  // feature extraction reads. Entries are valid for exactly one parser
+  // instance (`cache_owner`); Parse clears the cache when handed a
+  // workspace last used with a different parser. deque keeps overflow
+  // entries (past the cap) pointer-stable within a record.
+  uint64_t cache_owner = 0;
+  std::unordered_map<std::string, LineCacheEntry, TransparentStringHash,
+                     std::equal_to<>>
+      line_cache;
+  std::deque<LineCacheEntry> overflow;
+  std::vector<const LineCacheEntry*> line_entries;  // per line, this record
+  std::vector<const LineCacheEntry*> block;         // level-2 subset
+  std::string key;
 };
 
 class WhoisParser {
@@ -45,8 +103,25 @@ class WhoisParser {
   WhoisParser Adapt(const std::vector<LabeledRecord>& records) const;
 
   // Parses one thick record: Viterbi-labels every line, then extracts
-  // structured fields.
+  // structured fields. Uses a thread-local workspace internally; the
+  // overload below lets callers manage workspaces explicitly.
   ParsedWhois Parse(std::string_view record_text) const;
+
+  // Fast-path Parse with caller-provided scratch. Field-identical output
+  // (including log_prob, bit-for-bit) to Parse/ParseNaive.
+  ParsedWhois Parse(std::string_view record_text, ParseWorkspace& ws) const;
+
+  // The pre-workspace implementation, kept as a differential reference:
+  // allocates per line and per record, runs full forward-backward, and
+  // builds a fresh tagger per level-2 block. bench_parse_throughput
+  // measures the fast path's speedup against it, and tests assert
+  // equivalence.
+  ParsedWhois ParseNaive(std::string_view record_text) const;
+
+  // Parses many records on a thread pool, one workspace per chunk.
+  // Results are in input order and identical to calling Parse on each.
+  std::vector<ParsedWhois> ParseBatch(std::span<const std::string> records,
+                                      util::ThreadPool& pool) const;
 
   // Level-1 labels only (used by the evaluation harness).
   std::vector<Level1Label> LabelLines(std::string_view record_text) const;
@@ -75,6 +150,20 @@ class WhoisParser {
   std::unique_ptr<crf::CrfModel> level2_;
   WhoisParserOptions options_;
   text::Tokenizer tokenizer_;
+  // Identifies this parser to ParseWorkspace line caches; drawn from a
+  // process-wide counter so ids are never reused.
+  uint64_t instance_id_;
+
+  // Both levels' vocabularies merged into one attr -> (id, slot) table, so
+  // compiling a cache-miss line probes one hash map per attribute instead
+  // of two vocabularies plus two slot maps. -1 marks "not in this level".
+  struct DualAttr {
+    int id1 = -1, slot1 = -1;
+    int id2 = -1, slot2 = -1;
+  };
+  std::unordered_map<std::string, DualAttr, TransparentStringHash,
+                     std::equal_to<>>
+      attr_map_;
 };
 
 // Field extraction from labeled lines (exposed for reuse by the baselines

@@ -1,0 +1,289 @@
+// Batch parsing engine: fused tokenize+compile equivalence, fast-vs-naive
+// Parse equivalence, ParseBatch-vs-sequential equivalence across thread
+// counts, parser options round-trip, and legacy model-stream loading.
+//
+// These tests are the guardrail for the inference fast path: every
+// workspace shortcut must be *exactly* the classic pipeline, down to
+// log_prob. Run them in a -DWHOISCRF_TSAN=ON build tree to check the
+// parallel path under ThreadSanitizer.
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "crf/workspace.h"
+#include "datagen/corpus_gen.h"
+#include "text/line_splitter.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+#include "whois/json_export.h"
+#include "whois/whois_parser.h"
+
+namespace whoiscrf::whois {
+namespace {
+
+class ParseBatchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    datagen::CorpusOptions options;
+    options.size = 120;
+    options.seed = 99;
+    datagen::CorpusGenerator generator(options);
+    std::vector<LabeledRecord> train;
+    for (size_t i = 0; i < 120; ++i) {
+      train.push_back(generator.Generate(i).thick);
+    }
+    parser_ = new WhoisParser(WhoisParser::Train(train));
+    generator_ = new datagen::CorpusGenerator(options);
+  }
+  static void TearDownTestSuite() {
+    delete parser_;
+    delete generator_;
+    parser_ = nullptr;
+    generator_ = nullptr;
+  }
+
+  static std::vector<std::string> CorpusTexts(size_t begin, size_t count) {
+    std::vector<std::string> out;
+    out.reserve(count);
+    for (size_t i = begin; i < begin + count; ++i) {
+      out.push_back(generator_->Generate(i).thick.text);
+    }
+    return out;
+  }
+
+  static WhoisParser* parser_;
+  static datagen::CorpusGenerator* generator_;
+};
+
+WhoisParser* ParseBatchTest::parser_ = nullptr;
+datagen::CorpusGenerator* ParseBatchTest::generator_ = nullptr;
+
+TEST_F(ParseBatchTest, FusedCompileMatchesExtractCompile) {
+  const text::Tokenizer tokenizer(parser_->options().tokenizer);
+  crf::Workspace ws;
+  for (const std::string& text : CorpusTexts(300, 20)) {
+    const auto lines = text::SplitRecord(text);
+    std::vector<text::LineAttributes> attrs;
+    attrs.reserve(lines.size());
+    for (const auto& line : lines) attrs.push_back(tokenizer.Extract(line));
+
+    // The frozen classic extraction and the streaming path must agree
+    // attribute-for-attribute (same values, order, transition flags).
+    for (const auto& line : lines) {
+      const text::LineAttributes classic_attrs = tokenizer.ExtractClassic(line);
+      const text::LineAttributes fast_attrs = tokenizer.Extract(line);
+      EXPECT_EQ(fast_attrs.attrs, classic_attrs.attrs);
+      EXPECT_EQ(fast_attrs.transition, classic_attrs.transition);
+    }
+
+    std::vector<const text::Line*> line_ptrs;
+    for (const auto& line : lines) line_ptrs.push_back(&line);
+
+    for (const crf::CrfModel* model :
+         {&parser_->level1_model(), &parser_->level2_model()}) {
+      const crf::CompiledSequence classic = model->Compile(attrs);
+      model->CompileInto(tokenizer, lines, ws);
+      ASSERT_EQ(ws.seq.size(), classic.size());
+      for (size_t t = 0; t < classic.size(); ++t) {
+        EXPECT_EQ(ws.seq[t].attrs, classic[t].attrs) << "line " << t;
+        EXPECT_EQ(ws.seq[t].trans_slots, classic[t].trans_slots)
+            << "line " << t;
+      }
+      // The pointer-span overload (scattered line subsets) must agree too.
+      model->CompileInto(
+          tokenizer, std::span<const text::Line* const>(line_ptrs), ws);
+      ASSERT_EQ(ws.seq.size(), classic.size());
+      for (size_t t = 0; t < classic.size(); ++t) {
+        EXPECT_EQ(ws.seq[t].attrs, classic[t].attrs) << "ptr line " << t;
+      }
+      // CompileLineMulti against this single model matches as well.
+      crf::CompiledItem item;
+      crf::CompiledItem* items[1] = {&item};
+      const crf::CrfModel* models[1] = {model};
+      for (size_t t = 0; t < lines.size(); ++t) {
+        crf::CrfModel::CompileLineMulti(tokenizer, lines[t], models, items,
+                                        ws.token_scratch);
+        EXPECT_EQ(item.attrs, classic[t].attrs) << "multi line " << t;
+        EXPECT_EQ(item.trans_slots, classic[t].trans_slots)
+            << "multi line " << t;
+      }
+    }
+  }
+}
+
+TEST_F(ParseBatchTest, FastParseMatchesNaive) {
+  ParseWorkspace ws;
+  for (const std::string& text : CorpusTexts(500, 40)) {
+    const ParsedWhois naive = parser_->ParseNaive(text);
+    const ParsedWhois fast = parser_->Parse(text, ws);
+    EXPECT_EQ(ToJson(fast), ToJson(naive));
+    EXPECT_EQ(fast.line_labels, naive.line_labels);
+    EXPECT_DOUBLE_EQ(fast.log_prob, naive.log_prob);
+  }
+}
+
+TEST_F(ParseBatchTest, BatchMatchesSequentialAcrossThreadCounts) {
+  const std::vector<std::string> records = CorpusTexts(700, 60);
+  std::vector<ParsedWhois> sequential;
+  sequential.reserve(records.size());
+  ParseWorkspace ws;
+  for (const std::string& r : records) {
+    sequential.push_back(parser_->Parse(r, ws));
+  }
+
+  for (size_t threads : {size_t{1}, size_t{4}, size_t{8}}) {
+    util::ThreadPool pool(threads);
+    const std::vector<ParsedWhois> batch = parser_->ParseBatch(records, pool);
+    ASSERT_EQ(batch.size(), sequential.size()) << threads << " threads";
+    for (size_t r = 0; r < batch.size(); ++r) {
+      EXPECT_EQ(ToJson(batch[r]), ToJson(sequential[r]))
+          << threads << " threads, record " << r;
+      EXPECT_EQ(batch[r].log_prob, sequential[r].log_prob)
+          << threads << " threads, record " << r;
+    }
+  }
+}
+
+TEST_F(ParseBatchTest, ParseBatchHandlesEmptyAndDegenerateRecords) {
+  util::ThreadPool pool(2);
+  EXPECT_TRUE(parser_->ParseBatch({}, pool).empty());
+
+  const std::vector<std::string> records = {
+      "", "\n\n\n", "%%%%%\n-----\n", generator_->Generate(900).thick.text};
+  const auto batch = parser_->ParseBatch(records, pool);
+  ASSERT_EQ(batch.size(), records.size());
+  for (size_t r = 0; r < records.size(); ++r) {
+    EXPECT_EQ(ToJson(batch[r]), ToJson(parser_->ParseNaive(records[r])))
+        << "record " << r;
+  }
+}
+
+TEST(ParserOptionsTest, SaveLoadRoundTripsOptions) {
+  datagen::CorpusOptions corpus;
+  corpus.size = 60;
+  corpus.seed = 7;
+  datagen::CorpusGenerator generator(corpus);
+  std::vector<LabeledRecord> train;
+  for (size_t i = 0; i < 60; ++i) {
+    train.push_back(generator.Generate(i).thick);
+  }
+
+  WhoisParserOptions options;
+  options.tokenizer.max_word_length = 10;
+  options.tokenizer.word_classes = false;
+  options.trainer.min_attr_count = 2;
+  options.trainer.l2_sigma = 3.5;
+  const WhoisParser trained = WhoisParser::Train(train, options);
+
+  std::stringstream ss;
+  trained.Save(ss);
+  const WhoisParser loaded = WhoisParser::Load(ss);
+
+  EXPECT_EQ(loaded.options().tokenizer.max_word_length, 10u);
+  EXPECT_FALSE(loaded.options().tokenizer.word_classes);
+  EXPECT_TRUE(loaded.options().tokenizer.layout_markers);
+  EXPECT_TRUE(loaded.options().tokenizer.separator_markers);
+  EXPECT_EQ(loaded.options().trainer.min_attr_count, 2u);
+  EXPECT_DOUBLE_EQ(loaded.options().trainer.l2_sigma, 3.5);
+
+  // With the tokenizer options restored, the reloaded parser must produce
+  // identical parses — this is the bug the header fixes: options used to
+  // be silently dropped, so a non-default tokenizer mis-tokenized after
+  // reload.
+  for (size_t i = 100; i < 120; ++i) {
+    const std::string text = generator.Generate(i).thick.text;
+    EXPECT_EQ(ToJson(loaded.Parse(text)), ToJson(trained.Parse(text)));
+  }
+}
+
+TEST_F(ParseBatchTest, WorkspaceReusedAcrossParsersStaysCorrect) {
+  // A workspace's line cache is keyed to one parser instance; handing the
+  // workspace to a different parser (different vocabulary AND different
+  // tokenizer options) must not leak stale compiled lines.
+  datagen::CorpusOptions corpus;
+  corpus.size = 40;
+  corpus.seed = 11;
+  datagen::CorpusGenerator generator(corpus);
+  std::vector<LabeledRecord> train;
+  for (size_t i = 0; i < 40; ++i) {
+    train.push_back(generator.Generate(i).thick);
+  }
+  WhoisParserOptions options;
+  options.tokenizer.max_word_length = 12;
+  const WhoisParser other = WhoisParser::Train(train, options);
+
+  ParseWorkspace ws;
+  const std::string text = generator_->Generate(910).thick.text;
+  const ParsedWhois first = parser_->Parse(text, ws);
+  const ParsedWhois crossed = other.Parse(text, ws);
+  const ParsedWhois again = parser_->Parse(text, ws);
+
+  EXPECT_EQ(ToJson(first), ToJson(parser_->ParseNaive(text)));
+  EXPECT_EQ(ToJson(crossed), ToJson(other.ParseNaive(text)));
+  EXPECT_EQ(ToJson(again), ToJson(first));
+  EXPECT_EQ(again.log_prob, first.log_prob);
+}
+
+TEST_F(ParseBatchTest, LoadsLegacyStreamsWithoutParserHeader) {
+  // Pre-header streams are just the two CrfModels back to back.
+  std::stringstream ss;
+  parser_->level1_model().Save(ss);
+  parser_->level2_model().Save(ss);
+  const WhoisParser loaded = WhoisParser::Load(ss);
+
+  EXPECT_EQ(loaded.options().tokenizer.max_word_length,
+            text::TokenizerOptions{}.max_word_length);
+  for (size_t i = 950; i < 960; ++i) {
+    const std::string text = generator_->Generate(i).thick.text;
+    EXPECT_EQ(ToJson(loaded.Parse(text)), ToJson(parser_->Parse(text)));
+  }
+}
+
+TEST(AnnotateLinesTest, MatchesJoinThenSplitRecord) {
+  const std::vector<std::string> raw_lines = {
+      "Registrant Name: John Smith",
+      "",
+      "   Registrant Street: 1 Main St",
+      "\tRegistrant City: Springfield",
+      "-----",
+      "Registrant Country: US",
+  };
+  const auto annotated = text::AnnotateLines(raw_lines);
+  const auto split = text::SplitRecord(util::Join(raw_lines, "\n"));
+  ASSERT_EQ(annotated.size(), split.size());
+  for (size_t i = 0; i < split.size(); ++i) {
+    EXPECT_EQ(annotated[i].text, split[i].text);
+    EXPECT_EQ(annotated[i].index, split[i].index);
+    EXPECT_EQ(annotated[i].raw_index, split[i].raw_index);
+    EXPECT_EQ(annotated[i].preceded_by_blank, split[i].preceded_by_blank);
+    EXPECT_EQ(annotated[i].shift_left, split[i].shift_left);
+    EXPECT_EQ(annotated[i].shift_right, split[i].shift_right);
+    EXPECT_EQ(annotated[i].starts_with_symbol, split[i].starts_with_symbol);
+    EXPECT_EQ(annotated[i].has_tab, split[i].has_tab);
+    EXPECT_EQ(annotated[i].indent, split[i].indent);
+  }
+}
+
+TEST(SplitRecordIntoTest, ReusesBufferAcrossRecords) {
+  std::vector<text::Line> reused;
+  const std::string first =
+      "Domain Name: EXAMPLE.COM\nRegistrar: Example Registrar\n"
+      "\n   Name Server: NS1.EXAMPLE.COM\n";
+  const std::string second = "Status: ok\n";
+  for (const std::string* record : {&first, &second, &first}) {
+    text::SplitRecordInto(*record, reused);
+    const auto fresh = text::SplitRecord(*record);
+    ASSERT_EQ(reused.size(), fresh.size());
+    for (size_t i = 0; i < fresh.size(); ++i) {
+      EXPECT_EQ(reused[i].text, fresh[i].text);
+      EXPECT_EQ(reused[i].preceded_by_blank, fresh[i].preceded_by_blank);
+      EXPECT_EQ(reused[i].shift_right, fresh[i].shift_right);
+      EXPECT_EQ(reused[i].indent, fresh[i].indent);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace whoiscrf::whois
