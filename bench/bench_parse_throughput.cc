@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "obs/metrics.h"
 #include "util/env.h"
 #include "util/thread_pool.h"
 #include "whois/whois_parser.h"
@@ -188,7 +189,10 @@ int Main() {
        << "}";
     os << (i + 1 < thread_counts.size() ? ",\n" : "\n");
   }
-  os << "  ]\n";
+  os << "  ],\n";
+  // Registry snapshot (whoiscrf_parse_* et al.) so a bench artifact also
+  // shows cache hit rates and latency buckets, not just the headline rps.
+  os << "  \"metrics\": " << obs::Registry::Global().RenderJson() << "\n";
   os << "}\n";
   std::printf("\nwrote %s\n", out_path.c_str());
   return 0;

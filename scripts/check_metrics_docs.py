@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Cross-checks the telemetry contract: every metric registered in code
+must be documented in docs/observability.md, and every documented
+whoiscrf_* metric must still exist in code. Run from anywhere:
+
+    python3 scripts/check_metrics_docs.py [repo_root]
+
+Wired into CTest as `metrics_docs_check`, so a new metric without docs
+(or stale docs after a rename) fails the build's test suite.
+"""
+import pathlib
+import re
+import sys
+
+REGISTRATION = re.compile(
+    r'(?:GetCounter|GetGauge|GetHistogram)\(\s*"(whoiscrf_[A-Za-z0-9_]+)"'
+)
+DOC_NAME = re.compile(r"`(whoiscrf_[A-Za-z0-9_]+)`")
+
+
+def registered_metrics(root: pathlib.Path) -> set[str]:
+    names: set[str] = set()
+    for tree in ("src", "bench"):
+        for path in sorted((root / tree).rglob("*.cc")):
+            names.update(REGISTRATION.findall(path.read_text()))
+    return names
+
+
+def documented_metrics(doc: pathlib.Path) -> set[str]:
+    return set(DOC_NAME.findall(doc.read_text()))
+
+
+def main() -> int:
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    doc_path = root / "docs" / "observability.md"
+    if not doc_path.is_file():
+        print(f"error: {doc_path} not found", file=sys.stderr)
+        return 2
+
+    registered = registered_metrics(root)
+    documented = documented_metrics(doc_path)
+    if not registered:
+        print("error: no metric registrations found under src/ or bench/ "
+              "(did the registration pattern change?)", file=sys.stderr)
+        return 2
+
+    undocumented = sorted(registered - documented)
+    stale = sorted(documented - registered)
+    ok = True
+    if undocumented:
+        ok = False
+        print("metrics registered in code but missing from "
+              "docs/observability.md:", file=sys.stderr)
+        for name in undocumented:
+            print(f"  {name}", file=sys.stderr)
+    if stale:
+        ok = False
+        print("metrics documented in docs/observability.md but no longer "
+              "registered in code:", file=sys.stderr)
+        for name in stale:
+            print(f"  {name}", file=sys.stderr)
+    if ok:
+        print(f"ok: {len(registered)} metrics registered, all documented")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,7 +31,14 @@ void PrintUsage() {
                "  adapt   --model FILE --data FILE --out FILE\n"
                "  eval    --model FILE --data FILE [--confusion]\n"
                "  select  --model FILE --in FILE [--k N]\n"
-               "  crawl   [--domains N] [--seed S] [--model FILE] [--json]\n");
+               "  crawl   [--domains N] [--seed S] [--model FILE] [--json]\n"
+               "\n"
+               "global flags (every command):\n"
+               "  --metrics-out FILE   write metrics when the command ends\n"
+               "                       (.prom/.txt Prometheus, .jsonl append,\n"
+               "                       else JSON run report)\n"
+               "  --trace-out FILE     record trace spans; open the file at\n"
+               "                       chrome://tracing or ui.perfetto.dev\n");
 }
 
 }  // namespace
@@ -45,26 +52,13 @@ int main(int argc, char** argv) {
   whoiscrf::util::FlagParser flags(argc, argv, 2);
 
   try {
-    int code;
-    if (command == "gen") {
-      code = whoiscrf::cli::CmdGen(flags);
-    } else if (command == "train") {
-      code = whoiscrf::cli::CmdTrain(flags);
-    } else if (command == "parse") {
-      code = whoiscrf::cli::CmdParse(flags);
-    } else if (command == "adapt") {
-      code = whoiscrf::cli::CmdAdapt(flags);
-    } else if (command == "eval") {
-      code = whoiscrf::cli::CmdEval(flags);
-    } else if (command == "select") {
-      code = whoiscrf::cli::CmdSelect(flags);
-    } else if (command == "crawl") {
-      code = whoiscrf::cli::CmdCrawl(flags);
-    } else {
+    const std::optional<int> run = whoiscrf::cli::RunCommand(command, flags);
+    if (!run.has_value()) {
       std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
       PrintUsage();
       return 2;
     }
+    int code = *run;
     for (const auto& unused : flags.UnconsumedFlags()) {
       std::fprintf(stderr, "warning: unused flag %s\n", unused.c_str());
     }

@@ -3,9 +3,19 @@
 // per command; cli_main.cc dispatches.
 #pragma once
 
+#include <optional>
+
 #include "util/flags.h"
 
 namespace whoiscrf::cli {
+
+// Dispatches `command` to its Cmd* implementation, handling the global
+// telemetry flags every subcommand accepts: --metrics-out=PATH writes the
+// metrics registry / run report when the command finishes, --trace-out=PATH
+// enables trace spans and writes Chrome trace JSON. Returns the command's
+// exit code, or nullopt for an unknown command (caller prints usage).
+std::optional<int> RunCommand(const std::string& command,
+                              util::FlagParser& flags);
 
 // whoiscrf gen     --out FILE --count N [--seed S] [--drift F] [--new-tld T]
 // Generates a labeled synthetic corpus in the training-data text format.

@@ -1,0 +1,88 @@
+// Shared subcommand runner: dispatches to the Cmd* implementations and
+// owns the observability flags every subcommand accepts.
+//
+//   --metrics-out=PATH  write the metrics registry when the command ends
+//                       (.prom/.txt → Prometheus text, .jsonl → append one
+//                       run-report line, else a JSON run report)
+//   --trace-out=PATH    enable trace spans and write Chrome trace JSON
+//
+// Keeping this in one place means a new subcommand gets telemetry for free
+// and no command can drift from the contract in docs/observability.md.
+#include <chrono>
+#include <string>
+
+#include "cli/commands.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+namespace whoiscrf::cli {
+
+namespace {
+
+// Trace events store the name pointer, so span names must be literals with
+// process lifetime — hence this lookup instead of ("cli." + command).
+const char* CommandSpanName(const std::string& command) {
+  if (command == "gen") return "cli.gen";
+  if (command == "train") return "cli.train";
+  if (command == "parse") return "cli.parse";
+  if (command == "adapt") return "cli.adapt";
+  if (command == "eval") return "cli.eval";
+  if (command == "select") return "cli.select";
+  if (command == "crawl") return "cli.crawl";
+  return "cli.command";
+}
+
+int Dispatch(const std::string& command, util::FlagParser& flags) {
+  if (command == "gen") return CmdGen(flags);
+  if (command == "train") return CmdTrain(flags);
+  if (command == "parse") return CmdParse(flags);
+  if (command == "adapt") return CmdAdapt(flags);
+  if (command == "eval") return CmdEval(flags);
+  if (command == "select") return CmdSelect(flags);
+  if (command == "crawl") return CmdCrawl(flags);
+  return -1;  // unreachable: RunCommand checks Known() first
+}
+
+bool Known(const std::string& command) {
+  return command == "gen" || command == "train" || command == "parse" ||
+         command == "adapt" || command == "eval" || command == "select" ||
+         command == "crawl";
+}
+
+}  // namespace
+
+std::optional<int> RunCommand(const std::string& command,
+                              util::FlagParser& flags) {
+  if (!Known(command)) return std::nullopt;
+
+  // Consume the telemetry flags before dispatch so commands never see them
+  // as unknown/unused.
+  const std::string metrics_out = flags.GetString("metrics-out");
+  const std::string trace_out = flags.GetString("trace-out");
+  if (!trace_out.empty()) obs::Tracer::Global().Enable();
+
+  const auto start = std::chrono::steady_clock::now();
+  int code;
+  {
+    obs::ScopedSpan span(CommandSpanName(command));
+    code = Dispatch(command, flags);
+  }
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  if (!metrics_out.empty()) {
+    obs::RunInfo info;
+    info.command = command;
+    info.exit_code = code;
+    info.wall_seconds = wall_seconds;
+    obs::WriteMetricsFile(metrics_out, obs::Registry::Global(), info);
+  }
+  if (!trace_out.empty()) {
+    obs::Tracer::Global().WriteFile(trace_out);
+  }
+  return code;
+}
+
+}  // namespace whoiscrf::cli

@@ -1,5 +1,6 @@
 #include "crf/lbfgs.h"
 
+#include <chrono>
 #include <cmath>
 #include <deque>
 #include <stdexcept>
@@ -59,6 +60,7 @@ LbfgsOptimizer::Result LbfgsOptimizer::Minimize(const Objective& f,
       result.converged = true;
       break;
     }
+    const auto iter_start = std::chrono::steady_clock::now();
 
     // Two-loop recursion: direction = -H_k * grad.
     direction = grad;
@@ -141,9 +143,24 @@ LbfgsOptimizer::Result LbfgsOptimizer::Minimize(const Objective& f,
     value = value_next;
     result.iterations = iter + 1;
 
-    if (options_.verbose) {
-      LOG_INFO("lbfgs iter %3d  f=%.6f  |g|=%.3g  step=%.3g", iter + 1, value,
-               InfNorm(grad), step);
+    if (options_.verbose || options_.on_iteration) {
+      const double grad_inf = InfNorm(grad);
+      if (options_.verbose) {
+        LOG_INFO("lbfgs iter %3d  f=%.6f  |g|=%.3g  step=%.3g", iter + 1,
+                 value, grad_inf, step);
+      }
+      if (options_.on_iteration) {
+        IterationInfo info;
+        info.iteration = iter + 1;
+        info.value = value;
+        info.grad_inf_norm = grad_inf;
+        info.step = step;
+        info.evaluations = result.evaluations;
+        info.seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - iter_start)
+                           .count();
+        options_.on_iteration(info);
+      }
     }
     if (improvement >= 0.0 &&
         improvement <= options_.value_rel_tolerance *

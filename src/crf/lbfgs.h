@@ -15,6 +15,18 @@ namespace whoiscrf::crf {
 
 class LbfgsOptimizer {
  public:
+  // Telemetry snapshot of one accepted iteration, delivered through
+  // Options::on_iteration (the hook the CRF trainer uses to export
+  // per-iteration NLL / gradient-norm / wall-time metrics).
+  struct IterationInfo {
+    int iteration = 0;           // 1-based
+    double value = 0.0;          // objective after the accepted step
+    double grad_inf_norm = 0.0;  // ||g||_inf after the step
+    double step = 0.0;           // accepted line-search step length
+    int evaluations = 0;         // objective evals so far (incl. line search)
+    double seconds = 0.0;        // wall time of this iteration
+  };
+
   struct Options {
     int history = 6;                // m: stored curvature pairs
     int max_iterations = 200;
@@ -22,6 +34,10 @@ class LbfgsOptimizer {
     double value_rel_tolerance = 1e-8;  // stop on tiny relative improvement
     int max_line_search_steps = 40;
     bool verbose = false;
+    // Called after every accepted iteration; pure observer (must not touch
+    // the weights). The gradient-norm computation it needs is skipped when
+    // unset and not verbose.
+    std::function<void(const IterationInfo&)> on_iteration;
   };
 
   struct Result {

@@ -6,9 +6,53 @@
 #include <thread>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace whoiscrf::crf {
+
+namespace {
+
+// Registry handles for the training metrics (whoiscrf_train_*; see
+// docs/observability.md). Resolved once per process — training is far from
+// any hot path, but there is no reason to re-probe the registry per
+// iteration either.
+struct TrainMetrics {
+  obs::Gauge* nll;
+  obs::Gauge* grad_inf_norm;
+  obs::Counter* iterations;
+  obs::Counter* objective_evals;
+  obs::Histogram* iteration_seconds;
+};
+
+const TrainMetrics& GetTrainMetrics() {
+  static const TrainMetrics metrics = [] {
+    auto& reg = obs::Registry::Global();
+    TrainMetrics m;
+    m.nll = reg.GetGauge("whoiscrf_train_nll",
+                          "Regularized negative log-likelihood after the "
+                          "most recent optimizer iteration");
+    m.grad_inf_norm =
+        reg.GetGauge("whoiscrf_train_grad_inf_norm",
+                      "Infinity norm of the objective gradient after the "
+                      "most recent L-BFGS iteration");
+    m.iterations = reg.GetCounter(
+        "whoiscrf_train_iterations_total",
+        "Optimizer iterations (L-BFGS) or epochs (SGD) completed");
+    m.objective_evals = reg.GetCounter(
+        "whoiscrf_train_objective_evals_total",
+        "Objective/gradient evaluations, including line-search probes");
+    m.iteration_seconds = reg.GetHistogram(
+        "whoiscrf_train_iteration_seconds",
+        "Wall time of one accepted L-BFGS iteration",
+        {0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30});
+    return m;
+  }();
+  return metrics;
+}
+
+}  // namespace
 
 Trainer::Trainer(TrainerOptions options) : options_(options) {}
 
@@ -64,12 +108,18 @@ Dataset Trainer::Compile(const CrfModel& model,
 
 void Trainer::Optimize(CrfModel& model, const Dataset& dataset,
                        TrainStats* stats) const {
+  const TrainMetrics& metrics = GetTrainMetrics();
+  obs::ScopedSpan train_span("crf.optimize");
+
   if (options_.algorithm == Algorithm::kSgd) {
     SgdOptimizer::Options sgd_options = options_.sgd;
     sgd_options.l2_sigma = options_.l2_sigma;
     sgd_options.verbose = options_.verbose || sgd_options.verbose;
     SgdOptimizer sgd(sgd_options);
     const auto result = sgd.Train(model, dataset);
+    metrics.nll->Set(result.final_nll);
+    metrics.iterations->Inc(static_cast<uint64_t>(
+        result.epochs_run > 0 ? result.epochs_run : 0));
     if (stats != nullptr) {
       stats->final_objective = result.final_nll;
       stats->iterations = result.epochs_run;
@@ -88,6 +138,21 @@ void Trainer::Optimize(CrfModel& model, const Dataset& dataset,
 
   LbfgsOptimizer::Options lbfgs_options = options_.lbfgs;
   lbfgs_options.verbose = options_.verbose || lbfgs_options.verbose;
+  lbfgs_options.on_iteration =
+      [&metrics](const LbfgsOptimizer::IterationInfo& info) {
+        metrics.nll->Set(info.value);
+        metrics.grad_inf_norm->Set(info.grad_inf_norm);
+        metrics.iterations->Inc();
+        metrics.iteration_seconds->Observe(info.seconds);
+        auto& tracer = obs::Tracer::Global();
+        if (tracer.enabled()) {
+          const uint64_t dur_us =
+              static_cast<uint64_t>(info.seconds * 1e6);
+          const uint64_t now_us = obs::MonotonicMicros();
+          tracer.Record("crf.lbfgs_iteration",
+                        now_us > dur_us ? now_us - dur_us : 0, dur_us);
+        }
+      };
   LbfgsOptimizer lbfgs(lbfgs_options);
   std::vector<double> w = model.weights();
   const auto result = lbfgs.Minimize(
@@ -95,6 +160,7 @@ void Trainer::Optimize(CrfModel& model, const Dataset& dataset,
         return objective.Evaluate(x, g);
       },
       w);
+  metrics.objective_evals->Inc(static_cast<uint64_t>(result.evaluations));
   model.weights() = w;
   if (stats != nullptr) {
     stats->final_objective = result.value;

@@ -2,16 +2,80 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
 namespace whoiscrf::net {
+
+namespace {
+
+// Real (wall-clock) latency of one WHOIS query, sub-ms to minutes. The
+// crawl clock may be simulated; latency is always measured on the steady
+// clock so the histogram reflects actual transport cost.
+const std::vector<double>& QueryLatencyBoundsMs() {
+  static const std::vector<double> bounds = {0.1, 0.5,  1,    5,    10,   50,
+                                             100, 500,  1000, 5000, 15000,
+                                             60000};
+  return bounds;
+}
+
+}  // namespace
 
 Crawler::Crawler(Network& network, Clock& clock, CrawlerOptions options)
     : network_(network), clock_(clock), options_(std::move(options)) {
   if (options_.source_ips.empty()) {
     options_.source_ips = {"198.51.100.1"};
   }
+  obs::Registry& registry = obs::Registry::Global();
+  metrics_.queries = registry.GetCounter(
+      "whoiscrf_crawl_queries_total", "WHOIS queries sent (thin + thick)");
+  metrics_.limit_hits = registry.GetCounter(
+      "whoiscrf_crawl_limit_hits_total",
+      "Responses judged rate-limited (triggering limit inference)");
+  const char* help = "Crawled domains by final status";
+  metrics_.ok = registry.GetCounter("whoiscrf_crawl_results_total", help,
+                                    {{"status", "ok"}});
+  metrics_.no_match = registry.GetCounter("whoiscrf_crawl_results_total",
+                                          help, {{"status", "no_match"}});
+  metrics_.thin_only = registry.GetCounter("whoiscrf_crawl_results_total",
+                                           help, {{"status", "thin_only"}});
+  metrics_.failed = registry.GetCounter("whoiscrf_crawl_results_total", help,
+                                        {{"status", "failed"}});
+  baseline_ = {metrics_.queries->Value(), metrics_.limit_hits->Value(),
+               metrics_.ok->Value(),      metrics_.no_match->Value(),
+               metrics_.thin_only->Value(), metrics_.failed->Value()};
+}
+
+CrawlerStats Crawler::stats() const {
+  CrawlerStats s;
+  s.queries_sent = metrics_.queries->Value() - baseline_.queries;
+  s.limit_hits = metrics_.limit_hits->Value() - baseline_.limit_hits;
+  s.ok = metrics_.ok->Value() - baseline_.ok;
+  s.no_match = metrics_.no_match->Value() - baseline_.no_match;
+  s.thin_only = metrics_.thin_only->Value() - baseline_.thin_only;
+  s.failed = metrics_.failed->Value() - baseline_.failed;
+  for (const auto& [server, state] : servers_) {
+    if (state.inferred_limit.has_value()) {
+      s.inferred_limits[server] = *state.inferred_limit;
+    }
+  }
+  return s;
+}
+
+obs::Histogram* Crawler::LatencyHistogram(const std::string& server) {
+  auto it = latency_hists_.find(server);
+  if (it == latency_hists_.end()) {
+    it = latency_hists_
+             .emplace(server,
+                      obs::Registry::Global().GetHistogram(
+                          "whoiscrf_crawl_query_latency_ms",
+                          "Wall-clock latency of one WHOIS query",
+                          QueryLatencyBoundsMs(), {{"server", server}}))
+             .first;
+  }
+  return it->second;
 }
 
 std::string Crawler::ExtractWhoisServer(const std::string& thin_record) {
@@ -46,7 +110,7 @@ void Crawler::NoteSent(const std::string& server, const std::string& source) {
 
 void Crawler::NoteLimited(const std::string& server,
                           const std::string& source) {
-  ++stats_.limit_hits;
+  metrics_.limit_hits->Inc();
   SourceServerState& state = pairs_[{server, source}];
   // Dynamic inference: the number of queries we issued in the trailing
   // window is our estimate of this server's limit (§4.1).
@@ -59,7 +123,11 @@ void Crawler::NoteLimited(const std::string& server,
   const uint32_t observed = std::max<uint32_t>(1, recent);
   if (!srv.inferred_limit.has_value() || observed < *srv.inferred_limit) {
     srv.inferred_limit = observed;
-    stats_.inferred_limits[server] = observed;
+    obs::Registry::Global()
+        .GetGauge("whoiscrf_crawl_inferred_limit",
+                  "Inferred per-server query limit (queries per window)",
+                  {{"server", server}})
+        ->Set(observed);
     LOG_DEBUG("crawler: inferred limit for %s: %u/window", server.c_str(),
               observed);
   }
@@ -103,9 +171,15 @@ std::optional<std::string> Crawler::PacedQuery(const std::string& server,
     }
 
     NoteSent(server, source);
-    ++stats_.queries_sent;
-    const QueryResult result =
-        network_.Query(server, domain, source, clock_.NowMs());
+    metrics_.queries->Inc();
+    const uint64_t query_start_us = obs::MonotonicMicros();
+    QueryResult result;
+    {
+      obs::ScopedSpan query_span("crawl.query");
+      result = network_.Query(server, domain, source, clock_.NowMs());
+    }
+    LatencyHistogram(server)->Observe(
+        static_cast<double>(obs::MonotonicMicros() - query_start_us) / 1000.0);
     if (LooksValid(result)) {
       next_source_ = (next_source_ + static_cast<size_t>(attempt)) %
                      options_.source_ips.size();
@@ -119,6 +193,7 @@ std::optional<std::string> Crawler::PacedQuery(const std::string& server,
 }
 
 CrawlResult Crawler::CrawlDomain(const std::string& domain) {
+  obs::ScopedSpan span("crawl.domain");
   CrawlResult result;
   result.domain = domain;
 
@@ -126,32 +201,32 @@ CrawlResult Crawler::CrawlDomain(const std::string& domain) {
   result.attempts = options_.max_attempts;
   if (!thin.has_value()) {
     result.status = CrawlResult::Status::kFailed;
-    ++stats_.failed;
+    metrics_.failed->Inc();
     return result;
   }
   result.thin = *thin;
   if (util::ContainsIgnoreCase(result.thin, "no match")) {
     result.status = CrawlResult::Status::kNoMatch;
-    ++stats_.no_match;
+    metrics_.no_match->Inc();
     return result;
   }
 
   result.registrar_server = ExtractWhoisServer(result.thin);
   if (result.registrar_server.empty()) {
     result.status = CrawlResult::Status::kThinOnly;
-    ++stats_.thin_only;
+    metrics_.thin_only->Inc();
     return result;
   }
   auto thick = PacedQuery(result.registrar_server, domain);
   if (!thick.has_value() ||
       util::ContainsIgnoreCase(*thick, "no match")) {
     result.status = CrawlResult::Status::kThinOnly;
-    ++stats_.thin_only;
+    metrics_.thin_only->Inc();
     return result;
   }
   result.thick = *thick;
   result.status = CrawlResult::Status::kOk;
-  ++stats_.ok;
+  metrics_.ok->Inc();
   return result;
 }
 

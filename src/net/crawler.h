@@ -21,6 +21,11 @@
 #include "net/clock.h"
 #include "net/transport.h"
 
+namespace whoiscrf::obs {
+class Counter;
+class Histogram;
+}  // namespace whoiscrf::obs
+
 namespace whoiscrf::net {
 
 struct CrawlerOptions {
@@ -48,6 +53,12 @@ struct CrawlResult {
   int attempts = 0;
 };
 
+// Read-only snapshot of this crawler's activity. Counts are derived from
+// the process-wide obs::Registry metrics (`whoiscrf_crawl_*`, see
+// docs/observability.md) as a delta since the crawler was constructed, so
+// the snapshot and the exported metrics can never disagree — there is one
+// source of truth. The registry counters are thread-safe; the snapshot is
+// consistent for the usual one-thread-per-crawler usage.
 struct CrawlerStats {
   size_t ok = 0;
   size_t no_match = 0;
@@ -66,7 +77,7 @@ class Crawler {
   CrawlResult CrawlDomain(const std::string& domain);
   std::vector<CrawlResult> CrawlAll(const std::vector<std::string>& domains);
 
-  const CrawlerStats& stats() const { return stats_; }
+  CrawlerStats stats() const;
 
   // Pulls the registrar WHOIS referral out of a thin record ("Whois
   // Server: whois.godaddy.com"); empty when absent.
@@ -92,13 +103,34 @@ class Crawler {
   void NoteSent(const std::string& server, const std::string& source);
   void NoteLimited(const std::string& server, const std::string& source);
 
+  // Per-server query latency histogram, registered lazily on first query.
+  obs::Histogram* LatencyHistogram(const std::string& server);
+
   Network& network_;
   Clock& clock_;
   CrawlerOptions options_;
-  CrawlerStats stats_;
   std::map<std::pair<std::string, std::string>, SourceServerState> pairs_;
   std::map<std::string, ServerState> servers_;
   size_t next_source_ = 0;
+
+  // Registry counters (process-wide; see docs/observability.md) plus the
+  // values they held at construction, so stats() can report this
+  // instance's delta.
+  struct Metrics {
+    obs::Counter* queries = nullptr;
+    obs::Counter* limit_hits = nullptr;
+    obs::Counter* ok = nullptr;
+    obs::Counter* no_match = nullptr;
+    obs::Counter* thin_only = nullptr;
+    obs::Counter* failed = nullptr;
+  };
+  struct MetricsBaseline {
+    uint64_t queries = 0, limit_hits = 0;
+    uint64_t ok = 0, no_match = 0, thin_only = 0, failed = 0;
+  };
+  Metrics metrics_;
+  MetricsBaseline baseline_;
+  std::map<std::string, obs::Histogram*> latency_hists_;
 };
 
 }  // namespace whoiscrf::net

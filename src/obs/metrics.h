@@ -1,0 +1,192 @@
+// Process-wide metrics registry: monotonic counters, gauges, and
+// fixed-bucket latency histograms, exportable as Prometheus text or as the
+// JSON run report (docs/observability.md is the authoritative contract —
+// every metric registered anywhere in src/ or bench/ must be documented
+// there; scripts/check_metrics_docs.py enforces this in CTest).
+//
+// Hot-path cost model: Counter::Inc is one relaxed atomic add on a
+// per-thread cache-line-padded shard, so the parse/crawl fast paths pay no
+// shared-line contention. Histogram::Observe is a bucket binary search plus
+// two relaxed adds. Registration (GetCounter & co) takes a mutex and may
+// allocate — do it once at construction time and hold the pointer, never
+// per event. Returned pointers stay valid for the registry's lifetime.
+//
+// Naming convention (enforced by the docs cross-check): every metric is
+// `whoiscrf_<area>_<what>[_<unit>][_total]`, lower_snake_case, with the
+// unit spelled out (`_seconds`, `_ms`, `_us`). Dynamic dimensions (server
+// names, statuses) go in labels, never in the metric name, so the name set
+// stays closed and documentable.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace whoiscrf::util {
+class JsonWriter;
+}  // namespace whoiscrf::util
+
+namespace whoiscrf::obs {
+
+// Label set for one metric instance, e.g. {{"status", "ok"}}. Order given
+// by the caller is irrelevant; the registry keys instances by the sorted
+// set.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+// Monotonic counter, sharded per thread: each thread adds to its own
+// cache-line-padded slot, so concurrent increments never bounce a line.
+// Value() sums the shards (approximate only in the sense that it may miss
+// adds that race with the read — it never double-counts).
+class Counter {
+ public:
+  static constexpr size_t kShards = 16;
+
+  void Inc(uint64_t n = 1) noexcept {
+    shards_[ThreadShard()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const noexcept {
+    uint64_t sum = 0;
+    for (const Shard& s : shards_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  friend class Registry;
+  Counter() = default;
+
+  // Stable per-thread shard slot; threads are striped round-robin.
+  static size_t ThreadShard() noexcept;
+
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+// Point-in-time value; Set overwrites, Add accumulates (CAS loop, so Add
+// from multiple threads never loses an update).
+class Gauge {
+ public:
+  void Set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+
+  void Add(double delta) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  double Value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  Gauge() = default;
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram with Prometheus `le` semantics: bucket i counts
+// observations with value <= bounds[i]; one implicit +Inf bucket catches
+// the rest. Bounds are fixed at registration; Observe never allocates.
+class Histogram {
+ public:
+  void Observe(double value) noexcept;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  // Per-bucket (non-cumulative) counts; size() == bounds().size() + 1.
+  std::vector<uint64_t> BucketCounts() const;
+  uint64_t Count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double Sum() const noexcept;
+
+ private:
+  friend class Registry;
+  explicit Histogram(std::vector<double> bounds);
+
+  std::vector<double> bounds_;  // strictly increasing upper bounds
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds+1 slots
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// Registry of named metrics. `Global()` is the process-wide instance every
+// library layer registers into; standalone instances exist for tests.
+class Registry {
+ public:
+  static Registry& Global();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Get-or-create. The (name, kind) pair is fixed at first registration:
+  // re-registering a name with a different kind throws, as does a name
+  // violating the `whoiscrf_` lower_snake_case convention above (tests may
+  // use any [a-zA-Z_][a-zA-Z0-9_]* name on a non-global registry). `help`
+  // is kept from the first registration that supplies one.
+  Counter* GetCounter(std::string_view name, std::string_view help = "",
+                      const Labels& labels = {});
+  Gauge* GetGauge(std::string_view name, std::string_view help = "",
+                  const Labels& labels = {});
+  // All instances of one histogram family share the bucket layout of the
+  // first registration; later `bounds` arguments are ignored.
+  Histogram* GetHistogram(std::string_view name, std::string_view help,
+                          std::vector<double> bounds,
+                          const Labels& labels = {});
+
+  // Read-back for derived statistics and tests; 0 when absent.
+  uint64_t CounterValue(std::string_view name,
+                        const Labels& labels = {}) const;
+  double GaugeValue(std::string_view name, const Labels& labels = {}) const;
+
+  // Prometheus text exposition (HELP/TYPE + one line per instance;
+  // histograms expand to cumulative _bucket/_sum/_count). Families and
+  // instances are emitted in sorted order, so output is deterministic.
+  std::string RenderPrometheus() const;
+
+  // Writes the registry as one JSON object value (the `metrics` object of
+  // the run-report schema): {"counters":[...],"gauges":[...],
+  // "histograms":[...]}.
+  void RenderJson(util::JsonWriter& w) const;
+  std::string RenderJson() const;
+
+  // Zeroes every value but keeps registrations (pointers stay valid).
+  void Reset();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Instance {
+    Labels labels;  // sorted by key
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    Kind kind = Kind::kCounter;
+    std::string help;
+    std::vector<double> bounds;               // histograms only
+    std::map<std::string, Instance> instances;  // key: serialized labels
+  };
+
+  Instance& GetInstance(std::string_view name, Kind kind,
+                        std::string_view help, const Labels& labels,
+                        std::vector<double>* bounds);
+  const Instance* FindInstance(std::string_view name,
+                               const Labels& labels) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace whoiscrf::obs

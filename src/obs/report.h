@@ -1,0 +1,34 @@
+// JSON run report + metrics file output — the `--metrics-out` backend.
+//
+// A run report is one JSON object describing a whole command invocation:
+// schema tag, command, exit code, wall time, a `derived` block of
+// ready-to-read rates computed from well-known metrics (records/sec, cache
+// hit rate, crawl success rate), and the full registry snapshot under
+// `metrics`. docs/observability.md documents the schema.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace whoiscrf::obs {
+
+struct RunInfo {
+  std::string command;  // subcommand or tool name, e.g. "parse"
+  int exit_code = 0;
+  double wall_seconds = 0.0;
+};
+
+// Renders the whoiscrf.run_report.v1 JSON object (compact, one line).
+std::string RenderRunReport(const Registry& registry, const RunInfo& info);
+
+// Writes the registry to `path` in a format chosen by extension:
+//   *.prom / *.txt  Prometheus text exposition
+//   *.jsonl         appends the run report as one JSON line (lets several
+//                   pipeline stages merge into a single report file)
+//   anything else   the JSON run report as a single compact object
+// Throws std::runtime_error when the file cannot be written.
+void WriteMetricsFile(const std::string& path, const Registry& registry,
+                      const RunInfo& info);
+
+}  // namespace whoiscrf::obs

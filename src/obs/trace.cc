@@ -1,0 +1,130 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <ostream>
+
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace whoiscrf::obs {
+
+uint64_t MonotonicMicros() noexcept {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+namespace {
+
+uint64_t NextTracerId() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
+Tracer::Tracer() : id_(NextTracerId()) {}
+
+Tracer& Tracer::Global() {
+  static Tracer* instance = new Tracer();  // never destroyed
+  return *instance;
+}
+
+Tracer::Buffer* Tracer::ThreadBuffer() {
+  // Usually one entry (the global tracer); tests with local tracers add a
+  // few more. Linear scan beats a map at this size.
+  struct CacheEntry {
+    uint64_t tracer_id;
+    Buffer* buffer;
+  };
+  static thread_local std::vector<CacheEntry> cache;
+  for (const CacheEntry& e : cache) {
+    if (e.tracer_id == id_) return e.buffer;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  buffers_.push_back(std::make_unique<Buffer>());
+  Buffer* buffer = buffers_.back().get();
+  buffer->tid = static_cast<uint32_t>(buffers_.size());
+  lock.unlock();
+  cache.push_back({id_, buffer});
+  return buffer;
+}
+
+void Tracer::Record(const char* name, uint64_t start_us, uint64_t dur_us) {
+  Buffer* buffer = ThreadBuffer();
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  if (buffer->events.size() >= kMaxEventsPerThread) {
+    ++buffer->dropped;
+    return;
+  }
+  buffer->events.push_back({name, start_us, dur_us});
+}
+
+void Tracer::WriteChromeTrace(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  uint64_t dropped = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    dropped += buffer->dropped;
+    for (const Event& e : buffer->events) {
+      if (!first) os << ",";
+      first = false;
+      os << "{\"name\":\"" << util::JsonWriter::Escape(e.name)
+         << "\",\"cat\":\"whoiscrf\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+         << buffer->tid << ",\"ts\":" << e.start_us << ",\"dur\":" << e.dur_us
+         << "}";
+    }
+  }
+  os << "],\"displayTimeUnit\":\"ms\"";
+  if (dropped > 0) {
+    os << ",\"metadata\":{\"whoiscrf_dropped_events\":" << dropped << "}";
+  }
+  os << "}\n";
+}
+
+bool Tracer::WriteFile(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    LOG_ERROR("tracer: cannot open %s", path.c_str());
+    return false;
+  }
+  WriteChromeTrace(os);
+  return os.good();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+    buffer->dropped = 0;
+  }
+}
+
+size_t Tracer::EventCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    n += buffer->events.size();
+  }
+  return n;
+}
+
+uint64_t Tracer::DroppedCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    n += buffer->dropped;
+  }
+  return n;
+}
+
+}  // namespace whoiscrf::obs

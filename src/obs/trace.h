@@ -1,0 +1,121 @@
+// Lightweight scoped trace spans with Chrome `chrome://tracing` / Perfetto
+// JSON output.
+//
+// Spans record into per-thread buffers owned by a Tracer; when tracing is
+// disabled (the default) constructing a ScopedSpan costs one relaxed
+// atomic load and nothing is recorded, so spans can live permanently on
+// the parse/crawl hot paths. Enable the global tracer with
+// `--trace-out=<path>` on any whoiscrf subcommand (or Tracer::Enable in
+// code), then open the written file at chrome://tracing or
+// https://ui.perfetto.dev.
+//
+// Span names must be string literals (or otherwise outlive the tracer):
+// events store the pointer, not a copy, to keep recording allocation-lean.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace whoiscrf::obs {
+
+// Microseconds since process start on the steady clock — the timebase of
+// every trace event (and handy for latency metrics).
+uint64_t MonotonicMicros() noexcept;
+
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // Records one complete ("ph":"X") event on the calling thread's buffer.
+  // `name` must outlive the tracer (use string literals). Callers normally
+  // go through ScopedSpan; Record exists for events whose duration was
+  // measured elsewhere (e.g. optimizer iteration callbacks).
+  void Record(const char* name, uint64_t start_us, uint64_t dur_us);
+
+  // Chrome trace-event JSON: {"traceEvents":[...]} with one pid and one
+  // tid per recording thread. Loadable in chrome://tracing and Perfetto.
+  void WriteChromeTrace(std::ostream& os) const;
+  // Returns false (and logs) when the file cannot be opened.
+  bool WriteFile(const std::string& path) const;
+
+  // Drops all recorded events (buffers and thread registrations remain).
+  void Clear();
+
+  size_t EventCount() const;
+  uint64_t DroppedCount() const;
+
+ private:
+  struct Event {
+    const char* name;
+    uint64_t start_us;
+    uint64_t dur_us;
+  };
+  struct Buffer {
+    uint32_t tid = 0;
+    mutable std::mutex mu;  // uncontended: only the owner thread records
+    std::vector<Event> events;
+    uint64_t dropped = 0;  // events past kMaxEventsPerThread
+  };
+
+  // Each thread's events go to one buffer per tracer, found via a small
+  // thread-local cache keyed by tracer id (ids are never reused, so a
+  // stale cache entry for a destroyed test tracer can never alias).
+  Buffer* ThreadBuffer();
+
+  // Census-scale runs emit millions of spans; cap per-thread memory and
+  // count what was dropped instead of growing without bound.
+  static constexpr size_t kMaxEventsPerThread = 1 << 20;
+
+  const uint64_t id_;
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;  // guards buffers_ registration
+  std::deque<std::unique_ptr<Buffer>> buffers_;
+};
+
+// RAII span: measures construction → destruction and records it as one
+// complete event. When the tracer is disabled at construction, the span is
+// inert (destruction does nothing).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) : ScopedSpan(Tracer::Global(), name) {}
+
+  ScopedSpan(Tracer& tracer, const char* name) {
+    if (tracer.enabled()) {
+      tracer_ = &tracer;
+      name_ = name;
+      start_us_ = MonotonicMicros();
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) {
+      tracer_->Record(name_, start_us_, MonotonicMicros() - start_us_);
+    }
+  }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  const char* name_ = nullptr;
+  uint64_t start_us_ = 0;
+};
+
+}  // namespace whoiscrf::obs

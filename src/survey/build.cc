@@ -1,11 +1,59 @@
 #include "survey/build.h"
 
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
 namespace whoiscrf::survey {
 
 namespace {
+
+// Registry handles for the survey-build metrics (whoiscrf_survey_*; see
+// docs/observability.md). The stage-seconds gauges are cumulative across
+// chunks: each worker accumulates locally and flushes once per chunk, so
+// per-row cost stays at a few steady_clock reads.
+struct SurveyMetrics {
+  obs::Counter* rows;
+  obs::Gauge* generate_seconds;
+  obs::Gauge* parse_seconds;
+  obs::Gauge* normalize_seconds;
+  obs::Histogram* chunk_seconds;
+};
+
+const SurveyMetrics& GetSurveyMetrics() {
+  static const SurveyMetrics metrics = [] {
+    auto& reg = obs::Registry::Global();
+    SurveyMetrics m;
+    m.rows = reg.GetCounter("whoiscrf_survey_rows_total",
+                             "Domain rows built into the survey database");
+    m.generate_seconds = reg.GetGauge(
+        "whoiscrf_survey_generate_seconds_total",
+        "Cumulative seconds spent generating synthetic records "
+        "(summed across worker threads)");
+    m.parse_seconds = reg.GetGauge(
+        "whoiscrf_survey_parse_seconds_total",
+        "Cumulative seconds spent parsing records during survey build "
+        "(summed across worker threads)");
+    m.normalize_seconds = reg.GetGauge(
+        "whoiscrf_survey_normalize_seconds_total",
+        "Cumulative seconds spent normalizing parses into domain rows "
+        "(summed across worker threads)");
+    m.chunk_seconds = reg.GetHistogram(
+        "whoiscrf_survey_chunk_seconds",
+        "Wall time of one survey build chunk (one worker's share)",
+        {0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60});
+    return m;
+  }();
+  return metrics;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
 
 // Row assembly shared by both RowFromParse overloads; only the
 // registrar/country folding strategy differs.
@@ -63,16 +111,26 @@ DomainRow RowFromParse(const std::string& domain,
 SurveyDatabase BuildDatabase(const datagen::CorpusGenerator& generator,
                              const whois::WhoisParser& parser, size_t count,
                              size_t threads) {
+  const SurveyMetrics& metrics = GetSurveyMetrics();
+  obs::ScopedSpan build_span("survey.build_database");
   std::vector<DomainRow> rows(count);
   util::ThreadPool pool(threads);
   const SurveyNormalizer normalizer(generator.registrars());
   const size_t chunks = std::min(count, pool.size());
   std::vector<whois::ParseWorkspace> workspaces(std::max<size_t>(chunks, 1));
   pool.ParallelChunks(count, [&](size_t begin, size_t end, size_t chunk) {
+    obs::ScopedSpan chunk_span("survey.chunk");
     whois::ParseWorkspace& ws = workspaces[chunk];
+    const auto chunk_start = std::chrono::steady_clock::now();
+    double generate_s = 0.0, parse_s = 0.0, normalize_s = 0.0;
     for (size_t i = begin; i < end; ++i) {
+      auto t = std::chrono::steady_clock::now();
       const datagen::GeneratedDomain domain = generator.Generate(i);
+      generate_s += SecondsSince(t);
+      t = std::chrono::steady_clock::now();
       const whois::ParsedWhois parsed = parser.Parse(domain.thick.text, ws);
+      parse_s += SecondsSince(t);
+      t = std::chrono::steady_clock::now();
       rows[i] = RowFromParse(domain.facts.domain, parsed, normalizer,
                              domain.facts.on_dbl);
       if (rows[i].registrar.empty()) {
@@ -82,7 +140,13 @@ SurveyDatabase BuildDatabase(const datagen::CorpusGenerator& generator,
         rows[i].registrar =
             normalizer.NormalizeRegistrar(domain.facts.registrar_name);
       }
+      normalize_s += SecondsSince(t);
     }
+    metrics.rows->Inc(end - begin);
+    metrics.generate_seconds->Add(generate_s);
+    metrics.parse_seconds->Add(parse_s);
+    metrics.normalize_seconds->Add(normalize_s);
+    metrics.chunk_seconds->Observe(SecondsSince(chunk_start));
   });
   SurveyDatabase db;
   db.Reserve(count);

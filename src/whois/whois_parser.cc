@@ -7,6 +7,8 @@
 
 #include "crf/inference.h"
 #include "crf/viterbi.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "text/separator.h"
 #include "text/word_classes.h"
 #include "util/string_util.h"
@@ -298,6 +300,26 @@ WhoisParser::WhoisParser(std::unique_ptr<crf::CrfModel> level1,
   };
   merge(*level1_, false);
   merge(*level2_, true);
+
+  obs::Registry& registry = obs::Registry::Global();
+  metrics_.records = registry.GetCounter("whoiscrf_parse_records_total",
+                                         "Records parsed on the fast path");
+  metrics_.lines = registry.GetCounter("whoiscrf_parse_lines_total",
+                                       "Labeled lines seen by Parse");
+  metrics_.cache_hits = registry.GetCounter(
+      "whoiscrf_parse_line_cache_hits_total",
+      "Lines served from the per-workspace compile cache");
+  metrics_.cache_misses = registry.GetCounter(
+      "whoiscrf_parse_line_cache_misses_total",
+      "Lines compiled and scored on a cache miss");
+  metrics_.workspace_cold = registry.GetCounter(
+      "whoiscrf_parse_workspace_cold_total",
+      "Parses that found a workspace last used by a different parser");
+  metrics_.latency_us = registry.GetHistogram(
+      "whoiscrf_parse_record_latency_us",
+      "End-to-end latency of one fast-path Parse",
+      {10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000,
+       100000});
 }
 
 WhoisParser WhoisParser::Train(const std::vector<LabeledRecord>& records,
@@ -374,13 +396,21 @@ ParsedWhois WhoisParser::Parse(std::string_view record_text) const {
 
 ParsedWhois WhoisParser::Parse(std::string_view record_text,
                                ParseWorkspace& ws) const {
+  const uint64_t start_us = obs::MonotonicMicros();
+  obs::ScopedSpan span("whois.parse");
   ParsedWhois out;
   text::SplitRecordInto(record_text, ws.lines);
-  if (ws.lines.empty()) return out;
+  if (ws.lines.empty()) {
+    metrics_.records->Inc();
+    metrics_.latency_us->Observe(
+        static_cast<double>(obs::MonotonicMicros() - start_us));
+    return out;
+  }
 
   // The line cache memoizes per-line work for THIS parser's models; a
   // workspace handed over from a different parser starts cold.
   if (ws.cache_owner != instance_id_) {
+    metrics_.workspace_cold->Inc();
     ws.line_cache.clear();
     ws.cache_owner = instance_id_;
   }
@@ -403,11 +433,13 @@ ParsedWhois WhoisParser::Parse(std::string_view record_text,
   sc.unary.resize(T * L1);
   sc.pairwise.resize(T * L1 * L1);
   std::fill_n(sc.pairwise.begin(), L1 * L1, 0.0);  // row t=0 is unused
+  size_t cache_hits = 0;  // flushed to the registry once per record
   for (size_t t = 0; t < T; ++t) {
     LineCacheKey(ws.lines[t], ws.key);
     const auto it = ws.line_cache.find(std::string_view(ws.key));
     const LineCacheEntry* entry;
     if (it != ws.line_cache.end()) {
+      ++cache_hits;
       entry = &it->second;
     } else {
       LineCacheEntry& e =
@@ -491,17 +523,26 @@ ParsedWhois WhoisParser::Parse(std::string_view record_text,
               ws.sub_labels, registrant_index, ws.other_subs, other_index,
               out);
   }
+
+  metrics_.records->Inc();
+  metrics_.lines->Inc(T);
+  metrics_.cache_hits->Inc(cache_hits);
+  metrics_.cache_misses->Inc(T - cache_hits);
+  metrics_.latency_us->Observe(
+      static_cast<double>(obs::MonotonicMicros() - start_us));
   return out;
 }
 
 std::vector<ParsedWhois> WhoisParser::ParseBatch(
     std::span<const std::string> records, util::ThreadPool& pool) const {
+  obs::ScopedSpan span("whois.parse_batch");
   std::vector<ParsedWhois> out(records.size());
   if (records.empty()) return out;
   const size_t chunks = std::min(records.size(), pool.size());
   std::vector<ParseWorkspace> workspaces(chunks);
   pool.ParallelChunks(records.size(),
                       [&](size_t begin, size_t end, size_t chunk) {
+                        obs::ScopedSpan chunk_span("whois.parse_chunk");
                         ParseWorkspace& ws = workspaces[chunk];
                         for (size_t r = begin; r < end; ++r) {
                           out[r] = Parse(records[r], ws);

@@ -35,6 +35,11 @@ namespace whoiscrf::util {
 class ThreadPool;
 }  // namespace whoiscrf::util
 
+namespace whoiscrf::obs {
+class Counter;
+class Histogram;
+}  // namespace whoiscrf::obs
+
 namespace whoiscrf::whois {
 
 struct WhoisParserOptions {
@@ -153,6 +158,20 @@ class WhoisParser {
   // Identifies this parser to ParseWorkspace line caches; drawn from a
   // process-wide counter so ids are never reused.
   uint64_t instance_id_;
+
+  // Registry metrics for the fast path (whoiscrf_parse_*, shared across
+  // parser instances; see docs/observability.md). Resolved once at
+  // construction so Parse pays only per-thread-sharded relaxed adds —
+  // cache hit/miss counts accumulate in locals and flush once per record.
+  struct ParseMetrics {
+    obs::Counter* records = nullptr;
+    obs::Counter* lines = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* cache_misses = nullptr;
+    obs::Counter* workspace_cold = nullptr;
+    obs::Histogram* latency_us = nullptr;
+  };
+  ParseMetrics metrics_;
 
   // Both levels' vocabularies merged into one attr -> (id, slot) table, so
   // compiling a cache-miss line probes one hash map per attribute instead

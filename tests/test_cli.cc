@@ -127,6 +127,58 @@ TEST(CliCommandsTest, TrainRequiresDataAndModel) {
   EXPECT_EQ(cli::CmdTrain(flags), 2);
 }
 
+TEST(RunCommandTest, UnknownCommandReturnsNullopt) {
+  auto flags = Parse({});
+  EXPECT_FALSE(cli::RunCommand("definitely-not-a-command", flags).has_value());
+}
+
+TEST(RunCommandTest, ParseMetricsOutWritesRunReport) {
+  const std::string dir = ::testing::TempDir();
+  const std::string train_path = dir + "/run_cmd_train.txt";
+  const std::string model_path = dir + "/run_cmd.model";
+  const std::string raw_path = dir + "/run_cmd_raw.txt";
+  const std::string metrics_path = dir + "/run_cmd_metrics.json";
+
+  {
+    auto flags = Parse({"--out", train_path.c_str(), "--count", "60",
+                        "--seed", "7"});
+    ASSERT_EQ(cli::RunCommand("gen", flags), 0);
+  }
+  {
+    auto flags = Parse({"--data", train_path.c_str(), "--model",
+                        model_path.c_str(), "--iterations", "60"});
+    ASSERT_EQ(cli::RunCommand("train", flags), 0);
+  }
+  {
+    std::ofstream os(raw_path);
+    os << "Domain Name: EXAMPLE.COM\nRegistrar: EXAMPLE REGISTRAR LLC\n";
+  }
+  {
+    auto flags = Parse({"--model", model_path.c_str(), "--in",
+                        raw_path.c_str(), "--format", "fields",
+                        "--metrics-out", metrics_path.c_str()});
+    ASSERT_EQ(cli::RunCommand("parse", flags), 0);
+    // --metrics-out was consumed by RunCommand, not left for CmdParse.
+    EXPECT_TRUE(flags.UnconsumedFlags().empty());
+  }
+
+  std::ifstream is(metrics_path);
+  ASSERT_TRUE(is.good());
+  std::string report((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+  EXPECT_NE(report.find("\"schema\":\"whoiscrf.run_report.v1\""),
+            std::string::npos);
+  EXPECT_NE(report.find("\"command\":\"parse\""), std::string::npos);
+  EXPECT_NE(report.find("\"exit_code\":0"), std::string::npos);
+  EXPECT_NE(report.find("\"wall_seconds\":"), std::string::npos);
+  // The parse fast path registered and incremented its record counter.
+  EXPECT_NE(report.find("\"whoiscrf_parse_records_total\""),
+            std::string::npos);
+  // Training inside this process also left the optimizer metrics behind.
+  EXPECT_NE(report.find("\"whoiscrf_train_iterations_total\""),
+            std::string::npos);
+}
+
 TEST(CliCommandsTest, GenNewTld) {
   const std::string path = ::testing::TempDir() + "/cli_tld.txt";
   auto flags = Parse({"--out", path.c_str(), "--count", "3", "--new-tld",
