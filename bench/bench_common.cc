@@ -1,5 +1,7 @@
 #include "bench_common.h"
 
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -176,14 +178,26 @@ bool LoadCache(const std::string& path, survey::SurveyDatabase& db) {
 }
 
 void SaveCache(const std::string& path, const survey::SurveyDatabase& db) {
-  std::ofstream os(path);
-  if (!os) return;
-  for (const auto& r : db.rows()) {
-    os << r.domain << '\t' << r.registrar << '\t' << r.created_year << '\t'
-       << r.country_code << '\t' << r.registrant_name << '\t'
-       << r.registrant_org << '\t' << (r.privacy_protected ? 1 : 0) << '\t'
-       << r.privacy_service << '\t' << (r.on_dbl ? 1 : 0) << '\n';
+  // Write-then-rename so concurrent benches (ctest -j runs several at
+  // once) never observe a torn cache file.
+  const std::string tmp =
+      util::Format("%s.tmp.%d", path.c_str(), static_cast<int>(getpid()));
+  {
+    std::ofstream os(tmp);
+    if (!os) return;
+    for (const auto& r : db.rows()) {
+      os << r.domain << '\t' << r.registrar << '\t' << r.created_year << '\t'
+         << r.country_code << '\t' << r.registrant_name << '\t'
+         << r.registrant_org << '\t' << (r.privacy_protected ? 1 : 0) << '\t'
+         << r.privacy_service << '\t' << (r.on_dbl ? 1 : 0) << '\n';
+    }
+    if (!os.good()) {
+      os.close();
+      std::remove(tmp.c_str());
+      return;
+    }
   }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) std::remove(tmp.c_str());
 }
 
 }  // namespace

@@ -21,8 +21,9 @@ DOC_NAME = re.compile(r"`(whoiscrf_[A-Za-z0-9_]+)`")
 def registered_metrics(root: pathlib.Path) -> set[str]:
     names: set[str] = set()
     for tree in ("src", "bench"):
-        for path in sorted((root / tree).rglob("*.cc")):
-            names.update(REGISTRATION.findall(path.read_text()))
+        for pattern in ("*.cc", "*.h"):  # header-only code registers too
+            for path in sorted((root / tree).rglob(pattern)):
+                names.update(REGISTRATION.findall(path.read_text()))
     return names
 
 

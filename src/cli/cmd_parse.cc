@@ -1,97 +1,138 @@
 #include <cstdio>
-#include <fstream>
 #include <iostream>
-#include <sstream>
+#include <memory>
 #include <stdexcept>
 
 #include "cli/commands.h"
 #include "text/line_splitter.h"
-#include "util/string_util.h"
+#include "util/chunk_reader.h"
 #include "util/thread_pool.h"
 #include "whois/json_export.h"
+#include "whois/record_store.h"
+#include "whois/record_stream.h"
+#include "whois/stream_pipeline.h"
 #include "whois/whois_parser.h"
 
 namespace whoiscrf::cli {
 
 std::vector<std::string> ReadRawRecords(const std::string& path) {
-  std::string content;
-  if (path.empty()) {
-    std::ostringstream buffer;
-    buffer << std::cin.rdbuf();
-    content = buffer.str();
-  } else {
-    std::ifstream is(path);
-    if (!is) throw std::runtime_error("cannot open " + path);
-    std::ostringstream buffer;
-    buffer << is.rdbuf();
-    content = buffer.str();
-  }
-
-  std::vector<std::string> records;
-  std::string current;
-  for (std::string_view line : util::SplitLines(content)) {
-    if (util::Trim(line) == "%%") {
-      if (!current.empty()) records.push_back(std::move(current));
-      current.clear();
-      continue;
-    }
-    current.append(line);
-    current.push_back('\n');
-  }
-  if (util::HasAlnum(current)) records.push_back(std::move(current));
-  return records;
+  // Framing (separator lines, trailing record, blank-record skipping) is
+  // owned by whois::RecordStreamReader; this wrapper only materializes.
+  return whois::ReadAllRecords(path);
 }
+
+namespace {
+
+bool KnownFormat(const std::string& format) {
+  return format == "json" || format == "rdap" || format == "labels" ||
+         format == "fields";
+}
+
+void PrintParsed(const std::string& format, const std::string& record,
+                 const whois::ParsedWhois& parsed) {
+  if (format == "json") {
+    std::printf("%s\n", whois::ToJson(parsed).c_str());
+  } else if (format == "rdap") {
+    std::printf("%s\n", whois::ToRdapJson(parsed).c_str());
+  } else if (format == "labels") {
+    const auto lines = text::SplitRecord(record);
+    for (size_t t = 0; t < lines.size(); ++t) {
+      std::printf("%-10s %s\n",
+                  std::string(whois::Level1Name(parsed.line_labels[t]))
+                      .c_str(),
+                  lines[t].text.c_str());
+    }
+    std::printf("\n");
+  } else {  // fields
+    std::printf("domain:     %s\n", parsed.domain_name.c_str());
+    std::printf("registrar:  %s\n", parsed.registrar.c_str());
+    std::printf("created:    %s\n", parsed.created.c_str());
+    std::printf("expires:    %s\n", parsed.expires.c_str());
+    std::printf("registrant: %s%s%s\n", parsed.registrant.name.c_str(),
+                parsed.registrant.org.empty() ? "" : " / ",
+                parsed.registrant.org.c_str());
+    std::printf("country:    %s\n", parsed.registrant.country.c_str());
+    std::printf("email:      %s\n", parsed.registrant.email.c_str());
+    std::printf("confidence: %.4f\n\n", parsed.log_prob);
+  }
+}
+
+}  // namespace
 
 int CmdParse(util::FlagParser& flags) {
   const std::string model_path = flags.GetString("model");
   const std::string in = flags.GetString("in");
+  const std::string in_store = flags.GetString("in-store");
+  const std::string store_out = flags.GetString("store-out");
   const std::string format = flags.GetString("format", "fields");
   const size_t threads =
       static_cast<size_t>(flags.GetInt("threads", 0));  // 0 = hardware
+  const bool stream = flags.GetBool("stream");
   if (model_path.empty()) {
     std::fprintf(stderr, "parse: --model is required\n");
     return 2;
   }
+  if (!KnownFormat(format)) {
+    std::fprintf(stderr, "parse: unknown --format '%s'\n", format.c_str());
+    return 2;
+  }
   const whois::WhoisParser parser = whois::WhoisParser::LoadFile(model_path);
 
-  // Parse the whole batch on the thread pool, then print in input order.
-  const std::vector<std::string> records = ReadRawRecords(in);
+  // --store-out packs the raw records into a sharded binary store (in
+  // input order) alongside whatever gets printed.
+  std::unique_ptr<whois::RecordStoreWriter> store_writer;
+  if (!store_out.empty()) {
+    store_writer = std::make_unique<whois::RecordStoreWriter>(store_out);
+  }
+
+  if (stream) {
+    // Streaming mode: bounded-memory pipeline, output still in input
+    // order. The full corpus is never materialized.
+    std::unique_ptr<whois::RecordStoreReader> store_reader;
+    std::unique_ptr<util::ByteSource> bytes;
+    std::unique_ptr<whois::RecordSource> source;
+    if (!in_store.empty()) {
+      store_reader = std::make_unique<whois::RecordStoreReader>(in_store);
+      source = std::make_unique<whois::StoreRecordSource>(*store_reader);
+    } else {
+      bytes = in.empty()
+                  ? std::unique_ptr<util::ByteSource>(
+                        std::make_unique<util::StreamByteSource>(std::cin))
+                  : std::make_unique<util::FileByteSource>(in);
+      source = std::make_unique<whois::TextRecordSource>(*bytes);
+    }
+    whois::StreamPipelineOptions options;
+    options.threads = threads;
+    whois::ParseStream(parser, *source, options,
+                       [&](uint64_t, const std::string& record,
+                           const whois::ParsedWhois& parsed) {
+                         if (store_writer) store_writer->Append(record);
+                         PrintParsed(format, record, parsed);
+                       });
+    if (store_writer) store_writer->Finish();
+    return 0;
+  }
+
+  // In-memory mode: parse the whole batch on the thread pool, then print
+  // in input order.
+  std::vector<std::string> records;
+  if (!in_store.empty()) {
+    const whois::RecordStoreReader store_reader(in_store);
+    whois::StoreRecordSource source(store_reader);
+    std::string record;
+    while (source.Next(record)) records.push_back(std::move(record));
+  } else {
+    records = ReadRawRecords(in);
+  }
   util::ThreadPool pool(threads);
   const std::vector<whois::ParsedWhois> parses =
       parser.ParseBatch(records, pool);
 
   for (size_t r = 0; r < records.size(); ++r) {
-    const std::string& record = records[r];
-    const whois::ParsedWhois& parsed = parses[r];
-    if (format == "json") {
-      std::printf("%s\n", whois::ToJson(parsed).c_str());
-    } else if (format == "rdap") {
-      std::printf("%s\n", whois::ToRdapJson(parsed).c_str());
-    } else if (format == "labels") {
-      const auto lines = text::SplitRecord(record);
-      for (size_t t = 0; t < lines.size(); ++t) {
-        std::printf("%-10s %s\n",
-                    std::string(whois::Level1Name(parsed.line_labels[t]))
-                        .c_str(),
-                    lines[t].text.c_str());
-      }
-      std::printf("\n");
-    } else if (format == "fields") {
-      std::printf("domain:     %s\n", parsed.domain_name.c_str());
-      std::printf("registrar:  %s\n", parsed.registrar.c_str());
-      std::printf("created:    %s\n", parsed.created.c_str());
-      std::printf("expires:    %s\n", parsed.expires.c_str());
-      std::printf("registrant: %s%s%s\n", parsed.registrant.name.c_str(),
-                  parsed.registrant.org.empty() ? "" : " / ",
-                  parsed.registrant.org.c_str());
-      std::printf("country:    %s\n", parsed.registrant.country.c_str());
-      std::printf("email:      %s\n", parsed.registrant.email.c_str());
-      std::printf("confidence: %.4f\n\n", parsed.log_prob);
-    } else {
-      std::fprintf(stderr, "parse: unknown --format '%s'\n", format.c_str());
-      return 2;
-    }
+    if (store_writer) store_writer->Append(records[r]);
+    PrintParsed(format, records[r], parses[r]);
   }
+  if (store_writer) store_writer->Finish();
   return 0;
 }
 

@@ -26,9 +26,15 @@ int CmdGen(util::FlagParser& flags);
 // Trains the two-level parser from labeled records.
 int CmdTrain(util::FlagParser& flags);
 
-// whoiscrf parse   --model FILE [--in FILE] [--format json|rdap|fields|labels]
+// whoiscrf parse   --model FILE [--in FILE | --in-store PREFIX]
+//                  [--format json|rdap|fields|labels] [--threads N]
+//                  [--stream] [--store-out PREFIX]
 // Parses raw records (from --in or stdin; multiple records separated by a
-// line containing only "%%") and prints structured output.
+// line containing only "%%"; --in-store reads a sharded binary record
+// store instead) and prints structured output. --stream runs the
+// bounded-memory pipeline (docs/architecture.md "Streaming pipeline") so
+// corpora larger than RAM parse without being materialized; --store-out
+// additionally packs the raw records into a sharded binary store.
 int CmdParse(util::FlagParser& flags);
 
 // whoiscrf adapt   --model FILE --data FILE --out FILE
@@ -52,7 +58,8 @@ int CmdCrawl(util::FlagParser& flags);
 
 // Reads raw records from a file or stdin ("" = stdin): records are
 // separated by lines containing only "%%"; a file with no separator is one
-// record. Shared by parse/select.
+// record. Shared by parse/select; framing is delegated to
+// whois::RecordStreamReader so it cannot drift from the streaming paths.
 std::vector<std::string> ReadRawRecords(const std::string& path);
 
 }  // namespace whoiscrf::cli

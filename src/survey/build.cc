@@ -154,4 +154,26 @@ SurveyDatabase BuildDatabase(const datagen::CorpusGenerator& generator,
   return db;
 }
 
+SurveyDatabase BuildDatabaseFromStream(
+    whois::RecordSource& source, const whois::WhoisParser& parser,
+    const datagen::RegistrarTable& registrars,
+    const whois::StreamPipelineOptions& options) {
+  const SurveyMetrics& metrics = GetSurveyMetrics();
+  obs::ScopedSpan build_span("survey.build_stream");
+  const SurveyNormalizer normalizer(registrars);
+  SurveyDatabase db;
+  double normalize_s = 0.0;
+  whois::ParseStream(
+      parser, source, options,
+      [&](uint64_t, const std::string&, const whois::ParsedWhois& parsed) {
+        const auto t = std::chrono::steady_clock::now();
+        db.Add(RowFromParse(parsed.domain_name, parsed, normalizer,
+                            /*on_dbl=*/false));
+        normalize_s += SecondsSince(t);
+      });
+  metrics.rows->Inc(db.size());
+  metrics.normalize_seconds->Add(normalize_s);
+  return db;
+}
+
 }  // namespace whoiscrf::survey

@@ -1,0 +1,126 @@
+// Bounded multi-producer/multi-consumer queue with blocking backpressure —
+// the coupling between the stages of the streaming parse pipeline.
+//
+// Capacity is a hard bound: Push blocks while the queue is full, so a fast
+// reader can never buffer more than `capacity` items ahead of slow
+// consumers (this is what keeps the pipeline's memory O(chunk) instead of
+// O(corpus)). Close() ends input while letting queued items drain; Cancel()
+// additionally discards queued items — the shutdown path when a stage
+// fails and the others must not block forever.
+//
+// Both blocking calls can report how long they waited (stall time), which
+// the pipeline aggregates into the whoiscrf_stream_*_stall_seconds_total
+// metrics; timing happens only on the slow path, so an uncontended
+// push/pop never reads the clock.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace whoiscrf::util {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Blocks while the queue is at capacity. Returns true once `item` is
+  // enqueued; false (dropping `item`) if the queue is closed or cancelled.
+  // When `stalled_seconds` is non-null, the time spent blocked is added to
+  // it.
+  bool Push(T item, double* stalled_seconds = nullptr) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.size() >= capacity_ && !closed_) {
+      const auto t0 = Clock::now();
+      not_full_.wait(lock,
+                     [&] { return items_.size() < capacity_ || closed_; });
+      AddStall(t0, stalled_seconds);
+    }
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks while the queue is empty and still open. Returns the oldest
+  // item, or nullopt once the queue is closed and drained (immediately if
+  // cancelled). When `stalled_seconds` is non-null, the time spent blocked
+  // is added to it.
+  std::optional<T> Pop(double* stalled_seconds = nullptr) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.empty() && !closed_) {
+      const auto t0 = Clock::now();
+      not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+      AddStall(t0, stalled_seconds);
+    }
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> item(std::move(items_.front()));
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  // No further pushes succeed; queued items still drain through Pop.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  // Close and discard everything queued: every blocked producer and
+  // consumer wakes immediately and gives up.
+  void Cancel() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+      items_.clear();
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  size_t Size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  bool Closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  static void AddStall(Clock::time_point t0, double* stalled_seconds) {
+    if (stalled_seconds != nullptr) {
+      *stalled_seconds +=
+          std::chrono::duration<double>(Clock::now() - t0).count();
+    }
+  }
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace whoiscrf::util

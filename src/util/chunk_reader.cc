@@ -1,0 +1,95 @@
+#include "util/chunk_reader.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <stdexcept>
+
+namespace whoiscrf::util {
+
+FileByteSource::FileByteSource(const std::string& path, size_t chunk_bytes)
+    : chunk_bytes_(std::max<size_t>(1, chunk_bytes)) {
+  fd_ = ::open(path.c_str(), O_RDONLY);
+  if (fd_ < 0) throw std::runtime_error("cannot open " + path);
+
+  // Map regular, non-empty files; everything else (pipes, devices, empty
+  // files — mmap of length 0 is an error) takes the read(2) path.
+  struct stat st {};
+  if (::fstat(fd_, &st) == 0 && S_ISREG(st.st_mode) && st.st_size > 0) {
+    void* map = ::mmap(nullptr, static_cast<size_t>(st.st_size), PROT_READ,
+                       MAP_PRIVATE, fd_, 0);
+    if (map != MAP_FAILED) {
+      map_ = static_cast<const char*>(map);
+      map_size_ = static_cast<size_t>(st.st_size);
+      ::madvise(map, map_size_, MADV_SEQUENTIAL);
+    }
+  }
+  if (map_ == nullptr) buffer_.resize(chunk_bytes_);
+}
+
+FileByteSource::~FileByteSource() {
+  if (map_ != nullptr) {
+    ::munmap(const_cast<char*>(map_), map_size_);
+  }
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string_view FileByteSource::Next() {
+  if (map_ != nullptr) {
+    // Drop consumed pages (everything before the chunk being handed out —
+    // older views are invalid by contract). Without this, a sequential
+    // scan keeps every touched page resident and "bounded-memory" parsing
+    // shows RSS growing by the full file size; MADV_DONTNEED on a clean
+    // read-only file mapping just re-faults from page cache if re-read.
+    const size_t page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+    const size_t keep_from = pos_ - (pos_ % page);
+    if (keep_from > released_) {
+      ::madvise(const_cast<char*>(map_ + released_), keep_from - released_,
+                MADV_DONTNEED);
+      released_ = keep_from;
+    }
+    const size_t n = std::min(chunk_bytes_, map_size_ - pos_);
+    const std::string_view chunk(map_ + pos_, n);
+    pos_ += n;
+    return chunk;
+  }
+  size_t filled = 0;
+  while (filled < buffer_.size()) {
+    const ssize_t n =
+        ::read(fd_, buffer_.data() + filled, buffer_.size() - filled);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("read failed: ") +
+                               std::strerror(errno));
+    }
+    if (n == 0) break;
+    filled += static_cast<size_t>(n);
+  }
+  return {buffer_.data(), filled};
+}
+
+StreamByteSource::StreamByteSource(std::istream& is, size_t chunk_bytes)
+    : is_(is), buffer_(std::max<size_t>(1, chunk_bytes)) {}
+
+std::string_view StreamByteSource::Next() {
+  is_.read(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+  return {buffer_.data(), static_cast<size_t>(is_.gcount())};
+}
+
+MemoryByteSource::MemoryByteSource(std::string_view data, size_t chunk_bytes)
+    : data_(data), chunk_bytes_(std::max<size_t>(1, chunk_bytes)) {}
+
+std::string_view MemoryByteSource::Next() {
+  const size_t n = std::min(chunk_bytes_, data_.size() - pos_);
+  const std::string_view chunk = data_.substr(pos_, n);
+  pos_ += n;
+  return chunk;
+}
+
+}  // namespace whoiscrf::util

@@ -13,7 +13,17 @@ double ScaleFactor() {
   return v;
 }
 
+bool BenchSmoke() {
+  const char* env = std::getenv("WHOISCRF_BENCH_SMOKE");
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
+}
+
 size_t Scaled(size_t base, size_t min_value) {
+  if (BenchSmoke()) {
+    const size_t v = min_value / 5;
+    return v < 8 ? 8 : (v > 200 ? 200 : v);
+  }
   const double scaled = static_cast<double>(base) * ScaleFactor();
   const auto v = static_cast<size_t>(scaled);
   return v < min_value ? min_value : v;

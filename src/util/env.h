@@ -10,7 +10,15 @@ namespace whoiscrf::util {
 // multiply their corpus sizes by this to trade fidelity for runtime.
 double ScaleFactor();
 
-// Returns `base * ScaleFactor()`, floored at `min_value`.
+// True when WHOISCRF_BENCH_SMOKE is set to a non-empty value other than
+// "0": benches run as crash tests on tiny corpora (the bench_smoke CTest
+// targets), with numbers that are meaningless as measurements.
+bool BenchSmoke();
+
+// Returns `base * ScaleFactor()`, floored at `min_value`. Under
+// BenchSmoke() the result is instead clamp(min_value / 5, 8, 200), which
+// overrides the floors benches rely on for statistical validity — smoke
+// runs only check that the code paths execute.
 size_t Scaled(size_t base, size_t min_value = 1);
 
 // Returns the integer value of `name`, or `fallback` when unset/invalid.

@@ -1,0 +1,230 @@
+#include "whois/record_store.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/string_util.h"
+
+namespace whoiscrf::whois {
+
+namespace {
+
+void WriteU32(std::FILE* f, uint32_t v) {
+  unsigned char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+  if (std::fwrite(b, 1, 4, f) != 4) {
+    throw std::runtime_error("record store: short write");
+  }
+}
+
+void WriteU64(std::FILE* f, uint64_t v) {
+  unsigned char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+  if (std::fwrite(b, 1, 8, f) != 8) {
+    throw std::runtime_error("record store: short write");
+  }
+}
+
+uint32_t LoadU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+uint64_t LoadU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string RecordStoreShardPath(const std::string& prefix, size_t shard) {
+  return util::Format("%s-%05zu.wrs", prefix.c_str(), shard);
+}
+
+// --- Writer --------------------------------------------------------------
+
+RecordStoreWriter::RecordStoreWriter(std::string prefix,
+                                     RecordStoreOptions options)
+    : prefix_(std::move(prefix)), options_(options) {
+  if (options_.records_per_shard == 0) options_.records_per_shard = 1;
+}
+
+RecordStoreWriter::~RecordStoreWriter() {
+  try {
+    Finish();
+  } catch (...) {
+    // Destructors must not throw; an incomplete shard fails footer
+    // validation on read, which is the detectable outcome we want.
+  }
+}
+
+void RecordStoreWriter::OpenShard() {
+  const std::string path = RecordStoreShardPath(prefix_, shard_index_);
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    throw std::runtime_error("cannot open for write: " + path);
+  }
+  ++shard_index_;
+  offsets_.clear();
+  WriteU32(file_, kRecordStoreMagic);
+  WriteU32(file_, kRecordStoreVersion);
+  shard_bytes_ = 8;
+}
+
+void RecordStoreWriter::SealShard() {
+  if (file_ == nullptr) return;
+  const uint64_t index_offset = shard_bytes_;
+  for (uint64_t off : offsets_) WriteU64(file_, off);
+  WriteU64(file_, offsets_.size());
+  WriteU64(file_, index_offset);
+  WriteU32(file_, kRecordStoreMagic);
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) throw std::runtime_error("record store: close failed");
+}
+
+void RecordStoreWriter::Append(std::string_view record) {
+  if (file_ != nullptr && offsets_.size() >= options_.records_per_shard) {
+    SealShard();
+  }
+  if (file_ == nullptr) OpenShard();
+  offsets_.push_back(shard_bytes_);
+  WriteU32(file_, static_cast<uint32_t>(record.size()));
+  if (!record.empty() &&
+      std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
+    throw std::runtime_error("record store: short write");
+  }
+  shard_bytes_ += 4 + record.size();
+  ++total_records_;
+}
+
+void RecordStoreWriter::Finish() {
+  if (file_ == nullptr && total_records_ == 0 && shard_index_ == 0) {
+    // An empty store still gets one (empty) shard so readers can open it.
+    OpenShard();
+  }
+  SealShard();
+}
+
+// --- Reader --------------------------------------------------------------
+
+RecordStoreReader::RecordStoreReader(const std::string& prefix) {
+  for (size_t s = 0;; ++s) {
+    const std::string path = RecordStoreShardPath(prefix, s);
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      if (s == 0) throw std::runtime_error("cannot open record store " + path);
+      break;
+    }
+    Shard shard;
+    shard.fd = fd;
+    struct stat st {};
+    if (::fstat(fd, &st) != 0 || st.st_size < 28) {
+      ::close(fd);
+      throw std::runtime_error("record store: truncated shard " + path);
+    }
+    shard.file_size = static_cast<size_t>(st.st_size);
+    void* map = ::mmap(nullptr, shard.file_size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map != MAP_FAILED) {
+      shard.map = static_cast<const char*>(map);
+      ::madvise(map, shard.file_size, MADV_RANDOM);
+    }
+
+    char header[8];
+    ReadBytes(shard, 0, header, 8);
+    char footer[20];
+    ReadBytes(shard, shard.file_size - 20, footer, 20);
+    if (LoadU32(header) != kRecordStoreMagic ||
+        LoadU32(header + 4) != kRecordStoreVersion ||
+        LoadU32(footer + 16) != kRecordStoreMagic) {
+      if (shard.map != nullptr) {
+        ::munmap(const_cast<char*>(shard.map), shard.file_size);
+      }
+      ::close(fd);
+      throw std::runtime_error("record store: bad magic in " + path);
+    }
+    const uint64_t count = LoadU64(footer);
+    const uint64_t index_offset = LoadU64(footer + 8);
+    if (index_offset + count * 8 + 20 != shard.file_size) {
+      if (shard.map != nullptr) {
+        ::munmap(const_cast<char*>(shard.map), shard.file_size);
+      }
+      ::close(fd);
+      throw std::runtime_error("record store: inconsistent index in " + path);
+    }
+    shard.offsets.resize(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      char entry[8];
+      ReadBytes(shard, index_offset + i * 8, entry, 8);
+      shard.offsets[i] = LoadU64(entry);
+    }
+    shard.first_record = total_records_;
+    total_records_ += count;
+    shards_.push_back(std::move(shard));
+  }
+}
+
+RecordStoreReader::~RecordStoreReader() {
+  for (Shard& shard : shards_) {
+    if (shard.map != nullptr) {
+      ::munmap(const_cast<char*>(shard.map), shard.file_size);
+    }
+    if (shard.fd >= 0) ::close(shard.fd);
+  }
+}
+
+void RecordStoreReader::ReadBytes(const Shard& shard, uint64_t offset,
+                                  char* out, size_t n) const {
+  if (offset + n > shard.file_size) {
+    throw std::runtime_error("record store: read past end of shard");
+  }
+  if (shard.map != nullptr) {
+    std::memcpy(out, shard.map + offset, n);
+    return;
+  }
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::pread(shard.fd, out + done, n - done,
+                              static_cast<off_t>(offset + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("record store: pread failed: ") +
+                               std::strerror(errno));
+    }
+    if (r == 0) throw std::runtime_error("record store: unexpected EOF");
+    done += static_cast<size_t>(r);
+  }
+}
+
+std::string RecordStoreReader::Get(uint64_t index) const {
+  if (index >= total_records_) {
+    throw std::out_of_range("record store index out of range");
+  }
+  // Shards are equally sized except the last, so a reverse linear probe
+  // finds the owner in O(1) expected; shard counts are tiny anyway.
+  size_t s = shards_.size();
+  while (s > 0 && shards_[s - 1].first_record > index) --s;
+  const Shard& shard = shards_[s - 1];
+  const uint64_t local = index - shard.first_record;
+  const uint64_t offset = shard.offsets[local];
+  char len_bytes[4];
+  ReadBytes(shard, offset, len_bytes, 4);
+  const uint32_t len = LoadU32(len_bytes);
+  std::string record(len, '\0');
+  if (len > 0) ReadBytes(shard, offset + 4, record.data(), len);
+  return record;
+}
+
+}  // namespace whoiscrf::whois

@@ -1,0 +1,132 @@
+// Compact sharded binary record store: the on-disk shape of a crawled
+// corpus once it leaves the %%-delimited text world. The paper's survey
+// parses 102M records; at that scale the store must support (a) streaming
+// scans with bounded memory and (b) random access by record index without
+// reading anything but the target record — both fall out of a per-shard
+// offset index.
+//
+// Layout (docs/formats.md "Sharded record store" is the authoritative
+// spec): records are split across shard files `<prefix>-NNNNN.wrs`, each
+// holding up to `records_per_shard` records:
+//
+//   u32  magic   0x31535257 ("WRS1")
+//   u32  version 1
+//   ...  records: u32 length + raw bytes, back to back
+//   ...  index:   u64 file offset of each record's length word
+//   u64  record count
+//   u64  index offset (file offset of the first index entry)
+//   u32  magic   0x31535257   (footer magic — detects truncation)
+//
+// Integers are little-endian. A reader seeks to the footer, loads the
+// index (8 bytes per record), and can then serve Get(i) with one pread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "whois/record_stream.h"
+
+namespace whoiscrf::whois {
+
+inline constexpr uint32_t kRecordStoreMagic = 0x31535257;  // "WRS1"
+inline constexpr uint32_t kRecordStoreVersion = 1;
+
+struct RecordStoreOptions {
+  // Shard roll-over threshold. 1<<20 records * ~1KB records ≈ 1GB shards
+  // at census scale; tests use tiny values to exercise multi-shard paths.
+  uint64_t records_per_shard = uint64_t{1} << 20;
+};
+
+// Appends records into `<prefix>-NNNNN.wrs` shards. Not thread-safe; one
+// writer per prefix. Finish() (or the destructor) seals the last shard.
+class RecordStoreWriter {
+ public:
+  explicit RecordStoreWriter(std::string prefix,
+                             RecordStoreOptions options = {});
+  ~RecordStoreWriter();
+
+  RecordStoreWriter(const RecordStoreWriter&) = delete;
+  RecordStoreWriter& operator=(const RecordStoreWriter&) = delete;
+
+  void Append(std::string_view record);
+  // Writes the current shard's index + footer and closes it. Idempotent.
+  void Finish();
+
+  uint64_t record_count() const { return total_records_; }
+  size_t shard_count() const { return shard_index_; }
+
+ private:
+  void OpenShard();
+  void SealShard();
+
+  std::string prefix_;
+  RecordStoreOptions options_;
+  std::FILE* file_ = nullptr;
+  size_t shard_index_ = 0;       // shards opened so far
+  uint64_t total_records_ = 0;
+  std::vector<uint64_t> offsets_;  // current shard's index
+  uint64_t shard_bytes_ = 0;
+};
+
+// Random-access + streaming reader over a sharded store. Shard files are
+// mmap'ed (falling back to pread) so Get touches only the pages of the
+// requested record. Thread-safe for concurrent Get calls.
+class RecordStoreReader {
+ public:
+  // Discovers `<prefix>-00000.wrs`, `<prefix>-00001.wrs`, ... until the
+  // first missing shard. Throws std::runtime_error on missing/corrupt
+  // stores.
+  explicit RecordStoreReader(const std::string& prefix);
+  ~RecordStoreReader();
+
+  RecordStoreReader(const RecordStoreReader&) = delete;
+  RecordStoreReader& operator=(const RecordStoreReader&) = delete;
+
+  uint64_t size() const { return total_records_; }
+  size_t shard_count() const { return shards_.size(); }
+
+  // Fetches record `index` (global, 0-based). Throws std::out_of_range.
+  std::string Get(uint64_t index) const;
+
+ private:
+  struct Shard {
+    int fd = -1;
+    const char* map = nullptr;  // non-null iff mmap'ed
+    size_t file_size = 0;
+    uint64_t first_record = 0;  // global index of this shard's record 0
+    std::vector<uint64_t> offsets;
+  };
+
+  void ReadBytes(const Shard& shard, uint64_t offset, char* out,
+                 size_t n) const;
+
+  std::vector<Shard> shards_;
+  uint64_t total_records_ = 0;
+};
+
+// Sequential RecordSource over a store: shards are scanned in order with
+// bounded memory (one record materialized at a time).
+class StoreRecordSource : public RecordSource {
+ public:
+  explicit StoreRecordSource(const RecordStoreReader& reader)
+      : reader_(reader) {}
+  bool Next(std::string& record) override {
+    if (pos_ >= reader_.size()) return false;
+    record = reader_.Get(pos_++);
+    return true;
+  }
+
+ private:
+  const RecordStoreReader& reader_;
+  uint64_t pos_ = 0;
+};
+
+// Shard file name for `prefix` and a shard index: `<prefix>-NNNNN.wrs`.
+std::string RecordStoreShardPath(const std::string& prefix, size_t shard);
+
+}  // namespace whoiscrf::whois

@@ -1,0 +1,205 @@
+#include "whois/stream_pipeline.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/bounded_queue.h"
+
+namespace whoiscrf::whois {
+
+namespace {
+
+// Registry handles for the streaming pipeline (whoiscrf_stream_*; see
+// docs/observability.md). Resolved once; ParseStream flushes per-call
+// tallies, and the queue-depth gauges are updated once per batch hand-off.
+struct StreamMetrics {
+  obs::Counter* records;
+  obs::Counter* batches;
+  obs::Gauge* reader_stall_seconds;
+  obs::Gauge* worker_stall_seconds;
+  obs::Gauge* sink_stall_seconds;
+  obs::Gauge* input_depth;
+  obs::Gauge* output_depth;
+};
+
+const StreamMetrics& GetStreamMetrics() {
+  static const StreamMetrics metrics = [] {
+    auto& reg = obs::Registry::Global();
+    StreamMetrics m;
+    m.records = reg.GetCounter("whoiscrf_stream_records_total",
+                               "Records parsed through the streaming pipeline");
+    m.batches = reg.GetCounter("whoiscrf_stream_batches_total",
+                               "Record batches handed between pipeline stages");
+    m.reader_stall_seconds = reg.GetGauge(
+        "whoiscrf_stream_reader_stall_seconds_total",
+        "Cumulative seconds the reader stage blocked on a full input queue");
+    m.worker_stall_seconds = reg.GetGauge(
+        "whoiscrf_stream_worker_stall_seconds_total",
+        "Cumulative seconds parser workers blocked on pipeline queues "
+        "(summed across workers)");
+    m.sink_stall_seconds = reg.GetGauge(
+        "whoiscrf_stream_sink_stall_seconds_total",
+        "Cumulative seconds the in-order sink blocked waiting for parses");
+    m.input_depth = reg.GetGauge(
+        "whoiscrf_stream_queue_depth",
+        "Batches currently queued between pipeline stages",
+        {{"queue", "input"}});
+    m.output_depth = reg.GetGauge(
+        "whoiscrf_stream_queue_depth",
+        "Batches currently queued between pipeline stages",
+        {{"queue", "output"}});
+    return m;
+  }();
+  return metrics;
+}
+
+struct Batch {
+  uint64_t seq = 0;
+  std::vector<std::string> records;
+  std::vector<ParsedWhois> parses;
+};
+
+}  // namespace
+
+StreamPipelineStats ParseStream(
+    const WhoisParser& parser, RecordSource& source,
+    const StreamPipelineOptions& options,
+    const std::function<void(uint64_t index, const std::string& record,
+                             const ParsedWhois& parsed)>& sink) {
+  const StreamMetrics& metrics = GetStreamMetrics();
+  obs::ScopedSpan span("whois.parse_stream");
+
+  const size_t threads =
+      options.threads != 0
+          ? options.threads
+          : std::max<size_t>(1, std::thread::hardware_concurrency());
+  const size_t batch_records = std::max<size_t>(1, options.batch_records);
+
+  util::BoundedQueue<Batch> input(options.queue_capacity);
+  util::BoundedQueue<Batch> output(options.queue_capacity);
+
+  // First failure from any stage wins; the queues are cancelled so every
+  // other stage unblocks and exits.
+  std::mutex error_mu;
+  std::exception_ptr error;
+  auto fail = [&](std::exception_ptr e) {
+    {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (!error) error = std::move(e);
+    }
+    input.Cancel();
+    output.Cancel();
+  };
+
+  StreamPipelineStats stats;
+  std::mutex stats_mu;  // guards the worker-stall sum across worker exits
+
+  std::thread reader([&] {
+    double stalled = 0.0;
+    try {
+      Batch batch;
+      uint64_t seq = 0;
+      bool more = true;
+      while (more) {
+        batch.seq = seq;
+        batch.records.clear();
+        std::string record;
+        while (batch.records.size() < batch_records &&
+               (more = source.Next(record))) {
+          batch.records.push_back(std::move(record));
+        }
+        if (batch.records.empty()) break;
+        if (!input.Push(std::move(batch), &stalled)) break;  // cancelled
+        metrics.input_depth->Set(static_cast<double>(input.Size()));
+        batch = Batch{};
+        ++seq;
+      }
+    } catch (...) {
+      fail(std::current_exception());
+    }
+    input.Close();
+    metrics.reader_stall_seconds->Add(stalled);
+    stats.reader_stall_seconds = stalled;
+  });
+
+  // The last worker out closes the output queue so the sink loop ends.
+  std::atomic<size_t> live_workers{threads};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (size_t w = 0; w < threads; ++w) {
+    workers.emplace_back([&] {
+      double stalled = 0.0;
+      try {
+        ParseWorkspace ws;
+        while (auto batch = input.Pop(&stalled)) {
+          obs::ScopedSpan batch_span("whois.stream_batch");
+          batch->parses.reserve(batch->records.size());
+          for (const std::string& record : batch->records) {
+            batch->parses.push_back(parser.Parse(record, ws));
+          }
+          if (!output.Push(std::move(*batch), &stalled)) break;  // cancelled
+          metrics.output_depth->Set(static_cast<double>(output.Size()));
+        }
+      } catch (...) {
+        fail(std::current_exception());
+      }
+      if (live_workers.fetch_sub(1) == 1) output.Close();
+      metrics.worker_stall_seconds->Add(stalled);
+      std::lock_guard<std::mutex> lock(stats_mu);
+      stats.worker_stall_seconds += stalled;
+    });
+  }
+
+  // In-order emission on the calling thread: stash out-of-order batches
+  // until the next sequence number lands. The stash stays bounded because
+  // every earlier stage blocks on a bounded queue.
+  std::map<uint64_t, Batch> pending;
+  uint64_t next_seq = 0;
+  uint64_t emitted = 0;
+  double sink_stalled = 0.0;
+  try {
+    while (auto batch = output.Pop(&sink_stalled)) {
+      pending.emplace(batch->seq, std::move(*batch));
+      for (auto it = pending.find(next_seq); it != pending.end();
+           it = pending.find(next_seq)) {
+        const Batch& ready = it->second;
+        for (size_t r = 0; r < ready.records.size(); ++r) {
+          sink(emitted, ready.records[r], ready.parses[r]);
+          ++emitted;
+        }
+        ++stats.batches;
+        pending.erase(it);
+        ++next_seq;
+      }
+    }
+  } catch (...) {
+    fail(std::current_exception());
+  }
+
+  reader.join();
+  for (std::thread& worker : workers) worker.join();
+
+  {
+    std::lock_guard<std::mutex> lock(error_mu);
+    if (error) std::rethrow_exception(error);
+  }
+
+  stats.records = emitted;
+  stats.sink_stall_seconds = sink_stalled;
+  metrics.records->Inc(emitted);
+  metrics.batches->Inc(stats.batches);
+  metrics.sink_stall_seconds->Add(sink_stalled);
+  metrics.input_depth->Set(0.0);
+  metrics.output_depth->Set(0.0);
+  return stats;
+}
+
+}  // namespace whoiscrf::whois

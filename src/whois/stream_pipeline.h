@@ -1,0 +1,61 @@
+// Three-stage streaming parse pipeline: reader → parser workers → in-order
+// sink, with bounded queues at both couplings so memory stays
+// O(batch * queue depth) however large the corpus is.
+//
+//   RecordSource ──► [input queue] ──► worker × N ──► [output queue] ──► sink
+//      (1 thread)      bounded          per-thread       bounded        (caller
+//                                     ParseWorkspace                    thread)
+//
+// Ordering contract: batches carry sequence numbers; the caller thread
+// reorders completed batches with a small stash, so `sink` observes
+// records in exact input order with no global barrier — a slow batch
+// stalls emission, never computation, and the stash is bounded by
+// (input capacity + workers + output capacity) batches because every
+// upstream stage blocks on its queue.
+//
+// Backpressure contract: the reader blocks once `queue_capacity` batches
+// are waiting to be parsed; workers block once `queue_capacity` parsed
+// batches are waiting to be emitted. A throwing sink (or source) cancels
+// both queues, joins all threads, and rethrows on the calling thread.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "whois/record_stream.h"
+#include "whois/whois_parser.h"
+
+namespace whoiscrf::whois {
+
+struct StreamPipelineOptions {
+  // Parser worker threads; 0 = hardware concurrency (min 1).
+  size_t threads = 0;
+  // Records per work item. Large enough to amortize queue hand-offs
+  // against ~100µs parses; small enough to keep batches cache-friendly.
+  size_t batch_records = 64;
+  // Batches each queue may hold before its producer blocks. Peak pipeline
+  // memory ≈ (2*queue_capacity + threads + stash) * batch_records records.
+  size_t queue_capacity = 8;
+};
+
+struct StreamPipelineStats {
+  uint64_t records = 0;
+  uint64_t batches = 0;
+  double reader_stall_seconds = 0.0;  // reader blocked on a full input queue
+  double worker_stall_seconds = 0.0;  // workers blocked (empty in/full out)
+  double sink_stall_seconds = 0.0;    // caller blocked on an empty out queue
+};
+
+// Parses every record of `source`, invoking
+// `sink(index, record, parsed)` on the calling thread in input order.
+// Output is identical to calling WhoisParser::Parse on each record
+// sequentially. Registers/updates the whoiscrf_stream_* metrics
+// (docs/observability.md).
+StreamPipelineStats ParseStream(
+    const WhoisParser& parser, RecordSource& source,
+    const StreamPipelineOptions& options,
+    const std::function<void(uint64_t index, const std::string& record,
+                             const ParsedWhois& parsed)>& sink);
+
+}  // namespace whoiscrf::whois

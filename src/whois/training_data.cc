@@ -5,7 +5,9 @@
 #include <stdexcept>
 
 #include "text/line_splitter.h"
+#include "util/chunk_reader.h"
 #include "util/string_util.h"
+#include "whois/record_stream.h"
 
 namespace whoiscrf::whois {
 
@@ -47,44 +49,37 @@ void WriteLabeledRecordsFile(const std::string& path,
   WriteLabeledRecords(os, records);
 }
 
-std::vector<LabeledRecord> ReadLabeledRecords(std::istream& is) {
-  std::vector<LabeledRecord> out;
-  LabeledRecord current;
-  std::vector<std::string> raw_lines;
+namespace {
+
+// Parses the lines of one %%-framed record body into a LabeledRecord.
+// Record framing (separators, CRLF normalization, trailing-record rules)
+// is owned by whois::RecordStreamReader; this only interprets the labeled
+// lines. Returns false for a body with no '@' header (stray blank lines
+// between separators).
+bool ParseLabeledBody(const StreamedRecord& record, LabeledRecord& out) {
   bool in_record = false;
-  std::string line;
-  int line_no = 0;
-
-  auto fail = [&](const std::string& msg) {
-    throw std::runtime_error(
-        util::Format("labeled records line %d: %s", line_no, msg.c_str()));
-  };
-
-  while (std::getline(is, line)) {
-    ++line_no;
-    if (!line.empty() && line.back() == '\r') line.pop_back();
+  std::vector<std::string_view> raw_lines;
+  const auto lines = util::SplitLines(record.text);
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string_view line = lines[i];
+    const size_t line_no = record.first_line + i;
+    auto fail = [&](const std::string& msg) {
+      throw std::runtime_error(util::Format("labeled records line %zu: %s",
+                                            line_no, msg.c_str()));
+    };
     if (!in_record) {
       if (line.empty()) continue;
       if (!util::StartsWith(line, "@ ")) fail("expected '@ <domain>'");
-      current = LabeledRecord{};
-      current.domain = std::string(util::Trim(std::string_view(line).substr(2)));
-      raw_lines.clear();
+      out = LabeledRecord{};
+      out.domain = std::string(util::Trim(line.substr(2)));
       in_record = true;
       continue;
     }
-    if (line == "%%") {
-      current.text = util::Join(raw_lines, "\n");
-      if (!raw_lines.empty()) current.text += "\n";
-      current.Validate();
-      out.push_back(std::move(current));
-      in_record = false;
-      continue;
-    }
     const size_t tab = line.find('\t');
-    if (tab == std::string::npos) fail("expected '<label>\\t<text>'");
-    std::string_view label_token = std::string_view(line).substr(0, tab);
-    std::string_view raw = std::string_view(line).substr(tab + 1);
-    raw_lines.emplace_back(raw);
+    if (tab == std::string_view::npos) fail("expected '<label>\\t<text>'");
+    const std::string_view label_token = line.substr(0, tab);
+    const std::string_view raw = line.substr(tab + 1);
+    raw_lines.push_back(raw);
     if (label_token == "-") {
       if (text::IsLabeledLine(raw)) fail("'-' label on a labeled line");
       continue;
@@ -100,11 +95,29 @@ std::vector<LabeledRecord> ReadLabeledRecords(std::istream& is) {
     }
     const auto l1 = Level1FromName(l1_token);
     if (!l1.has_value()) fail("unknown level-1 label");
-    current.labels.push_back(*l1);
-    current.sub_labels.push_back(sub);
+    out.labels.push_back(*l1);
+    out.sub_labels.push_back(sub);
   }
-  if (in_record) {
-    throw std::runtime_error("labeled records: unterminated record at EOF");
+  if (!in_record) return false;
+  out.text = util::Join(raw_lines, "\n");
+  if (!raw_lines.empty()) out.text += "\n";
+  out.Validate();
+  return true;
+}
+
+}  // namespace
+
+std::vector<LabeledRecord> ReadLabeledRecords(std::istream& is) {
+  util::StreamByteSource source(is);
+  RecordStreamReader reader(source);
+  std::vector<LabeledRecord> out;
+  StreamedRecord record;
+  while (reader.Next(record)) {
+    if (!record.terminated) {
+      throw std::runtime_error("labeled records: unterminated record at EOF");
+    }
+    LabeledRecord parsed;
+    if (ParseLabeledBody(record, parsed)) out.push_back(std::move(parsed));
   }
   return out;
 }

@@ -1,0 +1,411 @@
+// Streaming corpus pipeline: record framing across chunk boundaries,
+// bounded-queue backpressure, sharded record store round-trips, and
+// ParseStream vs in-memory ParseBatch equivalence (byte-identical output,
+// exact input order, every thread count).
+//
+// Like test_parse_batch.cc, run these in a -DWHOISCRF_TSAN=ON build tree:
+// the pipeline's reader/worker/sink handoffs are exactly the kind of code
+// ThreadSanitizer exists for.
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/corpus_gen.h"
+#include "survey/build.h"
+#include "util/bounded_queue.h"
+#include "util/chunk_reader.h"
+#include "util/thread_pool.h"
+#include "whois/json_export.h"
+#include "whois/record_store.h"
+#include "whois/record_stream.h"
+#include "whois/stream_pipeline.h"
+#include "whois/whois_parser.h"
+
+namespace whoiscrf::whois {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Record framing
+
+std::vector<std::string> ScanAll(std::string_view text, size_t chunk_bytes) {
+  util::MemoryByteSource source(text, chunk_bytes);
+  return ReadAllRecords(source);
+}
+
+TEST(RecordStreamTest, FramingIsChunkSizeInvariant) {
+  const std::string text =
+      "Domain Name: A.COM\nRegistrar: One\n%%\n"
+      "Domain Name: B.COM\r\nRegistrar: Two\r\n%%\r\n"
+      "Domain Name: C.COM\rRegistrar: Three\r%%\n";
+  const std::vector<std::string> expected = {
+      "Domain Name: A.COM\nRegistrar: One\n",
+      "Domain Name: B.COM\nRegistrar: Two\n",
+      "Domain Name: C.COM\nRegistrar: Three\n",
+  };
+  // Chunk size 1 puts a boundary at every byte, so every straddle case —
+  // including "\r|\n" — is exercised; larger sizes cover interior fast
+  // paths. All must agree byte for byte.
+  for (size_t chunk : {size_t{1}, size_t{2}, size_t{3}, size_t{7},
+                       size_t{64}, size_t{1} << 20}) {
+    EXPECT_EQ(ScanAll(text, chunk), expected) << "chunk=" << chunk;
+  }
+}
+
+TEST(RecordStreamTest, MissingTrailingSeparatorEmitsUnterminatedRecord) {
+  const std::string text = "Domain Name: A.COM\n%%\nDomain Name: B.COM\n";
+  for (size_t chunk : {size_t{1}, size_t{5}, size_t{1} << 20}) {
+    util::MemoryByteSource source(text, chunk);
+    RecordStreamReader reader(source);
+    StreamedRecord record;
+    ASSERT_TRUE(reader.Next(record)) << "chunk=" << chunk;
+    EXPECT_EQ(record.text, "Domain Name: A.COM\n");
+    EXPECT_TRUE(record.terminated);
+    ASSERT_TRUE(reader.Next(record)) << "chunk=" << chunk;
+    EXPECT_EQ(record.text, "Domain Name: B.COM\n");
+    EXPECT_FALSE(record.terminated);
+    EXPECT_EQ(record.index, 1u);
+    EXPECT_FALSE(reader.Next(record));
+  }
+}
+
+TEST(RecordStreamTest, UnterminatedFinalLineKeepsItsBytes) {
+  // No newline at all after the last line: the line still belongs to the
+  // trailing record.
+  const auto records = ScanAll("Domain Name: A.COM\nRegistrar: One", 3);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], "Domain Name: A.COM\nRegistrar: One\n");
+}
+
+TEST(RecordStreamTest, EmptyBodiesAndTrailingBlanksProduceNoRecords) {
+  // Consecutive separators, separators with surrounding whitespace, and
+  // trailing blank lines must not produce ghost records.
+  EXPECT_TRUE(ScanAll("", 4).empty());
+  EXPECT_TRUE(ScanAll("%%\n%%\n  %% \n", 4).empty());
+  EXPECT_TRUE(ScanAll("\n\n\n", 4).empty());
+  const auto records = ScanAll("%%\nDomain Name: A.COM\n%%\n%%\n\n\n", 4);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], "Domain Name: A.COM\n");
+}
+
+TEST(RecordStreamTest, FirstLineNumbersArePhysical) {
+  const std::string text =
+      "Domain Name: A.COM\nRegistrar: One\n%%\nDomain Name: B.COM\n%%\n";
+  util::MemoryByteSource source(text, 1 << 20);
+  RecordStreamReader reader(source);
+  StreamedRecord record;
+  ASSERT_TRUE(reader.Next(record));
+  EXPECT_EQ(record.first_line, 1u);
+  ASSERT_TRUE(reader.Next(record));
+  EXPECT_EQ(record.first_line, 4u);
+}
+
+TEST(RecordStreamTest, MatchesGeneratedCorpusAtHostileChunkSizes) {
+  datagen::CorpusOptions options;
+  options.size = 30;
+  options.seed = 5;
+  const datagen::CorpusGenerator generator(options);
+  std::vector<std::string> expected;
+  std::string text;
+  for (size_t i = 0; i < 30; ++i) {
+    expected.push_back(generator.Generate(i).thick.text);
+    text += expected.back();
+    text += "%%\n";
+  }
+  for (size_t chunk : {size_t{1}, size_t{13}, size_t{1} << 20}) {
+    EXPECT_EQ(ScanAll(text, chunk), expected) << "chunk=" << chunk;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bounded queue
+
+TEST(BoundedQueueTest, PushBlocksAtCapacityUntilPopped) {
+  util::BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.Push(1));
+  EXPECT_TRUE(queue.Push(2));
+
+  std::atomic<bool> third_pushed{false};
+  double stalled = 0.0;
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.Push(3, &stalled));
+    third_pushed = true;
+  });
+  // The producer must stay blocked while the queue is full. (A sleep can
+  // only give a false pass here, never a false failure.)
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(third_pushed.load());
+  EXPECT_EQ(queue.Size(), 2u);
+
+  EXPECT_EQ(queue.Pop(), std::optional<int>(1));
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+  EXPECT_GT(stalled, 0.0);
+  EXPECT_EQ(queue.Pop(), std::optional<int>(2));
+  EXPECT_EQ(queue.Pop(), std::optional<int>(3));
+}
+
+TEST(BoundedQueueTest, CancelWakesBlockedProducersAndDiscardsItems) {
+  util::BoundedQueue<int> queue(1);
+  EXPECT_TRUE(queue.Push(1));
+  std::thread producer([&] { EXPECT_FALSE(queue.Push(2)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.Cancel();
+  producer.join();
+  EXPECT_EQ(queue.Size(), 0u);
+  EXPECT_EQ(queue.Pop(), std::nullopt);
+  EXPECT_FALSE(queue.Push(3));
+}
+
+TEST(BoundedQueueTest, CloseDrainsQueuedItemsThenEndsConsumers) {
+  util::BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.Push(1));
+  EXPECT_TRUE(queue.Push(2));
+  std::thread consumer([&] {
+    EXPECT_EQ(queue.Pop(), std::optional<int>(1));
+    EXPECT_EQ(queue.Pop(), std::optional<int>(2));
+    EXPECT_EQ(queue.Pop(), std::nullopt);  // blocks until Close()
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.Close();
+  consumer.join();
+  EXPECT_FALSE(queue.Push(3));
+}
+
+// ---------------------------------------------------------------------------
+// Sharded record store
+
+std::string TempPrefix(const char* tag) {
+  return testing::TempDir() + "whoiscrf_" + tag + "_" +
+         std::to_string(::getpid());
+}
+
+void RemoveStore(const std::string& prefix) {
+  for (size_t s = 0;; ++s) {
+    if (std::remove(RecordStoreShardPath(prefix, s).c_str()) != 0) break;
+  }
+}
+
+TEST(RecordStoreTest, MultiShardRoundTripWithRandomAccess) {
+  const std::string prefix = TempPrefix("store");
+  std::vector<std::string> records;
+  for (int i = 0; i < 10; ++i) {
+    records.push_back("Domain Name: R" + std::to_string(i) +
+                      ".COM\nRegistrar: Reg\n");
+  }
+  {
+    RecordStoreOptions options;
+    options.records_per_shard = 3;  // force 4 shards for 10 records
+    RecordStoreWriter writer(prefix, options);
+    for (const auto& r : records) writer.Append(r);
+    writer.Finish();
+    EXPECT_EQ(writer.record_count(), 10u);
+    EXPECT_EQ(writer.shard_count(), 4u);
+  }
+  const RecordStoreReader reader(prefix);
+  EXPECT_EQ(reader.size(), 10u);
+  EXPECT_EQ(reader.shard_count(), 4u);
+  // Random access, deliberately out of order and crossing shards.
+  for (uint64_t i : {9u, 0u, 5u, 2u, 8u, 3u}) {
+    EXPECT_EQ(reader.Get(i), records[i]) << "record " << i;
+  }
+  EXPECT_THROW(reader.Get(10), std::out_of_range);
+  // Sequential scan sees every record in order.
+  StoreRecordSource source(reader);
+  std::string record;
+  for (size_t i = 0; i < records.size(); ++i) {
+    ASSERT_TRUE(source.Next(record)) << i;
+    EXPECT_EQ(record, records[i]) << i;
+  }
+  EXPECT_FALSE(source.Next(record));
+  RemoveStore(prefix);
+}
+
+TEST(RecordStoreTest, EmptyStoreRoundTrips) {
+  const std::string prefix = TempPrefix("store_empty");
+  {
+    RecordStoreWriter writer(prefix);
+    writer.Finish();
+  }
+  const RecordStoreReader reader(prefix);
+  EXPECT_EQ(reader.size(), 0u);
+  StoreRecordSource source(reader);
+  std::string record;
+  EXPECT_FALSE(source.Next(record));
+  RemoveStore(prefix);
+}
+
+TEST(RecordStoreTest, MissingStoreThrows) {
+  EXPECT_THROW(RecordStoreReader(TempPrefix("store_missing")),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming parse pipeline
+
+class StreamPipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    datagen::CorpusOptions options;
+    options.size = 200;
+    options.seed = 42;
+    generator_ = new datagen::CorpusGenerator(options);
+    std::vector<LabeledRecord> train;
+    for (size_t i = 0; i < 120; ++i) {
+      train.push_back(generator_->Generate(i).thick);
+    }
+    parser_ = new WhoisParser(WhoisParser::Train(train));
+  }
+  static void TearDownTestSuite() {
+    delete parser_;
+    delete generator_;
+    parser_ = nullptr;
+    generator_ = nullptr;
+  }
+
+  static std::vector<std::string> CorpusTexts(size_t begin, size_t count) {
+    std::vector<std::string> out;
+    out.reserve(count);
+    for (size_t i = begin; i < begin + count; ++i) {
+      out.push_back(generator_->Generate(i).thick.text);
+    }
+    return out;
+  }
+
+  static WhoisParser* parser_;
+  static datagen::CorpusGenerator* generator_;
+};
+
+WhoisParser* StreamPipelineTest::parser_ = nullptr;
+datagen::CorpusGenerator* StreamPipelineTest::generator_ = nullptr;
+
+TEST_F(StreamPipelineTest, StreamingMatchesInMemoryBatchByteForByte) {
+  const std::vector<std::string> records = CorpusTexts(120, 60);
+  std::string text;
+  for (const auto& r : records) {
+    text += r;
+    text += "%%\n";
+  }
+
+  util::ThreadPool pool(4);
+  const std::vector<ParsedWhois> batch = parser_->ParseBatch(records, pool);
+
+  // Tiny chunks, batches, and queues: maximum pressure on the framing and
+  // the reorder logic. Output must still be the in-memory batch, byte for
+  // byte, in exact input order.
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    util::MemoryByteSource bytes(text, 37);
+    TextRecordSource source(bytes);
+    StreamPipelineOptions options;
+    options.threads = threads;
+    options.batch_records = 3;
+    options.queue_capacity = 2;
+    std::vector<std::string> seen_records;
+    std::vector<std::string> seen_json;
+    std::vector<uint64_t> seen_indices;
+    const StreamPipelineStats stats = ParseStream(
+        *parser_, source, options,
+        [&](uint64_t index, const std::string& record,
+            const ParsedWhois& parsed) {
+          seen_indices.push_back(index);
+          seen_records.push_back(record);
+          seen_json.push_back(ToJson(parsed));
+        });
+    EXPECT_EQ(stats.records, records.size()) << threads << " threads";
+    ASSERT_EQ(seen_records.size(), records.size()) << threads << " threads";
+    for (size_t i = 0; i < records.size(); ++i) {
+      EXPECT_EQ(seen_indices[i], i) << threads << " threads";
+      EXPECT_EQ(seen_records[i], records[i]) << threads << " threads";
+      EXPECT_EQ(seen_json[i], ToJson(batch[i]))
+          << threads << " threads, record " << i;
+    }
+  }
+}
+
+TEST_F(StreamPipelineTest, EmptySourceProducesNoSinkCalls) {
+  util::MemoryByteSource bytes("", 8);
+  TextRecordSource source(bytes);
+  size_t calls = 0;
+  const StreamPipelineStats stats =
+      ParseStream(*parser_, source, {},
+                  [&](uint64_t, const std::string&, const ParsedWhois&) {
+                    ++calls;
+                  });
+  EXPECT_EQ(stats.records, 0u);
+  EXPECT_EQ(calls, 0u);
+}
+
+TEST_F(StreamPipelineTest, SinkExceptionCancelsPipelineAndPropagates) {
+  const std::vector<std::string> records = CorpusTexts(120, 40);
+  std::string text;
+  for (const auto& r : records) {
+    text += r;
+    text += "%%\n";
+  }
+  util::MemoryByteSource bytes(text, 1 << 20);
+  TextRecordSource source(bytes);
+  StreamPipelineOptions options;
+  options.threads = 2;
+  options.batch_records = 2;
+  options.queue_capacity = 2;
+  EXPECT_THROW(
+      ParseStream(*parser_, source, options,
+                  [&](uint64_t index, const std::string&, const ParsedWhois&) {
+                    if (index >= 4) throw std::runtime_error("sink failed");
+                  }),
+      std::runtime_error);
+}
+
+TEST_F(StreamPipelineTest, StoreSourceParsesIdenticallyToTextSource) {
+  const std::vector<std::string> records = CorpusTexts(150, 30);
+  const std::string prefix = TempPrefix("pipeline_store");
+  {
+    RecordStoreWriter writer(prefix);
+    for (const auto& r : records) writer.Append(r);
+  }  // destructor seals
+  const RecordStoreReader reader(prefix);
+  StoreRecordSource source(reader);
+  std::vector<std::string> json;
+  ParseStream(*parser_, source, {},
+              [&](uint64_t, const std::string&, const ParsedWhois& parsed) {
+                json.push_back(ToJson(parsed));
+              });
+  ASSERT_EQ(json.size(), records.size());
+  ParseWorkspace ws;
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(json[i], ToJson(parser_->Parse(records[i], ws))) << i;
+  }
+  RemoveStore(prefix);
+}
+
+TEST_F(StreamPipelineTest, BuildDatabaseFromStreamAssemblesRowsInOrder) {
+  const std::vector<std::string> records = CorpusTexts(120, 25);
+  std::string text;
+  for (const auto& r : records) {
+    text += r;
+    text += "%%\n";
+  }
+  util::MemoryByteSource bytes(text, 1 << 20);
+  TextRecordSource source(bytes);
+  StreamPipelineOptions options;
+  options.threads = 2;
+  const survey::SurveyDatabase db = survey::BuildDatabaseFromStream(
+      source, *parser_, generator_->registrars(), options);
+  ASSERT_EQ(db.size(), records.size());
+  ParseWorkspace ws;
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(db.rows()[i].domain, parser_->Parse(records[i], ws).domain_name)
+        << i;
+  }
+}
+
+}  // namespace
+}  // namespace whoiscrf::whois
