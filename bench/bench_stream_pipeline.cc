@@ -28,6 +28,7 @@
 #include "util/thread_pool.h"
 #include "whois/record_store.h"
 #include "whois/record_stream.h"
+#include "whois/stream_checkpoint.h"
 #include "whois/stream_pipeline.h"
 #include "whois/whois_parser.h"
 
@@ -114,6 +115,20 @@ PhaseResult StreamFile(const whois::WhoisParser& parser,
   FinishPhase(r, start);
   if (stats_out != nullptr) *stats_out = stats;
   return r;
+}
+
+// Removes every artifact a checkpointed store run can leave: shards,
+// unsealed .tmp shards, the quarantine store, and the checkpoint file.
+void RemoveStoreArtifacts(const std::string& prefix) {
+  for (const std::string& p : {prefix, prefix + "-quarantine"}) {
+    for (size_t s = 0; s < 1000; ++s) {
+      const std::string shard = whois::RecordStoreShardPath(p, s);
+      const bool had_final = std::remove(shard.c_str()) == 0;
+      const bool had_tmp = std::remove((shard + ".tmp").c_str()) == 0;
+      if (!had_final && !had_tmp) break;
+    }
+  }
+  std::remove(whois::StreamCheckpointPath(prefix).c_str());
 }
 
 void PrintPhase(const char* name, const PhaseResult& r) {
@@ -209,6 +224,48 @@ int Main() {
     FinishPhase(store_roundtrip, start);
   }
 
+  // Checkpoint overhead: stream the small corpus into a store twice —
+  // once with a bare writer (no durability), once through
+  // ParseStreamToStore with its fsync-every-interval checkpoint
+  // discipline. The rps ratio is the price of crash safety (target: the
+  // default interval costs <=3%).
+  const std::string plain_store_prefix = tmp_prefix + "_store_plain";
+  const std::string ckpt_store_prefix = tmp_prefix + "_store_ckpt";
+  PhaseResult store_plain;
+  {
+    const auto start = Clock::now();
+    util::FileByteSource bytes(small_path);
+    whois::TextRecordSource source(bytes);
+    whois::RecordStoreWriter writer(plain_store_prefix);
+    whois::ParseStream(
+        parser, source, options,
+        [&](uint64_t, const std::string& record,
+            const whois::ParsedWhois& parsed) {
+          writer.Append(record);
+          store_plain.checksum += Checksum(parsed);
+          ++store_plain.records;
+        });
+    writer.Finish();
+    FinishPhase(store_plain, start);
+  }
+  PhaseResult store_ckpt;
+  {
+    const auto start = Clock::now();
+    util::FileByteSource bytes(small_path);
+    whois::TextRecordSource source(bytes);
+    whois::CheckpointedParseOptions ckpt_options;
+    ckpt_options.pipeline = options;
+    ckpt_options.checkpoint_interval = 1024;
+    ckpt_options.input_id = "file:" + small_path;
+    whois::ParseStreamToStore(
+        parser, source, ckpt_store_prefix, ckpt_options,
+        [&](uint64_t, const std::string&, const whois::ParsedWhois& parsed) {
+          store_ckpt.checksum += Checksum(parsed);
+          ++store_ckpt.records;
+        });
+    FinishPhase(store_ckpt, start);
+  }
+
   // In-memory batch over the large corpus, last: it hoists the high-water
   // mark by the whole materialized corpus.
   PhaseResult inmem_large;
@@ -231,11 +288,20 @@ int Main() {
   PrintPhase("stream large", stream_large);
   PrintPhase("stream survey build", survey_stream);
   PrintPhase("store pack+scan (small)", store_roundtrip);
+  PrintPhase("store write plain", store_plain);
+  PrintPhase("store write ckpt", store_ckpt);
   PrintPhase("in-memory batch large", inmem_large);
 
   const bool checksums_match =
       stream_large.checksum == inmem_large.checksum &&
-      stream_small.checksum == store_roundtrip.checksum;
+      stream_small.checksum == store_roundtrip.checksum &&
+      stream_small.checksum == store_plain.checksum &&
+      stream_small.checksum == store_ckpt.checksum;
+  const double ckpt_overhead_pct =
+      store_plain.records_per_sec > 0.0
+          ? (1.0 - store_ckpt.records_per_sec / store_plain.records_per_sec) *
+                100.0
+          : 0.0;
   const double stream_vs_inmem =
       inmem_large.records_per_sec > 0.0
           ? stream_large.records_per_sec / inmem_large.records_per_sec
@@ -244,9 +310,10 @@ int Main() {
       stream_large.peak_rss_kb - stream_small.peak_rss_kb;
   std::printf(
       "\nstreaming vs in-memory: %.2fx   checksums %s\n"
-      "streaming peak RSS delta small->large (10x records): %ld KiB\n",
+      "streaming peak RSS delta small->large (10x records): %ld KiB\n"
+      "checkpoint overhead (interval 1024): %.2f%% rps (target <= 3%%)\n",
       stream_vs_inmem, checksums_match ? "match" : "MISMATCH",
-      stream_peak_delta_kb);
+      stream_peak_delta_kb, ckpt_overhead_pct);
 
   const char* out_env = std::getenv("WHOISCRF_BENCH_OUT");
   const std::string out_path =
@@ -261,8 +328,11 @@ int Main() {
   WritePhaseJson(os, "stream_large", stream_large, true);
   WritePhaseJson(os, "stream_survey_build", survey_stream, true);
   WritePhaseJson(os, "store_roundtrip", store_roundtrip, true);
+  WritePhaseJson(os, "store_write_plain", store_plain, true);
+  WritePhaseJson(os, "store_write_ckpt", store_ckpt, true);
   WritePhaseJson(os, "inmem_large", inmem_large, true);
   os << "  \"stream_vs_inmem_ratio\": " << stream_vs_inmem << ",\n";
+  os << "  \"checkpoint_overhead_pct\": " << ckpt_overhead_pct << ",\n";
   os << "  \"checksums_match\": " << (checksums_match ? "true" : "false")
      << ",\n";
   os << "  \"stream_peak_rss_delta_kb\": " << stream_peak_delta_kb << ",\n";
@@ -277,10 +347,9 @@ int Main() {
 
   std::remove(small_path.c_str());
   std::remove(large_path.c_str());
-  for (size_t s = 0; s < 1000; ++s) {
-    const std::string shard = whois::RecordStoreShardPath(store_prefix, s);
-    if (std::remove(shard.c_str()) != 0) break;
-  }
+  RemoveStoreArtifacts(store_prefix);
+  RemoveStoreArtifacts(plain_store_prefix);
+  RemoveStoreArtifacts(ckpt_store_prefix);
   return checksums_match ? 0 : 1;
 }
 

@@ -28,10 +28,14 @@ void PrintUsage() {
                "[--min-count K]\n"
                "  parse   --model FILE [--in FILE] [--format "
                "json|rdap|fields|labels] [--threads N]\n"
+               "          [--stream] [--store-out PREFIX] [--resume]\n"
+               "          [--checkpoint-interval N] [--watchdog-ms MS]\n"
+               "          [--max-record-bytes N]\n"
                "  adapt   --model FILE --data FILE --out FILE\n"
                "  eval    --model FILE --data FILE [--confusion]\n"
                "  select  --model FILE --in FILE [--k N]\n"
                "  crawl   [--domains N] [--seed S] [--model FILE] [--json]\n"
+               "          [--journal FILE] [--resume]\n"
                "\n"
                "global flags (every command):\n"
                "  --metrics-out FILE   write metrics when the command ends\n"

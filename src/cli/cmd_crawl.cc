@@ -4,8 +4,10 @@
 
 #include "cli/commands.h"
 #include "datagen/corpus_gen.h"
+#include "net/crawl_journal.h"
 #include "net/crawler.h"
 #include "net/simulation.h"
+#include "obs/metrics.h"
 #include "whois/json_export.h"
 #include "whois/whois_parser.h"
 
@@ -16,6 +18,12 @@ int CmdCrawl(util::FlagParser& flags) {
   const auto seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   const std::string model_path = flags.GetString("model");
   const bool as_json = flags.GetBool("json");
+  const std::string journal_path = flags.GetString("journal");
+  const bool resume = flags.GetBool("resume");
+  if (resume && journal_path.empty()) {
+    std::fprintf(stderr, "crawl: --resume requires --journal\n");
+    return 2;
+  }
 
   std::optional<whois::WhoisParser> parser;
   if (!model_path.empty()) {
@@ -34,10 +42,39 @@ int CmdCrawl(util::FlagParser& flags) {
   net::SimClock clock;
   net::CrawlerOptions crawl_options;
   crawl_options.registry_server = sim.registry_server;
+
+  // Crash/resume: replay the journal so finished domains are skipped and
+  // previously inferred rate limits pace the crawler from query one.
+  net::CrawlJournal::Replay replay;
+  if (resume) {
+    replay = net::CrawlJournal::Load(journal_path);
+    crawl_options.initial_limits = replay.limits;
+  }
+  std::vector<std::string> to_crawl;
+  to_crawl.reserve(sim.zone_domains.size());
+  for (const std::string& domain : sim.zone_domains) {
+    if (replay.domains.find(domain) == replay.domains.end()) {
+      to_crawl.push_back(domain);
+    }
+  }
+  const size_t skipped = sim.zone_domains.size() - to_crawl.size();
+  if (skipped > 0) {
+    obs::Registry::Global()
+        .GetCounter("whoiscrf_crawl_resume_skipped_total",
+                    "Domains skipped on resume because the crawl journal "
+                    "already records their outcome")
+        ->Inc(skipped);
+  }
+
   net::Crawler crawler(*sim.network, clock, crawl_options);
+  std::optional<net::CrawlJournal> journal;
+  if (!journal_path.empty()) {
+    journal.emplace(journal_path);
+    crawler.SetJournal(&*journal);
+  }
 
   size_t emitted = 0;
-  for (const auto& result : crawler.CrawlAll(sim.zone_domains)) {
+  for (const auto& result : crawler.CrawlAll(to_crawl)) {
     if (result.status != net::CrawlResult::Status::kOk) continue;
     if (parser.has_value()) {
       const whois::ParsedWhois parsed = parser->Parse(result.thick);
@@ -50,9 +87,10 @@ int CmdCrawl(util::FlagParser& flags) {
   const auto& stats = crawler.stats();
   std::fprintf(stderr,
                "crawl: %zu ok, %zu no-match, %zu thin-only, %zu failed; "
-               "%zu queries, %zu limit hits, %zu parsed records emitted\n",
+               "%zu queries, %zu limit hits, %zu parsed records emitted, "
+               "%zu skipped via journal\n",
                stats.ok, stats.no_match, stats.thin_only, stats.failed,
-               stats.queries_sent, stats.limit_hits, emitted);
+               stats.queries_sent, stats.limit_hits, emitted, skipped);
   return 0;
 }
 

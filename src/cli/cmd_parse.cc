@@ -10,6 +10,7 @@
 #include "whois/json_export.h"
 #include "whois/record_store.h"
 #include "whois/record_stream.h"
+#include "whois/stream_checkpoint.h"
 #include "whois/stream_pipeline.h"
 #include "whois/whois_parser.h"
 
@@ -68,6 +69,13 @@ int CmdParse(util::FlagParser& flags) {
   const size_t threads =
       static_cast<size_t>(flags.GetInt("threads", 0));  // 0 = hardware
   const bool stream = flags.GetBool("stream");
+  const bool resume = flags.GetBool("resume");
+  const auto checkpoint_interval =
+      static_cast<uint64_t>(flags.GetInt("checkpoint-interval", 4096));
+  const auto watchdog_ms =
+      static_cast<uint64_t>(flags.GetInt("watchdog-ms", 0));
+  const auto max_record_bytes =
+      static_cast<uint64_t>(flags.GetInt("max-record-bytes", 0));
   if (model_path.empty()) {
     std::fprintf(stderr, "parse: --model is required\n");
     return 2;
@@ -78,39 +86,65 @@ int CmdParse(util::FlagParser& flags) {
   }
   const whois::WhoisParser parser = whois::WhoisParser::LoadFile(model_path);
 
-  // --store-out packs the raw records into a sharded binary store (in
-  // input order) alongside whatever gets printed.
-  std::unique_ptr<whois::RecordStoreWriter> store_writer;
-  if (!store_out.empty()) {
-    store_writer = std::make_unique<whois::RecordStoreWriter>(store_out);
-  }
-
   if (stream) {
     // Streaming mode: bounded-memory pipeline, output still in input
     // order. The full corpus is never materialized.
     std::unique_ptr<whois::RecordStoreReader> store_reader;
     std::unique_ptr<util::ByteSource> bytes;
     std::unique_ptr<whois::RecordSource> source;
+    std::string input_id;
     if (!in_store.empty()) {
       store_reader = std::make_unique<whois::RecordStoreReader>(in_store);
       source = std::make_unique<whois::StoreRecordSource>(*store_reader);
+      input_id = "store:" + in_store;
     } else {
       bytes = in.empty()
                   ? std::unique_ptr<util::ByteSource>(
                         std::make_unique<util::StreamByteSource>(std::cin))
                   : std::make_unique<util::FileByteSource>(in);
       source = std::make_unique<whois::TextRecordSource>(*bytes);
+      input_id = in.empty() ? "stdin" : "file:" + in;
     }
     whois::StreamPipelineOptions options;
     options.threads = threads;
+    options.watchdog_timeout_ms = watchdog_ms;
+    if (!store_out.empty()) {
+      // Crash-safe path: records land in a checkpointed store, poison
+      // records go to `<store_out>-quarantine`, and --resume continues an
+      // interrupted run from `<store_out>.ckpt`.
+      whois::CheckpointedParseOptions ckpt;
+      ckpt.pipeline = options;
+      ckpt.pipeline.max_record_bytes = max_record_bytes;
+      ckpt.checkpoint_interval = checkpoint_interval;
+      ckpt.resume = resume;
+      ckpt.input_id = input_id;
+      const whois::CheckpointedParseResult result = whois::ParseStreamToStore(
+          parser, *source, store_out, ckpt,
+          [&](uint64_t, const std::string& record,
+              const whois::ParsedWhois& parsed) {
+            PrintParsed(format, record, parsed);
+          });
+      std::fprintf(stderr,
+                   "parse: %llu records stored (%llu skipped via resume, "
+                   "%llu quarantined)\n",
+                   static_cast<unsigned long long>(result.records_stored),
+                   static_cast<unsigned long long>(result.skipped),
+                   static_cast<unsigned long long>(result.quarantined));
+      return 0;
+    }
     whois::ParseStream(parser, *source, options,
                        [&](uint64_t, const std::string& record,
                            const whois::ParsedWhois& parsed) {
-                         if (store_writer) store_writer->Append(record);
                          PrintParsed(format, record, parsed);
                        });
-    if (store_writer) store_writer->Finish();
     return 0;
+  }
+
+  // --store-out packs the raw records into a sharded binary store (in
+  // input order) alongside whatever gets printed.
+  std::unique_ptr<whois::RecordStoreWriter> store_writer;
+  if (!store_out.empty()) {
+    store_writer = std::make_unique<whois::RecordStoreWriter>(store_out);
   }
 
   // In-memory mode: parse the whole batch on the thread pool, then print

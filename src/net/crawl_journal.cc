@@ -1,0 +1,125 @@
+#include "net/crawl_journal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+#include "util/checkpoint.h"
+#include "util/string_util.h"
+
+namespace whoiscrf::net {
+
+namespace {
+
+[[noreturn]] void Fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error("crawl journal: " + what + " " + path + ": " +
+                           std::strerror(errno));
+}
+
+std::vector<std::string_view> SplitTabs(std::string_view line) {
+  std::vector<std::string_view> fields;
+  size_t start = 0;
+  while (true) {
+    const size_t tab = line.find('\t', start);
+    if (tab == std::string_view::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+}
+
+}  // namespace
+
+CrawlJournal::Replay CrawlJournal::Load(const std::string& path) {
+  Replay replay;
+  std::string text;
+  if (!util::ReadFileToString(path, text)) return replay;
+  size_t start = 0;
+  while (start < text.size()) {
+    const size_t newline = text.find('\n', start);
+    if (newline == std::string::npos) break;  // torn final line: ignore
+    const std::string_view line(text.data() + start, newline - start);
+    start = newline + 1;
+    if (line.empty()) continue;
+    const auto fields = SplitTabs(line);
+    if (fields[0] == "D" && fields.size() == 4) {
+      CrawlResult::Status status;
+      if (!ParseCrawlStatus(fields[2], status)) {
+        throw std::runtime_error("crawl journal: unknown status in " + path +
+                                 ": " + std::string(line));
+      }
+      replay.domains[std::string(fields[1])] = status;
+    } else if (fields[0] == "L" && fields.size() == 3) {
+      const uint32_t limit = static_cast<uint32_t>(
+          std::strtoul(std::string(fields[2]).c_str(), nullptr, 10));
+      auto it = replay.limits.find(std::string(fields[1]));
+      if (it == replay.limits.end() || limit < it->second) {
+        replay.limits[std::string(fields[1])] = limit;
+      }
+    } else {
+      throw std::runtime_error("crawl journal: malformed line in " + path +
+                               ": " + std::string(line));
+    }
+  }
+  return replay;
+}
+
+CrawlJournal::CrawlJournal(const std::string& path) : path_(path) {
+  entries_ = obs::Registry::Global().GetCounter(
+      "whoiscrf_crawl_journal_entries_total",
+      "Entries appended to the crawl journal (domains + inferred limits)");
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) Fail("cannot open", path);
+  // Truncate a torn final line (crash mid-append) so every appended entry
+  // starts on a line boundary.
+  std::string text;
+  if (util::ReadFileToString(path, text)) {
+    const size_t last_newline = text.find_last_of('\n');
+    const off_t keep =
+        last_newline == std::string::npos
+            ? 0
+            : static_cast<off_t>(last_newline + 1);
+    if (keep != static_cast<off_t>(text.size())) {
+      if (::ftruncate(fd_, keep) != 0) Fail("cannot truncate", path);
+    }
+    if (::lseek(fd_, 0, SEEK_END) < 0) Fail("cannot seek", path);
+  }
+}
+
+CrawlJournal::~CrawlJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void CrawlJournal::AppendLine(const std::string& line) {
+  size_t done = 0;
+  while (done < line.size()) {
+    const ssize_t w = ::write(fd_, line.data() + done, line.size() - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      Fail("cannot append to", path_);
+    }
+    done += static_cast<size_t>(w);
+  }
+  if (::fsync(fd_) != 0) Fail("cannot fsync", path_);
+  entries_->Inc();
+}
+
+void CrawlJournal::RecordDomain(const std::string& domain,
+                                CrawlResult::Status status, int attempts) {
+  AppendLine(util::Format("D\t%s\t%s\t%d\n", domain.c_str(),
+                          CrawlStatusName(status), attempts));
+}
+
+void CrawlJournal::RecordLimit(const std::string& server, uint32_t limit) {
+  AppendLine(util::Format("L\t%s\t%u\n", server.c_str(), limit));
+}
+
+}  // namespace whoiscrf::net

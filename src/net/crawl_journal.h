@@ -1,0 +1,68 @@
+// Append-only crawl journal: the durable record of a crawl's progress.
+//
+// Every finished domain and every inferred per-server rate limit becomes
+// one fsync'd line, so after a crash `crawl --resume` can (a) skip every
+// domain the interrupted run completed and (b) start out already knowing
+// the rate limits that run paid queries to learn — the expensive part of
+// the paper's six-month crawl to protect (§4.1).
+//
+// Format (docs/formats.md "Crawl journal"): one record per line,
+// tab-separated, first field is the record type:
+//
+//   D \t <domain> \t <status> \t <attempts>     domain outcome
+//   L \t <server> \t <limit>                    inferred limit (per window)
+//
+// A torn final line (crash mid-write) is detected by the missing trailing
+// newline; Load ignores it and the appending constructor truncates it
+// away before continuing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "net/crawler.h"
+
+namespace whoiscrf::obs {
+class Counter;
+}  // namespace whoiscrf::obs
+
+namespace whoiscrf::net {
+
+class CrawlJournal {
+ public:
+  // Everything a resumed crawl learns from a journal.
+  struct Replay {
+    // Final status per completed domain (last entry wins).
+    std::map<std::string, CrawlResult::Status> domains;
+    // Lowest inferred limit per server.
+    std::map<std::string, uint32_t> limits;
+  };
+
+  // Reads a journal; a missing file yields an empty Replay. Tolerates a
+  // torn final line. Throws on unreadable files or unparseable complete
+  // lines.
+  static Replay Load(const std::string& path);
+
+  // Opens `path` for appending (creating it if needed), truncating any
+  // torn final line first. Entries are fsync'd one by one: once a Record*
+  // call returns, that entry survives a crash.
+  explicit CrawlJournal(const std::string& path);
+  ~CrawlJournal();
+
+  CrawlJournal(const CrawlJournal&) = delete;
+  CrawlJournal& operator=(const CrawlJournal&) = delete;
+
+  void RecordDomain(const std::string& domain, CrawlResult::Status status,
+                    int attempts);
+  void RecordLimit(const std::string& server, uint32_t limit);
+
+ private:
+  void AppendLine(const std::string& line);
+
+  int fd_ = -1;
+  std::string path_;
+  obs::Counter* entries_;
+};
+
+}  // namespace whoiscrf::net

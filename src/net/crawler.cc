@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "net/crawl_journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -22,6 +23,32 @@ const std::vector<double>& QueryLatencyBoundsMs() {
 }
 
 }  // namespace
+
+const char* CrawlStatusName(CrawlResult::Status status) {
+  switch (status) {
+    case CrawlResult::Status::kOk:
+      return "ok";
+    case CrawlResult::Status::kNoMatch:
+      return "no_match";
+    case CrawlResult::Status::kThinOnly:
+      return "thin_only";
+    case CrawlResult::Status::kFailed:
+      return "failed";
+  }
+  return "failed";
+}
+
+bool ParseCrawlStatus(std::string_view name, CrawlResult::Status& out) {
+  for (CrawlResult::Status status :
+       {CrawlResult::Status::kOk, CrawlResult::Status::kNoMatch,
+        CrawlResult::Status::kThinOnly, CrawlResult::Status::kFailed}) {
+    if (name == CrawlStatusName(status)) {
+      out = status;
+      return true;
+    }
+  }
+  return false;
+}
 
 Crawler::Crawler(Network& network, Clock& clock, CrawlerOptions options)
     : network_(network), clock_(clock), options_(std::move(options)) {
@@ -46,6 +73,17 @@ Crawler::Crawler(Network& network, Clock& clock, CrawlerOptions options)
   baseline_ = {metrics_.queries->Value(), metrics_.limit_hits->Value(),
                metrics_.ok->Value(),      metrics_.no_match->Value(),
                metrics_.thin_only->Value(), metrics_.failed->Value()};
+
+  // Limits replayed from a previous run's journal: pace correctly from
+  // the first query instead of re-tripping each server once.
+  for (const auto& [server, limit] : options_.initial_limits) {
+    servers_[server].inferred_limit = limit;
+    registry
+        .GetGauge("whoiscrf_crawl_inferred_limit",
+                  "Inferred per-server query limit (queries per window)",
+                  {{"server", server}})
+        ->Set(limit);
+  }
 }
 
 CrawlerStats Crawler::stats() const {
@@ -130,6 +168,7 @@ void Crawler::NoteLimited(const std::string& server,
         ->Set(observed);
     LOG_DEBUG("crawler: inferred limit for %s: %u/window", server.c_str(),
               observed);
+    if (journal_ != nullptr) journal_->RecordLimit(server, observed);
   }
   state.cooldown_until_ms = now + options_.source_cooldown_ms;
 }
@@ -194,39 +233,48 @@ std::optional<std::string> Crawler::PacedQuery(const std::string& server,
 
 CrawlResult Crawler::CrawlDomain(const std::string& domain) {
   obs::ScopedSpan span("crawl.domain");
-  CrawlResult result;
-  result.domain = domain;
+  // The whole crawl runs inside the lambda so every early return funnels
+  // through one journaling point: a domain is journaled exactly when its
+  // final status is known.
+  CrawlResult result = [&] {
+    CrawlResult r;
+    r.domain = domain;
 
-  auto thin = PacedQuery(options_.registry_server, domain);
-  result.attempts = options_.max_attempts;
-  if (!thin.has_value()) {
-    result.status = CrawlResult::Status::kFailed;
-    metrics_.failed->Inc();
-    return result;
-  }
-  result.thin = *thin;
-  if (util::ContainsIgnoreCase(result.thin, "no match")) {
-    result.status = CrawlResult::Status::kNoMatch;
-    metrics_.no_match->Inc();
-    return result;
-  }
+    auto thin = PacedQuery(options_.registry_server, domain);
+    r.attempts = options_.max_attempts;
+    if (!thin.has_value()) {
+      r.status = CrawlResult::Status::kFailed;
+      metrics_.failed->Inc();
+      return r;
+    }
+    r.thin = *thin;
+    if (util::ContainsIgnoreCase(r.thin, "no match")) {
+      r.status = CrawlResult::Status::kNoMatch;
+      metrics_.no_match->Inc();
+      return r;
+    }
 
-  result.registrar_server = ExtractWhoisServer(result.thin);
-  if (result.registrar_server.empty()) {
-    result.status = CrawlResult::Status::kThinOnly;
-    metrics_.thin_only->Inc();
-    return result;
+    r.registrar_server = ExtractWhoisServer(r.thin);
+    if (r.registrar_server.empty()) {
+      r.status = CrawlResult::Status::kThinOnly;
+      metrics_.thin_only->Inc();
+      return r;
+    }
+    auto thick = PacedQuery(r.registrar_server, domain);
+    if (!thick.has_value() ||
+        util::ContainsIgnoreCase(*thick, "no match")) {
+      r.status = CrawlResult::Status::kThinOnly;
+      metrics_.thin_only->Inc();
+      return r;
+    }
+    r.thick = *thick;
+    r.status = CrawlResult::Status::kOk;
+    metrics_.ok->Inc();
+    return r;
+  }();
+  if (journal_ != nullptr) {
+    journal_->RecordDomain(result.domain, result.status, result.attempts);
   }
-  auto thick = PacedQuery(result.registrar_server, domain);
-  if (!thick.has_value() ||
-      util::ContainsIgnoreCase(*thick, "no match")) {
-    result.status = CrawlResult::Status::kThinOnly;
-    metrics_.thin_only->Inc();
-    return result;
-  }
-  result.thick = *thick;
-  result.status = CrawlResult::Status::kOk;
-  metrics_.ok->Inc();
   return result;
 }
 

@@ -16,6 +16,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "net/clock.h"
@@ -36,6 +37,10 @@ struct CrawlerOptions {
   double safety_factor = 0.75;          // stay at this fraction of a limit
   int max_attempts = 3;                 // distinct sources tried per query
   uint64_t source_cooldown_ms = 120'000;  // back-off after tripping a limit
+  // Per-server limits known before the first query — typically replayed
+  // from a crawl journal, so a resumed crawl paces correctly from query
+  // one instead of re-tripping every limit it already paid to learn.
+  std::map<std::string, uint32_t> initial_limits;
 };
 
 struct CrawlResult {
@@ -52,6 +57,12 @@ struct CrawlResult {
   std::string registrar_server;
   int attempts = 0;
 };
+
+// Stable lowercase name for a crawl status ("ok", "no_match", "thin_only",
+// "failed") — used for metric labels and the crawl journal.
+const char* CrawlStatusName(CrawlResult::Status status);
+// Inverse of CrawlStatusName; returns false on an unknown name.
+bool ParseCrawlStatus(std::string_view name, CrawlResult::Status& out);
 
 // Read-only snapshot of this crawler's activity. Counts are derived from
 // the process-wide obs::Registry metrics (`whoiscrf_crawl_*`, see
@@ -70,9 +81,16 @@ struct CrawlerStats {
   std::map<std::string, uint32_t> inferred_limits;
 };
 
+class CrawlJournal;
+
 class Crawler {
  public:
   Crawler(Network& network, Clock& clock, CrawlerOptions options = {});
+
+  // Attaches a durability journal (not owned; may be null to detach):
+  // every finished domain and every newly inferred rate limit is appended
+  // to it, enabling crash/resume via CrawlJournal::Load.
+  void SetJournal(CrawlJournal* journal) { journal_ = journal; }
 
   CrawlResult CrawlDomain(const std::string& domain);
   std::vector<CrawlResult> CrawlAll(const std::vector<std::string>& domains);
@@ -109,6 +127,7 @@ class Crawler {
   Network& network_;
   Clock& clock_;
   CrawlerOptions options_;
+  CrawlJournal* journal_ = nullptr;
   std::map<std::pair<std::string, std::string>, SourceServerState> pairs_;
   std::map<std::string, ServerState> servers_;
   size_t next_source_ = 0;

@@ -25,19 +25,44 @@ std::string FlakyHandler::HandleQuery(std::string_view query,
   return body;
 }
 
+FlakyNetwork::FlakyNetwork(Network& inner, FaultPolicy policy, uint64_t seed,
+                           Clock* clock)
+    : inner_(inner), policy_(policy), rng_(seed), clock_(clock) {}
+
 FlakyNetwork::FlakyNetwork(Network& inner,
                            double connect_failure_probability, uint64_t seed)
-    : inner_(inner),
-      connect_failure_probability_(connect_failure_probability),
-      rng_(seed) {}
+    : FlakyNetwork(inner,
+                   [&] {
+                     FaultPolicy p;
+                     p.connect_failure_probability =
+                         connect_failure_probability;
+                     return p;
+                   }(),
+                   seed) {}
 
 QueryResult FlakyNetwork::Query(const std::string& server,
                                 std::string_view query,
                                 const std::string& source_ip,
                                 uint64_t now_ms) {
-  if (rng_.Bernoulli(connect_failure_probability_)) {
+  if (rng_.Bernoulli(policy_.connect_failure_probability)) {
     ++failed_;
     return QueryResult{};  // connection refused / reset
+  }
+  if (rng_.Bernoulli(policy_.hang_probability)) {
+    // The server accepts and never answers: the client burns its whole
+    // timeout before giving up on a dead connection.
+    ++hung_;
+    if (clock_ != nullptr) clock_->SleepMs(policy_.client_timeout_ms);
+    return QueryResult{};
+  }
+  if (policy_.delay_ms > 0 && rng_.Bernoulli(policy_.delay_probability)) {
+    ++delayed_;
+    if (clock_ != nullptr) {
+      clock_->SleepMs(policy_.delay_ms);
+      now_ms = clock_->NowMs();
+    } else {
+      now_ms += policy_.delay_ms;
+    }
   }
   return inner_.Query(server, query, source_ip, now_ms);
 }

@@ -2,24 +2,37 @@
 //
 // Real crawls fail in more ways than rate limiting (§4.1 reports ~7.5% of
 // domains failing after three attempts): connections drop, servers return
-// truncated or garbled bodies, and some hosts flap. FlakyHandler wraps any
-// ServerHandler and injects those faults with configured probabilities;
-// FlakyNetwork wraps a Network and injects connection-level failures. Both
-// are deterministic given their seed, so tests of crawler resilience are
-// reproducible.
+// truncated or garbled bodies, responses crawl in slowly, and some hosts
+// accept the connection and then never answer. FlakyHandler wraps any
+// ServerHandler and injects body-level faults with configured
+// probabilities; FlakyNetwork wraps a Network and injects
+// connection-level faults (failures, latency, hangs). Both are
+// deterministic given their seed, so tests of crawler resilience are
+// reproducible — and the time-based faults run against a Clock, so a
+// SimClock exercises client-timeout paths in simulated time.
 #pragma once
 
 #include <memory>
 
+#include "net/clock.h"
 #include "net/transport.h"
 #include "util/random.h"
 
 namespace whoiscrf::net {
 
 struct FaultPolicy {
+  // Server-side (FlakyHandler) faults.
   double drop_probability = 0.0;       // respond with nothing at all
   double truncate_probability = 0.0;   // cut the body mid-record
   double garble_probability = 0.0;     // replace the body with noise
+  // Client-side (FlakyNetwork) faults.
+  double connect_failure_probability = 0.0;  // refuse / reset the connection
+  double delay_probability = 0.0;  // slow response: sleep delay_ms, then answer
+  uint64_t delay_ms = 0;
+  // Accepted connection that never answers: the client burns its full
+  // timeout, then sees a dead connection.
+  double hang_probability = 0.0;
+  uint64_t client_timeout_ms = 30'000;  // time a hang costs the caller
 };
 
 // Server-side fault injection: wraps a handler.
@@ -40,10 +53,16 @@ class FlakyHandler final : public ServerHandler {
   uint64_t faults_ = 0;
 };
 
-// Client-side fault injection: wraps a network and fails connections with
-// the given probability (models unreachable hosts and mid-flight resets).
+// Client-side fault injection: wraps a network and injects connection
+// failures, added latency, and hangs. Time-based faults sleep on `clock`
+// (pass a SimClock for instant simulated time); with a null clock they
+// degrade to their instantaneous effect (the failure still happens, no
+// time passes).
 class FlakyNetwork final : public Network {
  public:
+  FlakyNetwork(Network& inner, FaultPolicy policy, uint64_t seed,
+               Clock* clock = nullptr);
+  // Legacy convenience: connection failures only.
   FlakyNetwork(Network& inner, double connect_failure_probability,
                uint64_t seed);
 
@@ -51,12 +70,17 @@ class FlakyNetwork final : public Network {
                     const std::string& source_ip, uint64_t now_ms) override;
 
   uint64_t connections_failed() const { return failed_; }
+  uint64_t delays_injected() const { return delayed_; }
+  uint64_t hangs_injected() const { return hung_; }
 
  private:
   Network& inner_;
-  double connect_failure_probability_;
+  FaultPolicy policy_;
   util::Rng rng_;
+  Clock* clock_;
   uint64_t failed_ = 0;
+  uint64_t delayed_ = 0;
+  uint64_t hung_ = 0;
 };
 
 }  // namespace whoiscrf::net

@@ -1,0 +1,31 @@
+// Durable small-file primitives for checkpoint journals.
+//
+// Crash-safety contract: AtomicWriteFile either leaves the previous file
+// contents fully intact or fully replaces them — never a torn mix. It
+// writes a sibling temp file, fsyncs it, renames it over the target
+// (atomic on POSIX), and fsyncs the parent directory so the rename itself
+// survives a power cut. This is the snapshot half of every checkpoint in
+// the repo (stream checkpoints, sealed record-store shards); the
+// append-only half (the crawl journal) fsyncs its own fd per entry.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace whoiscrf::util {
+
+// Durably replaces `path` with `contents` (write temp + fsync + rename +
+// parent-dir fsync). Throws std::runtime_error on any I/O failure, after
+// removing the temp file.
+void AtomicWriteFile(const std::string& path, std::string_view contents);
+
+// Reads the whole file into `out`. Returns false when the file cannot be
+// opened (commonly: it does not exist); throws on read errors.
+bool ReadFileToString(const std::string& path, std::string& out);
+
+// fsyncs the directory containing `path`, making a completed rename of
+// `path` durable. Best-effort: silently ignores filesystems that refuse
+// to fsync directories.
+void FsyncParentDir(const std::string& path);
+
+}  // namespace whoiscrf::util

@@ -9,6 +9,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "util/checkpoint.h"
 #include "util/string_util.h"
 
 namespace whoiscrf::whois {
@@ -47,6 +48,23 @@ uint64_t LoadU64(const char* p) {
   return v;
 }
 
+// In-progress shards live beside their final name until sealed.
+std::string ShardTmpPath(const std::string& prefix, size_t shard) {
+  return RecordStoreShardPath(prefix, shard) + ".tmp";
+}
+
+// Deletes both the sealed and in-progress form of every shard >= `first`,
+// stopping at the first index where neither exists. Used by resume to drop
+// work past the checkpoint cursor.
+void RemoveShardsFrom(const std::string& prefix, size_t first) {
+  for (size_t s = first;; ++s) {
+    const bool had_final =
+        std::remove(RecordStoreShardPath(prefix, s).c_str()) == 0;
+    const bool had_tmp = std::remove(ShardTmpPath(prefix, s).c_str()) == 0;
+    if (!had_final && !had_tmp) break;
+  }
+}
+
 }  // namespace
 
 std::string RecordStoreShardPath(const std::string& prefix, size_t shard) {
@@ -61,6 +79,14 @@ RecordStoreWriter::RecordStoreWriter(std::string prefix,
   if (options_.records_per_shard == 0) options_.records_per_shard = 1;
 }
 
+RecordStoreWriter::RecordStoreWriter(std::string prefix,
+                                     RecordStoreOptions options,
+                                     const StoreCursor& resume_from)
+    : prefix_(std::move(prefix)), options_(options) {
+  if (options_.records_per_shard == 0) options_.records_per_shard = 1;
+  ResumeShard(resume_from);
+}
+
 RecordStoreWriter::~RecordStoreWriter() {
   try {
     Finish();
@@ -71,7 +97,7 @@ RecordStoreWriter::~RecordStoreWriter() {
 }
 
 void RecordStoreWriter::OpenShard() {
-  const std::string path = RecordStoreShardPath(prefix_, shard_index_);
+  const std::string path = ShardTmpPath(prefix_, shard_index_);
   file_ = std::fopen(path.c_str(), "wb");
   if (file_ == nullptr) {
     throw std::runtime_error("cannot open for write: " + path);
@@ -90,9 +116,108 @@ void RecordStoreWriter::SealShard() {
   WriteU64(file_, offsets_.size());
   WriteU64(file_, index_offset);
   WriteU32(file_, kRecordStoreMagic);
+  // Make the shard durable *before* it appears under its final name:
+  // readers discover `.wrs` files, so a sealed shard must never be torn.
+  if (std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
+    std::fclose(file_);
+    file_ = nullptr;
+    throw std::runtime_error("record store: fsync failed");
+  }
   const int rc = std::fclose(file_);
   file_ = nullptr;
   if (rc != 0) throw std::runtime_error("record store: close failed");
+  const size_t sealed = shard_index_ - 1;
+  const std::string tmp = ShardTmpPath(prefix_, sealed);
+  const std::string final_path = RecordStoreShardPath(prefix_, sealed);
+  if (std::rename(tmp.c_str(), final_path.c_str()) != 0) {
+    throw std::runtime_error("record store: cannot finalize " + final_path);
+  }
+  util::FsyncParentDir(final_path);
+}
+
+void RecordStoreWriter::Sync() {
+  if (file_ == nullptr) return;
+  if (std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
+    throw std::runtime_error("record store: sync failed");
+  }
+}
+
+StoreCursor RecordStoreWriter::cursor() const {
+  StoreCursor c;
+  c.records = total_records_;
+  if (file_ != nullptr) {
+    c.shard_index = shard_index_ - 1;
+    c.shard_records = offsets_.size();
+    c.shard_bytes = shard_bytes_;
+  } else {
+    // Between shards (or before the first Append): the cursor points at
+    // the next shard to be opened, with nothing in it yet.
+    c.shard_index = shard_index_;
+    c.shard_records = 0;
+    c.shard_bytes = 0;
+  }
+  return c;
+}
+
+void RecordStoreWriter::ResumeShard(const StoreCursor& resume_from) {
+  total_records_ = resume_from.records;
+  if (resume_from.shard_records == 0) {
+    // Nothing durable in the cursor shard: drop it (and anything later)
+    // and let OpenShard recreate it lazily on the next Append.
+    shard_index_ = resume_from.shard_index;
+    RemoveShardsFrom(prefix_, resume_from.shard_index);
+    return;
+  }
+  const std::string tmp = ShardTmpPath(prefix_, resume_from.shard_index);
+  const std::string final_path =
+      RecordStoreShardPath(prefix_, resume_from.shard_index);
+  // A crash after SealShard's rename leaves the shard under its final
+  // name; un-seal it so the truncate-and-continue path below applies
+  // uniformly. rename() fails harmlessly when only the .tmp exists.
+  std::rename(final_path.c_str(), tmp.c_str());
+  file_ = std::fopen(tmp.c_str(), "r+b");
+  if (file_ == nullptr) {
+    throw std::runtime_error("record store resume: missing shard " + tmp);
+  }
+  if (::ftruncate(::fileno(file_),
+                  static_cast<off_t>(resume_from.shard_bytes)) != 0) {
+    throw std::runtime_error("record store resume: cannot truncate " + tmp);
+  }
+  char header[8];
+  if (std::fread(header, 1, 8, file_) != 8 ||
+      LoadU32(header) != kRecordStoreMagic ||
+      LoadU32(header + 4) != kRecordStoreVersion) {
+    throw std::runtime_error("record store resume: bad header in " + tmp);
+  }
+  // Rebuild the in-memory index by walking the length prefixes up to the
+  // cursor; any mismatch means the checkpoint and the shard disagree.
+  offsets_.clear();
+  uint64_t off = 8;
+  for (uint64_t i = 0; i < resume_from.shard_records; ++i) {
+    char len_bytes[4];
+    if (off + 4 > resume_from.shard_bytes ||
+        std::fread(len_bytes, 1, 4, file_) != 4) {
+      throw std::runtime_error("record store resume: truncated shard " + tmp);
+    }
+    const uint32_t len = LoadU32(len_bytes);
+    if (off + 4 + len > resume_from.shard_bytes) {
+      throw std::runtime_error("record store resume: record overruns cursor " +
+                               tmp);
+    }
+    offsets_.push_back(off);
+    off += 4 + len;
+    if (std::fseek(file_, static_cast<long>(off), SEEK_SET) != 0) {
+      throw std::runtime_error("record store resume: seek failed in " + tmp);
+    }
+  }
+  if (off != resume_from.shard_bytes) {
+    throw std::runtime_error(
+        "record store resume: cursor does not land on a record boundary in " +
+        tmp);
+  }
+  shard_bytes_ = resume_from.shard_bytes;
+  shard_index_ = resume_from.shard_index + 1;  // this shard counts as opened
+  RemoveShardsFrom(prefix_, shard_index_);
 }
 
 void RecordStoreWriter::Append(std::string_view record) {

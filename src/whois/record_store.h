@@ -42,20 +42,55 @@ struct RecordStoreOptions {
   uint64_t records_per_shard = uint64_t{1} << 20;
 };
 
+// A writer's durable position: everything a crashed run needs to reopen
+// its store and continue producing byte-identical shards. Serialized into
+// the stream checkpoint (docs/formats.md "Stream checkpoint").
+struct StoreCursor {
+  uint64_t records = 0;       // records appended across all shards
+  uint64_t shard_index = 0;   // shard the cursor points into
+  uint64_t shard_records = 0; // records already in that shard
+  uint64_t shard_bytes = 0;   // bytes written to that shard (incl. header)
+};
+
 // Appends records into `<prefix>-NNNNN.wrs` shards. Not thread-safe; one
 // writer per prefix. Finish() (or the destructor) seals the last shard.
+//
+// Crash safety: a shard is written as `<path>.tmp` and renamed to its
+// final `.wrs` name only after the index + footer are written and
+// fsync'd, so a final shard file is always complete — a crash mid-write
+// or mid-finalize leaves only a `.tmp`, which readers never discover.
 class RecordStoreWriter {
  public:
   explicit RecordStoreWriter(std::string prefix,
                              RecordStoreOptions options = {});
+  // Resumes a previous writer at `resume_from` (a cursor captured after
+  // Sync()): re-opens that shard (un-sealing it if a crash-raced seal
+  // already renamed it), truncates it to the cursor's byte offset,
+  // rebuilds the in-memory index by scanning the length prefixes, and
+  // removes any later shards left by work past the cursor. Appending the
+  // same records afterwards reproduces the uninterrupted store byte for
+  // byte. Throws std::runtime_error when the on-disk state cannot be
+  // reconciled with the cursor.
+  RecordStoreWriter(std::string prefix, RecordStoreOptions options,
+                    const StoreCursor& resume_from);
   ~RecordStoreWriter();
 
   RecordStoreWriter(const RecordStoreWriter&) = delete;
   RecordStoreWriter& operator=(const RecordStoreWriter&) = delete;
 
   void Append(std::string_view record);
-  // Writes the current shard's index + footer and closes it. Idempotent.
+  // Writes the current shard's index + footer, fsyncs, and renames it to
+  // its final name. Idempotent.
   void Finish();
+
+  // Flushes and fsyncs the open shard so every record appended so far is
+  // durable at cursor(). No-op when no shard is open.
+  void Sync();
+
+  // The current durable-resume position. Capture only after Sync() (or
+  // Finish()): the cursor is meaningful iff the bytes behind it are on
+  // disk.
+  StoreCursor cursor() const;
 
   uint64_t record_count() const { return total_records_; }
   size_t shard_count() const { return shard_index_; }
@@ -63,6 +98,7 @@ class RecordStoreWriter {
  private:
   void OpenShard();
   void SealShard();
+  void ResumeShard(const StoreCursor& resume_from);
 
   std::string prefix_;
   RecordStoreOptions options_;

@@ -1,0 +1,302 @@
+#include "whois/stream_checkpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/checkpoint.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace whoiscrf::whois {
+
+namespace {
+
+inline constexpr char kCheckpointHeader[] = "whoiscrf.checkpoint.v1";
+
+struct CheckpointMetrics {
+  obs::Counter* checkpoints;
+  obs::Counter* resume_skipped;
+};
+
+const CheckpointMetrics& GetCheckpointMetrics() {
+  static const CheckpointMetrics metrics = [] {
+    auto& reg = obs::Registry::Global();
+    CheckpointMetrics m;
+    m.checkpoints = reg.GetCounter(
+        "whoiscrf_stream_checkpoints_total",
+        "Durable stream checkpoints written (periodic and final)");
+    m.resume_skipped = reg.GetCounter(
+        "whoiscrf_stream_resume_skipped_total",
+        "Input records skipped on resume because a checkpoint already "
+        "covered them");
+    return m;
+  }();
+  return metrics;
+}
+
+void AppendCursor(std::string& out, const char* key, const StoreCursor& c) {
+  out += util::Format(
+      "%s %llu %llu %llu %llu\n", key,
+      static_cast<unsigned long long>(c.records),
+      static_cast<unsigned long long>(c.shard_index),
+      static_cast<unsigned long long>(c.shard_records),
+      static_cast<unsigned long long>(c.shard_bytes));
+}
+
+[[noreturn]] void Malformed(const std::string& detail) {
+  throw std::runtime_error("malformed stream checkpoint: " + detail);
+}
+
+uint64_t ParseU64Field(std::istringstream& line, const std::string& key) {
+  uint64_t v = 0;
+  if (!(line >> v)) Malformed("bad value for " + key);
+  return v;
+}
+
+StoreCursor ParseCursorFields(std::istringstream& line,
+                              const std::string& key) {
+  StoreCursor c;
+  c.records = ParseU64Field(line, key);
+  c.shard_index = ParseU64Field(line, key);
+  c.shard_records = ParseU64Field(line, key);
+  c.shard_bytes = ParseU64Field(line, key);
+  return c;
+}
+
+// Deletes every shard (sealed or in-progress) of `prefix`. Used to clear
+// quarantine leftovers from a previous run that postdate the checkpoint.
+void RemoveStoreShards(const std::string& prefix) {
+  for (size_t s = 0;; ++s) {
+    const std::string path = RecordStoreShardPath(prefix, s);
+    const bool had_final = std::remove(path.c_str()) == 0;
+    const bool had_tmp = std::remove((path + ".tmp").c_str()) == 0;
+    if (!had_final && !had_tmp) break;
+  }
+}
+
+}  // namespace
+
+std::string StreamCheckpointPath(const std::string& store_prefix) {
+  return store_prefix + ".ckpt";
+}
+
+std::string FormatStreamCheckpoint(const StreamCheckpoint& cp) {
+  std::string out;
+  out += kCheckpointHeader;
+  out += '\n';
+  out += util::Format("complete %d\n", cp.complete ? 1 : 0);
+  out += util::Format("consumed %llu\n",
+                      static_cast<unsigned long long>(cp.consumed));
+  out += util::Format("quarantined %llu\n",
+                      static_cast<unsigned long long>(cp.quarantined));
+  out += "input " + cp.input_id + "\n";
+  AppendCursor(out, "store", cp.store);
+  AppendCursor(out, "quarantine_store", cp.quarantine);
+  return out;
+}
+
+StreamCheckpoint ParseStreamCheckpoint(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kCheckpointHeader) {
+    Malformed("missing header");
+  }
+  StreamCheckpoint cp;
+  bool saw_store = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "complete") {
+      cp.complete = ParseU64Field(fields, key) != 0;
+    } else if (key == "consumed") {
+      cp.consumed = ParseU64Field(fields, key);
+    } else if (key == "quarantined") {
+      cp.quarantined = ParseU64Field(fields, key);
+    } else if (key == "input") {
+      std::string rest;
+      std::getline(fields, rest);
+      if (!rest.empty() && rest.front() == ' ') rest.erase(0, 1);
+      cp.input_id = rest;
+    } else if (key == "store") {
+      cp.store = ParseCursorFields(fields, key);
+      saw_store = true;
+    } else if (key == "quarantine_store") {
+      cp.quarantine = ParseCursorFields(fields, key);
+    } else {
+      Malformed("unknown key '" + key + "'");
+    }
+  }
+  if (!saw_store) Malformed("missing store cursor");
+  return cp;
+}
+
+void SaveStreamCheckpoint(const std::string& path,
+                          const StreamCheckpoint& cp) {
+  util::AtomicWriteFile(path, FormatStreamCheckpoint(cp));
+}
+
+bool LoadStreamCheckpoint(const std::string& path, StreamCheckpoint& cp) {
+  std::string text;
+  if (!util::ReadFileToString(path, text)) return false;
+  cp = ParseStreamCheckpoint(text);
+  return true;
+}
+
+std::string FormatQuarantineEntry(uint64_t index, const std::string& reason,
+                                  const std::string& record) {
+  // Reasons live on the header line; strip newlines so the record bytes
+  // start exactly after the first '\n'.
+  std::string safe_reason = reason;
+  for (char& c : safe_reason) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return util::Format("q1\t%llu\t", static_cast<unsigned long long>(index)) +
+         safe_reason + "\n" + record;
+}
+
+void ParseQuarantineEntry(const std::string& entry, uint64_t& index,
+                          std::string& reason, std::string& record) {
+  const size_t newline = entry.find('\n');
+  if (entry.compare(0, 3, "q1\t") != 0 || newline == std::string::npos) {
+    throw std::runtime_error("malformed quarantine entry");
+  }
+  const size_t tab = entry.find('\t', 3);
+  if (tab == std::string::npos || tab > newline) {
+    throw std::runtime_error("malformed quarantine entry header");
+  }
+  index = std::strtoull(entry.substr(3, tab - 3).c_str(), nullptr, 10);
+  reason = entry.substr(tab + 1, newline - tab - 1);
+  record = entry.substr(newline + 1);
+}
+
+CheckpointedParseResult ParseStreamToStore(
+    const WhoisParser& parser, RecordSource& source,
+    const std::string& store_prefix, const CheckpointedParseOptions& options,
+    const std::function<void(uint64_t index, const std::string& record,
+                             const ParsedWhois& parsed)>& sink) {
+  const CheckpointMetrics& metrics = GetCheckpointMetrics();
+  const std::string ckpt_path = StreamCheckpointPath(store_prefix);
+  const std::string quarantine_prefix = store_prefix + "-quarantine";
+
+  StreamCheckpoint cp;
+  bool have_cp = false;
+  if (options.resume) {
+    have_cp = LoadStreamCheckpoint(ckpt_path, cp);
+    if (have_cp && cp.input_id != options.input_id) {
+      throw std::runtime_error(
+          "stream checkpoint was written for input '" + cp.input_id +
+          "' but this run reads '" + options.input_id +
+          "' — refusing to resume");
+    }
+  } else {
+    // A fresh run invalidates any previous checkpoint immediately, so a
+    // crash before the first new checkpoint can't resume against it.
+    std::remove(ckpt_path.c_str());
+  }
+
+  CheckpointedParseResult result;
+  if (have_cp) {
+    std::string skipped_record;
+    for (uint64_t i = 0; i < cp.consumed; ++i) {
+      if (!source.Next(skipped_record)) {
+        throw std::runtime_error(util::Format(
+            "stream checkpoint covers %llu records but the input ended "
+            "after %llu — input changed since the checkpoint",
+            static_cast<unsigned long long>(cp.consumed),
+            static_cast<unsigned long long>(i)));
+      }
+    }
+    result.skipped = cp.consumed;
+    metrics.resume_skipped->Inc(cp.consumed);
+  }
+  if (have_cp && cp.complete) {
+    // The previous run finished; everything on disk is already final.
+    result.quarantined = cp.quarantined;
+    result.records_stored = cp.store.records;
+    return result;
+  }
+
+  // The resume constructor doubles as stale-state cleanup: with a zero
+  // cursor it simply deletes every shard, which is exactly what a fresh
+  // run needs to guarantee byte-identical output.
+  std::optional<RecordStoreWriter> writer;
+  writer.emplace(store_prefix, options.store,
+                 have_cp ? cp.store : StoreCursor{});
+
+  // The quarantine store is created lazily so clean corpora leave no
+  // quarantine artifacts; resume re-opens it only when the checkpoint says
+  // it holds records, otherwise leftovers past the cursor are deleted.
+  std::optional<RecordStoreWriter> quarantine;
+  if (have_cp && cp.quarantine.records > 0) {
+    quarantine.emplace(quarantine_prefix, options.store, cp.quarantine);
+  } else {
+    RemoveStoreShards(quarantine_prefix);
+  }
+
+  const uint64_t base = result.skipped;
+  uint64_t consumed = base;
+  uint64_t quarantined_total = have_cp ? cp.quarantined : 0;
+  uint64_t since_checkpoint = 0;
+
+  auto checkpoint_now = [&](bool complete) {
+    // Order matters: make the store bytes durable first, then publish the
+    // cursor that points at them.
+    writer->Sync();
+    if (quarantine) quarantine->Sync();
+    StreamCheckpoint out;
+    out.complete = complete;
+    out.consumed = consumed;
+    out.quarantined = quarantined_total;
+    out.input_id = options.input_id;
+    out.store = writer->cursor();
+    if (quarantine) out.quarantine = quarantine->cursor();
+    SaveStreamCheckpoint(ckpt_path, out);
+    metrics.checkpoints->Inc();
+    since_checkpoint = 0;
+  };
+  auto maybe_checkpoint = [&] {
+    ++since_checkpoint;
+    if (options.checkpoint_interval == 0) return;  // final checkpoint only
+    if (since_checkpoint >= options.checkpoint_interval) checkpoint_now(false);
+  };
+
+  StreamPipelineOptions pipeline = options.pipeline;
+  pipeline.on_quarantine = [&](uint64_t idx, const std::string& record,
+                               const std::string& reason) {
+    const uint64_t global = base + idx;
+    if (!quarantine) quarantine.emplace(quarantine_prefix, options.store);
+    quarantine->Append(FormatQuarantineEntry(global, reason, record));
+    LOG_WARN("quarantined record %llu: %s",
+             static_cast<unsigned long long>(global), reason.c_str());
+    ++quarantined_total;
+    consumed = global + 1;
+    maybe_checkpoint();
+  };
+
+  result.stats = ParseStream(
+      parser, source, pipeline,
+      [&](uint64_t idx, const std::string& record, const ParsedWhois& parsed) {
+        const uint64_t global = base + idx;
+        writer->Append(record);
+        if (sink) sink(global, record, parsed);
+        consumed = global + 1;
+        maybe_checkpoint();
+      });
+
+  writer->Finish();
+  if (quarantine) quarantine->Finish();
+  checkpoint_now(/*complete=*/true);
+
+  result.quarantined = quarantined_total;
+  result.records_stored = writer->record_count();
+  return result;
+}
+
+}  // namespace whoiscrf::whois

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <exception>
 #include <map>
 #include <mutex>
@@ -12,6 +14,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/bounded_queue.h"
+#include "util/string_util.h"
 
 namespace whoiscrf::whois {
 
@@ -23,6 +26,8 @@ namespace {
 struct StreamMetrics {
   obs::Counter* records;
   obs::Counter* batches;
+  obs::Counter* quarantined;
+  obs::Counter* watchdog_trips;
   obs::Gauge* reader_stall_seconds;
   obs::Gauge* worker_stall_seconds;
   obs::Gauge* sink_stall_seconds;
@@ -38,6 +43,14 @@ const StreamMetrics& GetStreamMetrics() {
                                "Records parsed through the streaming pipeline");
     m.batches = reg.GetCounter("whoiscrf_stream_batches_total",
                                "Record batches handed between pipeline stages");
+    m.quarantined = reg.GetCounter(
+        "whoiscrf_stream_quarantined_total",
+        "Records diverted to quarantine because their parse threw or they "
+        "exceeded max_record_bytes");
+    m.watchdog_trips = reg.GetCounter(
+        "whoiscrf_stream_watchdog_trips_total",
+        "Times the stage watchdog cancelled a pipeline run for making no "
+        "progress within the configured deadline");
     m.reader_stall_seconds = reg.GetGauge(
         "whoiscrf_stream_reader_stall_seconds_total",
         "Cumulative seconds the reader stage blocked on a full input queue");
@@ -63,8 +76,13 @@ const StreamMetrics& GetStreamMetrics() {
 
 struct Batch {
   uint64_t seq = 0;
+  uint64_t first_index = 0;  // global input index of records[0]
   std::vector<std::string> records;
   std::vector<ParsedWhois> parses;
+  // Containment mode only: errors[r] non-empty means records[r] was
+  // quarantined (parses[r] is a placeholder). Empty vector when
+  // containment is off.
+  std::vector<std::string> errors;
 };
 
 }  // namespace
@@ -102,14 +120,21 @@ StreamPipelineStats ParseStream(
   StreamPipelineStats stats;
   std::mutex stats_mu;  // guards the worker-stall sum across worker exits
 
+  // Watchdog heartbeat: bumped on every queue hand-off and every emitted
+  // batch. The monitor thread only compares values, so relaxed ordering
+  // is enough.
+  std::atomic<uint64_t> progress{0};
+
   std::thread reader([&] {
     double stalled = 0.0;
     try {
       Batch batch;
       uint64_t seq = 0;
+      uint64_t next_index = 0;
       bool more = true;
       while (more) {
         batch.seq = seq;
+        batch.first_index = next_index;
         batch.records.clear();
         std::string record;
         while (batch.records.size() < batch_records &&
@@ -117,7 +142,9 @@ StreamPipelineStats ParseStream(
           batch.records.push_back(std::move(record));
         }
         if (batch.records.empty()) break;
+        next_index += batch.records.size();
         if (!input.Push(std::move(batch), &stalled)) break;  // cancelled
+        progress.fetch_add(1, std::memory_order_relaxed);
         metrics.input_depth->Set(static_cast<double>(input.Size()));
         batch = Batch{};
         ++seq;
@@ -139,13 +166,47 @@ StreamPipelineStats ParseStream(
       double stalled = 0.0;
       try {
         ParseWorkspace ws;
+        const bool contain = static_cast<bool>(options.on_quarantine);
+        auto do_parse = [&](const std::string& record) {
+          return options.parse_override ? options.parse_override(record, ws)
+                                        : parser.Parse(record, ws);
+        };
         while (auto batch = input.Pop(&stalled)) {
+          progress.fetch_add(1, std::memory_order_relaxed);
           obs::ScopedSpan batch_span("whois.stream_batch");
           batch->parses.reserve(batch->records.size());
+          if (contain) batch->errors.reserve(batch->records.size());
           for (const std::string& record : batch->records) {
-            batch->parses.push_back(parser.Parse(record, ws));
+            if (!contain) {
+              batch->parses.push_back(do_parse(record));
+              continue;
+            }
+            // Containment: only the parse itself is guarded. Anything a
+            // queue or allocator throws still reaches fail() below.
+            std::string err;
+            if (options.max_record_bytes != 0 &&
+                record.size() > options.max_record_bytes) {
+              err = util::Format("record of %zu bytes exceeds limit of %llu",
+                                 record.size(),
+                                 static_cast<unsigned long long>(
+                                     options.max_record_bytes));
+              batch->parses.emplace_back();
+            } else {
+              try {
+                batch->parses.push_back(do_parse(record));
+              } catch (const std::exception& e) {
+                err = e.what();
+                if (err.empty()) err = "parser exception";
+                batch->parses.resize(batch->errors.size() + 1);
+              } catch (...) {
+                err = "parser exception (non-standard)";
+                batch->parses.resize(batch->errors.size() + 1);
+              }
+            }
+            batch->errors.push_back(std::move(err));
           }
           if (!output.Push(std::move(*batch), &stalled)) break;  // cancelled
+          progress.fetch_add(1, std::memory_order_relaxed);
           metrics.output_depth->Set(static_cast<double>(output.Size()));
         }
       } catch (...) {
@@ -158,24 +219,86 @@ StreamPipelineStats ParseStream(
     });
   }
 
+  // Stage watchdog: trips when the heartbeat counter sits still for the
+  // full deadline, then cancels both queues so every blocked stage
+  // unwinds. Checks in quarter-deadline slices so shutdown latency stays
+  // bounded without busy-waiting.
+  std::mutex watchdog_mu;
+  std::condition_variable watchdog_cv;
+  bool pipeline_done = false;
+  std::thread watchdog;
+  if (options.watchdog_timeout_ms > 0) {
+    watchdog = std::thread([&] {
+      const auto deadline =
+          std::chrono::milliseconds(options.watchdog_timeout_ms);
+      const auto slice = std::max(deadline / 4,
+                                  std::chrono::milliseconds(1));
+      uint64_t last = progress.load(std::memory_order_relaxed);
+      auto stale = std::chrono::milliseconds(0);
+      std::unique_lock<std::mutex> lock(watchdog_mu);
+      for (;;) {
+        if (watchdog_cv.wait_for(lock, slice, [&] { return pipeline_done; })) {
+          return;
+        }
+        const uint64_t now = progress.load(std::memory_order_relaxed);
+        if (now != last) {
+          last = now;
+          stale = std::chrono::milliseconds(0);
+          continue;
+        }
+        stale += slice;
+        if (stale < deadline) continue;
+        const size_t in_depth = input.Size();
+        const size_t out_depth = output.Size();
+        const size_t workers_alive = live_workers.load();
+        // Heuristic stage diagnosis from where batches piled up.
+        const char* suspect =
+            out_depth > 0 ? "sink"
+            : in_depth >= options.queue_capacity
+                ? "parser workers"
+                : "reader/source";
+        metrics.watchdog_trips->Inc();
+        fail(std::make_exception_ptr(StreamStallError(util::Format(
+            "stream watchdog: no pipeline progress for %llu ms "
+            "(input queue depth %zu/%zu, output queue depth %zu/%zu, "
+            "live workers %zu) — suspect stage: %s",
+            static_cast<unsigned long long>(options.watchdog_timeout_ms),
+            in_depth, options.queue_capacity, out_depth,
+            options.queue_capacity, workers_alive, suspect))));
+        return;
+      }
+    });
+  }
+
   // In-order emission on the calling thread: stash out-of-order batches
   // until the next sequence number lands. The stash stays bounded because
-  // every earlier stage blocks on a bounded queue.
+  // every earlier stage blocks on a bounded queue. Record indices come
+  // from the batch (global input positions), so the sink sees gaps where
+  // records were quarantined.
   std::map<uint64_t, Batch> pending;
   uint64_t next_seq = 0;
   uint64_t emitted = 0;
+  uint64_t quarantined = 0;
   double sink_stalled = 0.0;
   try {
     while (auto batch = output.Pop(&sink_stalled)) {
+      progress.fetch_add(1, std::memory_order_relaxed);
       pending.emplace(batch->seq, std::move(*batch));
       for (auto it = pending.find(next_seq); it != pending.end();
            it = pending.find(next_seq)) {
         const Batch& ready = it->second;
         for (size_t r = 0; r < ready.records.size(); ++r) {
-          sink(emitted, ready.records[r], ready.parses[r]);
-          ++emitted;
+          const uint64_t index = ready.first_index + r;
+          if (!ready.errors.empty() && !ready.errors[r].empty()) {
+            options.on_quarantine(index, ready.records[r], ready.errors[r]);
+            ++quarantined;
+          } else {
+            sink(index, ready.records[r], ready.parses[r]);
+            ++emitted;
+          }
         }
         ++stats.batches;
+        progress.fetch_add(1, std::memory_order_relaxed);
         pending.erase(it);
         ++next_seq;
       }
@@ -186,6 +309,14 @@ StreamPipelineStats ParseStream(
 
   reader.join();
   for (std::thread& worker : workers) worker.join();
+  if (watchdog.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(watchdog_mu);
+      pipeline_done = true;
+    }
+    watchdog_cv.notify_all();
+    watchdog.join();
+  }
 
   {
     std::lock_guard<std::mutex> lock(error_mu);
@@ -193,8 +324,10 @@ StreamPipelineStats ParseStream(
   }
 
   stats.records = emitted;
+  stats.quarantined = quarantined;
   stats.sink_stall_seconds = sink_stalled;
   metrics.records->Inc(emitted);
+  metrics.quarantined->Inc(quarantined);
   metrics.batches->Inc(stats.batches);
   metrics.sink_stall_seconds->Add(sink_stalled);
   metrics.input_depth->Set(0.0);

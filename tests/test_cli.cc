@@ -6,7 +6,11 @@
 #include <gtest/gtest.h>
 
 #include "cli/commands.h"
+#include "net/crawl_journal.h"
+#include "util/checkpoint.h"
 #include "util/flags.h"
+#include "whois/record_store.h"
+#include "whois/stream_checkpoint.h"
 
 namespace whoiscrf {
 namespace {
@@ -188,6 +192,100 @@ TEST(CliCommandsTest, GenNewTld) {
   std::string content((std::istreambuf_iterator<char>(is)),
                       std::istreambuf_iterator<char>());
   EXPECT_NE(content.find(".coop"), std::string::npos);
+}
+
+TEST(CliCommandsTest, StreamStoreQuarantinesAndResumesIdempotently) {
+  const std::string dir = ::testing::TempDir();
+  const std::string train_path = dir + "/cli_ckpt_train.txt";
+  const std::string model_path = dir + "/cli_ckpt.model";
+  const std::string raw_path = dir + "/cli_ckpt_raw.txt";
+  const std::string store_prefix = dir + "/cli_ckpt_store";
+
+  {
+    auto flags = Parse({"--out", train_path.c_str(), "--count", "60",
+                        "--seed", "11"});
+    ASSERT_EQ(cli::CmdGen(flags), 0);
+  }
+  {
+    auto flags = Parse({"--data", train_path.c_str(), "--model",
+                        model_path.c_str(), "--iterations", "60"});
+    ASSERT_EQ(cli::CmdTrain(flags), 0);
+  }
+  {
+    // Three clean records plus one oversized poison record.
+    std::ofstream os(raw_path);
+    os << "Domain Name: A.COM\nRegistrar: One\n%%\n"
+       << "Domain Name: HUGE.COM\n" << std::string(9000, 'x') << "\n%%\n"
+       << "Domain Name: B.COM\nRegistrar: Two\n%%\n"
+       << "Domain Name: C.COM\nRegistrar: Three\n%%\n";
+  }
+  {
+    auto flags = Parse({"--model", model_path.c_str(), "--in",
+                        raw_path.c_str(), "--stream", "--store-out",
+                        store_prefix.c_str(), "--max-record-bytes", "4096",
+                        "--checkpoint-interval", "2"});
+    ASSERT_EQ(cli::CmdParse(flags), 0);
+  }
+  // The oversized record was quarantined, not fatal: 3 records stored,
+  // 1 quarantine entry, checkpoint marked complete.
+  {
+    const whois::RecordStoreReader store(store_prefix);
+    EXPECT_EQ(store.size(), 3u);
+    const whois::RecordStoreReader quarantine(store_prefix + "-quarantine");
+    ASSERT_EQ(quarantine.size(), 1u);
+    uint64_t index = 0;
+    std::string reason;
+    std::string raw;
+    whois::ParseQuarantineEntry(quarantine.Get(0), index, reason, raw);
+    EXPECT_EQ(index, 1u);
+    EXPECT_NE(raw.find("HUGE.COM"), std::string::npos);
+    whois::StreamCheckpoint cp;
+    ASSERT_TRUE(whois::LoadStreamCheckpoint(
+        whois::StreamCheckpointPath(store_prefix), cp));
+    EXPECT_TRUE(cp.complete);
+    EXPECT_EQ(cp.consumed, 4u);
+  }
+  // --resume on a finished run skips everything and leaves the store
+  // byte-identical.
+  std::string shard_before;
+  ASSERT_TRUE(util::ReadFileToString(
+      whois::RecordStoreShardPath(store_prefix, 0), shard_before));
+  {
+    auto flags = Parse({"--model", model_path.c_str(), "--in",
+                        raw_path.c_str(), "--stream", "--store-out",
+                        store_prefix.c_str(), "--max-record-bytes", "4096",
+                        "--checkpoint-interval", "2", "--resume"});
+    ASSERT_EQ(cli::CmdParse(flags), 0);
+  }
+  std::string shard_after;
+  ASSERT_TRUE(util::ReadFileToString(
+      whois::RecordStoreShardPath(store_prefix, 0), shard_after));
+  EXPECT_EQ(shard_before, shard_after);
+}
+
+TEST(CliCommandsTest, CrawlJournalResumeSkipsCompletedDomains) {
+  const std::string journal_path =
+      ::testing::TempDir() + "/cli_crawl.journal";
+  std::remove(journal_path.c_str());
+  {
+    auto flags = Parse({"--domains", "25", "--seed", "3", "--journal",
+                        journal_path.c_str()});
+    ASSERT_EQ(cli::CmdCrawl(flags), 0);
+  }
+  const net::CrawlJournal::Replay replay =
+      net::CrawlJournal::Load(journal_path);
+  EXPECT_EQ(replay.domains.size(), 25u);
+
+  // The resumed run skips every journaled domain and appends nothing new.
+  {
+    auto flags = Parse({"--domains", "25", "--seed", "3", "--journal",
+                        journal_path.c_str(), "--resume"});
+    ASSERT_EQ(cli::CmdCrawl(flags), 0);
+  }
+  const net::CrawlJournal::Replay after =
+      net::CrawlJournal::Load(journal_path);
+  EXPECT_EQ(after.domains.size(), 25u);
+  std::remove(journal_path.c_str());
 }
 
 }  // namespace

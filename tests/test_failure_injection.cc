@@ -1,12 +1,20 @@
 // Failure injection: the crawler's retry and validity logic against flaky
 // servers and dropped connections (the real-world noise behind the paper's
-// 7.5% failure rate, §4.1).
+// 7.5% failure rate, §4.1), latency/hang faults in simulated time, and the
+// crash/resume crawl journal.
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "datagen/corpus_gen.h"
+#include "net/crawl_journal.h"
 #include "net/crawler.h"
 #include "net/flaky.h"
 #include "net/simulation.h"
+#include "util/checkpoint.h"
 
 namespace whoiscrf::net {
 namespace {
@@ -142,6 +150,158 @@ TEST_F(FailureInjectionTest, DropsAreRecoveredByServerSideRetry) {
   }
   EXPECT_GE(ok, sim_.zone_domains.size() * 6 / 10);
   EXPECT_GT(crawler.stats().limit_hits, 0u);
+}
+
+TEST_F(FailureInjectionTest, LatencyFaultsAdvanceSimulatedTime) {
+  FaultPolicy policy;
+  policy.delay_probability = 1.0;
+  policy.delay_ms = 2500;
+  FlakyNetwork slow(*sim_.network, policy, 13, &clock_);
+  const uint64_t before = clock_.NowMs();
+  const QueryResult result =
+      slow.Query(sim_.registry_server, sim_.zone_domains.front(),
+                 "198.51.100.1", before);
+  EXPECT_TRUE(result.connected);
+  EXPECT_EQ(slow.delays_injected(), 1u);
+  // The delay burned simulated (not wall-clock) time.
+  EXPECT_GE(clock_.NowMs() - before, 2500u);
+}
+
+TEST_F(FailureInjectionTest, HangsBurnClientTimeoutAndFail) {
+  FaultPolicy policy;
+  policy.hang_probability = 1.0;
+  policy.client_timeout_ms = 5000;
+  FlakyNetwork hung(*sim_.network, policy, 17, &clock_);
+  CrawlerOptions options;
+  options.registry_server = sim_.registry_server;
+  Crawler crawler(hung, clock_, options);
+
+  const uint64_t before = clock_.NowMs();
+  const CrawlResult result = crawler.CrawlDomain(sim_.zone_domains.front());
+  EXPECT_EQ(result.status, CrawlResult::Status::kFailed);
+  EXPECT_EQ(hung.hangs_injected(), 3u);  // one per retry attempt
+  // Every attempt burned the full client timeout in simulated time.
+  EXPECT_GE(clock_.NowMs() - before, 3u * 5000u);
+}
+
+TEST_F(FailureInjectionTest, IntermittentHangsAreAbsorbedByRetries) {
+  FaultPolicy policy;
+  policy.hang_probability = 0.25;
+  policy.client_timeout_ms = 30'000;
+  FlakyNetwork flaky(*sim_.network, policy, 19, &clock_);
+  CrawlerOptions options;
+  options.registry_server = sim_.registry_server;
+  Crawler crawler(flaky, clock_, options);
+  const auto results = crawler.CrawlAll(sim_.zone_domains);
+  size_t ok = 0;
+  for (const auto& result : results) {
+    if (result.status == CrawlResult::Status::kOk) ++ok;
+  }
+  EXPECT_GT(flaky.hangs_injected(), 0u);
+  EXPECT_GE(ok, sim_.zone_domains.size() * 85 / 100)
+      << "source rotation should absorb a 25% hang rate";
+}
+
+// ---------------------------------------------------------------------------
+// Crawl journal: crash/resume for the crawler
+
+std::string TempJournalPath(const char* tag) {
+  return testing::TempDir() + "whoiscrf_" + tag + "_" +
+         std::to_string(::getpid()) + ".journal";
+}
+
+TEST_F(FailureInjectionTest, JournalReplaySkipsCompletedDomainsExactly) {
+  const std::string path = TempJournalPath("journal_replay");
+  std::remove(path.c_str());
+
+  // First run: crawl half the zone with a journal attached.
+  const size_t half = sim_.zone_domains.size() / 2;
+  {
+    CrawlJournal journal(path);
+    CrawlerOptions options;
+    options.registry_server = sim_.registry_server;
+    Crawler crawler(*sim_.network, clock_, options);
+    crawler.SetJournal(&journal);
+    for (size_t i = 0; i < half; ++i) {
+      crawler.CrawlDomain(sim_.zone_domains[i]);
+    }
+  }  // "crash": journal closed with half the zone recorded
+
+  const CrawlJournal::Replay replay = CrawlJournal::Load(path);
+  EXPECT_EQ(replay.domains.size(), half);
+  for (size_t i = 0; i < half; ++i) {
+    EXPECT_EQ(replay.domains.count(sim_.zone_domains[i]), 1u) << i;
+  }
+  for (size_t i = half; i < sim_.zone_domains.size(); ++i) {
+    EXPECT_EQ(replay.domains.count(sim_.zone_domains[i]), 0u) << i;
+  }
+}
+
+TEST_F(FailureInjectionTest, JournalToleratesTornFinalLine) {
+  const std::string path = TempJournalPath("journal_torn");
+  {
+    CrawlJournal journal(path);
+    journal.RecordDomain("a.com", CrawlResult::Status::kOk, 1);
+    journal.RecordLimit("whois.example.com", 120);
+    journal.RecordDomain("b.com", CrawlResult::Status::kFailed, 3);
+  }
+  // Simulate a crash mid-append: chop bytes off the final line.
+  std::string text;
+  ASSERT_TRUE(util::ReadFileToString(path, text));
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(text.data(), 1, text.size() - 5, f);
+    std::fclose(f);
+  }
+  const CrawlJournal::Replay replay = CrawlJournal::Load(path);
+  EXPECT_EQ(replay.domains.size(), 1u);  // b.com's torn line is ignored
+  EXPECT_EQ(replay.domains.at("a.com"), CrawlResult::Status::kOk);
+  EXPECT_EQ(replay.limits.at("whois.example.com"), 120u);
+
+  // Re-opening for append truncates the torn tail, then appends cleanly.
+  {
+    CrawlJournal journal(path);
+    journal.RecordDomain("c.com", CrawlResult::Status::kThinOnly, 2);
+  }
+  const CrawlJournal::Replay after = CrawlJournal::Load(path);
+  EXPECT_EQ(after.domains.size(), 2u);
+  EXPECT_EQ(after.domains.at("c.com"), CrawlResult::Status::kThinOnly);
+  std::remove(path.c_str());
+}
+
+TEST_F(FailureInjectionTest, ReplayedLimitsPaceTheResumedCrawler) {
+  const std::string path = TempJournalPath("journal_limits");
+  std::remove(path.c_str());
+  {
+    CrawlJournal journal(path);
+    journal.RecordLimit(sim_.registry_server, 40);
+    journal.RecordLimit(sim_.registry_server, 25);  // lower wins on replay
+  }
+  const CrawlJournal::Replay replay = CrawlJournal::Load(path);
+  ASSERT_EQ(replay.limits.at(sim_.registry_server), 25u);
+
+  CrawlerOptions options;
+  options.registry_server = sim_.registry_server;
+  options.initial_limits = replay.limits;
+  Crawler crawler(*sim_.network, clock_, options);
+  const auto result = crawler.CrawlDomain(sim_.zone_domains.front());
+  EXPECT_NE(result.status, CrawlResult::Status::kFailed);
+  // The replayed limit is reported back out through stats().
+  EXPECT_EQ(crawler.stats().inferred_limits.at(sim_.registry_server), 25u);
+  std::remove(path.c_str());
+}
+
+TEST_F(FailureInjectionTest, CrawlStatusNamesRoundTrip) {
+  for (CrawlResult::Status status :
+       {CrawlResult::Status::kOk, CrawlResult::Status::kNoMatch,
+        CrawlResult::Status::kThinOnly, CrawlResult::Status::kFailed}) {
+    CrawlResult::Status back;
+    ASSERT_TRUE(ParseCrawlStatus(CrawlStatusName(status), back));
+    EXPECT_EQ(back, status);
+  }
+  CrawlResult::Status unused;
+  EXPECT_FALSE(ParseCrawlStatus("bogus", unused));
 }
 
 }  // namespace

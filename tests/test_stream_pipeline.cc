@@ -8,6 +8,7 @@
 // ThreadSanitizer exists for.
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -15,6 +16,7 @@
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -22,11 +24,13 @@
 #include "datagen/corpus_gen.h"
 #include "survey/build.h"
 #include "util/bounded_queue.h"
+#include "util/checkpoint.h"
 #include "util/chunk_reader.h"
 #include "util/thread_pool.h"
 #include "whois/json_export.h"
 #include "whois/record_store.h"
 #include "whois/record_stream.h"
+#include "whois/stream_checkpoint.h"
 #include "whois/stream_pipeline.h"
 #include "whois/whois_parser.h"
 
@@ -190,7 +194,44 @@ std::string TempPrefix(const char* tag) {
 
 void RemoveStore(const std::string& prefix) {
   for (size_t s = 0;; ++s) {
-    if (std::remove(RecordStoreShardPath(prefix, s).c_str()) != 0) break;
+    const bool had_final =
+        std::remove(RecordStoreShardPath(prefix, s).c_str()) == 0;
+    const bool had_tmp =
+        std::remove((RecordStoreShardPath(prefix, s) + ".tmp").c_str()) == 0;
+    if (!had_final && !had_tmp) break;
+  }
+}
+
+// Removes everything a checkpointed parse can leave behind: the store, its
+// quarantine companion, and the checkpoint file.
+void RemoveCheckpointedStore(const std::string& prefix) {
+  RemoveStore(prefix);
+  RemoveStore(prefix + "-quarantine");
+  std::remove(StreamCheckpointPath(prefix).c_str());
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::string out;
+  EXPECT_TRUE(util::ReadFileToString(path, out)) << path;
+  return out;
+}
+
+bool FileExists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+// Asserts two stores (all shards) are byte-identical on disk.
+void ExpectStoresIdentical(const std::string& a, const std::string& b) {
+  for (size_t s = 0;; ++s) {
+    const std::string path_a = RecordStoreShardPath(a, s);
+    const std::string path_b = RecordStoreShardPath(b, s);
+    const bool exists_a = FileExists(path_a);
+    ASSERT_EQ(exists_a, FileExists(path_b)) << "shard " << s;
+    if (!exists_a) break;
+    EXPECT_EQ(ReadFileBytes(path_a), ReadFileBytes(path_b)) << "shard " << s;
   }
 }
 
@@ -246,6 +287,84 @@ TEST(RecordStoreTest, EmptyStoreRoundTrips) {
 TEST(RecordStoreTest, MissingStoreThrows) {
   EXPECT_THROW(RecordStoreReader(TempPrefix("store_missing")),
                std::runtime_error);
+}
+
+TEST(RecordStoreTest, ShardsAreInvisibleUntilSealed) {
+  const std::string prefix = TempPrefix("store_atomic");
+  RecordStoreOptions options;
+  options.records_per_shard = 100;
+  {
+    RecordStoreWriter writer(prefix, options);
+    writer.Append("Domain Name: A.COM\n");
+    // Mid-write the shard exists only under its .tmp name, so a reader
+    // scanning for `.wrs` files can never observe a torn shard.
+    EXPECT_FALSE(FileExists(RecordStoreShardPath(prefix, 0)));
+    EXPECT_TRUE(FileExists(RecordStoreShardPath(prefix, 0) + ".tmp"));
+    writer.Finish();
+    EXPECT_TRUE(FileExists(RecordStoreShardPath(prefix, 0)));
+    EXPECT_FALSE(FileExists(RecordStoreShardPath(prefix, 0) + ".tmp"));
+  }
+  const RecordStoreReader reader(prefix);
+  EXPECT_EQ(reader.size(), 1u);
+  RemoveStore(prefix);
+}
+
+TEST(RecordStoreTest, ResumeFromCursorReproducesUninterruptedStore) {
+  std::vector<std::string> records;
+  for (int i = 0; i < 10; ++i) {
+    records.push_back("Domain Name: R" + std::to_string(i) +
+                      ".COM\nRegistrar: Reg\n");
+  }
+  RecordStoreOptions options;
+  options.records_per_shard = 3;
+
+  // Reference: one uninterrupted writer.
+  const std::string ref = TempPrefix("store_resume_ref");
+  {
+    RecordStoreWriter writer(ref, options);
+    for (const auto& r : records) writer.Append(r);
+    writer.Finish();
+  }
+
+  // Interrupted run: append 5 records, sync, capture the cursor, then
+  // "crash" — keep appending junk the checkpoint never covered and let
+  // the destructor seal whatever it seals.
+  const std::string prefix = TempPrefix("store_resume");
+  StoreCursor cursor;
+  {
+    RecordStoreWriter writer(prefix, options);
+    for (int i = 0; i < 5; ++i) writer.Append(records[static_cast<size_t>(i)]);
+    writer.Sync();
+    cursor = writer.cursor();
+    writer.Append("JUNK RECORD PAST THE CHECKPOINT\n");
+    writer.Append("MORE JUNK\n");
+  }
+  EXPECT_EQ(cursor.records, 5u);
+  EXPECT_EQ(cursor.shard_index, 1u);   // record 5 lives in shard 1
+  EXPECT_EQ(cursor.shard_records, 2u);
+
+  // Resume: truncate back to the cursor and append the rest for real.
+  {
+    RecordStoreWriter writer(prefix, options, cursor);
+    EXPECT_EQ(writer.record_count(), 5u);
+    for (size_t i = 5; i < records.size(); ++i) writer.Append(records[i]);
+    writer.Finish();
+  }
+  ExpectStoresIdentical(ref, prefix);
+
+  // Resuming at a post-Finish cursor and finishing again is a no-op.
+  {
+    RecordStoreWriter writer(ref, options);
+    for (const auto& r : records) writer.Append(r);
+    writer.Finish();
+    RecordStoreWriter again(prefix, options, writer.cursor());
+    EXPECT_EQ(again.record_count(), 10u);
+    again.Finish();
+  }
+  ExpectStoresIdentical(ref, prefix);
+
+  RemoveStore(ref);
+  RemoveStore(prefix);
 }
 
 // ---------------------------------------------------------------------------
@@ -405,6 +524,319 @@ TEST_F(StreamPipelineTest, BuildDatabaseFromStreamAssemblesRowsInOrder) {
     EXPECT_EQ(db.rows()[i].domain, parser_->Parse(records[i], ws).domain_name)
         << i;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Crash safety: quarantine, watchdog, checkpoint/resume
+
+constexpr char kPoisonMarker[] = "!!POISON!!";
+
+// A RecordSource over an in-memory vector; cheap to rebuild for the
+// replay-from-scratch half of resume tests.
+class VectorRecordSource : public RecordSource {
+ public:
+  explicit VectorRecordSource(const std::vector<std::string>& records)
+      : records_(records) {}
+  bool Next(std::string& record) override {
+    if (pos_ >= records_.size()) return false;
+    record = records_[pos_++];
+    return true;
+  }
+
+ private:
+  const std::vector<std::string>& records_;
+  size_t pos_ = 0;
+};
+
+// Parse hook that throws on marked records and otherwise defers to the
+// real parser — the "hostile input" chaos monkey.
+StreamPipelineOptions PoisonOptions(const WhoisParser& parser) {
+  StreamPipelineOptions options;
+  options.parse_override = [&parser](const std::string& record,
+                                     ParseWorkspace& ws) {
+    if (record.find(kPoisonMarker) != std::string::npos) {
+      throw std::runtime_error("poisoned record");
+    }
+    return parser.Parse(record, ws);
+  };
+  return options;
+}
+
+TEST(QuarantineEntryTest, RoundTripsIndexReasonAndRawBytes) {
+  const std::string record = "Domain Name: X.COM\n\x01\x02 binary \t bytes\n";
+  const std::string entry =
+      FormatQuarantineEntry(42, "segfault in featurizer\nline2", record);
+  uint64_t index = 0;
+  std::string reason;
+  std::string raw;
+  ParseQuarantineEntry(entry, index, reason, raw);
+  EXPECT_EQ(index, 42u);
+  EXPECT_EQ(reason, "segfault in featurizer line2");  // newline sanitized
+  EXPECT_EQ(raw, record);                             // bytes untouched
+  EXPECT_THROW(ParseQuarantineEntry("not a quarantine entry", index, reason,
+                                    raw),
+               std::runtime_error);
+}
+
+TEST(StreamCheckpointTest, FormatRoundTrips) {
+  StreamCheckpoint cp;
+  cp.complete = true;
+  cp.consumed = 12345;
+  cp.quarantined = 7;
+  cp.input_id = "file:/data/corpus with spaces.txt";
+  cp.store = {12338, 2, 50, 4096};
+  cp.quarantine = {7, 0, 7, 900};
+  const StreamCheckpoint back = ParseStreamCheckpoint(FormatStreamCheckpoint(cp));
+  EXPECT_EQ(back.complete, cp.complete);
+  EXPECT_EQ(back.consumed, cp.consumed);
+  EXPECT_EQ(back.quarantined, cp.quarantined);
+  EXPECT_EQ(back.input_id, cp.input_id);
+  EXPECT_EQ(back.store.records, cp.store.records);
+  EXPECT_EQ(back.store.shard_bytes, cp.store.shard_bytes);
+  EXPECT_EQ(back.quarantine.records, cp.quarantine.records);
+  EXPECT_THROW(ParseStreamCheckpoint("garbage\n"), std::runtime_error);
+}
+
+TEST_F(StreamPipelineTest, PoisonedRecordsAreQuarantinedNotFatal) {
+  std::vector<std::string> records = CorpusTexts(120, 30);
+  const std::vector<size_t> poison_at = {0, 7, 8, 19, 29};
+  for (size_t i : poison_at) {
+    records[i] = std::string(kPoisonMarker) + "\nDomain Name: BAD" +
+                 std::to_string(i) + ".COM\n";
+  }
+
+  StreamPipelineOptions options = PoisonOptions(*parser_);
+  options.threads = 4;
+  options.batch_records = 3;
+  options.queue_capacity = 2;
+  std::vector<std::pair<uint64_t, std::string>> quarantined;
+  options.on_quarantine = [&](uint64_t index, const std::string& record,
+                              const std::string& reason) {
+    quarantined.emplace_back(index, record);
+    EXPECT_EQ(reason, "poisoned record");
+  };
+
+  std::vector<uint64_t> sink_indices;
+  std::vector<std::string> sink_json;
+  VectorRecordSource source(records);
+  const StreamPipelineStats stats = ParseStream(
+      *parser_, source, options,
+      [&](uint64_t index, const std::string& record, const ParsedWhois& parsed) {
+        EXPECT_EQ(record, records[index]);
+        sink_indices.push_back(index);
+        sink_json.push_back(ToJson(parsed));
+      });
+
+  // The run completed; exactly the poison records were diverted, in input
+  // order, and every clean record reached the sink at its global index.
+  EXPECT_EQ(stats.records, records.size() - poison_at.size());
+  EXPECT_EQ(stats.quarantined, poison_at.size());
+  ASSERT_EQ(quarantined.size(), poison_at.size());
+  for (size_t q = 0; q < poison_at.size(); ++q) {
+    EXPECT_EQ(quarantined[q].first, poison_at[q]);
+    EXPECT_EQ(quarantined[q].second, records[poison_at[q]]);
+  }
+  ASSERT_EQ(sink_indices.size(), records.size() - poison_at.size());
+  ParseWorkspace ws;
+  size_t s = 0;
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (std::find(poison_at.begin(), poison_at.end(), i) != poison_at.end()) {
+      continue;
+    }
+    ASSERT_LT(s, sink_indices.size());
+    EXPECT_EQ(sink_indices[s], i);
+    EXPECT_EQ(sink_json[s], ToJson(parser_->Parse(records[i], ws))) << i;
+    ++s;
+  }
+}
+
+TEST_F(StreamPipelineTest, WorkerExceptionWithoutQuarantineStillAborts) {
+  std::vector<std::string> records = CorpusTexts(120, 10);
+  records[4] = std::string(kPoisonMarker) + "\n";
+  StreamPipelineOptions options = PoisonOptions(*parser_);
+  options.threads = 2;
+  options.batch_records = 2;
+  VectorRecordSource source(records);
+  EXPECT_THROW(
+      ParseStream(*parser_, source, options,
+                  [](uint64_t, const std::string&, const ParsedWhois&) {}),
+      std::runtime_error);
+}
+
+TEST_F(StreamPipelineTest, OversizedRecordsAreQuarantinedWithoutParsing) {
+  std::vector<std::string> records = CorpusTexts(120, 6);
+  records[3] = "Domain Name: HUGE.COM\n" + std::string(10000, 'x') + "\n";
+  StreamPipelineOptions options;
+  options.threads = 2;
+  options.max_record_bytes = 4096;
+  std::vector<uint64_t> quarantined;
+  options.on_quarantine = [&](uint64_t index, const std::string&,
+                              const std::string& reason) {
+    quarantined.push_back(index);
+    EXPECT_NE(reason.find("exceeds limit"), std::string::npos) << reason;
+  };
+  size_t sunk = 0;
+  VectorRecordSource source(records);
+  const StreamPipelineStats stats =
+      ParseStream(*parser_, source, options,
+                  [&](uint64_t, const std::string&, const ParsedWhois&) {
+                    ++sunk;
+                  });
+  EXPECT_EQ(stats.quarantined, 1u);
+  EXPECT_EQ(sunk, records.size() - 1);
+  ASSERT_EQ(quarantined.size(), 1u);
+  EXPECT_EQ(quarantined[0], 3u);
+}
+
+// A source that delivers a few records promptly, then wedges long enough
+// for the watchdog to fire. The sleep is finite so thread joins always
+// complete even on slow machines.
+class StallingSource : public RecordSource {
+ public:
+  bool Next(std::string& record) override {
+    if (served_ >= 3) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(500));
+      return false;
+    }
+    record = "Domain Name: S" + std::to_string(served_++) + ".COM\n";
+    return true;
+  }
+
+ private:
+  size_t served_ = 0;
+};
+
+TEST_F(StreamPipelineTest, WatchdogFailsFastOnStalledStage) {
+  StallingSource source;
+  StreamPipelineOptions options;
+  options.threads = 2;
+  options.batch_records = 1;
+  options.watchdog_timeout_ms = 60;
+  try {
+    ParseStream(*parser_, source, options,
+                [](uint64_t, const std::string&, const ParsedWhois&) {});
+    FAIL() << "expected StreamStallError";
+  } catch (const StreamStallError& e) {
+    // The diagnostic names the wedged stage and the queue depths.
+    EXPECT_NE(std::string(e.what()).find("suspect stage"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(StreamPipelineTest, WatchdogStaysQuietOnHealthyRun) {
+  const std::vector<std::string> records = CorpusTexts(120, 20);
+  VectorRecordSource source(records);
+  StreamPipelineOptions options;
+  options.threads = 2;
+  options.watchdog_timeout_ms = 60'000;
+  const StreamPipelineStats stats =
+      ParseStream(*parser_, source, options,
+                  [](uint64_t, const std::string&, const ParsedWhois&) {});
+  EXPECT_EQ(stats.records, records.size());
+}
+
+TEST_F(StreamPipelineTest, KillResumeRoundTripIsByteIdentical) {
+  std::vector<std::string> records = CorpusTexts(120, 40);
+  const std::vector<size_t> poison_at = {5, 17, 29};
+  for (size_t i : poison_at) {
+    records[i] = std::string(kPoisonMarker) + "\nDomain Name: BAD" +
+                 std::to_string(i) + ".COM\n";
+  }
+
+  CheckpointedParseOptions options;
+  options.pipeline = PoisonOptions(*parser_);
+  options.pipeline.threads = 2;
+  options.pipeline.batch_records = 3;
+  options.store.records_per_shard = 7;
+  options.checkpoint_interval = 10;
+  options.input_id = "test:kill_resume";
+
+  // Reference: an uninterrupted run.
+  const std::string ref = TempPrefix("ckpt_ref");
+  {
+    VectorRecordSource source(records);
+    const CheckpointedParseResult result =
+        ParseStreamToStore(*parser_, source, ref, options);
+    EXPECT_EQ(result.records_stored, records.size() - poison_at.size());
+    EXPECT_EQ(result.quarantined, poison_at.size());
+    EXPECT_EQ(result.skipped, 0u);
+  }
+
+  // Interrupted run: the sink dies after 23 stored records (mid-corpus,
+  // past several checkpoints), taking the process with it — modeled by
+  // the exception unwinding through ParseStreamToStore.
+  const std::string prefix = TempPrefix("ckpt_killed");
+  {
+    VectorRecordSource source(records);
+    size_t stored = 0;
+    EXPECT_THROW(
+        ParseStreamToStore(*parser_, source, prefix, options,
+                           [&](uint64_t, const std::string&,
+                               const ParsedWhois&) {
+                             if (++stored > 23) {
+                               throw std::runtime_error("killed");
+                             }
+                           }),
+        std::runtime_error);
+  }
+
+  // Resume: replay the same input with --resume semantics.
+  {
+    CheckpointedParseOptions resume_options = options;
+    resume_options.resume = true;
+    VectorRecordSource source(records);
+    const CheckpointedParseResult result =
+        ParseStreamToStore(*parser_, source, prefix, resume_options);
+    EXPECT_GT(result.skipped, 0u);
+    EXPECT_EQ(result.records_stored, records.size() - poison_at.size());
+    EXPECT_EQ(result.quarantined, poison_at.size());
+  }
+
+  // Byte-identical to the uninterrupted run: main store AND quarantine.
+  ExpectStoresIdentical(ref, prefix);
+  ExpectStoresIdentical(ref + "-quarantine", prefix + "-quarantine");
+
+  // The quarantine store holds exactly the poison records with reasons.
+  {
+    const RecordStoreReader reader(prefix + "-quarantine");
+    ASSERT_EQ(reader.size(), poison_at.size());
+    for (size_t q = 0; q < poison_at.size(); ++q) {
+      uint64_t index = 0;
+      std::string reason;
+      std::string raw;
+      ParseQuarantineEntry(reader.Get(q), index, reason, raw);
+      EXPECT_EQ(index, poison_at[q]);
+      EXPECT_EQ(reason, "poisoned record");
+      EXPECT_EQ(raw, records[poison_at[q]]);
+    }
+  }
+
+  // Resuming a complete run is an idempotent no-op: everything skips.
+  {
+    CheckpointedParseOptions resume_options = options;
+    resume_options.resume = true;
+    VectorRecordSource source(records);
+    const CheckpointedParseResult result =
+        ParseStreamToStore(*parser_, source, prefix, resume_options);
+    EXPECT_EQ(result.skipped, records.size());
+    EXPECT_EQ(result.stats.records, 0u);
+    EXPECT_EQ(result.records_stored, records.size() - poison_at.size());
+  }
+  ExpectStoresIdentical(ref, prefix);
+
+  // A checkpoint refuses to resume against a different input.
+  {
+    CheckpointedParseOptions resume_options = options;
+    resume_options.resume = true;
+    resume_options.input_id = "test:other_corpus";
+    VectorRecordSource source(records);
+    EXPECT_THROW(
+        ParseStreamToStore(*parser_, source, prefix, resume_options),
+        std::runtime_error);
+  }
+
+  RemoveCheckpointedStore(ref);
+  RemoveCheckpointedStore(prefix);
 }
 
 }  // namespace
