@@ -1,0 +1,406 @@
+// Parse-service throughput: an in-process load generator drives
+// serve::ParseService through its public Submit/Handle path — admission
+// queue, worker pool, result cache, metrics — and reports rps plus
+// p50/p99 request latency across thread counts and cache-hit ratios.
+// Writes BENCH_serve.json (override with WHOISCRF_BENCH_OUT).
+//
+// The scoreboard question: how much does serving cost on top of parsing?
+// Each scenario therefore also measures parser.ParseBatch over the same
+// records with the same thread count; `serve_vs_batch` near 1.0 on a cold
+// cache means the queue/promise/cache machinery is out of the way, and the
+// warm-cache rows show what the LRU buys when traffic repeats (real WHOIS
+// traffic re-queries popular domains constantly).
+//
+// Every served body is compared against the offline
+// `whois::ToJson(parser.Parse(record))` bytes — the service's core
+// contract — so a drift between the two paths fails loudly here too.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <fstream>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "obs/metrics.h"
+#include "serve/server.h"
+#include "util/env.h"
+#include "util/thread_pool.h"
+#include "whois/json_export.h"
+#include "whois/whois_parser.h"
+
+namespace whoiscrf::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+int BenchPasses() {
+  static const int passes = [] {
+    const char* e = std::getenv("WHOISCRF_BENCH_PASSES");
+    const int n = e != nullptr ? std::atoi(e) : 3;
+    return n > 0 ? n : 1;
+  }();
+  return passes;
+}
+
+double Percentile(std::vector<double>& sorted_or_not, double q) {
+  if (sorted_or_not.empty()) return 0.0;
+  const size_t rank = std::min(
+      sorted_or_not.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(sorted_or_not.size())));
+  std::nth_element(sorted_or_not.begin(), sorted_or_not.begin() + rank,
+                   sorted_or_not.end());
+  return sorted_or_not[rank];
+}
+
+struct ScenarioResult {
+  size_t threads = 0;
+  double target_hit_ratio = 0.0;
+  double observed_hit_ratio = 0.0;
+  double rps = 0.0;        // best pass
+  double p50_us = 0.0;     // of the best pass
+  double p99_us = 0.0;
+  double batch_rps = 0.0;  // ParseBatch over the same records/threads
+  size_t mismatches = 0;   // served body != offline ToJson(Parse(record))
+  size_t not_ok = 0;       // any non-kOk status (should be zero)
+};
+
+// Outstanding requests each load-generator thread keeps in flight. A
+// synchronous request-per-Handle client would serialize every request
+// behind a worker wake-up (a full scheduler round trip per record on a
+// busy box); real clients pipeline, and a small window keeps the parse
+// workers hot so the bench measures service throughput, not condvar
+// latency. Client-side p50/p99 therefore include queue wait — the number
+// a caller of a loaded service actually sees.
+constexpr size_t kClientWindow = 32;
+// When the window fills, the client waits for the request in the middle
+// and then collects that half in one sweep. Waiting on the *front* future
+// would wake the client on every single completion (responses finish
+// roughly in submit order), costing two scheduler switches per request
+// when clients and workers share cores; one wake per half-window
+// amortizes that while keeping the other half in flight.
+constexpr size_t kDrainBatch = kClientWindow / 2;
+
+// One timed pass: `threads` client threads each pump a contiguous slice
+// of the request sequence through Submit() with kClientWindow requests
+// outstanding, recording per-request latency (submit -> future ready).
+// Request strings are materialized before the clock starts (a real client
+// already owns the bytes it hands over — Submit takes ownership by move).
+// Each served body is checked against the offline JSON as it drains — a
+// single memcmp — and then dropped, so response buffers are recycled by
+// the allocator instead of piling up ~1MB of live heap per pass, which
+// would evict the parser's working set from cache mid-measurement.
+struct PassOutcome {
+  double seconds = 0.0;
+  double hit_ratio = 0.0;
+  std::vector<double> latencies_us;
+  size_t mismatches = 0;
+  size_t not_ok = 0;
+};
+
+PassOutcome RunPass(serve::ParseService& service, size_t threads,
+                    const std::vector<const std::string*>& requests,
+                    const std::vector<std::string>& expected_bodies,
+                    const std::vector<size_t>& expected_index) {
+  // Each Submit transfers ownership of a string; build them up front.
+  std::vector<std::string> payloads;
+  payloads.reserve(requests.size());
+  for (const std::string* r : requests) payloads.push_back(*r);
+
+  std::vector<std::vector<double>> latencies(threads);
+  std::vector<size_t> client_hits(threads, 0);
+  std::vector<size_t> client_mismatches(threads, 0);
+  std::vector<size_t> client_not_ok(threads, 0);
+
+  const size_t per_client =
+      (requests.size() + threads - 1) / threads;
+  const auto start = Clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(threads);
+  for (size_t c = 0; c < threads; ++c) {
+    clients.emplace_back([&, c] {
+      const size_t begin = c * per_client;
+      const size_t end = std::min(requests.size(), begin + per_client);
+      latencies[c].reserve(end > begin ? end - begin : 0);
+      struct Pending {
+        std::future<serve::ServeResult> future;
+        Clock::time_point submitted;
+        size_t index;
+      };
+      std::deque<Pending> window;
+      const auto drain_one = [&] {
+        Pending pending = std::move(window.front());
+        window.pop_front();
+        const serve::ServeResult result = pending.future.get();
+        latencies[c].push_back(SecondsSince(pending.submitted) * 1e6);
+        if (result.status != serve::Status::kOk) {
+          ++client_not_ok[c];
+        } else if (result.body !=
+                   expected_bodies[expected_index[pending.index]]) {
+          ++client_mismatches[c];
+        }
+        if (result.cache_hit) ++client_hits[c];
+      };
+      for (size_t i = begin; i < end; ++i) {
+        if (window.size() >= kClientWindow) {
+          window[kDrainBatch - 1].future.wait();
+          for (size_t k = 0; k < kDrainBatch; ++k) drain_one();
+        }
+        window.push_back(
+            Pending{service.Submit(std::move(payloads[i])), Clock::now(), i});
+      }
+      while (!window.empty()) drain_one();
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  PassOutcome outcome;
+  outcome.seconds = SecondsSince(start);
+  size_t hits = 0;
+  for (size_t c = 0; c < threads; ++c) {
+    hits += client_hits[c];
+    outcome.mismatches += client_mismatches[c];
+    outcome.not_ok += client_not_ok[c];
+  }
+  outcome.hit_ratio = requests.empty()
+                          ? 0.0
+                          : static_cast<double>(hits) /
+                                static_cast<double>(requests.size());
+  for (size_t c = 0; c < threads; ++c) {
+    outcome.latencies_us.insert(outcome.latencies_us.end(),
+                                latencies[c].begin(), latencies[c].end());
+  }
+  return outcome;
+}
+
+int Main() {
+  const size_t train_count = util::Scaled(300, 100);
+  const size_t request_count = util::Scaled(2000, 400);
+  const size_t passes = static_cast<size_t>(BenchPasses());
+
+  PrintHeader("serve", "parse service rps + p50/p99 by threads, hit ratio");
+
+  // Fresh distinct records per pass (like bench_parse_throughput) so a
+  // "cold cache" scenario stays cold on every pass.
+  const auto generator =
+      MakeEvalGenerator(train_count + passes * request_count);
+  const auto train = TakeRecords(generator, 0, train_count);
+  const whois::WhoisParser parser = TrainParser(train);
+
+  std::vector<std::vector<std::string>> slices(passes);
+  for (size_t p = 0; p < passes; ++p) {
+    slices[p].reserve(request_count);
+    for (size_t i = 0; i < request_count; ++i) {
+      slices[p].push_back(
+          generator.Generate(train_count + p * request_count + i).thick.text);
+    }
+  }
+
+  // Offline ground truth, one JSON string per distinct record per pass —
+  // what `parse --format json` would emit. Serving must match it byte for
+  // byte.
+  std::vector<std::vector<std::string>> offline(passes);
+  {
+    whois::ParseWorkspace ws;
+    for (size_t p = 0; p < passes; ++p) {
+      offline[p].reserve(request_count);
+      for (const std::string& r : slices[p]) {
+        offline[p].push_back(whois::ToJson(parser.Parse(r, ws)));
+      }
+    }
+  }
+
+  // Single-thread workspace fast path, the same baseline and methodology
+  // as bench_parse_throughput's "fast (workspace)": one workspace warm
+  // across passes, best pass kept.
+  double fast_rps = 0.0;
+  {
+    whois::ParseWorkspace ws;
+    (void)parser.Parse(slices.front().front(), ws);  // warm-up
+    for (size_t p = 0; p < passes; ++p) {
+      const auto start = Clock::now();
+      size_t lines = 0;
+      for (const std::string& r : slices[p]) {
+        lines += parser.Parse(r, ws).line_labels.size();
+      }
+      const double seconds = SecondsSince(start);
+      if (seconds > 0.0 && lines > 0) {
+        fast_rps = std::max(
+            fast_rps, static_cast<double>(slices[p].size()) / seconds);
+      }
+    }
+  }
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const bool sweep_wide = util::EnvInt("WHOISCRF_BENCH_OVERSUBSCRIBE", 0) != 0;
+  std::vector<size_t> thread_counts;
+  for (size_t n : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    if (sweep_wide || n <= hw) thread_counts.push_back(n);
+  }
+  if (thread_counts.back() < hw) thread_counts.push_back(hw);
+
+  const double hit_ratios[] = {0.0, 0.5, 0.9};
+
+  std::vector<ScenarioResult> results;
+  for (const size_t threads : thread_counts) {
+    for (const double ratio : hit_ratios) {
+      ScenarioResult scenario;
+      scenario.threads = threads;
+      scenario.target_hit_ratio = ratio;
+
+      // One service per scenario, shared across passes — a real server is
+      // long-lived, so its workers' workspaces (and their line caches)
+      // stay warm, exactly like the fast-path baseline's single
+      // workspace. Passes use disjoint record sets, so the *result*
+      // cache never carries hits from one pass into the next.
+      serve::ParseServiceOptions service_options;
+      service_options.threads = threads;
+      service_options.queue_capacity = 256;  // clients <= threads: no rejects
+      service_options.cache_entries = request_count;
+      serve::ParseService service(parser, service_options);
+
+      // Untimed warm-up, the counterpart of the fast path's warm-up parse:
+      // pump the *training* records through once so every worker's
+      // workspace (line cache, buffers) reaches steady state. Train
+      // records are disjoint from the request records, so this cannot
+      // seed result-cache hits — cold scenarios stay cold. Submitted as
+      // one burst so the records spread across all workers.
+      {
+        std::deque<std::future<serve::ServeResult>> warmup;
+        for (const whois::LabeledRecord& w : train) {
+          if (warmup.size() >= kClientWindow) {
+            warmup.front().get();
+            warmup.pop_front();
+          }
+          warmup.push_back(service.Submit(w.text));
+        }
+        while (!warmup.empty()) {
+          warmup.front().get();
+          warmup.pop_front();
+        }
+      }
+
+      for (size_t p = 0; p < passes; ++p) {
+        // A hit ratio of r means only (1-r) of the requests are distinct:
+        // cycle a pool of that many records, so the first lap misses and
+        // every later lap hits.
+        const size_t distinct = std::max(
+            size_t{1},
+            static_cast<size_t>(static_cast<double>(request_count) *
+                                (1.0 - ratio)));
+        std::vector<const std::string*> requests(request_count);
+        std::vector<size_t> expected_index(request_count);
+        for (size_t i = 0; i < request_count; ++i) {
+          requests[i] = &slices[p][i % distinct];
+          expected_index[i] = i % distinct;
+        }
+
+        PassOutcome pass =
+            RunPass(service, threads, requests, offline[p], expected_index);
+        scenario.mismatches += pass.mismatches;
+        scenario.not_ok += pass.not_ok;
+        const double rps =
+            pass.seconds > 0.0
+                ? static_cast<double>(request_count) / pass.seconds
+                : 0.0;
+        if (p == 0 || rps > scenario.rps) {
+          scenario.rps = rps;
+          scenario.observed_hit_ratio = pass.hit_ratio;
+          scenario.p50_us = Percentile(pass.latencies_us, 0.50);
+          scenario.p99_us = Percentile(pass.latencies_us, 0.99);
+        }
+      }
+
+      // The apples-to-apples parse-only baseline: the same distinct
+      // records, parsed with ParseBatch on the same thread count (repeats
+      // excluded — the batch path has no cache, so cycling the pool would
+      // just re-parse).
+      {
+        util::ThreadPool pool(threads);
+        const size_t distinct = std::max(
+            size_t{1},
+            static_cast<size_t>(static_cast<double>(request_count) *
+                                (1.0 - ratio)));
+        std::vector<std::string> batch_records(
+            slices[0].begin(),
+            slices[0].begin() + static_cast<ptrdiff_t>(distinct));
+        const auto start = Clock::now();
+        const auto parsed = parser.ParseBatch(batch_records, pool);
+        const double seconds = SecondsSince(start);
+        if (seconds > 0.0 && !parsed.empty()) {
+          scenario.batch_rps = static_cast<double>(distinct) / seconds;
+        }
+      }
+      results.push_back(std::move(scenario));
+    }
+  }
+
+  std::printf(
+      "requests: %zu x %zu passes   hardware threads: %u   "
+      "fast path (1 thread): %.0f rps\n\n",
+      request_count, passes, hw, fast_rps);
+  std::printf("%8s %6s %8s %12s %10s %10s %10s\n", "threads", "hit%",
+              "obs hit%", "serve rps", "p50 us", "p99 us", "vs batch");
+  size_t total_mismatches = 0;
+  size_t total_not_ok = 0;
+  for (const ScenarioResult& s : results) {
+    std::printf("%8zu %5.0f%% %7.1f%% %12.0f %10.0f %10.0f %9.2fx\n",
+                s.threads, s.target_hit_ratio * 100.0,
+                s.observed_hit_ratio * 100.0, s.rps, s.p50_us, s.p99_us,
+                s.batch_rps > 0.0 ? s.rps / s.batch_rps : 0.0);
+    total_mismatches += s.mismatches;
+    total_not_ok += s.not_ok;
+  }
+  if (total_mismatches > 0 || total_not_ok > 0) {
+    std::printf(
+        "\nWARNING: %zu served bodies differed from offline parse, "
+        "%zu requests not ok\n",
+        total_mismatches, total_not_ok);
+  }
+
+  const char* out_env = std::getenv("WHOISCRF_BENCH_OUT");
+  const std::string out_path =
+      out_env != nullptr ? out_env : "BENCH_serve.json";
+  std::ofstream os(out_path);
+  os << "{\n";
+  os << "  \"bench\": \"serve\",\n";
+  os << "  \"requests\": " << request_count << ",\n";
+  os << "  \"passes\": " << passes << ",\n";
+  os << "  \"hardware_concurrency\": " << hw << ",\n";
+  os << "  \"fast_rps\": " << fast_rps << ",\n";
+  os << "  \"bodies_match_offline\": "
+     << (total_mismatches == 0 ? "true" : "false") << ",\n";
+  os << "  \"all_ok\": " << (total_not_ok == 0 ? "true" : "false") << ",\n";
+  os << "  \"scenarios\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& s = results[i];
+    os << "    {\"threads\": " << s.threads
+       << ", \"target_hit_ratio\": " << s.target_hit_ratio
+       << ", \"observed_hit_ratio\": " << s.observed_hit_ratio
+       << ", \"rps\": " << s.rps << ", \"p50_us\": " << s.p50_us
+       << ", \"p99_us\": " << s.p99_us << ", \"batch_rps\": " << s.batch_rps
+       << ", \"serve_vs_batch\": "
+       << (s.batch_rps > 0.0 ? s.rps / s.batch_rps : 0.0) << "}";
+    os << (i + 1 < results.size() ? ",\n" : "\n");
+  }
+  os << "  ],\n";
+  // Registry snapshot: whoiscrf_serve_* counters/histograms accumulated
+  // over every scenario, so the artifact shows cache + latency internals.
+  os << "  \"metrics\": " << obs::Registry::Global().RenderJson() << "\n";
+  os << "}\n";
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return total_mismatches == 0 && total_not_ok == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace whoiscrf::bench
+
+int main() { return whoiscrf::bench::Main(); }

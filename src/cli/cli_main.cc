@@ -6,6 +6,7 @@
 //   whoiscrf eval    evaluate a model against labeled records
 //   whoiscrf select  rank unlabeled records for manual labeling
 //   whoiscrf crawl   crawl the simulated .com and emit parsed JSON
+//   whoiscrf serve   run the concurrent parse service on 127.0.0.1
 //
 // Run `whoiscrf <command> --help` for per-command flags.
 #include <cstdio>
@@ -36,6 +37,9 @@ void PrintUsage() {
                "  select  --model FILE --in FILE [--k N]\n"
                "  crawl   [--domains N] [--seed S] [--model FILE] [--json]\n"
                "          [--journal FILE] [--resume]\n"
+               "  serve   --model FILE [--port N] [--threads K]\n"
+               "          [--queue-capacity N] [--cache-entries N]\n"
+               "          [--deadline-ms D] [--max-record-bytes N]\n"
                "\n"
                "global flags (every command):\n"
                "  --metrics-out FILE   write metrics when the command ends\n"

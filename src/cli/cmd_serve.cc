@@ -1,0 +1,96 @@
+// whoiscrf serve — the parse service: answers raw WHOIS records with their
+// parsed JSON over the length-prefixed framing protocol (docs/formats.md
+// "Parse service framing"). SIGTERM/SIGINT triggers a graceful drain: stop
+// accepting, finish every admitted request, then exit (so --metrics-out,
+// handled by cli::RunCommand, still flushes a complete snapshot).
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+
+#include "cli/commands.h"
+#include "obs/metrics.h"
+#include "serve/server.h"
+#include "whois/whois_parser.h"
+
+namespace whoiscrf::cli {
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void OnSignal(int /*signum*/) { g_stop = 1; }
+
+}  // namespace
+
+int CmdServe(util::FlagParser& flags) {
+  const std::string model_path = flags.GetString("model");
+  const auto port = static_cast<uint16_t>(flags.GetInt("port", 0));
+  const auto threads = static_cast<size_t>(flags.GetInt("threads", 0));
+  const auto queue_capacity =
+      static_cast<size_t>(flags.GetInt("queue-capacity", 128));
+  const auto cache_entries =
+      static_cast<size_t>(flags.GetInt("cache-entries", 4096));
+  const auto deadline_ms =
+      static_cast<uint64_t>(flags.GetInt("deadline-ms", 0));
+  const auto max_record_bytes = static_cast<uint64_t>(flags.GetInt(
+      "max-record-bytes",
+      static_cast<int64_t>(serve::kDefaultMaxFrameBytes)));
+  // Self-drain after N ms, for tests and demos that cannot send signals.
+  const auto drain_after_ms =
+      static_cast<uint64_t>(flags.GetInt("drain-after-ms", 0));
+  if (model_path.empty()) {
+    std::fprintf(stderr, "serve: --model is required\n");
+    return 2;
+  }
+
+  const whois::WhoisParser parser = whois::WhoisParser::LoadFile(model_path);
+
+  serve::ParseServerOptions options;
+  options.port = port;
+  options.max_frame_bytes = max_record_bytes;
+  options.service.threads = threads;
+  options.service.queue_capacity = queue_capacity;
+  options.service.cache_entries = cache_entries;
+  options.service.deadline_ms = deadline_ms;
+  options.service.max_record_bytes = max_record_bytes;
+  serve::ParseServer server(parser, options);
+
+  std::fprintf(stderr,
+               "serve: listening on 127.0.0.1:%u (%zu workers, queue %zu, "
+               "cache %zu entries)\n",
+               static_cast<unsigned>(server.port()),
+               server.service().threads(), queue_capacity, cache_entries);
+
+  g_stop = 0;
+  auto* previous_term = std::signal(SIGTERM, OnSignal);
+  auto* previous_int = std::signal(SIGINT, OnSignal);
+  uint64_t waited_ms = 0;
+  while (g_stop == 0 &&
+         (drain_after_ms == 0 || waited_ms < drain_after_ms)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    waited_ms += 50;
+  }
+  std::signal(SIGTERM, previous_term);
+  std::signal(SIGINT, previous_int);
+
+  std::fprintf(stderr, "serve: draining (in-flight requests finish)...\n");
+  server.Shutdown();
+
+  const auto& registry = obs::Registry::Global();
+  const auto by_status = [&](const char* status) {
+    return static_cast<unsigned long long>(registry.CounterValue(
+        "whoiscrf_serve_requests_total", {{"status", status}}));
+  };
+  std::fprintf(stderr,
+               "serve: done — %llu ok (%llu cached), %llu busy, "
+               "%llu deadline, %llu error\n",
+               by_status("ok"),
+               static_cast<unsigned long long>(
+                   registry.CounterValue("whoiscrf_serve_cache_hits_total")),
+               by_status("busy"), by_status("deadline"), by_status("error"));
+  return 0;
+}
+
+}  // namespace whoiscrf::cli

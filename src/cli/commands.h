@@ -56,6 +56,15 @@ int CmdSelect(util::FlagParser& flags);
 // thick record and emits one JSON object per domain.
 int CmdCrawl(util::FlagParser& flags);
 
+// whoiscrf serve   --model FILE [--port N] [--threads K]
+//                  [--queue-capacity N] [--cache-entries N]
+//                  [--deadline-ms D] [--max-record-bytes N]
+//                  [--drain-after-ms MS]
+// Concurrent parse service on 127.0.0.1: answers raw records with parsed
+// JSON over the length-prefixed framing protocol (docs/formats.md), with a
+// result cache, admission control, and graceful drain on SIGTERM/SIGINT.
+int CmdServe(util::FlagParser& flags);
+
 // Reads raw records from a file or stdin ("" = stdin): records are
 // separated by lines containing only "%%"; a file with no separator is one
 // record. Shared by parse/select; framing is delegated to

@@ -30,6 +30,7 @@ const char* CommandSpanName(const std::string& command) {
   if (command == "eval") return "cli.eval";
   if (command == "select") return "cli.select";
   if (command == "crawl") return "cli.crawl";
+  if (command == "serve") return "cli.serve";
   return "cli.command";
 }
 
@@ -41,13 +42,14 @@ int Dispatch(const std::string& command, util::FlagParser& flags) {
   if (command == "eval") return CmdEval(flags);
   if (command == "select") return CmdSelect(flags);
   if (command == "crawl") return CmdCrawl(flags);
+  if (command == "serve") return CmdServe(flags);
   return -1;  // unreachable: RunCommand checks Known() first
 }
 
 bool Known(const std::string& command) {
   return command == "gen" || command == "train" || command == "parse" ||
          command == "adapt" || command == "eval" || command == "select" ||
-         command == "crawl";
+         command == "crawl" || command == "serve";
 }
 
 }  // namespace

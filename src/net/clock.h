@@ -3,6 +3,7 @@
 // wall-clock time in the TCP example.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <thread>
@@ -30,15 +31,24 @@ class RealClock final : public Clock {
   }
 };
 
-// Virtual time; SleepMs advances instantly. Single-threaded use.
+// Virtual time; SleepMs advances instantly. The counter is atomic so one
+// thread may Advance while others read NowMs (the serve-layer deadline
+// tests drive worker threads against simulated time); there is still no
+// cross-thread ordering beyond the counter itself.
 class SimClock final : public Clock {
  public:
-  uint64_t NowMs() override { return now_ms_; }
-  void SleepMs(uint64_t ms) override { now_ms_ += ms; }
-  void Advance(uint64_t ms) { now_ms_ += ms; }
+  uint64_t NowMs() override {
+    return now_ms_.load(std::memory_order_relaxed);
+  }
+  void SleepMs(uint64_t ms) override {
+    now_ms_.fetch_add(ms, std::memory_order_relaxed);
+  }
+  void Advance(uint64_t ms) {
+    now_ms_.fetch_add(ms, std::memory_order_relaxed);
+  }
 
  private:
-  uint64_t now_ms_ = 0;
+  std::atomic<uint64_t> now_ms_{0};
 };
 
 }  // namespace whoiscrf::net

@@ -1,0 +1,63 @@
+#include "serve/cache.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace whoiscrf::serve {
+
+ResultCache::ResultCache(size_t max_entries, size_t shards)
+    : per_shard_cap_(std::max<size_t>(
+          1, max_entries / std::max<size_t>(1, shards))) {
+  shards_.reserve(std::max<size_t>(1, shards));
+  for (size_t i = 0; i < std::max<size_t>(1, shards); ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+bool ResultCache::Get(std::string_view key, size_t hash, std::string* value) {
+  Shard& shard = *shards_[hash % shards_.size()];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(HashedKey{hash, key});
+  if (it == shard.index.end()) return false;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  *value = it->second->value;
+  return true;
+}
+
+size_t ResultCache::Put(std::string key, size_t hash, std::string value) {
+  Shard& shard = *shards_[hash % shards_.size()];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(HashedKey{hash, std::string_view(key)});
+  if (it != shard.index.end()) {
+    Node& node = *it->second;
+    const size_t new_bytes = value.size();
+    const size_t old_bytes = node.value.size();
+    node.value = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    bytes_.fetch_add(new_bytes, std::memory_order_relaxed);
+    bytes_.fetch_sub(old_bytes, std::memory_order_relaxed);
+    return 0;
+  }
+  shard.lru.push_front(Node{hash, std::move(key), std::move(value)});
+  const Node& fresh = shard.lru.front();
+  shard.index.emplace(HashedKey{fresh.hash, std::string_view(fresh.key)},
+                      shard.lru.begin());
+  size_t bytes_delta = fresh.key.size() + fresh.value.size();
+  size_t freed = 0;
+
+  size_t evicted = 0;
+  while (shard.lru.size() > per_shard_cap_) {
+    const Node& victim = shard.lru.back();
+    freed += victim.key.size() + victim.value.size();
+    shard.index.erase(HashedKey{victim.hash, std::string_view(victim.key)});
+    shard.lru.pop_back();
+    ++evicted;
+  }
+  bytes_.fetch_add(bytes_delta, std::memory_order_relaxed);
+  bytes_.fetch_sub(freed, std::memory_order_relaxed);
+  entries_.fetch_add(1, std::memory_order_relaxed);
+  entries_.fetch_sub(evicted, std::memory_order_relaxed);
+  return evicted;
+}
+
+}  // namespace whoiscrf::serve

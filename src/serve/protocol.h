@@ -1,0 +1,104 @@
+// Framing protocol of the parse service (`whoiscrf serve`): length-prefixed
+// binary frames over a byte stream, spec in docs/formats.md "Parse service
+// framing".
+//
+//   request  := len:u32le  record:byte[len]
+//   response := len:u32le  status:u8  body:byte[len-1]
+//
+// A request carries one raw WHOIS record; the matching response carries a
+// status byte plus a body whose meaning depends on the status (JSON on
+// `kOk`, a human-readable reason otherwise). Clients may pipeline requests
+// on one connection; responses come back in request order.
+//
+// Framing is written against the FrameStream abstraction so the same
+// encode/decode code runs over real sockets (FdStream) and over in-memory
+// buffers in tests (StringStream) — the byte layout cannot drift between
+// the two.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace whoiscrf::serve {
+
+// Status byte of a response frame. The values are printable so a captured
+// frame is eyeballable in a hex dump.
+enum class Status : uint8_t {
+  kOk = 'O',        // body: parsed record as JSON (parse --format json)
+  kBusy = 'B',      // admission queue full or server draining; retry later
+  kDeadline = 'D',  // request sat in the queue past its deadline
+  kError = 'E',     // malformed/oversized request or parse failure
+};
+
+// Lower-case status name, used as the `status` metric label value.
+const char* StatusName(Status status);
+
+// Default cap on one frame's payload; guards server memory against a
+// hostile length prefix.
+inline constexpr size_t kDefaultMaxFrameBytes = 16 * 1024 * 1024;
+
+// Byte stream the framing runs over.
+class FrameStream {
+ public:
+  virtual ~FrameStream() = default;
+  // Reads exactly `n` bytes; false on EOF or error before `n` bytes.
+  virtual bool ReadExact(void* buf, size_t n) = 0;
+  // Writes all `n` bytes; false on error.
+  virtual bool WriteAll(const void* buf, size_t n) = 0;
+};
+
+// Stream over a connected socket / pipe fd. Does not own the fd.
+class FdStream final : public FrameStream {
+ public:
+  explicit FdStream(int fd) : fd_(fd) {}
+  bool ReadExact(void* buf, size_t n) override;
+  bool WriteAll(const void* buf, size_t n) override;
+
+ private:
+  int fd_;
+};
+
+// In-memory stream for tests and the in-process bench client: ReadExact
+// consumes `input`, WriteAll appends to `output`.
+class StringStream final : public FrameStream {
+ public:
+  explicit StringStream(std::string input = {}) : input_(std::move(input)) {}
+  bool ReadExact(void* buf, size_t n) override;
+  bool WriteAll(const void* buf, size_t n) override;
+
+  const std::string& output() const { return output_; }
+  // Remaining unread input bytes.
+  size_t remaining() const { return input_.size() - pos_; }
+
+ private:
+  std::string input_;
+  size_t pos_ = 0;
+  std::string output_;
+};
+
+// Outcome of reading one frame.
+enum class FrameRead {
+  kFrame,      // one complete frame read
+  kEof,        // clean end of stream (no bytes where a frame would start)
+  kTooLarge,   // length prefix exceeds max_bytes; payload NOT consumed
+  kTruncated,  // stream ended mid-frame
+};
+
+// Reads one request frame into `payload`. On kTooLarge the caller should
+// answer with Status::kError and close — the oversized payload is still on
+// the wire, so the stream cannot be resynchronized.
+FrameRead ReadFrame(FrameStream& in, std::string& payload, size_t max_bytes);
+
+// Writes one request frame.
+bool WriteFrame(FrameStream& out, std::string_view payload);
+
+// Writes one response frame (status byte + body).
+bool WriteResponse(FrameStream& out, Status status, std::string_view body);
+
+// Reads one response frame into (status, body).
+FrameRead ReadResponse(FrameStream& in, Status& status, std::string& body,
+                       size_t max_bytes);
+
+}  // namespace whoiscrf::serve

@@ -1,0 +1,302 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "whois/json_export.h"
+
+namespace whoiscrf::serve {
+
+namespace {
+
+size_t ResolveThreads(size_t threads) {
+  if (threads != 0) return threads;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+}  // namespace
+
+ParseService::ParseService(const whois::WhoisParser& parser,
+                           ParseServiceOptions options)
+    : parser_(parser),
+      options_(std::move(options)),
+      num_threads_(ResolveThreads(options_.threads)),
+      clock_(options_.clock != nullptr ? options_.clock : &real_clock_),
+      queue_(options_.queue_capacity) {
+  if (options_.cache_entries > 0) {
+    cache_ = std::make_unique<ResultCache>(options_.cache_entries);
+  }
+
+  auto& registry = obs::Registry::Global();
+  const auto status_counter = [&](const char* status) {
+    return registry.GetCounter("whoiscrf_serve_requests_total",
+                               "parse-service requests by final status",
+                               {{"status", status}});
+  };
+  metrics_.ok = status_counter("ok");
+  metrics_.busy = status_counter("busy");
+  metrics_.deadline = status_counter("deadline");
+  metrics_.error = status_counter("error");
+  metrics_.cache_hits = registry.GetCounter(
+      "whoiscrf_serve_cache_hits_total",
+      "requests answered from the result cache");
+  metrics_.cache_misses = registry.GetCounter(
+      "whoiscrf_serve_cache_misses_total",
+      "requests that had to be parsed (result cache miss)");
+  metrics_.cache_evictions = registry.GetCounter(
+      "whoiscrf_serve_cache_evictions_total",
+      "result-cache entries evicted to stay within capacity");
+  metrics_.queue_depth = registry.GetGauge(
+      "whoiscrf_serve_queue_depth",
+      "requests admitted but not yet picked up by a worker");
+  metrics_.cache_entries = registry.GetGauge(
+      "whoiscrf_serve_cache_entries", "result-cache entries currently held");
+  metrics_.cache_bytes = registry.GetGauge(
+      "whoiscrf_serve_cache_bytes",
+      "result-cache key+value payload bytes currently held");
+  metrics_.latency_us = registry.GetHistogram(
+      "whoiscrf_serve_request_latency_us",
+      "admission-to-response latency of admitted requests, microseconds",
+      {10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000,
+       100000});
+
+  pool_ = std::make_unique<util::ThreadPool>(num_threads_);
+  for (size_t i = 0; i < num_threads_; ++i) {
+    pool_->Post([this] { WorkerLoop(); });
+  }
+}
+
+ParseService::~ParseService() { Drain(); }
+
+std::future<ServeResult> ParseService::Submit(std::string record) {
+  Request req;
+  req.record = std::move(record);
+  req.start_us = obs::MonotonicMicros();
+  std::future<ServeResult> result = req.promise.get_future();
+
+  if (req.record.size() > options_.max_record_bytes) {
+    metrics_.error->Inc();
+    req.promise.set_value(
+        ServeResult{Status::kError, "record too large", false});
+    return result;
+  }
+  if (options_.deadline_ms != 0) {
+    req.deadline_ms = clock_->NowMs() + options_.deadline_ms;
+  }
+  // TryPush (not Push): a full queue must answer immediately, not block
+  // the acceptor — bounded queueing delay is the whole point of admission
+  // control. A closed queue (draining) fails the same way.
+  size_t depth = 0;
+  if (draining() || !queue_.TryPush(req, &depth)) {
+    metrics_.busy->Inc();
+    req.promise.set_value(ServeResult{Status::kBusy, "server busy", false});
+    return result;
+  }
+  metrics_.queue_depth->Set(static_cast<double>(depth));
+  return result;
+}
+
+ServeResult ParseService::Handle(std::string record) {
+  return Submit(std::move(record)).get();
+}
+
+void ParseService::WorkerLoop() {
+  whois::ParseWorkspace ws;
+  while (true) {
+    size_t depth = 0;
+    std::optional<Request> item = queue_.Pop(nullptr, &depth);
+    if (!item.has_value()) return;  // closed and drained
+    metrics_.queue_depth->Set(static_cast<double>(depth));
+    Request& req = *item;
+    obs::ScopedSpan span("serve.request");
+
+    if (req.deadline_ms != 0 && clock_->NowMs() > req.deadline_ms) {
+      Finish(req, Status::kDeadline, "deadline exceeded", false);
+      continue;
+    }
+    std::string body;
+    const size_t record_hash =
+        cache_ != nullptr ? ResultCache::Hash(req.record) : 0;
+    if (cache_ != nullptr && cache_->Get(req.record, record_hash, &body)) {
+      metrics_.cache_hits->Inc();
+      Finish(req, Status::kOk, std::move(body), true);
+      continue;
+    }
+    if (cache_ != nullptr) metrics_.cache_misses->Inc();
+    try {
+      const whois::ParsedWhois parsed =
+          options_.parse_override != nullptr
+              ? options_.parse_override(req.record, ws)
+              : parser_.Parse(req.record, ws);
+      body = whois::ToJson(parsed);
+    } catch (const std::exception& e) {
+      Finish(req, Status::kError, std::string("parse failed: ") + e.what(),
+             false);
+      continue;
+    }
+    if (cache_ != nullptr) {
+      // req.record is not needed past this point; move it in as the key.
+      const size_t evicted =
+          cache_->Put(std::move(req.record), record_hash, body);
+      if (evicted > 0) metrics_.cache_evictions->Inc(evicted);
+      metrics_.cache_entries->Set(static_cast<double>(cache_->entries()));
+      metrics_.cache_bytes->Set(static_cast<double>(cache_->bytes()));
+    }
+    Finish(req, Status::kOk, std::move(body), false);
+  }
+}
+
+void ParseService::Finish(Request& req, Status status, std::string body,
+                          bool cache_hit) {
+  metrics_.latency_us->Observe(
+      static_cast<double>(obs::MonotonicMicros() - req.start_us));
+  StatusCounter(status)->Inc();
+  req.promise.set_value(ServeResult{status, std::move(body), cache_hit});
+}
+
+obs::Counter* ParseService::StatusCounter(Status status) {
+  switch (status) {
+    case Status::kOk:
+      return metrics_.ok;
+    case Status::kBusy:
+      return metrics_.busy;
+    case Status::kDeadline:
+      return metrics_.deadline;
+    case Status::kError:
+      return metrics_.error;
+  }
+  return metrics_.error;
+}
+
+void ParseService::Drain() {
+  draining_.store(true, std::memory_order_relaxed);
+  // Close, not Cancel: already-admitted requests drain through the
+  // workers, so every accepted request still gets its answer.
+  queue_.Close();
+  std::lock_guard<std::mutex> lock(drain_mu_);
+  pool_.reset();  // joins the workers once the queue is empty
+  metrics_.queue_depth->Set(0.0);
+}
+
+// --- TCP front end --------------------------------------------------------
+
+ParseServer::ParseServer(const whois::WhoisParser& parser,
+                         ParseServerOptions options)
+    : options_(std::move(options)), service_(parser, options_.service) {
+  auto& registry = obs::Registry::Global();
+  connections_total_ = registry.GetCounter(
+      "whoiscrf_serve_connections_total", "TCP connections accepted");
+  active_connections_ = registry.GetGauge(
+      "whoiscrf_serve_active_connections", "TCP connections currently open");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("ParseServer: socket()");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("ParseServer: bind()");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  if (::listen(listen_fd_, 128) != 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("ParseServer: listen()");
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+ParseServer::~ParseServer() { Shutdown(); }
+
+void ParseServer::AcceptLoop() {
+  while (!stop_.load()) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (stop_.load()) return;
+      continue;
+    }
+    connections_total_->Inc();
+    active_connections_->Add(1.0);
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.insert(client);
+    conn_threads_.emplace_back(
+        [this, client] { ServeConnection(client); });
+  }
+}
+
+void ParseServer::ServeConnection(int client_fd) {
+  FdStream stream(client_fd);
+  std::string payload;
+  while (true) {
+    const FrameRead read = ReadFrame(stream, payload, options_.max_frame_bytes);
+    if (read == FrameRead::kTooLarge) {
+      // The oversized payload is still on the wire; answer and close
+      // rather than consume an attacker-chosen number of bytes.
+      WriteResponse(stream, Status::kError, "frame too large");
+      break;
+    }
+    if (read != FrameRead::kFrame) break;  // EOF or torn frame
+    const ServeResult result = service_.Handle(std::move(payload));
+    payload.clear();
+    if (!WriteResponse(stream, result.status, result.body)) break;
+  }
+  // Erase + close under the lock: Shutdown() walks conn_fds_ to shut down
+  // blocked readers, so an fd may only be closed (and its number recycled)
+  // while no such walk can be in flight.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.erase(client_fd);
+    ::shutdown(client_fd, SHUT_RDWR);
+    ::close(client_fd);
+  }
+  active_connections_->Add(-1.0);
+}
+
+void ParseServer::Shutdown() {
+  if (!stop_.exchange(true)) {
+    // Wake the accept loop with shutdown() only: the blocked (and any
+    // subsequent) accept() fails immediately, but the fd number stays
+    // reserved until after the join, so AcceptLoop never reads a closed —
+    // possibly recycled — fd and listen_fd_ is only written once the
+    // thread is gone.
+    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+    if (accept_thread_.joinable()) accept_thread_.join();
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+  }
+  // Every already-admitted request finishes and its response is written by
+  // the connection thread that is waiting on it.
+  service_.Drain();
+  // Unblock readers idling on their next frame; their threads then exit.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace whoiscrf::serve

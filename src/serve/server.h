@@ -1,0 +1,202 @@
+// Parse-as-a-service: the always-on counterpart of `whoiscrf parse`.
+//
+// ParseService is the transport-independent core: requests (raw WHOIS
+// record bytes) pass admission control — a util::BoundedQueue whose
+// capacity is the hard bound on queued work; a full queue fast-rejects
+// with Status::kBusy instead of queueing without bound — then a
+// util::ThreadPool of workers (one long-lived pop loop and one
+// whois::ParseWorkspace per worker) parses them and answers with the
+// record's JSON, byte-identical to the offline `parse --format json`
+// output. Around the hot path:
+//
+//   * a sharded LRU result cache keyed by record bytes (serve/cache.h):
+//     repeat requests skip the CRF entirely;
+//   * per-request deadlines on the net::Clock abstraction: a request that
+//     waited in the queue past its deadline is answered kDeadline without
+//     being parsed (SimClock makes this testable without real waiting);
+//   * graceful drain: Drain() stops admitting, lets every already-admitted
+//     request finish, and joins the workers — the SIGTERM path of
+//     `whoiscrf serve`;
+//   * whoiscrf_serve_* metrics and the serve.request trace span
+//     (docs/observability.md).
+//
+// ParseServer is the TCP front end: a loopback listener speaking the
+// length-prefixed framing of serve/protocol.h, one reader thread per
+// connection, requests handled synchronously so responses stay in request
+// order per connection while separate connections run concurrently.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "net/clock.h"
+#include "serve/cache.h"
+#include "serve/protocol.h"
+#include "util/bounded_queue.h"
+#include "util/thread_pool.h"
+#include "whois/whois_parser.h"
+
+namespace whoiscrf::obs {
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace whoiscrf::obs
+
+namespace whoiscrf::serve {
+
+struct ParseServiceOptions {
+  // Parse workers; 0 = hardware concurrency (min 1).
+  size_t threads = 0;
+  // Admitted-but-unstarted requests the queue may hold. Beyond this,
+  // Submit fast-rejects with Status::kBusy — the admission-control bound
+  // that keeps queueing delay (and memory) capped under overload.
+  size_t queue_capacity = 128;
+  // Result-cache capacity in entries; 0 disables the cache.
+  size_t cache_entries = 4096;
+  // A request not picked up by a worker within this budget (measured from
+  // admission on `clock`) is answered kDeadline without being parsed.
+  // 0 = no deadline.
+  uint64_t deadline_ms = 0;
+  // Requests larger than this are answered kError without being queued.
+  uint64_t max_record_bytes = kDefaultMaxFrameBytes;
+  // Deadline timebase; nullptr = an internal RealClock. Tests inject
+  // net::SimClock to exercise expiry without real waiting.
+  net::Clock* clock = nullptr;
+  // Test hook, mirrors StreamPipelineOptions::parse_override: replaces
+  // parser.Parse for each request. Production callers leave this unset.
+  std::function<whois::ParsedWhois(const std::string& record,
+                                   whois::ParseWorkspace& ws)>
+      parse_override = nullptr;
+};
+
+struct ServeResult {
+  Status status = Status::kError;
+  std::string body;        // JSON on kOk, reason otherwise
+  bool cache_hit = false;  // kOk answered from the result cache
+};
+
+class ParseService {
+ public:
+  ParseService(const whois::WhoisParser& parser,
+               ParseServiceOptions options = {});
+  ~ParseService();  // drains
+
+  ParseService(const ParseService&) = delete;
+  ParseService& operator=(const ParseService&) = delete;
+
+  // Admission-controlled asynchronous submit. The future always becomes
+  // ready: kBusy immediately when the queue is full or the service is
+  // draining, kError immediately when the record is oversized, otherwise
+  // whatever the worker answers (kOk / kDeadline / kError).
+  std::future<ServeResult> Submit(std::string record);
+
+  // Submit + wait; the synchronous path connection threads use.
+  ServeResult Handle(std::string record);
+
+  // Graceful drain: stop admitting (Submit answers kBusy), finish every
+  // already-admitted request, join the workers. Idempotent; also run by
+  // the destructor.
+  void Drain();
+
+  bool draining() const {
+    return draining_.load(std::memory_order_relaxed);
+  }
+  size_t threads() const { return num_threads_; }
+  size_t queue_depth() const { return queue_.Size(); }
+
+ private:
+  struct Request {
+    std::string record;
+    uint64_t deadline_ms = 0;  // absolute on clock_; 0 = none
+    uint64_t start_us = 0;     // admission time, steady clock
+    std::promise<ServeResult> promise;
+  };
+
+  void WorkerLoop();
+  void Finish(Request& req, Status status, std::string body, bool cache_hit);
+  obs::Counter* StatusCounter(Status status);
+
+  const whois::WhoisParser& parser_;
+  const ParseServiceOptions options_;
+  const size_t num_threads_;
+  net::RealClock real_clock_;
+  net::Clock* clock_;
+  std::unique_ptr<ResultCache> cache_;
+  util::BoundedQueue<Request> queue_;
+  std::atomic<bool> draining_{false};
+  std::mutex drain_mu_;  // serializes Drain callers around the pool join
+  std::unique_ptr<util::ThreadPool> pool_;
+
+  // Registry metrics, resolved once at construction
+  // (docs/observability.md "Serve").
+  struct Metrics {
+    obs::Counter* ok = nullptr;
+    obs::Counter* busy = nullptr;
+    obs::Counter* deadline = nullptr;
+    obs::Counter* error = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* cache_misses = nullptr;
+    obs::Counter* cache_evictions = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Gauge* cache_entries = nullptr;
+    obs::Gauge* cache_bytes = nullptr;
+    obs::Histogram* latency_us = nullptr;
+  };
+  Metrics metrics_;
+};
+
+struct ParseServerOptions {
+  ParseServiceOptions service;
+  // TCP port on 127.0.0.1; 0 = ephemeral (read the bound port back with
+  // port()).
+  uint16_t port = 0;
+  // Cap on one request frame; larger length prefixes draw kError and the
+  // connection closes (the payload cannot be skipped safely).
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+class ParseServer {
+ public:
+  // Binds 127.0.0.1 and starts accepting immediately. Throws
+  // std::runtime_error if the socket cannot be created/bound.
+  ParseServer(const whois::WhoisParser& parser, ParseServerOptions options);
+  ~ParseServer();
+
+  ParseServer(const ParseServer&) = delete;
+  ParseServer& operator=(const ParseServer&) = delete;
+
+  uint16_t port() const { return port_; }
+  ParseService& service() { return service_; }
+
+  // Graceful shutdown: stop accepting, drain the service (every admitted
+  // request is answered and written), then unblock idle connection readers
+  // and join their threads. Idempotent; also run by the destructor.
+  void Shutdown();
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int client_fd);
+
+  const ParseServerOptions options_;
+  ParseService service_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+  std::mutex conn_mu_;  // guards conn_fds_ and conn_threads_
+  std::unordered_set<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+
+  obs::Counter* connections_total_ = nullptr;
+  obs::Gauge* active_connections_ = nullptr;
+};
+
+}  // namespace whoiscrf::serve

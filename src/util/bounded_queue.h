@@ -52,11 +52,31 @@ class BoundedQueue {
     return true;
   }
 
+  // Non-blocking admission (the serve layer's fast-reject path): enqueues
+  // and returns true when the queue is open and below capacity; otherwise
+  // returns false immediately. On failure `item` is left untouched, so the
+  // caller can still use it to build a rejection response. When
+  // `size_after` is non-null it receives the queue size right after the
+  // push — readable for free under the lock already held, where a separate
+  // Size() call would pay another acquisition.
+  bool TryPush(T& item, size_t* size_after = nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+      if (size_after != nullptr) *size_after = items_.size();
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
   // Blocks while the queue is empty and still open. Returns the oldest
   // item, or nullopt once the queue is closed and drained (immediately if
   // cancelled). When `stalled_seconds` is non-null, the time spent blocked
-  // is added to it.
-  std::optional<T> Pop(double* stalled_seconds = nullptr) {
+  // is added to it; when `size_after` is non-null it receives the queue
+  // size right after the pop (see TryPush).
+  std::optional<T> Pop(double* stalled_seconds = nullptr,
+                       size_t* size_after = nullptr) {
     std::unique_lock<std::mutex> lock(mu_);
     if (items_.empty() && !closed_) {
       const auto t0 = Clock::now();
@@ -66,6 +86,7 @@ class BoundedQueue {
     if (items_.empty()) return std::nullopt;
     std::optional<T> item(std::move(items_.front()));
     items_.pop_front();
+    if (size_after != nullptr) *size_after = items_.size();
     lock.unlock();
     not_full_.notify_one();
     return item;

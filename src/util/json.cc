@@ -5,10 +5,22 @@
 
 namespace whoiscrf::util {
 
-std::string JsonWriter::Escape(std::string_view raw) {
-  std::string out;
-  out.reserve(raw.size() + 2);
-  for (unsigned char c : raw) {
+namespace {
+
+// True for the characters RFC 8259 requires escaping.
+inline bool NeedsEscape(unsigned char c) {
+  return c < 0x20 || c == '"' || c == '\\';
+}
+
+// Escapes `raw` directly onto `out`: clean runs are appended in bulk, so
+// the common all-clean string costs one append and no temporaries.
+void AppendEscapedTo(std::string& out, std::string_view raw) {
+  size_t run = 0;  // start of the current clean run
+  for (size_t i = 0; i < raw.size(); ++i) {
+    const unsigned char c = static_cast<unsigned char>(raw[i]);
+    if (!NeedsEscape(c)) continue;
+    out.append(raw, run, i - run);
+    run = i + 1;
     switch (c) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
@@ -17,16 +29,22 @@ std::string JsonWriter::Escape(std::string_view raw) {
       case '\t': out += "\\t"; break;
       case '\b': out += "\\b"; break;
       case '\f': out += "\\f"; break;
-      default:
-        if (c < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += static_cast<char>(c);
-        }
+      default: {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out += buf;
+      }
     }
   }
+  out.append(raw, run, raw.size() - run);
+}
+
+}  // namespace
+
+std::string JsonWriter::Escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  AppendEscapedTo(out, raw);
   return out;
 }
 
@@ -69,7 +87,7 @@ JsonWriter& JsonWriter::EndArray() {
 JsonWriter& JsonWriter::Key(std::string_view key) {
   MaybeComma();
   out_ += '"';
-  out_ += Escape(key);
+  AppendEscapedTo(out_, key);
   out_ += "\":";
   after_key_ = true;
   return *this;
@@ -78,7 +96,7 @@ JsonWriter& JsonWriter::Key(std::string_view key) {
 JsonWriter& JsonWriter::String(std::string_view value) {
   MaybeComma();
   out_ += '"';
-  out_ += Escape(value);
+  AppendEscapedTo(out_, value);
   out_ += '"';
   return *this;
 }

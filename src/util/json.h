@@ -11,6 +11,8 @@ namespace whoiscrf::util {
 
 class JsonWriter {
  public:
+  JsonWriter() { out_.reserve(256); }
+
   JsonWriter& BeginObject();
   JsonWriter& EndObject();
   JsonWriter& BeginArray();
@@ -30,6 +32,10 @@ class JsonWriter {
   JsonWriter& FieldIfNonEmpty(std::string_view key, std::string_view value);
 
   const std::string& str() const { return out_; }
+
+  // Hands the finished document to the caller without a copy; the writer
+  // is left empty and should not be reused.
+  std::string Release() { return std::move(out_); }
 
   static std::string Escape(std::string_view raw);
 

@@ -36,6 +36,12 @@ class ThreadPool {
       size_t n,
       const std::function<void(size_t, size_t, size_t)>& fn);
 
+  // Enqueues one task for any worker to run, fire-and-forget (no wait
+  // handle; the destructor still drains queued tasks before joining).
+  // Long-running service loops (src/serve posts one pop-loop per worker)
+  // use this; ParallelFor/ParallelChunks remain the fork-join interface.
+  void Post(std::function<void()> task) { Submit(std::move(task)); }
+
  private:
   void Submit(std::function<void()> task);
   void WorkerLoop();

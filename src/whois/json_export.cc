@@ -59,7 +59,7 @@ std::string ToJson(const ParsedWhois& parsed) {
   }
   json.Key("parseLogProb").Double(parsed.log_prob);
   json.EndObject();
-  return json.str();
+  return json.Release();
 }
 
 std::string ToRdapJson(const ParsedWhois& parsed) {
@@ -118,7 +118,7 @@ std::string ToRdapJson(const ParsedWhois& parsed) {
   json.EndArray();
 
   json.EndObject();
-  return json.str();
+  return json.Release();
 }
 
 }  // namespace whoiscrf::whois

@@ -1,0 +1,478 @@
+// Parse service: framing round trips, result-cache byte-identity with the
+// offline parse path, admission control (busy fast-reject), deadline expiry
+// under simulated time, graceful drain, and the TCP front end.
+//
+// Like test_stream_pipeline.cc, run these in a -DWHOISCRF_TSAN=ON build
+// tree: the queue hand-offs, drain/shutdown joins, and cache sharding are
+// exactly the kind of code ThreadSanitizer exists for.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/corpus_gen.h"
+#include "net/clock.h"
+#include "obs/metrics.h"
+#include "serve/cache.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "whois/json_export.h"
+#include "whois/whois_parser.h"
+
+namespace whoiscrf::serve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Framing protocol
+
+TEST(ServeProtocolTest, RequestFrameRoundTrip) {
+  for (const std::string& payload :
+       {std::string(), std::string("Domain Name: A.COM\n"),
+        std::string(300, 'x'), std::string("\0\x01\xff binary \n", 12)}) {
+    StringStream out;
+    ASSERT_TRUE(WriteFrame(out, payload));
+    StringStream in(out.output());
+    std::string read_back;
+    EXPECT_EQ(ReadFrame(in, read_back, kDefaultMaxFrameBytes),
+              FrameRead::kFrame);
+    EXPECT_EQ(read_back, payload);
+    EXPECT_EQ(in.remaining(), 0u);
+  }
+}
+
+TEST(ServeProtocolTest, ResponseFrameRoundTrip) {
+  for (const Status status :
+       {Status::kOk, Status::kBusy, Status::kDeadline, Status::kError}) {
+    StringStream out;
+    ASSERT_TRUE(WriteResponse(out, status, "{\"a\":1}"));
+    StringStream in(out.output());
+    Status got = Status::kOk;
+    std::string body;
+    EXPECT_EQ(ReadResponse(in, got, body, kDefaultMaxFrameBytes),
+              FrameRead::kFrame);
+    EXPECT_EQ(got, status);
+    EXPECT_EQ(body, "{\"a\":1}");
+  }
+}
+
+TEST(ServeProtocolTest, PipelinedFramesReadInOrder) {
+  StringStream out;
+  ASSERT_TRUE(WriteFrame(out, "first"));
+  ASSERT_TRUE(WriteFrame(out, "second"));
+  StringStream in(out.output());
+  std::string payload;
+  EXPECT_EQ(ReadFrame(in, payload, 1 << 10), FrameRead::kFrame);
+  EXPECT_EQ(payload, "first");
+  EXPECT_EQ(ReadFrame(in, payload, 1 << 10), FrameRead::kFrame);
+  EXPECT_EQ(payload, "second");
+  EXPECT_EQ(ReadFrame(in, payload, 1 << 10), FrameRead::kEof);
+}
+
+TEST(ServeProtocolTest, EofTruncationAndOversizeAreDistinguished) {
+  std::string payload;
+  StringStream empty;
+  EXPECT_EQ(ReadFrame(empty, payload, 1 << 10), FrameRead::kEof);
+
+  StringStream torn_prefix(std::string("\x05\x00", 2));
+  EXPECT_EQ(ReadFrame(torn_prefix, payload, 1 << 10), FrameRead::kTruncated);
+
+  StringStream torn_body(std::string("\x05\x00\x00\x00", 4) + "ab");
+  EXPECT_EQ(ReadFrame(torn_body, payload, 1 << 10), FrameRead::kTruncated);
+
+  StringStream framed;
+  ASSERT_TRUE(WriteFrame(framed, std::string(100, 'x')));
+  StringStream in(framed.output());
+  EXPECT_EQ(ReadFrame(in, payload, 10), FrameRead::kTooLarge);
+
+  // A response frame must carry at least the status byte.
+  StringStream statusless(std::string("\x00\x00\x00\x00", 4));
+  Status status = Status::kOk;
+  EXPECT_EQ(ReadResponse(statusless, status, payload, 1 << 10),
+            FrameRead::kTruncated);
+}
+
+// ---------------------------------------------------------------------------
+// Result cache
+
+TEST(ServeCacheTest, HitReturnsExactBytesAndMissFails) {
+  ResultCache cache(/*max_entries=*/8, /*shards=*/1);
+  EXPECT_EQ(cache.Put("key-a", "{\"a\":1}"), 0u);
+  std::string value;
+  ASSERT_TRUE(cache.Get("key-a", &value));
+  EXPECT_EQ(value, "{\"a\":1}");
+  EXPECT_FALSE(cache.Get("key-b", &value));
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(ServeCacheTest, EvictsLeastRecentlyUsedWithinCapacity) {
+  ResultCache cache(/*max_entries=*/2, /*shards=*/1);
+  cache.Put("a", "1");
+  cache.Put("b", "2");
+  std::string value;
+  ASSERT_TRUE(cache.Get("a", &value));  // refresh a: b is now the oldest
+  EXPECT_EQ(cache.Put("c", "3"), 1u);
+  EXPECT_FALSE(cache.Get("b", &value));
+  EXPECT_TRUE(cache.Get("a", &value));
+  EXPECT_TRUE(cache.Get("c", &value));
+  EXPECT_EQ(cache.entries(), 2u);
+}
+
+TEST(ServeCacheTest, BytesTrackInsertOverwriteAndEviction) {
+  ResultCache cache(/*max_entries=*/2, /*shards=*/1);
+  cache.Put("aa", "1111");  // 6 bytes
+  EXPECT_EQ(cache.bytes(), 6u);
+  cache.Put("aa", "22");  // overwrite: 4 bytes, no eviction
+  EXPECT_EQ(cache.bytes(), 4u);
+  cache.Put("bb", "3333");    // 4 + 6
+  EXPECT_EQ(cache.Put("cc", "4"), 1u);  // evicts aa (oldest)
+  EXPECT_EQ(cache.bytes(), 9u);         // bb(6) + cc(3)
+  EXPECT_EQ(cache.entries(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// ParseService
+
+// Blocks parse workers inside parse_override until opened, so tests can
+// saturate the queue / advance the clock at a known pipeline state.
+class Gate {
+ public:
+  whois::ParsedWhois Enter() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++entered_;
+    cv_.notify_all();
+    cv_.wait(lock, [&] { return open_; });
+    return whois::ParsedWhois{};
+  }
+  void AwaitEntered(int n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return entered_ >= n; });
+  }
+  void Open() {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int entered_ = 0;
+  bool open_ = false;
+};
+
+class ServeServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    datagen::CorpusOptions options;
+    options.size = 200;
+    options.seed = 42;
+    generator_ = new datagen::CorpusGenerator(options);
+    std::vector<whois::LabeledRecord> train;
+    for (size_t i = 0; i < 120; ++i) {
+      train.push_back(generator_->Generate(i).thick);
+    }
+    parser_ = new whois::WhoisParser(whois::WhoisParser::Train(train));
+  }
+  static void TearDownTestSuite() {
+    delete parser_;
+    delete generator_;
+    parser_ = nullptr;
+    generator_ = nullptr;
+  }
+
+  static std::string Record(size_t i) {
+    return generator_->Generate(120 + i).thick.text;
+  }
+  static std::string OfflineJson(const std::string& record) {
+    return whois::ToJson(parser_->Parse(record));
+  }
+  static uint64_t CounterNow(const char* name, const obs::Labels& labels = {}) {
+    return obs::Registry::Global().CounterValue(name, labels);
+  }
+
+  static whois::WhoisParser* parser_;
+  static datagen::CorpusGenerator* generator_;
+};
+
+whois::WhoisParser* ServeServiceTest::parser_ = nullptr;
+datagen::CorpusGenerator* ServeServiceTest::generator_ = nullptr;
+
+TEST_F(ServeServiceTest, ServedJsonIsByteIdenticalToOfflineParse) {
+  ParseServiceOptions options;
+  options.threads = 2;
+  ParseService service(*parser_, options);
+  for (size_t i = 0; i < 20; ++i) {
+    const std::string record = Record(i);
+    const ServeResult result = service.Handle(record);
+    ASSERT_EQ(result.status, Status::kOk);
+    EXPECT_EQ(result.body, OfflineJson(record)) << "record " << i;
+  }
+}
+
+TEST_F(ServeServiceTest, EmptyRecordServesLikeOfflineParse) {
+  ParseService service(*parser_, {});
+  const ServeResult result = service.Handle("");
+  ASSERT_EQ(result.status, Status::kOk);
+  EXPECT_EQ(result.body, OfflineJson(""));
+}
+
+TEST_F(ServeServiceTest, CacheHitServesIdenticalBytesAndCounts) {
+  ParseServiceOptions options;
+  options.threads = 1;
+  ParseService service(*parser_, options);
+  const std::string record = Record(0);
+  const uint64_t hits_before = CounterNow("whoiscrf_serve_cache_hits_total");
+  const uint64_t misses_before =
+      CounterNow("whoiscrf_serve_cache_misses_total");
+
+  const ServeResult cold = service.Handle(record);
+  ASSERT_EQ(cold.status, Status::kOk);
+  EXPECT_FALSE(cold.cache_hit);
+
+  const ServeResult warm = service.Handle(record);
+  ASSERT_EQ(warm.status, Status::kOk);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(warm.body, cold.body);
+  EXPECT_EQ(warm.body, OfflineJson(record));
+
+  EXPECT_EQ(CounterNow("whoiscrf_serve_cache_hits_total"), hits_before + 1);
+  EXPECT_EQ(CounterNow("whoiscrf_serve_cache_misses_total"),
+            misses_before + 1);
+}
+
+TEST_F(ServeServiceTest, DisabledCacheNeverHits) {
+  ParseServiceOptions options;
+  options.threads = 1;
+  options.cache_entries = 0;
+  ParseService service(*parser_, options);
+  const std::string record = Record(1);
+  const std::string body = service.Handle(record).body;
+  const ServeResult again = service.Handle(record);
+  EXPECT_FALSE(again.cache_hit);
+  EXPECT_EQ(again.body, body);  // still deterministic, just re-parsed
+}
+
+TEST_F(ServeServiceTest, SaturatedQueueFastRejectsBusy) {
+  Gate gate;
+  ParseServiceOptions options;
+  options.threads = 1;
+  options.queue_capacity = 1;
+  options.cache_entries = 0;
+  options.parse_override = [&](const std::string&, whois::ParseWorkspace&) {
+    return gate.Enter();
+  };
+  ParseService service(*parser_, options);
+  const uint64_t busy_before = CounterNow("whoiscrf_serve_requests_total",
+                                          {{"status", "busy"}});
+
+  std::future<ServeResult> in_flight = service.Submit(Record(0));
+  gate.AwaitEntered(1);  // the worker holds request A; the queue is empty
+  std::future<ServeResult> queued = service.Submit(Record(1));
+  // Queue full: the reject must be immediate (the future is already ready),
+  // not blocked behind the stuck worker.
+  std::future<ServeResult> rejected = service.Submit(Record(2));
+  ASSERT_EQ(rejected.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(rejected.get().status, Status::kBusy);
+  EXPECT_EQ(CounterNow("whoiscrf_serve_requests_total", {{"status", "busy"}}),
+            busy_before + 1);
+
+  gate.Open();
+  EXPECT_EQ(in_flight.get().status, Status::kOk);
+  EXPECT_EQ(queued.get().status, Status::kOk);
+}
+
+TEST_F(ServeServiceTest, QueuedRequestPastDeadlineExpiresUnderSimClock) {
+  Gate gate;
+  net::SimClock clock;
+  ParseServiceOptions options;
+  options.threads = 1;
+  options.queue_capacity = 4;
+  options.cache_entries = 0;
+  options.deadline_ms = 50;
+  options.clock = &clock;
+  options.parse_override = [&](const std::string&, whois::ParseWorkspace&) {
+    return gate.Enter();
+  };
+  ParseService service(*parser_, options);
+
+  // A is picked up at t=0 (inside its deadline) and parks in the gate.
+  std::future<ServeResult> a = service.Submit(Record(0));
+  gate.AwaitEntered(1);
+  // B is admitted at t=0 with deadline t=50, then time passes while it
+  // waits in the queue.
+  std::future<ServeResult> b = service.Submit(Record(1));
+  clock.Advance(100);
+  gate.Open();
+
+  EXPECT_EQ(a.get().status, Status::kOk);
+  const ServeResult expired = b.get();
+  EXPECT_EQ(expired.status, Status::kDeadline);
+  EXPECT_EQ(expired.body, "deadline exceeded");
+  EXPECT_GE(CounterNow("whoiscrf_serve_requests_total",
+                       {{"status", "deadline"}}),
+            1u);
+}
+
+TEST_F(ServeServiceTest, GracefulDrainCompletesAdmittedRequests) {
+  Gate gate;
+  ParseServiceOptions options;
+  options.threads = 1;
+  options.queue_capacity = 4;
+  options.cache_entries = 0;
+  options.parse_override = [&](const std::string&, whois::ParseWorkspace&) {
+    return gate.Enter();
+  };
+  ParseService service(*parser_, options);
+
+  std::future<ServeResult> in_flight = service.Submit(Record(0));
+  gate.AwaitEntered(1);
+  std::future<ServeResult> queued_a = service.Submit(Record(1));
+  std::future<ServeResult> queued_b = service.Submit(Record(2));
+
+  std::thread drainer([&] { service.Drain(); });
+  while (!service.draining()) std::this_thread::yield();
+  // New work is refused the moment the drain starts...
+  EXPECT_EQ(service.Submit(Record(3)).get().status, Status::kBusy);
+
+  gate.Open();
+  drainer.join();
+  // ...but everything admitted before the drain still completed.
+  EXPECT_EQ(in_flight.get().status, Status::kOk);
+  EXPECT_EQ(queued_a.get().status, Status::kOk);
+  EXPECT_EQ(queued_b.get().status, Status::kOk);
+  EXPECT_EQ(service.Handle(Record(4)).status, Status::kBusy);
+}
+
+TEST_F(ServeServiceTest, OversizedRecordAnswersErrorWithoutQueueing) {
+  ParseServiceOptions options;
+  options.threads = 1;
+  options.max_record_bytes = 8;
+  ParseService service(*parser_, options);
+  const ServeResult result = service.Handle(std::string(64, 'x'));
+  EXPECT_EQ(result.status, Status::kError);
+  EXPECT_EQ(result.body, "record too large");
+}
+
+TEST_F(ServeServiceTest, ParseFailureAnswersErrorAndServiceSurvives) {
+  ParseServiceOptions options;
+  options.threads = 1;
+  options.cache_entries = 0;
+  options.parse_override =
+      [](const std::string& record,
+         whois::ParseWorkspace& ws) -> whois::ParsedWhois {
+    if (record == "poison") throw std::runtime_error("boom");
+    return ServeServiceTest::parser_->Parse(record, ws);
+  };
+  ParseService service(*parser_, options);
+  const ServeResult bad = service.Handle("poison");
+  EXPECT_EQ(bad.status, Status::kError);
+  EXPECT_NE(bad.body.find("parse failed"), std::string::npos);
+  // The worker survives a throwing parse and keeps serving.
+  const std::string record = Record(5);
+  const ServeResult good = service.Handle(record);
+  ASSERT_EQ(good.status, Status::kOk);
+  EXPECT_EQ(good.body, OfflineJson(record));
+}
+
+// ---------------------------------------------------------------------------
+// TCP front end
+
+class ServeTcpTest : public ServeServiceTest {
+ protected:
+  static int Connect(uint16_t port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    EXPECT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    return fd;
+  }
+};
+
+TEST_F(ServeTcpTest, RoundTripAndPipeliningMatchOfflineParse) {
+  ParseServerOptions options;
+  options.service.threads = 2;
+  ParseServer server(*parser_, options);
+
+  const int fd = Connect(server.port());
+  FdStream stream(fd);
+  const std::string r0 = Record(0);
+  const std::string r1 = Record(1);
+  // Pipelined: both requests on the wire before the first response is read.
+  ASSERT_TRUE(WriteFrame(stream, r0));
+  ASSERT_TRUE(WriteFrame(stream, r1));
+  Status status = Status::kError;
+  std::string body;
+  ASSERT_EQ(ReadResponse(stream, status, body, kDefaultMaxFrameBytes),
+            FrameRead::kFrame);
+  EXPECT_EQ(status, Status::kOk);
+  EXPECT_EQ(body, OfflineJson(r0));
+  ASSERT_EQ(ReadResponse(stream, status, body, kDefaultMaxFrameBytes),
+            FrameRead::kFrame);
+  EXPECT_EQ(status, Status::kOk);
+  EXPECT_EQ(body, OfflineJson(r1));
+  ::close(fd);
+  server.Shutdown();
+}
+
+TEST_F(ServeTcpTest, OversizedFrameDrawsErrorAndClosesConnection) {
+  ParseServerOptions options;
+  options.service.threads = 1;
+  options.max_frame_bytes = 64;
+  ParseServer server(*parser_, options);
+
+  const int fd = Connect(server.port());
+  FdStream stream(fd);
+  ASSERT_TRUE(WriteFrame(stream, std::string(1024, 'x')));
+  Status status = Status::kOk;
+  std::string body;
+  ASSERT_EQ(ReadResponse(stream, status, body, kDefaultMaxFrameBytes),
+            FrameRead::kFrame);
+  EXPECT_EQ(status, Status::kError);
+  EXPECT_EQ(body, "frame too large");
+  // The server closed: the next read sees EOF.
+  EXPECT_EQ(ReadResponse(stream, status, body, kDefaultMaxFrameBytes),
+            FrameRead::kEof);
+  ::close(fd);
+}
+
+TEST_F(ServeTcpTest, ShutdownUnblocksIdleConnections) {
+  ParseServerOptions options;
+  options.service.threads = 1;
+  auto server = std::make_unique<ParseServer>(*parser_, options);
+
+  const int fd = Connect(server->port());
+  FdStream stream(fd);
+  const std::string record = Record(2);
+  ASSERT_TRUE(WriteFrame(stream, record));
+  Status status = Status::kError;
+  std::string body;
+  ASSERT_EQ(ReadResponse(stream, status, body, kDefaultMaxFrameBytes),
+            FrameRead::kFrame);
+  EXPECT_EQ(body, OfflineJson(record));
+
+  // The connection now idles waiting for its next frame; Shutdown must not
+  // hang on it, and the client sees a clean close.
+  server->Shutdown();
+  EXPECT_EQ(ReadResponse(stream, status, body, kDefaultMaxFrameBytes),
+            FrameRead::kEof);
+  ::close(fd);
+  server.reset();
+}
+
+}  // namespace
+}  // namespace whoiscrf::serve
