@@ -1,0 +1,220 @@
+// Text hot-path microbenchmarks: bytes/sec of the four scan-heavy kernels
+// (record line splitting, separator detection, tokenizer attribute
+// extraction, JSON escaping) at every byte-scan tier the machine supports
+// (scalar / SWAR / SIMD, pinned with util::scan::ForceMode). The per-tier
+// rows show what the dispatch actually buys; the scalar row is the
+// portable floor a -DWHOISCRF_DISABLE_SIMD build would see everywhere.
+// Writes BENCH_micro_text.json (override the path with WHOISCRF_BENCH_OUT).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_common.h"
+#include "text/line_splitter.h"
+#include "text/separator.h"
+#include "text/tokenizer.h"
+#include "util/byte_scan.h"
+#include "util/env.h"
+#include "util/json.h"
+
+namespace whoiscrf::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+int BenchPasses() {
+  static const int passes = [] {
+    const char* e = std::getenv("WHOISCRF_BENCH_PASSES");
+    const int n = e != nullptr ? std::atoi(e) : 3;
+    return n > 0 ? n : 1;
+  }();
+  return passes;
+}
+
+// Sink that folds every attribute into a checksum so the optimizer cannot
+// discard the tokenizer's work.
+class ChecksumSink final : public text::AttrSink {
+ public:
+  void OnAttr(std::string_view attr, bool transition) override {
+    for (const char c : attr) sum += static_cast<unsigned char>(c);
+    sum += transition ? 1 : 0;
+  }
+  size_t sum = 0;
+};
+
+struct KernelResult {
+  std::string kernel;
+  std::string mode;
+  double bytes_per_sec = 0.0;
+  size_t checksum = 0;  // must agree across tiers for the same kernel
+};
+
+// Runs `fn` (which scans `bytes` bytes of input and returns a checksum)
+// BenchPasses() times and keeps the fastest pass, like the throughput bench:
+// the workload is deterministic, so the minimum is the pass least disturbed
+// by other tenants of the machine.
+template <typename Fn>
+KernelResult MeasureKernel(const char* kernel, util::scan::Mode mode,
+                           size_t bytes, Fn&& fn) {
+  KernelResult r;
+  r.kernel = kernel;
+  r.mode = std::string(util::scan::ModeName(mode));
+  double best = 0.0;
+  for (int p = 0; p < BenchPasses(); ++p) {
+    const auto start = Clock::now();
+    r.checksum = fn();
+    const double seconds = SecondsSince(start);
+    if (p == 0 || seconds < best) best = seconds;
+  }
+  r.bytes_per_sec = best > 0.0 ? static_cast<double>(bytes) / best : 0.0;
+  return r;
+}
+
+int Main() {
+  const size_t record_count = util::Scaled(2000, 400);
+
+  PrintHeader("micro_text", "bytes/sec per scan kernel, by byte-scan tier");
+
+  const auto generator = MakeEvalGenerator(record_count);
+  std::vector<std::string> records;
+  records.reserve(record_count);
+  size_t record_bytes = 0;
+  for (size_t i = 0; i < record_count; ++i) {
+    records.push_back(generator.Generate(i).thick.text);
+    record_bytes += records.back().size();
+  }
+
+  // The per-line kernels run over the labeled lines of the same records so
+  // every tier sees identical, realistic input (titles, values, %% frames).
+  std::vector<std::string> lines;
+  size_t line_bytes = 0;
+  for (const std::string& r : records) {
+    for (const text::Line& line : text::SplitRecord(r)) {
+      lines.push_back(line.text);
+      line_bytes += line.text.size();
+    }
+  }
+
+  std::vector<util::scan::Mode> modes = {util::scan::Mode::kScalar};
+  if (util::scan::BestSupportedMode() >= util::scan::Mode::kSwar) {
+    modes.push_back(util::scan::Mode::kSwar);
+  }
+  if (util::scan::BestSupportedMode() >= util::scan::Mode::kSimd) {
+    modes.push_back(util::scan::Mode::kSimd);
+  }
+
+  const text::Tokenizer tokenizer;
+  std::vector<KernelResult> results;
+  for (const util::scan::Mode mode : modes) {
+    util::scan::ForceMode(mode);
+
+    std::vector<text::Line> split_out;
+    results.push_back(MeasureKernel("split_record", mode, record_bytes, [&] {
+      size_t n = 0;
+      for (const std::string& r : records) {
+        text::SplitRecordInto(r, split_out);
+        n += split_out.size();
+      }
+      return n;
+    }));
+
+    results.push_back(MeasureKernel("find_separator", mode, line_bytes, [&] {
+      size_t n = 0;
+      for (const std::string& line : lines) {
+        if (const auto split = text::FindSeparator(line)) {
+          n += split->title.size() + split->value.size();
+        }
+      }
+      return n;
+    }));
+
+    results.push_back(MeasureKernel("tokenize", mode, line_bytes, [&] {
+      ChecksumSink sink;
+      text::TokenScratch scratch;
+      text::Line line;
+      for (size_t i = 0; i < lines.size(); ++i) {
+        line.text = lines[i];
+        line.index = static_cast<int>(i);
+        tokenizer.ExtractTo(line, sink, scratch);
+      }
+      return sink.sum;
+    }));
+
+    results.push_back(MeasureKernel("json_escape", mode, line_bytes, [&] {
+      size_t n = 0;
+      for (const std::string& line : lines) {
+        n += util::JsonWriter::Escape(line).size();
+      }
+      return n;
+    }));
+  }
+  util::scan::ClearForcedMode();
+
+  std::printf("records: %zu (%.1f MiB)   lines: %zu (%.1f MiB)   tiers:",
+              records.size(), static_cast<double>(record_bytes) / (1 << 20),
+              lines.size(), static_cast<double>(line_bytes) / (1 << 20));
+  for (const util::scan::Mode mode : modes) {
+    std::printf(" %s", std::string(util::scan::ModeName(mode)).c_str());
+  }
+  std::printf("\n\n%-16s %-8s %14s %12s\n", "kernel", "tier", "MiB/s",
+              "vs scalar");
+
+  // Per-kernel scalar baselines for the vs-scalar column, and a cross-tier
+  // checksum gate: every tier must do exactly the same logical work.
+  bool checksums_match = true;
+  for (const KernelResult& r : results) {
+    double scalar_bps = 0.0;
+    for (const KernelResult& s : results) {
+      if (s.kernel == r.kernel && s.mode == "scalar") {
+        scalar_bps = s.bytes_per_sec;
+        checksums_match = checksums_match && s.checksum == r.checksum;
+      }
+    }
+    std::printf("%-16s %-8s %14.1f %11.2fx\n", r.kernel.c_str(),
+                r.mode.c_str(), r.bytes_per_sec / (1 << 20),
+                scalar_bps > 0.0 ? r.bytes_per_sec / scalar_bps : 0.0);
+  }
+  if (!checksums_match) {
+    std::printf("\nWARNING: kernel checksums differ across tiers\n");
+  }
+
+  const char* out_env = std::getenv("WHOISCRF_BENCH_OUT");
+  const std::string out_path =
+      out_env != nullptr ? out_env : "BENCH_micro_text.json";
+  std::ofstream os(out_path);
+  os << "{\n";
+  os << "  \"bench\": \"micro_text\",\n";
+  os << "  \"records\": " << records.size() << ",\n";
+  os << "  \"record_bytes\": " << record_bytes << ",\n";
+  os << "  \"lines\": " << lines.size() << ",\n";
+  os << "  \"line_bytes\": " << line_bytes << ",\n";
+  os << "  \"passes\": " << BenchPasses() << ",\n";
+  os << "  \"best_supported_mode\": \""
+     << util::scan::ModeName(util::scan::BestSupportedMode()) << "\",\n";
+  os << "  \"checksums_match\": " << (checksums_match ? "true" : "false")
+     << ",\n";
+  os << "  \"kernels\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    os << "    {\"kernel\": \"" << results[i].kernel << "\", \"mode\": \""
+       << results[i].mode << "\", \"bytes_per_sec\": "
+       << results[i].bytes_per_sec << "}"
+       << (i + 1 < results.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n";
+  os << "}\n";
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace whoiscrf::bench
+
+int main() { return whoiscrf::bench::Main(); }

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Perf-regression guard: compares a BENCH_parse_throughput.json artifact
+against the checked-in floors in bench/bench_floor.json and fails when a
+reading regresses more than the configured tolerance below a floor.
+
+    python3 scripts/check_bench_floor.py BENCH_parse_throughput.json \
+        [bench/bench_floor.json]
+
+Run by the bench-smoke CI job after the smoke suite, so a change that
+quietly degenerates the fast path (or breaks its bit-identity with the
+naive parser) fails CI instead of only shifting a number nobody reads.
+
+Checks, in order:
+  * checksums_match must be true — the fast path must stay bit-identical
+    to the naive parser; an approximate "speedup" is a correctness bug.
+  * fast_rps >= fast_rps_floor * (1 - tolerance) — absolute catastrophic
+    floor; conservative because smoke runs are single-pass on shared
+    runners.
+  * fast_vs_naive_speedup >= fast_vs_naive_speedup_floor * (1 - tolerance)
+    — the load-independent guard: both sides of the ratio come from the
+    same run, so a slow machine cancels out and only a real regression of
+    the fast path relative to the naive loop trips it.
+"""
+import json
+import pathlib
+import sys
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    bench_path = pathlib.Path(argv[1])
+    floor_path = pathlib.Path(
+        argv[2]
+        if len(argv) == 3
+        else pathlib.Path(__file__).resolve().parent.parent
+        / "bench"
+        / "bench_floor.json"
+    )
+    bench = json.loads(bench_path.read_text())
+    floors = json.loads(floor_path.read_text())
+    tolerance = float(floors["tolerance"])
+
+    failures: list[str] = []
+    if bench.get("checksums_match") is not True:
+        failures.append(
+            "checksums_match is not true: the fast path no longer "
+            "reproduces the naive parser bit-for-bit"
+        )
+
+    def check(metric: str, floor_key: str) -> None:
+        value = float(bench[metric])
+        floor = float(floors[floor_key])
+        cutoff = floor * (1.0 - tolerance)
+        verdict = "ok" if value >= cutoff else "FAIL"
+        print(
+            f"{metric}: {value:.2f} (floor {floor:.2f}, "
+            f"cutoff {cutoff:.2f}) {verdict}"
+        )
+        if value < cutoff:
+            failures.append(
+                f"{metric} {value:.2f} is below cutoff {cutoff:.2f} "
+                f"(floor {floor:.2f} - {tolerance:.0%} tolerance)"
+            )
+
+    check("fast_rps", "fast_rps_floor")
+    check("fast_vs_naive_speedup", "fast_vs_naive_speedup_floor")
+
+    if failures:
+        print("\nbench floor check FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("bench floor check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -31,7 +31,7 @@ void PrintUsage() {
                "json|rdap|fields|labels] [--threads N]\n"
                "          [--stream] [--store-out PREFIX] [--resume]\n"
                "          [--checkpoint-interval N] [--watchdog-ms MS]\n"
-               "          [--max-record-bytes N]\n"
+               "          [--max-record-bytes N] [--beam K]\n"
                "  adapt   --model FILE --data FILE --out FILE\n"
                "  eval    --model FILE --data FILE [--confusion]\n"
                "  select  --model FILE --in FILE [--k N]\n"

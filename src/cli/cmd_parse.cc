@@ -69,6 +69,10 @@ int CmdParse(util::FlagParser& flags) {
   const size_t threads =
       static_cast<size_t>(flags.GetInt("threads", 0));  // 0 = hardware
   const bool stream = flags.GetBool("stream");
+  // --beam K: opt-in beam-pruned Viterbi (K highest-scoring predecessor
+  // states per step, restricted to transitions observed in training).
+  // 0 (the default) is exact decoding. In-memory mode only.
+  const int beam = flags.GetInt("beam", 0);
   const bool resume = flags.GetBool("resume");
   const auto checkpoint_interval =
       static_cast<uint64_t>(flags.GetInt("checkpoint-interval", 4096));
@@ -82,6 +86,14 @@ int CmdParse(util::FlagParser& flags) {
   }
   if (!KnownFormat(format)) {
     std::fprintf(stderr, "parse: unknown --format '%s'\n", format.c_str());
+    return 2;
+  }
+  if (beam < 0) {
+    std::fprintf(stderr, "parse: --beam must be >= 0\n");
+    return 2;
+  }
+  if (beam > 0 && stream) {
+    std::fprintf(stderr, "parse: --beam is not supported with --stream\n");
     return 2;
   }
   const whois::WhoisParser parser = whois::WhoisParser::LoadFile(model_path);
@@ -160,7 +172,7 @@ int CmdParse(util::FlagParser& flags) {
   }
   util::ThreadPool pool(threads);
   const std::vector<whois::ParsedWhois> parses =
-      parser.ParseBatch(records, pool);
+      parser.ParseBatch(records, pool, beam);
 
   for (size_t r = 0; r < records.size(); ++r) {
     if (store_writer) store_writer->Append(records[r]);

@@ -33,7 +33,7 @@ void Forward(const CrfModel::Scores& s, std::vector<double>& alpha,
   scratch.resize(static_cast<size_t>(L));
   for (int t = 1; t < T; ++t) {
     const double* alpha_prev = &alpha[static_cast<size_t>(t - 1) * L];
-    const double* pair_t = &s.pairwise[static_cast<size_t>(t) * L * L];
+    const double* pair_t = s.PairRow(t);
     double* alpha_t = &alpha[static_cast<size_t>(t) * L];
     for (int j = 0; j < L; ++j) {
       for (int i = 0; i < L; ++i) {
@@ -54,7 +54,7 @@ void Backward(const CrfModel::Scores& s, std::vector<double>& beta,
   scratch.assign(static_cast<size_t>(L), 0.0);
   for (int t = T - 2; t >= 0; --t) {
     const double* beta_next = &beta[static_cast<size_t>(t + 1) * L];
-    const double* pair_next = &s.pairwise[static_cast<size_t>(t + 1) * L * L];
+    const double* pair_next = s.PairRow(t + 1);
     double* beta_t = &beta[static_cast<size_t>(t) * L];
     for (int i = 0; i < L; ++i) {
       for (int j = 0; j < L; ++j) {
@@ -119,7 +119,7 @@ const Posteriors& ForwardBackward(const CrfModel::Scores& s, Workspace& ws,
   for (int t = 1; t < T; ++t) {
     const double* alpha_prev = &alpha[static_cast<size_t>(t - 1) * L];
     const double* beta_t = &beta[static_cast<size_t>(t) * L];
-    const double* pair_t = &s.pairwise[static_cast<size_t>(t) * L * L];
+    const double* pair_t = s.PairRow(t);
     double* edge_t = &p.edge[static_cast<size_t>(t) * L * L];
     for (int i = 0; i < L; ++i) {
       for (int j = 0; j < L; ++j) {
@@ -141,9 +141,8 @@ double SequenceLogProb(const CrfModel::Scores& s,
   for (int t = 0; t < s.T; ++t) {
     score += s.unary[static_cast<size_t>(t) * s.L + labels[static_cast<size_t>(t)]];
     if (t >= 1) {
-      score += s.pairwise[static_cast<size_t>(t) * s.L * s.L +
-                          labels[static_cast<size_t>(t - 1)] * s.L +
-                          labels[static_cast<size_t>(t)]];
+      score += s.PairRow(t)[labels[static_cast<size_t>(t - 1)] * s.L +
+                            labels[static_cast<size_t>(t)]];
     }
   }
   return score - LogPartition(s);
@@ -160,9 +159,8 @@ double LogPartitionBruteForce(const CrfModel::Scores& s) {
     for (int t = 0; t < T; ++t) {
       score += s.unary[static_cast<size_t>(t) * L + labels[static_cast<size_t>(t)]];
       if (t >= 1) {
-        score += s.pairwise[static_cast<size_t>(t) * L * L +
-                            labels[static_cast<size_t>(t - 1)] * L +
-                            labels[static_cast<size_t>(t)]];
+        score += s.PairRow(t)[labels[static_cast<size_t>(t - 1)] * L +
+                              labels[static_cast<size_t>(t)]];
       }
     }
     // total = logaddexp(total, score)

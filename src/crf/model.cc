@@ -11,7 +11,10 @@ namespace whoiscrf::crf {
 namespace {
 
 constexpr uint32_t kMagic = 0x57435246;  // "WCRF"
-constexpr uint32_t kVersion = 1;
+// v2 appends the transition-support mask (observed label bigrams) after the
+// weights. v1 streams load fine — they simply carry no support, which reads
+// back as "every transition supported".
+constexpr uint32_t kVersion = 2;
 
 void WriteU32(std::ostream& os, uint32_t v) {
   unsigned char buf[4] = {
@@ -239,6 +242,7 @@ void CrfModel::PairwiseScores(const CompiledItem& item, double* out) const {
 
 void CrfModel::FillPairwise(const CompiledSequence& seq, Scores& s) const {
   const size_t L = static_cast<size_t>(s.L);
+  s.pair_rows.clear();  // dense layout: PairRow(t) indexes `pairwise`
   s.pairwise.assign(static_cast<size_t>(s.T) * L * L, 0.0);
   for (size_t t = 1; t < seq.size(); ++t) {
     PairwiseScores(seq[t], &s.pairwise[t * L * L]);
@@ -248,6 +252,14 @@ void CrfModel::FillPairwise(const CompiledSequence& seq, Scores& s) const {
 int CrfModel::TransSlot(int attr_id) const {
   const auto it = slot_of_attr_.find(attr_id);
   return it != slot_of_attr_.end() ? it->second : -1;
+}
+
+void CrfModel::set_transition_support(std::vector<uint8_t> support) {
+  const size_t L = static_cast<size_t>(num_labels());
+  if (!support.empty() && support.size() != L * L) {
+    throw std::invalid_argument("CrfModel: transition support must be L*L");
+  }
+  transition_support_ = std::move(support);
 }
 
 int CrfModel::LabelId(std::string_view name) const {
@@ -268,6 +280,10 @@ void CrfModel::Save(std::ostream& os) const {
   WriteU32(os, static_cast<uint32_t>(weights_.size()));
   os.write(reinterpret_cast<const char*>(weights_.data()),
            static_cast<std::streamsize>(weights_.size() * sizeof(double)));
+  // v2 trailer: the transition-support mask (possibly empty).
+  WriteU32(os, static_cast<uint32_t>(transition_support_.size()));
+  os.write(reinterpret_cast<const char*>(transition_support_.data()),
+           static_cast<std::streamsize>(transition_support_.size()));
   if (!os) throw std::runtime_error("CrfModel::Save: write failed");
 }
 
@@ -275,7 +291,8 @@ CrfModel CrfModel::Load(std::istream& is) {
   if (ReadU32(is) != kMagic) {
     throw std::runtime_error("CrfModel::Load: bad magic");
   }
-  if (ReadU32(is) != kVersion) {
+  const uint32_t version = ReadU32(is);
+  if (version < 1 || version > kVersion) {
     throw std::runtime_error("CrfModel::Load: unsupported version");
   }
   const uint32_t num_labels = ReadU32(is);
@@ -297,6 +314,16 @@ CrfModel CrfModel::Load(std::istream& is) {
   is.read(reinterpret_cast<char*>(model.weights_.data()),
           static_cast<std::streamsize>(num_weights * sizeof(double)));
   if (!is) throw std::runtime_error("CrfModel::Load: truncated weights");
+  if (version >= 2) {
+    const uint32_t support_size = ReadU32(is);
+    std::vector<uint8_t> support(support_size);
+    if (support_size > 0) {
+      is.read(reinterpret_cast<char*>(support.data()),
+              static_cast<std::streamsize>(support_size));
+      if (!is) throw std::runtime_error("CrfModel::Load: truncated support");
+    }
+    model.set_transition_support(std::move(support));
+  }
   return model;
 }
 

@@ -111,6 +111,22 @@ class CrfModel {
     int L = 0;
     std::vector<double> unary;     // T*L
     std::vector<double> pairwise;  // T*L*L, row t=0 unused
+    // Optional row indirection: when non-empty, pair_rows[t] points at the
+    // L*L pairwise block for position t and `pairwise` is just backing
+    // storage for the rows that needed computing. Lines without observed-
+    // transition attributes share the model's base transition block through
+    // this table instead of each holding a copy — the values read through
+    // PairRow are bit-identical either way. ComputeScores clears it (dense
+    // layout); the WHOIS fast path fills it.
+    std::vector<const double*> pair_rows;
+
+    // The L*L pairwise block for position t >= 1. All inference and
+    // decoding reads go through this accessor.
+    const double* PairRow(int t) const {
+      return pair_rows.empty()
+                 ? &pairwise[static_cast<size_t>(t) * L * L]
+                 : pair_rows[static_cast<size_t>(t)];
+    }
   };
   Scores ComputeScores(const CompiledSequence& seq) const;
 
@@ -132,6 +148,22 @@ class CrfModel {
   // Label id by name, or -1.
   int LabelId(std::string_view name) const;
 
+  // --- Transition support -----------------------------------------------
+  // Label bigrams observed in training: support[i*L + j] != 0 means the
+  // transition i -> j occurred in the training labels. Empty means unknown
+  // (treat every transition as supported — the state of models saved before
+  // format v2). The default decode path never consults this; beam decoding
+  // uses it to prune predecessor candidates (viterbi.h DecodeBeam).
+  const std::vector<uint8_t>& transition_support() const {
+    return transition_support_;
+  }
+  void set_transition_support(std::vector<uint8_t> support);
+  // Convenience for DecodeBeam: data() of the support mask, or nullptr when
+  // no support was recorded.
+  const uint8_t* transition_support_mask() const {
+    return transition_support_.empty() ? nullptr : transition_support_.data();
+  }
+
   // --- Serialization ----------------------------------------------------
   void Save(std::ostream& os) const;
   static CrfModel Load(std::istream& is);
@@ -148,6 +180,7 @@ class CrfModel {
   std::unordered_map<int, int> slot_of_attr_;  // attr id -> slot
   std::vector<int> slot_attrs_;                // slot -> attr id
   std::vector<double> weights_;
+  std::vector<uint8_t> transition_support_;    // L*L, empty = unknown
 
   size_t unigram_block_ = 0;     // A*L
   size_t transition_block_ = 0;  // L*L

@@ -28,11 +28,11 @@ void RenderDerived(const Registry& registry, const RunInfo& info,
         .Double(static_cast<double>(records) / wall);
   }
   const auto hits =
-      registry.CounterValue("whoiscrf_parse_line_cache_hits_total");
+      registry.CounterValue("whoiscrf_compile_cache_hits_total");
   const auto misses =
-      registry.CounterValue("whoiscrf_parse_line_cache_misses_total");
+      registry.CounterValue("whoiscrf_compile_cache_misses_total");
   if (hits + misses > 0) {
-    w.Key("parse_line_cache_hit_rate")
+    w.Key("compile_cache_hit_rate")
         .Double(static_cast<double>(hits) /
                 static_cast<double>(hits + misses));
   }

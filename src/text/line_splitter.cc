@@ -1,7 +1,6 @@
 #include "text/line_splitter.h"
 
-#include <cctype>
-
+#include "util/byte_scan.h"
 #include "util/string_util.h"
 
 namespace whoiscrf::text {
@@ -89,19 +88,18 @@ void SplitRecordInto(std::string_view record, std::vector<Line>& out) {
   LayoutState state;
   size_t used = 0;
   // Inline line split (same \n / \r\n / bare-\r handling as
-  // util::SplitLines) so no intermediate vector of pieces is built.
+  // util::SplitLines) so no intermediate vector of pieces is built; the
+  // chunked scan jumps terminator to terminator instead of walking bytes.
   size_t start = 0;
   size_t raw = 0;
-  for (size_t i = 0; i < record.size(); ++i) {
-    if (record[i] == '\n') {
-      size_t end = i;
-      if (end > start && record[end - 1] == '\r') --end;
-      FeedLine(record.substr(start, end - start), raw++, state, out, used);
-      start = i + 1;
-    } else if (record[i] == '\r' &&
-               (i + 1 >= record.size() || record[i + 1] != '\n')) {
-      FeedLine(record.substr(start, i - start), raw++, state, out, used);
-      start = i + 1;
+  for (size_t nl = util::scan::FindNewline(record);
+       nl != std::string_view::npos;
+       nl = util::scan::FindNewline(record, start)) {
+    FeedLine(record.substr(start, nl - start), raw++, state, out, used);
+    // "\r\n" is one terminator; "\n" and bare "\r" each end a line alone.
+    start = nl + 1;
+    if (record[nl] == '\r' && start < record.size() && record[start] == '\n') {
+      ++start;
     }
   }
   if (start < record.size()) {

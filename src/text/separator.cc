@@ -1,5 +1,6 @@
 #include "text/separator.h"
 
+#include "util/byte_scan.h"
 #include "util/string_util.h"
 
 namespace whoiscrf::text {
@@ -28,7 +29,12 @@ std::optional<SeparatorSplit> FindSeparator(std::string_view line) {
                             util::Trim(body.substr(close + 1))};
     }
   }
-  for (size_t i = 0; i < body.size(); ++i) {
+  // Only five characters can open a separator (':' '.' '\t' '=' ' '), so
+  // jump from candidate to candidate with a chunked scan; everything in
+  // between is skipped without a per-byte branch.
+  for (size_t i = util::scan::FindSepTrigger(body);
+       i != std::string_view::npos;
+       i = util::scan::FindSepTrigger(body, i + 1)) {
     const char c = body[i];
     if (c == ':') {
       if (ColonIsUrlScheme(body, i)) continue;

@@ -1,43 +1,37 @@
 #include "text/tokenizer.h"
 
+#include <algorithm>
 #include <cctype>
 #include <unordered_set>
 
 #include "text/separator.h"
 #include "text/word_classes.h"
+#include "util/byte_scan.h"
 #include "util/string_util.h"
 
 namespace whoiscrf::text {
 
 namespace {
 
+namespace scan = util::scan;
+
 // Punctuation stripped from word edges; interior punctuation (e.g. the dots
-// of a domain name or the '@' of an email) is preserved.
-bool IsEdgePunct(char c) {
-  switch (c) {
-    case ',': case '.': case ';': case '"': case '\'': case '(': case ')':
-    case '[': case ']': case '<': case '>': case '*': case '#': case '%':
-    case '!': case '?':
-      return true;
-    default:
-      return false;
-  }
-}
+// of a domain name or the '@' of an email) is preserved. The set is the
+// kEdgePunct class in util/byte_scan.h.
+bool IsEdgePunct(char c) { return scan::InClass(c, scan::kEdgePunct); }
 
-bool IsSpaceChar(char c) {
-  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
-         c == '\v';
-}
-
-// Whitespace-split without materializing a vector of pieces.
+// Whitespace-split without materializing a vector of pieces; word
+// boundaries come from chunked space scans rather than per-byte tests.
 template <typename Fn>
 void ForEachWord(std::string_view s, Fn&& fn) {
   size_t i = 0;
   while (i < s.size()) {
-    while (i < s.size() && IsSpaceChar(s[i])) ++i;
-    size_t start = i;
-    while (i < s.size() && !IsSpaceChar(s[i])) ++i;
-    if (i > start) fn(s.substr(start, i - start));
+    const size_t start = scan::SkipSpace(s, i);
+    if (start == std::string_view::npos) return;
+    size_t end = scan::FindSpace(s, start);
+    if (end == std::string_view::npos) end = s.size();
+    fn(s.substr(start, end - start));
+    i = end;
   }
 }
 
@@ -76,15 +70,11 @@ bool Tokenizer::NormalizeWordInto(std::string_view word,
   size_t end = word.size();
   while (begin < end && IsEdgePunct(word[begin])) ++begin;
   while (end > begin && IsEdgePunct(word[end - 1])) --end;
-  std::string_view core = word.substr(begin, end - begin);
-  if (core.size() > options_.max_word_length) {
-    core = core.substr(0, options_.max_word_length);
-  }
-  out.assign(core);
-  for (char& c : out) {
-    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
-  }
-  return !out.empty();
+  const size_t n =
+      std::min(end - begin, static_cast<size_t>(options_.max_word_length));
+  out.resize(n);
+  scan::AsciiLower(word.data() + begin, n, out.data());
+  return n != 0;
 }
 
 LineAttributes Tokenizer::Extract(const Line& line) const {
@@ -238,17 +228,33 @@ void Tokenizer::ExtractTo(const Line& line, AttrSink& sink,
 
   bool first_title_word = true;
   ForEachWord(title_part, [&](std::string_view raw_word) {
-    if (!NormalizeWordInto(raw_word, scratch.word)) return;
     // The first title word is the strongest block-boundary signal (Figure 1
     // edges are dominated by first-title words), so it alone is
-    // transition-eligible among words.
-    emit_word(raw_word, "@T", first_title_word);
-    first_title_word = false;
+    // transition-eligible among words. A claimed count of 0 means the word
+    // normalizes to nothing, which must not consume the first-word flag.
+    const int claimed = sink.OnWord(raw_word, /*title=*/true, first_title_word);
+    if (claimed >= 0) {
+      emitted += static_cast<size_t>(claimed);
+      if (claimed > 0) first_title_word = false;
+      return;
+    }
+    if (NormalizeWordInto(raw_word, scratch.word)) {
+      emit_word(raw_word, "@T", first_title_word);
+      first_title_word = false;
+    }
+    sink.EndWord();
   });
 
   ForEachWord(value_part, [&](std::string_view raw_word) {
-    if (!NormalizeWordInto(raw_word, scratch.word)) return;
-    emit_word(raw_word, "@V", false);
+    const int claimed = sink.OnWord(raw_word, /*title=*/false, false);
+    if (claimed >= 0) {
+      emitted += static_cast<size_t>(claimed);
+      return;
+    }
+    if (NormalizeWordInto(raw_word, scratch.word)) {
+      emit_word(raw_word, "@V", false);
+    }
+    sink.EndWord();
   });
 
   // A line with no attributes at all (pathological input) still needs one

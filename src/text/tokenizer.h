@@ -42,6 +42,24 @@ class AttrSink {
  public:
   virtual ~AttrSink() = default;
   virtual void OnAttr(std::string_view attr, bool transition) = 0;
+
+  // Word-level memoization hook. Before normalizing `raw_word`, ExtractTo
+  // offers it to the sink: a return of >= 0 means the sink already knows
+  // (and has handled) every attribute this word emits — the value is the
+  // number of OnAttr calls the word would have produced, and the word is
+  // skipped entirely. A return of -1 declines: the tokenizer then runs the
+  // normal normalize/classify path (whose attributes arrive via OnAttr)
+  // and calls EndWord() when the word's emissions are complete, so the
+  // sink can memoize them. A word's attribute stream is a pure function of
+  // (raw bytes, title flag) for a fixed tokenizer configuration;
+  // `transition` is the per-call context (first-title-word) that the sink
+  // must re-apply itself on replay. The default implementation declines
+  // every word, preserving the plain streaming contract.
+  virtual int OnWord(std::string_view /*raw_word*/, bool /*title*/,
+                     bool /*transition*/) {
+    return -1;
+  }
+  virtual void EndWord() {}
 };
 
 // Reusable buffers for `Tokenizer::ExtractTo`. Hold one per thread (or per

@@ -1,25 +1,80 @@
 #include "text/word_classes.h"
 
-#include <cctype>
-
+#include "util/byte_scan.h"
 #include "util/string_util.h"
 
 namespace whoiscrf::text {
 
 namespace {
 
-bool IsAsciiDigit(char c) { return c >= '0' && c <= '9'; }
-bool IsAsciiAlpha(char c) {
-  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
-}
-bool IsAsciiAlnum(char c) { return IsAsciiDigit(c) || IsAsciiAlpha(c); }
+namespace scan = util::scan;
 
-size_t CountIf(std::string_view w, bool (*pred)(char)) {
+bool IsAsciiDigit(char c) { return scan::InClass(c, scan::kDigit); }
+bool IsAsciiAlnum(char c) { return scan::InClass(c, scan::kAlnum); }
+
+size_t CountClass(std::string_view w, uint8_t mask) {
   size_t n = 0;
   for (char c : w) {
-    if (pred(c)) ++n;
+    if (scan::InClass(c, mask)) ++n;
   }
   return n;
+}
+
+char AsciiLowerChar(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c | 0x20) : c;
+}
+
+// Case-insensitive test against an all-lowercase `prefix`, equivalent to
+// StartsWith(ToLower(w), prefix) without materializing the lowered copy.
+bool StartsWithLowered(std::string_view w, std::string_view prefix) {
+  if (w.size() < prefix.size()) return false;
+  for (size_t i = 0; i < prefix.size(); ++i) {
+    if (AsciiLowerChar(w[i]) != prefix[i]) return false;
+  }
+  return true;
+}
+
+// Case-insensitive containment of an all-lowercase `needle`, equivalent to
+// ToLower(w).find(needle) != npos.
+bool ContainsLowered(std::string_view w, std::string_view needle) {
+  if (w.size() < needle.size()) return false;
+  for (size_t i = 0; i + needle.size() <= w.size(); ++i) {
+    if (StartsWithLowered(w.substr(i, needle.size()), needle)) return true;
+  }
+  return false;
+}
+
+// Shared body of IsDomainName. The pre-change code lowered the word before
+// the URL-path domain check, whose only case-sensitive step is the "xn--"
+// TLD prefix; `fold_tld_case` reproduces that lowering without allocating.
+bool DomainNameImpl(std::string_view w, bool fold_tld_case) {
+  if (w.size() < 4 || w.size() > 253) return false;
+  if (IsIpv4(w)) return false;
+  if (w.find('.') == std::string_view::npos) return false;  // < 2 labels
+  std::string_view tld;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = w.find('.', start);
+    const std::string_view label =
+        w.substr(start, (pos == std::string_view::npos ? w.size() : pos) -
+                            start);
+    if (label.empty() || label.size() > 63) return false;
+    if (label.front() == '-' || label.back() == '-') return false;
+    for (char c : label) {
+      if (!IsAsciiAlnum(c) && c != '-') return false;
+    }
+    if (pos == std::string_view::npos) {
+      tld = label;
+      break;
+    }
+    start = pos + 1;
+  }
+  // TLD must be alphabetic (or punycode).
+  if (fold_tld_case ? StartsWithLowered(tld, "xn--")
+                    : util::StartsWith(tld, "xn--")) {
+    return true;
+  }
+  return tld.size() >= 2 && CountClass(tld, scan::kAlpha) == tld.size();
 }
 
 }  // namespace
@@ -47,7 +102,7 @@ bool IsDateLike(std::string_view w) {
     if (i == start) { ok = false; break; }
     std::string_view group = w.substr(start, i - start);
     const bool digits = util::IsDigits(group);
-    const bool alpha = CountIf(group, IsAsciiAlpha) == group.size();
+    const bool alpha = CountClass(group, scan::kAlpha) == group.size();
     if (!digits && !(alpha && group.size() == 3)) { ok = false; break; }
     ++groups;
     if (i < w.size()) {
@@ -57,30 +112,41 @@ bool IsDateLike(std::string_view w) {
     }
   }
   if (!ok || groups != 3) return false;
-  // At least one group must be a plausible year.
-  for (std::string_view g : util::Split(w, w.find('-') != std::string_view::npos
-                                               ? '-'
-                                               : (w.find('/') != std::string_view::npos ? '/' : '.'))) {
+  // At least one group (splitting on the first-present of '-' '/' '.')
+  // must be a plausible year.
+  const char sep = w.find('-') != std::string_view::npos
+                       ? '-'
+                       : (w.find('/') != std::string_view::npos ? '/' : '.');
+  size_t start = 0;
+  while (true) {
+    const size_t pos = w.find(sep, start);
+    const std::string_view g =
+        w.substr(start, (pos == std::string_view::npos ? w.size() : pos) -
+                            start);
     if (IsYear(g)) return true;
+    if (pos == std::string_view::npos) return false;
+    start = pos + 1;
   }
-  return false;
 }
 
 bool IsTimeLike(std::string_view w) {
   // hh:mm or hh:mm:ss, optionally with a trailing 'z' or timezone offset.
-  auto parts = util::Split(w, ':');
-  if (parts.size() != 2 && parts.size() != 3) return false;
-  for (size_t i = 0; i < parts.size(); ++i) {
-    std::string_view p = parts[i];
-    if (i + 1 == parts.size()) {
-      // Strip a trailing 'Z'/'z'.
-      if (!p.empty() && (p.back() == 'z' || p.back() == 'Z')) {
-        p.remove_suffix(1);
-      }
+  size_t parts = 0;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = w.find(':', start);
+    const bool last = pos == std::string_view::npos;
+    std::string_view p =
+        w.substr(start, (last ? w.size() : pos) - start);
+    if (++parts > 3) return false;
+    if (last && !p.empty() && (p.back() == 'z' || p.back() == 'Z')) {
+      p.remove_suffix(1);  // strip a trailing 'Z'/'z'
     }
     if (p.size() < 1 || p.size() > 2 || !util::IsDigits(p)) return false;
+    if (last) break;
+    start = pos + 1;
   }
-  return true;
+  return parts == 2 || parts == 3;
 }
 
 bool IsEmail(std::string_view w) {
@@ -108,49 +174,36 @@ bool IsPhoneLike(std::string_view w) {
 }
 
 bool IsUrl(std::string_view w) {
-  std::string lower = util::ToLower(w);
-  if (util::StartsWith(lower, "http://") ||
-      util::StartsWith(lower, "https://") ||
-      util::StartsWith(lower, "ftp://")) {
+  if (StartsWithLowered(w, "http://") || StartsWithLowered(w, "https://") ||
+      StartsWithLowered(w, "ftp://")) {
     return true;
   }
-  return util::StartsWith(lower, "www.") && IsDomainName(lower);
+  return StartsWithLowered(w, "www.") && DomainNameImpl(w, true);
 }
 
 bool IsIpv4(std::string_view w) {
-  auto parts = util::Split(w, '.');
-  if (parts.size() != 4) return false;
-  for (std::string_view p : parts) {
+  size_t parts = 0;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = w.find('.', start);
+    const std::string_view p =
+        w.substr(start, (pos == std::string_view::npos ? w.size() : pos) -
+                            start);
+    if (++parts > 4) return false;
     if (p.empty() || p.size() > 3 || !util::IsDigits(p)) return false;
     int v = 0;
     for (char c : p) v = v * 10 + (c - '0');
     if (v > 255) return false;
+    if (pos == std::string_view::npos) break;
+    start = pos + 1;
   }
-  return true;
+  return parts == 4;
 }
 
-bool IsDomainName(std::string_view w) {
-  if (w.size() < 4 || w.size() > 253) return false;
-  if (IsIpv4(w)) return false;
-  auto labels = util::Split(w, '.');
-  if (labels.size() < 2) return false;
-  for (std::string_view label : labels) {
-    if (label.empty() || label.size() > 63) return false;
-    if (label.front() == '-' || label.back() == '-') return false;
-    for (char c : label) {
-      if (!IsAsciiAlnum(c) && c != '-') return false;
-    }
-  }
-  // TLD must be alphabetic (or punycode).
-  std::string_view tld = labels.back();
-  if (util::StartsWith(tld, "xn--")) return true;
-  return CountIf(tld, IsAsciiAlpha) == tld.size() && tld.size() >= 2;
-}
+bool IsDomainName(std::string_view w) { return DomainNameImpl(w, false); }
 
 bool IsPunycode(std::string_view w) {
-  std::string lower = util::ToLower(w);
-  if (util::StartsWith(lower, "xn--")) return true;
-  return lower.find(".xn--") != std::string::npos;
+  return StartsWithLowered(w, "xn--") || ContainsLowered(w, ".xn--");
 }
 
 bool IsCountryCode(std::string_view w) {
@@ -188,36 +241,35 @@ std::vector<WordClass> ClassifyWord(std::string_view w) {
 void ClassifyWord(std::string_view w, std::vector<WordClass>& out) {
   out.clear();
   if (w.empty()) return;
-  if (IsFiveDigit(w)) out.push_back(WordClass::kFiveDigit);
-  if (IsNumber(w)) out.push_back(WordClass::kNumber);
+  // Each predicate is evaluated at most once; the emission order matches
+  // the membership tests exactly (it is part of the attribute contract).
+  const bool number = IsNumber(w);
+  const bool date = IsDateLike(w);
+  const bool url = IsUrl(w);
+  if (w.size() == 5 && number) out.push_back(WordClass::kFiveDigit);
+  if (number) out.push_back(WordClass::kNumber);
   if (IsYear(w)) out.push_back(WordClass::kYear);
-  if (IsDateLike(w)) out.push_back(WordClass::kDateLike);
+  if (date) out.push_back(WordClass::kDateLike);
   if (IsTimeLike(w)) out.push_back(WordClass::kTimeLike);
   if (IsEmail(w)) out.push_back(WordClass::kEmail);
-  if (!IsNumber(w) && !IsDateLike(w) && IsPhoneLike(w)) {
+  if (!number && !date && IsPhoneLike(w)) {
     out.push_back(WordClass::kPhoneLike);
   }
-  if (IsUrl(w)) out.push_back(WordClass::kUrl);
+  if (url) out.push_back(WordClass::kUrl);
   if (IsIpv4(w)) out.push_back(WordClass::kIpv4);
-  if (IsDomainName(w) && !IsUrl(w)) out.push_back(WordClass::kDomain);
+  if (IsDomainName(w) && !url) out.push_back(WordClass::kDomain);
   if (IsPunycode(w)) out.push_back(WordClass::kPunycode);
   if (IsCountryCode(w)) out.push_back(WordClass::kCountryCode);
 
-  const size_t letters = CountIf(w, IsAsciiAlpha);
-  const size_t digits = CountIf(w, IsAsciiDigit);
-  if (letters == w.size() && w.size() >= 3) {
-    bool all_upper = true;
-    for (char c : w) {
-      if (c < 'A' || c > 'Z') { all_upper = false; break; }
-    }
-    if (all_upper) out.push_back(WordClass::kUpperWord);
+  const size_t letters = CountClass(w, scan::kAlpha);
+  const size_t digits = CountClass(w, scan::kDigit);
+  if (letters == w.size() && w.size() >= 3 &&
+      CountClass(w, scan::kUpper) == w.size()) {
+    out.push_back(WordClass::kUpperWord);
   }
-  if (letters == w.size() && w.size() >= 2 && w[0] >= 'A' && w[0] <= 'Z') {
-    bool rest_lower = true;
-    for (size_t i = 1; i < w.size(); ++i) {
-      if (!(w[i] >= 'a' && w[i] <= 'z')) { rest_lower = false; break; }
-    }
-    if (rest_lower) out.push_back(WordClass::kCapitalized);
+  if (letters == w.size() && w.size() >= 2 && w[0] >= 'A' && w[0] <= 'Z' &&
+      CountClass(w.substr(1), scan::kLower) == w.size() - 1) {
+    out.push_back(WordClass::kCapitalized);
   }
   if (letters > 0 && digits > 0 && letters + digits == w.size()) {
     out.push_back(WordClass::kAlnumMixed);

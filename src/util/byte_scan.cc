@@ -1,0 +1,461 @@
+#include "util/byte_scan.h"
+
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+
+// Compile-time gate for the kSimd tier. x86-64 guarantees SSE2, and the
+// AVX2 kernels are emitted with a per-function target attribute, so no
+// special compiler flags are needed. -DWHOISCRF_NO_SIMD (the CMake
+// WHOISCRF_DISABLE_SIMD option) removes the tier entirely for the
+// portable build.
+#if !defined(WHOISCRF_NO_SIMD) && \
+    (defined(__x86_64__) || defined(_M_X64)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define WHOISCRF_SCAN_SIMD 1
+#include <immintrin.h>
+#else
+#define WHOISCRF_SCAN_SIMD 0
+#endif
+
+namespace whoiscrf::util::scan {
+
+namespace {
+
+constexpr size_t kNpos = std::string_view::npos;
+constexpr bool kLittleEndian = std::endian::native == std::endian::little;
+
+// --- SWAR primitives -------------------------------------------------------
+//
+// All masks put 0x80 in qualifying bytes and 0x00 elsewhere, with no
+// cross-byte carries or borrows, so per-byte results are exact (safe for
+// both first-match ctz scans and any-match predicates).
+
+constexpr uint64_t kOnes = 0x0101010101010101ull;
+constexpr uint64_t kHigh = 0x8080808080808080ull;
+constexpr uint64_t kLow7 = ~kHigh;
+
+inline uint64_t Load64(const char* p) {
+  uint64_t w;
+  std::memcpy(&w, p, sizeof(w));
+  return w;
+}
+
+// 0x80 in every byte of `v` that is zero. Carry-free variant of the
+// classic haszero trick: (low7 + 0x7f) overflows into bit 7 exactly when
+// the low bits are nonzero, and bit 7 itself is OR'd back in.
+inline uint64_t ZeroBytes(uint64_t v) {
+  return ~(((v & kLow7) + kLow7) | v | kLow7);
+}
+
+inline uint64_t EqBytes(uint64_t v, uint8_t b) {
+  return ZeroBytes(v ^ (kOnes * b));
+}
+
+// 0x80 in bytes >= n (unsigned), for n in [1, 128].
+inline uint64_t GeBytes(uint64_t v, uint8_t n) {
+  return (((v & kLow7) + ((128 - n) * kOnes)) | v) & kHigh;
+}
+
+// 0x80 in bytes within [lo, hi] (unsigned), for 1 <= lo <= hi <= 127.
+inline uint64_t RangeBytes(uint64_t v, uint8_t lo, uint8_t hi) {
+  return GeBytes(v, lo) & ~GeBytes(v, static_cast<uint8_t>(hi + 1));
+}
+
+inline uint64_t SpaceBytes(uint64_t v) {
+  return EqBytes(v, ' ') | RangeBytes(v, 0x09, 0x0D);
+}
+
+inline uint64_t NewlineBytes(uint64_t v) {
+  return EqBytes(v, '\n') | EqBytes(v, '\r');
+}
+
+inline uint64_t JsonEscapeBytes(uint64_t v) {
+  return (~GeBytes(v, 0x20) & kHigh) | EqBytes(v, '"') | EqBytes(v, '\\');
+}
+
+inline uint64_t SepTriggerBytes(uint64_t v) {
+  return EqBytes(v, ':') | EqBytes(v, '.') | EqBytes(v, '\t') |
+         EqBytes(v, '=') | EqBytes(v, ' ');
+}
+
+inline uint64_t AlnumBytes(uint64_t v) {
+  return RangeBytes(v, '0', '9') | RangeBytes(v, 'A', 'Z') |
+         RangeBytes(v, 'a', 'z');
+}
+
+// Byte index of the lowest 0x80 flag (little-endian byte order).
+inline size_t FirstFlag(uint64_t mask) {
+  return static_cast<size_t>(std::countr_zero(mask)) >> 3;
+}
+
+// First byte at/after `from` whose SWAR mask bit is set; scalar table tail
+// (no over-read past the end of `s`).
+template <typename MaskFn>
+inline size_t FindSwarT(std::string_view s, size_t from, MaskFn mask_of,
+                        uint8_t cls) {
+  const char* p = s.data();
+  const size_t n = s.size();
+  size_t i = from;
+  for (; i + 8 <= n; i += 8) {
+    const uint64_t m = mask_of(Load64(p + i));
+    if (m) return i + FirstFlag(m);
+  }
+  for (; i < n; ++i) {
+    if (ClassOf(p[i]) & cls) return i;
+  }
+  return kNpos;
+}
+
+// First byte at/after `from` whose mask bit is NOT set.
+template <typename MaskFn>
+inline size_t FindNotSwarT(std::string_view s, size_t from, MaskFn mask_of,
+                           uint8_t cls) {
+  const char* p = s.data();
+  const size_t n = s.size();
+  size_t i = from;
+  for (; i + 8 <= n; i += 8) {
+    const uint64_t m = ~mask_of(Load64(p + i)) & kHigh;
+    if (m) return i + FirstFlag(m);
+  }
+  for (; i < n; ++i) {
+    if (!(ClassOf(p[i]) & cls)) return i;
+  }
+  return kNpos;
+}
+
+// --- Scalar reference ------------------------------------------------------
+
+inline size_t FindClassScalar(std::string_view s, uint8_t mask, size_t from) {
+  for (size_t i = from; i < s.size(); ++i) {
+    if (ClassOf(s[i]) & mask) return i;
+  }
+  return kNpos;
+}
+
+inline size_t FindNotClassScalar(std::string_view s, uint8_t mask,
+                                 size_t from) {
+  for (size_t i = from; i < s.size(); ++i) {
+    if (!(ClassOf(s[i]) & mask)) return i;
+  }
+  return kNpos;
+}
+
+// --- SSE2 / AVX2 -----------------------------------------------------------
+
+#if WHOISCRF_SCAN_SIMD
+
+inline bool HasAvx2() {
+  static const bool v = __builtin_cpu_supports("avx2");
+  return v;
+}
+
+// 0xFF lanes for bytes within [lo, hi] (unsigned).
+inline __m128i RangeVec(__m128i v, uint8_t lo, uint8_t hi) {
+  const __m128i ge = _mm_cmpeq_epi8(_mm_max_epu8(v, _mm_set1_epi8(lo)), v);
+  const __m128i le = _mm_cmpeq_epi8(_mm_min_epu8(v, _mm_set1_epi8(hi)), v);
+  return _mm_and_si128(ge, le);
+}
+
+inline __m128i EqVec(__m128i v, char c) {
+  return _mm_cmpeq_epi8(v, _mm_set1_epi8(c));
+}
+
+inline __m128i SpaceVec(__m128i v) {
+  return _mm_or_si128(EqVec(v, ' '), RangeVec(v, 0x09, 0x0D));
+}
+
+inline __m128i NewlineVec(__m128i v) {
+  return _mm_or_si128(EqVec(v, '\n'), EqVec(v, '\r'));
+}
+
+inline __m128i JsonEscapeVec(__m128i v) {
+  const __m128i ctrl = _mm_cmpeq_epi8(_mm_min_epu8(v, _mm_set1_epi8(0x1F)), v);
+  return _mm_or_si128(ctrl, _mm_or_si128(EqVec(v, '"'), EqVec(v, '\\')));
+}
+
+inline __m128i SepTriggerVec(__m128i v) {
+  return _mm_or_si128(
+      _mm_or_si128(EqVec(v, ':'), EqVec(v, '.')),
+      _mm_or_si128(EqVec(v, '\t'),
+                   _mm_or_si128(EqVec(v, '='), EqVec(v, ' '))));
+}
+
+inline __m128i AlnumVec(__m128i v) {
+  return _mm_or_si128(RangeVec(v, '0', '9'),
+                      _mm_or_si128(RangeVec(v, 'A', 'Z'),
+                                   RangeVec(v, 'a', 'z')));
+}
+
+template <typename VecFn>
+inline size_t FindSseT(std::string_view s, size_t from, VecFn vec_of,
+                       uint8_t cls) {
+  const char* p = s.data();
+  const size_t n = s.size();
+  size_t i = from;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i));
+    const unsigned m = static_cast<unsigned>(_mm_movemask_epi8(vec_of(v)));
+    if (m) return i + static_cast<size_t>(std::countr_zero(m));
+  }
+  for (; i < n; ++i) {
+    if (ClassOf(p[i]) & cls) return i;
+  }
+  return kNpos;
+}
+
+template <typename VecFn>
+inline size_t FindNotSseT(std::string_view s, size_t from, VecFn vec_of,
+                          uint8_t cls) {
+  const char* p = s.data();
+  const size_t n = s.size();
+  size_t i = from;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i));
+    const unsigned m =
+        ~static_cast<unsigned>(_mm_movemask_epi8(vec_of(v))) & 0xFFFFu;
+    if (m) return i + static_cast<size_t>(std::countr_zero(m));
+  }
+  for (; i < n; ++i) {
+    if (!(ClassOf(p[i]) & cls)) return i;
+  }
+  return kNpos;
+}
+
+// AVX2 variants for the two scans that see long buffers (record framing
+// and JSON emission); everything else works on single short lines where
+// 16-byte chunks already cover the whole string.
+
+__attribute__((target("avx2"))) size_t FindNewlineAvx2(std::string_view s,
+                                                       size_t from) {
+  const char* p = s.data();
+  const size_t n = s.size();
+  size_t i = from;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+    const __m256i hit =
+        _mm256_or_si256(_mm256_cmpeq_epi8(v, _mm256_set1_epi8('\n')),
+                        _mm256_cmpeq_epi8(v, _mm256_set1_epi8('\r')));
+    const unsigned m = static_cast<unsigned>(_mm256_movemask_epi8(hit));
+    if (m) return i + static_cast<size_t>(std::countr_zero(m));
+  }
+  return FindSseT(s, i, NewlineVec, kNewline);
+}
+
+__attribute__((target("avx2"))) size_t FindJsonEscapeAvx2(std::string_view s,
+                                                          size_t from) {
+  const char* p = s.data();
+  const size_t n = s.size();
+  size_t i = from;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+    const __m256i ctrl = _mm256_cmpeq_epi8(
+        _mm256_min_epu8(v, _mm256_set1_epi8(0x1F)), v);
+    const __m256i hit = _mm256_or_si256(
+        ctrl, _mm256_or_si256(_mm256_cmpeq_epi8(v, _mm256_set1_epi8('"')),
+                              _mm256_cmpeq_epi8(v, _mm256_set1_epi8('\\'))));
+    const unsigned m = static_cast<unsigned>(_mm256_movemask_epi8(hit));
+    if (m) return i + static_cast<size_t>(std::countr_zero(m));
+  }
+  return FindSseT(s, i, JsonEscapeVec, kJsonEscape);
+}
+
+#endif  // WHOISCRF_SCAN_SIMD
+
+// --- Mode resolution -------------------------------------------------------
+
+Mode ParseModeName(const char* name) {
+  if (name == nullptr) return BestSupportedMode();
+  const std::string_view s(name);
+  if (s == "scalar") return Mode::kScalar;
+  if (s == "swar") return Mode::kSwar;
+  if (s == "simd") return Mode::kSimd;
+  return BestSupportedMode();
+}
+
+Mode ClampMode(Mode m) {
+  const auto best = static_cast<int>(BestSupportedMode());
+  const int want = static_cast<int>(m);
+  return static_cast<Mode>(want < best ? want : best);
+}
+
+Mode DefaultMode() {
+  static const Mode mode =
+      ClampMode(ParseModeName(std::getenv("WHOISCRF_SCAN_MODE")));
+  return mode;
+}
+
+// -1 = no override; otherwise a Mode value pinned by ForceMode().
+std::atomic<int> g_forced_mode{-1};
+
+}  // namespace
+
+Mode BestSupportedMode() {
+#if WHOISCRF_SCAN_SIMD
+  return Mode::kSimd;  // SSE2 is part of the x86-64 baseline ABI.
+#else
+  return kLittleEndian ? Mode::kSwar : Mode::kScalar;
+#endif
+}
+
+Mode ActiveMode() {
+  const int forced = g_forced_mode.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<Mode>(forced);
+  return DefaultMode();
+}
+
+void ForceMode(Mode mode) {
+  g_forced_mode.store(static_cast<int>(ClampMode(mode)),
+                      std::memory_order_relaxed);
+}
+
+void ClearForcedMode() {
+  g_forced_mode.store(-1, std::memory_order_relaxed);
+}
+
+std::string_view ModeName(Mode mode) {
+  switch (mode) {
+    case Mode::kScalar: return "scalar";
+    case Mode::kSwar: return "swar";
+    case Mode::kSimd: return "simd";
+  }
+  return "?";
+}
+
+bool SimdAvailable() {
+#if WHOISCRF_SCAN_SIMD
+  return true;
+#else
+  return false;
+#endif
+}
+
+// --- Public scans ----------------------------------------------------------
+
+size_t FindClass(std::string_view s, uint8_t mask, size_t from) {
+  return FindClassScalar(s, mask, from);
+}
+
+size_t FindNewline(std::string_view s, size_t from) {
+  switch (ActiveMode()) {
+#if WHOISCRF_SCAN_SIMD
+    case Mode::kSimd:
+      if (HasAvx2() && s.size() - from >= 32) return FindNewlineAvx2(s, from);
+      return FindSseT(s, from, NewlineVec, kNewline);
+#endif
+    case Mode::kSwar:
+      return FindSwarT(s, from, NewlineBytes, kNewline);
+    default:
+      return FindClassScalar(s, kNewline, from);
+  }
+}
+
+size_t FindSpace(std::string_view s, size_t from) {
+  switch (ActiveMode()) {
+#if WHOISCRF_SCAN_SIMD
+    case Mode::kSimd:
+      return FindSseT(s, from, SpaceVec, kSpace);
+#endif
+    case Mode::kSwar:
+      return FindSwarT(s, from, SpaceBytes, kSpace);
+    default:
+      return FindClassScalar(s, kSpace, from);
+  }
+}
+
+size_t SkipSpace(std::string_view s, size_t from) {
+  switch (ActiveMode()) {
+#if WHOISCRF_SCAN_SIMD
+    case Mode::kSimd:
+      return FindNotSseT(s, from, SpaceVec, kSpace);
+#endif
+    case Mode::kSwar:
+      return FindNotSwarT(s, from, SpaceBytes, kSpace);
+    default:
+      return FindNotClassScalar(s, kSpace, from);
+  }
+}
+
+size_t FindJsonEscape(std::string_view s, size_t from) {
+  switch (ActiveMode()) {
+#if WHOISCRF_SCAN_SIMD
+    case Mode::kSimd:
+      if (HasAvx2() && s.size() - from >= 32) {
+        return FindJsonEscapeAvx2(s, from);
+      }
+      return FindSseT(s, from, JsonEscapeVec, kJsonEscape);
+#endif
+    case Mode::kSwar:
+      return FindSwarT(s, from, JsonEscapeBytes, kJsonEscape);
+    default:
+      return FindClassScalar(s, kJsonEscape, from);
+  }
+}
+
+size_t FindSepTrigger(std::string_view s, size_t from) {
+  switch (ActiveMode()) {
+#if WHOISCRF_SCAN_SIMD
+    case Mode::kSimd:
+      return FindSseT(s, from, SepTriggerVec, kSepTrigger);
+#endif
+    case Mode::kSwar:
+      return FindSwarT(s, from, SepTriggerBytes, kSepTrigger);
+    default:
+      return FindClassScalar(s, kSepTrigger, from);
+  }
+}
+
+bool HasAlnum(std::string_view s) {
+  switch (ActiveMode()) {
+#if WHOISCRF_SCAN_SIMD
+    case Mode::kSimd:
+      return FindSseT(s, 0, AlnumVec, kAlnum) != kNpos;
+#endif
+    case Mode::kSwar:
+      return FindSwarT(s, 0, AlnumBytes, kAlnum) != kNpos;
+    default:
+      return FindClassScalar(s, kAlnum, 0) != kNpos;
+  }
+}
+
+bool AllDigits(std::string_view s) {
+  if (s.empty()) return false;
+  switch (ActiveMode()) {
+#if WHOISCRF_SCAN_SIMD
+    case Mode::kSimd:
+      return FindNotSseT(
+                 s, 0, [](__m128i v) { return RangeVec(v, '0', '9'); },
+                 kDigit) == kNpos;
+#endif
+    case Mode::kSwar:
+      return FindNotSwarT(
+                 s, 0, [](uint64_t v) { return RangeBytes(v, '0', '9'); },
+                 kDigit) == kNpos;
+    default:
+      return FindNotClassScalar(s, kDigit, 0) == kNpos;
+  }
+}
+
+void AsciiLower(const char* in, size_t n, char* out) {
+  size_t i = 0;
+  // SWAR body on every non-scalar tier: lowering ORs bit 5 into bytes in
+  // [A, Z], and 0x80 >> 2 == 0x20 turns the range mask into exactly that.
+  if (ActiveMode() != Mode::kScalar) {
+    for (; i + 8 <= n; i += 8) {
+      uint64_t w = Load64(in + i);
+      w |= RangeBytes(w, 'A', 'Z') >> 2;
+      std::memcpy(out + i, &w, sizeof(w));
+    }
+  }
+  for (; i < n; ++i) {
+    const char c = in[i];
+    out[i] = (c >= 'A' && c <= 'Z') ? static_cast<char>(c | 0x20) : c;
+  }
+}
+
+}  // namespace whoiscrf::util::scan

@@ -1,0 +1,141 @@
+// Branchless / vectorized byte-scanning primitives for the text hot path.
+//
+// The parser's per-record cost is dominated by byte-at-a-time loops:
+// line splitting, whitespace word splitting, separator detection, %%-frame
+// scanning, and JSON escaping all walk the record one byte and one branch
+// at a time. This module replaces those walks with three interchangeable
+// implementation tiers, all with identical observable behavior:
+//
+//   kScalar  one 256-entry classification-table lookup per byte; the
+//            reference implementation and the portable floor.
+//   kSwar    uint64_t-at-a-time "SIMD within a register": 8 bytes per
+//            iteration using carry-free equality/range masks. Portable
+//            C++ (little-endian hosts; big-endian falls back to scalar).
+//   kSimd    SSE2 (x86-64 baseline) or AVX2 (runtime-detected) compare +
+//            movemask scans, 16/32 bytes per iteration. Compiled only on
+//            x86-64 gcc/clang; -DWHOISCRF_NO_SIMD removes it entirely
+//            (the portable build), leaving kSwar as the best tier.
+//
+// The active tier is chosen once at startup (best supported, overridable
+// with WHOISCRF_SCAN_MODE=scalar|swar|simd) and can be forced per-test
+// with ForceMode() — tests/test_text_simd.cc sweeps all tiers against the
+// scalar reference on randomized inputs and asserts identical output.
+//
+// Adding a new byte class: add a bit constant below, set it for the
+// class's bytes in BuildClassTable() (byte_scan.cc), and use FindClass /
+// InClass — those are table-driven and work on every tier unchanged. Only
+// add a dedicated SWAR/SIMD kernel (and its dispatch switch) when a scan
+// is hot enough to profile; kernels must treat bytes >= 0x80 exactly like
+// the table does and are only reachable on tiers whose compile-time gates
+// passed, so the portable build never needs them.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace whoiscrf::util::scan {
+
+// --- Implementation tiers --------------------------------------------------
+
+enum class Mode { kScalar = 0, kSwar = 1, kSimd = 2 };
+
+// Best tier this binary + CPU supports (kSimd only when compiled in and
+// the CPU has at least SSE2; SWAR requires little-endian).
+Mode BestSupportedMode();
+
+// The tier scans currently run on: ForceMode override if set, else the
+// WHOISCRF_SCAN_MODE environment override, else BestSupportedMode().
+Mode ActiveMode();
+
+// Test hooks: pin the tier (clamped to BestSupportedMode()) / unpin.
+void ForceMode(Mode mode);
+void ClearForcedMode();
+
+// "scalar" / "swar" / "simd".
+std::string_view ModeName(Mode mode);
+
+// True when kSimd kernels are compiled into this binary and the CPU
+// supports them (reporting only; ActiveMode() already accounts for it).
+bool SimdAvailable();
+
+// --- Byte classification ---------------------------------------------------
+//
+// One 256-entry table, one bit per class; class membership of a byte is a
+// single indexed load. Masks can be OR-combined (kAlnum below).
+
+inline constexpr uint8_t kSpace = 1u << 0;       // ' ' \t \n \v \f \r
+inline constexpr uint8_t kDigit = 1u << 1;       // 0-9
+inline constexpr uint8_t kUpper = 1u << 2;       // A-Z
+inline constexpr uint8_t kLower = 1u << 3;       // a-z
+inline constexpr uint8_t kNewline = 1u << 4;     // \n \r
+inline constexpr uint8_t kJsonEscape = 1u << 5;  // < 0x20, '"', '\\'
+inline constexpr uint8_t kEdgePunct = 1u << 6;   // tokenizer edge punctuation
+inline constexpr uint8_t kSepTrigger = 1u << 7;  // : . \t = ' ' (separator.cc)
+inline constexpr uint8_t kAlpha = kUpper | kLower;
+inline constexpr uint8_t kAlnum = kAlpha | kDigit;
+
+namespace detail {
+constexpr std::array<uint8_t, 256> BuildClassTable() {
+  std::array<uint8_t, 256> t{};
+  auto add = [&t](unsigned char c, uint8_t bit) { t[c] |= bit; };
+  for (const char c : {' ', '\t', '\n', '\r', '\f', '\v'}) {
+    add(static_cast<unsigned char>(c), kSpace);
+  }
+  for (unsigned c = '0'; c <= '9'; ++c) add(c, kDigit);
+  for (unsigned c = 'A'; c <= 'Z'; ++c) add(c, kUpper);
+  for (unsigned c = 'a'; c <= 'z'; ++c) add(c, kLower);
+  add('\n', kNewline);
+  add('\r', kNewline);
+  for (unsigned c = 0; c < 0x20; ++c) add(c, kJsonEscape);
+  add('"', kJsonEscape);
+  add('\\', kJsonEscape);
+  for (const char c : {',', '.', ';', '"', '\'', '(', ')', '[', ']', '<', '>',
+                       '*', '#', '%', '!', '?'}) {
+    add(static_cast<unsigned char>(c), kEdgePunct);
+  }
+  for (const char c : {':', '.', '\t', '=', ' '}) {
+    add(static_cast<unsigned char>(c), kSepTrigger);
+  }
+  return t;
+}
+}  // namespace detail
+
+inline constexpr std::array<uint8_t, 256> kClassTable =
+    detail::BuildClassTable();
+
+inline constexpr uint8_t ClassOf(char c) {
+  return kClassTable[static_cast<unsigned char>(c)];
+}
+inline constexpr bool InClass(char c, uint8_t mask) {
+  return (ClassOf(c) & mask) != 0;
+}
+
+// --- Scans -----------------------------------------------------------------
+//
+// All return an index into `s` (>= from), or std::string_view::npos when
+// no byte qualifies. `from` past the end is allowed and returns npos.
+
+// First byte in any class of `mask` (table-driven; every tier).
+size_t FindClass(std::string_view s, uint8_t mask, size_t from = 0);
+
+// Dedicated kernels for the hot classes (same result as FindClass with
+// the matching mask, but with SWAR/SIMD fast paths):
+size_t FindNewline(std::string_view s, size_t from = 0);  // kNewline
+size_t FindSpace(std::string_view s, size_t from = 0);    // kSpace
+size_t SkipSpace(std::string_view s, size_t from = 0);    // first NON-space
+size_t FindJsonEscape(std::string_view s, size_t from = 0);  // kJsonEscape
+size_t FindSepTrigger(std::string_view s, size_t from = 0);  // kSepTrigger
+
+// True if any byte is ASCII alphanumeric (== FindClass(s, kAlnum) != npos).
+bool HasAlnum(std::string_view s);
+
+// True if non-empty and every byte is an ASCII digit.
+bool AllDigits(std::string_view s);
+
+// ASCII-lowercases n bytes from `in` into `out` (in == out is fine;
+// other overlaps are not). Bytes outside A-Z are copied untouched.
+void AsciiLower(const char* in, size_t n, char* out);
+
+}  // namespace whoiscrf::util::scan

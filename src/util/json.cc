@@ -3,22 +3,21 @@
 #include <cmath>
 #include <cstdio>
 
+#include "util/byte_scan.h"
+
 namespace whoiscrf::util {
 
 namespace {
 
-// True for the characters RFC 8259 requires escaping.
-inline bool NeedsEscape(unsigned char c) {
-  return c < 0x20 || c == '"' || c == '\\';
-}
-
-// Escapes `raw` directly onto `out`: clean runs are appended in bulk, so
-// the common all-clean string costs one append and no temporaries.
+// Escapes `raw` directly onto `out`. Clean runs (everything outside the
+// RFC 8259 must-escape set: < 0x20, '"', '\\') are located with a chunked
+// scan and appended in bulk, so the common all-clean string costs one
+// vectorized pass and one append.
 void AppendEscapedTo(std::string& out, std::string_view raw) {
   size_t run = 0;  // start of the current clean run
-  for (size_t i = 0; i < raw.size(); ++i) {
+  for (size_t i = scan::FindJsonEscape(raw);
+       i != std::string_view::npos; i = scan::FindJsonEscape(raw, i + 1)) {
     const unsigned char c = static_cast<unsigned char>(raw[i]);
-    if (!NeedsEscape(c)) continue;
     out.append(raw, run, i - run);
     run = i + 1;
     switch (c) {

@@ -4,24 +4,18 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "util/byte_scan.h"
+
 namespace whoiscrf::util {
 
-namespace {
-bool IsSpace(char c) {
-  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
-         c == '\v';
-}
-}  // namespace
-
 std::string_view TrimLeft(std::string_view s) {
-  size_t i = 0;
-  while (i < s.size() && IsSpace(s[i])) ++i;
-  return s.substr(i);
+  const size_t i = scan::SkipSpace(s);
+  return i == std::string_view::npos ? s.substr(s.size()) : s.substr(i);
 }
 
 std::string_view TrimRight(std::string_view s) {
   size_t n = s.size();
-  while (n > 0 && IsSpace(s[n - 1])) --n;
+  while (n > 0 && scan::InClass(s[n - 1], scan::kSpace)) --n;
   return s.substr(0, n);
 }
 
@@ -29,10 +23,7 @@ std::string_view Trim(std::string_view s) { return TrimRight(TrimLeft(s)); }
 
 std::string ToLower(std::string_view s) {
   std::string out(s);
-  for (char& c : out) {
-    c = static_cast<char>(
-        std::tolower(static_cast<unsigned char>(c)));
-  }
+  scan::AsciiLower(out.data(), out.size(), out.data());
   return out;
 }
 
@@ -64,10 +55,12 @@ std::vector<std::string_view> SplitWhitespace(std::string_view s) {
   std::vector<std::string_view> out;
   size_t i = 0;
   while (i < s.size()) {
-    while (i < s.size() && IsSpace(s[i])) ++i;
-    size_t start = i;
-    while (i < s.size() && !IsSpace(s[i])) ++i;
-    if (i > start) out.push_back(s.substr(start, i - start));
+    const size_t start = scan::SkipSpace(s, i);
+    if (start == std::string_view::npos) break;
+    size_t end = scan::FindSpace(s, start);
+    if (end == std::string_view::npos) end = s.size();
+    out.push_back(s.substr(start, end - start));
+    i = end;
   }
   return out;
 }
@@ -164,20 +157,9 @@ std::string ReplaceAll(std::string_view s, std::string_view from,
   }
 }
 
-bool IsDigits(std::string_view s) {
-  if (s.empty()) return false;
-  for (char c : s) {
-    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
-  }
-  return true;
-}
+bool IsDigits(std::string_view s) { return scan::AllDigits(s); }
 
-bool HasAlnum(std::string_view s) {
-  for (char c : s) {
-    if (std::isalnum(static_cast<unsigned char>(c))) return true;
-  }
-  return false;
-}
+bool HasAlnum(std::string_view s) { return scan::HasAlnum(s); }
 
 std::string WithCommas(long long n) {
   const bool neg = n < 0;

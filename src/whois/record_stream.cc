@@ -2,13 +2,19 @@
 
 #include <iostream>
 
+#include "util/byte_scan.h"
 #include "util/string_util.h"
 
 namespace whoiscrf::whois {
 
 namespace {
 
-bool IsSeparator(std::string_view line) { return util::Trim(line) == "%%"; }
+bool IsSeparator(std::string_view line) {
+  // Fast reject: a "%%" frame line must contain '%'; almost no body line
+  // does, so most lines skip the trim entirely.
+  if (line.find('%') == std::string_view::npos) return false;
+  return util::Trim(line) == "%%";
+}
 
 }  // namespace
 
@@ -47,7 +53,7 @@ bool RecordStreamReader::Next(StreamedRecord& out) {
           continue;
         }
       }
-      const size_t nl = chunk_.find_first_of("\r\n", pos_);
+      const size_t nl = util::scan::FindNewline(chunk_, pos_);
       if (nl == std::string_view::npos) {
         partial_.append(chunk_, pos_, chunk_.size() - pos_);
         pos_ = chunk_.size();

@@ -11,6 +11,7 @@
 #include "obs/trace.h"
 #include "text/separator.h"
 #include "text/word_classes.h"
+#include "util/byte_scan.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
@@ -68,12 +69,25 @@ struct TitleValue {
   std::string value;
 };
 
-TitleValue SplitTitleValue(const text::Line& line) {
+// Allocation-free when `title`/`value` already have capacity (the line
+// cache reuses its entries' strings across evictions).
+void SplitTitleValueInto(const text::Line& line, std::string& title,
+                         std::string& value) {
   const auto sep = text::FindSeparator(line.text);
   if (sep.has_value()) {
-    return {util::ToLower(sep->title), std::string(sep->value)};
+    title.assign(sep->title);
+    util::scan::AsciiLower(title.data(), title.size(), title.data());
+    value.assign(sep->value);
+  } else {
+    title.clear();
+    value.assign(util::Trim(line.text));
   }
-  return {"", std::string(util::Trim(line.text))};
+}
+
+TitleValue SplitTitleValue(const text::Line& line) {
+  TitleValue tv;
+  SplitTitleValueInto(line, tv.title, tv.value);
+  return tv;
 }
 
 void AssignFirst(std::string& field, const std::string& value) {
@@ -99,10 +113,17 @@ void LineCacheKey(const text::Line& line, std::string& key) {
   key.append(line.text);
 }
 
-// Entries past this cap go to the per-record overflow list instead of the
-// map; bounds worst-case cache memory to a few MB per workspace. Real
-// registrar corpora have a few thousand distinct lines, far below the cap.
-constexpr size_t kLineCacheCap = 1 << 15;
+// Slot count of the direct-mapped line cache (power of two; the probe
+// masks the key hash). Sized well above the few thousand distinct lines a
+// registrar template corpus produces, so conflict evictions of hot lines
+// are rare; total memory stays bounded at slots x working line size.
+constexpr size_t kLineCacheSlots = 1 << 15;
+
+// Slot count of the direct-mapped word cache (power of two). WHOIS word
+// vocabulary is Zipfian; hot words re-enter immediately after a conflict
+// eviction, and replay copies everything out during the probe, so no
+// pinning is needed.
+constexpr size_t kWordCacheSlots = 1 << 15;
 
 }  // namespace
 
@@ -116,37 +137,133 @@ namespace {
 template <typename AttrMap>
 class DualInternSink final : public text::AttrSink {
  public:
-  explicit DualInternSink(const AttrMap& map) : map_(map) {}
+  // `packed` is the parser's merged unary table (L1+L2 doubles per
+  // attribute): Add() folds the unary score of every accepted attribute
+  // into the line's accumulators as it interns, in the exact order
+  // CrfModel::UnaryScores would have summed them — which makes a separate
+  // scoring pass over the compiled items redundant, and streams one
+  // cache-dense row per attribute instead of gathering from two weight
+  // arrays.
+  DualInternSink(const AttrMap& map, std::vector<WordSlot>& words,
+                 const double* packed, size_t num_labels1, size_t num_labels2)
+      : map_(map),
+        words_(words.data()),
+        packed_(packed),
+        L1_(num_labels1),
+        L2_(num_labels2) {}
 
-  void BeginLine(crf::CompiledItem& item1, crf::CompiledItem& item2) {
+  void BeginLine(crf::CompiledItem& item1, crf::CompiledItem& item2,
+                 double* unary1, double* unary2) {
     item1_ = &item1;
     item2_ = &item2;
+    unary1_ = unary1;
+    unary2_ = unary2;
     item1.attrs.clear();
     item1.trans_slots.clear();
     item2.attrs.clear();
     item2.trans_slots.clear();
+    std::fill_n(unary1, L1_, 0.0);
+    std::fill_n(unary2, L2_, 0.0);
+  }
+
+  // Word memoization (see AttrSink::OnWord). On a hit, replays the word's
+  // interned attributes directly — Add() re-runs first-occurrence dedup
+  // against the current items, so a replay composes with whatever the line
+  // emitted before it exactly like a live emission would. On a miss,
+  // records the OnAttr stream until EndWord.
+  int OnWord(std::string_view raw_word, bool title, bool transition) override {
+    rec_mapped_ = -1;
+    if (raw_word.size() + 1 > WordSlot::kKeyMax) return -1;  // uncacheable
+    key_[0] = title ? 'T' : 'V';
+    std::memcpy(key_ + 1, raw_word.data(), raw_word.size());
+    key_len_ = static_cast<uint8_t>(raw_word.size() + 1);
+    hash_ = TransparentStringHash{}(std::string_view(key_, key_len_));
+    slot_ = &words_[hash_ & (kWordCacheSlots - 1)];
+    if (slot_->hash == hash_ && slot_->len == key_len_ &&
+        std::memcmp(slot_->key, key_, key_len_) == 0) {
+      for (size_t i = 0; i < slot_->n_mapped; ++i) {
+        const WordMappedAttr& m = slot_->mapped[i];
+        // Only the word attribute itself is transition-eligible, and only
+        // when the caller's context (first title word) says so now.
+        const bool trans = transition && m.is_word_attr;
+        const double* row = packed_ + m.packed;
+        if (m.id1 >= 0) Add(*item1_, m.id1, m.slot1, trans, row, L1_, unary1_);
+        if (m.id2 >= 0) {
+          Add(*item2_, m.id2, m.slot2, trans, row + L1_, L2_, unary2_);
+        }
+      }
+      return slot_->emit_count;
+    }
+    rec_mapped_ = 0;
+    rec_emit_ = 0;
+    return -1;
+  }
+
+  void EndWord() override {
+    if (rec_mapped_ < 0) return;  // uncacheable or mapped-array overflow
+    // Commit the staged recording only now: an aborted recording must not
+    // disturb the (unrelated) entry currently resident in the slot.
+    slot_->hash = hash_;
+    slot_->len = key_len_;
+    slot_->emit_count = static_cast<uint8_t>(rec_emit_);
+    slot_->n_mapped = static_cast<uint8_t>(rec_mapped_);
+    std::memcpy(slot_->key, key_, key_len_);
+    std::memcpy(slot_->mapped, rec_staging_,
+                static_cast<size_t>(rec_mapped_) * sizeof(WordMappedAttr));
+    rec_mapped_ = -1;
   }
 
   void OnAttr(std::string_view attr, bool transition) override {
     const auto it = map_.find(attr);
+    if (rec_mapped_ >= 0) {
+      // The first emission inside a word window is the word attribute.
+      const bool is_word = rec_emit_ == 0;
+      ++rec_emit_;
+      if (it != map_.end()) {
+        const auto& d = it->second;
+        if (rec_mapped_ < static_cast<int>(WordSlot::kMappedMax)) {
+          rec_staging_[rec_mapped_++] = {d.id1,    d.slot1, d.id2,
+                                         d.slot2,  d.packed, is_word};
+        } else {
+          rec_mapped_ = -1;  // too many attrs to memoize; leave slot as-is
+        }
+      }
+    }
     if (it == map_.end()) return;
     const auto& d = it->second;
-    if (d.id1 >= 0) Add(*item1_, d.id1, d.slot1, transition);
-    if (d.id2 >= 0) Add(*item2_, d.id2, d.slot2, transition);
+    const double* row = packed_ + d.packed;
+    if (d.id1 >= 0) Add(*item1_, d.id1, d.slot1, transition, row, L1_, unary1_);
+    if (d.id2 >= 0) {
+      Add(*item2_, d.id2, d.slot2, transition, row + L1_, L2_, unary2_);
+    }
   }
 
  private:
-  static void Add(crf::CompiledItem& item, int id, int slot, bool transition) {
+  static void Add(crf::CompiledItem& item, int id, int slot, bool transition,
+                  const double* row, size_t L, double* unary) {
     for (int existing : item.attrs) {
       if (existing == id) return;  // first occurrence wins
     }
     item.attrs.push_back(id);
     if (transition && slot >= 0) item.trans_slots.push_back(slot);
+    for (size_t j = 0; j < L; ++j) unary[j] += row[j];
   }
 
   const AttrMap& map_;
+  WordSlot* words_;
+  const double* packed_;
+  size_t L1_, L2_;
   crf::CompiledItem* item1_ = nullptr;
   crf::CompiledItem* item2_ = nullptr;
+  double* unary1_ = nullptr;
+  double* unary2_ = nullptr;
+  WordSlot* slot_ = nullptr;
+  uint64_t hash_ = 0;
+  uint8_t key_len_ = 0;
+  char key_[WordSlot::kKeyMax];
+  int rec_mapped_ = -1;  // -1: not recording; else #mapped attrs recorded
+  uint32_t rec_emit_ = 0;
+  WordMappedAttr rec_staging_[WordSlot::kMappedMax];
 };
 
 }  // namespace
@@ -175,11 +292,104 @@ void AssignContactField(Contact& c, Level2Label sub, const std::string& v) {
 
 namespace {
 
-// Routes one line's (lower-cased title, value) into the ParsedWhois given
-// its level-1 label; the two indices walk the level-2 label vectors.
-// Single source of truth for both ExtractFields and the fast path's
-// cached-title/value loop.
-void RouteLine(const std::string& title, const std::string& value,
+// Route targets per level-1 label family; value 0 of each enum is "no
+// action" (LineRoutePlan's default). The plan is resolved from the
+// (lower-cased title, value) pair alone, so it can be computed once per
+// distinct line and cached alongside the title/value split.
+enum RegistrarRoute : uint8_t {
+  kRegNone = 0,
+  kRegWhoisServer,
+  kRegUrl,
+  kRegName,
+  kRegNameFallback,  // untitled line: registrar name if none seen yet
+};
+enum DomainRoute : uint8_t {
+  kDomNone = 0,
+  kDomName,
+  kDomNameServer,
+  kDomStatus,
+  kDomNameFallback,  // untitled domain-shaped value
+};
+enum DateRoute : uint8_t {
+  kDateNone = 0,
+  kDateCreated,
+  kDateUpdated,
+  kDateExpires,
+};
+
+// Letter-presence bitmask: a keyword can only be a substring of `s` if
+// every letter it uses appears in `s`, so one pass over the (lower-cased)
+// title prunes nearly all of the keyword scans below. With a literal
+// keyword the mask computation constant-folds.
+uint32_t LetterMask(std::string_view s) {
+  uint32_t m = 0;
+  for (char c : s) {
+    if (c >= 'a' && c <= 'z') m |= 1u << (c - 'a');
+  }
+  return m;
+}
+
+inline bool HasKeyword(const std::string& title, uint32_t title_mask,
+                       const char* keyword) {
+  const uint32_t needed = LetterMask(keyword);
+  if ((title_mask & needed) != needed) return false;
+  return title.find(keyword) != std::string::npos;
+}
+
+LineRoutePlan ComputeRoutePlan(const std::string& title,
+                               const std::string& value) {
+  LineRoutePlan plan;
+  const uint32_t tm = LetterMask(title);
+  if (HasKeyword(title, tm, "whois") || HasKeyword(title, tm, "referral")) {
+    plan.registrar = kRegWhoisServer;
+  } else if (HasKeyword(title, tm, "url") || text::IsUrl(value)) {
+    plan.registrar = kRegUrl;
+  } else if (HasKeyword(title, tm, "iana")) {
+    // Registrar IANA ID — numeric handle, not the registrar name.
+  } else if (HasKeyword(title, tm, "registrar") ||
+             HasKeyword(title, tm, "sponsor") ||
+             HasKeyword(title, tm, "registered by") ||
+             HasKeyword(title, tm, "registered through") ||
+             HasKeyword(title, tm, "provided by") ||
+             HasKeyword(title, tm, "provider")) {
+    plan.registrar = kRegName;
+  } else if (title.empty()) {
+    plan.registrar = kRegNameFallback;
+  }
+
+  if (HasKeyword(title, tm, "domain")) {
+    plan.domain = kDomName;
+  } else if (HasKeyword(title, tm, "server") ||
+             HasKeyword(title, tm, "nserver") ||
+             HasKeyword(title, tm, "name server")) {
+    plan.domain = kDomNameServer;
+  } else if (HasKeyword(title, tm, "status")) {
+    plan.domain = kDomStatus;
+  } else if (title.empty() && text::IsDomainName(value)) {
+    plan.domain = kDomNameFallback;
+  }
+
+  if (HasKeyword(title, tm, "creat") ||
+      HasKeyword(title, tm, "registered on") ||
+      HasKeyword(title, tm, "registration date")) {
+    plan.date = kDateCreated;
+  } else if (HasKeyword(title, tm, "updat") ||
+             HasKeyword(title, tm, "modif") ||
+             HasKeyword(title, tm, "changed")) {
+    plan.date = kDateUpdated;
+  } else if (HasKeyword(title, tm, "expir") ||
+             HasKeyword(title, tm, "renew") ||
+             HasKeyword(title, tm, "paid-till")) {
+    plan.date = kDateExpires;
+  }
+  return plan;
+}
+
+// Routes one line's value into the ParsedWhois given its level-1 label and
+// pre-resolved plan; the two indices walk the level-2 label vectors.
+// Single source of truth for both ExtractFields (which computes the plan
+// on the fly) and the fast path (which replays the cached plan).
+void RouteLine(const LineRoutePlan& plan, const std::string& value,
                Level1Label label,
                const std::vector<Level2Label>& registrant_sub_labels,
                size_t& registrant_index,
@@ -187,54 +397,41 @@ void RouteLine(const std::string& title, const std::string& value,
                size_t& other_index, ParsedWhois& out) {
   switch (label) {
       case Level1Label::kRegistrar: {
-        if (title.find("whois") != std::string::npos ||
-            title.find("referral") != std::string::npos) {
-          AssignFirst(out.whois_server, value);
-        } else if (title.find("url") != std::string::npos ||
-                   text::IsUrl(value)) {
-          AssignFirst(out.registrar_url, value);
-        } else if (title.find("iana") != std::string::npos) {
-          // Registrar IANA ID — numeric handle, not the registrar name.
-        } else if (title.find("registrar") != std::string::npos ||
-                   title.find("sponsor") != std::string::npos ||
-                   title.find("registered by") != std::string::npos ||
-                   title.find("registered through") != std::string::npos ||
-                   title.find("provided by") != std::string::npos ||
-                   title.find("provider") != std::string::npos) {
-          AssignFirst(out.registrar, value);
-        } else if (out.registrar.empty() && title.empty()) {
-          AssignFirst(out.registrar, value);
+        switch (plan.registrar) {
+          case kRegWhoisServer: AssignFirst(out.whois_server, value); break;
+          case kRegUrl: AssignFirst(out.registrar_url, value); break;
+          case kRegName: AssignFirst(out.registrar, value); break;
+          // AssignFirst already requires out.registrar to be empty.
+          case kRegNameFallback: AssignFirst(out.registrar, value); break;
+          default: break;
         }
         break;
       }
       case Level1Label::kDomain: {
-        if (title.find("domain") != std::string::npos) {
-          AssignFirst(out.domain_name, value);
-        } else if (title.find("server") != std::string::npos ||
-                   title.find("nserver") != std::string::npos ||
-                   title.find("name server") != std::string::npos) {
-          if (!value.empty()) out.name_servers.push_back(value);
-        } else if (title.find("status") != std::string::npos) {
-          if (!value.empty()) out.statuses.push_back(value);
-        } else if (out.domain_name.empty() && title.empty() &&
-                   text::IsDomainName(value)) {
-          out.domain_name = value;
+        switch (plan.domain) {
+          case kDomName:
+            AssignFirst(out.domain_name, value);
+            break;
+          case kDomNameServer:
+            if (!value.empty()) out.name_servers.push_back(value);
+            break;
+          case kDomStatus:
+            if (!value.empty()) out.statuses.push_back(value);
+            break;
+          case kDomNameFallback:
+            if (out.domain_name.empty()) out.domain_name = value;
+            break;
+          default:
+            break;
         }
         break;
       }
       case Level1Label::kDate: {
-        if (title.find("creat") != std::string::npos ||
-            title.find("registered on") != std::string::npos ||
-            title.find("registration date") != std::string::npos) {
-          AssignFirst(out.created, value);
-        } else if (title.find("updat") != std::string::npos ||
-                   title.find("modif") != std::string::npos ||
-                   title.find("changed") != std::string::npos) {
-          AssignFirst(out.updated, value);
-        } else if (title.find("expir") != std::string::npos ||
-                   title.find("renew") != std::string::npos ||
-                   title.find("paid-till") != std::string::npos) {
-          AssignFirst(out.expires, value);
+        switch (plan.date) {
+          case kDateCreated: AssignFirst(out.created, value); break;
+          case kDateUpdated: AssignFirst(out.updated, value); break;
+          case kDateExpires: AssignFirst(out.expires, value); break;
+          default: break;
         }
         break;
       }
@@ -274,8 +471,9 @@ void ExtractFields(const std::vector<text::Line>& lines,
   size_t other_index = 0;
   for (size_t i = 0; i < lines.size(); ++i) {
     const TitleValue tv = SplitTitleValue(lines[i]);
-    RouteLine(tv.title, tv.value, labels[i], registrant_sub_labels,
-              registrant_index, other_sub_labels, other_index, out);
+    RouteLine(ComputeRoutePlan(tv.title, tv.value), tv.value, labels[i],
+              registrant_sub_labels, registrant_index, other_sub_labels,
+              other_index, out);
   }
 }
 
@@ -301,17 +499,41 @@ WhoisParser::WhoisParser(std::unique_ptr<crf::CrfModel> level1,
   merge(*level1_, false);
   merge(*level2_, true);
 
+  // Pack both levels' unary rows per merged attribute (see packed_unary_
+  // in the header). Weights are final once the parser is constructed, so
+  // the copies stay in sync with the models.
+  const size_t L1 = static_cast<size_t>(level1_->num_labels());
+  const size_t L2 = static_cast<size_t>(level2_->num_labels());
+  packed_unary_.assign(attr_map_.size() * (L1 + L2), 0.0);
+  int32_t packed_offset = 0;
+  for (auto& [name, d] : attr_map_) {
+    d.packed = packed_offset;
+    double* row = &packed_unary_[static_cast<size_t>(packed_offset)];
+    if (d.id1 >= 0) {
+      std::memcpy(row, &level1_->weights()[static_cast<size_t>(d.id1) * L1],
+                  L1 * sizeof(double));
+    }
+    if (d.id2 >= 0) {
+      std::memcpy(row + L1,
+                  &level2_->weights()[static_cast<size_t>(d.id2) * L2],
+                  L2 * sizeof(double));
+    }
+    packed_offset += static_cast<int32_t>(L1 + L2);
+  }
+
   obs::Registry& registry = obs::Registry::Global();
   metrics_.records = registry.GetCounter("whoiscrf_parse_records_total",
                                          "Records parsed on the fast path");
   metrics_.lines = registry.GetCounter("whoiscrf_parse_lines_total",
                                        "Labeled lines seen by Parse");
   metrics_.cache_hits = registry.GetCounter(
-      "whoiscrf_parse_line_cache_hits_total",
-      "Lines served from the per-workspace compile cache");
+      "whoiscrf_compile_cache_hits_total",
+      "Lines served from the per-workspace compile cache (tokenization, "
+      "word classes, interning, and unary scoring all skipped)");
   metrics_.cache_misses = registry.GetCounter(
-      "whoiscrf_parse_line_cache_misses_total",
-      "Lines compiled and scored on a cache miss");
+      "whoiscrf_compile_cache_misses_total",
+      "Lines that ran the full text hot path: tokenize, classify, intern, "
+      "and score");
   metrics_.workspace_cold = registry.GetCounter(
       "whoiscrf_parse_workspace_cold_total",
       "Parses that found a workspace last used by a different parser");
@@ -411,15 +633,19 @@ ParsedWhois WhoisParser::Parse(std::string_view record_text,
   // workspace handed over from a different parser starts cold.
   if (ws.cache_owner != instance_id_) {
     metrics_.workspace_cold->Inc();
-    ws.line_cache.clear();
+    for (LineSlot& slot : ws.slots) slot.key.clear();  // vacate, keep buffers
+    for (WordSlot& slot : ws.word_slots) slot.len = 0;
     ws.cache_owner = instance_id_;
   }
-  ws.overflow.clear();
+  if (ws.slots.empty()) ws.slots.resize(kLineCacheSlots);
+  if (ws.word_slots.empty()) ws.word_slots.resize(kWordCacheSlots);
+  const uint64_t record_seq = ++ws.record_seq;
+  ws.overflow_used = 0;
 
   const size_t T = ws.lines.size();
   const size_t L1 = static_cast<size_t>(level1_->num_labels());
   const size_t L2 = static_cast<size_t>(level2_->num_labels());
-  DualInternSink sink(attr_map_);
+  DualInternSink sink(attr_map_, ws.word_slots, packed_unary_.data(), L1, L2);
 
   // Level 1 compile + scoring: a cache hit replaces tokenization, word
   // classification, vocabulary interning, and unary/pairwise scoring with
@@ -431,39 +657,62 @@ ParsedWhois WhoisParser::Parse(std::string_view record_text,
   sc.T = static_cast<int>(T);
   sc.L = level1_->num_labels();
   sc.unary.resize(T * L1);
+  // Pairwise blocks go through the Scores row-pointer table: lines with no
+  // observed-transition attributes (the common case) share the model's base
+  // transition block directly — PairwiseScores would produce an exact copy
+  // of it — and only lines with transition slots compute a row into the
+  // `pairwise` arena. Same bits read either way, ~L*L doubles less work
+  // per shared line.
   sc.pairwise.resize(T * L1 * L1);
-  std::fill_n(sc.pairwise.begin(), L1 * L1, 0.0);  // row t=0 is unused
+  sc.pair_rows.assign(T, nullptr);  // row t=0 is never read
+  const double* trans1 = &level1_->weights()[level1_->TransitionIndex(0, 0)];
+  size_t custom_rows = 0;
   size_t cache_hits = 0;  // flushed to the registry once per record
   for (size_t t = 0; t < T; ++t) {
     LineCacheKey(ws.lines[t], ws.key);
-    const auto it = ws.line_cache.find(std::string_view(ws.key));
+    const uint64_t hash = TransparentStringHash{}(std::string_view(ws.key));
+    LineSlot& slot = ws.slots[hash & (kLineCacheSlots - 1)];
     const LineCacheEntry* entry;
-    if (it != ws.line_cache.end()) {
+    if (slot.hash == hash && slot.key == ws.key) {
       ++cache_hits;
-      entry = &it->second;
+      slot.record_seq = record_seq;  // pin against same-record eviction
+      entry = &slot.entry;
     } else {
-      LineCacheEntry& e =
-          ws.line_cache.size() < kLineCacheCap
-              ? ws.line_cache.emplace(ws.key, LineCacheEntry{}).first->second
-              : ws.overflow.emplace_back();
-      sink.BeginLine(e.level1, e.level2);
+      LineCacheEntry* e;
+      if (!slot.key.empty() && slot.record_seq == record_seq) {
+        // Collision with a line this record already points at: compile
+        // into the (reused, pointer-stable) overflow pool instead.
+        e = ws.overflow_used < ws.overflow.size()
+                ? &ws.overflow[ws.overflow_used]
+                : &ws.overflow.emplace_back();
+        ++ws.overflow_used;
+      } else {
+        slot.hash = hash;
+        slot.key.assign(ws.key);
+        slot.record_seq = record_seq;
+        e = &slot.entry;
+      }
+      e->unary1.resize(L1);
+      e->unary2.resize(L2);
+      sink.BeginLine(e->level1, e->level2, e->unary1.data(), e->unary2.data());
       tokenizer_.ExtractTo(ws.lines[t], sink, ws.crf.token_scratch);
-      e.unary1.resize(L1);
-      level1_->UnaryScores(e.level1, e.unary1.data());
-      e.unary2.resize(L2);
-      level2_->UnaryScores(e.level2, e.unary2.data());
-      TitleValue tv = SplitTitleValue(ws.lines[t]);
-      e.title_lower = std::move(tv.title);
-      e.value = std::move(tv.value);
-      entry = &e;
+      SplitTitleValueInto(ws.lines[t], e->title_lower, e->value);
+      e->plan = ComputeRoutePlan(e->title_lower, e->value);
+      entry = e;
     }
     ws.line_entries[t] = entry;
     std::memcpy(&sc.unary[t * L1], entry->unary1.data(), L1 * sizeof(double));
     if (t > 0) {
-      // Recomputed from the (small, cache-hot) weight tables rather than
-      // memoized: fetching a stored L*L block from the cache entry is
-      // memory-bound and measurably slower.
-      level1_->PairwiseScores(entry->level1, &sc.pairwise[t * L1 * L1]);
+      if (entry->level1.trans_slots.empty()) {
+        sc.pair_rows[t] = trans1;
+      } else {
+        // Recomputed from the (small, cache-hot) weight tables rather than
+        // memoized: fetching a stored L*L block from the cache entry is
+        // memory-bound and measurably slower.
+        double* row = &sc.pairwise[custom_rows++ * L1 * L1];
+        level1_->PairwiseScores(entry->level1, row);
+        sc.pair_rows[t] = row;
+      }
     }
   }
 
@@ -474,7 +723,15 @@ ParsedWhois WhoisParser::Parse(std::string_view record_text,
   // ComputeScores' order), and Decode/LogPartition run the same operations
   // in the same order as Tagger::TagWithConfidence's label and log-prob
   // computation — so the outputs match ParseNaive exactly.
-  const crf::ViterbiResult& level1 = crf::Decode(ws.crf.scores, ws.crf);
+  // Beam mode (opt-in, ws.beam_width > 0) swaps exact Viterbi for the
+  // pruned DecodeBeam restricted to transitions observed in training;
+  // log Z stays exact, so log_prob is still the true log-probability of
+  // whichever path is returned.
+  const crf::ViterbiResult& level1 =
+      ws.beam_width > 0
+          ? crf::DecodeBeam(ws.crf.scores, ws.beam_width, ws.crf,
+                            level1_->transition_support_mask())
+          : crf::Decode(ws.crf.scores, ws.crf);
   out.log_prob = level1.score - crf::LogPartition(ws.crf.scores, ws.crf);
   out.line_labels.reserve(level1.labels.size());
   for (int label : level1.labels) {
@@ -497,16 +754,30 @@ ParsedWhois WhoisParser::Parse(std::string_view record_text,
     sc.L = level2_->num_labels();
     sc.unary.resize(B * L2);
     sc.pairwise.resize(B * L2 * L2);
-    std::fill_n(sc.pairwise.begin(), L2 * L2, 0.0);  // row t=0 is unused
+    sc.pair_rows.assign(B, nullptr);  // row t=0 is never read
+    const double* trans2 =
+        &level2_->weights()[level2_->TransitionIndex(0, 0)];
+    size_t custom2 = 0;
     for (size_t b = 0; b < B; ++b) {
       const LineCacheEntry& entry = *ws.block[b];
       std::memcpy(&sc.unary[b * L2], entry.unary2.data(),
                   L2 * sizeof(double));
       if (b > 0) {
-        level2_->PairwiseScores(entry.level2, &sc.pairwise[b * L2 * L2]);
+        if (entry.level2.trans_slots.empty()) {
+          sc.pair_rows[b] = trans2;
+        } else {
+          double* row = &sc.pairwise[custom2++ * L2 * L2];
+          level2_->PairwiseScores(entry.level2, row);
+          sc.pair_rows[b] = row;
+        }
       }
     }
-    for (int label : crf::Decode(ws.crf.scores, ws.crf).labels) {
+    const crf::ViterbiResult& sub =
+        ws.beam_width > 0
+            ? crf::DecodeBeam(ws.crf.scores, ws.beam_width, ws.crf,
+                              level2_->transition_support_mask())
+            : crf::Decode(ws.crf.scores, ws.crf);
+    for (int label : sub.labels) {
       subs.push_back(static_cast<Level2Label>(label));
     }
   };
@@ -519,9 +790,8 @@ ParsedWhois WhoisParser::Parse(std::string_view record_text,
   size_t other_index = 0;
   for (size_t i = 0; i < T; ++i) {
     const LineCacheEntry& entry = *ws.line_entries[i];
-    RouteLine(entry.title_lower, entry.value, out.line_labels[i],
-              ws.sub_labels, registrant_index, ws.other_subs, other_index,
-              out);
+    RouteLine(entry.plan, entry.value, out.line_labels[i], ws.sub_labels,
+              registrant_index, ws.other_subs, other_index, out);
   }
 
   metrics_.records->Inc();
@@ -534,12 +804,14 @@ ParsedWhois WhoisParser::Parse(std::string_view record_text,
 }
 
 std::vector<ParsedWhois> WhoisParser::ParseBatch(
-    std::span<const std::string> records, util::ThreadPool& pool) const {
+    std::span<const std::string> records, util::ThreadPool& pool,
+    int beam_width) const {
   obs::ScopedSpan span("whois.parse_batch");
   std::vector<ParsedWhois> out(records.size());
   if (records.empty()) return out;
   const size_t chunks = std::min(records.size(), pool.size());
   std::vector<ParseWorkspace> workspaces(chunks);
+  for (ParseWorkspace& ws : workspaces) ws.beam_width = beam_width;
   pool.ParallelChunks(records.size(),
                       [&](size_t begin, size_t end, size_t chunk) {
                         obs::ScopedSpan chunk_span("whois.parse_chunk");

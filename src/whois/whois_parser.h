@@ -47,6 +47,17 @@ struct WhoisParserOptions {
   text::TokenizerOptions tokenizer;
 };
 
+// Pre-resolved field-routing decisions for one line. Every title-keyword
+// test in RouteLine is a pure function of the cached (title, value) pair,
+// so the substring scans run once per distinct line, not once per parse.
+// Values are the RegistrarRoute/DomainRoute/DateRoute enums in
+// whois_parser.cc; 0 always means "no action".
+struct LineRoutePlan {
+  uint8_t registrar = 0;
+  uint8_t domain = 0;
+  uint8_t date = 0;
+};
+
 // Memoized compilation + unary scores for one distinct line, for both CRF
 // levels. WHOIS corpora repeat lines massively (the paper's survey parses
 // 102M records drawn from a few thousand registrar templates), so caching
@@ -55,9 +66,45 @@ struct WhoisParserOptions {
 struct LineCacheEntry {
   crf::CompiledItem level1, level2;
   std::vector<double> unary1, unary2;  // num_labels() doubles per level
-  // Field-extraction view of the line (separator split, title lowered),
-  // also a pure function of the text.
+  // Field-extraction view of the line (separator split, title lowered,
+  // routing decisions), also a pure function of the text.
   std::string title_lower, value;
+  LineRoutePlan plan;
+};
+
+// One interned attribute of a memoized word: both levels' vocabulary ids
+// and transition slots (-1 if absent), plus the attribute's row offset in
+// the parser's packed unary table. `is_word_attr` marks the word
+// attribute itself (vs a class attribute); it alone carries the caller's
+// transition flag on replay.
+struct WordMappedAttr {
+  int32_t id1, slot1;
+  int32_t id2, slot2;
+  int32_t packed;
+  bool is_word_attr;
+};
+
+// One slot of the direct-mapped word cache: memoized attribute emissions
+// for a distinct (title flag, raw word) key, inline — probe, key compare,
+// and replay all touch a couple of cache lines and nothing on the heap. A
+// word's normalized form, class attributes, and vocabulary ids are pure
+// functions of its bytes for a fixed parser, so a repeated word — even
+// inside a never-seen line — skips normalization, classification, and
+// per-attribute hash probes. `emit_count` is the total number of
+// attributes the word emits (including ones outside both vocabularies;
+// the tokenizer needs it for EMPTYLINE accounting); `mapped` holds only
+// the in-vocabulary ones, in emission order. Keys longer than the inline
+// buffer or words with more mapped attributes than the inline array are
+// simply not cached.
+struct WordSlot {
+  static constexpr size_t kKeyMax = 31;
+  static constexpr size_t kMappedMax = 6;
+  uint64_t hash = 0;
+  uint8_t len = 0;  // key length; 0 = vacant
+  uint8_t emit_count = 0;
+  uint8_t n_mapped = 0;
+  char key[kKeyMax];
+  WordMappedAttr mapped[kMappedMax];
 };
 
 // Transparent string hash so map probes can take a string_view key.
@@ -71,29 +118,64 @@ struct TransparentStringHash {
   }
 };
 
+// One slot of the direct-mapped line cache. `key` (layout flags + text)
+// empty means vacant; `record_seq` is the last record that read or wrote
+// the slot, which pins it against same-record eviction (line_entries
+// holds raw pointers into slots for the duration of one Parse).
+struct LineSlot {
+  uint64_t hash = 0;
+  uint64_t record_seq = 0;
+  std::string key;
+  LineCacheEntry entry;
+};
+
 // Per-thread scratch for the parsing fast path: split lines, the line
 // cache, sub-label buffers, and all CRF inference state. After a few
 // records the buffers stop growing and Parse runs allocation-free on
 // cache hits (apart from the strings of the ParsedWhois it returns).
 struct ParseWorkspace {
+  // Opt-in beam decoding (cli --beam): 0 decodes both CRF levels with exact
+  // Viterbi (the default, bit-identical to ParseNaive); K > 0 uses
+  // crf::DecodeBeam with width K, pruned to the label bigrams observed in
+  // training (CrfModel::transition_support). Labels can then differ from
+  // the exact path; bench_parse_throughput reports the agreement delta.
+  int beam_width = 0;
+
   std::vector<text::Line> lines;
   std::vector<Level2Label> sub_labels;
   std::vector<Level2Label> other_subs;
   crf::Workspace crf;
 
-  // Line cache, keyed by layout flags + text — the only Line fields
-  // feature extraction reads. Entries are valid for exactly one parser
-  // instance (`cache_owner`); Parse clears the cache when handed a
-  // workspace last used with a different parser. deque keeps overflow
-  // entries (past the cap) pointer-stable within a record.
+  // Line cache: direct-mapped, fixed slot count, eviction on collision.
+  // Keyed by layout flags + text — the only Line fields feature extraction
+  // reads. A template line that repeats across records is re-inserted as
+  // fast as one-off lines (dates, domains) can evict it, so the hit rate
+  // tracks the corpus's instantaneous template overlap instead of decaying
+  // once a grow-only map would have filled: memory stays bounded with no
+  // saturation cliff. Eviction recompiles *in place*, reusing the slot's
+  // vectors and strings, so misses allocate nothing once capacities have
+  // grown. Entries are valid for exactly one parser instance
+  // (`cache_owner`); Parse invalidates all slots when handed a workspace
+  // last used with a different parser.
   uint64_t cache_owner = 0;
-  std::unordered_map<std::string, LineCacheEntry, TransparentStringHash,
-                     std::equal_to<>>
-      line_cache;
+  uint64_t record_seq = 0;
+  std::vector<LineSlot> slots;  // sized kLineCacheSlots on first use
+  // Same-record slot collisions compile into this pool instead of
+  // evicting (deque: pointer-stable growth); entries are reused across
+  // records via `overflow_used`, never destroyed.
   std::deque<LineCacheEntry> overflow;
+  size_t overflow_used = 0;
   std::vector<const LineCacheEntry*> line_entries;  // per line, this record
   std::vector<const LineCacheEntry*> block;         // level-2 subset
   std::string key;
+
+  // Word cache, keyed by a title/value flag byte + the raw word bytes.
+  // Serves line-cache *misses*: template churn produces novel lines made
+  // of familiar words (dates, domains, boilerplate vocabulary), so the
+  // per-word work is shared even when the per-line entry cannot be.
+  // Direct-mapped with eviction on collision, like the line cache.
+  // Validity follows `cache_owner`.
+  std::vector<WordSlot> word_slots;  // sized kWordCacheSlots on first use
 };
 
 class WhoisParser {
@@ -125,8 +207,11 @@ class WhoisParser {
 
   // Parses many records on a thread pool, one workspace per chunk.
   // Results are in input order and identical to calling Parse on each.
+  // `beam_width` > 0 decodes with beam-pruned Viterbi (see
+  // ParseWorkspace::beam_width); 0 is exact.
   std::vector<ParsedWhois> ParseBatch(std::span<const std::string> records,
-                                      util::ThreadPool& pool) const;
+                                      util::ThreadPool& pool,
+                                      int beam_width = 0) const;
 
   // Level-1 labels only (used by the evaluation harness).
   std::vector<Level1Label> LabelLines(std::string_view record_text) const;
@@ -179,10 +264,21 @@ class WhoisParser {
   struct DualAttr {
     int id1 = -1, slot1 = -1;
     int id2 = -1, slot2 = -1;
+    // Offset of this attribute's row in packed_unary_: L1 doubles of
+    // level-1 unary weights followed by L2 of level-2 (zeros where the
+    // attribute is absent from a level).
+    int32_t packed = -1;
   };
   std::unordered_map<std::string, DualAttr, TransparentStringHash,
                      std::equal_to<>>
       attr_map_;
+
+  // Both levels' unary weight rows for each merged attribute, adjacent in
+  // one cache-dense table: scoring an interned attribute against both
+  // CRFs streams one (L1+L2)-double row instead of gathering from two
+  // separately laid-out weight arrays. Values are bit-copies of the
+  // models' rows, so sums match CrfModel::UnaryScores exactly.
+  std::vector<double> packed_unary_;
 };
 
 // Field extraction from labeled lines (exposed for reuse by the baselines

@@ -258,8 +258,8 @@ TEST(TraceTest, SpansFromWorkerThreadsAllRecorded) {
 TEST(ReportTest, RunReportSchemaAndDerived) {
   Registry reg;
   reg.GetCounter("whoiscrf_parse_records_total")->Inc(100);
-  reg.GetCounter("whoiscrf_parse_line_cache_hits_total")->Inc(75);
-  reg.GetCounter("whoiscrf_parse_line_cache_misses_total")->Inc(25);
+  reg.GetCounter("whoiscrf_compile_cache_hits_total")->Inc(75);
+  reg.GetCounter("whoiscrf_compile_cache_misses_total")->Inc(25);
   RunInfo info;
   info.command = "parse";
   info.exit_code = 0;
@@ -270,7 +270,7 @@ TEST(ReportTest, RunReportSchemaAndDerived) {
   EXPECT_NE(report.find("\"command\":\"parse\""), std::string::npos);
   EXPECT_NE(report.find("\"exit_code\":0"), std::string::npos);
   EXPECT_NE(report.find("\"parse_records_per_sec\":50"), std::string::npos);
-  EXPECT_NE(report.find("\"parse_line_cache_hit_rate\":0.75"),
+  EXPECT_NE(report.find("\"compile_cache_hit_rate\":0.75"),
             std::string::npos);
   // No crawl metrics registered -> no crawl keys in `derived`.
   EXPECT_EQ(report.find("crawl_success_rate"), std::string::npos);

@@ -1,0 +1,307 @@
+// Tier-equivalence suite for the byte-scanning hot path (util/byte_scan.h):
+// every scan primitive, and every text-layer consumer of one, must produce
+// identical output on the scalar, SWAR, and SIMD tiers. Inputs sweep all
+// byte values (including >= 0x80), all alignments and tail lengths around
+// the 8/16/32-byte chunk sizes, and all `from` offsets — the places where
+// chunked kernels classically diverge from the per-byte reference.
+//
+// Tiers beyond BestSupportedMode() are skipped (ForceMode clamps anyway),
+// so this file passes unchanged on the portable WHOISCRF_DISABLE_SIMD
+// build, where it degenerates to scalar-vs-SWAR.
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "text/line_splitter.h"
+#include "text/separator.h"
+#include "text/tokenizer.h"
+#include "text/word_classes.h"
+#include "util/byte_scan.h"
+#include "util/json.h"
+#include "util/random.h"
+
+namespace whoiscrf::util::scan {
+namespace {
+
+constexpr size_t npos = std::string_view::npos;
+
+// Pins a tier for one scope; never leaks into other tests.
+class ForcedMode {
+ public:
+  explicit ForcedMode(Mode mode) { ForceMode(mode); }
+  ~ForcedMode() { ClearForcedMode(); }
+};
+
+std::vector<Mode> TestableModes() {
+  std::vector<Mode> modes = {Mode::kScalar};
+  if (BestSupportedMode() >= Mode::kSwar) modes.push_back(Mode::kSwar);
+  if (BestSupportedMode() >= Mode::kSimd) modes.push_back(Mode::kSimd);
+  return modes;
+}
+
+// Per-byte ground truth straight off the classification table; tier-free.
+size_t RefFindClass(std::string_view s, uint8_t mask, size_t from) {
+  for (size_t i = from; i < s.size(); ++i) {
+    if (InClass(s[i], mask)) return i;
+  }
+  return npos;
+}
+
+size_t RefSkipSpace(std::string_view s, size_t from) {
+  for (size_t i = from; i < s.size(); ++i) {
+    if (!InClass(s[i], kSpace)) return i;
+  }
+  return npos;
+}
+
+// Inputs engineered to stress chunked kernels: every length crossing the
+// 8/16/32-byte boundaries, matches at every position, long clean runs, and
+// full 0..255 byte coverage.
+std::vector<std::string> AdversarialInputs() {
+  std::vector<std::string> inputs;
+  inputs.emplace_back();  // empty
+  // All 256 byte values, in order and reversed.
+  std::string all;
+  for (int b = 0; b < 256; ++b) all.push_back(static_cast<char>(b));
+  inputs.push_back(all);
+  inputs.emplace_back(all.rbegin(), all.rend());
+  // Clean runs (no class bytes) of every length 1..72: tails of every
+  // residue mod 8/16/32.
+  for (size_t n = 1; n <= 72; ++n) inputs.emplace_back(n, 'x');
+  // A single interesting byte at every position of a 40-byte clean run.
+  for (const char c : {'\n', '\r', ' ', '\t', ':', '=', '"', '\\', '\x01',
+                       '0', 'Z', 'a', '\x7f', '\x80', '\xff'}) {
+    for (size_t pos = 0; pos < 40; ++pos) {
+      std::string s(40, 'q');
+      s[pos] = c;
+      inputs.push_back(std::move(s));
+    }
+  }
+  // Random byte soup, plus random mostly-text with sprinkled specials.
+  util::Rng rng(20260808);
+  for (int r = 0; r < 200; ++r) {
+    std::string soup;
+    const size_t n = rng.UniformInt(0, 130);
+    for (size_t i = 0; i < n; ++i) {
+      soup.push_back(static_cast<char>(rng.UniformInt(0, 255)));
+    }
+    inputs.push_back(std::move(soup));
+  }
+  const std::string_view specials = "\n\r\t :=.\"\\\x01\x80\xff";
+  for (int r = 0; r < 200; ++r) {
+    std::string text;
+    const size_t n = rng.UniformInt(0, 130);
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.Bernoulli(0.15)) {
+        text.push_back(
+            specials[rng.UniformInt(0, specials.size() - 1)]);
+      } else {
+        text.push_back(static_cast<char>(rng.UniformInt('a', 'z')));
+      }
+    }
+    inputs.push_back(std::move(text));
+  }
+  return inputs;
+}
+
+// `from` offsets worth probing for a string of length n: every small
+// offset, chunk-boundary straddles, and past-the-end.
+std::vector<size_t> FromOffsets(size_t n) {
+  std::vector<size_t> from = {0};
+  for (size_t f = 1; f <= n + 2; f = f < 40 ? f + 1 : f + 7) from.push_back(f);
+  return from;
+}
+
+TEST(ByteScanEquivalence, DedicatedKernelsMatchScalarReference) {
+  const auto inputs = AdversarialInputs();
+  for (Mode mode : TestableModes()) {
+    ForcedMode forced(mode);
+    ASSERT_EQ(ActiveMode(), mode);
+    for (const std::string& s : inputs) {
+      for (size_t from : FromOffsets(s.size())) {
+        EXPECT_EQ(FindNewline(s, from), RefFindClass(s, kNewline, from))
+            << ModeName(mode) << " len=" << s.size() << " from=" << from;
+        EXPECT_EQ(FindSpace(s, from), RefFindClass(s, kSpace, from))
+            << ModeName(mode) << " len=" << s.size() << " from=" << from;
+        EXPECT_EQ(SkipSpace(s, from), RefSkipSpace(s, from))
+            << ModeName(mode) << " len=" << s.size() << " from=" << from;
+        EXPECT_EQ(FindJsonEscape(s, from),
+                  RefFindClass(s, kJsonEscape, from))
+            << ModeName(mode) << " len=" << s.size() << " from=" << from;
+        EXPECT_EQ(FindSepTrigger(s, from),
+                  RefFindClass(s, kSepTrigger, from))
+            << ModeName(mode) << " len=" << s.size() << " from=" << from;
+      }
+    }
+  }
+}
+
+TEST(ByteScanEquivalence, FindClassMatchesReferenceForEveryMask) {
+  const auto inputs = AdversarialInputs();
+  const uint8_t masks[] = {kSpace,      kDigit,     kUpper,  kLower,
+                           kNewline,    kJsonEscape, kEdgePunct,
+                           kSepTrigger, kAlpha,     kAlnum};
+  for (Mode mode : TestableModes()) {
+    ForcedMode forced(mode);
+    for (const std::string& s : inputs) {
+      for (const uint8_t mask : masks) {
+        for (size_t from : {size_t{0}, size_t{3}, s.size() / 2, s.size()}) {
+          EXPECT_EQ(FindClass(s, mask, from), RefFindClass(s, mask, from))
+              << ModeName(mode) << " mask=" << int(mask) << " from=" << from;
+        }
+      }
+    }
+  }
+}
+
+TEST(ByteScanEquivalence, PredicatesAndLowercasingMatchScalarReference) {
+  const auto inputs = AdversarialInputs();
+  for (Mode mode : TestableModes()) {
+    ForcedMode forced(mode);
+    for (const std::string& s : inputs) {
+      EXPECT_EQ(HasAlnum(s), RefFindClass(s, kAlnum, 0) != npos)
+          << ModeName(mode) << " len=" << s.size();
+      bool all_digits = !s.empty();
+      for (const char c : s) all_digits = all_digits && InClass(c, kDigit);
+      EXPECT_EQ(AllDigits(s), all_digits)
+          << ModeName(mode) << " len=" << s.size();
+
+      std::string lowered(s.size(), '\0');
+      AsciiLower(s.data(), s.size(), lowered.data());
+      for (size_t i = 0; i < s.size(); ++i) {
+        const char c = s[i];
+        const char want =
+            c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c;
+        ASSERT_EQ(lowered[i], want)
+            << ModeName(mode) << " len=" << s.size() << " i=" << i;
+      }
+      // In-place overload (in == out is part of the contract).
+      std::string inplace = s;
+      AsciiLower(inplace.data(), inplace.size(), inplace.data());
+      EXPECT_EQ(inplace, lowered) << ModeName(mode);
+    }
+  }
+}
+
+TEST(ByteScanEquivalence, UnalignedViewsMatchAlignedResults) {
+  // The same logical bytes reached through every possible misalignment:
+  // substrings of a shared buffer shift the data pointer one byte at a
+  // time, so SIMD/SWAR loads hit every alignment class.
+  std::string buffer = "pad";
+  buffer += "Domain Name: EXAMPLE.COM\r\n  Registrar:\tGoDaddy \"quoted\"\\";
+  buffer += std::string(37, 'y');
+  buffer += "\n trailing  words  here";
+  for (Mode mode : TestableModes()) {
+    ForcedMode forced(mode);
+    for (size_t shift = 0; shift < 24 && shift < buffer.size(); ++shift) {
+      const std::string_view v(buffer.data() + shift, buffer.size() - shift);
+      EXPECT_EQ(FindNewline(v), RefFindClass(v, kNewline, 0))
+          << ModeName(mode) << " shift=" << shift;
+      EXPECT_EQ(FindSpace(v), RefFindClass(v, kSpace, 0))
+          << ModeName(mode) << " shift=" << shift;
+      EXPECT_EQ(SkipSpace(v), RefSkipSpace(v, 0))
+          << ModeName(mode) << " shift=" << shift;
+      EXPECT_EQ(FindJsonEscape(v), RefFindClass(v, kJsonEscape, 0))
+          << ModeName(mode) << " shift=" << shift;
+      EXPECT_EQ(FindSepTrigger(v), RefFindClass(v, kSepTrigger, 0))
+          << ModeName(mode) << " shift=" << shift;
+    }
+  }
+}
+
+// --- Text-layer consumers ---------------------------------------------------
+//
+// The scan tier must be invisible one level up: line splitting, separator
+// detection, tokenization, word classes, and JSON escaping produce the
+// same bytes on every tier. Outputs are captured under forced kScalar and
+// compared against each faster tier.
+
+std::vector<std::string> SampleRecords() {
+  return {
+      "Domain Name: EXAMPLE.COM\nRegistrar: GoDaddy.com, LLC\n"
+      "Creation Date: 2010-04-01T00:00:00Z\n\n"
+      "Registrant Name: John Smith\nRegistrant Country: US\n",
+      "   indented: value\n\ttabbed\tline\nempty:\n%% frame\n>>> symbols\n",
+      "no separators here just words\r\nmixed\rnewlines\nhere\n",
+      "key = value = twice\ndots.in.the.title: v\n a b c d e f g\n",
+      std::string("binary \x01\x02 bytes: \x80\xff\n") + "last line",
+      "",
+  };
+}
+
+TEST(TextLayerEquivalence, SplitAndSeparatorIdenticalAcrossTiers) {
+  for (const std::string& record : SampleRecords()) {
+    std::vector<std::vector<std::string>> lines_by_mode;
+    std::vector<std::vector<std::string>> splits_by_mode;
+    for (Mode mode : TestableModes()) {
+      ForcedMode forced(mode);
+      auto& lines = lines_by_mode.emplace_back();
+      auto& splits = splits_by_mode.emplace_back();
+      for (const text::Line& line : text::SplitRecord(record)) {
+        lines.push_back(line.text);
+        const auto sep = text::FindSeparator(line.text);
+        splits.push_back(sep.has_value()
+                             ? std::string(sep->title) + "\x1f" +
+                                   std::string(sep->value)
+                             : std::string("<none>"));
+      }
+    }
+    for (size_t m = 1; m < lines_by_mode.size(); ++m) {
+      EXPECT_EQ(lines_by_mode[m], lines_by_mode[0]);
+      EXPECT_EQ(splits_by_mode[m], splits_by_mode[0]);
+    }
+  }
+}
+
+TEST(TextLayerEquivalence, TokenizerAttributesIdenticalAcrossTiers) {
+  const text::Tokenizer tokenizer;
+  for (const std::string& record : SampleRecords()) {
+    std::vector<std::vector<std::string>> attrs_by_mode;
+    for (Mode mode : TestableModes()) {
+      ForcedMode forced(mode);
+      auto& attrs = attrs_by_mode.emplace_back();
+      for (const text::Line& line : text::SplitRecord(record)) {
+        for (const std::string& a : tokenizer.Extract(line).attrs) {
+          attrs.push_back(a);
+        }
+        // The frozen classic path runs the same scans; keep it honest too.
+        for (const std::string& a : tokenizer.ExtractClassic(line).attrs) {
+          attrs.push_back("classic:" + a);
+        }
+      }
+    }
+    for (size_t m = 1; m < attrs_by_mode.size(); ++m) {
+      EXPECT_EQ(attrs_by_mode[m], attrs_by_mode[0]);
+    }
+  }
+}
+
+TEST(TextLayerEquivalence, WordClassesAndJsonEscapeIdenticalAcrossTiers) {
+  const std::vector<std::string> words = {
+      "2010",      "EXAMPLE.COM", "a@b.com",  "12345",   "US",
+      "+1.555",    "\"quoted\"",  "normal",   "MiXeD",   "\x80\xffhi",
+      "2010-04-01T00:00:00Z",     std::string(64, '7'),
+  };
+  std::vector<std::vector<std::string>> out_by_mode;
+  for (Mode mode : TestableModes()) {
+    ForcedMode forced(mode);
+    auto& out = out_by_mode.emplace_back();
+    for (const std::string& w : words) {
+      for (const text::WordClass cls : text::ClassifyWord(w)) {
+        out.push_back(std::string(text::WordClassName(cls)));
+      }
+      out.push_back(util::JsonWriter::Escape(w));
+    }
+    out.push_back(util::JsonWriter::Escape(
+        std::string("\x01\x02\x03 escape \"all\" the \\ things\r\n\t")));
+  }
+  for (size_t m = 1; m < out_by_mode.size(); ++m) {
+    EXPECT_EQ(out_by_mode[m], out_by_mode[0]);
+  }
+}
+
+}  // namespace
+}  // namespace whoiscrf::util::scan
