@@ -1,72 +1,109 @@
 #!/usr/bin/env python3
-"""Perf-regression guard: compares a BENCH_parse_throughput.json artifact
-against the checked-in floors in bench/bench_floor.json and fails when a
-reading regresses more than the configured tolerance below a floor.
+"""Perf-regression guard: compares BENCH_*.json artifacts against the
+checked-in bounds in bench/bench_floor.json and fails when a reading
+strays more than the configured tolerance past its bound.
 
-    python3 scripts/check_bench_floor.py BENCH_parse_throughput.json \
-        [bench/bench_floor.json]
+    python3 scripts/check_bench_floor.py BENCH_a.json [BENCH_b.json ...] \
+        [--floors bench/bench_floor.json]
 
 Run by the bench-smoke CI job after the smoke suite, so a change that
-quietly degenerates the fast path (or breaks its bit-identity with the
-naive parser) fails CI instead of only shifting a number nobody reads.
+quietly degenerates a guarded path (the workspace fast path toward the
+naive loop, the cascade toward the pure CRF, either toward wrong answers)
+fails CI instead of only shifting a number nobody reads.
 
-Checks, in order:
-  * checksums_match must be true — the fast path must stay bit-identical
-    to the naive parser; an approximate "speedup" is a correctness bug.
-  * fast_rps >= fast_rps_floor * (1 - tolerance) — absolute catastrophic
-    floor; conservative because smoke runs are single-pass on shared
-    runners.
-  * fast_vs_naive_speedup >= fast_vs_naive_speedup_floor * (1 - tolerance)
-    — the load-independent guard: both sides of the ratio come from the
-    same run, so a slow machine cancels out and only a real regression of
-    the fast path relative to the naive loop trips it.
+Each artifact names itself via its "bench" field; the floors file holds
+one section per bench name. Within a section:
+  * keys ending `_floor`   — value >= floor * (1 - tolerance)
+  * keys ending `_ceiling` — value <= ceiling * (1 + tolerance)
+  * `require_checksums_match: true` — the artifact's checksums_match must
+    be true (bit-identity checks: an approximate "speedup" is a
+    correctness bug, not a win)
+Artifacts whose bench name has no section are skipped with a notice, so
+adding a bench does not force adding floors for it.
 """
 import json
 import pathlib
 import sys
 
 
-def main(argv: list[str]) -> int:
-    if len(argv) < 2 or len(argv) > 3:
-        print(__doc__, file=sys.stderr)
-        return 2
-    bench_path = pathlib.Path(argv[1])
-    floor_path = pathlib.Path(
-        argv[2]
-        if len(argv) == 3
-        else pathlib.Path(__file__).resolve().parent.parent
+def check_artifact(bench: dict, section: dict, tolerance: float,
+                   failures: list) -> None:
+    name = bench.get("bench", "?")
+    if section.get("require_checksums_match"):
+        if bench.get("checksums_match") is not True:
+            failures.append(
+                f"[{name}] checksums_match is not true: the guarded path "
+                "no longer reproduces its reference bit-for-bit"
+            )
+    for key, bound in section.items():
+        if key.endswith("_floor"):
+            metric, is_floor = key[: -len("_floor")], True
+        elif key.endswith("_ceiling"):
+            metric, is_floor = key[: -len("_ceiling")], False
+        else:
+            continue
+        if metric not in bench:
+            failures.append(f"[{name}] artifact has no metric '{metric}'")
+            continue
+        value = float(bench[metric])
+        bound = float(bound)
+        if is_floor:
+            cutoff = bound * (1.0 - tolerance)
+            ok = value >= cutoff
+            kind = "floor"
+        else:
+            cutoff = bound * (1.0 + tolerance)
+            ok = value <= cutoff
+            kind = "ceiling"
+        print(
+            f"[{name}] {metric}: {value:.4f} ({kind} {bound:.4f}, "
+            f"cutoff {cutoff:.4f}) {'ok' if ok else 'FAIL'}"
+        )
+        if not ok:
+            failures.append(
+                f"[{name}] {metric} {value:.4f} is past cutoff "
+                f"{cutoff:.4f} ({kind} {bound:.4f}, "
+                f"{tolerance:.0%} tolerance)"
+            )
+
+
+def main(argv: list) -> int:
+    args = argv[1:]
+    floor_path = (
+        pathlib.Path(__file__).resolve().parent.parent
         / "bench"
         / "bench_floor.json"
     )
-    bench = json.loads(bench_path.read_text())
+    if "--floors" in args:
+        i = args.index("--floors")
+        floor_path = pathlib.Path(args[i + 1])
+        del args[i : i + 2]
+    # Legacy positional form: last arg is the floors file itself.
+    if len(args) >= 2 and pathlib.Path(args[-1]).name == "bench_floor.json":
+        floor_path = pathlib.Path(args[-1])
+        args = args[:-1]
+    if not args:
+        print(__doc__, file=sys.stderr)
+        return 2
+
     floors = json.loads(floor_path.read_text())
     tolerance = float(floors["tolerance"])
 
-    failures: list[str] = []
-    if bench.get("checksums_match") is not True:
-        failures.append(
-            "checksums_match is not true: the fast path no longer "
-            "reproduces the naive parser bit-for-bit"
-        )
+    failures: list = []
+    checked = 0
+    for bench_arg in args:
+        bench = json.loads(pathlib.Path(bench_arg).read_text())
+        name = bench.get("bench")
+        section = floors.get(name) if isinstance(name, str) else None
+        if not isinstance(section, dict):
+            print(f"(no floors for bench '{name}', skipping {bench_arg})")
+            continue
+        checked += 1
+        check_artifact(bench, section, tolerance, failures)
 
-    def check(metric: str, floor_key: str) -> None:
-        value = float(bench[metric])
-        floor = float(floors[floor_key])
-        cutoff = floor * (1.0 - tolerance)
-        verdict = "ok" if value >= cutoff else "FAIL"
-        print(
-            f"{metric}: {value:.2f} (floor {floor:.2f}, "
-            f"cutoff {cutoff:.2f}) {verdict}"
-        )
-        if value < cutoff:
-            failures.append(
-                f"{metric} {value:.2f} is below cutoff {cutoff:.2f} "
-                f"(floor {floor:.2f} - {tolerance:.0%} tolerance)"
-            )
-
-    check("fast_rps", "fast_rps_floor")
-    check("fast_vs_naive_speedup", "fast_vs_naive_speedup_floor")
-
+    if checked == 0:
+        print("no artifact matched a floors section", file=sys.stderr)
+        return 2
     if failures:
         print("\nbench floor check FAILED:", file=sys.stderr)
         for f in failures:

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Cross-checks the CLI <-> docs contract: every flag the `whoiscrf`
+binary's per-command --help tables emit must be mentioned (as `--flag`)
+somewhere in README.md or docs/*.md — a flag nobody documented is a flag
+nobody will find. Run from anywhere:
+
+    python3 scripts/check_cli_docs.py [repo_root]            # source mode
+    python3 scripts/check_cli_docs.py --binary PATH [root]   # binary mode
+
+Source mode parses src/cli/help.cc (the single source of truth the binary
+prints), so the lint CI job can run it without building. Binary mode runs
+`PATH <command> --help` for every command and parses the live output; it
+is wired into CTest as `cli_docs_check`, so the two modes cross-check each
+other: help.cc drift fails lint, and a flag added to the binary without a
+help entry never reaches either mode — which is exactly why RunCommand
+routes --help through CommandHelp() rather than a second table.
+
+The check is one-directional on purpose: docs may mention flags in prose
+that discuss removed or hypothetical options, but every *real* flag must
+be documented.
+"""
+import pathlib
+import re
+import subprocess
+import sys
+
+# A flag line in a help table: two spaces, the flag, optional metavar.
+HELP_FLAG = re.compile(r"^\s{2}(--[A-Za-z0-9-]+)", re.MULTILINE)
+# Commands registered in help.cc:  add("gen", kGenHelp);
+HELP_ADD = re.compile(r'add\("([a-z]+)",\s*k\w+Help\)')
+
+
+def flags_from_source(root: pathlib.Path) -> dict:
+    source = (root / "src" / "cli" / "help.cc").read_text()
+    commands = HELP_ADD.findall(source)
+    if not commands:
+        raise RuntimeError("no add(\"<cmd>\", k...Help) lines in help.cc")
+    # Source mode cannot easily split per command, and does not need to:
+    # the contract is flag -> documented, so attribute every flag found in
+    # any help table (including kGlobalFlags) to the file as a whole.
+    return {"help.cc": sorted(set(HELP_FLAG.findall(source)))}
+
+
+def flags_from_binary(binary: str, root: pathlib.Path) -> dict:
+    source = (root / "src" / "cli" / "help.cc").read_text()
+    commands = HELP_ADD.findall(source)
+    out: dict = {}
+    for command in commands:
+        proc = subprocess.run(
+            [binary, command, "--help"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"`{binary} {command} --help` exited {proc.returncode}: "
+                f"{proc.stderr.strip()}"
+            )
+        flags = sorted(set(HELP_FLAG.findall(proc.stdout)))
+        if not flags:
+            raise RuntimeError(
+                f"`{binary} {command} --help` printed no flag table"
+            )
+        out[command] = flags
+    return out
+
+
+def documented_flags(root: pathlib.Path) -> set:
+    mentioned: set = set()
+    paths = [root / "README.md"]
+    paths.extend(sorted((root / "docs").glob("*.md")))
+    for path in paths:
+        mentioned.update(
+            re.findall(r"--[A-Za-z0-9-]+", path.read_text())
+        )
+    return mentioned
+
+
+def main(argv: list) -> int:
+    args = argv[1:]
+    binary = None
+    if "--binary" in args:
+        i = args.index("--binary")
+        binary = args[i + 1]
+        del args[i : i + 2]
+    root = pathlib.Path(args[0] if args else ".").resolve()
+
+    if binary is not None:
+        per_command = flags_from_binary(binary, root)
+    else:
+        per_command = flags_from_source(root)
+    documented = documented_flags(root)
+
+    missing: list = []
+    total = 0
+    for command, flags in sorted(per_command.items()):
+        total += len(flags)
+        for flag in flags:
+            if flag not in documented:
+                missing.append((command, flag))
+
+    if missing:
+        print(
+            "CLI flags emitted by --help but mentioned nowhere in "
+            "README.md or docs/*.md:",
+            file=sys.stderr,
+        )
+        for command, flag in missing:
+            print(f"  [{command}] {flag}", file=sys.stderr)
+        return 1
+    mode = "binary" if binary is not None else "source"
+    print(
+        f"ok: {total} help-table flags across {len(per_command)} "
+        f"{'commands' if binary else 'file(s)'} all documented "
+        f"({mode} mode)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

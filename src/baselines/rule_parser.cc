@@ -133,6 +133,12 @@ Level2Label GuessRegistrantSub(const text::Line& line, int position_in_block) {
   if (!words.empty() && util::IsDigits(words.front())) {
     return Level2Label::kStreet;
   }
+  // Organization before the country check: "Granite Holdings" is two
+  // capitalized alpha words just like a country name, but the corporate
+  // designator decides.
+  if (RuleBasedParser::LooksLikeOrgName(trimmed)) {
+    return Level2Label::kOrg;
+  }
   // Country names are short all-alpha lines late in the block.
   if (words.size() <= 3 && position_in_block >= 3) {
     bool all_alpha = true;
@@ -143,7 +149,12 @@ Level2Label GuessRegistrantSub(const text::Line& line, int position_in_block) {
     }
     if (all_alpha) return Level2Label::kCountry;
   }
-  if (position_in_block <= 1) return Level2Label::kName;
+  // The holder's name opens the block — possibly after a header line
+  // and/or an organization line, both recognized above, so the window is
+  // the first three positions. Streets and cities there are already
+  // claimed by the digit/composite rules; a stray "Suite 589" mislabeled
+  // kName is harmless because extraction keeps the first name seen.
+  if (position_in_block <= 2) return Level2Label::kName;
   return Level2Label::kOther;
 }
 
@@ -165,6 +176,26 @@ std::string RuleBasedParser::NormalizeTitle(std::string_view title) {
   }
   while (!out.empty() && out.back() == ' ') out.pop_back();
   return out;
+}
+
+bool RuleBasedParser::LooksLikeOrgName(std::string_view value) {
+  const std::string_view trimmed = util::Trim(value);
+  if (trimmed.empty()) return false;
+  const size_t pos = trimmed.find_last_of(" \t");
+  std::string last = util::ToLower(
+      pos == std::string_view::npos ? trimmed : trimmed.substr(pos + 1));
+  while (!last.empty() && (last.back() == '.' || last.back() == ',')) {
+    last.pop_back();
+  }
+  static constexpr std::string_view kDesignators[] = {
+      "llc",      "inc",      "corp",     "co",   "group", "holdings",
+      "ventures", "solutions", "media",   "consulting",    "gmbh",
+      "ag",       "kg",       "sarl",     "sas",  "sa",    "k.k",
+      "kk",       "ltd",      "limited",  "plc"};
+  for (const std::string_view d : kDesignators) {
+    if (last == d) return true;
+  }
+  return false;
 }
 
 RuleBasedParser RuleBasedParser::Build(
@@ -281,10 +312,15 @@ RuleBasedParser RuleBasedParser::RollBack(
 }
 
 std::vector<Level1Label> RuleBasedParser::LabelLines(
-    std::string_view record_text) const {
-  const auto lines = text::SplitRecord(record_text);
+    std::string_view record_text, RuleLabelStats* stats) const {
+  return LabelLines(text::SplitRecord(record_text), stats);
+}
+
+std::vector<Level1Label> RuleBasedParser::LabelLines(
+    const std::vector<text::Line>& lines, RuleLabelStats* stats) const {
   std::vector<Level1Label> out;
   out.reserve(lines.size());
+  RuleLabelStats local;
 
   // Plain flag+value instead of std::optional (GCC 12 spurious
   // -Wmaybe-uninitialized through the optional's storage).
@@ -298,6 +334,7 @@ std::vector<Level1Label> RuleBasedParser::LabelLines(
       const std::string key = NormalizeTitle(sep->title);
       auto it = title_rules_.find(key);
       if (it != title_rules_.end() && !sep->value.empty()) {
+        ++local.learned_hits;
         out.push_back(it->second.label);
         continue;
       }
@@ -305,14 +342,17 @@ std::vector<Level1Label> RuleBasedParser::LabelLines(
       if (hit != header_rules_.end() && sep->value.empty()) {
         has_context = true;
         context = hit->second;
+        ++local.learned_hits;
         out.push_back(hit->second);
         continue;
       }
       if (it != title_rules_.end()) {  // known title, empty value
+        ++local.learned_hits;
         out.push_back(it->second.label);
         continue;
       }
       // Unknown title: keyword fallback.
+      ++local.unknown_titles;
       if (auto guess = TitleKeywordLabel(key)) {
         if (sep->value.empty() &&
             (*guess == Level1Label::kRegistrant ||
@@ -320,8 +360,14 @@ std::vector<Level1Label> RuleBasedParser::LabelLines(
           has_context = true;
           context = *guess;
         }
+        ++local.keyword_hits;
         out.push_back(*guess);
         continue;
+      }
+      if (has_context) {
+        ++local.context_hits;
+      } else {
+        ++local.fallback_lines;
       }
       out.push_back(has_context ? context : Level1Label::kNull);
       continue;
@@ -333,15 +379,18 @@ std::vector<Level1Label> RuleBasedParser::LabelLines(
     if (hit != header_rules_.end()) {
       has_context = true;
       context = hit->second;
+      ++local.learned_hits;
       out.push_back(hit->second);
       continue;
     }
     auto bit = bare_rules_.find(key);
     if (bit != bare_rules_.end()) {
+      ++local.learned_hits;
       out.push_back(bit->second);
       continue;
     }
     if (has_context) {
+      ++local.context_hits;
       out.push_back(context);
       continue;
     }
@@ -353,24 +402,26 @@ std::vector<Level1Label> RuleBasedParser::LabelLines(
         has_context = true;
         context = *guess;
       }
+      ++local.keyword_hits;
       out.push_back(*guess);
       continue;
     }
+    ++local.fallback_lines;
     out.push_back(UntitledFallback(line));
   }
+  local.labeled_lines = out.size();
+  if (stats != nullptr) *stats = local;
   return out;
 }
 
-whois::ParsedWhois RuleBasedParser::Parse(std::string_view record_text) const {
-  whois::ParsedWhois parsed;
-  const auto lines = text::SplitRecord(record_text);
-  parsed.line_labels = LabelLines(record_text);
-
-  // Second level: title-rule subs where known, address heuristics otherwise.
+std::vector<Level2Label> RuleBasedParser::RegistrantSubLabels(
+    const std::vector<text::Line>& lines,
+    const std::vector<Level1Label>& labels) const {
+  // Title-rule subs where known, address heuristics otherwise.
   std::vector<Level2Label> subs;
   int block_pos = 0;
   for (size_t i = 0; i < lines.size(); ++i) {
-    if (parsed.line_labels[i] != Level1Label::kRegistrant) {
+    if (labels[i] != Level1Label::kRegistrant) {
       block_pos = 0;
       continue;
     }
@@ -391,7 +442,15 @@ whois::ParsedWhois RuleBasedParser::Parse(std::string_view record_text) const {
     subs.push_back(*sub);
     ++block_pos;
   }
+  return subs;
+}
 
+whois::ParsedWhois RuleBasedParser::Parse(std::string_view record_text) const {
+  whois::ParsedWhois parsed;
+  const auto lines = text::SplitRecord(record_text);
+  parsed.line_labels = LabelLines(lines);
+  const std::vector<Level2Label> subs =
+      RegistrantSubLabels(lines, parsed.line_labels);
   whois::ExtractFields(lines, parsed.line_labels, subs, parsed);
   return parsed;
 }

@@ -22,9 +22,33 @@
 #include <unordered_map>
 #include <vector>
 
+#include "text/line_splitter.h"
 #include "whois/record.h"
 
 namespace whoiscrf::baselines {
+
+// Provenance of one LabelLines pass: how many lines were decided by which
+// kind of rule. The cascade (src/cascade/) reads these as a confidence
+// signal — a record labeled mostly by exact learned rules is one the rule
+// base was effectively developed against, while keyword guesses and
+// fallbacks mark extrapolation the CRF should double-check.
+struct RuleLabelStats {
+  size_t labeled_lines = 0;  // lines labeled (== labels.size())
+  size_t learned_hits = 0;   // exact title / header / bare-line rule hits
+  size_t context_hits = 0;   // untitled lines inheriting a block context
+  size_t keyword_hits = 0;   // keyword fallback guesses (titled or header)
+  size_t fallback_lines = 0; // word-class/legalese heuristics or default
+  size_t unknown_titles = 0; // titled lines no learned rule recognized
+
+  // Fraction of lines decided by learned rules or contexts they set up —
+  // the rule parser's self-confidence in [0, 1].
+  double LearnedCoverage() const {
+    return labeled_lines == 0
+               ? 0.0
+               : static_cast<double>(learned_hits + context_hits) /
+                     static_cast<double>(labeled_lines);
+  }
+};
 
 class RuleBasedParser {
  public:
@@ -38,8 +62,24 @@ class RuleBasedParser {
   RuleBasedParser RollBack(
       const std::vector<whois::LabeledRecord>& records) const;
 
-  // Labels every labeled line of a record.
-  std::vector<whois::Level1Label> LabelLines(std::string_view text) const;
+  // Labels every labeled line of a record. With `stats`, also reports the
+  // per-line rule provenance (the cascade's confidence gate input). The
+  // pre-split overload skips re-splitting when the caller already holds the
+  // record's lines.
+  std::vector<whois::Level1Label> LabelLines(
+      std::string_view text, RuleLabelStats* stats = nullptr) const;
+  std::vector<whois::Level1Label> LabelLines(
+      const std::vector<text::Line>& lines,
+      RuleLabelStats* stats = nullptr) const;
+
+  // Level-2 subfield guesses for every line labeled `registrant`: title
+  // rules where known, keyword and address heuristics otherwise. Returned
+  // in registrant-line order (size == count of kRegistrant in `labels`),
+  // the shape whois::ExtractFields takes. Shared by Parse and the
+  // cascade's cheap tiers.
+  std::vector<whois::Level2Label> RegistrantSubLabels(
+      const std::vector<text::Line>& lines,
+      const std::vector<whois::Level1Label>& labels) const;
 
   // Full parse: level-1 labels plus registrant field extraction, for the
   // §2.3 registrant-accuracy comparison.
@@ -52,6 +92,13 @@ class RuleBasedParser {
   // Normalization applied to titles before rule lookup (lower-case,
   // collapse whitespace, strip non-alphanumerics at the edges).
   static std::string NormalizeTitle(std::string_view title);
+
+  // Does this value look like an organization rather than a person? True
+  // when the last word is a corporate designator ("LLC", "GmbH",
+  // "Ltd.", ...) — the pattern rule every WHOIS parser grows for the
+  // name-vs-org split on untitled contact lines. Shared with the template
+  // tier, which uses it to cross-check positional sub-label sequences.
+  static bool LooksLikeOrgName(std::string_view value);
 
  private:
   struct TitleRule {

@@ -7,6 +7,7 @@
 #include "baselines/rule_parser.h"
 #include "text/line_splitter.h"
 #include "text/separator.h"
+#include "text/word_classes.h"
 #include "util/string_util.h"
 
 namespace whoiscrf::baselines {
@@ -44,13 +45,39 @@ TemplateBasedParser TemplateBasedParser::Build(
     record.Validate();
     Template& tpl = by_signature[Signature(record.text)];
     const auto lines = text::SplitRecord(record.text);
+    std::vector<whois::Level2Label> subs;
+    for (size_t i = 0; i < lines.size(); ++i) {
+      if (record.labels[i] == Level1Label::kRegistrant) {
+        subs.push_back(
+            record.sub_labels[i].value_or(whois::Level2Label::kOther));
+      }
+    }
+    // Two same-length blocks with different layouts (name-first vs
+    // org-first) make the count ambiguous; an empty sequence tombstones
+    // it so parsing falls back to heuristics instead of guessing wrong
+    // half the time.
+    if (const auto sit = tpl.subs_by_count.find(subs.size());
+        sit == tpl.subs_by_count.end()) {
+      tpl.subs_by_count.emplace(subs.size(), std::move(subs));
+    } else if (!sit->second.empty() && sit->second != subs) {
+      sit->second.clear();
+    }
     for (size_t i = 0; i < lines.size(); ++i) {
       const Level1Label label = record.labels[i];
       const auto sep = text::FindSeparator(lines[i].text);
       if (sep.has_value() && !sep->title.empty()) {
         const std::string key =
             RuleBasedParser::NormalizeTitle(sep->title);
-        tpl.titles.emplace(key, label);
+        const auto [tit, _] =
+            tpl.titles.emplace(key, Template::TitleEntry{label});
+        // A titled registrant line's title names the exact sub-field
+        // ("registrant name" -> kName); remember it so parsing can
+        // sub-label titled lines without positional guessing.
+        if (tit->second.label == Level1Label::kRegistrant &&
+            tit->second.sub < 0) {
+          tit->second.sub = static_cast<int8_t>(
+              record.sub_labels[i].value_or(whois::Level2Label::kOther));
+        }
         if (sep->value.empty()) tpl.headers.emplace(key, label);
       } else {
         const std::string key =
@@ -77,71 +104,191 @@ TemplateBasedParser TemplateBasedParser::Build(
   TemplateBasedParser parser;
   parser.templates_.reserve(by_signature.size());
   for (auto& [sig, tpl] : by_signature) {
+    parser.signature_index_.emplace(
+        sig, static_cast<int>(parser.templates_.size()));
     parser.templates_.push_back(std::move(tpl));
   }
   return parser;
 }
 
-TemplateBasedParser::Result TemplateBasedParser::Parse(
-    std::string_view record_text) const {
-  const auto lines = text::SplitRecord(record_text);
+bool TemplateBasedParser::Apply(
+    const Template& tpl, const std::vector<text::Line>& lines,
+    const std::vector<LineKey>& keys,
+    std::vector<whois::Level1Label>& labels) const {
+  labels.clear();
+  labels.reserve(lines.size());
+  // Plain flag+value instead of std::optional: GCC 12 issues a spurious
+  // -Wmaybe-uninitialized through the optional's storage here.
+  bool has_context = false;
+  Level1Label context = Level1Label::kNull;
 
-  for (size_t t = 0; t < templates_.size(); ++t) {
-    const Template& tpl = templates_[t];
-    std::vector<Level1Label> labels;
-    labels.reserve(lines.size());
-    // Plain flag+value instead of std::optional: GCC 12 issues a spurious
-    // -Wmaybe-uninitialized through the optional's storage here.
-    bool has_context = false;
-    Level1Label context = Level1Label::kNull;
-    bool ok = true;
-
-    for (const text::Line& line : lines) {
-      if (line.preceded_by_blank) has_context = false;
-      const auto sep = text::FindSeparator(line.text);
-      if (sep.has_value() && !sep->title.empty()) {
-        const std::string key =
-            RuleBasedParser::NormalizeTitle(sep->title);
-        auto it = tpl.titles.find(key);
-        if (it == tpl.titles.end()) {
-          ok = false;  // unknown title: the template does not apply
-          break;
-        }
-        labels.push_back(it->second);
-        auto hit = tpl.headers.find(key);
-        if (hit != tpl.headers.end() && sep->value.empty()) {
-          has_context = true;
-          context = hit->second;
-        }
-        continue;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].preceded_by_blank) has_context = false;
+    const LineKey& lk = keys[i];
+    if (lk.titled) {
+      auto it = tpl.titles.find(lk.key);
+      if (it == tpl.titles.end()) {
+        return false;  // unknown title: the template does not apply
       }
-      const std::string key = RuleBasedParser::NormalizeTitle(line.text);
-      auto hit = tpl.headers.find(key);
-      if (hit != tpl.headers.end()) {
+      labels.push_back(it->second.label);
+      auto hit = tpl.headers.find(lk.key);
+      if (hit != tpl.headers.end() && lk.value_empty) {
         has_context = true;
         context = hit->second;
-        labels.push_back(hit->second);
-        continue;
       }
-      if (has_context) {
-        labels.push_back(context);
-        continue;
-      }
-      auto bit = tpl.bare_lines.find(key);
-      if (bit != tpl.bare_lines.end()) {
-        labels.push_back(bit->second);
-        continue;
-      }
-      ok = false;  // untitled line the template cannot account for
-      break;
+      continue;
     }
+    auto hit = tpl.headers.find(lk.key);
+    if (hit != tpl.headers.end()) {
+      has_context = true;
+      context = hit->second;
+      labels.push_back(hit->second);
+      continue;
+    }
+    if (has_context) {
+      labels.push_back(context);
+      continue;
+    }
+    auto bit = tpl.bare_lines.find(lk.key);
+    if (bit != tpl.bare_lines.end()) {
+      labels.push_back(bit->second);
+      continue;
+    }
+    return false;  // untitled line the template cannot account for
+  }
+  return true;
+}
 
-    if (ok) {
-      Result result;
-      result.matched = true;
-      result.template_index = static_cast<int>(t);
-      result.labels = std::move(labels);
-      return result;
+TemplateBasedParser::Result TemplateBasedParser::Parse(
+    std::string_view record_text) const {
+  return Parse(text::SplitRecord(record_text));
+}
+
+TemplateBasedParser::Result TemplateBasedParser::Parse(
+    const std::vector<text::Line>& lines) const {
+  // Normalize every line once; template attempts below are pure hash
+  // probes against these keys.
+  std::vector<LineKey> keys;
+  keys.reserve(lines.size());
+  for (const text::Line& line : lines) {
+    LineKey lk;
+    const auto sep = text::FindSeparator(line.text);
+    if (sep.has_value() && !sep->title.empty()) {
+      lk.titled = true;
+      lk.value_empty = sep->value.empty();
+      lk.key = RuleBasedParser::NormalizeTitle(sep->title);
+    } else {
+      lk.key = RuleBasedParser::NormalizeTitle(line.text);
+    }
+    keys.push_back(std::move(lk));
+  }
+
+  Result result;
+  const auto finish = [&result, &keys, &lines, this](int index) -> Result& {
+    result.matched = true;
+    result.template_index = index;
+    const Template& tpl = templates_[static_cast<size_t>(index)];
+    // Resolve each registrant line's sub-label: titled lines carry the
+    // exact sub their title was learned with; untitled block lines take
+    // their position in the sequence learned for a same-length block.
+    // Any unresolvable line leaves registrant_subs empty — a partial
+    // sub-labeling would misalign downstream extraction.
+    std::vector<size_t> reg_lines;
+    for (size_t i = 0; i < result.labels.size(); ++i) {
+      if (result.labels[i] == Level1Label::kRegistrant) {
+        reg_lines.push_back(i);
+      }
+    }
+    if (reg_lines.empty()) return result;
+    const auto seq = tpl.subs_by_count.find(reg_lines.size());
+    std::vector<whois::Level2Label> subs;
+    subs.reserve(reg_lines.size());
+    for (size_t p = 0; p < reg_lines.size(); ++p) {
+      int sub = -1;
+      const LineKey& lk = keys[reg_lines[p]];
+      if (lk.titled) {
+        if (const auto it = tpl.titles.find(lk.key);
+            it != tpl.titles.end()) {
+          sub = it->second.sub;
+        }
+      }
+      if (sub < 0 && seq != tpl.subs_by_count.end() &&
+          !seq->second.empty()) {
+        sub = static_cast<int>(seq->second[p]);
+        // A positional sequence is a layout hypothesis — same-length
+        // blocks can differ (an optional org line shifts everything).
+        // Concrete content cues veto a hypothesis that contradicts the
+        // line it labels: a person/org slot must not hold a street,
+        // phone, or email, and an email slot must hold one. One vetoed
+        // line rejects the whole sequence and the record falls back to
+        // the heuristic guesses.
+        using whois::Level2Label;
+        const auto s = static_cast<Level2Label>(sub);
+        const std::string_view raw = lines[reg_lines[p]].text;
+        const std::string_view trimmed = util::Trim(raw);
+        const auto words = util::SplitWhitespace(trimmed);
+        const bool email_like =
+            trimmed.find('@') != std::string_view::npos;
+        const bool street_like =
+            !words.empty() && util::IsDigits(words.front());
+        const bool phone_like = !words.empty() &&
+                                text::IsPhoneLike(trimmed) &&
+                                !util::IsDigits(trimmed);
+        const bool contact_slot =
+            s == Level2Label::kName || s == Level2Label::kOrg;
+        if ((contact_slot &&
+             (street_like || phone_like || email_like)) ||
+            (s == Level2Label::kName &&
+             RuleBasedParser::LooksLikeOrgName(trimmed)) ||
+            (s == Level2Label::kEmail && !email_like) ||
+            (s != Level2Label::kEmail && email_like)) {
+          sub = -1;
+        }
+      }
+      if (sub < 0) return result;
+      subs.push_back(static_cast<whois::Level2Label>(sub));
+    }
+    result.registrant_subs = std::move(subs);
+    return result;
+  };
+
+  // Fast path: the record's exact title-set names one stored template.
+  // Views into the keys, sorted and deduplicated in place, rebuild the
+  // same signature Build() computed — without a per-record set of owned
+  // strings (this runs for every record the cascade dispatches).
+  std::vector<std::string_view> title_keys;
+  title_keys.reserve(keys.size());
+  size_t signature_bytes = 0;
+  for (const LineKey& lk : keys) {
+    if (lk.titled) {
+      title_keys.push_back(lk.key);
+      signature_bytes += lk.key.size() + 1;
+    }
+  }
+  std::sort(title_keys.begin(), title_keys.end());
+  title_keys.erase(std::unique(title_keys.begin(), title_keys.end()),
+                   title_keys.end());
+  std::string signature;
+  signature.reserve(signature_bytes);
+  for (const std::string_view t : title_keys) {
+    signature += t;
+    signature += '\x1f';
+  }
+  int indexed = -1;
+  if (auto it = signature_index_.find(signature);
+      it != signature_index_.end()) {
+    indexed = it->second;
+    if (Apply(templates_[static_cast<size_t>(indexed)], lines, keys,
+              result.labels)) {
+      return finish(indexed);
+    }
+  }
+  // Slow path: a record with dropped or inherited-context lines can still
+  // satisfy a template whose signature is a superset of its titles.
+  for (size_t t = 0; t < templates_.size(); ++t) {
+    if (static_cast<int>(t) == indexed) continue;  // already tried
+    if (Apply(templates_[t], lines, keys, result.labels)) {
+      return finish(static_cast<int>(t));
     }
   }
   return Result{};

@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "text/line_splitter.h"
 #include "whois/record.h"
 
 namespace whoiscrf::baselines {
@@ -26,6 +27,14 @@ class TemplateBasedParser {
     bool matched = false;              // did any template apply cleanly?
     int template_index = -1;           // which one
     std::vector<whois::Level1Label> labels;  // valid only when matched
+    // Level-2 labels for the record's registrant lines, in registrant-line
+    // order, when every one of them is resolvable from the template:
+    // titled lines carry the sub-label their title was learned with (the
+    // title is the field's schema, so this is exact), and untitled block
+    // lines take the position in the sub-label sequence learned for a
+    // block of the same line count. Empty when any line is unresolvable;
+    // callers then fall back to their own heuristics.
+    std::vector<whois::Level2Label> registrant_subs;
   };
 
   // Learns one template per distinct title-set in the labeled corpus
@@ -34,22 +43,59 @@ class TemplateBasedParser {
       const std::vector<whois::LabeledRecord>& records);
 
   // Attempts to parse; fails closed when no template covers the record.
+  // Line keys are normalized once per record (not once per template
+  // attempt), and a record whose exact title-set matches a stored
+  // template's signature tries that template first — the common case in a
+  // cascade dispatch loop is then one hash lookup plus one linear
+  // application. When several templates apply cleanly, which one is
+  // reported is unspecified. The pre-split overload skips re-splitting.
   Result Parse(std::string_view record_text) const;
+  Result Parse(const std::vector<text::Line>& lines) const;
 
   size_t num_templates() const { return templates_.size(); }
 
  private:
   struct Template {
+    struct TitleEntry {
+      whois::Level1Label label;
+      // Learned level-2 sub-label for titled registrant lines ("registrant
+      // name" -> kName), exact because the title *is* the field's schema;
+      // -1 when the title is not a registrant field.
+      int8_t sub = -1;
+    };
     // Exact normalized titles -> labels for titled lines.
-    std::unordered_map<std::string, whois::Level1Label> titles;
+    std::unordered_map<std::string, TitleEntry> titles;
     // Exact normalized whole-line keys -> labels for untitled lines
     // (headers, boilerplate, and block members seen during construction).
     std::unordered_map<std::string, whois::Level1Label> bare_lines;
     // Label contexts that untitled lines inherit inside blocks.
     std::unordered_map<std::string, whois::Level1Label> headers;
+    // Registrant-block sub-label sequences by block line count (block
+    // layout is format structure, but blocks vary in length — optional
+    // org, second street line — so each observed length keeps the first
+    // sequence that exhibited it). A length seen with two *different*
+    // sequences is ambiguous and tombstoned with an empty vector:
+    // guessing between layouts is worse than falling back to heuristics.
+    std::unordered_map<size_t, std::vector<whois::Level2Label>>
+        subs_by_count;
   };
 
+  // One line of a record, normalized once for all template attempts.
+  struct LineKey {
+    bool titled = false;
+    bool value_empty = false;
+    std::string key;  // normalized title (titled) or whole line (untitled)
+  };
+
+  bool Apply(const Template& tpl, const std::vector<text::Line>& lines,
+             const std::vector<LineKey>& keys,
+             std::vector<whois::Level1Label>& labels) const;
+
   std::vector<Template> templates_;
+  // Exact title-set signature -> index into templates_, for the O(1)
+  // dispatch fast path. Records with missing/extra lines still fall back
+  // to the linear scan below, so coverage is unchanged.
+  std::unordered_map<std::string, int> signature_index_;
 };
 
 }  // namespace whoiscrf::baselines

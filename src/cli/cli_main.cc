@@ -32,6 +32,8 @@ void PrintUsage() {
                "          [--stream] [--store-out PREFIX] [--resume]\n"
                "          [--checkpoint-interval N] [--watchdog-ms MS]\n"
                "          [--max-record-bytes N] [--beam K]\n"
+               "          [--cascade --cascade-data FILE "
+               "[--shadow-rate R]]\n"
                "  adapt   --model FILE --data FILE --out FILE\n"
                "  eval    --model FILE --data FILE [--confusion]\n"
                "  select  --model FILE --in FILE [--k N]\n"
@@ -40,13 +42,15 @@ void PrintUsage() {
                "  serve   --model FILE [--port N] [--threads K]\n"
                "          [--queue-capacity N] [--cache-entries N]\n"
                "          [--deadline-ms D] [--max-record-bytes N]\n"
+               "          [--cascade-data FILE [--shadow-rate R]]\n"
                "\n"
                "global flags (every command):\n"
                "  --metrics-out FILE   write metrics when the command ends\n"
                "                       (.prom/.txt Prometheus, .jsonl append,\n"
                "                       else JSON run report)\n"
                "  --trace-out FILE     record trace spans; open the file at\n"
-               "                       chrome://tracing or ui.perfetto.dev\n");
+               "                       chrome://tracing or ui.perfetto.dev\n"
+               "  --help               per-command flag table\n");
 }
 
 }  // namespace

@@ -3,7 +3,9 @@
 #include <memory>
 #include <stdexcept>
 
+#include "cascade/cascade.h"
 #include "cli/commands.h"
+#include "obs/metrics.h"
 #include "text/line_splitter.h"
 #include "util/chunk_reader.h"
 #include "util/thread_pool.h"
@@ -58,6 +60,27 @@ void PrintParsed(const std::string& format, const std::string& record,
   }
 }
 
+// Post-run cascade summary: where records landed and what the shadow
+// guard saw (mirrors the serve command's drain summary).
+void PrintCascadeSummary(const cascade::CascadeParser& cascade) {
+  const auto& registry = obs::Registry::Global();
+  const auto by_tier = [&](const char* tier) {
+    return static_cast<unsigned long long>(registry.CounterValue(
+        "whoiscrf_cascade_dispatch_total", {{"tier", tier}}));
+  };
+  std::fprintf(stderr,
+               "parse: cascade dispatch — %llu template, %llu rule, "
+               "%llu crf\n",
+               by_tier("template"), by_tier("rule"), by_tier("crf"));
+  for (const auto& [registrar, stats] : cascade.ShadowSnapshot()) {
+    std::fprintf(stderr,
+                 "parse: shadow %s — %llu sampled, %llu disagreed\n",
+                 registrar.c_str(),
+                 static_cast<unsigned long long>(stats.samples),
+                 static_cast<unsigned long long>(stats.disagreements));
+  }
+}
+
 }  // namespace
 
 int CmdParse(util::FlagParser& flags) {
@@ -71,8 +94,24 @@ int CmdParse(util::FlagParser& flags) {
   const bool stream = flags.GetBool("stream");
   // --beam K: opt-in beam-pruned Viterbi (K highest-scoring predecessor
   // states per step, restricted to transitions observed in training).
-  // 0 (the default) is exact decoding. In-memory mode only.
-  const int beam = flags.GetInt("beam", 0);
+  // Omitting the flag means exact decoding. In-memory mode only.
+  const bool has_beam = flags.Has("beam");
+  const int beam = static_cast<int>(flags.GetInt("beam", 0));
+  // --cascade: dispatch template -> rules -> CRF (docs/cascade.md), with
+  // the cheap tiers built from the --cascade-data labeled corpus.
+  const bool use_cascade = flags.GetBool("cascade");
+  std::string cascade_data;
+  cascade::CascadeOptions cascade_options;
+  if (use_cascade) {
+    cascade_data = flags.GetString("cascade-data");
+    cascade_options.shadow_sample_rate = flags.GetDouble("shadow-rate", 0.0);
+    cascade_options.rule_coverage_min =
+        flags.GetDouble("rule-coverage-min", cascade_options.rule_coverage_min);
+    cascade_options.rule_max_unknown_titles = static_cast<size_t>(
+        flags.GetInt("rule-max-unknown",
+                     static_cast<int64_t>(
+                         cascade_options.rule_max_unknown_titles)));
+  }
   const bool resume = flags.GetBool("resume");
   const auto checkpoint_interval =
       static_cast<uint64_t>(flags.GetInt("checkpoint-interval", 4096));
@@ -88,15 +127,44 @@ int CmdParse(util::FlagParser& flags) {
     std::fprintf(stderr, "parse: unknown --format '%s'\n", format.c_str());
     return 2;
   }
-  if (beam < 0) {
-    std::fprintf(stderr, "parse: --beam must be >= 0\n");
+  if (has_beam && beam <= 0) {
+    std::fprintf(stderr,
+                 "parse: --beam must be >= 1 (omit the flag for exact "
+                 "decoding)\n");
     return 2;
   }
   if (beam > 0 && stream) {
     std::fprintf(stderr, "parse: --beam is not supported with --stream\n");
     return 2;
   }
+  if (use_cascade) {
+    if (cascade_data.empty()) {
+      std::fprintf(stderr, "parse: --cascade requires --cascade-data\n");
+      return 2;
+    }
+    if (beam > 0) {
+      std::fprintf(stderr,
+                   "parse: --beam only applies to the pure-CRF path, not "
+                   "--cascade\n");
+      return 2;
+    }
+    if (cascade_options.shadow_sample_rate < 0.0 ||
+        cascade_options.shadow_sample_rate > 1.0) {
+      std::fprintf(stderr, "parse: --shadow-rate must be in [0, 1]\n");
+      return 2;
+    }
+  }
   const whois::WhoisParser parser = whois::WhoisParser::LoadFile(model_path);
+
+  // The cascade's cheap tiers are rebuilt from the labeled corpus at
+  // startup (they are just hash maps; construction is negligible next to
+  // model load).
+  std::unique_ptr<cascade::CascadeParser> cascade_parser;
+  if (use_cascade) {
+    cascade_parser = std::make_unique<cascade::CascadeParser>(
+        &parser, whois::ReadLabeledRecordsFile(cascade_data),
+        cascade_options);
+  }
 
   if (stream) {
     // Streaming mode: bounded-memory pipeline, output still in input
@@ -120,6 +188,13 @@ int CmdParse(util::FlagParser& flags) {
     whois::StreamPipelineOptions options;
     options.threads = threads;
     options.watchdog_timeout_ms = watchdog_ms;
+    if (cascade_parser) {
+      options.parse_override = [&cascade = *cascade_parser](
+                                   const std::string& record,
+                                   whois::ParseWorkspace& ws) {
+        return cascade.ParseRecord(record, ws);
+      };
+    }
     if (!store_out.empty()) {
       // Crash-safe path: records land in a checkpointed store, poison
       // records go to `<store_out>-quarantine`, and --resume continues an
@@ -142,6 +217,7 @@ int CmdParse(util::FlagParser& flags) {
                    static_cast<unsigned long long>(result.records_stored),
                    static_cast<unsigned long long>(result.skipped),
                    static_cast<unsigned long long>(result.quarantined));
+      if (cascade_parser) PrintCascadeSummary(*cascade_parser);
       return 0;
     }
     whois::ParseStream(parser, *source, options,
@@ -149,6 +225,7 @@ int CmdParse(util::FlagParser& flags) {
                            const whois::ParsedWhois& parsed) {
                          PrintParsed(format, record, parsed);
                        });
+    if (cascade_parser) PrintCascadeSummary(*cascade_parser);
     return 0;
   }
 
@@ -170,15 +247,26 @@ int CmdParse(util::FlagParser& flags) {
   } else {
     records = ReadRawRecords(in);
   }
-  util::ThreadPool pool(threads);
-  const std::vector<whois::ParsedWhois> parses =
-      parser.ParseBatch(records, pool, beam);
+  std::vector<whois::ParsedWhois> parses;
+  if (cascade_parser) {
+    // Cascade in-memory mode: one workspace, records in order (the
+    // streaming path above is the parallel one).
+    whois::ParseWorkspace ws;
+    parses.reserve(records.size());
+    for (const std::string& record : records) {
+      parses.push_back(cascade_parser->ParseRecord(record, ws));
+    }
+  } else {
+    util::ThreadPool pool(threads);
+    parses = parser.ParseBatch(records, pool, beam);
+  }
 
   for (size_t r = 0; r < records.size(); ++r) {
     if (store_writer) store_writer->Append(records[r]);
     PrintParsed(format, records[r], parses[r]);
   }
   if (store_writer) store_writer->Finish();
+  if (cascade_parser) PrintCascadeSummary(*cascade_parser);
   return 0;
 }
 

@@ -7,8 +7,10 @@
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <thread>
 
+#include "cascade/cascade.h"
 #include "cli/commands.h"
 #include "obs/metrics.h"
 #include "serve/server.h"
@@ -40,12 +42,38 @@ int CmdServe(util::FlagParser& flags) {
   // Self-drain after N ms, for tests and demos that cannot send signals.
   const auto drain_after_ms =
       static_cast<uint64_t>(flags.GetInt("drain-after-ms", 0));
+  // --cascade-data enables the parser cascade (docs/cascade.md): requests
+  // dispatch template -> rules -> CRF instead of always paying CRF cost.
+  const std::string cascade_data = flags.GetString("cascade-data");
+  cascade::CascadeOptions cascade_options;
+  if (!cascade_data.empty()) {
+    cascade_options.shadow_sample_rate = flags.GetDouble("shadow-rate", 0.0);
+    cascade_options.rule_coverage_min =
+        flags.GetDouble("rule-coverage-min", cascade_options.rule_coverage_min);
+    cascade_options.rule_max_unknown_titles = static_cast<size_t>(
+        flags.GetInt("rule-max-unknown",
+                     static_cast<int64_t>(
+                         cascade_options.rule_max_unknown_titles)));
+    if (cascade_options.shadow_sample_rate < 0.0 ||
+        cascade_options.shadow_sample_rate > 1.0) {
+      std::fprintf(stderr, "serve: --shadow-rate must be in [0, 1]\n");
+      return 2;
+    }
+  }
   if (model_path.empty()) {
     std::fprintf(stderr, "serve: --model is required\n");
     return 2;
   }
 
   const whois::WhoisParser parser = whois::WhoisParser::LoadFile(model_path);
+
+  // Declared before the server so worker threads never outlive it.
+  std::unique_ptr<cascade::CascadeParser> cascade_parser;
+  if (!cascade_data.empty()) {
+    cascade_parser = std::make_unique<cascade::CascadeParser>(
+        &parser, whois::ReadLabeledRecordsFile(cascade_data),
+        cascade_options);
+  }
 
   serve::ParseServerOptions options;
   options.port = port;
@@ -55,6 +83,13 @@ int CmdServe(util::FlagParser& flags) {
   options.service.cache_entries = cache_entries;
   options.service.deadline_ms = deadline_ms;
   options.service.max_record_bytes = max_record_bytes;
+  if (cascade_parser) {
+    options.service.parse_override = [&cascade = *cascade_parser](
+                                         const std::string& record,
+                                         whois::ParseWorkspace& ws) {
+      return cascade.ParseRecord(record, ws);
+    };
+  }
   serve::ParseServer server(parser, options);
 
   std::fprintf(stderr,
@@ -90,6 +125,16 @@ int CmdServe(util::FlagParser& flags) {
                static_cast<unsigned long long>(
                    registry.CounterValue("whoiscrf_serve_cache_hits_total")),
                by_status("busy"), by_status("deadline"), by_status("error"));
+  if (cascade_parser) {
+    const auto by_tier = [&](const char* tier) {
+      return static_cast<unsigned long long>(registry.CounterValue(
+          "whoiscrf_cascade_dispatch_total", {{"tier", tier}}));
+    };
+    std::fprintf(stderr,
+                 "serve: cascade dispatch — %llu template, %llu rule, "
+                 "%llu crf\n",
+                 by_tier("template"), by_tier("rule"), by_tier("crf"));
+  }
   return 0;
 }
 

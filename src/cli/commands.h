@@ -28,13 +28,17 @@ int CmdTrain(util::FlagParser& flags);
 
 // whoiscrf parse   --model FILE [--in FILE | --in-store PREFIX]
 //                  [--format json|rdap|fields|labels] [--threads N]
-//                  [--stream] [--store-out PREFIX]
+//                  [--stream] [--store-out PREFIX] [--beam K]
+//                  [--cascade --cascade-data FILE [--shadow-rate R]
+//                   [--rule-coverage-min X] [--rule-max-unknown N]]
 // Parses raw records (from --in or stdin; multiple records separated by a
 // line containing only "%%"; --in-store reads a sharded binary record
 // store instead) and prints structured output. --stream runs the
 // bounded-memory pipeline (docs/architecture.md "Streaming pipeline") so
 // corpora larger than RAM parse without being materialized; --store-out
-// additionally packs the raw records into a sharded binary store.
+// additionally packs the raw records into a sharded binary store;
+// --cascade dispatches through the template -> rules -> CRF cascade
+// (docs/cascade.md). Run `whoiscrf parse --help` for the full flag table.
 int CmdParse(util::FlagParser& flags);
 
 // whoiscrf adapt   --model FILE --data FILE --out FILE
@@ -59,10 +63,13 @@ int CmdCrawl(util::FlagParser& flags);
 // whoiscrf serve   --model FILE [--port N] [--threads K]
 //                  [--queue-capacity N] [--cache-entries N]
 //                  [--deadline-ms D] [--max-record-bytes N]
-//                  [--drain-after-ms MS]
+//                  [--drain-after-ms MS] [--cascade-data FILE
+//                  [--shadow-rate R] [--rule-coverage-min X]
+//                  [--rule-max-unknown N]]
 // Concurrent parse service on 127.0.0.1: answers raw records with parsed
 // JSON over the length-prefixed framing protocol (docs/formats.md), with a
 // result cache, admission control, and graceful drain on SIGTERM/SIGINT.
+// --cascade-data serves through the parser cascade (docs/cascade.md).
 int CmdServe(util::FlagParser& flags);
 
 // Reads raw records from a file or stdin ("" = stdin): records are

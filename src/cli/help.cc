@@ -1,0 +1,181 @@
+#include "cli/help.h"
+
+#include <string>
+#include <unordered_map>
+
+namespace whoiscrf::cli {
+
+namespace {
+
+// Flags every subcommand accepts, appended to each command's help.
+constexpr const char* kGlobalFlags = R"HELP(
+global flags (every command):
+  --metrics-out FILE     write the metrics registry when the command ends
+                         (.prom/.txt Prometheus text, .jsonl appends one
+                         run-report line, anything else a JSON run report)
+  --trace-out FILE       record trace spans and write Chrome trace JSON
+                         (open at chrome://tracing or ui.perfetto.dev)
+  --help                 print this help and exit
+)HELP";
+
+constexpr const char* kGenHelp = R"HELP(usage: whoiscrf gen --out FILE [flags]
+
+Generate a labeled synthetic WHOIS corpus in the training-data text format
+(docs/formats.md).
+
+flags:
+  --out FILE             output path (required)
+  --count N              number of domains to generate (default 100)
+  --seed S               RNG seed (default 42)
+  --drift F              fraction of records drawn from drifted template
+                         variants (default 0.25)
+  --new-tld TLD          also emit records for a held-out TLD, for
+                         adaptation experiments
+)HELP";
+
+constexpr const char* kTrainHelp = R"HELP(usage: whoiscrf train --data FILE --model FILE [flags]
+
+Train the two-level CRF parser from labeled records.
+
+flags:
+  --data FILE            labeled training records (required)
+  --model FILE           output model path (required)
+  --l2 SIGMA             L2 regularization sigma (default 10.0)
+  --min-count K          minimum attribute count to keep a feature
+                         (default 1)
+  --iterations N         L-BFGS iteration cap (default 150)
+  --threads N            training threads (default 0 = hardware)
+  --sgd                  train with SGD instead of L-BFGS
+  --epochs N             SGD epochs, with --sgd (default 30)
+  --verbose              print per-iteration objective values
+)HELP";
+
+constexpr const char* kParseHelp = R"HELP(usage: whoiscrf parse --model FILE [flags]
+
+Parse raw WHOIS records (from --in, --in-store, or stdin; multiple records
+separated by a line containing only "%%") and print structured output.
+
+flags:
+  --model FILE           trained model (required)
+  --in FILE              raw records file ("" or omitted = stdin)
+  --in-store PREFIX      read a sharded binary record store instead
+  --store-out PREFIX     also pack raw records into a sharded binary store;
+                         with --stream this is the crash-safe checkpointed
+                         path (quarantine + resume)
+  --format FMT           json | rdap | fields | labels (default fields)
+  --threads N            worker threads (default 0 = hardware)
+  --stream               bounded-memory pipeline; corpus is never
+                         materialized (docs/architecture.md)
+  --beam K               beam-pruned Viterbi with width K >= 1 (omit the
+                         flag for exact decoding); in-memory mode only
+  --resume               with --stream --store-out: continue an interrupted
+                         run from the checkpoint
+  --checkpoint-interval N
+                         records between checkpoints (default 4096)
+  --watchdog-ms MS       per-record parse watchdog; hung records are
+                         quarantined (default 0 = off)
+  --max-record-bytes N   oversized records are quarantined (default 0 = off)
+  --cascade              dispatch through the parser cascade
+                         (template -> rules -> CRF; docs/cascade.md)
+  --cascade-data FILE    labeled records the cascade's template and rule
+                         tiers are built from (required with --cascade)
+  --shadow-rate R        fraction of cheap-path records shadow-parsed
+                         through the CRF (default 0 = off)
+  --rule-coverage-min X  minimum learned-rule coverage to keep a record at
+                         the rule tier (default 0.98)
+  --rule-max-unknown N   titled lines unknown to the rule base before a
+                         record falls through to the CRF (default 0)
+)HELP";
+
+constexpr const char* kAdaptHelp = R"HELP(usage: whoiscrf adapt --model FILE --data FILE --out FILE
+
+Warm-started retraining (the paper's maintenance workflow): --data is the
+training set including any newly labeled failure cases.
+
+flags:
+  --model FILE           model to adapt (required)
+  --data FILE            labeled records to retrain on (required)
+  --out FILE             output model path (required)
+)HELP";
+
+constexpr const char* kEvalHelp = R"HELP(usage: whoiscrf eval --model FILE --data FILE [flags]
+
+Evaluate a trained model against labeled records (line and document error).
+
+flags:
+  --model FILE           trained model (required)
+  --data FILE            labeled evaluation records (required)
+  --confusion            also print the level-1 confusion matrix
+)HELP";
+
+constexpr const char* kSelectHelp = R"HELP(usage: whoiscrf select --model FILE --in FILE [flags]
+
+Active learning: rank unlabeled records by parse confidence and print the k
+records most in need of manual labeling.
+
+flags:
+  --model FILE           trained model (required)
+  --in FILE              raw records to rank (required)
+  --k N                  how many records to print (default 5)
+)HELP";
+
+constexpr const char* kCrawlHelp = R"HELP(usage: whoiscrf crawl [flags]
+
+Run the simulated registry/registrar crawl; with --model, parse every thick
+record and emit one JSON object per domain.
+
+flags:
+  --domains N            domains to crawl (default 200)
+  --seed S               RNG seed (default 42)
+  --model FILE           parse thick records with this model
+  --json                 emit JSON even without --model
+  --journal FILE         durable crawl journal for crash-safe resume
+  --resume               continue from an existing --journal
+)HELP";
+
+constexpr const char* kServeHelp = R"HELP(usage: whoiscrf serve --model FILE [flags]
+
+Run the concurrent parse service on 127.0.0.1: raw records in, parsed JSON
+out, over the length-prefixed framing protocol (docs/formats.md). SIGTERM
+or SIGINT drains gracefully.
+
+flags:
+  --model FILE           trained model (required)
+  --port N               listen port (default 0 = ephemeral)
+  --threads K            worker threads (default 0 = hardware)
+  --queue-capacity N     admission-control queue bound (default 128)
+  --cache-entries N      result cache capacity (default 4096)
+  --deadline-ms D        per-request deadline (default 0 = none)
+  --max-record-bytes N   maximum request frame size
+  --drain-after-ms MS    self-drain after MS, for tests/demos that cannot
+                         send signals (default 0 = run until signaled)
+  --cascade-data FILE    serve through the parser cascade built from these
+                         labeled records (docs/cascade.md)
+  --shadow-rate R        cascade shadow-sample rate (default 0 = off)
+  --rule-coverage-min X  cascade rule-tier coverage gate (default 0.98)
+  --rule-max-unknown N   cascade rule-tier unknown-title budget (default 0)
+)HELP";
+
+}  // namespace
+
+const char* CommandHelp(const std::string& command) {
+  static const std::unordered_map<std::string, std::string>* table = [] {
+    auto* t = new std::unordered_map<std::string, std::string>;
+    const auto add = [t](const char* name, const char* body) {
+      (*t)[name] = std::string(body) + kGlobalFlags;
+    };
+    add("gen", kGenHelp);
+    add("train", kTrainHelp);
+    add("parse", kParseHelp);
+    add("adapt", kAdaptHelp);
+    add("eval", kEvalHelp);
+    add("select", kSelectHelp);
+    add("crawl", kCrawlHelp);
+    add("serve", kServeHelp);
+    return t;
+  }();
+  const auto it = table->find(command);
+  return it == table->end() ? nullptr : it->second.c_str();
+}
+
+}  // namespace whoiscrf::cli

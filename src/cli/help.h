@@ -1,0 +1,18 @@
+// Per-command --help text for the whoiscrf CLI.
+//
+// One raw-string table, append-only: every flag a Cmd* implementation
+// consumes must be listed here, and every flag listed here must be
+// documented in README.md or docs/ — scripts/check_cli_docs.py parses this
+// file (lint job) and the built binary's `--help` output (CTest) to keep
+// the three in sync.
+#pragma once
+
+#include <string>
+
+namespace whoiscrf::cli {
+
+// Help text for one subcommand, or nullptr if the command is unknown.
+// Includes the shared global-flags trailer.
+const char* CommandHelp(const std::string& command);
+
+}  // namespace whoiscrf::cli

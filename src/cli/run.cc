@@ -9,9 +9,11 @@
 // Keeping this in one place means a new subcommand gets telemetry for free
 // and no command can drift from the contract in docs/observability.md.
 #include <chrono>
+#include <cstdio>
 #include <string>
 
 #include "cli/commands.h"
+#include "cli/help.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
@@ -57,6 +59,13 @@ bool Known(const std::string& command) {
 std::optional<int> RunCommand(const std::string& command,
                               util::FlagParser& flags) {
   if (!Known(command)) return std::nullopt;
+
+  // `whoiscrf <cmd> --help` prints the flag table and exits before any
+  // other flag is validated (so help works without --model etc.).
+  if (flags.GetBool("help")) {
+    std::fputs(CommandHelp(command), stdout);
+    return 0;
+  }
 
   // Consume the telemetry flags before dispatch so commands never see them
   // as unknown/unused.

@@ -70,8 +70,11 @@ struct ParseServiceOptions {
   // Deadline timebase; nullptr = an internal RealClock. Tests inject
   // net::SimClock to exercise expiry without real waiting.
   net::Clock* clock = nullptr;
-  // Test hook, mirrors StreamPipelineOptions::parse_override: replaces
-  // parser.Parse for each request. Production callers leave this unset.
+  // Mirrors StreamPipelineOptions::parse_override: replaces parser.Parse
+  // for each request. `serve --cascade-data` routes requests through the
+  // parser cascade (src/cascade/) this way; tests use it to inject
+  // deterministic parses. Must be safe to invoke concurrently with
+  // distinct workspaces. Unset = plain parser.Parse.
   std::function<whois::ParsedWhois(const std::string& record,
                                    whois::ParseWorkspace& ws)>
       parse_override = nullptr;

@@ -477,6 +477,44 @@ void ExtractFields(const std::vector<text::Line>& lines,
   }
 }
 
+void ExtractFieldsCached(const std::vector<text::Line>& lines,
+                         const std::vector<Level1Label>& labels,
+                         const std::vector<Level2Label>& registrant_sub_labels,
+                         ParsedWhois& out, FieldRouteCache& cache) {
+  static const std::vector<Level2Label> kNoOtherSubs;
+  static const std::string kEmptyValue;
+  size_t registrant_index = 0;
+  size_t other_index = 0;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    SplitTitleValueInto(lines[i], cache.title, cache.value);
+    LineRoutePlan plan;
+    if (cache.title.empty()) {
+      // Untitled lines route on the value (domain/URL shape), so the plan
+      // is per-line; these are the rare case in titled formats.
+      plan = ComputeRoutePlan(cache.title, cache.value);
+    } else {
+      auto it = cache.by_title.find(cache.title);
+      if (it == cache.by_title.end()) {
+        it = cache.by_title
+                 .emplace(cache.title,
+                          ComputeRoutePlan(cache.title, kEmptyValue))
+                 .first;
+      }
+      plan = it->second;
+      // The one value-dependence a titled line has: a URL-shaped value
+      // wins the registrar route unless a stronger keyword already did
+      // (mirrors ComputeRoutePlan's chain, which tests IsUrl before the
+      // registrar-name keywords).
+      if (plan.registrar != kRegWhoisServer && plan.registrar != kRegUrl &&
+          text::IsUrl(cache.value)) {
+        plan.registrar = kRegUrl;
+      }
+    }
+    RouteLine(plan, cache.value, labels[i], registrant_sub_labels,
+              registrant_index, kNoOtherSubs, other_index, out);
+  }
+}
+
 WhoisParser::WhoisParser(std::unique_ptr<crf::CrfModel> level1,
                          std::unique_ptr<crf::CrfModel> level2,
                          WhoisParserOptions options)

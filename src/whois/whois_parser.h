@@ -118,6 +118,20 @@ struct TransparentStringHash {
   }
 };
 
+// Memo for ExtractFieldsCached: route plans of *titled* lines keyed by
+// lowered title (for a fixed title the plan is value-independent except
+// for the URL check, which the cached path re-tests per value), plus
+// reused split buffers so steady-state extraction allocates nothing.
+// Not thread-safe; use one per thread (ParseWorkspace carries one).
+// Plans are pure text functions, independent of any parser instance, so
+// the memo never needs invalidation.
+struct FieldRouteCache {
+  std::unordered_map<std::string, LineRoutePlan, TransparentStringHash,
+                     std::equal_to<>>
+      by_title;
+  std::string title, value;
+};
+
 // One slot of the direct-mapped line cache. `key` (layout flags + text)
 // empty means vacant; `record_seq` is the last record that read or wrote
 // the slot, which pins it against same-record eviction (line_entries
@@ -176,6 +190,10 @@ struct ParseWorkspace {
   // Direct-mapped with eviction on collision, like the line cache.
   // Validity follows `cache_owner`.
   std::vector<WordSlot> word_slots;  // sized kWordCacheSlots on first use
+
+  // Route-plan memo for ExtractFieldsCached (the cascade's cheap tiers).
+  // Parser-independent, so it survives cache_owner changes untouched.
+  FieldRouteCache field_routes;
 };
 
 class WhoisParser {
@@ -291,5 +309,15 @@ void ExtractFields(const std::vector<text::Line>& lines,
                    const std::vector<Level2Label>& registrant_sub_labels,
                    ParsedWhois& out,
                    const std::vector<Level2Label>& other_sub_labels = {});
+
+// ExtractFields with a per-thread route-plan memo, for callers that
+// extract from many records *without* the CRF fast path (whose line cache
+// already memoizes plans): the title-keyword scans run once per distinct
+// title instead of once per line. Produces exactly what ExtractFields
+// produces.
+void ExtractFieldsCached(const std::vector<text::Line>& lines,
+                         const std::vector<Level1Label>& labels,
+                         const std::vector<Level2Label>& registrant_sub_labels,
+                         ParsedWhois& out, FieldRouteCache& cache);
 
 }  // namespace whoiscrf::whois

@@ -1,0 +1,336 @@
+// Parser cascade: dispatch-tier selection on crafted records, cascade-vs-
+// pure-CRF field agreement on the labeled corpus, shadow-sample
+// disagreement accounting, and fail-closed fallthrough (docs/cascade.md).
+// The concurrency test is exercised by the -DWHOISCRF_TSAN=ON CI job.
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cascade/cascade.h"
+#include "datagen/corpus_gen.h"
+#include "obs/metrics.h"
+#include "text/line_splitter.h"
+#include "whois/record.h"
+#include "whois/whois_parser.h"
+
+namespace whoiscrf::cascade {
+namespace {
+
+using whois::LabeledRecord;
+using whois::Level1Label;
+using whois::Level2Label;
+using whois::ParsedWhois;
+
+std::vector<LabeledRecord> MakeCorpus(size_t n, uint64_t seed,
+                                      double drift) {
+  datagen::CorpusOptions options;
+  options.size = n;
+  options.seed = seed;
+  options.drift_fraction = drift;
+  datagen::CorpusGenerator generator(options);
+  std::vector<LabeledRecord> out;
+  for (size_t i = 0; i < n; ++i) out.push_back(generator.Generate(i).thick);
+  return out;
+}
+
+// Hand-crafted labeled record: every line of `lines` is labeled (all
+// contain alphanumerics), with optional registrant subfields.
+LabeledRecord MakeRecord(
+    const std::vector<std::tuple<std::string, Level1Label,
+                                 std::optional<Level2Label>>>& lines) {
+  LabeledRecord record;
+  for (const auto& [text, label, sub] : lines) {
+    record.text += text;
+    record.text += '\n';
+    record.labels.push_back(label);
+    record.sub_labels.push_back(sub);
+  }
+  record.Validate();
+  return record;
+}
+
+// A tiny two-format corpus the dispatch tests control completely.
+std::vector<LabeledRecord> HandCorpus() {
+  std::vector<LabeledRecord> corpus;
+  // Format alpha.
+  corpus.push_back(MakeRecord({
+      {"Domain Name: example.com", Level1Label::kDomain, std::nullopt},
+      {"Registrar: Alpha Registrations", Level1Label::kRegistrar,
+       std::nullopt},
+      {"Creation Date: 2001-05-10", Level1Label::kDate, std::nullopt},
+      {"Registrant Name: John Doe", Level1Label::kRegistrant,
+       Level2Label::kName},
+      {"Registrant Email: john@example.com", Level1Label::kRegistrant,
+       Level2Label::kEmail},
+  }));
+  // Format beta: same information, disjoint schema.
+  corpus.push_back(MakeRecord({
+      {"domain: example.net", Level1Label::kDomain, std::nullopt},
+      {"sponsor: Beta LLC", Level1Label::kRegistrar, std::nullopt},
+      {"created: 2002-03-04", Level1Label::kDate, std::nullopt},
+      {"owner-name: Jane Roe", Level1Label::kRegistrant,
+       Level2Label::kName},
+      {"owner-email: jane@example.net", Level1Label::kRegistrant,
+       Level2Label::kEmail},
+  }));
+  return corpus;
+}
+
+// Gold key fields for accuracy scoring: extract with the record's own
+// labels (the same field extractor every parser shares).
+ParsedWhois GoldParse(const LabeledRecord& record) {
+  const auto lines = text::SplitRecord(record.text);
+  std::vector<Level2Label> subs;
+  for (size_t i = 0; i < record.labels.size(); ++i) {
+    if (record.labels[i] == Level1Label::kRegistrant) {
+      subs.push_back(record.sub_labels[i].value_or(Level2Label::kOther));
+    }
+  }
+  ParsedWhois gold;
+  gold.line_labels = record.labels;
+  whois::ExtractFields(lines, record.labels, subs, gold);
+  return gold;
+}
+
+size_t CountAgreeingKeyFields(const ParsedWhois& a, const ParsedWhois& b) {
+  const auto va = KeyFieldValues(a);
+  const auto vb = KeyFieldValues(b);
+  size_t agree = 0;
+  for (size_t i = 0; i < va.size(); ++i) {
+    if (va[i] == vb[i]) ++agree;
+  }
+  return agree;
+}
+
+class CascadeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus_ = new std::vector<LabeledRecord>(MakeCorpus(150, 99, 0.25));
+    crf_ = new whois::WhoisParser(whois::WhoisParser::Train(*corpus_));
+  }
+  static void TearDownTestSuite() {
+    delete crf_;
+    delete corpus_;
+    crf_ = nullptr;
+    corpus_ = nullptr;
+  }
+
+  static std::vector<LabeledRecord>* corpus_;
+  static whois::WhoisParser* crf_;
+};
+
+std::vector<LabeledRecord>* CascadeTest::corpus_ = nullptr;
+whois::WhoisParser* CascadeTest::crf_ = nullptr;
+
+TEST_F(CascadeTest, KeyFieldValuesShape) {
+  ParsedWhois p;
+  p.domain_name = "a.com";
+  p.registrant.email = "x@y.z";
+  const auto values = KeyFieldValues(p);
+  ASSERT_EQ(values.size(), kNumKeyFields);
+  EXPECT_EQ(values[0], "a.com");
+  EXPECT_TRUE(KeyFieldsAgree(p, p));
+  ParsedWhois q = p;
+  q.registrar = "other";
+  EXPECT_FALSE(KeyFieldsAgree(p, q));
+}
+
+TEST_F(CascadeTest, DispatchTierSelection) {
+  const CascadeParser cascade(crf_, HandCorpus());
+  whois::ParseWorkspace ws;
+
+  // Exact known format (new values, same schema): template tier.
+  const auto known = MakeRecord({
+      {"Domain Name: fresh.com", Level1Label::kDomain, std::nullopt},
+      {"Registrar: Alpha Registrations", Level1Label::kRegistrar,
+       std::nullopt},
+      {"Creation Date: 2011-11-11", Level1Label::kDate, std::nullopt},
+      {"Registrant Name: Fresh Person", Level1Label::kRegistrant,
+       Level2Label::kName},
+      {"Registrant Email: fresh@fresh.com", Level1Label::kRegistrant,
+       Level2Label::kEmail},
+  });
+  const CascadeResult hit = cascade.Parse(known.text, ws);
+  EXPECT_EQ(hit.tier, Tier::kTemplate);
+  EXPECT_EQ(hit.template_fallthrough, Fallthrough::kNone);
+  EXPECT_EQ(hit.parsed.domain_name, "fresh.com");
+  EXPECT_EQ(hit.parsed.registrant.name, "Fresh Person");
+  EXPECT_EQ(hit.parsed.line_labels, known.labels);
+
+  // Titles from two different templates: no single template matches, but
+  // every title is known to the rule base -> rule tier.
+  const CascadeResult mixed = cascade.Parse(
+      "Domain Name: mixed.org\n"
+      "sponsor: Beta LLC\n"
+      "Creation Date: 2015-01-02\n"
+      "owner-email: m@mixed.org\n",
+      ws);
+  EXPECT_EQ(mixed.tier, Tier::kRule);
+  EXPECT_EQ(mixed.template_fallthrough, Fallthrough::kTemplateMiss);
+  EXPECT_EQ(mixed.rule_fallthrough, Fallthrough::kNone);
+  EXPECT_EQ(mixed.parsed.domain_name, "mixed.org");
+  EXPECT_EQ(mixed.parsed.registrar, "Beta LLC");
+
+  // A title no rule has ever seen: both cheap tiers fail closed.
+  const CascadeResult unknown = cascade.Parse(
+      "Domain Name: odd.net\n"
+      "Flux Capacitor: enabled\n"
+      "Creation Date: 2015-01-02\n",
+      ws);
+  EXPECT_EQ(unknown.tier, Tier::kCrf);
+  EXPECT_EQ(unknown.template_fallthrough, Fallthrough::kTemplateMiss);
+  EXPECT_EQ(unknown.rule_fallthrough, Fallthrough::kRuleUnknownTitles);
+
+  // Mostly free text the rule base can only guess at: low learned
+  // coverage -> CRF.
+  const CascadeResult freeform = cascade.Parse(
+      "Domain Name: prose.net\n"
+      "this line is unstructured prose about nothing\n"
+      "and so is this one with more words in it\n"
+      "plus a third line of filler text here\n",
+      ws);
+  EXPECT_EQ(freeform.tier, Tier::kCrf);
+  EXPECT_EQ(freeform.rule_fallthrough, Fallthrough::kRuleLowCoverage);
+}
+
+TEST_F(CascadeTest, TemplateMissFallsThroughFailClosed) {
+  const CascadeParser cascade(crf_, HandCorpus());
+  whois::ParseWorkspace ws;
+  // A drifted schema (one renamed field) must never be claimed by the
+  // template tier.
+  const CascadeResult result = cascade.Parse(
+      "Domain Name: renamed.com\n"
+      "Registrar Of Record: Alpha Registrations\n"
+      "Creation Date: 2011-11-11\n",
+      ws);
+  EXPECT_NE(result.tier, Tier::kTemplate);
+  EXPECT_EQ(result.template_fallthrough, Fallthrough::kTemplateMiss);
+}
+
+TEST_F(CascadeTest, CascadeMatchesPureCrfAccuracy) {
+  const CascadeParser cascade(crf_, *corpus_);
+  whois::ParseWorkspace ws;
+
+  size_t cheap = 0;
+  size_t cascade_agree = 0, crf_agree = 0, total_fields = 0;
+  for (const LabeledRecord& record : *corpus_) {
+    const CascadeResult result = cascade.Parse(record.text, ws);
+    if (result.tier != Tier::kCrf) ++cheap;
+    const ParsedWhois pure = crf_->Parse(record.text, ws);
+    const ParsedWhois gold = GoldParse(record);
+    cascade_agree += CountAgreeingKeyFields(result.parsed, gold);
+    crf_agree += CountAgreeingKeyFields(pure, gold);
+    total_fields += kNumKeyFields;
+  }
+  // The cascade must actually divert records off the CRF path...
+  EXPECT_GT(cheap, corpus_->size() / 2);
+  // ...at equal field-level accuracy (cheap tiers built from the same
+  // corpus label their own formats exactly; small slack for genuinely
+  // ambiguous lines).
+  const double cascade_acc =
+      static_cast<double>(cascade_agree) / static_cast<double>(total_fields);
+  const double crf_acc =
+      static_cast<double>(crf_agree) / static_cast<double>(total_fields);
+  EXPECT_GE(cascade_acc, crf_acc - 0.01);
+}
+
+TEST_F(CascadeTest, ShadowSamplingCountsDisagreements) {
+  // Cheap tiers built from a *corrupted* corpus: every date line labeled
+  // null, so the cheap path never extracts dates while the CRF (trained on
+  // the correct corpus) does — guaranteed field disagreements on any
+  // record with a date the CRF finds.
+  std::vector<LabeledRecord> corrupted = *corpus_;
+  for (LabeledRecord& record : corrupted) {
+    for (Level1Label& label : record.labels) {
+      if (label == Level1Label::kDate) label = Level1Label::kNull;
+    }
+  }
+  CascadeOptions options;
+  options.shadow_sample_rate = 1.0;  // shadow every cheap-path record
+  const CascadeParser cascade(crf_, corrupted, options);
+  whois::ParseWorkspace ws;
+
+  size_t cheap = 0, sampled = 0, disagreed = 0;
+  for (const LabeledRecord& record : *corpus_) {
+    const CascadeResult result = cascade.Parse(record.text, ws);
+    if (result.tier == Tier::kCrf) continue;
+    ++cheap;
+    if (result.shadow_sampled) ++sampled;
+    if (result.shadow_disagreed) ++disagreed;
+  }
+  ASSERT_GT(cheap, 0u);
+  EXPECT_EQ(sampled, cheap);  // rate 1.0: every cheap record is shadowed
+  EXPECT_GT(disagreed, cheap / 2);
+
+  // The per-registrar snapshot must account for exactly the same events.
+  uint64_t snapshot_samples = 0, snapshot_disagreements = 0;
+  for (const auto& [registrar, stats] : cascade.ShadowSnapshot()) {
+    snapshot_samples += stats.samples;
+    snapshot_disagreements += stats.disagreements;
+  }
+  EXPECT_EQ(snapshot_samples, sampled);
+  EXPECT_EQ(snapshot_disagreements, disagreed);
+
+  // And the registry counters can never lag the per-instance tallies.
+  const auto& registry = obs::Registry::Global();
+  uint64_t metric_samples = 0;
+  for (const auto& [registrar, stats] : cascade.ShadowSnapshot()) {
+    metric_samples += registry.CounterValue(
+        "whoiscrf_cascade_shadow_samples_total", {{"registrar", registrar}});
+  }
+  EXPECT_GE(metric_samples, snapshot_samples);
+}
+
+TEST_F(CascadeTest, ShadowSamplingRateIsDeterministic) {
+  CascadeOptions options;
+  options.shadow_sample_rate = 0.25;  // every 4th cheap-path record
+  const CascadeParser cascade(crf_, *corpus_, options);
+  whois::ParseWorkspace ws;
+  size_t cheap = 0, sampled = 0;
+  for (const LabeledRecord& record : *corpus_) {
+    const CascadeResult result = cascade.Parse(record.text, ws);
+    if (result.tier == Tier::kCrf) continue;
+    ++cheap;
+    if (result.shadow_sampled) ++sampled;
+  }
+  ASSERT_GT(cheap, 4u);
+  EXPECT_EQ(sampled, (cheap + 3) / 4);  // ticks 0, 4, 8, ...
+}
+
+TEST_F(CascadeTest, ConcurrentParseIsSafe) {
+  CascadeOptions options;
+  options.shadow_sample_rate = 0.5;  // exercise the shadow lock under TSan
+  const CascadeParser cascade(crf_, *corpus_, options);
+
+  constexpr size_t kThreads = 4;
+  constexpr size_t kPerThread = 30;
+  std::vector<std::thread> threads;
+  std::vector<size_t> cheap_counts(kThreads, 0);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      whois::ParseWorkspace ws;
+      for (size_t i = 0; i < kPerThread; ++i) {
+        const LabeledRecord& record = (*corpus_)[(t * kPerThread + i) %
+                                                 corpus_->size()];
+        const CascadeResult result = cascade.Parse(record.text, ws);
+        if (result.tier != Tier::kCrf) ++cheap_counts[t];
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  size_t cheap = 0;
+  for (size_t c : cheap_counts) cheap += c;
+  uint64_t snapshot_samples = 0;
+  for (const auto& [registrar, stats] : cascade.ShadowSnapshot()) {
+    snapshot_samples += stats.samples;
+  }
+  // Every 2nd cheap-path record across all threads was sampled.
+  EXPECT_EQ(snapshot_samples, (cheap + 1) / 2);
+}
+
+}  // namespace
+}  // namespace whoiscrf::cascade

@@ -1,16 +1,18 @@
-// CLI layer: flag parsing, raw-record splitting, and command round trips
-// through temporary files.
+// CLI layer: flag parsing, raw-record splitting, per-command help, and
+// command round trips through temporary files.
 #include <cstdio>
 #include <fstream>
 
 #include <gtest/gtest.h>
 
 #include "cli/commands.h"
+#include "cli/help.h"
 #include "net/crawl_journal.h"
 #include "util/checkpoint.h"
 #include "util/flags.h"
 #include "whois/record_store.h"
 #include "whois/stream_checkpoint.h"
+#include "whois/training_data.h"
 
 namespace whoiscrf {
 namespace {
@@ -261,6 +263,102 @@ TEST(CliCommandsTest, StreamStoreQuarantinesAndResumesIdempotently) {
   ASSERT_TRUE(util::ReadFileToString(
       whois::RecordStoreShardPath(store_prefix, 0), shard_after));
   EXPECT_EQ(shard_before, shard_after);
+}
+
+TEST(CliCommandsTest, BeamZeroRejectsWithClearError) {
+  // --beam 0 is a footgun (it would silently mean "exact decoding" while
+  // looking like a tiny beam); the flag demands K >= 1. Validation runs
+  // before the model loads, so no model file is needed.
+  {
+    auto flags = Parse({"--model", "unused.model", "--beam", "0"});
+    EXPECT_EQ(cli::CmdParse(flags), 2);
+  }
+  {
+    auto flags = Parse({"--model", "unused.model", "--beam", "-3"});
+    EXPECT_EQ(cli::CmdParse(flags), 2);
+  }
+}
+
+TEST(CliCommandsTest, CascadeRequiresData) {
+  auto flags = Parse({"--model", "unused.model", "--cascade"});
+  EXPECT_EQ(cli::CmdParse(flags), 2);
+}
+
+TEST(CliCommandsTest, CascadeRejectsBeam) {
+  auto flags = Parse({"--model", "unused.model", "--cascade",
+                      "--cascade-data", "unused.txt", "--beam", "2"});
+  EXPECT_EQ(cli::CmdParse(flags), 2);
+}
+
+TEST(RunCommandTest, HelpPrintsFlagTable) {
+  for (const char* command :
+       {"gen", "train", "parse", "adapt", "eval", "select", "crawl",
+        "serve"}) {
+    ASSERT_NE(cli::CommandHelp(command), nullptr) << command;
+  }
+  EXPECT_EQ(cli::CommandHelp("nonsense"), nullptr);
+
+  auto flags = Parse({"--help"});
+  ::testing::internal::CaptureStdout();
+  const auto code = cli::RunCommand("parse", flags);
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  ASSERT_TRUE(code.has_value());
+  EXPECT_EQ(*code, 0);
+  // The flag table names every parse flag, including the cascade knobs
+  // and the global telemetry flags.
+  for (const char* flag :
+       {"--model", "--beam", "--cascade", "--cascade-data", "--shadow-rate",
+        "--metrics-out", "--trace-out"}) {
+    EXPECT_NE(out.find(flag), std::string::npos) << flag;
+  }
+}
+
+TEST(CliCommandsTest, CascadeParseRoundTrip) {
+  const std::string dir = ::testing::TempDir();
+  const std::string train_path = dir + "/cli_cascade_train.txt";
+  const std::string model_path = dir + "/cli_cascade.model";
+  const std::string raw_path = dir + "/cli_cascade_raw.txt";
+
+  {
+    auto flags = Parse({"--out", train_path.c_str(), "--count", "60",
+                        "--seed", "21"});
+    ASSERT_EQ(cli::CmdGen(flags), 0);
+  }
+  {
+    auto flags = Parse({"--data", train_path.c_str(), "--model",
+                        model_path.c_str(), "--iterations", "60"});
+    ASSERT_EQ(cli::CmdTrain(flags), 0);
+  }
+  {
+    // Raw input drawn from the same corpus: the cascade's cheap tiers
+    // must absorb these without touching the CRF.
+    const auto corpus = whois::ReadLabeledRecordsFile(train_path);
+    std::ofstream os(raw_path);
+    for (size_t i = 0; i < 10; ++i) os << corpus[i].text << "%%\n";
+  }
+  {
+    auto flags = Parse({"--model", model_path.c_str(), "--in",
+                        raw_path.c_str(), "--cascade", "--cascade-data",
+                        train_path.c_str(), "--shadow-rate", "1.0",
+                        "--format", "fields"});
+    ::testing::internal::CaptureStdout();
+    ASSERT_EQ(cli::CmdParse(flags), 0);
+    const std::string out = ::testing::internal::GetCapturedStdout();
+    EXPECT_TRUE(flags.UnconsumedFlags().empty());
+    EXPECT_NE(out.find("domain:"), std::string::npos);
+  }
+  {
+    // The streaming path takes the same flags.
+    auto flags = Parse({"--model", model_path.c_str(), "--in",
+                        raw_path.c_str(), "--stream", "--cascade",
+                        "--cascade-data", train_path.c_str(), "--format",
+                        "fields"});
+    ::testing::internal::CaptureStdout();
+    ASSERT_EQ(cli::CmdParse(flags), 0);
+    const std::string out = ::testing::internal::GetCapturedStdout();
+    EXPECT_TRUE(flags.UnconsumedFlags().empty());
+    EXPECT_NE(out.find("domain:"), std::string::npos);
+  }
 }
 
 TEST(CliCommandsTest, CrawlJournalResumeSkipsCompletedDomains) {
