@@ -14,19 +14,45 @@
 // Every served body is compared against the offline
 // `whois::ToJson(parser.Parse(record))` bytes — the service's core
 // contract — so a drift between the two paths fails loudly here too.
+//
+// Two TCP scenarios ride on top of the in-process scoreboard:
+//   * a connection-scaling sweep driving both front ends (epoll and
+//     thread-per-connection) with hundreds-to-thousands of pipelined
+//     clients from a poll()-based load generator — the
+//     `epoll_vs_threads_*` ratios gated by bench/bench_floor.json;
+//   * a shard-router scenario (`whoiscrf shard-router` in-process):
+//     the same cyclic traffic against 1..N backend shards whose result
+//     caches are individually too small for the working set — the
+//     consistent hash splits the key space so the aggregate cache
+//     suddenly fits, which is the router's reason to exist
+//     (`router_4shard_vs_single`).
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <deque>
 #include <fstream>
 #include <future>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
 #include "obs/metrics.h"
+#include "serve/protocol.h"
+#include "serve/router.h"
 #include "serve/server.h"
 #include "util/env.h"
 #include "util/thread_pool.h"
@@ -181,6 +207,327 @@ PassOutcome RunPass(serve::ParseService& service, size_t threads,
   return outcome;
 }
 
+// ---------------------------------------------------------------------------
+// TCP load generator: nonblocking sockets pumped by poll(), so a handful
+// of driver threads can hold thousands of pipelined connections open —
+// which is the whole point of the sweep; a thread-per-connection *client*
+// would hit the same wall the sweep measures on the server.
+
+void RaiseFdLimit(uint64_t need) {
+  rlimit rl{};
+  if (getrlimit(RLIMIT_NOFILE, &rl) != 0) return;
+  if (rl.rlim_cur != RLIM_INFINITY && rl.rlim_cur < need) {
+    rl.rlim_cur = rl.rlim_max == RLIM_INFINITY
+                      ? need
+                      : std::min<rlim_t>(rl.rlim_max, need);
+    setrlimit(RLIMIT_NOFILE, &rl);
+  }
+}
+
+int ConnectLoopback(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  while (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+         0) {
+    if (errno == EINTR) continue;
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+  return fd;
+}
+
+std::string FramedRequest(const std::string& record) {
+  std::string frame(4, '\0');
+  const auto len = static_cast<uint32_t>(record.size());
+  frame[0] = static_cast<char>(len & 0xff);
+  frame[1] = static_cast<char>((len >> 8) & 0xff);
+  frame[2] = static_cast<char>((len >> 16) & 0xff);
+  frame[3] = static_cast<char>((len >> 24) & 0xff);
+  frame += record;
+  return frame;
+}
+
+// One pipelined connection: the whole request quota is pre-serialized
+// into `out`, responses accumulate in `in` and are verified in order
+// against `expected` as they complete.
+struct WireConn {
+  int fd = -1;
+  std::string out;
+  size_t out_off = 0;
+  std::string in;
+  size_t in_off = 0;
+  std::vector<const std::string*> expected;
+  size_t received = 0;
+  bool done = false;
+  size_t mismatches = 0;
+  size_t not_ok = 0;
+};
+
+void DrainResponses(WireConn& conn) {
+  while (!conn.done && conn.in.size() - conn.in_off >= 4) {
+    const auto* p =
+        reinterpret_cast<const unsigned char*>(conn.in.data() + conn.in_off);
+    const uint32_t len = static_cast<uint32_t>(p[0]) |
+                         static_cast<uint32_t>(p[1]) << 8 |
+                         static_cast<uint32_t>(p[2]) << 16 |
+                         static_cast<uint32_t>(p[3]) << 24;
+    if (len == 0) {  // a response carries at least the status byte
+      ++conn.not_ok;
+      conn.done = true;
+      break;
+    }
+    if (conn.in.size() - conn.in_off < 4u + len) break;
+    const char status = conn.in[conn.in_off + 4];
+    const std::string_view body(conn.in.data() + conn.in_off + 5, len - 1);
+    if (status != 'O') {
+      ++conn.not_ok;
+    } else if (body != *conn.expected[conn.received]) {
+      ++conn.mismatches;
+    }
+    conn.in_off += 4u + len;
+    if (++conn.received == conn.expected.size()) conn.done = true;
+  }
+  if (conn.in_off == conn.in.size()) {
+    conn.in.clear();
+    conn.in_off = 0;
+  } else if (conn.in_off >= (64u << 10)) {
+    conn.in.erase(0, conn.in_off);
+    conn.in_off = 0;
+  }
+}
+
+// Drives conns[begin..end) to completion with a single poll() loop.
+void PumpConns(std::vector<WireConn>& conns, size_t begin, size_t end) {
+  size_t open = 0;
+  for (size_t i = begin; i < end; ++i) {
+    if (conns[i].fd < 0) {
+      conns[i].not_ok += conns[i].expected.size();
+      conns[i].done = true;
+    } else {
+      ++open;
+    }
+  }
+  std::vector<pollfd> pfds;
+  std::vector<size_t> index;
+  char buf[64 << 10];
+  while (open > 0) {
+    pfds.clear();
+    index.clear();
+    for (size_t i = begin; i < end; ++i) {
+      WireConn& conn = conns[i];
+      if (conn.done) continue;
+      short events = POLLIN;
+      if (conn.out_off < conn.out.size()) events |= POLLOUT;
+      pfds.push_back(pollfd{conn.fd, events, 0});
+      index.push_back(i);
+    }
+    if (::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 10000) < 0 &&
+        errno != EINTR) {
+      break;
+    }
+    for (size_t k = 0; k < pfds.size(); ++k) {
+      if (pfds[k].revents == 0) continue;
+      WireConn& conn = conns[index[k]];
+      if ((pfds[k].revents & POLLOUT) != 0) {
+        while (conn.out_off < conn.out.size()) {
+          const ssize_t n =
+              ::send(conn.fd, conn.out.data() + conn.out_off,
+                     conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+          if (n > 0) {
+            conn.out_off += static_cast<size_t>(n);
+          } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            break;
+          } else if (n < 0 && errno == EINTR) {
+            continue;
+          } else {
+            conn.not_ok += conn.expected.size() - conn.received;
+            conn.done = true;
+            break;
+          }
+        }
+      }
+      if (!conn.done &&
+          (pfds[k].revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+        for (;;) {
+          const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+          if (n > 0) {
+            conn.in.append(buf, static_cast<size_t>(n));
+            if (static_cast<size_t>(n) < sizeof(buf)) break;
+          } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            break;
+          } else if (n < 0 && errno == EINTR) {
+            continue;
+          } else {  // EOF or hard error before the quota completed
+            conn.not_ok += conn.expected.size() - conn.received;
+            conn.done = true;
+            break;
+          }
+        }
+        DrainResponses(conn);
+      }
+      if (conn.done && conn.fd >= 0) {
+        ::close(conn.fd);
+        conn.fd = -1;
+        --open;
+      }
+    }
+  }
+}
+
+// Untimed: prime a server's result cache with every pool record through
+// one blocking connection, so the timed sweep measures front-end
+// mechanics (sockets, framing, wake-ups) rather than parse cost.
+bool WarmPool(uint16_t port, const std::vector<std::string>& pool,
+              const std::vector<std::string>& bodies) {
+  const int fd = ConnectLoopback(port);
+  if (fd < 0) return false;
+  ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) & ~O_NONBLOCK);
+  serve::FdStream stream(fd);
+  bool ok = true;
+  for (size_t i = 0; i < pool.size() && ok; ++i) {
+    ok = serve::WriteFrame(stream, pool[i]);
+    serve::Status status = serve::Status::kError;
+    std::string body;
+    ok = ok &&
+         serve::ReadResponse(stream, status, body,
+                             serve::kDefaultMaxFrameBytes) ==
+             serve::FrameRead::kFrame &&
+         status == serve::Status::kOk && body == bodies[i];
+  }
+  ::close(fd);
+  return ok;
+}
+
+struct SweepRow {
+  size_t clients = 0;
+  std::string frontend;
+  double rps = 0.0;
+  double seconds = 0.0;
+  size_t mismatches = 0;
+  size_t not_ok = 0;
+};
+
+// `clients` pipelined connections, `per_client` requests each, against
+// whichever front end listens on `port`. The timed region spans connect
+// through last response: accepting (and, for the threads front end,
+// spawning) N connections is exactly the cost the sweep exists to show.
+SweepRow RunConnectionSweep(uint16_t port, std::string frontend,
+                            size_t clients, size_t per_client,
+                            const std::vector<std::string>& frames,
+                            const std::vector<std::string>& bodies) {
+  SweepRow row;
+  row.clients = clients;
+  row.frontend = std::move(frontend);
+
+  std::vector<WireConn> conns(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    conns[c].out.reserve(per_client * frames[0].size());
+    for (size_t k = 0; k < per_client; ++k) {
+      const size_t idx = (c + k) % frames.size();
+      conns[c].out += frames[idx];
+      conns[c].expected.push_back(&bodies[idx]);
+    }
+  }
+
+  const size_t drivers = clients >= 1024 ? 2 : 1;
+  const auto start = Clock::now();
+  for (WireConn& conn : conns) conn.fd = ConnectLoopback(port);
+  std::vector<std::thread> pumps;
+  const size_t per_driver = (clients + drivers - 1) / drivers;
+  for (size_t d = 0; d < drivers; ++d) {
+    const size_t begin = d * per_driver;
+    const size_t end = std::min(clients, begin + per_driver);
+    pumps.emplace_back([&conns, begin, end] { PumpConns(conns, begin, end); });
+  }
+  for (std::thread& t : pumps) t.join();
+  row.seconds = SecondsSince(start);
+
+  for (const WireConn& conn : conns) {
+    row.mismatches += conn.mismatches;
+    row.not_ok += conn.not_ok;
+  }
+  if (row.seconds > 0.0) {
+    row.rps = static_cast<double>(clients * per_client) / row.seconds;
+  }
+  return row;
+}
+
+struct RouterRow {
+  size_t shards = 0;
+  double rps = 0.0;
+  double seconds = 0.0;
+  double hit_ratio = 0.0;
+  size_t mismatches = 0;
+  size_t not_ok = 0;
+};
+
+// `laps` cyclic passes over a pool whose size exceeds one shard's result
+// cache: a single shard LRU-thrashes (every lap re-parses everything),
+// while enough shards split the keys so each slice fits its shard's
+// cache and laps 2..N are pure hits — the aggregate-cache win that
+// consistent-hash routing buys.
+RouterRow RunRouterScenario(const whois::WhoisParser& parser, size_t shards,
+                            size_t cache_entries, size_t laps,
+                            const std::vector<std::string>& frames,
+                            const std::vector<std::string>& bodies) {
+  RouterRow row;
+  row.shards = shards;
+
+  std::vector<std::unique_ptr<serve::ParseServer>> backends;
+  serve::ShardRouterOptions router_options;
+  for (size_t s = 0; s < shards; ++s) {
+    serve::ParseServerOptions options;
+    options.service.threads = 1;
+    options.service.queue_capacity = 1 << 12;
+    options.service.cache_entries = cache_entries;
+    backends.push_back(std::make_unique<serve::ParseServer>(parser, options));
+    router_options.backends.push_back(
+        std::to_string(backends.back()->port()));
+  }
+  router_options.health_interval_ms = 0;  // deterministic: no prober
+  serve::ShardRouter router(router_options);
+
+  const auto& registry = obs::Registry::Global();
+  const uint64_t hits_before =
+      registry.CounterValue("whoiscrf_serve_cache_hits_total");
+
+  std::vector<WireConn> conns(1);
+  WireConn& conn = conns[0];
+  for (size_t lap = 0; lap < laps; ++lap) {
+    for (size_t i = 0; i < frames.size(); ++i) {
+      conn.out += frames[i];
+      conn.expected.push_back(&bodies[i]);
+    }
+  }
+  const auto start = Clock::now();
+  conn.fd = ConnectLoopback(router.port());
+  PumpConns(conns, 0, 1);
+  row.seconds = SecondsSince(start);
+
+  const size_t total = laps * frames.size();
+  if (row.seconds > 0.0) {
+    row.rps = static_cast<double>(total) / row.seconds;
+  }
+  row.hit_ratio =
+      static_cast<double>(
+          registry.CounterValue("whoiscrf_serve_cache_hits_total") -
+          hits_before) /
+      static_cast<double>(total);
+  row.mismatches = conn.mismatches;
+  row.not_ok = conn.not_ok;
+
+  router.Shutdown();
+  for (auto& backend : backends) backend->Shutdown();
+  return row;
+}
+
 int Main() {
   const size_t train_count = util::Scaled(300, 100);
   const size_t request_count = util::Scaled(2000, 400);
@@ -188,10 +535,27 @@ int Main() {
 
   PrintHeader("serve", "parse service rps + p50/p99 by threads, hit ratio");
 
+  // Record pools for the TCP scenarios, drawn from generator indices past
+  // the in-process slices. Sweep pool: small and pre-warmed, so the
+  // connection sweep measures front-end mechanics at ~100% cache hits.
+  // Router pool: deliberately larger than one shard's result cache.
+  const size_t sweep_pool_count = 32;
+  const size_t router_pool_count = util::BenchSmoke() ? 192 : 384;
+  // 3/4 of the pool: one shard's LRU cannot hold the cyclic working set
+  // (every lap re-parses), while a quarter of the pool per shard fits
+  // with room for the cache's internal 16-way sharding.
+  const size_t router_cache_entries = router_pool_count * 3 / 4;
+  const size_t router_laps = 8;
+  // Router records are `router_concat` generated records glued together:
+  // the scenario contrasts parse cost against cache-hit cost, so the
+  // parse must dominate the two framing hops even at smoke scale.
+  const size_t router_concat = 16;
+
   // Fresh distinct records per pass (like bench_parse_throughput) so a
   // "cold cache" scenario stays cold on every pass.
-  const auto generator =
-      MakeEvalGenerator(train_count + passes * request_count);
+  const auto generator = MakeEvalGenerator(
+      train_count + passes * request_count + sweep_pool_count +
+      router_pool_count * router_concat);
   const auto train = TakeRecords(generator, 0, train_count);
   const whois::WhoisParser parser = TrainParser(train);
 
@@ -366,6 +730,159 @@ int Main() {
         total_mismatches, total_not_ok);
   }
 
+  // -------------------------------------------------------------------
+  // Connection-scaling sweep: both TCP front ends under pipelined load.
+  const size_t base = train_count + passes * request_count;
+  std::vector<std::string> sweep_pool;
+  std::vector<std::string> sweep_frames;
+  std::vector<std::string> sweep_bodies;
+  {
+    whois::ParseWorkspace ws;
+    for (size_t i = 0; i < sweep_pool_count; ++i) {
+      sweep_pool.push_back(generator.Generate(base + i).thick.text);
+      sweep_frames.push_back(FramedRequest(sweep_pool.back()));
+      sweep_bodies.push_back(whois::ToJson(parser.Parse(sweep_pool.back(), ws)));
+    }
+  }
+
+  // Per-row request budget: a fixed total (not per-client) so low
+  // connection counts still run long enough to measure — at 64 clients a
+  // handful of requests each finishes in milliseconds of scheduler noise.
+  const size_t sweep_budget = util::BenchSmoke() ? (1u << 15) : (1u << 16);
+  const auto per_client_for = [&](size_t clients) {
+    return std::max<size_t>(8, sweep_budget / clients);
+  };
+  std::vector<size_t> client_counts =
+      util::BenchSmoke() ? std::vector<size_t>{64, 4096}
+                         : std::vector<size_t>{64, 512, 4096};
+  RaiseFdLimit(12000);
+
+  std::printf("\nconnection sweep: ~%zu pipelined requests per row, "
+              "warm result cache\n",
+              sweep_budget);
+  std::printf("%8s %10s %8s %12s %10s\n", "clients", "frontend", "reqs/c",
+              "rps", "seconds");
+  std::vector<SweepRow> sweep_rows;
+  size_t tcp_mismatches = 0;
+  size_t tcp_not_ok = 0;
+  const auto run_sweep_row = [&](size_t clients, bool epoll) {
+    serve::ParseServerOptions options;
+    options.service.queue_capacity = 1 << 16;  // never fast-reject here
+    options.service.cache_entries = sweep_pool_count;
+    options.frontend =
+        epoll ? serve::Frontend::kEpoll : serve::Frontend::kThreads;
+    serve::ParseServer server(parser, options);
+    if (!WarmPool(server.port(), sweep_pool, sweep_bodies)) {
+      std::printf("WARNING: cache warm-up failed\n");
+    }
+    const size_t per_client = per_client_for(clients);
+    // Best-of-2 for quick rows; the many-connection rows run long enough
+    // (and cost enough) that one pass is both stable and affordable.
+    const size_t row_passes = clients >= 1024 ? 1 : 2;
+    SweepRow row;
+    size_t row_mismatches = 0;
+    size_t row_not_ok = 0;
+    for (size_t p = 0; p < row_passes; ++p) {
+      SweepRow pass =
+          RunConnectionSweep(server.port(), epoll ? "epoll" : "threads",
+                             clients, per_client, sweep_frames, sweep_bodies);
+      row_mismatches += pass.mismatches;
+      row_not_ok += pass.not_ok;
+      if (p == 0 || pass.rps > row.rps) row = std::move(pass);
+    }
+    row.mismatches = row_mismatches;
+    row.not_ok = row_not_ok;
+    server.Shutdown();
+    std::printf("%8zu %10s %8zu %12.0f %10.3f\n", row.clients,
+                row.frontend.c_str(), per_client, row.rps, row.seconds);
+    tcp_mismatches += row.mismatches;
+    tcp_not_ok += row.not_ok;
+    sweep_rows.push_back(std::move(row));
+  };
+  for (const size_t clients : client_counts) {
+    for (const bool epoll : {true, false}) run_sweep_row(clients, epoll);
+  }
+  // Full runs push the epoll reactor alone past the thread front end's
+  // practical range; smoke skips it for time.
+  if (!util::BenchSmoke()) run_sweep_row(10000, true);
+
+  const auto sweep_ratio = [&](size_t clients) {
+    double epoll_rps = 0.0;
+    double threads_rps = 0.0;
+    for (const SweepRow& row : sweep_rows) {
+      if (row.clients != clients) continue;
+      if (row.frontend == "epoll") epoll_rps = row.rps;
+      if (row.frontend == "threads") threads_rps = row.rps;
+    }
+    return threads_rps > 0.0 ? epoll_rps / threads_rps : 0.0;
+  };
+  const size_t low_clients = client_counts.front();
+  const size_t high_clients = client_counts.back();
+  const double epoll_vs_threads_low = sweep_ratio(low_clients);
+  const double epoll_vs_threads_high = sweep_ratio(high_clients);
+  std::printf("epoll vs threads: %.2fx at %zu clients, %.2fx at %zu\n",
+              epoll_vs_threads_low, low_clients, epoll_vs_threads_high,
+              high_clients);
+
+  // -------------------------------------------------------------------
+  // Shard-router scenario: aggregate cache across shards.
+  std::vector<std::string> router_frames;
+  std::vector<std::string> router_bodies;
+  {
+    whois::ParseWorkspace ws;
+    for (size_t i = 0; i < router_pool_count; ++i) {
+      std::string record;
+      for (size_t k = 0; k < router_concat; ++k) {
+        record += generator
+                      .Generate(base + sweep_pool_count +
+                                i * router_concat + k)
+                      .thick.text;
+        record += '\n';
+      }
+      router_frames.push_back(FramedRequest(record));
+      router_bodies.push_back(whois::ToJson(parser.Parse(record, ws)));
+    }
+  }
+
+  const std::vector<size_t> shard_counts =
+      util::BenchSmoke() ? std::vector<size_t>{1, 4}
+                         : std::vector<size_t>{1, 2, 4, 8};
+  std::printf("\nshard router: %zu distinct records x %zu laps, "
+              "%zu cache entries per shard\n",
+              router_pool_count, router_laps, router_cache_entries);
+  std::printf("%8s %12s %10s %10s\n", "shards", "rps", "seconds", "hit%");
+  std::vector<RouterRow> router_rows;
+  for (const size_t shards : shard_counts) {
+    RouterRow row =
+        RunRouterScenario(parser, shards, router_cache_entries, router_laps,
+                          router_frames, router_bodies);
+    std::printf("%8zu %12.0f %10.3f %9.1f%%\n", row.shards, row.rps,
+                row.seconds, row.hit_ratio * 100.0);
+    tcp_mismatches += row.mismatches;
+    tcp_not_ok += row.not_ok;
+    router_rows.push_back(std::move(row));
+  }
+  double router_4shard_vs_single = 0.0;
+  {
+    double single = 0.0;
+    double four = 0.0;
+    for (const RouterRow& row : router_rows) {
+      if (row.shards == 1) single = row.rps;
+      if (row.shards == 4) four = row.rps;
+    }
+    if (single > 0.0) router_4shard_vs_single = four / single;
+  }
+  std::printf("4 shards vs 1: %.2fx\n", router_4shard_vs_single);
+  if (tcp_mismatches > 0 || tcp_not_ok > 0) {
+    std::printf(
+        "\nWARNING: TCP scenarios saw %zu body mismatches, %zu not-ok "
+        "responses\n",
+        tcp_mismatches, tcp_not_ok);
+  }
+  const bool checksums_match =
+      total_mismatches == 0 && total_not_ok == 0 && tcp_mismatches == 0 &&
+      tcp_not_ok == 0;
+
   const char* out_env = std::getenv("WHOISCRF_BENCH_OUT");
   const std::string out_path =
       out_env != nullptr ? out_env : "BENCH_serve.json";
@@ -379,6 +896,38 @@ int Main() {
   os << "  \"bodies_match_offline\": "
      << (total_mismatches == 0 ? "true" : "false") << ",\n";
   os << "  \"all_ok\": " << (total_not_ok == 0 ? "true" : "false") << ",\n";
+  // Bit-identity across every path exercised (in-process, both TCP front
+  // ends, the router): the `require_checksums_match` hook in
+  // bench/bench_floor.json.
+  os << "  \"checksums_match\": " << (checksums_match ? "true" : "false")
+     << ",\n";
+  os << "  \"epoll_vs_threads_low\": " << epoll_vs_threads_low << ",\n";
+  os << "  \"epoll_vs_threads_low_clients\": " << low_clients << ",\n";
+  os << "  \"epoll_vs_threads_high\": " << epoll_vs_threads_high << ",\n";
+  os << "  \"epoll_vs_threads_high_clients\": " << high_clients << ",\n";
+  os << "  \"router_4shard_vs_single\": " << router_4shard_vs_single
+     << ",\n";
+  os << "  \"connection_sweep\": [\n";
+  for (size_t i = 0; i < sweep_rows.size(); ++i) {
+    const SweepRow& row = sweep_rows[i];
+    os << "    {\"clients\": " << row.clients << ", \"frontend\": \""
+       << row.frontend
+       << "\", \"requests_per_client\": " << per_client_for(row.clients)
+       << ", \"rps\": " << row.rps << ", \"seconds\": " << row.seconds
+       << "}" << (i + 1 < sweep_rows.size() ? ",\n" : "\n");
+  }
+  os << "  ],\n";
+  os << "  \"router_sweep\": [\n";
+  for (size_t i = 0; i < router_rows.size(); ++i) {
+    const RouterRow& row = router_rows[i];
+    os << "    {\"shards\": " << row.shards
+       << ", \"pool\": " << router_pool_count
+       << ", \"cache_entries\": " << router_cache_entries
+       << ", \"laps\": " << router_laps << ", \"rps\": " << row.rps
+       << ", \"hit_ratio\": " << row.hit_ratio << "}"
+       << (i + 1 < router_rows.size() ? ",\n" : "\n");
+  }
+  os << "  ],\n";
   os << "  \"scenarios\": [\n";
   for (size_t i = 0; i < results.size(); ++i) {
     const ScenarioResult& s = results[i];
@@ -397,7 +946,10 @@ int Main() {
   os << "  \"metrics\": " << obs::Registry::Global().RenderJson() << "\n";
   os << "}\n";
   std::printf("\nwrote %s\n", out_path.c_str());
-  return total_mismatches == 0 && total_not_ok == 0 ? 0 : 1;
+  // The ratio floors are enforced by scripts/check_bench_floor.py in the
+  // bench-smoke CI job, not here: this exit code is a correctness gate
+  // only, so `ctest -L bench_smoke` stays meaningful on slow shared boxes.
+  return checksums_match ? 0 : 1;
 }
 
 }  // namespace

@@ -27,7 +27,8 @@ import sys
 # A flag line in a help table: two spaces, the flag, optional metavar.
 HELP_FLAG = re.compile(r"^\s{2}(--[A-Za-z0-9-]+)", re.MULTILINE)
 # Commands registered in help.cc:  add("gen", kGenHelp);
-HELP_ADD = re.compile(r'add\("([a-z]+)",\s*k\w+Help\)')
+# (names may be hyphenated, e.g. "shard-router")
+HELP_ADD = re.compile(r'add\("([a-z][a-z-]*)",\s*k\w+Help\)')
 
 
 def flags_from_source(root: pathlib.Path) -> dict:

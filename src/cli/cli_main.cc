@@ -7,6 +7,8 @@
 //   whoiscrf select  rank unlabeled records for manual labeling
 //   whoiscrf crawl   crawl the simulated .com and emit parsed JSON
 //   whoiscrf serve   run the concurrent parse service on 127.0.0.1
+//   whoiscrf shard-router
+//                    consistent-hash front end over N serve backends
 //
 // Run `whoiscrf <command> --help` for per-command flags.
 #include <cstdio>
@@ -42,7 +44,11 @@ void PrintUsage() {
                "  serve   --model FILE [--port N] [--threads K]\n"
                "          [--queue-capacity N] [--cache-entries N]\n"
                "          [--deadline-ms D] [--max-record-bytes N]\n"
+               "          [--serve-frontend epoll|threads] [--event-loops N]\n"
                "          [--cascade-data FILE [--shadow-rate R]]\n"
+               "  shard-router\n"
+               "          --backends P1,P2,... [--port N] [--vnodes N]\n"
+               "          [--health-interval-ms MS] [--health-timeout-ms MS]\n"
                "\n"
                "global flags (every command):\n"
                "  --metrics-out FILE   write metrics when the command ends\n"

@@ -42,6 +42,13 @@ int CmdServe(util::FlagParser& flags) {
   // Self-drain after N ms, for tests and demos that cannot send signals.
   const auto drain_after_ms =
       static_cast<uint64_t>(flags.GetInt("drain-after-ms", 0));
+  const std::string frontend = flags.GetString("serve-frontend");
+  const auto event_loops =
+      static_cast<size_t>(flags.GetInt("event-loops", 1));
+  const auto writeq_max_bytes = static_cast<size_t>(
+      flags.GetInt("writeq-max-bytes", 4 * 1024 * 1024));
+  const auto listen_backlog =
+      static_cast<int>(flags.GetInt("listen-backlog", 1024));
   // --cascade-data enables the parser cascade (docs/cascade.md): requests
   // dispatch template -> rules -> CRF instead of always paying CRF cost.
   const std::string cascade_data = flags.GetString("cascade-data");
@@ -64,6 +71,14 @@ int CmdServe(util::FlagParser& flags) {
     std::fprintf(stderr, "serve: --model is required\n");
     return 2;
   }
+  serve::Frontend frontend_mode = serve::Frontend::kEpoll;
+  if (frontend == "threads") {
+    frontend_mode = serve::Frontend::kThreads;
+  } else if (!frontend.empty() && frontend != "epoll") {
+    std::fprintf(stderr,
+                 "serve: --serve-frontend must be 'epoll' or 'threads'\n");
+    return 2;
+  }
 
   const whois::WhoisParser parser = whois::WhoisParser::LoadFile(model_path);
 
@@ -78,6 +93,10 @@ int CmdServe(util::FlagParser& flags) {
   serve::ParseServerOptions options;
   options.port = port;
   options.max_frame_bytes = max_record_bytes;
+  options.frontend = frontend_mode;
+  options.event_loops = event_loops;
+  options.write_queue_max_bytes = writeq_max_bytes;
+  options.listen_backlog = listen_backlog;
   options.service.threads = threads;
   options.service.queue_capacity = queue_capacity;
   options.service.cache_entries = cache_entries;
@@ -93,9 +112,10 @@ int CmdServe(util::FlagParser& flags) {
   serve::ParseServer server(parser, options);
 
   std::fprintf(stderr,
-               "serve: listening on 127.0.0.1:%u (%zu workers, queue %zu, "
-               "cache %zu entries)\n",
+               "serve: listening on 127.0.0.1:%u (%s frontend, %zu workers, "
+               "queue %zu, cache %zu entries)\n",
                static_cast<unsigned>(server.port()),
+               frontend_mode == serve::Frontend::kEpoll ? "epoll" : "threads",
                server.service().threads(), queue_capacity, cache_entries);
 
   g_stop = 0;

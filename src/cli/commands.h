@@ -72,6 +72,17 @@ int CmdCrawl(util::FlagParser& flags);
 // --cascade-data serves through the parser cascade (docs/cascade.md).
 int CmdServe(util::FlagParser& flags);
 
+// whoiscrf shard-router --backends P1,P2,... [--port N] [--vnodes N]
+//                       [--health-interval-ms MS] [--health-timeout-ms MS]
+//                       [--max-record-bytes N] [--writeq-max-bytes N]
+//                       [--listen-backlog N] [--drain-after-ms MS]
+// Consistent-hash front end over N backend `serve` processes: each raw
+// record hashes to the same shard every time (cache affinity), frames
+// forward asynchronously through the epoll event loop, and unhealthy
+// shards are ejected/re-admitted by periodic health checks
+// (docs/formats.md "Router health checks").
+int CmdShardRouter(util::FlagParser& flags);
+
 // Reads raw records from a file or stdin ("" = stdin): records are
 // separated by lines containing only "%%"; a file with no separator is one
 // record. Shared by parse/select; framing is delegated to

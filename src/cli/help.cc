@@ -149,11 +149,46 @@ flags:
   --max-record-bytes N   maximum request frame size
   --drain-after-ms MS    self-drain after MS, for tests/demos that cannot
                          send signals (default 0 = run until signaled)
+  --serve-frontend MODE  epoll (default: non-blocking event loops) or
+                         threads (legacy thread-per-connection)
+  --event-loops N        event-loop threads multiplexing connections
+                         (epoll frontend; default 1)
+  --writeq-max-bytes N   per-connection write-queue bound before the
+                         connection stops being read (backpressure;
+                         epoll frontend; default 4194304, 0 = unbounded)
+  --listen-backlog N     listen(2) backlog (default 1024)
   --cascade-data FILE    serve through the parser cascade built from these
                          labeled records (docs/cascade.md)
   --shadow-rate R        cascade shadow-sample rate (default 0 = off)
   --rule-coverage-min X  cascade rule-tier coverage gate (default 0.98)
   --rule-max-unknown N   cascade rule-tier unknown-title budget (default 0)
+)HELP";
+
+constexpr const char* kShardRouterHelp =
+    R"HELP(usage: whoiscrf shard-router --backends P1,P2,... [flags]
+
+Consistent-hash front end over N backend `whoiscrf serve` processes: each
+raw record always routes to the same shard (cache affinity), frames are
+forwarded asynchronously through the epoll event loop, and periodic health
+checks eject and re-admit shards automatically (docs/formats.md "Router
+health checks"). SIGTERM or SIGINT drains gracefully.
+
+flags:
+  --backends LIST        comma-separated backend endpoints, each "port" or
+                         "ip:port" on loopback (required)
+  --port N               listen port (default 0 = ephemeral)
+  --vnodes N             virtual ring points per shard (default 64)
+  --health-interval-ms MS
+                         health-probe cadence (default 1000; 0 = off)
+  --health-timeout-ms MS health-probe budget: connect + empty frame +
+                         complete response (default 250)
+  --max-record-bytes N   maximum request frame size
+  --writeq-max-bytes N   per-connection write-queue bound before the
+                         connection stops being read (backpressure;
+                         default 4194304, 0 = unbounded)
+  --listen-backlog N     listen(2) backlog (default 1024)
+  --drain-after-ms MS    self-drain after MS, for tests/demos that cannot
+                         send signals (default 0 = run until signaled)
 )HELP";
 
 }  // namespace
@@ -172,6 +207,7 @@ const char* CommandHelp(const std::string& command) {
     add("select", kSelectHelp);
     add("crawl", kCrawlHelp);
     add("serve", kServeHelp);
+    add("shard-router", kShardRouterHelp);
     return t;
   }();
   const auto it = table->find(command);

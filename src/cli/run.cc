@@ -33,6 +33,7 @@ const char* CommandSpanName(const std::string& command) {
   if (command == "select") return "cli.select";
   if (command == "crawl") return "cli.crawl";
   if (command == "serve") return "cli.serve";
+  if (command == "shard-router") return "cli.shard_router";
   return "cli.command";
 }
 
@@ -45,13 +46,15 @@ int Dispatch(const std::string& command, util::FlagParser& flags) {
   if (command == "select") return CmdSelect(flags);
   if (command == "crawl") return CmdCrawl(flags);
   if (command == "serve") return CmdServe(flags);
+  if (command == "shard-router") return CmdShardRouter(flags);
   return -1;  // unreachable: RunCommand checks Known() first
 }
 
 bool Known(const std::string& command) {
   return command == "gen" || command == "train" || command == "parse" ||
          command == "adapt" || command == "eval" || command == "select" ||
-         command == "crawl" || command == "serve";
+         command == "crawl" || command == "serve" ||
+         command == "shard-router";
 }
 
 }  // namespace

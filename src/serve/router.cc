@@ -1,0 +1,432 @@
+#include "serve/router.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+
+namespace whoiscrf::serve {
+
+namespace {
+
+struct Endpoint {
+  std::string ip;
+  uint16_t port = 0;
+};
+
+Endpoint ParseEndpoint(const std::string& spec) {
+  Endpoint ep;
+  ep.ip = "127.0.0.1";
+  std::string port_str = spec;
+  const size_t colon = spec.rfind(':');
+  if (colon != std::string::npos) {
+    ep.ip = spec.substr(0, colon);
+    port_str = spec.substr(colon + 1);
+  }
+  char* end = nullptr;
+  const long port = std::strtol(port_str.c_str(), &end, 10);
+  if (end == port_str.c_str() || *end != '\0' || port <= 0 || port > 65535) {
+    throw std::runtime_error("shard-router: bad backend '" + spec +
+                             "' (want port or ip:port)");
+  }
+  ep.port = static_cast<uint16_t>(port);
+  return ep;
+}
+
+bool FillAddr(const std::string& ip, uint16_t port, sockaddr_in* addr) {
+  *addr = {};
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  return ::inet_pton(AF_INET, ip.c_str(), &addr->sin_addr) == 1;
+}
+
+obs::Counter* RouterLoopWakeups() {
+  // The router runs the same event-loop machinery as the serve front
+  // end, so its loop shares the wakeup counter name (the two never live
+  // in one process).
+  return obs::Registry::Global().GetCounter(
+      "whoiscrf_serve_epoll_wakeups_total",
+      "event-loop epoll_wait returns (readiness batches dispatched)");
+}
+
+}  // namespace
+
+uint64_t Fnv1a64(std::string_view bytes) {
+  uint64_t hash = 1469598103934665603ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+HashRing::HashRing(size_t shards, size_t vnodes) : shards_(shards) {
+  points_.reserve(shards * vnodes);
+  for (size_t s = 0; s < shards; ++s) {
+    for (size_t v = 0; v < vnodes; ++v) {
+      char key[40];
+      const int len = std::snprintf(key, sizeof(key), "shard-%zu/vnode-%zu",
+                                    s, v);
+      points_.emplace_back(Fnv1a64({key, static_cast<size_t>(len)}),
+                           static_cast<uint32_t>(s));
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+int HashRing::Pick(uint64_t hash,
+                   const std::function<bool(size_t)>& healthy) const {
+  if (points_.empty()) return -1;
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), hash,
+      [](const std::pair<uint64_t, uint32_t>& p, uint64_t h) {
+        return p.first < h;
+      });
+  for (size_t walked = 0; walked < points_.size(); ++walked, ++it) {
+    if (it == points_.end()) it = points_.begin();
+    if (healthy(it->second)) return static_cast<int>(it->second);
+  }
+  return -1;
+}
+
+int HashRing::Owner(uint64_t hash) const {
+  return Pick(hash, [](size_t) { return true; });
+}
+
+// ---------------------------------------------------------------------------
+
+ShardRouter::ShardRouter(ShardRouterOptions options)
+    : options_(std::move(options)),
+      ring_(options_.backends.size(), options_.vnodes),
+      loop_(RouterLoopWakeups()) {
+  if (options_.backends.empty()) {
+    throw std::runtime_error("shard-router: no backends");
+  }
+  auto& registry = obs::Registry::Global();
+  connections_total_ = registry.GetCounter(
+      "whoiscrf_router_connections_total", "client connections accepted");
+  active_connections_ = registry.GetGauge(
+      "whoiscrf_router_active_connections",
+      "client connections currently open");
+  unrouted_ = registry.GetCounter(
+      "whoiscrf_router_unrouted_total",
+      "requests answered kError because no healthy shard could take them");
+  writeq_bytes_ = registry.GetGauge(
+      "whoiscrf_serve_writeq_bytes",
+      "response bytes buffered in per-connection write queues");
+  backpressure_stalls_ = registry.GetCounter(
+      "whoiscrf_serve_backpressure_stalls_total",
+      "connections paused because their write queue exceeded the bound");
+
+  backends_.reserve(options_.backends.size());
+  for (size_t i = 0; i < options_.backends.size(); ++i) {
+    const Endpoint ep = ParseEndpoint(options_.backends[i]);
+    sockaddr_in probe_addr{};
+    if (!FillAddr(ep.ip, ep.port, &probe_addr)) {
+      throw std::runtime_error("shard-router: bad backend address '" +
+                               options_.backends[i] + "'");
+    }
+    auto backend = std::make_unique<Backend>();
+    backend->ip = ep.ip;
+    backend->tcp_port = ep.port;
+    const std::string shard_label = std::to_string(i);
+    backend->forwarded = registry.GetCounter(
+        "whoiscrf_router_forwarded_total", "request frames forwarded, by shard",
+        {{"shard", shard_label}});
+    backend->healthy_gauge = registry.GetGauge(
+        "whoiscrf_router_shard_healthy",
+        "1 while the shard is routed to, 0 while ejected",
+        {{"shard", shard_label}});
+    backend->healthy_gauge->Set(1.0);
+    backends_.push_back(std::move(backend));
+  }
+
+  listen_fd_ = CreateListener(options_.port, options_.listen_backlog, &port_);
+  SetNonBlocking(listen_fd_);
+  loop_.AddFd(listen_fd_, EPOLLIN | EPOLLET,
+              [this](uint32_t) { AcceptReady(); });
+  loop_thread_ = std::thread([this] { loop_.Run(); });
+  if (options_.health_interval_ms > 0) {
+    health_thread_ = std::thread([this] { HealthLoop(); });
+  }
+}
+
+ShardRouter::~ShardRouter() { Shutdown(); }
+
+void ShardRouter::AcceptReady() {
+  while (listen_fd_ >= 0) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN (drained) or listener gone
+    }
+    SetTcpNoDelay(fd);
+    connections_total_->Inc();
+    active_connections_->Add(1.0);
+    AttachClient(fd);
+  }
+}
+
+void ShardRouter::AttachClient(int fd) {
+  if (draining_) {
+    ::close(fd);
+    active_connections_->Add(-1.0);
+    return;
+  }
+  FrameConnOptions conn_options;
+  conn_options.max_frame_bytes = options_.max_frame_bytes;
+  conn_options.write_queue_max_bytes = options_.write_queue_max_bytes;
+  FrameConnMetrics conn_metrics{writeq_bytes_, backpressure_stalls_,
+                                &writeq_total_};
+  auto conn =
+      std::make_shared<FrameConn>(&loop_, fd, conn_options, conn_metrics);
+  FrameConn* raw = conn.get();
+  conn->on_request = [this, raw](std::string&& record) {
+    const uint64_t seq = raw->OpenSlot();
+    Dispatch(raw->shared_from_this(), seq, std::move(record), 0);
+  };
+  conn->on_closed = [this](FrameConn& c) {
+    active_connections_->Add(-1.0);
+    clients_.erase(c.shared_from_this());
+    if (draining_ && clients_.empty()) MaybeFinishDrain();
+  };
+  clients_.insert(conn);
+  conn->Start();
+}
+
+void ShardRouter::Dispatch(std::shared_ptr<FrameConn> client, uint64_t seq,
+                           std::string record, size_t attempts) {
+  if (client->closed()) return;
+  if (attempts >= backends_.size()) {
+    unrouted_->Inc();
+    client->CompleteSlot(seq, Status::kError, "shard unavailable");
+    return;
+  }
+  const uint64_t hash = Fnv1a64(record);
+  const int shard = ring_.Pick(hash, [this](size_t s) {
+    return backends_[s]->healthy.load(std::memory_order_relaxed);
+  });
+  if (shard < 0) {
+    unrouted_->Inc();
+    client->CompleteSlot(seq, Status::kError, "no healthy shard");
+    return;
+  }
+  Backend& backend = *backends_[shard];
+  if (!EnsureBackendConn(static_cast<size_t>(shard))) {
+    // Synchronous connect failure: eject and retry on the next shard.
+    if (backend.healthy.exchange(false)) backend.healthy_gauge->Set(0.0);
+    Dispatch(std::move(client), seq, std::move(record), attempts + 1);
+    return;
+  }
+  backend.pending.push_back(
+      {std::move(client), seq, std::move(record), attempts});
+  backend.conn->SendRequestFrame(backend.pending.back().record);
+  backend.forwarded->Inc();
+}
+
+bool ShardRouter::EnsureBackendConn(size_t shard) {
+  Backend& backend = *backends_[shard];
+  if (backend.conn != nullptr && !backend.conn->closed()) return true;
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  FillAddr(backend.ip, backend.tcp_port, &addr);
+  bool connecting = false;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) {
+      ::close(fd);
+      return false;
+    }
+    connecting = true;
+  }
+  SetTcpNoDelay(fd);
+  FrameConnOptions conn_options;
+  conn_options.max_frame_bytes = options_.max_frame_bytes;
+  conn_options.write_queue_max_bytes = 0;  // bounded by shard admission
+  conn_options.response_stream = true;
+  conn_options.connecting = connecting;
+  FrameConnMetrics conn_metrics{writeq_bytes_, backpressure_stalls_,
+                                &writeq_total_};
+  backend.conn =
+      std::make_shared<FrameConn>(&loop_, fd, conn_options, conn_metrics);
+  backend.conn->on_response = [this, shard](Status status,
+                                            std::string&& body) {
+    Backend& b = *backends_[shard];
+    if (b.pending.empty()) return;  // stray frame from a confused backend
+    Backend::Pending p = std::move(b.pending.front());
+    b.pending.pop_front();
+    p.client->CompleteSlot(p.seq, status, std::move(body));
+  };
+  backend.conn->on_closed = [this, shard](FrameConn&) {
+    HandleBackendDown(shard);
+  };
+  backend.conn->Start();
+  return true;
+}
+
+void ShardRouter::HandleBackendDown(size_t shard) {
+  Backend& backend = *backends_[shard];
+  backend.conn.reset();
+  std::deque<Backend::Pending> orphaned;
+  orphaned.swap(backend.pending);
+  if (draining_) return;  // clients are gone or going; nothing to redo
+  if (backend.healthy.exchange(false)) backend.healthy_gauge->Set(0.0);
+  // Re-dispatch in order: the surviving shards take over this shard's
+  // in-flight work (each request retries at most once per shard).
+  for (auto& p : orphaned) {
+    Dispatch(std::move(p.client), p.seq, std::move(p.record), p.attempts + 1);
+  }
+}
+
+void ShardRouter::MaybeFinishDrain() {
+  if (!draining_ || !clients_.empty()) return;
+  for (auto& backend : backends_) {
+    if (backend->conn != nullptr) backend->conn->Close();
+  }
+  loop_.Stop();
+}
+
+void ShardRouter::HealthLoop() {
+  std::unique_lock<std::mutex> lock(health_mu_);
+  while (!health_stop_) {
+    lock.unlock();
+    for (size_t i = 0; i < backends_.size(); ++i) {
+      if (stop_.load(std::memory_order_relaxed)) break;
+      Backend& backend = *backends_[i];
+      const bool ok = ProbeBackend(backend);
+      const bool was = backend.healthy.load(std::memory_order_relaxed);
+      if (ok && !was) {
+        // Re-admit: the next Dispatch picks it up again.
+        backend.healthy.store(true, std::memory_order_relaxed);
+        backend.healthy_gauge->Set(1.0);
+      } else if (!ok && was) {
+        backend.healthy.store(false, std::memory_order_relaxed);
+        backend.healthy_gauge->Set(0.0);
+        // Drop the live connection (if any) on the loop thread so its
+        // in-flight requests re-dispatch to healthy shards.
+        loop_.Post([this, i] {
+          if (backends_[i]->conn != nullptr) backends_[i]->conn->Close();
+        });
+      }
+    }
+    lock.lock();
+    health_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.health_interval_ms),
+        [this] { return health_stop_; });
+  }
+}
+
+// The health-check exchange (docs/formats.md): connect, send one empty
+// request frame, require one complete response frame — any status —
+// within the timeout.
+bool ShardRouter::ProbeBackend(const Backend& backend) const {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  FillAddr(backend.ip, backend.tcp_port, &addr);
+  const int timeout_ms = static_cast<int>(options_.health_timeout_ms);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) {
+      ::close(fd);
+      return false;
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    if (::poll(&pfd, 1, timeout_ms) <= 0) {
+      ::close(fd);
+      return false;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      ::close(fd);
+      return false;
+    }
+  }
+  // Connected; switch to blocking with the probe budget as I/O timeout.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  FdStream stream(fd);
+  bool ok = WriteFrame(stream, std::string_view());
+  if (ok) {
+    Status status = Status::kError;
+    std::string body;
+    ok = ReadResponse(stream, status, body, options_.max_frame_bytes) ==
+         FrameRead::kFrame;
+  }
+  ::close(fd);
+  return ok;
+}
+
+void ShardRouter::Shutdown() {
+  if (stop_.exchange(true)) return;
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    health_stop_ = true;
+  }
+  health_cv_.notify_all();
+  if (health_thread_.joinable()) health_thread_.join();
+
+  std::promise<void> quiesced;
+  loop_.Post([this, &quiesced] {
+    if (listen_fd_ >= 0) {
+      loop_.DelFd(listen_fd_);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    draining_ = true;
+    auto clients = clients_;  // CloseAfterFlush may erase synchronously
+    for (const auto& client : clients) client->CloseAfterFlush();
+    MaybeFinishDrain();
+    quiesced.set_value();
+  });
+  quiesced.get_future().wait();
+
+  struct Watch {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+  };
+  auto watch = std::make_shared<Watch>();
+  std::thread watchdog([this, watch] {
+    std::unique_lock<std::mutex> lock(watch->mu);
+    const auto grace = std::chrono::milliseconds(options_.drain_flush_ms);
+    if (!watch->cv.wait_for(lock, grace, [&] { return watch->done; })) {
+      loop_.Post([this] {
+        auto clients = clients_;
+        for (const auto& client : clients) client->Close();
+        for (auto& backend : backends_) {
+          if (backend->conn != nullptr) backend->conn->Close();
+        }
+        loop_.Stop();
+      });
+    }
+  });
+  if (loop_thread_.joinable()) loop_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(watch->mu);
+    watch->done = true;
+  }
+  watch->cv.notify_all();
+  watchdog.join();
+}
+
+}  // namespace whoiscrf::serve

@@ -1,0 +1,175 @@
+// Consistent-hash shard router: `whoiscrf shard-router`.
+//
+// One router process fans client traffic out over N backend `whoiscrf
+// serve` processes. Each request's raw record bytes are hashed (FNV-1a
+// 64) onto a consistent-hash ring of virtual nodes, so the same record
+// always lands on the same shard — that shard's LRU result cache keeps
+// its hit rate as if it were the only server, and adding or removing a
+// shard remaps only the ring segments it owned (docs/architecture.md
+// "Event-driven serving").
+//
+// The router reuses the serve event-loop machinery (serve/event_loop.h):
+// a single epoll thread owns the listener, every client connection, and
+// one multiplexed upstream connection per backend. Client pipelining is
+// preserved end to end: requests open ordered response slots on the
+// client connection, each backend answers its own connection in request
+// order (FIFO pending queue), and slots serialize replies back in
+// arrival order no matter how shards interleave.
+//
+// Health: a prober thread periodically performs the health-check
+// exchange specified in docs/formats.md — connect, send one empty
+// request frame, require a complete response frame within the timeout.
+// A shard that fails the probe (or whose connection drops mid-flight) is
+// ejected from routing; in-flight requests it owed are re-dispatched to
+// the surviving shards (bounded retries), and a later successful probe
+// re-admits it automatically.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "serve/event_loop.h"
+
+namespace whoiscrf::obs {
+class Counter;
+class Gauge;
+}  // namespace whoiscrf::obs
+
+namespace whoiscrf::serve {
+
+// FNV-1a 64-bit over raw bytes; the record -> shard hash.
+uint64_t Fnv1a64(std::string_view bytes);
+
+// Consistent-hash ring: `vnodes` virtual points per shard, point
+// positions derived only from (shard index, vnode index) so adding a
+// shard never moves another shard's points — the minimal-remap property.
+class HashRing {
+ public:
+  HashRing(size_t shards, size_t vnodes);
+
+  // First shard at or after `hash` (wrapping) for which `healthy` holds;
+  // -1 when no point satisfies it.
+  int Pick(uint64_t hash,
+           const std::function<bool(size_t)>& healthy) const;
+  // Owning shard ignoring health.
+  int Owner(uint64_t hash) const;
+
+  size_t shards() const { return shards_; }
+
+ private:
+  std::vector<std::pair<uint64_t, uint32_t>> points_;  // sorted by .first
+  size_t shards_;
+};
+
+struct ShardRouterOptions {
+  // Backend serve endpoints, "port" or "ip:port" (loopback default).
+  std::vector<std::string> backends;
+  // TCP port on 127.0.0.1; 0 = ephemeral (read back with port()).
+  uint16_t port = 0;
+  // Virtual points per shard on the ring.
+  size_t vnodes = 64;
+  // Probe cadence; 0 disables the health prober (connection failures
+  // still eject, but nothing re-admits).
+  uint64_t health_interval_ms = 1000;
+  // Probe budget: connect + empty-record frame + complete response.
+  uint64_t health_timeout_ms = 250;
+  // Cap on one client request frame.
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  // Client-connection write-queue bound (backpressure); 0 = unbounded.
+  size_t write_queue_max_bytes = 4u << 20;
+  int listen_backlog = 1024;
+  // Shutdown grace for flushing responses before force-closing.
+  uint64_t drain_flush_ms = 5000;
+};
+
+class ShardRouter {
+ public:
+  // Binds 127.0.0.1 and starts routing immediately. Throws
+  // std::runtime_error on an empty/invalid backend list or socket
+  // failure. Backends start optimistically healthy.
+  explicit ShardRouter(ShardRouterOptions options);
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  uint16_t port() const { return port_; }
+  size_t num_shards() const { return backends_.size(); }
+  bool ShardHealthy(size_t shard) const {
+    return backends_[shard]->healthy.load(std::memory_order_relaxed);
+  }
+
+  // Graceful shutdown: stop accepting, let in-flight requests finish and
+  // flush (bounded by drain_flush_ms), close backend connections, stop
+  // the loop. Idempotent; also run by the destructor.
+  void Shutdown();
+
+ private:
+  struct Backend {
+    std::string ip;
+    uint16_t tcp_port = 0;
+    std::atomic<bool> healthy{true};
+
+    // Loop-thread-only state.
+    std::shared_ptr<FrameConn> conn;  // lazily (re)connected upstream
+    struct Pending {
+      std::shared_ptr<FrameConn> client;
+      uint64_t seq = 0;
+      std::string record;  // kept for re-dispatch on shard death
+      size_t attempts = 0;
+    };
+    std::deque<Pending> pending;  // FIFO matches upstream response order
+
+    obs::Counter* forwarded = nullptr;
+    obs::Gauge* healthy_gauge = nullptr;
+  };
+
+  void AcceptReady();
+  void AttachClient(int fd);
+  void Dispatch(std::shared_ptr<FrameConn> client, uint64_t seq,
+                std::string record, size_t attempts);
+  bool EnsureBackendConn(size_t shard);
+  void HandleBackendDown(size_t shard);
+  void MaybeFinishDrain();
+  void HealthLoop();
+  bool ProbeBackend(const Backend& backend) const;
+
+  const ShardRouterOptions options_;
+  HashRing ring_;
+  std::vector<std::unique_ptr<Backend>> backends_;
+
+  EventLoop loop_;
+  std::thread loop_thread_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+
+  // Loop-thread-only.
+  std::unordered_set<std::shared_ptr<FrameConn>> clients_;
+  bool draining_ = false;
+  std::atomic<int64_t> writeq_total_{0};
+
+  std::thread health_thread_;
+  std::mutex health_mu_;
+  std::condition_variable health_cv_;
+  bool health_stop_ = false;
+
+  obs::Counter* connections_total_ = nullptr;
+  obs::Gauge* active_connections_ = nullptr;
+  obs::Counter* unrouted_ = nullptr;
+  obs::Gauge* writeq_bytes_ = nullptr;
+  obs::Counter* backpressure_stalls_ = nullptr;
+};
+
+}  // namespace whoiscrf::serve

@@ -1,11 +1,13 @@
 #include "serve/server.h"
 
-#include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
 #include <exception>
 #include <stdexcept>
 #include <utility>
@@ -77,17 +79,34 @@ ParseService::ParseService(const whois::WhoisParser& parser,
 
 ParseService::~ParseService() { Drain(); }
 
-std::future<ServeResult> ParseService::Submit(std::string record) {
+void ParseService::SubmitAsync(std::string record,
+                               std::function<void(ServeResult&&)> done) {
   Request req;
   req.record = std::move(record);
   req.start_us = obs::MonotonicMicros();
-  std::future<ServeResult> result = req.promise.get_future();
+  req.done = std::move(done);
 
   if (req.record.size() > options_.max_record_bytes) {
     metrics_.error->Inc();
-    req.promise.set_value(
-        ServeResult{Status::kError, "record too large", false});
-    return result;
+    req.done(ServeResult{Status::kError, "record too large", false});
+    return;
+  }
+  // Inline cache-hit fast path: a hit needs no worker, so answering at
+  // submit time saves the queue hand-off (two cross-thread wakes per
+  // request). On the epoll front end this runs on the event-loop thread —
+  // a sharded-LRU probe, cheap enough to keep the loop responsive — and
+  // hot repeated traffic never leaves that thread. A miss is NOT counted
+  // here: the record may hit by the time a worker picks it up (an
+  // identical in-flight request completing first), and the worker's own
+  // probe counts each admitted request exactly once.
+  if (cache_ != nullptr) {
+    std::string body;
+    const size_t record_hash = ResultCache::Hash(req.record);
+    if (cache_->Get(req.record, record_hash, &body)) {
+      metrics_.cache_hits->Inc();
+      Finish(req, Status::kOk, std::move(body), true);
+      return;
+    }
   }
   if (options_.deadline_ms != 0) {
     req.deadline_ms = clock_->NowMs() + options_.deadline_ms;
@@ -98,10 +117,18 @@ std::future<ServeResult> ParseService::Submit(std::string record) {
   size_t depth = 0;
   if (draining() || !queue_.TryPush(req, &depth)) {
     metrics_.busy->Inc();
-    req.promise.set_value(ServeResult{Status::kBusy, "server busy", false});
-    return result;
+    req.done(ServeResult{Status::kBusy, "server busy", false});
+    return;
   }
   metrics_.queue_depth->Set(static_cast<double>(depth));
+}
+
+std::future<ServeResult> ParseService::Submit(std::string record) {
+  auto promise = std::make_shared<std::promise<ServeResult>>();
+  std::future<ServeResult> result = promise->get_future();
+  SubmitAsync(std::move(record), [promise](ServeResult&& r) {
+    promise->set_value(std::move(r));
+  });
   return result;
 }
 
@@ -160,7 +187,7 @@ void ParseService::Finish(Request& req, Status status, std::string body,
   metrics_.latency_us->Observe(
       static_cast<double>(obs::MonotonicMicros() - req.start_us));
   StatusCounter(status)->Inc();
-  req.promise.set_value(ServeResult{status, std::move(body), cache_hit});
+  req.done(ServeResult{status, std::move(body), cache_hit});
 }
 
 obs::Counter* ParseService::StatusCounter(Status status) {
@@ -197,33 +224,187 @@ ParseServer::ParseServer(const whois::WhoisParser& parser,
       "whoiscrf_serve_connections_total", "TCP connections accepted");
   active_connections_ = registry.GetGauge(
       "whoiscrf_serve_active_connections", "TCP connections currently open");
+  epoll_wakeups_ = registry.GetCounter(
+      "whoiscrf_serve_epoll_wakeups_total",
+      "event-loop epoll_wait returns (readiness batches dispatched)");
+  writeq_bytes_ = registry.GetGauge(
+      "whoiscrf_serve_writeq_bytes",
+      "response bytes buffered in per-connection write queues");
+  backpressure_stalls_ = registry.GetCounter(
+      "whoiscrf_serve_backpressure_stalls_total",
+      "connections paused because their write queue exceeded the bound");
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) throw std::runtime_error("ParseServer: socket()");
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(options_.port);
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    ::close(listen_fd_);
-    throw std::runtime_error("ParseServer: bind()");
+  listen_fd_ = CreateListener(options_.port, options_.listen_backlog, &port_);
+  if (options_.frontend == Frontend::kEpoll) {
+    StartEpoll();
+  } else {
+    accept_thread_ = std::thread([this] { AcceptLoop(); });
   }
-  socklen_t len = sizeof(addr);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
-  port_ = ntohs(addr.sin_port);
-
-  if (::listen(listen_fd_, 128) != 0) {
-    ::close(listen_fd_);
-    throw std::runtime_error("ParseServer: listen()");
-  }
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
 }
 
 ParseServer::~ParseServer() { Shutdown(); }
+
+void ParseServer::Shutdown() {
+  if (stop_.exchange(true)) return;
+  if (options_.frontend == Frontend::kEpoll) {
+    ShutdownEpoll();
+  } else {
+    ShutdownThreads();
+  }
+}
+
+// --- epoll front end ------------------------------------------------------
+
+void ParseServer::StartEpoll() {
+  SetNonBlocking(listen_fd_);
+  const size_t n = std::max<size_t>(1, options_.event_loops);
+  loops_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    loops_.push_back(std::make_unique<LoopCtx>(epoll_wakeups_));
+  }
+  // Registering before Run() starts is the one off-thread AddFd allowed.
+  loops_[0]->loop.AddFd(listen_fd_, EPOLLIN | EPOLLET,
+                        [this](uint32_t) { AcceptReady(); });
+  for (auto& ctx : loops_) {
+    ctx->thread = std::thread([loop = &ctx->loop] { loop->Run(); });
+  }
+}
+
+void ParseServer::AcceptReady() {
+  // Edge-triggered: drain the accept queue completely or new connections
+  // stall until the next edge.
+  while (listen_fd_ >= 0) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN (drained) or listener gone
+    }
+    SetTcpNoDelay(fd);
+    connections_total_->Inc();
+    active_connections_->Add(1.0);
+    LoopCtx* ctx = loops_[next_loop_++ % loops_.size()].get();
+    if (ctx == loops_[0].get()) {
+      AttachConn(ctx, fd);
+    } else {
+      ctx->loop.Post([this, ctx, fd] { AttachConn(ctx, fd); });
+    }
+  }
+}
+
+void ParseServer::AttachConn(LoopCtx* ctx, int fd) {
+  if (ctx->draining) {  // raced shutdown; refuse politely
+    ::close(fd);
+    active_connections_->Add(-1.0);
+    return;
+  }
+  FrameConnOptions conn_options;
+  conn_options.max_frame_bytes = options_.max_frame_bytes;
+  conn_options.write_queue_max_bytes = options_.write_queue_max_bytes;
+  FrameConnMetrics conn_metrics{writeq_bytes_, backpressure_stalls_,
+                                &writeq_total_};
+  auto conn = std::make_shared<FrameConn>(&ctx->loop, fd, conn_options,
+                                          conn_metrics);
+  // Raw `this`-style captures only: the conn's own shared_ptr in its
+  // callbacks would be a reference cycle. The completion path captures a
+  // fresh shared_ptr per request, which is exactly the lifetime needed.
+  FrameConn* raw = conn.get();
+  conn->on_request = [this, ctx, raw](std::string&& record) {
+    const uint64_t seq = raw->OpenSlot();
+    auto self = raw->shared_from_this();
+    service_.SubmitAsync(
+        std::move(record),
+        [ctx, self = std::move(self), seq](ServeResult&& result) {
+          // Inline completions (the cache-hit fast path answers inside
+          // SubmitAsync, i.e. on this loop thread) write the slot
+          // directly — the dispatch loop holds a handler reference, and
+          // every FrameConn loop re-checks closed_/paused_, so a
+          // synchronous CompleteSlot mid-ConsumeFrames is safe. Worker
+          // completions hop to the owning loop; ServeResult is move-only
+          // in spirit (big body), shared_ptr keeps the lambda copyable
+          // for std::function.
+          if (ctx->loop.InLoopThread()) {
+            self->CompleteSlot(seq, result.status, std::move(result.body));
+            return;
+          }
+          auto boxed = std::make_shared<ServeResult>(std::move(result));
+          ctx->loop.Post([self, seq, boxed] {
+            self->CompleteSlot(seq, boxed->status, std::move(boxed->body));
+          });
+        });
+  };
+  conn->on_closed = [this, ctx](FrameConn& c) {
+    active_connections_->Add(-1.0);
+    ctx->conns.erase(c.shared_from_this());
+    if (ctx->draining && ctx->conns.empty()) ctx->loop.Stop();
+  };
+  ctx->conns.insert(conn);
+  conn->Start();
+}
+
+void ParseServer::ShutdownEpoll() {
+  // 1. Stop accepting: the listener lives on loop 0, so close it there.
+  std::promise<void> closed;
+  loops_[0]->loop.Post([this, &closed] {
+    if (listen_fd_ >= 0) {
+      loops_[0]->loop.DelFd(listen_fd_);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    closed.set_value();
+  });
+  closed.get_future().wait();
+
+  // 2. Drain the service. Every admitted request's completion is posted
+  //    to its loop before Drain returns (the workers are joined), so the
+  //    drain tasks below — posted after — run with all responses already
+  //    serialized into their connections' write queues (FIFO per loop).
+  service_.Drain();
+
+  // 3. Flush and close every connection; a loop stops once its last
+  //    connection is gone.
+  for (auto& ctx : loops_) {
+    ctx->loop.Post([ctx = ctx.get()] {
+      ctx->draining = true;
+      auto conns = ctx->conns;  // CloseAfterFlush may erase synchronously
+      for (const auto& conn : conns) conn->CloseAfterFlush();
+      if (ctx->conns.empty()) ctx->loop.Stop();
+    });
+  }
+
+  // 4. Watchdog: a peer that stops reading its responses would hold its
+  //    loop open forever; force-close stragglers after the grace period.
+  struct Watch {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+  };
+  auto watch = std::make_shared<Watch>();
+  std::thread watchdog([this, watch] {
+    std::unique_lock<std::mutex> lock(watch->mu);
+    const auto grace = std::chrono::milliseconds(options_.drain_flush_ms);
+    if (!watch->cv.wait_for(lock, grace, [&] { return watch->done; })) {
+      for (auto& ctx : loops_) {
+        ctx->loop.Post([ctx = ctx.get()] {
+          auto conns = ctx->conns;
+          for (const auto& conn : conns) conn->Close();
+          ctx->loop.Stop();
+        });
+      }
+    }
+  });
+  for (auto& ctx : loops_) {
+    if (ctx->thread.joinable()) ctx->thread.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(watch->mu);
+    watch->done = true;
+  }
+  watch->cv.notify_all();
+  watchdog.join();
+}
+
+// --- threads front end ----------------------------------------------------
 
 void ParseServer::AcceptLoop() {
   while (!stop_.load()) {
@@ -232,6 +413,7 @@ void ParseServer::AcceptLoop() {
       if (stop_.load()) return;
       continue;
     }
+    SetTcpNoDelay(client);
     connections_total_->Inc();
     active_connections_->Add(1.0);
     std::lock_guard<std::mutex> lock(conn_mu_);
@@ -269,19 +451,17 @@ void ParseServer::ServeConnection(int client_fd) {
   active_connections_->Add(-1.0);
 }
 
-void ParseServer::Shutdown() {
-  if (!stop_.exchange(true)) {
-    // Wake the accept loop with shutdown() only: the blocked (and any
-    // subsequent) accept() fails immediately, but the fd number stays
-    // reserved until after the join, so AcceptLoop never reads a closed —
-    // possibly recycled — fd and listen_fd_ is only written once the
-    // thread is gone.
-    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
-    if (accept_thread_.joinable()) accept_thread_.join();
-    if (listen_fd_ >= 0) {
-      ::close(listen_fd_);
-      listen_fd_ = -1;
-    }
+void ParseServer::ShutdownThreads() {
+  // Wake the accept loop with shutdown() only: the blocked (and any
+  // subsequent) accept() fails immediately, but the fd number stays
+  // reserved until after the join, so AcceptLoop never reads a closed —
+  // possibly recycled — fd and listen_fd_ is only written once the
+  // thread is gone.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
   }
   // Every already-admitted request finishes and its response is written by
   // the connection thread that is waiting on it.

@@ -20,10 +20,21 @@
 //   * whoiscrf_serve_* metrics and the serve.request trace span
 //     (docs/observability.md).
 //
-// ParseServer is the TCP front end: a loopback listener speaking the
-// length-prefixed framing of serve/protocol.h, one reader thread per
-// connection, requests handled synchronously so responses stay in request
-// order per connection while separate connections run concurrently.
+// ParseServer is the TCP front end, in one of two modes
+// (docs/architecture.md "Event-driven serving"):
+//
+//   * Frontend::kEpoll (default): a configurable number of event-loop
+//     threads (serve/event_loop.h) multiplex every connection with
+//     edge-triggered epoll — incremental frame assembly, per-connection
+//     ordered response slots so pipelined replies stay in request order
+//     even though workers finish out of order, and write-queue
+//     backpressure that stops reading a connection whose responses back
+//     up. Completions hop from the worker thread back to the owning loop
+//     via EventLoop::Post.
+//   * Frontend::kThreads: the legacy thread-per-connection front end, one
+//     blocking reader thread per connection handling requests
+//     synchronously — kept as a comparison/fallback mode behind
+//     `--serve-frontend=threads`.
 #pragma once
 
 #include <atomic>
@@ -39,6 +50,7 @@
 
 #include "net/clock.h"
 #include "serve/cache.h"
+#include "serve/event_loop.h"
 #include "serve/protocol.h"
 #include "util/bounded_queue.h"
 #include "util/thread_pool.h"
@@ -95,10 +107,16 @@ class ParseService {
   ParseService(const ParseService&) = delete;
   ParseService& operator=(const ParseService&) = delete;
 
-  // Admission-controlled asynchronous submit. The future always becomes
-  // ready: kBusy immediately when the queue is full or the service is
-  // draining, kError immediately when the record is oversized, otherwise
-  // whatever the worker answers (kOk / kDeadline / kError).
+  // Admission-controlled asynchronous submit. `done` is invoked exactly
+  // once: synchronously (on the caller's thread) for fast rejects — kBusy
+  // when the queue is full or the service is draining, kError for an
+  // oversized record — otherwise on a worker thread with whatever the
+  // worker answers. The event-loop front end's completion path: `done`
+  // posts back to the connection's loop.
+  void SubmitAsync(std::string record,
+                   std::function<void(ServeResult&&)> done);
+
+  // SubmitAsync wrapped in a future.
   std::future<ServeResult> Submit(std::string record);
 
   // Submit + wait; the synchronous path connection threads use.
@@ -120,7 +138,7 @@ class ParseService {
     std::string record;
     uint64_t deadline_ms = 0;  // absolute on clock_; 0 = none
     uint64_t start_us = 0;     // admission time, steady clock
-    std::promise<ServeResult> promise;
+    std::function<void(ServeResult&&)> done;
   };
 
   void WorkerLoop();
@@ -156,6 +174,12 @@ class ParseService {
   Metrics metrics_;
 };
 
+// TCP front-end flavor; `--serve-frontend`.
+enum class Frontend {
+  kEpoll,    // non-blocking event loops (default)
+  kThreads,  // legacy thread-per-connection
+};
+
 struct ParseServerOptions {
   ParseServiceOptions service;
   // TCP port on 127.0.0.1; 0 = ephemeral (read the bound port back with
@@ -164,6 +188,19 @@ struct ParseServerOptions {
   // Cap on one request frame; larger length prefixes draw kError and the
   // connection closes (the payload cannot be skipped safely).
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  Frontend frontend = Frontend::kEpoll;
+  // Event-loop threads multiplexing connections (epoll front end only);
+  // 0 = 1. Accepted connections are spread round-robin.
+  size_t event_loops = 1;
+  // Per-connection write-queue bound: a connection whose unsent response
+  // bytes exceed this stops being read until the peer drains to half the
+  // bound; 0 = unbounded (epoll front end only).
+  size_t write_queue_max_bytes = 4u << 20;
+  // listen(2) backlog.
+  int listen_backlog = 1024;
+  // Shutdown grace for flushing responses to slow readers before their
+  // connections are force-closed (epoll front end only).
+  uint64_t drain_flush_ms = 5000;
 };
 
 class ParseServer {
@@ -180,19 +217,43 @@ class ParseServer {
   ParseService& service() { return service_; }
 
   // Graceful shutdown: stop accepting, drain the service (every admitted
-  // request is answered and written), then unblock idle connection readers
-  // and join their threads. Idempotent; also run by the destructor.
+  // request is answered and written), flush per-connection write queues
+  // (bounded by drain_flush_ms for peers that stop reading), then stop
+  // the front-end threads. Idempotent; also run by the destructor.
   void Shutdown();
 
  private:
-  void AcceptLoop();
+  // One event-loop thread and the connections it owns. `conns` and
+  // `draining` are loop-thread-only.
+  struct LoopCtx {
+    explicit LoopCtx(obs::Counter* wakeups) : loop(wakeups) {}
+    EventLoop loop;
+    std::thread thread;
+    std::unordered_set<std::shared_ptr<FrameConn>> conns;
+    bool draining = false;
+  };
+
+  void StartEpoll();
+  void AcceptReady();  // loop 0: accept until EAGAIN, spread round-robin
+  void AttachConn(LoopCtx* ctx, int fd);
+  void ShutdownEpoll();
+
+  void AcceptLoop();  // threads front end
   void ServeConnection(int client_fd);
+  void ShutdownThreads();
 
   const ParseServerOptions options_;
   ParseService service_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::atomic<bool> stop_{false};
+
+  // Epoll front end.
+  std::vector<std::unique_ptr<LoopCtx>> loops_;
+  size_t next_loop_ = 0;  // round-robin cursor; loop-0-thread-only
+  std::atomic<int64_t> writeq_total_{0};
+
+  // Threads front end.
   std::thread accept_thread_;
   std::mutex conn_mu_;  // guards conn_fds_ and conn_threads_
   std::unordered_set<int> conn_fds_;
@@ -200,6 +261,9 @@ class ParseServer {
 
   obs::Counter* connections_total_ = nullptr;
   obs::Gauge* active_connections_ = nullptr;
+  obs::Counter* epoll_wakeups_ = nullptr;
+  obs::Gauge* writeq_bytes_ = nullptr;
+  obs::Counter* backpressure_stalls_ = nullptr;
 };
 
 }  // namespace whoiscrf::serve
