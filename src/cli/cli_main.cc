@@ -9,6 +9,10 @@
 //   whoiscrf serve   run the concurrent parse service on 127.0.0.1
 //   whoiscrf shard-router
 //                    consistent-hash front end over N serve backends
+//   whoiscrf retrain-loop
+//                    closed-loop drift detection + retraining driver
+//   whoiscrf quarantine
+//                    inspect a quarantine record store
 //
 // Run `whoiscrf <command> --help` for per-command flags.
 #include <cstdio>
@@ -45,10 +49,18 @@ void PrintUsage() {
                "          [--queue-capacity N] [--cache-entries N]\n"
                "          [--deadline-ms D] [--max-record-bytes N]\n"
                "          [--serve-frontend epoll|threads] [--event-loops N]\n"
+               "          [--model-watch [--model-watch-ms MS]]\n"
                "          [--cascade-data FILE [--shadow-rate R]]\n"
                "  shard-router\n"
                "          --backends P1,P2,... [--port N] [--vnodes N]\n"
                "          [--health-interval-ms MS] [--health-timeout-ms MS]\n"
+               "  retrain-loop\n"
+               "          --state-dir DIR [--count N] [--seed S] "
+               "[--events K]\n"
+               "          [--train-count N] [--resume]\n"
+               "  quarantine\n"
+               "          (ls | cat --index N | export [--out FILE]) "
+               "--store PREFIX\n"
                "\n"
                "global flags (every command):\n"
                "  --metrics-out FILE   write metrics when the command ends\n"

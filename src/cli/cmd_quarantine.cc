@@ -1,0 +1,124 @@
+// whoiscrf quarantine — inspect quarantine stores: the poison-record store
+// the checkpointed parse pipeline writes next to its output
+// (`<prefix>-quarantine`, docs/formats.md "Quarantine store") and the
+// failed-candidate store the model lifecycle writes under its state dir
+// (`<dir>/models-quarantine`, docs/lifecycle.md "Fail-closed quarantine").
+// Both hold FormatQuarantineEntry records, so one tool reads either.
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "cli/commands.h"
+#include "whois/record_store.h"
+#include "whois/stream_checkpoint.h"
+
+namespace whoiscrf::cli {
+
+namespace {
+
+// `--store P` accepts either the main-store prefix (the quarantine rides
+// at `P-quarantine`) or the quarantine store's own prefix.
+std::unique_ptr<whois::RecordStoreReader> OpenQuarantine(
+    const std::string& store) {
+  try {
+    return std::make_unique<whois::RecordStoreReader>(store + "-quarantine");
+  } catch (const std::runtime_error&) {
+  }
+  return std::make_unique<whois::RecordStoreReader>(store);
+}
+
+void PrintFramedRecord(std::FILE* out, const std::string& record) {
+  std::fwrite(record.data(), 1, record.size(), out);
+  if (record.empty() || record.back() != '\n') std::fputc('\n', out);
+  std::fputs("%%\n", out);
+}
+
+}  // namespace
+
+int CmdQuarantine(util::FlagParser& flags) {
+  const std::string store = flags.GetString("store");
+  const int64_t want_index = flags.GetInt("index", -1);
+  const std::string out_path = flags.GetString("out");
+  if (flags.positional().empty()) {
+    std::fprintf(stderr,
+                 "quarantine: missing mode (ls | cat | export); see "
+                 "`whoiscrf quarantine --help`\n");
+    return 2;
+  }
+  const std::string mode = flags.positional()[0];
+  if (mode != "ls" && mode != "cat" && mode != "export") {
+    std::fprintf(stderr, "quarantine: unknown mode '%s'\n", mode.c_str());
+    return 2;
+  }
+  if (store.empty()) {
+    std::fprintf(stderr, "quarantine: --store is required\n");
+    return 2;
+  }
+
+  std::unique_ptr<whois::RecordStoreReader> reader;
+  try {
+    reader = OpenQuarantine(store);
+  } catch (const std::runtime_error& e) {
+    std::fprintf(stderr, "quarantine: %s\n", e.what());
+    return 1;
+  }
+
+  if (mode == "ls") {
+    // One TSV line per entry: recorded input index, reason, record bytes.
+    for (uint64_t i = 0; i < reader->size(); ++i) {
+      uint64_t index = 0;
+      std::string reason, record;
+      whois::ParseQuarantineEntry(reader->Get(i), index, reason, record);
+      std::printf("%llu\t%s\t%zu\n",
+                  static_cast<unsigned long long>(index), reason.c_str(),
+                  record.size());
+    }
+    std::fprintf(stderr, "quarantine: %llu entries\n",
+                 static_cast<unsigned long long>(reader->size()));
+    return 0;
+  }
+
+  if (mode == "cat") {
+    if (want_index < 0) {
+      std::fprintf(stderr, "quarantine: cat needs --index N (from ls)\n");
+      return 2;
+    }
+    for (uint64_t i = 0; i < reader->size(); ++i) {
+      uint64_t index = 0;
+      std::string reason, record;
+      whois::ParseQuarantineEntry(reader->Get(i), index, reason, record);
+      if (index != static_cast<uint64_t>(want_index)) continue;
+      std::fprintf(stderr, "quarantine: index %llu: %s\n",
+                   static_cast<unsigned long long>(index), reason.c_str());
+      std::fwrite(record.data(), 1, record.size(), stdout);
+      if (record.empty() || record.back() != '\n') std::fputc('\n', stdout);
+      return 0;
+    }
+    std::fprintf(stderr, "quarantine: no entry with index %lld\n",
+                 static_cast<long long>(want_index));
+    return 1;
+  }
+
+  // export: raw records, %%-framed, re-parseable by `whoiscrf parse --in`.
+  std::FILE* out = stdout;
+  if (!out_path.empty()) {
+    out = std::fopen(out_path.c_str(), "wb");
+    if (out == nullptr) {
+      std::fprintf(stderr, "quarantine: cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+  }
+  for (uint64_t i = 0; i < reader->size(); ++i) {
+    uint64_t index = 0;
+    std::string reason, record;
+    whois::ParseQuarantineEntry(reader->Get(i), index, reason, record);
+    PrintFramedRecord(out, record);
+  }
+  if (out != stdout) std::fclose(out);
+  std::fprintf(stderr, "quarantine: exported %llu records\n",
+               static_cast<unsigned long long>(reader->size()));
+  return 0;
+}
+
+}  // namespace whoiscrf::cli

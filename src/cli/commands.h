@@ -83,6 +83,21 @@ int CmdServe(util::FlagParser& flags);
 // (docs/formats.md "Router health checks").
 int CmdShardRouter(util::FlagParser& flags);
 
+// whoiscrf retrain-loop --state-dir DIR [--count N] [--seed S]
+//                       [--events K] [--train-count N] [--resume] ...
+// Closed-loop lifecycle driver (docs/lifecycle.md): streams the temporal
+// drifting corpus in time order through a LifecycleController — harvest,
+// background retrain on drift alarms, gated promotion, rollback — and
+// checkpoints to --state-dir so a killed run resumes with --resume.
+int CmdRetrainLoop(util::FlagParser& flags);
+
+// whoiscrf quarantine (ls | cat --index N | export [--out FILE])
+//                     --store PREFIX
+// Inspects a quarantine record store: the poison-record store of the
+// checkpointed parse pipeline or the failed-candidate store of the model
+// lifecycle (docs/lifecycle.md "Fail-closed quarantine").
+int CmdQuarantine(util::FlagParser& flags);
+
 // Reads raw records from a file or stdin ("" = stdin): records are
 // separated by lines containing only "%%"; a file with no separator is one
 // record. Shared by parse/select; framing is delegated to

@@ -157,11 +157,85 @@ flags:
                          connection stops being read (backpressure;
                          epoll frontend; default 4194304, 0 = unbounded)
   --listen-backlog N     listen(2) backlog (default 1024)
+  --model-watch          hot model reload (docs/lifecycle.md "Hot swap"):
+                         poll --model for changes, load off the serving
+                         path, swap atomically; SIGHUP forces a reload
+                         check; a load failure keeps the current model;
+                         mutually exclusive with --cascade-data
+  --model-watch-ms MS    model file poll cadence (default 1000)
   --cascade-data FILE    serve through the parser cascade built from these
                          labeled records (docs/cascade.md)
   --shadow-rate R        cascade shadow-sample rate (default 0 = off)
   --rule-coverage-min X  cascade rule-tier coverage gate (default 0.98)
   --rule-max-unknown N   cascade rule-tier unknown-title budget (default 0)
+)HELP";
+
+constexpr const char* kRetrainLoopHelp =
+    R"HELP(usage: whoiscrf retrain-loop --state-dir DIR [flags]
+
+Closed-loop self-healing lifecycle driver (docs/lifecycle.md): stream the
+temporal drifting corpus in time order, harvest drift-signaled records
+into the retraining buffer, retrain in the background when a registrar's
+drift alarm trips, gate candidates against the incumbent on held-out
+data, promote (or quarantine) them, and roll back a promotion whose
+post-swap disagreement rate spikes. State checkpoints to --state-dir so a
+killed run continues with --resume.
+
+flags:
+  --state-dir DIR        durable lifecycle state: live model, retraining
+                         buffer, cursor, quarantined candidates (required;
+                         created if missing)
+  --count N              temporal corpus size = records streamed
+                         (default 20000)
+  --seed S               corpus + reservoir RNG seed (default 42)
+  --events K             schema-change events, evenly spaced (default 2)
+  --train-count N        pre-drift prefix used to train the initial model
+                         and as every candidate's base corpus
+                         (default 400)
+  --resume               continue from an existing --state-dir checkpoint
+  --retrain-sync         retrain inline at the alarm instead of on the
+                         background thread (deterministic record->version
+                         mapping for tests and replayed streams)
+  --window N             drift-detector window per registrar (default 64)
+  --buffer-capacity N    harvest reservoir capacity (default 512)
+  --min-retrain N        harvested records required before a retrain
+                         starts (default 64)
+  --gate-epsilon X       promotion gate: candidate holdout accuracy must
+                         be >= incumbent - X (default 0.01)
+  --confidence-floor X   also harvest records whose marginal confidence
+                         falls below X (default 0 = truth-signal only)
+  --probation-window N   post-promotion shadow samples scored before the
+                         promotion is trusted (default 64)
+  --rollback-rate X      probation disagreement rate that rolls the
+                         promotion back (default 0.5)
+  --report-every N       records per accuracy report line (default 2000)
+  --checkpoint-interval N
+                         records between state checkpoints (default 4096)
+  --iterations N         L-BFGS iteration cap per (re)train (default 60)
+  --l2 SIGMA             L2 regularization sigma (default 10.0)
+  --threads N            training threads (default 0 = hardware)
+)HELP";
+
+constexpr const char* kQuarantineHelp =
+    R"HELP(usage: whoiscrf quarantine (ls | cat | export) --store PREFIX [flags]
+
+Inspect a quarantine record store: the poison-record store the
+checkpointed parse pipeline writes next to its output store, or the
+failed-candidate store the model lifecycle keeps under its state dir
+(docs/lifecycle.md "Fail-closed quarantine"). --store accepts either the
+main store prefix (the quarantine rides at PREFIX-quarantine) or the
+quarantine store's own prefix.
+
+modes:
+  ls                     one TSV line per entry: index, reason, bytes
+  cat                    print one entry's raw record (reason to stderr)
+  export                 dump all records, %%-framed, re-parseable by
+                         `whoiscrf parse --in`
+
+flags:
+  --store PREFIX         record store prefix (required)
+  --index N              which entry to cat (the index column of ls)
+  --out FILE             export destination (default stdout)
 )HELP";
 
 constexpr const char* kShardRouterHelp =
@@ -208,6 +282,8 @@ const char* CommandHelp(const std::string& command) {
     add("crawl", kCrawlHelp);
     add("serve", kServeHelp);
     add("shard-router", kShardRouterHelp);
+    add("retrain-loop", kRetrainLoopHelp);
+    add("quarantine", kQuarantineHelp);
     return t;
   }();
   const auto it = table->find(command);

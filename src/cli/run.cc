@@ -34,6 +34,8 @@ const char* CommandSpanName(const std::string& command) {
   if (command == "crawl") return "cli.crawl";
   if (command == "serve") return "cli.serve";
   if (command == "shard-router") return "cli.shard_router";
+  if (command == "retrain-loop") return "cli.retrain_loop";
+  if (command == "quarantine") return "cli.quarantine";
   return "cli.command";
 }
 
@@ -47,6 +49,8 @@ int Dispatch(const std::string& command, util::FlagParser& flags) {
   if (command == "crawl") return CmdCrawl(flags);
   if (command == "serve") return CmdServe(flags);
   if (command == "shard-router") return CmdShardRouter(flags);
+  if (command == "retrain-loop") return CmdRetrainLoop(flags);
+  if (command == "quarantine") return CmdQuarantine(flags);
   return -1;  // unreachable: RunCommand checks Known() first
 }
 
@@ -54,7 +58,8 @@ bool Known(const std::string& command) {
   return command == "gen" || command == "train" || command == "parse" ||
          command == "adapt" || command == "eval" || command == "select" ||
          command == "crawl" || command == "serve" ||
-         command == "shard-router";
+         command == "shard-router" || command == "retrain-loop" ||
+         command == "quarantine";
 }
 
 }  // namespace

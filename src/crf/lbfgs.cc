@@ -56,6 +56,10 @@ LbfgsOptimizer::Result LbfgsOptimizer::Minimize(const Objective& f,
   std::vector<double> alpha_buf;
 
   for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    if (options_.should_stop && options_.should_stop()) {
+      result.stopped = true;
+      break;
+    }
     if (InfNorm(grad) <= options_.grad_tolerance) {
       result.converged = true;
       break;

@@ -38,12 +38,21 @@ class LbfgsOptimizer {
     // the weights). The gradient-norm computation it needs is skipped when
     // unset and not verbose.
     std::function<void(const IterationInfo&)> on_iteration;
+    // Cooperative cancellation, polled before every iteration: when it
+    // returns true the optimizer stops immediately and returns the best
+    // weights so far with Result::stopped set. The lifecycle controller's
+    // background retrains cancel through this hook (per-iteration latency,
+    // not per-training-run).
+    std::function<bool()> should_stop;
   };
 
   struct Result {
     double value = 0.0;
     int iterations = 0;
     bool converged = false;
+    // True when Options::should_stop ended the run before convergence or
+    // the iteration cap.
+    bool stopped = false;
     int evaluations = 0;
   };
 

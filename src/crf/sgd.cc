@@ -136,6 +136,10 @@ SgdOptimizer::Result SgdOptimizer::Train(CrfModel& model,
   double last_nll = 0.0;
 
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    if (options_.should_stop && options_.should_stop()) {
+      result.stopped = true;
+      break;
+    }
     rng.Shuffle(order);
     double epoch_nll = 0.0;
     for (size_t idx : order) {

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "crf/likelihood.h"
 #include "crf/model.h"
@@ -20,11 +21,17 @@ class SgdOptimizer {
     double l2_sigma = 10.0;  // Gaussian prior stddev; <= 0 disables
     uint64_t seed = 1;       // shuffling seed
     bool verbose = false;
+    // Cooperative cancellation, polled before every epoch: when it returns
+    // true the optimizer stops and returns the weights as of the last
+    // completed epoch with Result::stopped set.
+    std::function<bool()> should_stop;
   };
 
   struct Result {
     double final_nll = 0.0;  // unpenalized NLL over the data on last epoch
     int epochs_run = 0;
+    // True when Options::should_stop ended the run before the epoch cap.
+    bool stopped = false;
   };
 
   SgdOptimizer() : SgdOptimizer(Options()) {}

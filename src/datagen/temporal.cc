@@ -1,0 +1,269 @@
+#include "datagen/temporal.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "util/random.h"
+
+namespace whoiscrf::datagen {
+
+namespace {
+
+CorpusOptions BaseOptions(const TemporalCorpusOptions& options) {
+  CorpusOptions base;
+  base.size = options.size;
+  base.seed = options.seed;
+  base.drift_fraction = 0.0;  // v0 everywhere; drift is temporal, not mixed
+  return base;
+}
+
+// Families ranked by estimated 2014 traffic share — the ones whose drift
+// actually moves aggregate accuracy. Ties broken by name for determinism.
+std::vector<std::string> FamiliesByVolume(const RegistrarTable& registrars) {
+  std::map<std::string, double> weight_by_family;
+  for (size_t r = 0; r < registrars.size(); ++r) {
+    const RegistrarInfo& info = registrars.info(r);
+    weight_by_family[info.family] += info.share_2014;
+  }
+  std::vector<std::pair<std::string, double>> ranked(weight_by_family.begin(),
+                                                     weight_by_family.end());
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  std::vector<std::string> out;
+  out.reserve(ranked.size());
+  for (auto& [family, weight] : ranked) out.push_back(family);
+  return out;
+}
+
+// Rewrites field titles to era-specific wordings the pre-drift corpus
+// never uses — the "registrar modified their schema significantly"
+// scenario (§2.3) at full severity: SynthesizeSpec alone draws titles
+// from the same synonym pools the training corpus covers, which a CRF
+// generalizes over, so resynthesis without novel vocabulary barely moves
+// accuracy. The replacements keep the ExtractFields routing keywords
+// (domain/provider/whois/creat/updat/expir/server/status) so ground
+// truth stays exactly extractable; only the model has never seen them.
+void NovelizeTitles(TemplateSpec& spec, size_t era) {
+  const size_t v = era % 2;
+  const auto title = [&](const char* a, const char* b) {
+    return std::string(v == 0 ? a : b);
+  };
+  for (Element& e : spec.elements) {
+    if (e.kind != Element::Kind::kField) continue;
+    switch (e.slot) {
+      case Slot::kDomainName:
+        e.title = title("Queried Domain Object", "Domain Identification");
+        break;
+      case Slot::kRegistrarName:
+        e.title = title("Registration Service Provider",
+                        "Accredited Provider");
+        break;
+      case Slot::kWhoisServer:
+        e.title = title("WHOIS Service Endpoint",
+                        "Authoritative WHOIS Host");
+        break;
+      case Slot::kCreated:
+        e.title = title("Object Created On", "Creation Timestamp");
+        break;
+      case Slot::kUpdated:
+        e.title = title("Record Last Updated On", "Update Timestamp");
+        break;
+      case Slot::kExpires:
+        e.title = title("Validity Expires On", "Expiry Timestamp");
+        break;
+      case Slot::kNameServers:
+        e.title = title("Delegated Name Server", "Zone Server");
+        break;
+      case Slot::kStatuses:
+        e.title = title("Lifecycle Status Flag", "Object Status Code");
+        break;
+      case Slot::kRegName:
+        e.title = title("Holder Name", "Titulaire");
+        break;
+      case Slot::kRegOrg:
+        e.title = title("Holder Organisation", "Titulaire Organisation");
+        break;
+      case Slot::kRegStreet:
+        e.title = title("Holder Street Address", "Titulaire Voie");
+        break;
+      case Slot::kRegCity:
+        e.title = title("Holder Locality", "Titulaire Localite");
+        break;
+      case Slot::kRegState:
+        e.title = title("Holder Region", "Titulaire Region");
+        break;
+      case Slot::kRegPostcode:
+        e.title = title("Holder Postal Reference", "Titulaire Code Postal");
+        break;
+      case Slot::kRegCountryCode:
+        e.title = title("Holder Jurisdiction", "Titulaire Pays");
+        break;
+      case Slot::kRegPhone:
+        e.title = title("Holder Telephone", "Titulaire Telephone");
+        break;
+      case Slot::kRegEmail:
+        e.title = title("Holder Electronic Mail", "Titulaire Courriel");
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Decoy notice lines: shaped exactly like fields (title, separator, a
+  // company-name or date value) but carrying no data — the classic WHOIS
+  // trap of reseller plugs and renewal reminders that sit right next to
+  // the real fields. A model trained pre-drift labels them as registrar /
+  // date lines (the value shape and title words all point that way) and
+  // AssignFirst then steals the key field from the real line below; a
+  // model retrained on harvested post-drift records learns their context
+  // and labels them null. Ground truth is exact either way.
+  Element provider_decoy =
+      Field(whois::Level1Label::kNull,
+            title("Sponsoring Provider Notice", "Registrar Partner Notice"),
+            Slot::kLiteral);
+  provider_decoy.literal = title("DomainPort Registration Services, Inc.",
+                                 "NetHarbor Registry Solutions Ltd.");
+  Element renewal_decoy = Field(
+      whois::Level1Label::kNull,
+      title("Renewal Notice", "Renewal Reminder"), Slot::kLiteral);
+  renewal_decoy.literal = title("2016-04-01", "2016-10-01");
+  auto it = spec.elements.begin();
+  while (it != spec.elements.end() &&
+         (it->kind == Element::Kind::kBoilerplate ||
+          it->kind == Element::Kind::kBlank)) {
+    ++it;
+  }
+  it = spec.elements.insert(it, renewal_decoy);
+  spec.elements.insert(it, provider_decoy);
+}
+
+}  // namespace
+
+TemporalCorpusGenerator::TemporalCorpusGenerator(
+    TemporalCorpusOptions options)
+    : options_(options), base_(BaseOptions(options)) {
+  const std::vector<std::string> by_volume =
+      FamiliesByVolume(base_.registrars());
+  const size_t n_events = options_.events;
+
+  // Seed every family's epoch-0 spec with the library v0, then evolve.
+  auto specs_at = [&](const std::string& family) -> std::vector<TemplateSpec>& {
+    auto it = epoch_specs_.find(family);
+    if (it == epoch_specs_.end()) {
+      std::vector<TemplateSpec> chain;
+      chain.reserve(n_events + 1);
+      chain.push_back(base_.templates().Get(family, 0));
+      it = epoch_specs_.emplace(family, std::move(chain)).first;
+    }
+    return it->second;
+  };
+
+  for (size_t k = 0; k < n_events; ++k) {
+    DriftEvent event;
+    event.at_index = options_.size * (k + 1) / (n_events + 1);
+    event.kind = (k % 2 == 0) ? DriftEvent::Kind::kResynthesis
+                              : DriftEvent::Kind::kMutation;
+
+    // The top families drift at every event: the biggest registrars are
+    // exactly the ones the paper observed changing schemas, and repeated
+    // drift of high-volume families keeps the no-loop baseline degrading.
+    const size_t n_families =
+        std::min(options_.families_per_event, by_volume.size());
+    for (size_t f = 0; f < n_families; ++f) {
+      const std::string& family = by_volume[f];
+      std::vector<TemplateSpec>& chain = specs_at(family);
+      while (chain.size() < k + 1) chain.push_back(chain.back());
+      if (event.kind == DriftEvent::Kind::kResynthesis) {
+        TemplateSpec spec = SynthesizeSpec(
+            family + "/era" + std::to_string(k + 1),
+            options_.seed ^ (0xE7A0000 + k * 131 +
+                             std::hash<std::string>{}(family)));
+        NovelizeTitles(spec, k + 1);
+        chain.push_back(std::move(spec));
+      } else {
+        chain.push_back(DriftSpec(chain.back()));
+      }
+      event.families.push_back(family);
+    }
+
+    // A brand-new registrar appears with a schema nobody has seen.
+    NewRegistrar reg;
+    const std::string tag = std::to_string(k + 1);
+    reg.name = "NewEra Domains " + tag + " LLC";
+    reg.url = "http://www.newera" + tag + "domains.com";
+    reg.whois_server = "whois.newera" + tag + "domains.com";
+    reg.iana_id = std::to_string(9000 + k);
+    reg.spec = SynthesizeSpec("newera" + tag + "/v0",
+                              options_.seed ^ (0xBEEF00 + k * 977));
+    NovelizeTitles(reg.spec, k + 1);
+    event.new_registrar = reg.name;
+    new_registrars_.push_back(std::move(reg));
+
+    events_.push_back(std::move(event));
+  }
+
+  // Pad every drifted family's chain to events+1 epochs.
+  for (auto& [family, chain] : epoch_specs_) {
+    while (chain.size() < n_events + 1) chain.push_back(chain.back());
+  }
+}
+
+size_t TemporalCorpusGenerator::EpochOf(size_t index) const {
+  size_t epoch = 0;
+  for (const DriftEvent& event : events_) {
+    if (index >= event.at_index) ++epoch;
+  }
+  return epoch;
+}
+
+const TemplateSpec& TemporalCorpusGenerator::SpecFor(
+    const std::string& family, size_t epoch) const {
+  const auto it = epoch_specs_.find(family);
+  if (it == epoch_specs_.end()) return base_.templates().Get(family, 0);
+  return it->second[std::min(epoch, it->second.size() - 1)];
+}
+
+GeneratedDomain TemporalCorpusGenerator::Generate(size_t index) const {
+  GeneratedDomain out = base_.Generate(index);
+  const size_t epoch = EpochOf(index);
+  if (epoch == 0) return out;  // pre-drift era: the plain v0 corpus
+
+  // Routing and rendering decisions get their own stream so they never
+  // perturb the base corpus's facts.
+  util::Rng rng(options_.seed * 0x2545F4914F6CDD1DULL + index * 40503 + 7);
+
+  // New registrars active at this epoch split new_registrar_share of the
+  // traffic evenly.
+  if (options_.new_registrar_share > 0.0 &&
+      rng.Bernoulli(options_.new_registrar_share)) {
+    const NewRegistrar& reg = new_registrars_[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(epoch) - 1))];
+    out.facts.registrar_index = -1;
+    out.facts.registrar_name = reg.name;
+    out.facts.registrar_url = reg.url;
+    out.facts.whois_server = reg.whois_server;
+    out.facts.iana_id = reg.iana_id;
+    out.template_id = reg.spec.id;
+    out.thick = engine_.Render(reg.spec, out.facts);
+    return out;
+  }
+
+  const std::string& family =
+      base_.registrars()
+          .info(static_cast<size_t>(out.facts.registrar_index))
+          .family;
+  const auto it = epoch_specs_.find(family);
+  if (it == epoch_specs_.end()) return out;  // family never drifts
+  const TemplateSpec& spec =
+      it->second[std::min(epoch, it->second.size() - 1)];
+  if (spec.id == out.template_id) return out;  // still the v0 schema
+  out.template_id = spec.id;
+  out.thick = engine_.Render(spec, out.facts);
+  return out;
+}
+
+}  // namespace whoiscrf::datagen

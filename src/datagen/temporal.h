@@ -1,0 +1,101 @@
+// TemporalCorpusGenerator: the time-ordered drifting corpus behind the
+// self-healing lifecycle (docs/lifecycle.md). The paper's core robustness
+// claim is that registrar formats change out from under parsers ("one
+// large registrar modif[ied] their schema significantly during the four
+// months of WHOIS measurements", §2.3); this generator turns that into a
+// reproducible scenario: record index IS time, and at deterministic
+// event indices the highest-volume template families mutate
+// (DriftSpec chains: title renames, field reorders, DNSSEC inserts),
+// re-synthesize their whole schema (SynthesizeSpec: the severe version of
+// drift), or a brand-new registrar appears and starts taking traffic.
+//
+// Ground truth stays exact through every event because records are always
+// produced by TemplateEngine::Render against the era's spec. Everything is
+// deterministic in (options, index): Generate can be called in any order,
+// in parallel, or re-called after a crash and yields identical bytes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "datagen/corpus_gen.h"
+
+namespace whoiscrf::datagen {
+
+// One schema-change event. Everything from `at_index` onward renders with
+// the post-event schemas (earlier indices are untouched — time moves
+// forward only).
+struct DriftEvent {
+  enum class Kind {
+    kMutation,     // DriftSpec chain: renames/reorders/inserted lines
+    kResynthesis,  // whole-schema re-roll; breaks stale parsers hard
+  };
+  size_t at_index = 0;
+  Kind kind = Kind::kMutation;
+  // Template families whose schema changed at this event.
+  std::vector<std::string> families;
+  // Display name of the registrar introduced at this event; empty when
+  // the event adds no registrar.
+  std::string new_registrar;
+};
+
+struct TemporalCorpusOptions {
+  size_t size = 10000;
+  uint64_t seed = 42;
+  // Schema-change events, evenly spaced: event k lands at
+  // size * (k + 1) / (events + 1).
+  size_t events = 2;
+  // Families mutated per event, picked from the highest-volume families
+  // (volume estimated from 2014 market shares) so drift is guaranteed to
+  // be visible in aggregate accuracy, not buried in the tail.
+  size_t families_per_event = 3;
+  // Events alternate kResynthesis (even) / kMutation (odd); resynthesis
+  // first because the acceptance gate needs the no-loop baseline to
+  // degrade measurably.
+  // Each event also introduces one brand-new registrar; after k events
+  // the new registrars jointly take this share of traffic (split evenly).
+  double new_registrar_share = 0.15;
+};
+
+class TemporalCorpusGenerator {
+ public:
+  explicit TemporalCorpusGenerator(TemporalCorpusOptions options = {});
+
+  // The record at time step `index`, rendered with the schemas in force
+  // at that index. Deterministic; thread-safe.
+  GeneratedDomain Generate(size_t index) const;
+
+  // Number of events at or before `index` (0 = pre-drift era).
+  size_t EpochOf(size_t index) const;
+
+  const std::vector<DriftEvent>& events() const { return events_; }
+  const TemporalCorpusOptions& options() const { return options_; }
+
+  // The era-`epoch` spec of `family` (the v0 library spec when the family
+  // is never drifted). Exposed for tests asserting schema evolution.
+  const TemplateSpec& SpecFor(const std::string& family,
+                              size_t epoch) const;
+
+ private:
+  struct NewRegistrar {
+    std::string name;
+    std::string url;
+    std::string whois_server;
+    std::string iana_id;
+    TemplateSpec spec;
+  };
+
+  TemporalCorpusOptions options_;
+  CorpusGenerator base_;  // drift_fraction pinned to 0: v0 is the baseline
+  TemplateEngine engine_;
+  std::vector<DriftEvent> events_;
+  // family -> per-epoch specs (size events+1); only drifted families
+  // appear here.
+  std::map<std::string, std::vector<TemplateSpec>> epoch_specs_;
+  // One per event, active from its event's index onward.
+  std::vector<NewRegistrar> new_registrars_;
+};
+
+}  // namespace whoiscrf::datagen

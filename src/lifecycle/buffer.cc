@@ -1,0 +1,127 @@
+#include "lifecycle/buffer.h"
+
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+#include <system_error>
+
+#include "whois/record_store.h"
+#include "whois/training_data.h"
+
+namespace whoiscrf::lifecycle {
+
+namespace {
+
+constexpr std::string_view kHeaderTag = "rbuf1";
+
+// splitmix64-style mix of (seed, n): the whole reservoir state is (records,
+// seen), so resume is just "reload and keep counting".
+uint64_t Mix(uint64_t seed, uint64_t n) {
+  uint64_t x = seed + n * 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t ParseU64(std::string_view text, const char* what) {
+  uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    throw std::runtime_error(std::string("RetrainBuffer: bad header field ") +
+                             what);
+  }
+  return value;
+}
+
+}  // namespace
+
+RetrainBuffer::RetrainBuffer(RetrainBufferOptions options)
+    : options_(options) {
+  if (options_.capacity == 0) {
+    throw std::invalid_argument("RetrainBuffer: capacity must be >= 1");
+  }
+  records_.reserve(options_.capacity);
+}
+
+void RetrainBuffer::Add(whois::LabeledRecord record) {
+  ++seen_;
+  if (records_.size() < options_.capacity) {
+    records_.push_back(std::move(record));
+    return;
+  }
+  const uint64_t j = Mix(options_.seed, seen_) % seen_;
+  if (j < options_.capacity) records_[j] = std::move(record);
+}
+
+void RetrainBuffer::Clear() { records_.clear(); }
+
+void RetrainBuffer::Save(const std::string& prefix) const {
+  whois::RecordStoreOptions store_options;
+  // Header + every record fit one shard, so the rename at Finish() replaces
+  // any previous save atomically.
+  store_options.records_per_shard = options_.capacity + 1;
+  whois::RecordStoreWriter writer(prefix, store_options);
+  std::ostringstream header;
+  header << kHeaderTag << '\t' << seen_ << '\t' << options_.capacity << '\t'
+         << options_.seed;
+  writer.Append(header.str());
+  for (const whois::LabeledRecord& record : records_) {
+    std::ostringstream body;
+    whois::WriteLabeledRecords(body, {record});
+    writer.Append(body.str());
+  }
+  writer.Finish();
+}
+
+bool RetrainBuffer::Load(const std::string& prefix) {
+  std::unique_ptr<whois::RecordStoreReader> reader;
+  try {
+    reader = std::make_unique<whois::RecordStoreReader>(prefix);
+  } catch (const std::runtime_error&) {
+    return false;  // no store at this prefix
+  }
+  if (reader->size() == 0) {
+    throw std::runtime_error("RetrainBuffer: store has no header entry");
+  }
+  const std::string header = reader->Get(0);
+  std::vector<std::string_view> fields;
+  std::string_view rest = header;
+  while (!rest.empty()) {
+    const size_t tab = rest.find('\t');
+    fields.push_back(rest.substr(0, tab));
+    if (tab == std::string_view::npos) break;
+    rest.remove_prefix(tab + 1);
+  }
+  if (fields.size() != 4 || fields[0] != kHeaderTag) {
+    throw std::runtime_error("RetrainBuffer: malformed store header");
+  }
+  const uint64_t seen = ParseU64(fields[1], "seen");
+  const uint64_t capacity = ParseU64(fields[2], "capacity");
+  const uint64_t seed = ParseU64(fields[3], "seed");
+  if (capacity == 0) {
+    throw std::runtime_error("RetrainBuffer: stored capacity is zero");
+  }
+  if (reader->size() - 1 > capacity) {
+    throw std::runtime_error("RetrainBuffer: store exceeds its capacity");
+  }
+  // Adopt the stored reservoir parameters: determinism only holds when the
+  // resumed run replays the same (seed, capacity) hash sequence.
+  options_.capacity = static_cast<size_t>(capacity);
+  options_.seed = seed;
+  seen_ = seen;
+  records_.clear();
+  records_.reserve(options_.capacity);
+  for (uint64_t i = 1; i < reader->size(); ++i) {
+    std::istringstream body(reader->Get(i));
+    std::vector<whois::LabeledRecord> parsed = whois::ReadLabeledRecords(body);
+    if (parsed.size() != 1) {
+      throw std::runtime_error(
+          "RetrainBuffer: store entry is not a single labeled record");
+    }
+    records_.push_back(std::move(parsed.front()));
+  }
+  return true;
+}
+
+}  // namespace whoiscrf::lifecycle

@@ -1,0 +1,65 @@
+// Bounded retraining buffer: the labeled records harvested from
+// low-confidence / shadow-disagreeing traffic that the next retrain will
+// learn from (docs/lifecycle.md "Harvesting").
+//
+// Reservoir sampling keeps the buffer a uniform sample of everything
+// harvested since the last promotion while holding memory at `capacity`
+// records no matter how long drift persists. The reservoir is
+// *stateless-deterministic*: the keep/replace decision for the n-th
+// harvested record is a pure hash of (seed, n), so reloading a persisted
+// buffer and continuing to harvest reproduces exactly the buffer an
+// uninterrupted run would hold — the property the kill/resume test pins.
+//
+// Persistence rides the sharded record store (whois/record_store.h):
+// entry 0 is a small header carrying the reservoir position, each later
+// entry is one labeled record in the training-data text format. The store
+// finalizes via .tmp + rename, so a crash mid-save leaves the previous
+// buffer intact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "whois/record.h"
+
+namespace whoiscrf::lifecycle {
+
+struct RetrainBufferOptions {
+  size_t capacity = 512;
+  uint64_t seed = 1;
+};
+
+class RetrainBuffer {
+ public:
+  explicit RetrainBuffer(RetrainBufferOptions options = {});
+
+  // Offers one harvested record to the reservoir.
+  void Add(whois::LabeledRecord record);
+
+  size_t size() const { return records_.size(); }
+  uint64_t seen() const { return seen_; }
+  const std::vector<whois::LabeledRecord>& records() const {
+    return records_;
+  }
+
+  // Empties the reservoir (after a successful retrain consumed it) while
+  // keeping `seen` monotonic so determinism is preserved across drains.
+  void Clear();
+
+  // Persists to the record store at `prefix` (single shard, atomically
+  // finalized). Throws on I/O failure.
+  void Save(const std::string& prefix) const;
+  // Restores a persisted buffer; false when no store exists at `prefix`
+  // (the buffer is left empty). Throws on a malformed store.
+  bool Load(const std::string& prefix);
+
+  const RetrainBufferOptions& options() const { return options_; }
+
+ private:
+  RetrainBufferOptions options_;
+  std::vector<whois::LabeledRecord> records_;
+  uint64_t seen_ = 0;
+};
+
+}  // namespace whoiscrf::lifecycle

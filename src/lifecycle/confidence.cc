@@ -1,0 +1,36 @@
+#include "lifecycle/confidence.h"
+
+#include <vector>
+
+#include "crf/inference.h"
+#include "text/line_splitter.h"
+
+namespace whoiscrf::lifecycle {
+
+MarginalScorer::MarginalScorer(const whois::WhoisParser& parser)
+    : parser_(&parser), tokenizer_(parser.options().tokenizer) {}
+
+double MarginalScorer::Score(std::string_view record_text,
+                             crf::Workspace& ws) const {
+  const std::vector<text::Line> lines = text::SplitRecord(record_text);
+  if (lines.empty()) return 1.0;
+  const crf::CrfModel& model = parser_->level1_model();
+  model.CompileInto(tokenizer_, lines, ws);
+  if (ws.seq.empty()) return 1.0;
+  model.ComputeScores(ws.seq, ws.scores);
+  const crf::Posteriors& post =
+      crf::ForwardBackward(ws.scores, ws, /*with_edges=*/false);
+  const int L = post.L;
+  double sum = 0.0;
+  for (int t = 0; t < post.T; ++t) {
+    double best = 0.0;
+    const double* node = &post.node[static_cast<size_t>(t) * L];
+    for (int j = 0; j < L; ++j) {
+      if (node[j] > best) best = node[j];
+    }
+    sum += best;
+  }
+  return sum / static_cast<double>(post.T);
+}
+
+}  // namespace whoiscrf::lifecycle

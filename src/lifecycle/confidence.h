@@ -1,0 +1,35 @@
+// Per-record CRF confidence from level-1 label marginals.
+//
+// ParsedWhois::log_prob (the Viterbi path's normalized log-probability) is
+// the cheap confidence the parse path already computes; the marginal
+// scorer here is the sharper signal the drift detector can opt into: the
+// mean over lines of max_j Pr(y_t = j | x) from forward-backward. A
+// record whose template the model knows scores near 1.0 on every line; a
+// drifted record drags individual lines toward uniform even when the
+// Viterbi path as a whole still looks plausible.
+#pragma once
+
+#include <string_view>
+
+#include "crf/workspace.h"
+#include "text/tokenizer.h"
+#include "whois/whois_parser.h"
+
+namespace whoiscrf::lifecycle {
+
+class MarginalScorer {
+ public:
+  // Borrows `parser`; the scorer must not outlive it.
+  explicit MarginalScorer(const whois::WhoisParser& parser);
+
+  // Mean max level-1 node marginal over the record's lines, in [0, 1].
+  // Empty records score 1.0 (nothing to be unsure about). Safe to call
+  // concurrently with distinct workspaces.
+  double Score(std::string_view record_text, crf::Workspace& ws) const;
+
+ private:
+  const whois::WhoisParser* parser_;
+  text::Tokenizer tokenizer_;
+};
+
+}  // namespace whoiscrf::lifecycle

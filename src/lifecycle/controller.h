@@ -1,0 +1,251 @@
+// Self-healing model lifecycle: harvest -> retrain -> gate -> promote ->
+// watch, with automatic rollback (ROADMAP item 4; docs/lifecycle.md is the
+// narrative spec).
+//
+// The controller owns the live model as a versioned
+// std::shared_ptr<const WhoisParser>: readers snapshot the pointer (RCU
+// style — in-flight parses finish on the model they started with) and a
+// promotion or rollback is one pointer swap. Around that swap it runs the
+// paper's §5.3 maintainability workflow as a closed loop:
+//
+//   Observe   every parsed record reports a per-registrar drift signal
+//             (cascade shadow disagreement or CRF confidence below the
+//             harvest floor); signaled records with ground truth are
+//             reservoir-sampled into the retraining buffer and the signal
+//             feeds the hysteresis DriftDetector.
+//   Retrain   a candidate is trained from base corpus + buffer on a
+//             background thread, cancellable between optimizer iterations
+//             (crf::LbfgsOptimizer/SgdOptimizer should_stop).
+//   Gate      the candidate must match the incumbent's key-field accuracy
+//             on a held-out slice of the buffer to within gate_epsilon.
+//             Fail-closed: a failing candidate is quarantined with its
+//             gate numbers and NEVER promoted.
+//   Watch     after a promotion the next probation_window shadow samples
+//             are scored; a disagreement-rate spike rolls back to the
+//             previous model (with a fresh, strictly increasing version
+//             number, so caches never confuse the restored model with its
+//             first reign).
+//
+// Versions only move forward; every swap goes through the same on_swap
+// callback the serve layer uses to re-key its result cache.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "lifecycle/buffer.h"
+#include "lifecycle/drift.h"
+#include "whois/record.h"
+#include "whois/whois_parser.h"
+
+namespace whoiscrf::obs {
+class Counter;
+class Gauge;
+}  // namespace whoiscrf::obs
+
+namespace whoiscrf::lifecycle {
+
+struct ControllerOptions {
+  DriftDetectorOptions drift;
+  RetrainBufferOptions buffer;
+  // Harvest floor for Observation::confidence (MarginalScorer scale,
+  // [0, 1]): records scoring below it count as drift signals and are
+  // harvested. Callers feeding a different confidence (e.g. raw log_prob)
+  // must re-calibrate this.
+  double confidence_floor = 0.6;
+  // Promotion gate: candidate key-field accuracy on the holdout must be
+  // >= incumbent accuracy - gate_epsilon.
+  double gate_epsilon = 0.01;
+  // Fraction of the buffer held out from training for the gate.
+  double holdout_fraction = 0.25;
+  // Minimum harvested records before a retrain is attempted.
+  size_t min_retrain_records = 8;
+  // Post-promotion probation: shadow samples scored before the promotion
+  // is trusted; 0 disables the watchdog.
+  size_t probation_window = 64;
+  // Shadow disagreement rate over the probation window that triggers an
+  // automatic rollback.
+  double rollback_disagreement_rate = 0.5;
+  // Training configuration for candidate models.
+  whois::WhoisParserOptions trainer;
+  // Directory for durable state (model files, buffer store, cursor,
+  // quarantined candidates). Empty disables persistence. Must exist.
+  std::string state_dir;
+};
+
+// One parsed record's lifecycle-relevant signals. `shadow_*` come from
+// cascade::CascadeResult; callers without a cascade leave them false and
+// rely on the confidence floor.
+struct Observation {
+  std::string registrar;
+  double confidence = 1.0;
+  bool shadow_sampled = false;
+  bool shadow_disagreed = false;
+};
+
+struct GateResult {
+  double candidate_accuracy = 0.0;
+  double incumbent_accuracy = 0.0;
+  size_t holdout_records = 0;
+};
+
+struct RetrainOutcome {
+  enum class Result {
+    kPromoted,   // candidate passed the gate and is now live
+    kRejected,   // candidate failed the gate; quarantined
+    kCancelled,  // CancelRetrain (or shutdown) interrupted training
+    kNoData,     // buffer below min_retrain_records
+  };
+  Result result = Result::kNoData;
+  uint64_t version = 0;  // live model version after this retrain concluded
+  GateResult gate;
+  std::string reason;
+};
+
+std::string_view RetrainResultName(RetrainOutcome::Result result);
+
+class LifecycleController {
+ public:
+  // Notified after every swap (promotion OR rollback), outside the
+  // controller's lock. The serve layer uses this to publish the model and
+  // evict the old version's cache entries.
+  using SwapCallback = std::function<void(
+      uint64_t old_version, uint64_t new_version,
+      std::shared_ptr<const whois::WhoisParser> model)>;
+
+  // `initial` is live as version 1. `base_training` is the corpus every
+  // candidate retrains from (plus the harvested buffer).
+  LifecycleController(std::shared_ptr<const whois::WhoisParser> initial,
+                      std::vector<whois::LabeledRecord> base_training,
+                      ControllerOptions options = {});
+  ~LifecycleController();  // cancels and joins any background retrain
+
+  LifecycleController(const LifecycleController&) = delete;
+  LifecycleController& operator=(const LifecycleController&) = delete;
+
+  // RCU read side: a snapshot the caller may parse with indefinitely.
+  std::shared_ptr<const whois::WhoisParser> Current() const;
+  uint64_t version() const;
+  void set_on_swap(SwapCallback cb);
+
+  // Feeds one record's signals. `truth` (optional) is harvested into the
+  // retraining buffer when the record signals drift. Returns true exactly
+  // when this observation trips a NEW drift alarm for obs.registrar.
+  bool Observe(const Observation& obs,
+               const whois::LabeledRecord* truth = nullptr);
+
+  size_t buffer_size() const;
+  const DriftDetector& detector() const { return detector_; }
+  DriftDetector& detector() { return detector_; }
+
+  // Synchronous retrain-gate-promote cycle. Thread-safe, but only one
+  // retrain (sync or background) runs at a time; a second caller blocks.
+  RetrainOutcome RetrainNow();
+
+  // Background retrain. Returns false when one is already running.
+  bool StartRetrain();
+  bool retraining() const { return retrain_active_.load(); }
+  // Requests cancellation; the optimizer stops at the next iteration.
+  void CancelRetrain() { cancel_.store(true); }
+  // Consumes the finished background outcome, if any.
+  std::optional<RetrainOutcome> PollOutcome();
+  // Joins the background retrain and returns its outcome; kNoData when
+  // none was running.
+  RetrainOutcome WaitRetrain();
+
+  // Reverts to the model that was live before the last promotion, under a
+  // fresh version number. False when there is nothing to roll back to
+  // (also after a rollback: only one step of history is kept).
+  bool Rollback(const std::string& reason);
+
+  // Input-stream cursor for kill/resume drivers (how many input records
+  // have been fully observed); persisted with the rest of the state.
+  uint64_t consumed() const;
+  void set_consumed(uint64_t n);
+
+  // Durable state under options_.state_dir: live model file, retraining
+  // buffer, version counter, consumed cursor. SaveState is a no-op without
+  // a state_dir; LoadState returns false when no state file exists and
+  // throws on a corrupt one.
+  void SaveState();
+  bool LoadState();
+
+  const ControllerOptions& options() const { return options_; }
+
+ private:
+  struct SwapEvent {
+    uint64_t old_version = 0;
+    uint64_t new_version = 0;
+    std::shared_ptr<const whois::WhoisParser> model;
+  };
+
+  RetrainOutcome RunRetrain();
+  GateResult EvaluateGate(const whois::WhoisParser& candidate,
+                          const whois::WhoisParser& incumbent,
+                          const std::vector<whois::LabeledRecord>& holdout)
+      const;
+  // Swaps `next` in as the live model under mu_; returns the event to
+  // publish after the lock is dropped.
+  SwapEvent SwapLocked(std::shared_ptr<const whois::WhoisParser> next,
+                       bool keep_previous);
+  std::optional<SwapEvent> RollbackLocked(const std::string& reason);
+  void Publish(const SwapEvent& event);
+  // Records a fail-closed quarantine entry (and, when `model` is non-null
+  // and a state_dir is configured, the model binary next to it).
+  void QuarantineLocked(const whois::WhoisParser* model,
+                        const std::string& reason, const std::string& report);
+  void SaveStateLocked();
+  std::string StatePath() const;
+  std::string ModelPath(uint64_t version) const;
+  std::string BufferPrefix() const;
+  std::string QuarantinePrefix() const;
+
+  ControllerOptions options_;
+  std::vector<whois::LabeledRecord> base_training_;
+  DriftDetector detector_;
+
+  mutable std::mutex mu_;  // model, buffer, probation, cursor, state I/O
+  std::shared_ptr<const whois::WhoisParser> current_;
+  std::shared_ptr<const whois::WhoisParser> previous_;
+  uint64_t version_ = 1;
+  RetrainBuffer buffer_;
+  uint64_t consumed_ = 0;
+  // Quarantine entries (FormatQuarantineEntry text), rewritten wholesale
+  // to the quarantine store on every change — entries are rare and small
+  // (the model binary lives in its own file), so a single-shard rewrite
+  // buys an atomic-rename replace.
+  std::vector<std::string> quarantine_entries_;
+  // Probation watchdog state (active after a promotion).
+  bool probation_active_ = false;
+  uint64_t probation_samples_ = 0;
+  uint64_t probation_bad_ = 0;
+
+  std::mutex swap_cb_mu_;
+  SwapCallback on_swap_;
+
+  // One retrain at a time; guards the train -> gate -> promote sequence.
+  std::mutex retrain_mu_;
+  std::atomic<bool> retrain_active_{false};
+  std::atomic<bool> cancel_{false};
+  std::thread retrain_thread_;
+  std::mutex outcome_mu_;
+  std::optional<RetrainOutcome> outcome_;
+
+  obs::Counter* harvested_total_ = nullptr;
+  obs::Gauge* buffer_gauge_ = nullptr;
+  obs::Counter* retrains_promoted_ = nullptr;
+  obs::Counter* retrains_rejected_ = nullptr;
+  obs::Counter* retrains_cancelled_ = nullptr;
+  obs::Counter* rollbacks_total_ = nullptr;
+  obs::Gauge* version_gauge_ = nullptr;
+};
+
+}  // namespace whoiscrf::lifecycle

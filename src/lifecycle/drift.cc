@@ -1,0 +1,121 @@
+#include "lifecycle/drift.h"
+
+#include <stdexcept>
+
+#include "obs/metrics.h"
+
+namespace whoiscrf::lifecycle {
+
+DriftDetector::DriftDetector(DriftDetectorOptions options)
+    : options_(options) {
+  if (options_.window == 0) {
+    throw std::invalid_argument("DriftDetector: window must be >= 1");
+  }
+  if (options_.clear_threshold >= options_.trip_threshold) {
+    throw std::invalid_argument(
+        "DriftDetector: clear_threshold must be below trip_threshold");
+  }
+  auto& registry = obs::Registry::Global();
+  alarms_total_ = registry.GetCounter(
+      "whoiscrf_lifecycle_drift_alarms_total",
+      "per-registrar drift alarms tripped");
+  alarmed_gauge_ = registry.GetGauge(
+      "whoiscrf_lifecycle_registrars_alarmed",
+      "registrars currently in the alarmed state");
+}
+
+bool DriftDetector::Observe(const std::string& registrar, bool drift_signal) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DriftState& s = entries_[registrar].state;
+  ++s.pending;
+  if (drift_signal) ++s.pending_bad;
+  if (s.pending < options_.window) return false;
+
+  const double rate =
+      static_cast<double>(s.pending_bad) / static_cast<double>(s.pending);
+  s.last_rate = rate;
+  s.pending = 0;
+  s.pending_bad = 0;
+  ++s.windows;
+
+  if (rate >= options_.trip_threshold) {
+    ++s.hot_streak;
+    s.cool_streak = 0;
+  } else if (rate <= options_.clear_threshold) {
+    ++s.cool_streak;
+    s.hot_streak = 0;
+  } else {
+    // Dead band: neither streak advances, so a rate hovering between the
+    // thresholds can never trip OR clear — the no-flap guarantee.
+    s.hot_streak = 0;
+    s.cool_streak = 0;
+  }
+
+  if (!s.alarmed && s.hot_streak >= options_.trip_windows) {
+    s.alarmed = true;
+    ++s.alarms_tripped;
+    ++alarmed_count_;
+    alarms_total_->Inc();
+    alarmed_gauge_->Set(static_cast<double>(alarmed_count_));
+    return true;
+  }
+  if (s.alarmed && s.cool_streak >= options_.clear_windows) {
+    s.alarmed = false;
+    --alarmed_count_;
+    alarmed_gauge_->Set(static_cast<double>(alarmed_count_));
+  }
+  return false;
+}
+
+bool DriftDetector::Alarmed(const std::string& registrar) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(registrar);
+  return it != entries_.end() && it->second.state.alarmed;
+}
+
+std::vector<std::string> DriftDetector::AlarmedRegistrars() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [registrar, entry] : entries_) {
+    if (entry.state.alarmed) out.push_back(registrar);
+  }
+  return out;
+}
+
+DriftState DriftDetector::State(const std::string& registrar) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(registrar);
+  return it != entries_.end() ? it->second.state : DriftState{};
+}
+
+void DriftDetector::Clear(const std::string& registrar) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(registrar);
+  if (it == entries_.end()) return;
+  DriftState& s = it->second.state;
+  if (s.alarmed) {
+    s.alarmed = false;
+    --alarmed_count_;
+    alarmed_gauge_->Set(static_cast<double>(alarmed_count_));
+  }
+  s.hot_streak = 0;
+  s.cool_streak = 0;
+  s.pending = 0;
+  s.pending_bad = 0;
+}
+
+void DriftDetector::ClearAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [registrar, entry] : entries_) {
+    DriftState& s = entry.state;
+    s.alarmed = false;
+    s.hot_streak = 0;
+    s.cool_streak = 0;
+    s.pending = 0;
+    s.pending_bad = 0;
+  }
+  alarmed_count_ = 0;
+  alarmed_gauge_->Set(0.0);
+}
+
+}  // namespace whoiscrf::lifecycle

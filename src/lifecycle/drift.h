@@ -1,0 +1,89 @@
+// Per-registrar drift detection with hysteresis (ROADMAP item 4; the
+// online half of docs/lifecycle.md).
+//
+// The detector consumes one boolean "drift signal" per observed record —
+// the cascade's shadow-guard disagreement (cascade::CascadeResult) or a
+// CRF confidence below the harvest floor — bucketed by registrar, because
+// format drift is a per-registrar event (the paper watched ONE large
+// registrar change schema mid-measurement, §2.3). Signals accumulate into
+// fixed-size windows; a window's bad-rate is compared against a trip
+// threshold and a (lower) clear threshold, and an alarm changes state only
+// after `trip_windows` / `clear_windows` CONSECUTIVE qualifying windows.
+// The dead band between the thresholds plus the consecutive-window
+// requirement is the hysteresis: a registrar oscillating around either
+// threshold cannot flap the alarm.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace whoiscrf::obs {
+class Counter;
+class Gauge;
+}  // namespace whoiscrf::obs
+
+namespace whoiscrf::lifecycle {
+
+struct DriftDetectorOptions {
+  // Observations per evaluation window (per registrar).
+  size_t window = 64;
+  // A window with bad-rate >= trip_threshold is "hot"; an alarm trips
+  // after `trip_windows` consecutive hot windows.
+  double trip_threshold = 0.25;
+  int trip_windows = 2;
+  // A window with bad-rate <= clear_threshold is "cool"; an alarm clears
+  // after `clear_windows` consecutive cool windows. Must be strictly
+  // below trip_threshold — the gap is the hysteresis dead band.
+  double clear_threshold = 0.08;
+  int clear_windows = 2;
+};
+
+// Point-in-time view of one registrar's detector state.
+struct DriftState {
+  bool alarmed = false;
+  uint64_t windows = 0;         // completed windows
+  uint64_t alarms_tripped = 0;  // lifetime alarm count
+  int hot_streak = 0;
+  int cool_streak = 0;
+  double last_rate = 0.0;       // bad-rate of the last completed window
+  uint64_t pending = 0;         // observations in the current window
+  uint64_t pending_bad = 0;
+};
+
+class DriftDetector {
+ public:
+  explicit DriftDetector(DriftDetectorOptions options = {});
+
+  // Feeds one observation. Returns true exactly when this observation
+  // completes a window that trips a NEW alarm for `registrar`.
+  bool Observe(const std::string& registrar, bool drift_signal);
+
+  bool Alarmed(const std::string& registrar) const;
+  std::vector<std::string> AlarmedRegistrars() const;
+  DriftState State(const std::string& registrar) const;
+
+  // Acknowledges an alarm (the retraining controller clears alarms after
+  // a successful promotion — the new model is presumed to cover the
+  // drift; if it does not, the alarm re-trips on fresh windows).
+  void Clear(const std::string& registrar);
+  void ClearAll();
+
+  const DriftDetectorOptions& options() const { return options_; }
+
+ private:
+  struct Entry {
+    DriftState state;
+  };
+
+  const DriftDetectorOptions options_;
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  obs::Counter* alarms_total_ = nullptr;
+  obs::Gauge* alarmed_gauge_ = nullptr;
+  size_t alarmed_count_ = 0;  // guarded by mu_; mirrors alarmed_gauge_
+};
+
+}  // namespace whoiscrf::lifecycle

@@ -60,4 +60,31 @@ size_t ResultCache::Put(std::string key, size_t hash, std::string value) {
   return evicted;
 }
 
+size_t ResultCache::EvictVersion(uint64_t version) {
+  std::string suffix;
+  AppendVersionSuffix(suffix, version);
+  size_t evicted = 0;
+  size_t freed = 0;
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      const std::string& key = it->key;
+      if (key.size() >= suffix.size() &&
+          key.compare(key.size() - suffix.size(), suffix.size(), suffix) ==
+              0) {
+        freed += key.size() + it->value.size();
+        shard.index.erase(HashedKey{it->hash, std::string_view(key)});
+        it = shard.lru.erase(it);
+        ++evicted;
+      } else {
+        ++it;
+      }
+    }
+  }
+  bytes_.fetch_sub(freed, std::memory_order_relaxed);
+  entries_.fetch_sub(evicted, std::memory_order_relaxed);
+  return evicted;
+}
+
 }  // namespace whoiscrf::serve

@@ -59,6 +59,31 @@ class ResultCache {
     return Put(std::move(key), hash, std::move(value));
   }
 
+  // --- Versioned keys (hot model swap) ----------------------------------
+  // A service running behind a ModelHost tags every cache key with the
+  // model version that produced the value, as an 8-byte little-endian
+  // suffix on the record bytes (a suffix so the tag can be appended to and
+  // stripped from an owned string without copying the record). Lookups
+  // under the new version can never hit an old model's JSON — staleness is
+  // ruled out by key inequality — and EvictVersion reclaims the dead
+  // version's entries eagerly instead of waiting for LRU pressure.
+
+  static void AppendVersionSuffix(std::string& key, uint64_t version) {
+    char suffix[sizeof(uint64_t)];
+    for (size_t i = 0; i < sizeof(uint64_t); ++i) {
+      suffix[i] = static_cast<char>((version >> (8 * i)) & 0xFF);
+    }
+    key.append(suffix, sizeof(suffix));
+  }
+  static void StripVersionSuffix(std::string& key) {
+    key.resize(key.size() - sizeof(uint64_t));
+  }
+
+  // Removes every entry whose key carries `version`'s suffix, across all
+  // shards. Returns how many entries were removed. Only meaningful on a
+  // cache whose keys are version-tagged.
+  size_t EvictVersion(uint64_t version);
+
   // Totals are maintained as atomics on the Put path, so these reads
   // never touch the shard locks (they sit on the serve worker's
   // per-request metrics path).

@@ -1,0 +1,99 @@
+#include "serve/model_host.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace whoiscrf::serve {
+
+ModelHost::ModelHost(std::shared_ptr<const whois::WhoisParser> initial,
+                     uint64_t initial_version)
+    : model_(std::move(initial)), version_(initial_version) {
+  if (!model_) {
+    throw std::invalid_argument("ModelHost: initial model is null");
+  }
+  if (initial_version == 0) {
+    throw std::invalid_argument("ModelHost: version 0 is reserved");
+  }
+  version_gauge_ = obs::Registry::Global().GetGauge(
+      "whoiscrf_serve_model_version",
+      "model version currently served (ModelHost)");
+  version_gauge_->Set(static_cast<double>(initial_version));
+}
+
+ModelHost::Snapshot ModelHost::Acquire() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Snapshot{model_, version_.load(std::memory_order_relaxed)};
+}
+
+std::shared_ptr<const whois::WhoisParser> ModelHost::Current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return model_;
+}
+
+uint64_t ModelHost::Swap(std::shared_ptr<const whois::WhoisParser> next) {
+  if (!next) throw std::invalid_argument("ModelHost: cannot swap in null");
+  uint64_t old_version = 0, new_version = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    old_version = version_.load(std::memory_order_relaxed);
+    new_version = old_version + 1;
+    model_ = std::move(next);
+    version_.store(new_version, std::memory_order_release);
+  }
+  version_gauge_->Set(static_cast<double>(new_version));
+  Notify(old_version, new_version);
+  return new_version;
+}
+
+void ModelHost::Publish(std::shared_ptr<const whois::WhoisParser> next,
+                        uint64_t version) {
+  if (!next) throw std::invalid_argument("ModelHost: cannot publish null");
+  uint64_t old_version = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    old_version = version_.load(std::memory_order_relaxed);
+    if (version <= old_version) {
+      throw std::invalid_argument(
+          "ModelHost: published version must exceed the current one");
+    }
+    model_ = std::move(next);
+    version_.store(version, std::memory_order_release);
+  }
+  version_gauge_->Set(static_cast<double>(version));
+  Notify(old_version, version);
+}
+
+uint64_t ModelHost::Subscribe(Subscriber subscriber) {
+  std::lock_guard<std::mutex> lock(subscribers_mu_);
+  const uint64_t id = next_subscriber_id_++;
+  subscribers_.emplace_back(id, std::move(subscriber));
+  return id;
+}
+
+void ModelHost::Unsubscribe(uint64_t id) {
+  std::lock_guard<std::mutex> lock(subscribers_mu_);
+  for (auto it = subscribers_.begin(); it != subscribers_.end(); ++it) {
+    if (it->first == id) {
+      subscribers_.erase(it);
+      return;
+    }
+  }
+}
+
+void ModelHost::Notify(uint64_t old_version, uint64_t new_version) {
+  std::vector<Subscriber> subscribers;
+  {
+    std::lock_guard<std::mutex> lock(subscribers_mu_);
+    subscribers.reserve(subscribers_.size());
+    for (const auto& [id, subscriber] : subscribers_) {
+      subscribers.push_back(subscriber);
+    }
+  }
+  for (const Subscriber& subscriber : subscribers) {
+    subscriber(old_version, new_version);
+  }
+}
+
+}  // namespace whoiscrf::serve

@@ -1,0 +1,87 @@
+// Versioned live-model handle for hot swapping (docs/lifecycle.md "Hot
+// swap"; docs/architecture.md "Model lifecycle").
+//
+// RCU-style reads: a reader takes one mutex-guarded shared_ptr copy and
+// parses with that snapshot for as long as it likes — a concurrent Swap
+// never invalidates it, it just stops being the current model, and the old
+// parser is destroyed when its last in-flight reader drops the reference.
+// That is the whole zero-downtime story: no reader/writer barrier, no
+// request ever observes a half-swapped model.
+//
+// Versions are strictly increasing and never reused (a rollback re-installs
+// an old model under a NEW version). The serve result cache keys on the
+// version (serve/cache.h), so "no stale cached JSON" falls out of key
+// inequality rather than an invalidation protocol; subscribers (the parse
+// service) additionally evict the old version's entries eagerly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "whois/whois_parser.h"
+
+namespace whoiscrf::obs {
+class Gauge;
+}  // namespace whoiscrf::obs
+
+namespace whoiscrf::serve {
+
+class ModelHost {
+ public:
+  // A consistent (model, version) pair — parse with `model`, cache under
+  // `version`.
+  struct Snapshot {
+    std::shared_ptr<const whois::WhoisParser> model;
+    uint64_t version = 0;
+  };
+
+  // Called after every swap, outside the host's lock. Subscribers evict
+  // old-version cache entries, log, update external state, etc.
+  using Subscriber = std::function<void(uint64_t old_version,
+                                        uint64_t new_version)>;
+
+  explicit ModelHost(std::shared_ptr<const whois::WhoisParser> initial,
+                     uint64_t initial_version = 1);
+
+  Snapshot Acquire() const;
+  std::shared_ptr<const whois::WhoisParser> Current() const;
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  // Installs `next` under the next version number; returns that version.
+  uint64_t Swap(std::shared_ptr<const whois::WhoisParser> next);
+
+  // Installs `next` under a caller-chosen version (must exceed the current
+  // one — versions only move forward; throws std::invalid_argument
+  // otherwise). Used when an external authority (LifecycleController)
+  // owns the version counter.
+  void Publish(std::shared_ptr<const whois::WhoisParser> next,
+               uint64_t version);
+
+  // Subscription handle; pass to Unsubscribe before the subscriber's
+  // captures die.
+  uint64_t Subscribe(Subscriber subscriber);
+  void Unsubscribe(uint64_t id);
+
+ private:
+  void Notify(uint64_t old_version, uint64_t new_version);
+
+  mutable std::mutex mu_;  // guards model_ and swap ordering
+  std::shared_ptr<const whois::WhoisParser> model_;
+  // Published under mu_ but readable without it: version() is a monotonic
+  // hint (cache key freshness), Acquire() gives the consistent pair.
+  std::atomic<uint64_t> version_;
+
+  std::mutex subscribers_mu_;
+  std::vector<std::pair<uint64_t, Subscriber>> subscribers_;
+  uint64_t next_subscriber_id_ = 1;
+
+  obs::Gauge* version_gauge_ = nullptr;
+};
+
+}  // namespace whoiscrf::serve

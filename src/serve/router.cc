@@ -62,6 +62,31 @@ obs::Counter* RouterLoopWakeups() {
 
 }  // namespace
 
+ProbeBackoff::ProbeBackoff(uint64_t base_ms, uint64_t max_ms,
+                           uint64_t jitter_seed)
+    : base_ms_(std::max<uint64_t>(1, base_ms)),
+      max_ms_(std::max(max_ms, base_ms_)),
+      current_ms_(base_ms_),
+      state_(jitter_seed * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL) {}
+
+uint64_t ProbeBackoff::Next(bool success) {
+  if (success) {
+    current_ms_ = base_ms_;
+    return current_ms_;
+  }
+  current_ms_ = std::min(max_ms_, current_ms_ * 2);
+  // Deterministic jitter: scale by [0.75, 1.25) from a seeded LCG. The
+  // un-jittered current_ms_ stays the exponential schedule, so a later
+  // success still resets cleanly.
+  state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+  const uint64_t r = (state_ >> 33) % 512;  // [0, 512)
+  const int64_t quarter = static_cast<int64_t>(current_ms_ / 4);
+  const int64_t jitter =
+      quarter * (static_cast<int64_t>(r) - 256) / 256;  // [-q, +q)
+  const int64_t delayed = static_cast<int64_t>(current_ms_) + jitter;
+  return std::max<int64_t>(static_cast<int64_t>(base_ms_), delayed);
+}
+
 uint64_t Fnv1a64(std::string_view bytes) {
   uint64_t hash = 1469598103934665603ull;
   for (const char c : bytes) {
@@ -300,11 +325,37 @@ void ShardRouter::MaybeFinishDrain() {
 }
 
 void ShardRouter::HealthLoop() {
+  // Per-backend probe schedules: healthy backends keep the fixed
+  // health_interval_ms cadence (ProbeBackoff resets to base on success);
+  // a dead backend's re-probes back off exponentially with jitter up to
+  // health_backoff_max_ms, so a long outage is not hammered at full rate
+  // and routers sharing a dead shard desynchronize their probes.
+  const auto now_ms = [] {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  };
+  std::vector<ProbeBackoff> backoff;
+  backoff.reserve(backends_.size());
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    backoff.emplace_back(options_.health_interval_ms,
+                         options_.health_backoff_max_ms,
+                         /*jitter_seed=*/i + 1);
+  }
+  std::vector<uint64_t> next_probe_ms(backends_.size(), 0);  // all due now
+
   std::unique_lock<std::mutex> lock(health_mu_);
   while (!health_stop_) {
     lock.unlock();
+    const uint64_t now = now_ms();
+    uint64_t wake = now + options_.health_interval_ms;
     for (size_t i = 0; i < backends_.size(); ++i) {
       if (stop_.load(std::memory_order_relaxed)) break;
+      if (now < next_probe_ms[i]) {
+        wake = std::min(wake, next_probe_ms[i]);
+        continue;
+      }
       Backend& backend = *backends_[i];
       const bool ok = ProbeBackend(backend);
       const bool was = backend.healthy.load(std::memory_order_relaxed);
@@ -321,11 +372,14 @@ void ShardRouter::HealthLoop() {
           if (backends_[i]->conn != nullptr) backends_[i]->conn->Close();
         });
       }
+      next_probe_ms[i] = now + backoff[i].Next(ok);
+      wake = std::min(wake, next_probe_ms[i]);
     }
     lock.lock();
-    health_cv_.wait_for(
-        lock, std::chrono::milliseconds(options_.health_interval_ms),
-        [this] { return health_stop_; });
+    const uint64_t after = now_ms();
+    const uint64_t sleep_ms = wake > after ? wake - after : 1;
+    health_cv_.wait_for(lock, std::chrono::milliseconds(sleep_ms),
+                        [this] { return health_stop_; });
   }
 }
 

@@ -72,6 +72,34 @@ class HashRing {
   size_t shards_;
 };
 
+// Jittered exponential backoff schedule for dead-shard re-probes. A dead
+// backend that stays dead is probed at base, 2*base, 4*base, ... up to
+// `max_ms`, each delay scaled by a deterministic per-instance jitter in
+// [0.75, 1.25) so N routers watching the same dead shard spread their
+// probes instead of stampeding it the moment it restarts. One successful
+// probe resets the schedule to the base interval. Deterministic (the
+// jitter PRNG is seeded, not clocked), so tests can pin exact schedules.
+class ProbeBackoff {
+ public:
+  // `base_ms` is the healthy cadence and the post-failure starting point;
+  // `max_ms` caps the exponential growth (clamped up to base_ms).
+  ProbeBackoff(uint64_t base_ms, uint64_t max_ms, uint64_t jitter_seed = 0);
+
+  // Delay until the next probe, given this probe's outcome. Success
+  // resets to exactly base_ms; failure doubles the un-jittered delay
+  // (capped at max_ms) and returns it jittered.
+  uint64_t Next(bool success);
+
+  // Current un-jittered delay (base_ms until a failure has been seen).
+  uint64_t current_ms() const { return current_ms_; }
+
+ private:
+  uint64_t base_ms_;
+  uint64_t max_ms_;
+  uint64_t current_ms_;
+  uint64_t state_;  // jitter PRNG (LCG) state
+};
+
 struct ShardRouterOptions {
   // Backend serve endpoints, "port" or "ip:port" (loopback default).
   std::vector<std::string> backends;
@@ -79,11 +107,15 @@ struct ShardRouterOptions {
   uint16_t port = 0;
   // Virtual points per shard on the ring.
   size_t vnodes = 64;
-  // Probe cadence; 0 disables the health prober (connection failures
-  // still eject, but nothing re-admits).
+  // Probe cadence for healthy backends; 0 disables the health prober
+  // (connection failures still eject, but nothing re-admits).
   uint64_t health_interval_ms = 1000;
   // Probe budget: connect + empty-record frame + complete response.
   uint64_t health_timeout_ms = 250;
+  // Cap on the per-backend exponential re-probe backoff for UNHEALTHY
+  // backends (ProbeBackoff above); a long outage costs one probe per cap
+  // interval instead of one per health_interval_ms.
+  uint64_t health_backoff_max_ms = 30000;
   // Cap on one client request frame.
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
   // Client-connection write-queue bound (backpressure); 0 = unbounded.

@@ -29,7 +29,24 @@ size_t ResolveThreads(size_t threads) {
 
 ParseService::ParseService(const whois::WhoisParser& parser,
                            ParseServiceOptions options)
+    : ParseService(&parser, nullptr, std::move(options)) {}
+
+ParseService::ParseService(ModelHost* host, ParseServiceOptions options)
+    : ParseService(nullptr, host, std::move(options)) {
+  if (host == nullptr) {
+    throw std::invalid_argument("ParseService: model host is null");
+  }
+  if (options_.parse_override != nullptr) {
+    throw std::invalid_argument(
+        "ParseService: parse_override is incompatible with a model host "
+        "(the override binds a fixed parser; hot swap would not reach it)");
+  }
+}
+
+ParseService::ParseService(const whois::WhoisParser* parser, ModelHost* host,
+                           ParseServiceOptions options)
     : parser_(parser),
+      host_(host),
       options_(std::move(options)),
       num_threads_(ResolveThreads(options_.threads)),
       clock_(options_.clock != nullptr ? options_.clock : &real_clock_),
@@ -71,13 +88,32 @@ ParseService::ParseService(const whois::WhoisParser& parser,
       {10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000,
        100000});
 
+  // Eager reclamation: when the host swaps models, the old version's cache
+  // entries can never be hit again (keys carry the version) — drop them now
+  // instead of letting them squat in the LRU until capacity pressure.
+  if (host_ != nullptr && cache_ != nullptr) {
+    host_subscription_ =
+        host_->Subscribe([this](uint64_t old_version, uint64_t) {
+          const size_t evicted = cache_->EvictVersion(old_version);
+          if (evicted > 0) metrics_.cache_evictions->Inc(evicted);
+          metrics_.cache_entries->Set(
+              static_cast<double>(cache_->entries()));
+          metrics_.cache_bytes->Set(static_cast<double>(cache_->bytes()));
+        });
+  }
+
   pool_ = std::make_unique<util::ThreadPool>(num_threads_);
   for (size_t i = 0; i < num_threads_; ++i) {
     pool_->Post([this] { WorkerLoop(); });
   }
 }
 
-ParseService::~ParseService() { Drain(); }
+ParseService::~ParseService() {
+  if (host_ != nullptr && host_subscription_ != 0) {
+    host_->Unsubscribe(host_subscription_);
+  }
+  Drain();
+}
 
 void ParseService::SubmitAsync(std::string record,
                                std::function<void(ServeResult&&)> done) {
@@ -100,9 +136,18 @@ void ParseService::SubmitAsync(std::string record,
   // identical in-flight request completing first), and the worker's own
   // probe counts each admitted request exactly once.
   if (cache_ != nullptr) {
+    // With a model host the probe key carries the CURRENT version, so a
+    // request arriving after a swap can only hit entries the new model
+    // produced. (The worker re-reads the version for its own probe/insert;
+    // a swap between the two probes just turns this one into a miss.)
+    if (host_ != nullptr) {
+      ResultCache::AppendVersionSuffix(req.record, host_->version());
+    }
     std::string body;
     const size_t record_hash = ResultCache::Hash(req.record);
-    if (cache_->Get(req.record, record_hash, &body)) {
+    const bool hit = cache_->Get(req.record, record_hash, &body);
+    if (host_ != nullptr) ResultCache::StripVersionSuffix(req.record);
+    if (hit) {
       metrics_.cache_hits->Inc();
       Finish(req, Status::kOk, std::move(body), true);
       return;
@@ -150,7 +195,19 @@ void ParseService::WorkerLoop() {
       Finish(req, Status::kDeadline, "deadline exceeded", false);
       continue;
     }
+    // One consistent (model, version) snapshot per request: the parse and
+    // the cache insert both use it, so a swap mid-request just means this
+    // request finishes — and caches — under the model it started with.
+    ModelHost::Snapshot snap;
+    const whois::WhoisParser* parser = parser_;
+    if (host_ != nullptr) {
+      snap = host_->Acquire();
+      parser = snap.model.get();
+    }
     std::string body;
+    if (host_ != nullptr && cache_ != nullptr) {
+      ResultCache::AppendVersionSuffix(req.record, snap.version);
+    }
     const size_t record_hash =
         cache_ != nullptr ? ResultCache::Hash(req.record) : 0;
     if (cache_ != nullptr && cache_->Get(req.record, record_hash, &body)) {
@@ -158,12 +215,15 @@ void ParseService::WorkerLoop() {
       Finish(req, Status::kOk, std::move(body), true);
       continue;
     }
-    if (cache_ != nullptr) metrics_.cache_misses->Inc();
+    if (cache_ != nullptr) {
+      metrics_.cache_misses->Inc();
+      if (host_ != nullptr) ResultCache::StripVersionSuffix(req.record);
+    }
     try {
       const whois::ParsedWhois parsed =
           options_.parse_override != nullptr
               ? options_.parse_override(req.record, ws)
-              : parser_.Parse(req.record, ws);
+              : parser->Parse(req.record, ws);
       body = whois::ToJson(parsed);
     } catch (const std::exception& e) {
       Finish(req, Status::kError, std::string("parse failed: ") + e.what(),
@@ -171,7 +231,13 @@ void ParseService::WorkerLoop() {
       continue;
     }
     if (cache_ != nullptr) {
-      // req.record is not needed past this point; move it in as the key.
+      // req.record is not needed past this point; move it in as the key
+      // (re-tagged with the snapshot version when hot swap is on — the
+      // suffix bytes are identical to the ones record_hash was computed
+      // over, so the precomputed hash stays valid).
+      if (host_ != nullptr) {
+        ResultCache::AppendVersionSuffix(req.record, snap.version);
+      }
       const size_t evicted =
           cache_->Put(std::move(req.record), record_hash, body);
       if (evicted > 0) metrics_.cache_evictions->Inc(evicted);
@@ -219,6 +285,15 @@ void ParseService::Drain() {
 ParseServer::ParseServer(const whois::WhoisParser& parser,
                          ParseServerOptions options)
     : options_(std::move(options)), service_(parser, options_.service) {
+  Init();
+}
+
+ParseServer::ParseServer(ModelHost* host, ParseServerOptions options)
+    : options_(std::move(options)), service_(host, options_.service) {
+  Init();
+}
+
+void ParseServer::Init() {
   auto& registry = obs::Registry::Global();
   connections_total_ = registry.GetCounter(
       "whoiscrf_serve_connections_total", "TCP connections accepted");

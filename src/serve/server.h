@@ -51,6 +51,7 @@
 #include "net/clock.h"
 #include "serve/cache.h"
 #include "serve/event_loop.h"
+#include "serve/model_host.h"
 #include "serve/protocol.h"
 #include "util/bounded_queue.h"
 #include "util/thread_pool.h"
@@ -102,6 +103,15 @@ class ParseService {
  public:
   ParseService(const whois::WhoisParser& parser,
                ParseServiceOptions options = {});
+  // Hot-swappable variant: every request parses with a consistent
+  // (model, version) snapshot from `host` — in-flight requests finish on
+  // the model they started with — and result-cache keys carry the version,
+  // so a swap can never serve stale JSON (serve/model_host.h). The service
+  // subscribes to `host` to evict the old version's cache entries eagerly;
+  // `host` must outlive the service. Incompatible with
+  // options.parse_override (which binds a fixed parser); throws
+  // std::invalid_argument when both are given.
+  ParseService(ModelHost* host, ParseServiceOptions options = {});
   ~ParseService();  // drains
 
   ParseService(const ParseService&) = delete;
@@ -141,11 +151,18 @@ class ParseService {
     std::function<void(ServeResult&&)> done;
   };
 
+  ParseService(const whois::WhoisParser* parser, ModelHost* host,
+               ParseServiceOptions options);
+
   void WorkerLoop();
   void Finish(Request& req, Status status, std::string body, bool cache_hit);
   obs::Counter* StatusCounter(Status status);
 
-  const whois::WhoisParser& parser_;
+  // Exactly one of parser_ / host_ is set. With a host, cache keys are
+  // version-suffixed (ResultCache::AppendVersionSuffix).
+  const whois::WhoisParser* parser_ = nullptr;
+  ModelHost* host_ = nullptr;
+  uint64_t host_subscription_ = 0;
   const ParseServiceOptions options_;
   const size_t num_threads_;
   net::RealClock real_clock_;
@@ -208,6 +225,9 @@ class ParseServer {
   // Binds 127.0.0.1 and starts accepting immediately. Throws
   // std::runtime_error if the socket cannot be created/bound.
   ParseServer(const whois::WhoisParser& parser, ParseServerOptions options);
+  // Hot-swappable variant (see the ParseService host constructor); `host`
+  // must outlive the server.
+  ParseServer(ModelHost* host, ParseServerOptions options);
   ~ParseServer();
 
   ParseServer(const ParseServer&) = delete;
@@ -233,6 +253,7 @@ class ParseServer {
     bool draining = false;
   };
 
+  void Init();  // shared constructor tail: metrics, listener, front end
   void StartEpoll();
   void AcceptReady();  // loop 0: accept until EAGAIN, spread round-robin
   void AttachConn(LoopCtx* ctx, int fd);
