@@ -11,6 +11,8 @@
 //                    consistent-hash front end over N serve backends
 //   whoiscrf retrain-loop
 //                    closed-loop drift detection + retraining driver
+//   whoiscrf scale-run
+//                    paper-scale streaming survey harness
 //   whoiscrf quarantine
 //                    inspect a quarantine record store
 //
@@ -58,6 +60,10 @@ void PrintUsage() {
                "          --state-dir DIR [--count N] [--seed S] "
                "[--events K]\n"
                "          [--train-count N] [--resume]\n"
+               "  scale-run\n"
+               "          --out PREFIX [--count N] [--smoke] [--resume]\n"
+               "          [--cascade [--shadow-rate R]] [--self-check N]\n"
+               "          [--tables-out FILE] [--bench-out FILE]\n"
                "  quarantine\n"
                "          (ls | cat --index N | export [--out FILE]) "
                "--store PREFIX\n"

@@ -91,6 +91,20 @@ int CmdShardRouter(util::FlagParser& flags);
 // checkpoints to --state-dir so a killed run resumes with --resume.
 int CmdRetrainLoop(util::FlagParser& flags);
 
+// whoiscrf scale-run --out PREFIX [--count N] [--seed S] [--events K]
+//                    [--train-count N] [--threads N] [--resume]
+//                    [--checkpoint-interval N] [--cascade [--shadow-rate R]]
+//                    [--smoke] [--self-check N] [--tables-out FILE]
+//                    [--bench-out FILE] [--journal FILE] [--brands A,B]
+// Paper-scale survey harness (ROADMAP 5a): streams a 10-100M-record
+// temporal corpus through the checkpointed parse pipeline into a sharded
+// store while folding every record into the streaming SurveyAccumulator,
+// then emits the §6 tables. Bounded memory at any corpus size; a killed
+// run continues byte-identically with --resume. --smoke shrinks every
+// knob to CI-smoke size; --bench-out writes the BENCH_scale_run.json
+// artifact gated by bench/bench_floor.json.
+int CmdScaleRun(util::FlagParser& flags);
+
 // whoiscrf quarantine (ls | cat --index N | export [--out FILE])
 //                     --store PREFIX
 // Inspects a quarantine record store: the poison-record store of the

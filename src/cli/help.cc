@@ -216,6 +216,50 @@ flags:
   --threads N            training threads (default 0 = hardware)
 )HELP";
 
+constexpr const char* kScaleRunHelp =
+    R"HELP(usage: whoiscrf scale-run --out PREFIX [flags]
+
+Paper-scale survey harness (docs/architecture.md "Paper-scale runs"):
+generates a temporal synthetic corpus one record at a time, streams it
+through the checkpointed parse pipeline into a sharded record store at
+--out, folds every parsed record into the streaming survey accumulator,
+and prints the paper's §6 tables. Memory stays bounded at any --count;
+a killed run continues byte-identically with --resume; --bench-out
+writes the BENCH_scale_run.json artifact the nightly scale CI tier
+gates against bench/bench_floor.json.
+
+flags:
+  --out PREFIX           record store + checkpoint prefix (required)
+  --count N              corpus size = records streamed (default 1000000;
+                         --smoke 2000)
+  --seed S               corpus RNG seed (default 42)
+  --events K             schema-change events in the temporal corpus,
+                         evenly spaced (default 2)
+  --train-count N        corpus prefix the parser trains on (default 300;
+                         --smoke 120)
+  --threads N            parse workers (default 0 = hardware)
+  --resume               continue from PREFIX.ckpt instead of restarting
+  --checkpoint-interval N
+                         records between durable checkpoints (default
+                         65536; --smoke 256)
+  --cascade              dispatch through the template -> rules -> CRF
+                         cascade built from the training prefix
+  --shadow-rate R        cascade shadow-sample rate in [0,1] (default 0)
+  --smoke                CI-smoke preset: shrinks count/train-count/
+                         checkpoint-interval/self-check defaults;
+                         explicit flags still win
+  --self-check N         cross-check the first N records against the
+                         in-memory survey path (default 2000; --smoke
+                         500; 0 disables unless --bench-out is set)
+  --top-k N              rows per survey table (default 10)
+  --brands A,B,...       registrant orgs to count exactly (Table 4)
+  --tables-out FILE      write the survey tables here instead of stdout
+  --bench-out FILE       write the BENCH_scale_run.json artifact
+  --journal FILE         append one crawl-journal line per checkpoint
+  --watchdog-ms MS       per-batch parse watchdog (default 0 = off)
+  --max-record-bytes N   quarantine records larger than N bytes
+)HELP";
+
 constexpr const char* kQuarantineHelp =
     R"HELP(usage: whoiscrf quarantine (ls | cat | export) --store PREFIX [flags]
 
@@ -283,6 +327,7 @@ const char* CommandHelp(const std::string& command) {
     add("serve", kServeHelp);
     add("shard-router", kShardRouterHelp);
     add("retrain-loop", kRetrainLoopHelp);
+    add("scale-run", kScaleRunHelp);
     add("quarantine", kQuarantineHelp);
     return t;
   }();

@@ -35,6 +35,7 @@ const char* CommandSpanName(const std::string& command) {
   if (command == "serve") return "cli.serve";
   if (command == "shard-router") return "cli.shard_router";
   if (command == "retrain-loop") return "cli.retrain_loop";
+  if (command == "scale-run") return "cli.scale_run";
   if (command == "quarantine") return "cli.quarantine";
   return "cli.command";
 }
@@ -50,6 +51,7 @@ int Dispatch(const std::string& command, util::FlagParser& flags) {
   if (command == "serve") return CmdServe(flags);
   if (command == "shard-router") return CmdShardRouter(flags);
   if (command == "retrain-loop") return CmdRetrainLoop(flags);
+  if (command == "scale-run") return CmdScaleRun(flags);
   if (command == "quarantine") return CmdQuarantine(flags);
   return -1;  // unreachable: RunCommand checks Known() first
 }
@@ -59,7 +61,7 @@ bool Known(const std::string& command) {
          command == "adapt" || command == "eval" || command == "select" ||
          command == "crawl" || command == "serve" ||
          command == "shard-router" || command == "retrain-loop" ||
-         command == "quarantine";
+         command == "scale-run" || command == "quarantine";
 }
 
 }  // namespace

@@ -73,6 +73,10 @@ class TemporalCorpusGenerator {
   const std::vector<DriftEvent>& events() const { return events_; }
   const TemporalCorpusOptions& options() const { return options_; }
 
+  // The underlying pre-drift generator: registrar table, corpus options.
+  // The survey layer folds parsed registrar names against this table.
+  const CorpusGenerator& base() const { return base_; }
+
   // The era-`epoch` spec of `family` (the v0 library spec when the family
   // is never drifted). Exposed for tests asserting schema evolution.
   const TemplateSpec& SpecFor(const std::string& family,

@@ -1,33 +1,21 @@
 #include "survey/aggregates.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 namespace whoiscrf::survey {
 
-TopKResult TopK(const SurveyDatabase& db,
-                const std::function<std::string(const DomainRow&)>& key,
-                size_t k,
-                const std::function<bool(const DomainRow&)>& filter) {
-  std::unordered_map<std::string, size_t> counts;
+TopKResult TopKFromCounts(const std::map<std::string, size_t>& counts,
+                          size_t total, size_t unknown, size_t k) {
   TopKResult result;
-  for (const DomainRow& row : db.rows()) {
-    if (filter && !filter(row)) continue;
-    ++result.total;
-    const std::string group = key(row);
-    if (group.empty()) {
-      ++result.unknown_count;
-    } else {
-      ++counts[group];
-    }
-  }
+  result.total = total;
+  result.unknown_count = unknown;
   std::vector<std::pair<std::string, size_t>> sorted(counts.begin(),
                                                      counts.end());
   std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
     if (a.second != b.second) return a.second > b.second;
     return a.first < b.first;  // deterministic tie-break
   });
-  const double denom = result.total > 0 ? static_cast<double>(result.total) : 1.0;
+  const double denom = total > 0 ? static_cast<double>(total) : 1.0;
   for (size_t i = 0; i < sorted.size(); ++i) {
     if (i < k) {
       result.top.push_back(CountRow{sorted[i].first, sorted[i].second,
@@ -38,6 +26,26 @@ TopKResult TopK(const SurveyDatabase& db,
     }
   }
   return result;
+}
+
+TopKResult TopK(const SurveyDatabase& db,
+                const std::function<std::string(const DomainRow&)>& key,
+                size_t k,
+                const std::function<bool(const DomainRow&)>& filter) {
+  std::map<std::string, size_t> counts;
+  size_t total = 0;
+  size_t unknown = 0;
+  for (const DomainRow& row : db.rows()) {
+    if (filter && !filter(row)) continue;
+    ++total;
+    const std::string group = key(row);
+    if (group.empty()) {
+      ++unknown;
+    } else {
+      ++counts[group];
+    }
+  }
+  return TopKFromCounts(counts, total, unknown, k);
 }
 
 TopKResult TopCountries(const SurveyDatabase& db, size_t k,

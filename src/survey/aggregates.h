@@ -32,6 +32,14 @@ TopKResult TopK(const SurveyDatabase& db,
                 size_t k,
                 const std::function<bool(const DomainRow&)>& filter = nullptr);
 
+// Ranking/share core shared by TopK and the streaming SurveyAccumulator:
+// turns pre-reduced group counts into the sorted top-k with shares and
+// other/unknown buckets. `total` is the number of filtered rows (known +
+// unknown groups) and is the share denominator. Having one implementation
+// is what makes the streaming and in-memory survey paths bit-identical.
+TopKResult TopKFromCounts(const std::map<std::string, size_t>& counts,
+                          size_t total, size_t unknown, size_t k);
+
 // Table 3: top registrant countries (privacy-protected rows excluded, as in
 // the paper). `year` restricts to registrations created that year.
 TopKResult TopCountries(const SurveyDatabase& db, size_t k,

@@ -156,6 +156,12 @@ class StoreRecordSource : public RecordSource {
     record = reader_.Get(pos_++);
     return true;
   }
+  // Stores are indexed, so a resume skip is a cursor move, not a scan.
+  uint64_t Skip(uint64_t n) override {
+    const uint64_t skip = std::min(n, reader_.size() - pos_);
+    pos_ += skip;
+    return skip;
+  }
 
  private:
   const RecordStoreReader& reader_;

@@ -19,6 +19,7 @@
 // may straddle any number of chunk boundaries.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -70,6 +71,18 @@ class RecordSource {
 
   // Fills `record` with the next record's text; false at end of input.
   virtual bool Next(std::string& record) = 0;
+
+  // Advances past up to `n` records, returning how many were actually
+  // skipped (< n only at end of input). The default scans via Next();
+  // seekable sources (stores, generators) override with an O(1) cursor
+  // move, which is what makes resuming a checkpointed run over a 100M-
+  // record corpus instant instead of a full re-read.
+  virtual uint64_t Skip(uint64_t n) {
+    std::string scratch;
+    uint64_t skipped = 0;
+    while (skipped < n && Next(scratch)) ++skipped;
+    return skipped;
+  }
 };
 
 // RecordSource over a %%-delimited byte stream.
@@ -92,6 +105,12 @@ class VectorRecordSource : public RecordSource {
     if (pos_ >= records_.size()) return false;
     record = records_[pos_++];
     return true;
+  }
+  uint64_t Skip(uint64_t n) override {
+    const uint64_t skip =
+        std::min<uint64_t>(n, records_.size() - pos_);
+    pos_ += static_cast<size_t>(skip);
+    return skip;
   }
 
  private:

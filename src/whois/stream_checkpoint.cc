@@ -1,5 +1,6 @@
 #include "whois/stream_checkpoint.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
@@ -97,6 +98,15 @@ std::string FormatStreamCheckpoint(const StreamCheckpoint& cp) {
   out += "input " + cp.input_id + "\n";
   AppendCursor(out, "store", cp.store);
   AppendCursor(out, "quarantine_store", cp.quarantine);
+  // The aux payload is raw bytes (it may contain newlines or look like
+  // checkpoint keys), so it is length-prefixed and must be the final
+  // section. Absent entirely when empty — older checkpoints stay valid.
+  if (!cp.aux.empty()) {
+    out += util::Format("aux %llu\n",
+                        static_cast<unsigned long long>(cp.aux.size()));
+    out += cp.aux;
+    out += '\n';
+  }
   return out;
 }
 
@@ -129,6 +139,16 @@ StreamCheckpoint ParseStreamCheckpoint(const std::string& text) {
       saw_store = true;
     } else if (key == "quarantine_store") {
       cp.quarantine = ParseCursorFields(fields, key);
+    } else if (key == "aux") {
+      // Length-prefixed raw bytes; always the final section, so the
+      // remaining text after this line is the payload itself.
+      const uint64_t n = ParseU64Field(fields, key);
+      const auto pos = static_cast<size_t>(in.tellg());
+      if (pos > text.size() || text.size() - pos < n) {
+        Malformed("aux payload truncated");
+      }
+      cp.aux = text.substr(pos, n);
+      break;
     } else {
       Malformed("unknown key '" + key + "'");
     }
@@ -203,15 +223,16 @@ CheckpointedParseResult ParseStreamToStore(
 
   CheckpointedParseResult result;
   if (have_cp) {
-    std::string skipped_record;
-    for (uint64_t i = 0; i < cp.consumed; ++i) {
-      if (!source.Next(skipped_record)) {
-        throw std::runtime_error(util::Format(
-            "stream checkpoint covers %llu records but the input ended "
-            "after %llu — input changed since the checkpoint",
-            static_cast<unsigned long long>(cp.consumed),
-            static_cast<unsigned long long>(i)));
-      }
+    // Restore caller-derived state before any record is replayed, so the
+    // sink resumes against exactly the state that matched the cursor.
+    if (options.load_aux) options.load_aux(cp.aux);
+    const uint64_t skipped = source.Skip(cp.consumed);
+    if (skipped < cp.consumed) {
+      throw std::runtime_error(util::Format(
+          "stream checkpoint covers %llu records but the input ended "
+          "after %llu — input changed since the checkpoint",
+          static_cast<unsigned long long>(cp.consumed),
+          static_cast<unsigned long long>(skipped)));
     }
     result.skipped = cp.consumed;
     metrics.resume_skipped->Inc(cp.consumed);
@@ -246,6 +267,7 @@ CheckpointedParseResult ParseStreamToStore(
   uint64_t since_checkpoint = 0;
 
   auto checkpoint_now = [&](bool complete) {
+    const auto ckpt_start = std::chrono::steady_clock::now();
     // Order matters: make the store bytes durable first, then publish the
     // cursor that points at them.
     writer->Sync();
@@ -257,9 +279,16 @@ CheckpointedParseResult ParseStreamToStore(
     out.input_id = options.input_id;
     out.store = writer->cursor();
     if (quarantine) out.quarantine = quarantine->cursor();
+    if (options.save_aux) out.aux = options.save_aux();
     SaveStreamCheckpoint(ckpt_path, out);
     metrics.checkpoints->Inc();
+    ++result.checkpoints;
     since_checkpoint = 0;
+    if (options.on_checkpoint) options.on_checkpoint(out);
+    result.checkpoint_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      ckpt_start)
+            .count();
   };
   auto maybe_checkpoint = [&] {
     ++since_checkpoint;

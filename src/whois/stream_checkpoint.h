@@ -30,6 +30,12 @@ struct StreamCheckpoint {
   std::string input_id;     // identity of the input; mismatch aborts resume
   StoreCursor store;        // main store position at `consumed`
   StoreCursor quarantine;   // quarantine store position at `consumed`
+  // Opaque caller state snapshot (arbitrary bytes), captured at the same
+  // `consumed` cursor via CheckpointedParseOptions::save_aux. Riding
+  // inside the atomically-replaced checkpoint file is what keeps derived
+  // state (e.g. a scale run's survey accumulator) consistent with the
+  // cursor: there is no crash window where one is newer than the other.
+  std::string aux;
 };
 
 // Checkpoint file path for a store prefix: `<prefix>.ckpt`.
@@ -70,6 +76,17 @@ struct CheckpointedParseOptions {
   // checkpoint and verified on resume so a checkpoint can't silently
   // replay against a different input.
   std::string input_id;
+  // Snapshot of caller-derived state, taken at every checkpoint (after
+  // the sink has seen every record up to the cursor) and stored in the
+  // checkpoint's aux payload. Paired with `load_aux`, which on resume
+  // receives the payload of the loaded checkpoint (possibly empty) before
+  // any record is replayed. Both optional; see StreamCheckpoint::aux.
+  std::function<std::string()> save_aux;
+  std::function<void(const std::string& aux)> load_aux;
+  // Observes every durable checkpoint just after it is written (periodic
+  // and final) — e.g. to journal run progress. Runs on the calling
+  // thread; a throw aborts the run like a sink throw.
+  std::function<void(const StreamCheckpoint& cp)> on_checkpoint;
 };
 
 struct CheckpointedParseResult {
@@ -77,6 +94,10 @@ struct CheckpointedParseResult {
   uint64_t skipped = 0;          // input records skipped via the checkpoint
   uint64_t quarantined = 0;      // total across interrupted + this run
   uint64_t records_stored = 0;   // total records in the finished store
+  uint64_t checkpoints = 0;      // checkpoints written by this run
+  // Wall time spent inside checkpoint writes (store fsyncs + aux snapshot
+  // + atomic checkpoint replace); the run's durability overhead.
+  double checkpoint_seconds = 0.0;
 };
 
 // Streams `source` through ParseStream into a record store at

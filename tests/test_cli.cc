@@ -2,6 +2,7 @@
 // command round trips through temporary files.
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 
 #include <gtest/gtest.h>
 
@@ -384,6 +385,76 @@ TEST(CliCommandsTest, CrawlJournalResumeSkipsCompletedDomains) {
       net::CrawlJournal::Load(journal_path);
   EXPECT_EQ(after.domains.size(), 25u);
   std::remove(journal_path.c_str());
+}
+
+TEST(CliCommandsTest, ScaleRunRequiresOut) {
+  auto flags = Parse({"--smoke"});
+  EXPECT_EQ(cli::CmdScaleRun(flags), 2);
+}
+
+TEST(CliCommandsTest, ScaleRunRejectsBadShadowRate) {
+  auto flags = Parse({"--smoke", "--out", "/tmp/x", "--cascade",
+                      "--shadow-rate", "1.5"});
+  EXPECT_EQ(cli::CmdScaleRun(flags), 2);
+}
+
+TEST(CliCommandsTest, ScaleRunSmokeStreamsChecksAndResumes) {
+  const std::string dir = ::testing::TempDir();
+  const std::string prefix = dir + "/cli_scale_run";
+  const std::string bench_path = dir + "/cli_scale_bench.json";
+  const std::string tables_path = dir + "/cli_scale_tables.txt";
+
+  const auto read_file = [](const std::string& path) {
+    std::ifstream is(path);
+    std::string text((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    return text;
+  };
+  const auto run_args = [&](bool resume) {
+    std::vector<const char*> args = {
+        "--smoke",       "--count",       "300",
+        "--train-count", "100",           "--checkpoint-interval",
+        "64",            "--self-check",  "150",
+        "--out",         prefix.c_str(),  "--bench-out",
+        bench_path.c_str(), "--tables-out", tables_path.c_str()};
+    if (resume) args.push_back("--resume");
+    return args;
+  };
+
+  {
+    auto flags = Parse(run_args(false));
+    ASSERT_EQ(cli::CmdScaleRun(flags), 0);
+    EXPECT_TRUE(flags.UnconsumedFlags().empty());
+  }
+  // The §6 tables and the floor-gated bench artifact both materialized,
+  // and the self-check confirmed streaming == in-memory aggregation.
+  const std::string tables = read_file(tables_path);
+  EXPECT_NE(tables.find("creation-year histogram"), std::string::npos);
+  EXPECT_NE(read_file(bench_path).find("\"checksums_match\": true"),
+            std::string::npos);
+
+  const whois::StreamCheckpoint cp = whois::ParseStreamCheckpoint(
+      read_file(whois::StreamCheckpointPath(prefix)));
+  EXPECT_TRUE(cp.complete);
+  EXPECT_EQ(cp.consumed, 300u);
+  EXPECT_FALSE(cp.aux.empty());  // the serialized survey accumulator
+
+  // Resuming the finished run is an idempotent no-op with identical
+  // tables.
+  {
+    auto flags = Parse(run_args(true));
+    ASSERT_EQ(cli::CmdScaleRun(flags), 0);
+  }
+  EXPECT_EQ(read_file(tables_path), tables);
+
+  for (size_t s = 0; s < 8; ++s) {
+    std::remove(whois::RecordStoreShardPath(prefix, s).c_str());
+    std::remove(
+        whois::RecordStoreShardPath(prefix + "-quarantine", s).c_str());
+  }
+  std::remove(whois::StreamCheckpointPath(prefix).c_str());
+  std::remove(bench_path.c_str());
+  std::remove(tables_path.c_str());
 }
 
 }  // namespace

@@ -849,5 +849,154 @@ TEST_F(StreamPipelineTest, KillResumeRoundTripIsByteIdentical) {
   RemoveCheckpointedStore(prefix);
 }
 
+TEST(StreamCheckpointTest, AuxPayloadRoundTripsArbitraryBytes) {
+  StreamCheckpoint cp;
+  cp.consumed = 99;
+  cp.input_id = "test:aux";
+  // The payload is length-prefixed, so newlines, checkpoint-keyword lines,
+  // and binary bytes must all survive verbatim.
+  cp.aux = "line one\nconsumed 7\nend\n\x01\x02 binary\n";
+  const std::string text = FormatStreamCheckpoint(cp);
+  const StreamCheckpoint back = ParseStreamCheckpoint(text);
+  EXPECT_EQ(back.aux, cp.aux);
+  EXPECT_EQ(back.consumed, cp.consumed);
+
+  // Empty aux writes no aux section and reads back empty.
+  cp.aux.clear();
+  const std::string bare = FormatStreamCheckpoint(cp);
+  EXPECT_EQ(bare.find("\naux "), std::string::npos);
+  EXPECT_TRUE(ParseStreamCheckpoint(bare).aux.empty());
+
+  // A truncated aux section (declared length past the end) is malformed,
+  // not silently shortened.
+  const size_t aux_at = text.find("aux ");
+  ASSERT_NE(aux_at, std::string::npos);
+  EXPECT_THROW(ParseStreamCheckpoint(text.substr(0, aux_at + 8)),
+               std::runtime_error);
+}
+
+TEST(RecordStreamTest, SkipAdvancesPastRecordsWithoutParsing) {
+  const std::vector<std::string> records = {"a\n", "b\n", "c\n", "d\n",
+                                            "e\n"};
+  VectorRecordSource source(records);
+  EXPECT_EQ(source.Skip(3), 3u);
+  std::string record;
+  ASSERT_TRUE(source.Next(record));
+  EXPECT_EQ(record, "d\n");
+  // Skipping past the end reports how many records actually remained.
+  EXPECT_EQ(source.Skip(10), 1u);
+  EXPECT_FALSE(source.Next(record));
+  EXPECT_EQ(source.Skip(1), 0u);
+}
+
+// Aux state (a sink-side record count here; the survey accumulator in
+// production) rides inside the checkpoint, so a killed run restores it
+// atomically with the cursor: no double-counting of skipped records, no
+// lost tail.
+TEST_F(StreamPipelineTest, AuxStateSurvivesKillAndResume) {
+  const std::vector<std::string> records = CorpusTexts(120, 30);
+
+  CheckpointedParseOptions options;
+  options.pipeline.threads = 2;
+  options.pipeline.batch_records = 3;
+  options.checkpoint_interval = 8;
+  options.input_id = "test:aux_resume";
+
+  uint64_t count = 0;
+  options.save_aux = [&count] { return std::to_string(count); };
+  options.load_aux = [&count](const std::string& aux) {
+    count = aux.empty() ? 0 : std::stoull(aux);
+  };
+  const auto counting_sink = [&count](uint64_t, const std::string&,
+                                      const ParsedWhois&) { ++count; };
+
+  // Reference: the uninterrupted count.
+  const std::string ref = TempPrefix("aux_ref");
+  {
+    VectorRecordSource source(records);
+    const CheckpointedParseResult result =
+        ParseStreamToStore(*parser_, source, ref, options, counting_sink);
+    EXPECT_EQ(count, records.size());
+    EXPECT_GT(result.checkpoints, 0u);
+    EXPECT_GE(result.checkpoint_seconds, 0.0);
+  }
+  const uint64_t ref_count = count;
+
+  // Killed run: the sink dies mid-corpus, past several checkpoints.
+  const std::string prefix = TempPrefix("aux_killed");
+  count = 0;
+  {
+    VectorRecordSource source(records);
+    uint64_t stored = 0;
+    EXPECT_THROW(
+        ParseStreamToStore(*parser_, source, prefix, options,
+                           [&](uint64_t index, const std::string& record,
+                               const ParsedWhois& parsed) {
+                             if (++stored > 19) {
+                               throw std::runtime_error("killed");
+                             }
+                             counting_sink(index, record, parsed);
+                           }),
+        std::runtime_error);
+  }
+
+  // Resume with a poisoned in-memory count: load_aux must overwrite it
+  // with the durable snapshot, then the tail adds exactly the unskipped
+  // records.
+  count = 999999;
+  {
+    CheckpointedParseOptions resume_options = options;
+    resume_options.resume = true;
+    VectorRecordSource source(records);
+    const CheckpointedParseResult result = ParseStreamToStore(
+        *parser_, source, prefix, resume_options, counting_sink);
+    EXPECT_GT(result.skipped, 0u);
+  }
+  EXPECT_EQ(count, ref_count);
+  ExpectStoresIdentical(ref, prefix);
+
+  RemoveCheckpointedStore(ref);
+  RemoveCheckpointedStore(prefix);
+}
+
+// The checkpoint observer sees every durable checkpoint (cursor already
+// saved), and a throwing observer aborts the run exactly like a sink
+// throw — the seam the scale-run bench uses to inject mid-run kills.
+TEST_F(StreamPipelineTest, CheckpointObserverSeesEveryDurableCheckpoint) {
+  const std::vector<std::string> records = CorpusTexts(120, 20);
+
+  CheckpointedParseOptions options;
+  options.pipeline.threads = 2;
+  options.checkpoint_interval = 6;
+  options.input_id = "test:observer";
+
+  const std::string prefix = TempPrefix("ckpt_observer");
+  std::vector<uint64_t> seen;
+  options.on_checkpoint = [&seen](const StreamCheckpoint& cp) {
+    seen.push_back(cp.consumed);
+  };
+  {
+    VectorRecordSource source(records);
+    const CheckpointedParseResult result =
+        ParseStreamToStore(*parser_, source, prefix, options);
+    EXPECT_EQ(seen.size(), result.checkpoints);
+    ASSERT_FALSE(seen.empty());
+    EXPECT_EQ(seen.back(), records.size());  // the final complete snapshot
+  }
+  RemoveCheckpointedStore(prefix);
+
+  const std::string kill_prefix = TempPrefix("ckpt_observer_kill");
+  options.on_checkpoint = [](const StreamCheckpoint& cp) {
+    if (cp.consumed >= 12) throw std::runtime_error("observer kill");
+  };
+  {
+    VectorRecordSource source(records);
+    EXPECT_THROW(
+        ParseStreamToStore(*parser_, source, kill_prefix, options),
+        std::runtime_error);
+  }
+  RemoveCheckpointedStore(kill_prefix);
+}
+
 }  // namespace
 }  // namespace whoiscrf::whois

@@ -1,9 +1,21 @@
-// Survey layer: privacy detection, aggregations, and row normalization.
+// Survey layer: privacy detection, aggregations, row normalization, and
+// the streaming SurveyAccumulator's bit-identity with the in-memory path.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "datagen/temporal.h"
+#include "survey/accumulator.h"
 #include "survey/aggregates.h"
 #include "survey/build.h"
 #include "survey/database.h"
+#include "survey/normalize.h"
+#include "survey/scale_run.h"
+#include "whois/record_store.h"
+#include "whois/stream_pipeline.h"
 
 namespace whoiscrf::survey {
 namespace {
@@ -160,6 +172,226 @@ TEST(RowFromParseTest, CountryCodeAlreadyNormalized) {
   parsed.registrant.country = "cn";
   const DomainRow row = RowFromParse("x.com", parsed, registrars, false);
   EXPECT_EQ(row.country_code, "CN");
+}
+
+// ---------------------------------------------------------------------------
+// SurveyAccumulator: the streaming path must reproduce the SurveyDatabase
+// aggregates bit for bit, on bounded state.
+
+void ExpectSameTopK(const TopKResult& a, const TopKResult& b,
+                    const std::string& what) {
+  SCOPED_TRACE(what);
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.unknown_count, b.unknown_count);
+  EXPECT_EQ(a.other_count, b.other_count);
+  ASSERT_EQ(a.top.size(), b.top.size());
+  for (size_t i = 0; i < a.top.size(); ++i) {
+    EXPECT_EQ(a.top[i].key, b.top[i].key);
+    EXPECT_EQ(a.top[i].count, b.top[i].count);
+    // Exact double equality on purpose: both sides must divide the same
+    // integers in the same order (shared TopKFromCounts), not merely agree
+    // to within epsilon.
+    EXPECT_EQ(a.top[i].share, b.top[i].share);
+  }
+}
+
+// Deterministic row soup covering every aggregate dimension: unknown
+// registrars/countries/years, privacy rows with and without a named
+// service, DBL rows, and tracked brand orgs.
+std::vector<DomainRow> SyntheticRows(size_t count) {
+  const std::vector<std::string> registrars = {"GoDaddy", "eNom", "HiChina",
+                                               "Xinnet",  "Moniker", ""};
+  const std::vector<std::string> countries = {"US", "CN", "GB", "JP", ""};
+  const std::vector<std::string> services = {"Domains By Proxy",
+                                             "WhoisGuard", ""};
+  const std::vector<std::string> orgs = {"Amazon", "Google", "Acme LLC", ""};
+  std::vector<DomainRow> rows;
+  rows.reserve(count);
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&state](size_t mod) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<size_t>((state >> 33) % mod);
+  };
+  for (size_t i = 0; i < count; ++i) {
+    DomainRow row;
+    row.domain = "d" + std::to_string(i) + ".com";
+    row.registrar = registrars[next(registrars.size())];
+    row.created_year = next(7) == 0 ? 0 : 2009 + static_cast<int>(next(6));
+    row.privacy_protected = next(4) == 0;
+    if (row.privacy_protected) {
+      row.privacy_service = services[next(services.size())];
+    } else {
+      row.country_code = countries[next(countries.size())];
+    }
+    row.on_dbl = next(5) == 0;
+    row.registrant_org = orgs[next(orgs.size())];
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void ExpectAccumulatorMatchesDatabase(const SurveyAccumulator& acc,
+                                      const SurveyDatabase& db,
+                                      const std::vector<std::string>& brands) {
+  EXPECT_EQ(acc.records(), db.size());
+  ExpectSameTopK(acc.TopCountries(3), TopCountries(db, 3), "countries");
+  ExpectSameTopK(acc.TopCountries(3, 2012), TopCountries(db, 3, 2012),
+                 "countries 2012");
+  ExpectSameTopK(acc.TopRegistrars(4), TopRegistrars(db, 4), "registrars");
+  ExpectSameTopK(acc.TopRegistrars(4, 2013), TopRegistrars(db, 4, 2013),
+                 "registrars 2013");
+  ExpectSameTopK(acc.TopPrivacyRegistrars(4), TopPrivacyRegistrars(db, 4),
+                 "privacy registrars");
+  ExpectSameTopK(acc.TopPrivacyServices(4), TopPrivacyServices(db, 4),
+                 "privacy services");
+  ExpectSameTopK(acc.DblTopCountries(3, 2014), DblTopCountries(db, 3, 2014),
+                 "dbl countries");
+  ExpectSameTopK(acc.DblTopRegistrars(3, 2014), DblTopRegistrars(db, 3, 2014),
+                 "dbl registrars");
+  EXPECT_EQ(acc.CreationHistogram(), CreationHistogram(db));
+
+  const auto acc_brands = acc.BrandCounts();
+  const auto db_brands = BrandCounts(db, brands);
+  ASSERT_EQ(acc_brands.size(), db_brands.size());
+  for (size_t i = 0; i < acc_brands.size(); ++i) {
+    EXPECT_EQ(acc_brands[i].key, db_brands[i].key);
+    EXPECT_EQ(acc_brands[i].count, db_brands[i].count);
+  }
+
+  const auto acc_comp =
+      acc.CountryProportionsByYear({"US", "CN"}, 2009, 2014);
+  const auto db_comp =
+      CountryProportionsByYear(db, {"US", "CN"}, 2009, 2014);
+  ASSERT_EQ(acc_comp.size(), db_comp.size());
+  for (size_t i = 0; i < acc_comp.size(); ++i) {
+    EXPECT_EQ(acc_comp[i].year, db_comp[i].year);
+    EXPECT_EQ(acc_comp[i].total, db_comp[i].total);
+    EXPECT_EQ(acc_comp[i].shares, db_comp[i].shares);
+  }
+
+  const auto registrars = TopRegistrars(db, 1);
+  if (!registrars.top.empty()) {
+    const std::string& top = registrars.top[0].key;
+    ExpectSameTopK(acc.RegistrarCountryBreakdown(top, 3),
+                   RegistrarCountryBreakdown(db, top, 3),
+                   "registrar countries");
+  }
+}
+
+TEST(SurveyAccumulatorTest, MatchesDatabaseAggregates) {
+  const std::vector<std::string> brands = {"Amazon", "Google", "Microsoft"};
+  SurveyAccumulator acc(brands);
+  SurveyDatabase db;
+  for (const DomainRow& row : SyntheticRows(600)) {
+    acc.Add(row);
+    db.Add(row);
+  }
+  ExpectAccumulatorMatchesDatabase(acc, db, brands);
+}
+
+TEST(SurveyAccumulatorTest, StateIsBoundedByKeyCardinality) {
+  // SyntheticRows draws from 7 years (0 + 2009..2014), 6 registrars, 5
+  // countries, 3 services, and 2 tracked brands. The worst-case state is
+  // the full cross product:
+  //   years x (1 header + countries + registrars + dbl countries +
+  //            dbl registrars)            = 7 * 23 = 161
+  //   + privacy registrars + services     = 6 + 3
+  //   + registrar country breakdowns      = 6 * (1 + 5) = 36
+  //   + brands                            = 2
+  constexpr size_t kStateBound = 161 + 6 + 3 + 36 + 2;
+  SurveyAccumulator acc({"Amazon", "Google"});
+  for (const DomainRow& row : SyntheticRows(500)) acc.Add(row);
+  EXPECT_LE(acc.state_entries(), kStateBound);
+  // 10x the rows over the same key sets: state stays under the
+  // cardinality bound no matter the record count — it is
+  // O(years x (registrars + countries)), never O(records).
+  for (const DomainRow& row : SyntheticRows(5000)) acc.Add(row);
+  EXPECT_LE(acc.state_entries(), kStateBound);
+  EXPECT_EQ(acc.records(), 5500u);
+}
+
+TEST(SurveyAccumulatorTest, SerializeRoundTripsByteIdentically) {
+  SurveyAccumulator acc({"Amazon", "Google"});
+  for (const DomainRow& row : SyntheticRows(300)) acc.Add(row);
+  const std::string blob = acc.Serialize();
+  const SurveyAccumulator restored = SurveyAccumulator::Deserialize(blob);
+  EXPECT_EQ(restored.Serialize(), blob);
+  EXPECT_EQ(restored.records(), acc.records());
+  ExpectSameTopK(restored.TopRegistrars(5), acc.TopRegistrars(5),
+                 "restored registrars");
+}
+
+TEST(SurveyAccumulatorTest, DeserializeRejectsMalformedState) {
+  SurveyAccumulator acc({"Amazon"});
+  for (const DomainRow& row : SyntheticRows(50)) acc.Add(row);
+  const std::string blob = acc.Serialize();
+
+  EXPECT_THROW(SurveyAccumulator::Deserialize("not.a.header\nend\n"),
+               std::runtime_error);
+  // Truncation: the end marker is mandatory, so a blob cut anywhere fails.
+  EXPECT_THROW(SurveyAccumulator::Deserialize(blob.substr(0, blob.size() / 2)),
+               std::runtime_error);
+  EXPECT_THROW(SurveyAccumulator::Deserialize(blob + "trailing\n"),
+               std::runtime_error);
+}
+
+// The satellite check from the scale-run harness: a multi-shard record
+// store streamed through the parser feeds both survey paths; every
+// aggregate must agree exactly, while the accumulator's state stays far
+// below one entry per record.
+TEST(SurveyAccumulatorTest, MultiShardStoreStreamMatchesInMemoryPath) {
+  constexpr size_t kTrain = 120;
+  constexpr size_t kCount = 360;
+  datagen::TemporalCorpusOptions corpus_options;
+  corpus_options.size = kCount;
+  corpus_options.seed = 42;
+  const datagen::TemporalCorpusGenerator generator(corpus_options);
+  const whois::WhoisParser parser = TrainScaleParser(generator, kTrain);
+
+  const std::string prefix = testing::TempDir() + "whoiscrf_survey_store_" +
+                             std::to_string(getpid());
+  whois::RecordStoreOptions store_options;
+  store_options.records_per_shard = 100;  // force multiple shards
+  {
+    whois::RecordStoreWriter writer(prefix, store_options);
+    for (size_t i = 0; i < kCount; ++i) {
+      writer.Append(generator.Generate(i).thick.text);
+    }
+    writer.Finish();
+  }
+
+  const whois::RecordStoreReader store(prefix);
+  const whois::StreamPipelineOptions pipeline;
+  const SurveyNormalizer normalizer(generator.base().registrars());
+
+  SurveyAccumulator acc;
+  {
+    whois::StoreRecordSource source(store);
+    whois::ParseStream(parser, source, pipeline,
+                       [&](uint64_t, const std::string&,
+                           const whois::ParsedWhois& parsed) {
+                         acc.Add(RowFromParse(parsed.domain_name, parsed,
+                                              normalizer, /*on_dbl=*/false));
+                       });
+  }
+  whois::StoreRecordSource source(store);
+  const SurveyDatabase db = BuildDatabaseFromStream(
+      source, parser, generator.base().registrars(), pipeline);
+
+  ASSERT_GT(store.size(), store_options.records_per_shard);  // multi-shard
+  EXPECT_EQ(acc.records(), kCount);
+  ExpectAccumulatorMatchesDatabase(acc, db, {});
+  // Bounded memory: replaying every row a second time doubles the record
+  // count but adds zero state — the accumulator holds aggregates keyed by
+  // the corpus's (year, registrar, country) cardinality, not rows.
+  const size_t entries_after_one_pass = acc.state_entries();
+  for (const DomainRow& row : db.rows()) acc.Add(row);
+  EXPECT_EQ(acc.records(), 2 * kCount);
+  EXPECT_EQ(acc.state_entries(), entries_after_one_pass);
+
+  for (size_t s = 0; s < 8; ++s) {
+    std::remove(whois::RecordStoreShardPath(prefix, s).c_str());
+  }
 }
 
 }  // namespace
